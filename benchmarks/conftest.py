@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes the rendered rows/series to ``benchmarks/results/<name>.txt`` (and
+stdout), so the reproduction artifacts survive the run.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def record_result():
+    """record_result(name, text): persist a rendered table/figure."""
+
+    def _record(name, text):
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, "%s.txt" % name)
+        with open(path, "w") as handle:
+            handle.write(text.rstrip() + "\n")
+        print("\n" + text)
+        return path
+
+    return _record
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

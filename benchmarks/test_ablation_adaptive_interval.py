@@ -1,0 +1,106 @@
+"""Ablation: fixed vs adaptive epoch intervals.
+
+§3.1 hand-tunes the interval per workload ("tens to a few hundred
+milliseconds"). The adaptive controller automates that: one policy
+("10% pause overhead") lands each workload near the interval an expert
+would have picked — hundreds of ms for fluidanimate, tens for raytrace —
+without knowing the workload in advance.
+"""
+
+from repro.checkpoint.checkpointer import CopyFidelity
+from repro.core.adaptive import AdaptiveIntervalController, \
+    attach_adaptive_interval
+from repro.core.config import CrimesConfig
+from repro.core.crimes import Crimes
+from repro.guest.linux import LinuxGuest
+from repro.metrics.tables import format_table
+from repro.workloads.parsec import ParsecWorkload
+
+BENCHMARKS = ("raytrace", "swaptions", "freqmine", "fluidanimate")
+NAIVE_INTERVAL_MS = 50.0
+TARGET_OVERHEAD = 0.10
+EPOCHS = 60
+
+
+def _run(benchmark, adaptive):
+    vm = LinuxGuest(name="abl-adaptive-%s-%s" % (benchmark, adaptive),
+                    memory_bytes=4 * 1024 * 1024, seed=191)
+    crimes = Crimes(
+        vm,
+        CrimesConfig(epoch_interval_ms=NAIVE_INTERVAL_MS,
+                     fidelity=CopyFidelity.ACCOUNTING, seed=191),
+    )
+    crimes.add_program(ParsecWorkload(benchmark, seed=191,
+                                      native_runtime_ms=10**9))
+    if adaptive:
+        attach_adaptive_interval(
+            crimes,
+            AdaptiveIntervalController(target_overhead=TARGET_OVERHEAD),
+        )
+    crimes.start()
+    crimes.run(max_epochs=EPOCHS)
+    final = crimes.records[-1]
+    return {
+        "final_interval_ms": final.interval_ms,
+        "final_overhead": final.pause_ms / final.interval_ms,
+    }
+
+
+def test_ablation_adaptive_interval(run_once, record_result):
+    def compute():
+        rows = []
+        for benchmark in BENCHMARKS:
+            fixed = _run(benchmark, adaptive=False)
+            adaptive = _run(benchmark, adaptive=True)
+            rows.append(
+                {
+                    "benchmark": benchmark,
+                    "fixed_overhead": fixed["final_overhead"],
+                    "adaptive_interval_ms": adaptive["final_interval_ms"],
+                    "adaptive_overhead": adaptive["final_overhead"],
+                }
+            )
+        return rows
+
+    rows = run_once(compute)
+    record_result(
+        "ablation_adaptive_interval",
+        format_table(
+            [
+                {
+                    "benchmark": row["benchmark"],
+                    "fixed_50ms_overhead": "%.1f%%"
+                    % (100 * row["fixed_overhead"]),
+                    "adaptive_interval": "%.0f ms"
+                    % row["adaptive_interval_ms"],
+                    "adaptive_overhead": "%.1f%%"
+                    % (100 * row["adaptive_overhead"]),
+                }
+                for row in rows
+            ],
+            ["benchmark", "fixed_50ms_overhead", "adaptive_interval",
+             "adaptive_overhead"],
+            title="Ablation - fixed 50 ms vs adaptive interval "
+                  "(target 10%% pause overhead)",
+        ),
+    )
+
+    by_benchmark = {row["benchmark"]: row for row in rows}
+    # fluidanimate at a naive 50 ms pays ~40% overhead; adaptive walks
+    # the interval toward the maximum and quarters the overhead.
+    fluid = by_benchmark["fluidanimate"]
+    assert fluid["fixed_overhead"] > 0.30
+    assert fluid["adaptive_overhead"] < fluid["fixed_overhead"] / 2
+    assert fluid["adaptive_interval_ms"] > 150.0
+    # Light workloads need only a small nudge: their converged interval
+    # stays in the tens of milliseconds (frequent audits preserved).
+    assert by_benchmark["raytrace"]["adaptive_interval_ms"] < 100.0
+    # The one policy lands every workload near the 10% target — the
+    # per-workload hand-tuning of §3.1, automated.
+    for row in rows:
+        assert 0.08 < row["adaptive_overhead"] < 0.15
+    # And the converged intervals are ordered by dirty-page appetite.
+    intervals = [by_benchmark[b]["adaptive_interval_ms"]
+                 for b in ("raytrace", "swaptions", "freqmine",
+                           "fluidanimate")]
+    assert intervals == sorted(intervals)

@@ -1,0 +1,137 @@
+"""Ablation: the epoch interval as a security/performance knob (§3.1).
+
+The paper's tuning advice in one chart: sweeping the interval trades
+checkpoint overhead (CPU workload normalized runtime) against detection
+latency (time from an in-epoch exploit to the failed audit) and, under
+Best Effort, against the window of vulnerability. Canary attack detection
+is measured for real at each interval; overhead comes from the freqmine
+profile under Full optimization.
+"""
+
+from repro.core.config import CrimesConfig
+from repro.core.crimes import Crimes
+from repro.detectors.canary import CanaryScanModule
+from repro.experiments.parsec_experiments import run_parsec
+from repro.guest.linux import LinuxGuest
+from repro.metrics.tables import format_table
+from repro.workloads.attacks import OverflowAttackProgram
+
+INTERVALS = (20.0, 50.0, 100.0, 200.0)
+
+
+def _detection_latency(interval_ms):
+    vm = LinuxGuest(name="ablation-interval", memory_bytes=8 * 1024 * 1024,
+                    seed=91)
+    crimes = Crimes(
+        vm,
+        CrimesConfig(epoch_interval_ms=interval_ms, auto_respond=False,
+                     seed=91),
+    )
+    crimes.install_module(CanaryScanModule())
+    attack = crimes.add_program(
+        OverflowAttackProgram(trigger_epoch=2, attack_offset_fraction=0.5)
+    )
+    crimes.start()
+    crimes.run(max_epochs=4)
+    assert crimes.suspended
+    return crimes.clock.now - attack.attack_time_ms
+
+
+def test_ablation_interval_security(run_once, record_result):
+    def compute():
+        rows = []
+        for interval in INTERVALS:
+            overhead = run_parsec(
+                "freqmine", interval_ms=interval, native_runtime_ms=1500.0
+            ).normalized_runtime
+            rows.append(
+                {
+                    "interval_ms": interval,
+                    "overhead": overhead,
+                    "detection_latency_ms": _detection_latency(interval),
+                }
+            )
+        return rows
+
+    rows = run_once(compute)
+    record_result(
+        "ablation_interval_security",
+        format_table(
+            [
+                {
+                    "interval_ms": "%.0f" % row["interval_ms"],
+                    "cpu_overhead": "%.1f%%" % (100 * (row["overhead"] - 1)),
+                    "detection_latency_ms": "%.1f"
+                    % row["detection_latency_ms"],
+                }
+                for row in rows
+            ],
+            ["interval_ms", "cpu_overhead", "detection_latency_ms"],
+            title="Ablation - epoch interval: overhead vs detection latency",
+        ),
+    )
+
+    overheads = [row["overhead"] for row in rows]
+    latencies = [row["detection_latency_ms"] for row in rows]
+    # Larger intervals: cheaper...
+    assert all(a > b for a, b in zip(overheads, overheads[1:]))
+    # ...but slower to detect.
+    assert all(a < b for a, b in zip(latencies, latencies[1:]))
+    # Detection latency is bounded by roughly one interval + pause.
+    for row in rows:
+        assert row["detection_latency_ms"] < row["interval_ms"] + 40.0
+
+
+def test_ablation_history_capacity(run_once, record_result):
+    """Checkpoint history (§3.1 extension): forensic reach vs memory."""
+
+    def compute():
+        rows = []
+        for capacity in (0, 1, 3, 5):
+            vm = LinuxGuest(name="ablation-history",
+                            memory_bytes=8 * 1024 * 1024, seed=92)
+            crimes = Crimes(
+                vm,
+                CrimesConfig(epoch_interval_ms=50.0,
+                             history_capacity=capacity, seed=92),
+            )
+            crimes.start()
+            crimes.run(max_epochs=6)
+            history = crimes.checkpointer.history
+            held_bytes = sum(cp.size_bytes for cp in history.all())
+            reach_ms = (
+                crimes.clock.now - history.all()[0].taken_at
+                if len(history) else 0.0
+            )
+            rows.append(
+                {
+                    "capacity": capacity,
+                    "checkpoints_held": len(history),
+                    "memory_mib": held_bytes / float(1 << 20),
+                    "forensic_reach_ms": reach_ms,
+                }
+            )
+        return rows
+
+    rows = run_once(compute)
+    record_result(
+        "ablation_history_capacity",
+        format_table(
+            [
+                {
+                    "capacity": row["capacity"],
+                    "checkpoints_held": row["checkpoints_held"],
+                    "memory_mib": "%.0f" % row["memory_mib"],
+                    "forensic_reach_ms": "%.0f" % row["forensic_reach_ms"],
+                }
+                for row in rows
+            ],
+            ["capacity", "checkpoints_held", "memory_mib",
+             "forensic_reach_ms"],
+            title="Ablation - checkpoint history: memory vs forensic reach",
+        ),
+    )
+    # Memory cost is linear in capacity; reach grows with it.
+    assert rows[0]["memory_mib"] == 0
+    assert rows[-1]["memory_mib"] > rows[1]["memory_mib"]
+    assert rows[-1]["forensic_reach_ms"] > rows[1]["forensic_reach_ms"]

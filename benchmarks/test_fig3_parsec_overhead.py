@@ -1,0 +1,53 @@
+"""Figure 3: normalized PARSEC runtime, 200 ms checkpoint interval, under
+Full / Pre-map / Memcpy / No-opt CRIMES and AddressSanitizer.
+
+Paper anchors: Full geomean ≈ 1.098 ("only 9.8%"); No-opt and AS increase
+runtime by 40-60%; fluidanimate hits ≈4.7 (No-opt) and ≈2.6 (AS).
+Table 2 (the suite inventory) is printed as the header.
+"""
+
+from repro.experiments import fig3_parsec_overhead
+from repro.metrics.tables import format_table
+from repro.workloads.parsec import PARSEC_PROFILES, parsec_names
+
+SCHEMES = ["full", "pre-map", "memcpy", "no-opt", "AS"]
+
+
+def test_fig3(run_once, record_result):
+    results = run_once(fig3_parsec_overhead)
+
+    inventory = format_table(
+        [
+            {"benchmark": name,
+             "description": PARSEC_PROFILES[name].description}
+            for name in parsec_names()
+        ],
+        ["benchmark", "description"],
+        title="Table 2 - PARSEC 3.0 benchmarks used in the evaluation",
+    )
+    rows = []
+    for benchmark in parsec_names() + ["geomean"]:
+        rows.append(
+            {
+                "benchmark": benchmark,
+                **{scheme: "%.3f" % results[scheme][benchmark]
+                   for scheme in SCHEMES},
+            }
+        )
+    figure = format_table(
+        rows, ["benchmark"] + SCHEMES,
+        title="Figure 3 - normalized runtime, 200 ms interval",
+    )
+    record_result("fig3_parsec_overhead", inventory + "\n\n" + figure)
+
+    # Headline claim: ~9.8% overhead for the fully optimized system.
+    assert 1.05 < results["full"]["geomean"] < 1.16
+    # No-opt and AS sit in the paper's 40-60% band.
+    assert 1.30 < results["no-opt"]["geomean"] < 1.70
+    assert 1.40 < results["AS"]["geomean"] < 1.70
+    # Each optimization helps.
+    assert (results["full"]["geomean"] < results["pre-map"]["geomean"]
+            < results["memcpy"]["geomean"] < results["no-opt"]["geomean"])
+    # Worst case: fluidanimate.
+    assert 4.0 < results["no-opt"]["fluidanimate"] < 5.5
+    assert results["AS"]["fluidanimate"] == 2.6

@@ -1,0 +1,41 @@
+"""Figure 4: absolute pause-phase breakdown for swaptions, 200 ms epochs,
+across the four optimization levels.
+
+Paper anchors: total pause falls 29.86 ms -> 10.21 ms (-67%); copy is
+~71% of No-opt's pause but ~5% of Full's; bitscan 2.7 ms -> 0.14 ms;
+Memcpy-without-Pre-map pays the map phase twice.
+"""
+
+from repro.core.crimes import PHASE_ORDER
+from repro.experiments import fig4_swaptions_breakdown
+from repro.metrics.tables import format_table
+
+LEVELS = ["full", "pre-map", "memcpy", "no-opt"]
+
+
+def test_fig4(run_once, record_result):
+    results = run_once(fig4_swaptions_breakdown)
+    rows = []
+    for level in LEVELS:
+        rows.append(
+            {
+                "level": level,
+                **{phase: "%.2f" % results[level][phase]
+                   for phase in PHASE_ORDER},
+                "total": "%.2f" % results[level]["total"],
+            }
+        )
+    text = format_table(
+        rows, ["level"] + list(PHASE_ORDER) + ["total"],
+        title="Figure 4 - pause breakdown for swaptions (ms), 200 ms epochs",
+    )
+    record_result("fig4_swaptions_breakdown", text)
+
+    assert 26.0 < results["no-opt"]["total"] < 34.0
+    assert 8.0 < results["full"]["total"] < 13.0
+    reduction = 1 - results["full"]["total"] / results["no-opt"]["total"]
+    assert 0.55 < reduction < 0.75  # paper: 67%
+    assert results["no-opt"]["copy"] / results["no-opt"]["total"] > 0.55
+    assert results["full"]["copy"] / results["full"]["total"] < 0.15
+    assert results["full"]["bitscan"] < 0.25  # paper: 0.14 ms
+    assert results["memcpy"]["map"] > 1.6 * results["no-opt"]["map"]

@@ -1,0 +1,45 @@
+"""Figure 5: effect of the epoch interval (60-200 ms) under Full
+optimization for freqmine, swaptions, volrend, water-spatial:
+
+(a) normalized runtime decreases with larger intervals,
+(b) paused time increases (≈10-16 ms at the top end),
+(c) dirty pages per epoch increase toward the several-thousand range.
+"""
+
+from repro.experiments import fig5_interval_sweep
+from repro.metrics.tables import format_series
+
+BENCHMARKS = ("freqmine", "swaptions", "volrend", "water-spatial")
+INTERVALS = (60, 80, 100, 120, 140, 160, 180, 200)
+
+
+def test_fig5(run_once, record_result):
+    results = run_once(fig5_interval_sweep, benchmarks=BENCHMARKS,
+                       intervals=INTERVALS)
+    sections = []
+    for key, label, fmt in (
+        ("normalized_runtime", "Fig 5a - normalized runtime", "%.3f"),
+        ("pause_ms", "Fig 5b - paused time (ms)", "%.2f"),
+        ("dirty_pages", "Fig 5c - dirty pages per epoch", "%.0f"),
+    ):
+        for benchmark in BENCHMARKS:
+            series = results[benchmark]
+            sections.append(
+                format_series(
+                    "%s [%s]" % (label, benchmark),
+                    [row["interval"] for row in series],
+                    [row[key] for row in series],
+                    x_label="interval_ms", y_label=key, fmt=fmt,
+                )
+            )
+    record_result("fig5_interval_sweep", "\n\n".join(sections))
+
+    for benchmark in BENCHMARKS:
+        series = results[benchmark]
+        runtimes = [row["normalized_runtime"] for row in series]
+        pauses = [row["pause_ms"] for row in series]
+        dirty = [row["dirty_pages"] for row in series]
+        assert runtimes[0] > runtimes[-1]         # 5a: improves
+        assert pauses[0] < pauses[-1]             # 5b: grows
+        assert 6.0 < pauses[-1] < 18.0            # 5b: 10-16 ms regime
+        assert dirty[0] < dirty[-1] < 8000        # 5c: grows toward ~5k

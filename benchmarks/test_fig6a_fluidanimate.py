@@ -1,0 +1,37 @@
+"""Figure 6a: fluidanimate normalized runtime vs epoch interval for all
+four optimization levels.
+
+Paper anchors: performance worsens at smaller intervals for every level,
+but Full stays ≈3.5× faster than No-opt; fluidanimate dirties ≈5× the
+pages of the lighter benchmarks, making it CRIMES's showcase.
+"""
+
+from repro.experiments import fig6a_fluidanimate
+from repro.metrics.tables import format_series
+
+LEVELS = ("full", "pre-map", "memcpy", "no-opt")
+INTERVALS = (60, 80, 100, 120, 140, 160, 180, 200)
+
+
+def test_fig6a(run_once, record_result):
+    results = run_once(fig6a_fluidanimate, intervals=INTERVALS,
+                       native_runtime_ms=1500.0)
+    sections = [
+        format_series(
+            "Fig 6a - fluidanimate normalized runtime [%s]" % level,
+            [row["interval"] for row in results[level]],
+            [row["normalized_runtime"] for row in results[level]],
+            x_label="interval_ms", y_label="norm_runtime",
+        )
+        for level in LEVELS
+    ]
+    record_result("fig6a_fluidanimate", "\n\n".join(sections))
+
+    at60 = {level: results[level][0]["normalized_runtime"]
+            for level in LEVELS}
+    at200 = {level: results[level][-1]["normalized_runtime"]
+             for level in LEVELS}
+    assert at60["no-opt"] / at60["full"] > 3.0   # "3.5X faster"
+    for level in LEVELS:
+        assert at60[level] > at200[level]        # smaller interval = worse
+    assert 4.0 < at200["no-opt"] < 5.5           # Figure 3's 4.7 anchor

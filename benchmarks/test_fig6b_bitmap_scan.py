@@ -1,0 +1,46 @@
+"""Figure 6b: simulated bitmap-scan cost vs VM size (0-16 GiB).
+
+Paper anchors: bit-by-bit cost climbs steeply with VM size (tens of ms by
+16 GiB); word-chunk scanning stays far below it. The functional check
+also runs both real algorithms on one bitmap to confirm identical output.
+"""
+
+from repro.experiments import fig6b_bitmap_scan
+from repro.experiments.bitmap_experiments import functional_scan_check
+from repro.metrics.tables import format_series
+
+SIZES_GB = (1, 2, 4, 6, 8, 10, 12, 14, 16)
+
+
+def test_fig6b(run_once, record_result):
+    rows = run_once(fig6b_bitmap_scan, sizes_gb=SIZES_GB)
+    text = "\n\n".join(
+        [
+            format_series(
+                "Fig 6b - bitmap scan cost, not optimized (bit-by-bit)",
+                [row["size_gb"] for row in rows],
+                [row["not_optimized_ms"] for row in rows],
+                x_label="vm_size_gb", y_label="ms",
+            ),
+            format_series(
+                "Fig 6b - bitmap scan cost, optimized (word-chunk)",
+                [row["size_gb"] for row in rows],
+                [row["optimized_ms"] for row in rows],
+                x_label="vm_size_gb", y_label="ms",
+            ),
+        ]
+    )
+    check = functional_scan_check(frame_count=262144, dirty_fraction=0.02)
+    text += (
+        "\n\nfunctional check (1 GiB bitmap, 2%% dirty): identical=%s, "
+        "bits visited saved=%.1f%%"
+        % (check["identical"], 100 * check["bits_saved_fraction"])
+    )
+    record_result("fig6b_bitmap_scan", text)
+
+    assert check["identical"]
+    assert 30.0 < rows[-1]["not_optimized_ms"] < 80.0
+    for row in rows:
+        assert row["optimized_ms"] < row["not_optimized_ms"] / 5
+    # Bit-by-bit grows ~linearly in VM size.
+    assert rows[-1]["not_optimized_ms"] > 10 * rows[0]["not_optimized_ms"]

@@ -1,0 +1,65 @@
+"""Figure 7: NGINX under wrk — normalized latency and throughput vs epoch
+interval, Synchronous Safety vs Best Effort Safety.
+
+Paper shapes reproduced: Best Effort tracks the unprotected baseline
+(network-limited VM, low dirty rate); Synchronous latency grows with the
+interval because every server→client message (including the three-way
+handshake's SYN/ACK) waits for the end-of-epoch commit, and closed-loop
+throughput collapses accordingly. Our closed-loop model is *steeper* than
+the paper's absolute normalized values — see EXPERIMENTS.md for the
+discrepancy discussion — but every direction and ordering matches.
+"""
+
+from repro.experiments import fig7_web_performance
+from repro.metrics.tables import format_series
+
+INTERVALS = (20, 40, 60, 80, 100, 120, 140, 160, 180, 200)
+
+
+def test_fig7(run_once, record_result):
+    results = run_once(fig7_web_performance, intervals=INTERVALS,
+                       duration_ms=4000.0)
+    sections = [
+        "baseline (no protection): latency %.2f ms, throughput %.0f req/s"
+        % (results["baseline"]["latency_ms"],
+           results["baseline"]["throughput_rps"])
+    ]
+    for label in ("synchronous", "best_effort"):
+        series = results[label]
+        sections.append(
+            format_series(
+                "Fig 7a - normalized latency [%s]" % label,
+                [row["interval"] for row in series],
+                [row["norm_latency"] for row in series],
+                x_label="interval_ms", y_label="x baseline",
+            )
+        )
+        sections.append(
+            format_series(
+                "Fig 7b - normalized throughput [%s]" % label,
+                [row["interval"] for row in series],
+                [row["norm_throughput"] for row in series],
+                x_label="interval_ms", y_label="x baseline",
+            )
+        )
+    record_result("fig7_webserver", "\n\n".join(sections))
+
+    base = results["baseline"]
+    # Paper's testbed: 17094 req/s and 2.83 ms; same regime here.
+    assert 2.0 < base["latency_ms"] < 4.0
+    assert 10000 < base["throughput_rps"] < 25000
+
+    sync = results["synchronous"]
+    best = results["best_effort"]
+    # 7a: synchronous latency grows monotonically with the interval.
+    sync_latency = [row["norm_latency"] for row in sync]
+    assert all(a < b for a, b in zip(sync_latency, sync_latency[1:]))
+    # 7b: synchronous throughput decays with the interval.
+    sync_throughput = [row["norm_throughput"] for row in sync]
+    assert sync_throughput[0] > sync_throughput[-1]
+    assert sync_throughput[-1] < 0.25
+    # Best effort stays close to no-protection, improving with interval.
+    for row in best:
+        assert row["norm_latency"] < 1.6
+        assert row["norm_throughput"] > 0.6
+    assert best[-1]["norm_throughput"] > 0.9

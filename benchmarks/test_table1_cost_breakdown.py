@@ -1,0 +1,34 @@
+"""Table 1: cost breakdown of the paused state, unoptimized pipeline,
+20 ms epochs, web workloads at three intensities.
+
+Paper row (ms):  Light  0.96 / 0.34 / 1.83 / 1.6  / 12.58 / 1.5
+                 Medium 0.98 / 0.34 / 1.97 / 1.88 / 14.63 / 1.48
+                 High   1.27 / 0.33 / 2.79 / 2.63 / 19.98 / 2
+"""
+
+from repro.experiments import table1_cost_breakdown
+from repro.metrics.tables import format_table
+
+COLUMNS = ["workload", "suspend", "vmi", "bitscan", "map", "copy", "resume",
+           "dirty_pages"]
+
+
+def test_table1(run_once, record_result):
+    rows = run_once(table1_cost_breakdown, epochs=50)
+    text = format_table(
+        rows, COLUMNS,
+        title="Table 1 - pause-phase cost (ms), no-opt, 20 ms epochs",
+    )
+    record_result("table1_cost_breakdown", text)
+
+    by_load = {row["workload"]: row for row in rows}
+    # Copy dominates and tracks load intensity, as in the paper.
+    assert 10.0 < by_load["Light"]["copy"] < 15.0
+    assert 17.0 < by_load["High"]["copy"] < 23.0
+    for row in rows:
+        total = sum(row[phase] for phase in
+                    ("suspend", "vmi", "bitscan", "map", "copy", "resume"))
+        assert row["copy"] / total > 0.55
+        # Pause exceeds the 20 ms epoch itself — the paper's motivation
+        # ("clearly this is an unacceptable cost").
+        assert total > 15.0

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The intro's scenario: stealing a database, and why buffering wins.
+
+A key-value store holds card numbers and API keys; an in-guest attacker
+bulk-reads them and streams the dump to a C2 server. The same attack
+runs twice:
+
+* **Synchronous Safety** — the dump sits in the hypervisor buffer when
+  the end-of-epoch audit flags the unauthorized connection; it is
+  destroyed. Zero records leak.
+* **Best Effort Safety** — outputs pass through immediately; the audit
+  still catches the attack at the epoch's end, but the dump is already
+  gone. The leak is bounded by exactly one epoch (§3.1's trade).
+
+Run:  python examples/database_exfiltration.py
+"""
+
+from repro import Crimes, CrimesConfig, LinuxGuest, SafetyMode
+from repro.detectors import ConnectionPolicyModule, OutputSignatureModule
+from repro.workloads import DataTheftProgram, KeyValueStoreProgram
+
+
+def run(safety, seed):
+    vm = LinuxGuest(name="db-%s" % safety.value,
+                    memory_bytes=16 * 1024 * 1024, seed=seed)
+    crimes = Crimes(
+        vm,
+        CrimesConfig(epoch_interval_ms=50.0, safety=safety, seed=seed,
+                     auto_respond=False),
+    )
+    store = crimes.add_program(KeyValueStoreProgram(seed=seed))
+    crimes.add_program(DataTheftProgram(store, trigger_epoch=3))
+    crimes.install_module(ConnectionPolicyModule())
+    crimes.install_module(OutputSignatureModule())
+    crimes.start()
+    crimes.run(max_epochs=5)
+
+    escaped = [p.payload for p in crimes.external_sink.packets]
+    leaked = [p for p in escaped if b"BEGIN_DUMP" in p]
+    queries = [p for p in escaped if p.startswith(b"VALUE")]
+    finding = crimes.records[-1].detection.critical_findings()[0]
+    print("[%s]" % safety.value)
+    print("  detected: %s" % finding.summary)
+    print("  legitimate query responses delivered: %d" % len(queries))
+    print("  stolen database dumps that escaped:   %d" % len(leaked))
+    if leaked:
+        print("  (leak bounded to the attack epoch: %d bytes)"
+              % len(leaked[0]))
+    print()
+
+
+def main():
+    print("Database exfiltration under the two safety modes:\n")
+    run(SafetyMode.SYNCHRONOUS, seed=31)
+    run(SafetyMode.BEST_EFFORT, seed=32)
+
+
+if __name__ == "__main__":
+    main()

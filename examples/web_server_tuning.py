@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Tenant's guide to the epoch-interval / safety-mode trade-off (§3.1, §5.4).
+
+Sweeps the two tenant-facing knobs for a latency-sensitive web VM and a
+CPU-bound batch VM, printing the numbers behind the paper's advice:
+
+* network-bound VM + Synchronous Safety -> small intervals (10-20 ms);
+* network-bound VM that can tolerate a millisecond window -> Best Effort;
+* CPU-bound VM -> large intervals (~200 ms) amortize the checkpoint cost.
+
+Run:  python examples/web_server_tuning.py
+"""
+
+from repro.experiments.parsec_experiments import run_parsec
+from repro.netbuf.buffer import BufferMode
+from repro.workloads.webserver import WebServerExperiment, \
+    baseline_web_result
+
+
+def sweep_web():
+    baseline = baseline_web_result(duration_ms=3000.0)
+    print("web VM baseline (no protection): %.2f ms latency, %.0f req/s\n"
+          % (baseline.mean_latency_ms, baseline.throughput_rps))
+    print("%-10s %-14s %12s %14s" % ("interval", "safety", "latency",
+                                     "throughput"))
+    for interval in (20.0, 50.0, 100.0, 200.0):
+        for label, mode in (("sync", BufferMode.SYNCHRONOUS),
+                            ("best-effort", BufferMode.BEST_EFFORT)):
+            run = WebServerExperiment(
+                interval_ms=interval, buffering=mode, duration_ms=3000.0,
+            ).run()
+            print(
+                "%-10.0f %-14s %9.2f ms %10.0f rps   (%.1fx / %.2fx)"
+                % (interval, label, run.mean_latency_ms,
+                   run.throughput_rps,
+                   run.mean_latency_ms / baseline.mean_latency_ms,
+                   run.throughput_rps / baseline.throughput_rps)
+            )
+
+
+def sweep_cpu():
+    print("\nCPU-bound VM (PARSEC freqmine), Full optimization:")
+    print("%-10s %18s %12s" % ("interval", "normalized runtime",
+                               "pause (ms)"))
+    for interval in (20.0, 50.0, 100.0, 200.0):
+        run = run_parsec("freqmine", interval_ms=interval,
+                         native_runtime_ms=2000.0)
+        print("%-10.0f %18.3f %12.2f"
+              % (interval, run.normalized_runtime, run.mean_pause_ms))
+
+
+def main():
+    sweep_web()
+    sweep_cpu()
+    print(
+        "\nTake-away (paper section 5.4): pick small intervals or Best "
+        "Effort for\nnetwork-bound VMs; large intervals for CPU-bound VMs."
+    )
+
+
+if __name__ == "__main__":
+    main()

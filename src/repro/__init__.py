@@ -1,0 +1,65 @@
+"""CRIMES: Using Evidence to Secure the Cloud — a full Python reproduction.
+
+Rajasekaran, Chawla, Ni, Shah, Berger, Wood. Middleware 2018.
+
+The package provides an evidence-based VM security framework over a
+simulated Xen-style virtualization substrate:
+
+* speculative execution with output buffering (zero window of
+  vulnerability),
+* continuous checkpointing with the paper's three Remus optimizations,
+* VMI-based security audits every epoch (canaries, blacklists, kernel
+  integrity),
+* rollback-and-replay attack pinpointing and Volatility-style post-mortem
+  forensics.
+
+Quick start::
+
+    from repro import Crimes, CrimesConfig, LinuxGuest
+    from repro.detectors import CanaryScanModule
+    from repro.workloads import OverflowAttackProgram
+
+    vm = LinuxGuest(seed=7)
+    crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0))
+    crimes.install_module(CanaryScanModule())
+    crimes.add_program(OverflowAttackProgram(trigger_epoch=3))
+    crimes.start()
+    crimes.run(max_epochs=10)
+    print(crimes.last_outcome.report.render())
+"""
+
+from repro.analyzer.honeypot import HoneypotSession
+from repro.core.cloud import CloudHost
+from repro.core.config import CrimesConfig, SafetyMode
+from repro.core.crimes import Crimes, EpochRecord
+from repro.checkpoint.costmodel import CheckpointCostModel, OptimizationLevel
+from repro.checkpoint.checkpointer import Checkpointer, CopyFidelity
+from repro.guest.linux import LinuxGuest
+from repro.guest.windows import WindowsGuest
+from repro.hypervisor.xen import Hypervisor
+from repro.netbuf.buffer import BufferMode, OutputBuffer
+from repro.vmi.libvmi import VMIInstance
+from repro.forensics.volatility import VolatilityFramework
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CloudHost",
+    "HoneypotSession",
+    "Crimes",
+    "CrimesConfig",
+    "SafetyMode",
+    "EpochRecord",
+    "CheckpointCostModel",
+    "OptimizationLevel",
+    "Checkpointer",
+    "CopyFidelity",
+    "LinuxGuest",
+    "WindowsGuest",
+    "Hypervisor",
+    "BufferMode",
+    "OutputBuffer",
+    "VMIInstance",
+    "VolatilityFramework",
+    "__version__",
+]

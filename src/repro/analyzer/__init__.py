@@ -1,0 +1,40 @@
+"""Attack response: rollback, replay, pinpointing, post-mortem (§3.3, §4.2).
+
+When a Detector module raises a critical finding, the Analyzer:
+
+1. suspends the VM (outputs of the attacked epoch were never released),
+2. optionally rolls back to the clean backup and *replays* the epoch under
+   Xen memory-event monitoring to pinpoint the exact store that produced
+   the evidence (e.g. the instruction that clobbered a canary),
+3. runs a Volatility-style post-mortem over the before/after/at-attack
+   memory dumps and renders a security report.
+"""
+
+from repro.analyzer.analyzer import AnalysisOutcome, Analyzer
+from repro.analyzer.honeypot import (
+    HoneypotObservation,
+    HoneypotReport,
+    HoneypotSession,
+)
+from repro.analyzer.replay import PinpointResult, ReplayEngine
+from repro.analyzer.timeline import AttackTimeline
+from repro.analyzer.timetravel import (
+    CompromiseWindow,
+    TimeTravelInvestigator,
+)
+from repro.analyzer.postmortem import PostMortem, SecurityReport
+
+__all__ = [
+    "AnalysisOutcome",
+    "Analyzer",
+    "HoneypotObservation",
+    "HoneypotReport",
+    "HoneypotSession",
+    "PinpointResult",
+    "ReplayEngine",
+    "AttackTimeline",
+    "CompromiseWindow",
+    "TimeTravelInvestigator",
+    "PostMortem",
+    "SecurityReport",
+]

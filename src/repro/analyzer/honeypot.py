@@ -1,0 +1,162 @@
+"""Honeypot response mode (the §6 future-work extension).
+
+Instead of suspending an attacked VM, CRIMES can keep it running as a
+*carefully monitored honeypot*: every output is diverted into a
+quarantine sink (the attacker believes packets are leaving; nothing ever
+reaches the real network), sensitive kernel structures are write-trapped,
+and each subsequent epoch's audit findings are logged as observations
+rather than triggering a response. The session ends with a report of
+everything the attacker tried to do.
+"""
+
+from repro.errors import CrimesError
+from repro.guest.devices import OutputSink
+from repro.guest.memory import PAGE_SIZE
+from repro.guest.pagetable import kernel_pa
+
+
+class HoneypotObservation:
+    """What the attacker did during one honeypot epoch."""
+
+    __slots__ = ("epoch", "findings", "packets", "disk_writes", "mem_events")
+
+    def __init__(self, epoch, findings, packets, disk_writes, mem_events):
+        self.epoch = epoch
+        self.findings = findings
+        self.packets = packets
+        self.disk_writes = disk_writes
+        self.mem_events = mem_events
+
+
+class HoneypotReport:
+    """Summary of a honeypot session."""
+
+    def __init__(self, engaged_at, observations, quarantine):
+        self.engaged_at = engaged_at
+        self.observations = observations
+        self.quarantine = quarantine
+
+    @property
+    def total_packets_quarantined(self):
+        return len(self.quarantine.packets)
+
+    @property
+    def total_disk_writes_quarantined(self):
+        return len(self.quarantine.disk_writes)
+
+    def contacted_hosts(self):
+        """Destinations the attacker tried to reach (C2 intelligence)."""
+        return sorted({packet.dst for packet in self.quarantine.packets})
+
+    def render(self):
+        lines = [
+            "=" * 64,
+            "CRIMES Honeypot Session Report",
+            "=" * 64,
+            "engaged at %.3f ms; %d epoch(s) observed"
+            % (self.engaged_at, len(self.observations)),
+            "",
+            "Quarantined outputs: %d packet(s), %d disk write(s)"
+            % (self.total_packets_quarantined,
+               self.total_disk_writes_quarantined),
+            "Contacted hosts: %s"
+            % (", ".join(self.contacted_hosts()) or "(none)"),
+            "",
+            "Per-epoch observations:",
+        ]
+        for observation in self.observations:
+            lines.append(
+                "  epoch %d: %d finding(s), %d packet(s), %d kernel write "
+                "trap(s)"
+                % (observation.epoch, len(observation.findings),
+                   observation.packets, len(observation.mem_events))
+            )
+            for finding in observation.findings:
+                lines.append("      - %s" % finding.summary)
+        return "\n".join(lines)
+
+
+class HoneypotSession:
+    """Drives a CRIMES framework in honeypot mode after a detection.
+
+    Usage (with ``auto_respond=False`` so the framework stops at the
+    detection instead of running the suspend-and-report pipeline)::
+
+        session = HoneypotSession(crimes)
+        session.engage()
+        session.observe(epochs=5)
+        print(session.report().render())
+    """
+
+    def __init__(self, crimes):
+        self.crimes = crimes
+        self.quarantine = OutputSink(crimes.clock)
+        self.engaged_at = None
+        self.observations = []
+        self._packets_seen = 0
+        self._disk_writes_seen = 0
+
+    def engage(self):
+        """Flip the suspended-on-detection framework into honeypot mode."""
+        crimes = self.crimes
+        if not crimes.suspended:
+            raise CrimesError("engage() requires a detected attack")
+        if crimes.last_outcome is not None:
+            raise CrimesError(
+                "the Analyzer already suspended this VM; run with "
+                "auto_respond=False to use honeypot mode"
+            )
+        # 1. Divert all future outputs into the quarantine.
+        crimes.buffer.downstream = self.quarantine
+        # 2. Write-trap sensitive kernel structures.
+        monitor = crimes.domain.event_monitor
+        for symbol in ("sys_call_table", "crimes_canary_directory",
+                       "modules", "PsActiveProcessHead"):
+            if symbol in crimes.vm.symbols:
+                paddr = kernel_pa(crimes.vm.symbols.lookup(symbol))
+                monitor.watch_frame(paddr // PAGE_SIZE)
+        if not monitor.attached:
+            monitor.attach()
+        # 3. Resume execution in observation mode.
+        crimes.honeypot_active = True
+        crimes.suspended = False
+        crimes.domain.resume()
+        self.engaged_at = crimes.clock.now
+        return self
+
+    def observe(self, epochs):
+        """Run honeypot epochs, logging what the attacker does."""
+        if self.engaged_at is None:
+            raise CrimesError("call engage() before observe()")
+        crimes = self.crimes
+        for _ in range(epochs):
+            record = crimes.run_epoch()
+            findings = (record.detection.findings
+                        if record.detection is not None else [])
+            packets = len(self.quarantine.packets) - self._packets_seen
+            disk_writes = (len(self.quarantine.disk_writes)
+                           - self._disk_writes_seen)
+            self._packets_seen = len(self.quarantine.packets)
+            self._disk_writes_seen = len(self.quarantine.disk_writes)
+            self.observations.append(
+                HoneypotObservation(
+                    epoch=record.epoch,
+                    findings=list(findings),
+                    packets=packets,
+                    disk_writes=disk_writes,
+                    mem_events=crimes.domain.event_monitor.poll(),
+                )
+            )
+        return self.observations
+
+    def disengage(self):
+        """Stop observing: suspend the VM for good."""
+        crimes = self.crimes
+        crimes.domain.event_monitor.detach()
+        crimes.honeypot_active = False
+        crimes.domain.suspend()
+        crimes.suspended = True
+
+    def report(self):
+        return HoneypotReport(self.engaged_at, list(self.observations),
+                              self.quarantine)

@@ -1,0 +1,277 @@
+"""Post-mortem forensics: the Volatility battery + report rendering.
+
+Reproduces the two case studies' automated analyses:
+
+* §5.5 (buffer overflow): extract the attacked process's memory maps and
+  region dumps around the corrupted object, and record the replay
+  pinpoint — the material "forensic analysts or developers" inspect.
+* §5.6 (malware): ``procdump`` the malware, diff ``netscan`` and
+  ``handles`` between the clean and detected dumps, and run
+  ``psscan``/``psxview`` for hidden-process evidence, rendering the same
+  report sections the paper prints.
+"""
+
+from repro.forensics.dumps import diff_rows
+from repro.forensics.volatility import VolatilityFramework
+
+
+class SecurityReport:
+    """A rendered-to-text forensic report with machine-readable artifacts."""
+
+    def __init__(self, title):
+        self.title = title
+        self.sections = []
+        self.artifacts = {}
+
+    def add_section(self, heading, body):
+        self.sections.append((heading, body))
+
+    def add_artifact(self, name, value):
+        self.artifacts[name] = value
+
+    def render(self):
+        lines = ["=" * 64, self.title, "=" * 64]
+        for heading, body in self.sections:
+            lines.append("")
+            lines.append(heading)
+            lines.append("-" * len(heading))
+            lines.append(body if body else "(none)")
+        return "\n".join(lines)
+
+
+def _format_table(rows, columns):
+    """Fixed-width text table from dict rows (report rendering helper)."""
+    if not rows:
+        return "(none)"
+    widths = {
+        column: max(len(column), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    body = [
+        "  ".join(str(row.get(column, "")).ljust(widths[column])
+                  for column in columns)
+        for row in rows
+    ]
+    return "\n".join([header] + body)
+
+
+class PostMortem:
+    """Runs the plugin battery and assembles :class:`SecurityReport`s."""
+
+    def __init__(self, volatility=None, seed=0):
+        self.volatility = (
+            volatility if volatility is not None else VolatilityFramework(seed)
+        )
+
+    def take_cost_ms(self):
+        return self.volatility.take_cost_ms()
+
+    # -- §5.5: buffer overflow ------------------------------------------------
+
+    def overflow_report(self, dump_clean, dump_detected, finding,
+                        pinpoint=None, dump_at_attack=None):
+        """Forensics for a canary-clobbering overflow."""
+        pid = finding.details["pid"]
+        title = ("CRIMES Security Report - Use After Free"
+                 if finding.kind == "use-after-free"
+                 else "CRIMES Security Report - Heap Buffer Overflow")
+        report = SecurityReport(title)
+
+        evidence = "object=0x%x size=%d" % (
+            finding.details["object_addr"], finding.details["object_size"],
+        )
+        if finding.details.get("expected") is not None:
+            evidence += " expected=%016x observed=%016x" % (
+                finding.details["expected"], finding.details["observed"],
+            )
+        if "write_offset" in finding.details:
+            evidence += " dangling write at offset %d" % \
+                finding.details["write_offset"]
+        report.add_section(
+            "Finding", "%s\nepoch evidence: %s" % (finding.summary, evidence)
+        )
+
+        maps = self.volatility.run("linux_proc_maps", dump_detected, pid=pid)
+        report.add_section(
+            "Process memory map (pid %d)" % pid,
+            _format_table(
+                [
+                    {
+                        "start": "0x%x" % row["start"],
+                        "end": "0x%x" % row["end"],
+                        "region": row["name"],
+                    }
+                    for row in maps
+                ],
+                ["start", "end", "region"],
+            ),
+        )
+        report.add_artifact("proc_maps", maps)
+
+        heap_dump = self.volatility.run(
+            "linux_dump_map", dump_detected, pid=pid, region="heap"
+        )
+        report.add_artifact("heap_dump", heap_dump[0]["data"])
+        object_addr = finding.details["object_addr"]
+        heap_base = heap_dump[0]["start"]
+        offset = object_addr - heap_base
+        window = heap_dump[0]["data"][
+            max(offset - 16, 0) : offset + finding.details["object_size"] + 24
+        ]
+        report.add_section(
+            "Heap bytes around the overflowed object",
+            "object at heap+0x%x; %d-byte window:\n%s"
+            % (offset, len(window), window.hex()),
+        )
+
+        if pinpoint is not None and pinpoint.matched:
+            report.add_section(
+                "Replay pinpoint",
+                "attacking store: paddr=0x%x length=%d rip=0x%x at t=%.3f ms"
+                % (pinpoint.paddr, pinpoint.length, pinpoint.rip,
+                   pinpoint.time_ms),
+            )
+            report.add_artifact("pinpoint", pinpoint)
+
+        sockets_before = self.volatility.run("linux_netstat", dump_clean)
+        sockets_after = self.volatility.run("linux_netstat", dump_detected)
+        new_sockets, _closed = diff_rows(
+            sockets_before, sockets_after,
+            key=lambda row: (row["owner_pid"], row["local"], row["remote"]),
+        )
+        report.add_section(
+            "Connections opened during the attacked epoch",
+            _format_table(
+                [
+                    {
+                        "Protocol": row["protocol"],
+                        "Local Address": row["local"],
+                        "Foreign Address": row["remote"],
+                        "State": row["state"],
+                    }
+                    for row in new_sockets
+                ],
+                ["Protocol", "Local Address", "Foreign Address", "State"],
+            ),
+        )
+        report.add_artifact("new_sockets", new_sockets)
+
+        files_before = self.volatility.run("linux_lsof", dump_clean)
+        files_after = self.volatility.run("linux_lsof", dump_detected)
+        new_files, _closed_files = diff_rows(
+            files_before, files_after,
+            key=lambda row: (row["pid"], row["path"]),
+        )
+        report.add_section(
+            "Files opened during the attacked epoch",
+            "\n".join("pid %d: %s" % (row["pid"], row["path"])
+                      for row in new_files) or "(none)",
+        )
+        report.add_artifact("new_files", new_files)
+
+        processes_before = self.volatility.run("linux_pslist", dump_clean)
+        processes_after = self.volatility.run("linux_pslist", dump_detected)
+        added, removed = diff_rows(
+            processes_before, processes_after, key=lambda row: row["pid"]
+        )
+        report.add_section(
+            "Process-list delta across the attacked epoch",
+            "started: %s\nexited:  %s"
+            % (
+                ", ".join("%s(%d)" % (r["name"], r["pid"]) for r in added) or "-",
+                ", ".join("%s(%d)" % (r["name"], r["pid"]) for r in removed) or "-",
+            ),
+        )
+
+        dumps = [dump_clean, dump_detected]
+        if dump_at_attack is not None:
+            dumps.append(dump_at_attack)
+        report.add_artifact("checkpoints", dumps)
+        return report
+
+    # -- §5.6: malware ------------------------------------------------------------
+
+    def malware_report(self, dump_clean, dump_detected, finding):
+        """Forensics for a blacklisted/hidden process on a Windows guest."""
+        pid = finding.details["pid"]
+        report = SecurityReport("CRIMES Security Report - Malware Detection")
+
+        report.add_section(
+            "Malware detected",
+            _format_table(
+                [
+                    {
+                        "Name": finding.details["name"],
+                        "PID": pid,
+                        "Start": finding.details.get("start_time", 0),
+                    }
+                ],
+                ["Name", "PID", "Start"],
+            ),
+        )
+
+        extracted = self.volatility.run("procdump", dump_detected, pid=pid)
+        report.add_artifact("malware_executable", extracted[0])
+        report.add_section(
+            "Extracted executable",
+            "%s (pid %d): %d bytes extracted for sandbox analysis"
+            % (extracted[0]["name"], pid, extracted[0]["artifact_size"]),
+        )
+
+        sockets_before = self.volatility.run("netscan", dump_clean)
+        sockets_after = self.volatility.run("netscan", dump_detected)
+        new_sockets, _closed = diff_rows(
+            sockets_before, sockets_after,
+            key=lambda row: (row["owner_pid"], row["local"], row["remote"]),
+        )
+        report.add_section(
+            "Open Sockets (new since last clean checkpoint)",
+            _format_table(
+                [
+                    {
+                        "Protocol": row["protocol"],
+                        "Local Address": row["local"],
+                        "Foreign Address": row["remote"],
+                        "State": row["state"],
+                    }
+                    for row in new_sockets
+                ],
+                ["Protocol", "Local Address", "Foreign Address", "State"],
+            ),
+        )
+        report.add_artifact("new_sockets", new_sockets)
+
+        handles_before = self.volatility.run("handles", dump_clean)
+        handles_after = self.volatility.run("handles", dump_detected)
+        new_handles, _dropped = diff_rows(
+            handles_before, handles_after,
+            key=lambda row: (row["pid"], row["path"]),
+        )
+        report.add_section(
+            "Open File Handles (new since last clean checkpoint)",
+            "\n".join(row["path"] for row in new_handles) or "(none)",
+        )
+        report.add_artifact("new_handles", new_handles)
+
+        crossview = self.volatility.run("psxview", dump_detected)
+        hidden = [row for row in crossview if row["suspicious"]]
+        report.add_section(
+            "psscan/psxview hidden-process check",
+            _format_table(
+                [
+                    {
+                        "name": row["name"],
+                        "pid": row["pid"],
+                        "in_pslist": row["in_pslist"],
+                        "in_psscan": row["in_psscan"],
+                    }
+                    for row in hidden
+                ],
+                ["name", "pid", "in_pslist", "in_psscan"],
+            )
+            if hidden
+            else "no hidden processes",
+        )
+        report.add_artifact("hidden_processes", hidden)
+        return report

@@ -1,0 +1,137 @@
+"""Rollback-and-replay with memory-event monitoring (§3.3, §4.2).
+
+After a failed audit, the epoch is re-executed from the clean backup with
+the evidence's pages write-trapped. Each trapped store is inspected: the
+first one that overlaps the evidence *and corrupts it* is the attack — a
+benign store (e.g. the malloc wrapper re-planting the correct canary
+value) is recognized and skipped, as the paper notes: "the memory
+operation is analyzed to see if it targets the canary". The VM is left
+paused at the attacking instruction. Event monitoring is expensive, which
+is why it is enabled only here, never during normal epochs.
+"""
+
+import struct
+
+from repro.errors import ReplayDivergenceError
+
+
+class PinpointResult:
+    """Where and when the attacking store happened during replay."""
+
+    __slots__ = ("paddr", "length", "rip", "time_ms", "events_seen", "matched")
+
+    def __init__(self, paddr, length, rip, time_ms, events_seen, matched):
+        self.paddr = paddr
+        self.length = length
+        self.rip = rip
+        self.time_ms = time_ms
+        self.events_seen = events_seen
+        self.matched = matched
+
+    def __repr__(self):
+        if not self.matched:
+            return "PinpointResult(no matching write; %d events)" % self.events_seen
+        return "PinpointResult(paddr=0x%x, rip=0x%x, t=%.3fms)" % (
+            self.paddr,
+            self.rip,
+            self.time_ms,
+        )
+
+
+class ReplayEngine:
+    """Re-executes one epoch from the backup under write trapping."""
+
+    #: Replay runs under trap-and-emulate monitoring; the paper notes the
+    #: goal is root-cause precision, not performance.
+    REPLAY_SLOWDOWN = 10.0
+
+    def __init__(self, domain, checkpointer, vmi):
+        self.domain = domain
+        self.checkpointer = checkpointer
+        self.vmi = vmi
+        self.clock = domain.vm.clock
+        self.replays_run = 0
+
+    # -- two-phase API (the Analyzer drives these around timeline marks) ----
+
+    def prepare(self, programs, program_states, targets):
+        """Roll back to the clean backup and arm the write traps."""
+        rollback_ms = self.checkpointer.rollback()
+        self.clock.advance(rollback_ms)
+        for program, state in zip(programs, program_states):
+            program.load_state_dict(state)
+        for paddr in targets:
+            self.vmi.watch_write_pa(paddr)
+        self.vmi.events_begin()
+
+    def run(self, programs, interval_ms, targets, target_length=8,
+            expected_value=None):
+        """Re-run the epoch; return the pinpoint of the corrupting store.
+
+        ``expected_value`` (an int, little-endian ``target_length`` bytes)
+        is the legitimate content of the watched range — stores that
+        rewrite exactly that value are benign and skipped.
+
+        Raises :class:`ReplayDivergenceError` if the epoch re-executes
+        without any write to the trapped pages (recorded state and
+        re-execution disagree).
+        """
+        try:
+            start_ms = self.clock.now
+            for program in programs:
+                program.step(start_ms, interval_ms)
+            # Replay wall-clock: the epoch re-executes under monitoring.
+            self.clock.advance(interval_ms * self.REPLAY_SLOWDOWN)
+            events = self.vmi.events_listen()
+        finally:
+            self.vmi.events_end()
+        self.replays_run += 1
+
+        expected_bytes = None
+        if expected_value is not None:
+            expected_bytes = struct.pack(
+                "<Q" if target_length == 8 else "<%ds" % target_length,
+                expected_value,
+            )
+
+        match = None
+        for event in events:
+            covering = [
+                paddr
+                for paddr in targets
+                if event.covers(paddr, target_length)
+            ]
+            if not covering:
+                continue
+            if expected_bytes is not None:
+                written = event.bytes_at(covering[0], target_length)
+                if written == expected_bytes:
+                    continue  # benign store of the legitimate value
+            match = event
+            break
+
+        if match is None:
+            if not events:
+                raise ReplayDivergenceError(
+                    "replayed epoch produced no writes to the trapped pages"
+                )
+            return PinpointResult(0, 0, 0, 0.0, len(events), matched=False)
+        return PinpointResult(
+            paddr=match.paddr,
+            length=match.length,
+            rip=match.rip,
+            time_ms=match.time_ms,
+            events_seen=len(events),
+            matched=True,
+        )
+
+    # -- convenience -----------------------------------------------------------
+
+    def replay_epoch(self, programs, program_states, interval_ms, targets,
+                     target_length=8, expected_value=None):
+        """prepare() + run() in one call."""
+        self.prepare(programs, program_states, targets)
+        return self.run(
+            programs, interval_ms, targets,
+            target_length=target_length, expected_value=expected_value,
+        )

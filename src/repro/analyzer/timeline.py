@@ -1,0 +1,43 @@
+"""Attack timelines (the data behind Figure 8).
+
+Records (virtual-time, label) milestones from the moment an attack
+executes to the completion of forensic analysis, so benchmarks can print
+the same sequence the paper's timeline figure shows.
+"""
+
+
+class AttackTimeline:
+    """Ordered list of named milestones on the virtual clock."""
+
+    def __init__(self, clock):
+        self._clock = clock
+        self.events = []
+
+    def mark(self, label, at_ms=None):
+        when = self._clock.now if at_ms is None else at_ms
+        self.events.append((when, label))
+        return when
+
+    def when(self, label):
+        for when, name in self.events:
+            if name == label:
+                return when
+        raise KeyError("no timeline milestone %r" % label)
+
+    def has(self, label):
+        return any(name == label for _when, name in self.events)
+
+    def elapsed(self, start_label, end_label):
+        return self.when(end_label) - self.when(start_label)
+
+    def render(self):
+        """Human-readable timeline, offsets relative to the first mark."""
+        if not self.events:
+            return "(empty timeline)"
+        t0 = self.events[0][0]
+        lines = ["%10.3f ms  %s" % (when - t0, label)
+                 for when, label in self.events]
+        return "\n".join(lines)
+
+    def __iter__(self):
+        return iter(self.events)

@@ -1,0 +1,19 @@
+"""Comparison baselines from the paper's evaluation.
+
+* AddressSanitizer — inline instrumentation: zero window of vulnerability,
+  but a per-benchmark runtime slowdown and only single-process coverage.
+* Remus — continuous checkpointing to a *remote* backup with no security
+  scans: availability, not security.
+* Periodic virus scanner — minutes-long windows of vulnerability.
+"""
+
+from repro.baselines.asan import AsanBaseline, AsanCheckedHeap
+from repro.baselines.remus_baseline import remus_config
+from repro.baselines.virus_scanner import PeriodicScannerBaseline
+
+__all__ = [
+    "AsanBaseline",
+    "AsanCheckedHeap",
+    "remus_config",
+    "PeriodicScannerBaseline",
+]

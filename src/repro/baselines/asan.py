@@ -1,0 +1,96 @@
+"""AddressSanitizer baseline (§5.2's "AS" bars).
+
+Two pieces:
+
+* :class:`AsanBaseline` — the *timing* model: running a benchmark under
+  ``-fsanitize=address`` multiplies its runtime by a per-benchmark factor
+  (no checkpointing, no buffering, zero window of vulnerability within
+  the one instrumented process).
+* :class:`AsanCheckedHeap` — a *functional* shadow-memory red-zone
+  checker over a guest process's heap: every instrumented store is bounds
+  checked inline and an overflow aborts immediately. It demonstrates the
+  coverage/overhead trade the paper draws: ASan catches the overflow at
+  the store (but only in instrumented code), while CRIMES catches the
+  evidence afterwards for the whole VM.
+"""
+
+from repro.errors import GuestFault
+from repro.workloads.parsec import PARSEC_PROFILES
+
+
+class AsanBaseline:
+    """Runtime model of an ASan-instrumented PARSEC benchmark."""
+
+    def __init__(self, benchmark):
+        profile = PARSEC_PROFILES.get(benchmark)
+        if profile is None:
+            raise KeyError("unknown PARSEC benchmark %r" % benchmark)
+        self.benchmark = benchmark
+        self.slowdown = profile.asan_slowdown
+        self.native_runtime_ms = profile.native_runtime_ms
+
+    def runtime_ms(self, native_runtime_ms=None):
+        native = (
+            native_runtime_ms
+            if native_runtime_ms is not None
+            else self.native_runtime_ms
+        )
+        return native * self.slowdown
+
+    def normalized_runtime(self):
+        return self.slowdown
+
+
+class AsanRedZoneViolation(GuestFault):
+    """An instrumented store touched a red zone (ASan would abort here)."""
+
+    def __init__(self, vaddr, allocation):
+        self.vaddr = vaddr
+        self.allocation = allocation
+        super().__init__(
+            "ASan: heap-buffer-overflow write at 0x%x (allocation 0x%x+%d)"
+            % (vaddr, allocation[0], allocation[1])
+        )
+
+
+class AsanCheckedHeap:
+    """Shadow-memory bounds checking wrapped around a guest process.
+
+    ``store(vaddr, data)`` is the instrumented write path: it consults the
+    shadow map before letting the write through, exactly where ASan's
+    inline checks sit — on the critical path of every access, which is
+    the overhead CRIMES's once-per-epoch scan avoids.
+    """
+
+    REDZONE_BYTES = 16
+
+    def __init__(self, process):
+        self.process = process
+        self._shadow = {}  # allocation base -> size
+        self.checks_performed = 0
+
+    def malloc(self, size):
+        addr = self.process.malloc(size)
+        self._shadow[addr] = size
+        return addr
+
+    def free(self, addr):
+        self.process.free(addr)
+        self._shadow.pop(addr, None)
+
+    def _owning_allocation(self, vaddr):
+        for base, size in self._shadow.items():
+            if base <= vaddr < base + size + self.REDZONE_BYTES:
+                return base, size
+        return None
+
+    def store(self, vaddr, data):
+        """Instrumented write: abort on any byte outside its allocation."""
+        self.checks_performed += 1
+        for offset in (0, max(len(data) - 1, 0)):
+            allocation = self._owning_allocation(vaddr + offset)
+            if allocation is not None:
+                base, size = allocation
+                if vaddr + len(data) > base + size:
+                    raise AsanRedZoneViolation(vaddr + offset, allocation)
+        self.process.write(vaddr, data)

@@ -1,0 +1,26 @@
+"""Remus baseline configuration (§6: availability, not security).
+
+Remus ships every epoch's dirty pages to a backup on a *remote* host over
+ssh, performs no security audit, and releases buffered outputs once the
+backup acknowledges. Expressed here as a :class:`CrimesConfig` so the same
+epoch loop can run it for the headline comparison ("our optimized
+checkpointing improves performance by 33% compared to Remus").
+"""
+
+from repro.checkpoint.checkpointer import CopyFidelity
+from repro.checkpoint.costmodel import OptimizationLevel
+from repro.core.config import CrimesConfig, SafetyMode
+
+
+def remus_config(epoch_interval_ms=200.0, remote=True,
+                 fidelity=CopyFidelity.ACCOUNTING, seed=0):
+    """A CrimesConfig that behaves like stock Remus."""
+    return CrimesConfig(
+        epoch_interval_ms=epoch_interval_ms,
+        safety=SafetyMode.SYNCHRONOUS,
+        optimization=OptimizationLevel.NO_OPT,
+        fidelity=fidelity,
+        remote_backup=remote,
+        scan_enabled=False,  # Remus offers no security guarantees
+        seed=seed,
+    )

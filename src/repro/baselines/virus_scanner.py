@@ -1,0 +1,37 @@
+"""Periodic virus-scanner baseline (§1, §2's window-of-vulnerability
+comparison).
+
+A conventional scanner sweeps the system every few minutes: cheap, but an
+attack landing right after a sweep runs unobserved until the next one.
+This model quantifies the expected and worst-case windows of vulnerability
+so benchmarks can contrast them with CRIMES's epoch-bounded (Best Effort)
+or zero (Synchronous) window.
+"""
+
+
+class PeriodicScannerBaseline:
+    """Window-of-vulnerability arithmetic for a periodic scanner."""
+
+    def __init__(self, scan_period_ms=5 * 60 * 1000.0, scan_cost_ms=30000.0):
+        if scan_period_ms <= 0:
+            raise ValueError("scan period must be positive")
+        self.scan_period_ms = scan_period_ms
+        self.scan_cost_ms = scan_cost_ms
+
+    def worst_case_window_ms(self):
+        """Attack lands immediately after a sweep completes."""
+        return self.scan_period_ms
+
+    def expected_window_ms(self):
+        """Attack time uniform over the period."""
+        return self.scan_period_ms / 2.0
+
+    def detection_time_ms(self, attack_offset_ms):
+        """When an attack at ``offset`` into a period is first observable."""
+        if not 0 <= attack_offset_ms < self.scan_period_ms:
+            raise ValueError("offset must fall within one scan period")
+        return self.scan_period_ms - attack_offset_ms + self.scan_cost_ms
+
+    def overhead_fraction(self):
+        """Fraction of machine time spent scanning."""
+        return self.scan_cost_ms / (self.scan_period_ms + self.scan_cost_ms)

@@ -1,0 +1,236 @@
+"""The checkpointer: Remus's pipeline with CRIMES's optimizations.
+
+Per epoch it (1) harvests the dirty bitmap, (2) maps the dirty frames into
+its Dom0 address space, (3) propagates their contents into the backup VM
+image, and (4) reports the virtual-time cost of each phase. The backup is
+only advanced when the caller *commits* — i.e. after the security audit
+passes — so it is always the most recent known-clean state.
+
+Two fidelity modes:
+
+* ``FULL`` — dirty page bytes are really copied; rollback restores them.
+  Used by the framework, case studies, and all functional tests.
+* ``ACCOUNTING`` — only virtual-time costs are computed (the backup image
+  is not maintained). Used by the large parameter-sweep benchmarks where
+  the workload reports a synthetic dirty-page count instead of touching
+  simulated RAM.
+"""
+
+import copy
+import enum
+
+from repro.errors import CheckpointError
+from repro.checkpoint.costmodel import (
+    CheckpointCostModel,
+    NOMINAL_FRAME_COUNT,
+    OptimizationLevel,
+)
+from repro.checkpoint.snapshot import Checkpoint, CheckpointHistory
+from repro.guest.memory import PAGE_SIZE
+from repro.guest.vm import GuestSnapshot
+
+
+class CopyFidelity(enum.Enum):
+    FULL = "full"
+    ACCOUNTING = "accounting"
+
+
+class CheckpointReport:
+    """Per-epoch result: dirty counts and per-phase virtual-time costs."""
+
+    __slots__ = ("epoch", "real_dirty", "synthetic_dirty", "phase_ms",
+                 "scan_stats")
+
+    def __init__(self, epoch, real_dirty, synthetic_dirty, phase_ms, scan_stats):
+        self.epoch = epoch
+        self.real_dirty = real_dirty
+        self.synthetic_dirty = synthetic_dirty
+        self.phase_ms = phase_ms
+        self.scan_stats = scan_stats
+
+    @property
+    def dirty_pages(self):
+        return self.real_dirty + self.synthetic_dirty
+
+    @property
+    def total_ms(self):
+        return sum(self.phase_ms.values())
+
+    def __repr__(self):
+        return "CheckpointReport(epoch=%d, dirty=%d, total=%.3fms)" % (
+            self.epoch,
+            self.dirty_pages,
+            self.total_ms,
+        )
+
+
+class Checkpointer:
+    """Continuous checkpointing for one domain."""
+
+    def __init__(self, domain, level=OptimizationLevel.FULL, cost_model=None,
+                 fidelity=CopyFidelity.FULL, remote=False,
+                 nominal_frames=NOMINAL_FRAME_COUNT, history_capacity=0):
+        self.domain = domain
+        self.level = level
+        self.costs = cost_model if cost_model is not None else CheckpointCostModel()
+        self.fidelity = fidelity
+        self.remote = remote
+        self.nominal_frames = max(nominal_frames, domain.vm.memory.frame_count)
+        self.mapping = domain.new_mapping_table()
+        self.history = CheckpointHistory(history_capacity)
+
+        self.epoch = 0
+        self.started = False
+        self.init_cost_ms = 0.0
+        self.total_pages_copied = 0
+
+        self._backup_image = None
+        self._backup_state = None
+        self._backup_taken_at = None
+        self._pending = None  # staged epoch awaiting commit/abort
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self):
+        """Enable log-dirty mode, build initial backup, pre-map if configured."""
+        if self.started:
+            raise CheckpointError("checkpointer already started")
+        vm = self.domain.vm
+        self.domain.enable_log_dirty()
+        if self.level.use_premap:
+            # Optimization 2: one global PFN->MFN mapping at start-up.
+            self.mapping.map_all()
+            self.init_cost_ms += self.costs.premap_init_ms(self.nominal_frames)
+        if self.fidelity is CopyFidelity.FULL:
+            self._backup_image = bytearray(vm.memory.snapshot_bytes())
+            self._backup_state = copy.deepcopy(vm.state_dict())
+            self._backup_taken_at = vm.clock.now
+            # Initial full synchronization is a whole-VM copy.
+            self.init_cost_ms += self.costs.copy_ms(
+                vm.memory.frame_count, self.level, remote=self.remote
+            )
+        self.domain.dirty_bitmap.clear()
+        self.started = True
+
+    def stop(self):
+        self.domain.disable_log_dirty()
+        self.started = False
+
+    # -- the per-epoch pipeline -------------------------------------------------
+
+    def run_checkpoint(self, interval_ms, synthetic_dirty=0):
+        """Execute bitscan/map/copy for the ending epoch; stage the result.
+
+        The backup is *not* advanced yet: call :meth:`commit` once the
+        security audit passes, or :meth:`abort` (before a rollback) if it
+        fails. Returns a :class:`CheckpointReport` whose ``phase_ms`` has
+        ``bitscan``, ``map`` and ``copy`` entries; the caller adds the
+        suspend/vmi/resume phases it controls.
+        """
+        if not self.started:
+            raise CheckpointError("checkpointer not started")
+        if self._pending is not None:
+            raise CheckpointError(
+                "epoch %d is still staged; commit() or abort() it first"
+                % self.epoch
+            )
+        self.epoch += 1
+
+        dirty_pfns, stats = self.domain.dirty_bitmap.harvest(
+            self.level.use_wordscan
+        )
+        total_dirty = len(dirty_pfns) + synthetic_dirty
+
+        phase_ms = {
+            "bitscan": self.costs.bitscan_ms(
+                total_dirty, self.level, self.nominal_frames
+            ),
+            "map": self.costs.map_ms(total_dirty, self.level),
+            "copy": self.costs.copy_ms(total_dirty, self.level, remote=self.remote),
+        }
+
+        if not self.level.use_premap:
+            self.mapping.map_pages(dirty_pfns)
+        staged_pages = None
+        if self.fidelity is CopyFidelity.FULL:
+            memory = self.domain.vm.memory
+            staged_pages = [
+                (pfn, memory.read_frame(pfn)) for pfn in dirty_pfns
+            ]
+        if not self.level.use_premap:
+            self.mapping.unmap_pages(dirty_pfns)
+
+        self._pending = {
+            "pages": staged_pages,
+            "state": copy.deepcopy(self.domain.vm.state_dict())
+            if self.fidelity is CopyFidelity.FULL
+            else None,
+            "taken_at": self.domain.vm.clock.now,
+            "dirty": total_dirty,
+        }
+        self.total_pages_copied += len(dirty_pfns)
+        return CheckpointReport(
+            self.epoch, len(dirty_pfns), synthetic_dirty, phase_ms, stats
+        )
+
+    def commit(self):
+        """Advance the backup to the just-audited state (audit passed)."""
+        if self._pending is None:
+            raise CheckpointError("no staged checkpoint to commit")
+        pending, self._pending = self._pending, None
+        if self.fidelity is CopyFidelity.FULL:
+            for pfn, data in pending["pages"]:
+                start = pfn * PAGE_SIZE
+                self._backup_image[start : start + PAGE_SIZE] = data
+            self._backup_state = pending["state"]
+            self._backup_taken_at = pending["taken_at"]
+            if self.history.capacity:
+                self.history.record(
+                    Checkpoint(
+                        epoch=self.epoch,
+                        taken_at=pending["taken_at"],
+                        memory_image=bytes(self._backup_image),
+                        guest_state=copy.deepcopy(self._backup_state),
+                        dirty_pages=pending["dirty"],
+                        label="epoch-%d" % self.epoch,
+                    )
+                )
+
+    def abort(self):
+        """Drop the staged epoch (audit failed); backup stays clean."""
+        self._pending = None
+
+    # -- rollback and export -------------------------------------------------------
+
+    def backup_snapshot(self):
+        """The backup as a :class:`GuestSnapshot` (for dumps/forensics)."""
+        if self.fidelity is not CopyFidelity.FULL:
+            raise CheckpointError("no backup image in ACCOUNTING fidelity")
+        return GuestSnapshot(
+            memory_image=bytes(self._backup_image),
+            state=copy.deepcopy(self._backup_state),
+            taken_at=self._backup_taken_at,
+        )
+
+    def rollback(self):
+        """Restore the primary VM from the backup; returns the time cost."""
+        if self.fidelity is not CopyFidelity.FULL:
+            raise CheckpointError("cannot roll back in ACCOUNTING fidelity")
+        vm = self.domain.vm
+        # Count how many frames actually differ (that is what a real
+        # restore would copy; also what the cost model prices).
+        differing = 0
+        image = self._backup_image
+        for pfn in range(vm.memory.frame_count):
+            start = pfn * PAGE_SIZE
+            if vm.memory.read_frame(pfn) != bytes(image[start : start + PAGE_SIZE]):
+                differing += 1
+        vm.memory.load_bytes(bytes(image))
+        vm.load_state_dict(copy.deepcopy(self._backup_state))
+        self.domain.dirty_bitmap.clear()
+        self._pending = None
+        return self.costs.rollback_ms(differing)
+
+    @property
+    def backup_taken_at(self):
+        return self._backup_taken_at

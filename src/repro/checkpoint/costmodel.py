@@ -1,0 +1,166 @@
+"""Virtual-time cost model for checkpointing phases.
+
+Every constant is calibrated against a measurement in the paper; the
+comments name the source. Targets are *shapes*: the no-opt/full ratio, the
+phase mix (copy ≈70% of no-opt pause vs ≈5% of full), and the crossover
+behaviour across epoch intervals — not the authors' absolute hardware
+numbers.
+
+Reference points used for fitting:
+
+* Table 1 — no-opt web workloads @20 ms: suspend ≈1 ms, vmi ≈0.34 ms,
+  bitscan 1.8–2.8 ms, map 1.6–2.6 ms, copy 12.6–20 ms, resume 1.5–2 ms
+  at roughly 1.3k–2.1k dirty pages per epoch.
+* Figure 4 — swaptions @200 ms (≈2k dirty pages): no-opt total ≈29.9 ms
+  with copy ≈71%; full total ≈10.2 ms with copy ≈5%; bitscan 2.7 ms →
+  0.14 ms; memcpy-without-premap pays the map phase twice.
+* §5.2 — fluidanimate dirties ≈5× the pages of light benchmarks, driving
+  no-opt to ≈4.7× native.
+"""
+
+import enum
+
+
+class OptimizationLevel(enum.Enum):
+    """The four configurations compared throughout §5."""
+
+    NO_OPT = "no-opt"      # Remus pipeline + VMI scan, no CRIMES optimizations
+    MEMCPY = "memcpy"      # Optimization 1: local in-memory copy
+    PREMAP = "pre-map"     # Optimizations 1+2: + global PFN->MFN mapping
+    FULL = "full"          # Optimizations 1+2+3: + word-wise dirty scan
+
+    @property
+    def use_memcpy(self):
+        return self is not OptimizationLevel.NO_OPT
+
+    @property
+    def use_premap(self):
+        return self in (OptimizationLevel.PREMAP, OptimizationLevel.FULL)
+
+    @property
+    def use_wordscan(self):
+        return self is OptimizationLevel.FULL
+
+
+#: Frames of the paper's reference VM (1 GiB); the bitmap-scan fixed term
+#: scales with VM size (Figure 6b), independent of how much simulated RAM
+#: the guest actually has.
+NOMINAL_FRAME_COUNT = 262144
+
+
+class CheckpointCostModel:
+    """Milliseconds (or µs where noted) for each checkpoint phase."""
+
+    # Suspend/resume: hypercall + vCPU/device quiesce. Grows mildly with
+    # the epoch interval (more device state outstanding) and dirty volume.
+    SUSPEND_BASE_MS = 0.80
+    SUSPEND_PER_INTERVAL = 0.004      # ms per ms of epoch interval
+    SUSPEND_PER_KDIRTY_MS = 0.10      # ms per 1000 dirty pages
+    RESUME_BASE_MS = 1.10
+    RESUME_PER_INTERVAL = 0.010
+    RESUME_PER_KDIRTY_MS = 0.20
+
+    # Copy transports (Optimization 1). Remus pushes pages through
+    # writev+ssh even locally; CRIMES memcpys into the mapped backup.
+    SOCKET_COPY_BASE_MS = 1.00
+    SOCKET_COPY_PER_PAGE_US = 9.5
+    REMOTE_COPY_PER_PAGE_US = 24.0    # §4.1: remote backup is multi-fold worse
+    MEMCPY_BASE_MS = 0.30
+    MEMCPY_PER_PAGE_US = 0.22
+
+    # Mapping (Optimization 2). Per-epoch map+unmap of dirty pages versus
+    # one global mapping at start-up plus a small fixed refresh.
+    MAP_BASE_MS = 0.30
+    MAP_PER_PAGE_US = 0.90
+    PREMAP_EPOCH_MS = 3.90            # fixed cost with the global table
+    PREMAP_INIT_PER_PAGE_US = 1.20    # one-time start-up mapping
+
+    # Dirty-bitmap scan (Optimization 3). Bit-by-bit pays per *bit* of the
+    # whole VM; word scan pays per word plus per dirty bit found.
+    BITSCAN_PER_BIT_NS = 7.0
+    BITSCAN_PER_DIRTY_US = 0.35
+    WORDSCAN_PER_WORD_NS = 9.0
+    WORDSCAN_PER_DIRTY_US = 0.05
+
+    # Log-dirty tracking taxes the *running* VM: first store to each page
+    # per epoch takes a write-protection fault.
+    LOGDIRTY_FAULT_PER_PAGE_US = 0.7
+
+    # Rollback: restore dirty pages into the primary + reset state.
+    ROLLBACK_BASE_MS = 2.5
+    ROLLBACK_PER_PAGE_US = 0.25
+
+    # Writing a full checkpoint image to disk (Figure 8: "100+ sec" for
+    # large VMs) — charged only when checkpoints are exported.
+    DISK_WRITE_PER_GIB_S = 30.0
+
+    def __init__(self, **overrides):
+        for name, value in overrides.items():
+            if not hasattr(type(self), name):
+                raise TypeError("unknown checkpoint cost constant %r" % name)
+            setattr(self, name, value)
+
+    # -- per-phase costs -------------------------------------------------
+
+    def suspend_ms(self, dirty_pages, interval_ms):
+        return (
+            self.SUSPEND_BASE_MS
+            + self.SUSPEND_PER_INTERVAL * interval_ms
+            + self.SUSPEND_PER_KDIRTY_MS * dirty_pages / 1000.0
+        )
+
+    def resume_ms(self, dirty_pages, interval_ms):
+        return (
+            self.RESUME_BASE_MS
+            + self.RESUME_PER_INTERVAL * interval_ms
+            + self.RESUME_PER_KDIRTY_MS * dirty_pages / 1000.0
+        )
+
+    def bitscan_ms(self, dirty_pages, level, nominal_frames=NOMINAL_FRAME_COUNT):
+        if level.use_wordscan:
+            words = nominal_frames // 64
+            return (
+                words * self.WORDSCAN_PER_WORD_NS / 1e6
+                + dirty_pages * self.WORDSCAN_PER_DIRTY_US / 1e3
+            )
+        return (
+            nominal_frames * self.BITSCAN_PER_BIT_NS / 1e6
+            + dirty_pages * self.BITSCAN_PER_DIRTY_US / 1e3
+        )
+
+    def map_ms(self, dirty_pages, level):
+        if level.use_premap:
+            return self.PREMAP_EPOCH_MS
+        per_epoch = self.MAP_BASE_MS + dirty_pages * self.MAP_PER_PAGE_US / 1e3
+        if level.use_memcpy:
+            # Without the global table, the local-copy checkpointer must
+            # map both the primary's and the backup's pages each epoch.
+            return 2.0 * per_epoch
+        return per_epoch
+
+    def copy_ms(self, dirty_pages, level, remote=False):
+        if remote:
+            return (
+                self.SOCKET_COPY_BASE_MS
+                + dirty_pages * self.REMOTE_COPY_PER_PAGE_US / 1e3
+            )
+        if level.use_memcpy:
+            return self.MEMCPY_BASE_MS + dirty_pages * self.MEMCPY_PER_PAGE_US / 1e3
+        return (
+            self.SOCKET_COPY_BASE_MS
+            + dirty_pages * self.SOCKET_COPY_PER_PAGE_US / 1e3
+        )
+
+    def premap_init_ms(self, nominal_frames=NOMINAL_FRAME_COUNT):
+        return nominal_frames * self.PREMAP_INIT_PER_PAGE_US / 1e3
+
+    def logdirty_running_ms(self, dirty_pages):
+        """Running-time tax of log-dirty write-protection faults."""
+        return dirty_pages * self.LOGDIRTY_FAULT_PER_PAGE_US / 1e3
+
+    def rollback_ms(self, dirty_pages):
+        return self.ROLLBACK_BASE_MS + dirty_pages * self.ROLLBACK_PER_PAGE_US / 1e3
+
+    def disk_write_ms(self, image_bytes):
+        gib = image_bytes / float(1 << 30)
+        return gib * self.DISK_WRITE_PER_GIB_S * 1000.0

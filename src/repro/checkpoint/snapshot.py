@@ -1,0 +1,62 @@
+"""Checkpoint objects and the (optional) checkpoint history.
+
+The base system keeps exactly one backup — the most recent clean state —
+doubling the VM's memory cost, as the paper notes. §3.1 suggests a history
+of checkpoints as an extension to aid forensics; :class:`CheckpointHistory`
+implements that extension with a bounded ring.
+"""
+
+from collections import deque
+
+
+class Checkpoint:
+    """One immutable checkpoint: epoch metadata + full guest state."""
+
+    __slots__ = ("epoch", "taken_at", "memory_image", "guest_state",
+                 "dirty_pages", "label")
+
+    def __init__(self, epoch, taken_at, memory_image, guest_state,
+                 dirty_pages=0, label=""):
+        self.epoch = epoch
+        self.taken_at = taken_at
+        self.memory_image = memory_image
+        self.guest_state = guest_state
+        self.dirty_pages = dirty_pages
+        self.label = label
+
+    @property
+    def size_bytes(self):
+        return len(self.memory_image) if self.memory_image is not None else 0
+
+    def __repr__(self):
+        return "Checkpoint(epoch=%d, t=%.2fms, label=%r)" % (
+            self.epoch,
+            self.taken_at,
+            self.label,
+        )
+
+
+class CheckpointHistory:
+    """A bounded ring of past checkpoints (newest last)."""
+
+    def __init__(self, capacity=1):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._ring = deque(maxlen=capacity if capacity else None)
+        self.total_recorded = 0
+
+    def record(self, checkpoint):
+        if self.capacity == 0:
+            return
+        self._ring.append(checkpoint)
+        self.total_recorded += 1
+
+    def latest(self):
+        return self._ring[-1] if self._ring else None
+
+    def all(self):
+        return list(self._ring)
+
+    def __len__(self):
+        return len(self._ring)

@@ -1,0 +1,28 @@
+"""The CRIMES framework: speculative epochs + audits + response (§3).
+
+:class:`~repro.core.crimes.Crimes` ties every substrate together: it wraps
+a guest VM in a domain, installs the output buffer, runs the epoch loop
+(speculate → suspend → audit → checkpoint → commit/rollback), and hands
+critical findings to the Analyzer.
+"""
+
+from repro.core.adaptive import (
+    AdaptiveIntervalController,
+    attach_adaptive_interval,
+)
+from repro.core.async_scan import AsyncScanner, AsyncVerdict
+from repro.core.cloud import CloudHost
+from repro.core.config import CrimesConfig, SafetyMode
+from repro.core.crimes import Crimes, EpochRecord
+
+__all__ = [
+    "AdaptiveIntervalController",
+    "attach_adaptive_interval",
+    "AsyncScanner",
+    "AsyncVerdict",
+    "CloudHost",
+    "CrimesConfig",
+    "SafetyMode",
+    "Crimes",
+    "EpochRecord",
+]

@@ -1,0 +1,76 @@
+"""Adaptive epoch-interval control.
+
+§3.1 leaves the epoch interval as a hand-tuned, per-workload parameter:
+small for latency-sensitive guests, large for CPU/dirty-heavy ones. This
+controller closes the loop: it watches each committed epoch's pause and
+steers the interval so the *pause overhead ratio* (pause / interval)
+tracks a target, clamped to a tenant-set range.
+
+The controller is deliberately conservative — multiplicative nudges with
+a damping factor — because the pause is itself a function of the dirty
+set, which saturates with the interval (Figure 5): aggressive steps
+oscillate.
+"""
+
+from repro.errors import ConfigError
+
+
+class AdaptiveIntervalController:
+    """Steers the epoch interval toward a pause-overhead target."""
+
+    def __init__(self, target_overhead=0.10, min_interval_ms=10.0,
+                 max_interval_ms=400.0, gain=0.5, tolerance=0.15):
+        if not 0.0 < target_overhead < 1.0:
+            raise ConfigError("target_overhead must be in (0, 1)")
+        if min_interval_ms < 5.0 or max_interval_ms <= min_interval_ms:
+            raise ConfigError("need 5 <= min_interval < max_interval")
+        if not 0.0 < gain <= 1.0:
+            raise ConfigError("gain must be in (0, 1]")
+        self.target_overhead = target_overhead
+        self.min_interval_ms = min_interval_ms
+        self.max_interval_ms = max_interval_ms
+        self.gain = gain
+        self.tolerance = tolerance
+        self.adjustments = 0
+
+    def next_interval(self, current_interval_ms, pause_ms):
+        """Interval for the next epoch given the one just measured."""
+        if pause_ms <= 0:
+            return current_interval_ms
+        overhead = pause_ms / current_interval_ms
+        error = overhead / self.target_overhead
+        if abs(error - 1.0) <= self.tolerance:
+            return current_interval_ms
+        # Ideal interval if the pause stayed constant; damped by gain.
+        ideal = pause_ms / self.target_overhead
+        stepped = current_interval_ms + self.gain * (
+            ideal - current_interval_ms
+        )
+        clamped = min(max(stepped, self.min_interval_ms),
+                      self.max_interval_ms)
+        if clamped != current_interval_ms:
+            self.adjustments += 1
+        return clamped
+
+
+def attach_adaptive_interval(crimes, controller=None):
+    """Wire a controller into a framework via the epoch hook.
+
+    Returns the controller. The interval change takes effect from the
+    next epoch (it mutates ``crimes.config.epoch_interval_ms``, which the
+    loop reads at each epoch start). Security note: the audit *frequency*
+    changes with the interval, so the controller's ``max_interval_ms`` is
+    also the tenant's worst-case detection latency bound.
+    """
+    controller = (controller if controller is not None
+                  else AdaptiveIntervalController())
+
+    def adjust(record):
+        if not record.committed:
+            return
+        crimes.config.epoch_interval_ms = controller.next_interval(
+            record.interval_ms, record.pause_ms
+        )
+
+    crimes.on("epoch", adjust)
+    return controller

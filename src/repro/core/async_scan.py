@@ -1,0 +1,134 @@
+"""Asynchronous checkpoint scanning (the §5.3 future-work extension).
+
+Expensive analyses run against the *committed backup checkpoint* on a
+separate (modeled) core while the VM keeps executing epochs. The VM's
+pause time is untouched; in exchange the guarantee weakens from
+"zero-window" to a bounded detection lag:
+
+    lag = (time between the snapshot and the verdict)
+        = scan queueing + scan duration  (plus the epoch that produced
+          the evidence, if the attack landed mid-epoch)
+
+Outputs released while the scan was in flight have already escaped —
+exactly the Best-Effort-style trade the paper describes for expensive
+scanners like Volatility.
+"""
+
+from repro.detectors.base import DetectionResult, Severity
+from repro.forensics.dumps import MemoryDump
+
+
+class AsyncScanJob:
+    """One in-flight deep scan of a committed checkpoint."""
+
+    __slots__ = ("dump", "snapshot_epoch", "snapshot_time_ms", "started_at",
+                 "completes_at", "modules")
+
+    def __init__(self, dump, snapshot_epoch, snapshot_time_ms, started_at,
+                 completes_at, modules):
+        self.dump = dump
+        self.snapshot_epoch = snapshot_epoch
+        self.snapshot_time_ms = snapshot_time_ms
+        self.started_at = started_at
+        self.completes_at = completes_at
+        self.modules = modules
+
+    def __repr__(self):
+        return "AsyncScanJob(epoch=%d, completes_at=%.1fms)" % (
+            self.snapshot_epoch,
+            self.completes_at,
+        )
+
+
+class AsyncVerdict:
+    """The outcome of one completed deep scan."""
+
+    __slots__ = ("job", "findings", "verdict_time_ms")
+
+    def __init__(self, job, findings, verdict_time_ms):
+        self.job = job
+        self.findings = findings
+        self.verdict_time_ms = verdict_time_ms
+
+    @property
+    def attack_detected(self):
+        return any(f.severity is Severity.CRITICAL for f in self.findings)
+
+    @property
+    def detection_lag_ms(self):
+        """Time between the scanned snapshot and the verdict."""
+        return self.verdict_time_ms - self.job.snapshot_time_ms
+
+    def critical_findings(self):
+        return [f for f in self.findings if f.severity is Severity.CRITICAL]
+
+
+class AsyncScanner:
+    """Schedules deep scans over committed checkpoints.
+
+    One scan runs at a time (one dedicated scanning core, as Aftersight
+    dedicates a core — but here only *memory*, not a replaying CPU, is
+    consumed). While busy, newer checkpoints are skipped, not queued:
+    scanning the freshest committed state dominates scanning stale ones.
+    """
+
+    def __init__(self, clock):
+        self.clock = clock
+        self.modules = []
+        self._active_job = None
+        self._pending_snapshot = None
+        self.jobs_started = 0
+        self.snapshots_skipped = 0
+        self.verdicts = []
+
+    def install(self, module):
+        self.modules.append(module)
+        return module
+
+    @property
+    def busy(self):
+        return self._active_job is not None
+
+    def offer_snapshot(self, vm, snapshot, epoch):
+        """Offer a freshly committed checkpoint for deep scanning."""
+        if not self.modules:
+            return None
+        if self._active_job is not None:
+            self.snapshots_skipped += 1
+            return None
+        dump = MemoryDump.from_snapshot(vm, snapshot,
+                                        label="async-epoch-%d" % epoch)
+        total_cost = sum(module.cost_ms(dump) for module in self.modules)
+        job = AsyncScanJob(
+            dump=dump,
+            snapshot_epoch=epoch,
+            snapshot_time_ms=snapshot.taken_at,
+            started_at=self.clock.now,
+            completes_at=self.clock.now + total_cost,
+            modules=list(self.modules),
+        )
+        self._active_job = job
+        self.jobs_started += 1
+        return job
+
+    def poll(self):
+        """Return the finished scan's verdict once the clock passes it."""
+        job = self._active_job
+        if job is None or self.clock.now < job.completes_at:
+            return None
+        self._active_job = None
+        findings = []
+        for module in job.modules:
+            findings.extend(module.scan(job.dump) or [])
+        verdict = AsyncVerdict(job, findings, verdict_time_ms=self.clock.now)
+        self.verdicts.append(verdict)
+        return verdict
+
+    def as_detection_result(self, verdict):
+        """Adapt an async verdict to the Detector's result type."""
+        return DetectionResult(
+            verdict.findings,
+            cost_ms=0.0,  # paid off the VM's critical path
+            modules_run=[module.name for module in verdict.job.modules],
+            epoch=verdict.job.snapshot_epoch,
+        )

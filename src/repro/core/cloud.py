@@ -1,0 +1,156 @@
+"""Multi-tenant hosting: CRIMES as a cloud-provider service (§2).
+
+The paper's pitch is that the *provider* runs CRIMES under every tenant
+VM — "zero-touch", no in-guest agents, per-tenant security modules. A
+:class:`CloudHost` manages a fleet of independently clocked, CRIMES-
+protected tenants: admission, round-based driving, per-tenant incident
+isolation, and host-level capacity accounting (how many audit-seconds
+per wall-second the host's scanning cores must absorb, and the 2×
+memory cost of keeping every tenant's backup image).
+"""
+
+from repro.core.config import CrimesConfig
+from repro.core.crimes import Crimes
+from repro.errors import CrimesError
+
+
+class TenantRecord:
+    """One tenant's registration on the host."""
+
+    __slots__ = ("name", "crimes", "sla")
+
+    def __init__(self, name, crimes, sla):
+        self.name = name
+        self.crimes = crimes
+        self.sla = sla
+
+    @property
+    def suspended(self):
+        return self.crimes.suspended
+
+
+class CloudHost:
+    """A physical host running many CRIMES-protected tenant VMs.
+
+    Each tenant advances on its own virtual timeline (VMs occupy
+    different cores in a real host); the host aggregates security-side
+    load so a provider can size scanning capacity.
+    """
+
+    def __init__(self, name="host-0"):
+        self.name = name
+        self.tenants = {}
+        self.rounds_run = 0
+
+    # -- admission ----------------------------------------------------------
+
+    def admit(self, vm, config=None, modules=(), async_modules=(),
+              programs=(), sla="standard"):
+        """Bring a tenant VM under CRIMES protection; returns its Crimes."""
+        if vm.name in self.tenants:
+            raise CrimesError("tenant %r already admitted" % vm.name)
+        crimes = Crimes(vm, config if config is not None else CrimesConfig())
+        for module in modules:
+            crimes.install_module(module)
+        for module in async_modules:
+            crimes.install_async_module(module)
+        for program in programs:
+            crimes.add_program(program)
+        crimes.start()
+        self.tenants[vm.name] = TenantRecord(vm.name, crimes, sla)
+        return crimes
+
+    def evict(self, name):
+        record = self.tenants.pop(name, None)
+        if record is None:
+            raise CrimesError("no tenant named %r" % name)
+        return record
+
+    def tenant(self, name):
+        try:
+            return self.tenants[name].crimes
+        except KeyError:
+            raise CrimesError("no tenant named %r" % name) from None
+
+    # -- driving -------------------------------------------------------------
+
+    def active_tenants(self):
+        return [record for record in self.tenants.values()
+                if not record.suspended]
+
+    def run_round(self):
+        """Advance every non-suspended tenant by one epoch.
+
+        Returns ``{tenant_name: EpochRecord}``; tenants whose audit
+        failed are suspended individually — an incident on one tenant
+        never touches another (the isolation §2 argues hypervisor-level
+        placement buys).
+        """
+        records = {}
+        for record in self.active_tenants():
+            records[record.name] = record.crimes.run_epoch()
+        self.rounds_run += 1
+        return records
+
+    def run(self, rounds):
+        """Drive the fleet for ``rounds`` rounds; returns incident names."""
+        for _ in range(rounds):
+            if not self.active_tenants():
+                break
+            self.run_round()
+        return sorted(self.incidents())
+
+    # -- host-level accounting --------------------------------------------------
+
+    def incidents(self):
+        """Names of tenants currently suspended by a detection."""
+        return [name for name, record in self.tenants.items()
+                if record.suspended]
+
+    def incident_outcomes(self):
+        """Tenant -> AnalysisOutcome for auto-responded incidents."""
+        return {
+            name: record.crimes.last_outcome
+            for name, record in self.tenants.items()
+            if record.crimes.last_outcome is not None
+        }
+
+    def memory_overhead_bytes(self):
+        """Extra RAM the service costs: one backup image per tenant."""
+        return sum(
+            record.crimes.vm.memory.size for record in self.tenants.values()
+        )
+
+    def audit_seconds_per_wall_second(self):
+        """Aggregate scan-core demand across the fleet.
+
+        For each tenant: (mean audit cost) / (epoch interval + mean
+        pause) — the fraction of one scanning core that tenant consumes.
+        Summed over tenants, this tells the provider how many dedicated
+        scan cores the host needs (the economy-of-scale number).
+        """
+        demand = 0.0
+        for record in self.tenants.values():
+            crimes = record.crimes
+            breakdown = crimes.mean_phase_breakdown()
+            interval = crimes.config.epoch_interval_ms
+            cycle = interval + crimes.mean_pause_ms()
+            if cycle > 0:
+                demand += breakdown["vmi"] / cycle
+        return demand
+
+    def fleet_summary(self):
+        """One status row per tenant (provider dashboard material)."""
+        rows = []
+        for name, record in sorted(self.tenants.items()):
+            crimes = record.crimes
+            rows.append(
+                {
+                    "tenant": name,
+                    "sla": record.sla,
+                    "epochs": crimes.epochs_run,
+                    "mean_pause_ms": round(crimes.mean_pause_ms(), 2),
+                    "status": "SUSPENDED" if record.suspended else "running",
+                }
+            )
+        return rows

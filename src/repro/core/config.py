@@ -1,0 +1,107 @@
+"""Framework configuration.
+
+Epoch interval and safety mode are the two tenant-facing knobs the paper
+discusses at length (§3.1): latency-sensitive VMs run 10-20 ms epochs with
+Synchronous Safety (or Best Effort for throughput); CPU-bound VMs run
+~200 ms epochs to amortize checkpoint cost.
+"""
+
+import enum
+
+from repro.checkpoint.costmodel import NOMINAL_FRAME_COUNT, OptimizationLevel
+from repro.checkpoint.checkpointer import CopyFidelity
+from repro.errors import ConfigError
+from repro.netbuf.buffer import BufferMode
+
+
+class SafetyMode(enum.Enum):
+    """§3.1's two guarantees."""
+
+    SYNCHRONOUS = "synchronous"    # zero window of vulnerability
+    BEST_EFFORT = "best_effort"    # millisecond-level window, no buffering
+
+    @property
+    def buffer_mode(self):
+        if self is SafetyMode.SYNCHRONOUS:
+            return BufferMode.SYNCHRONOUS
+        return BufferMode.BEST_EFFORT
+
+
+class CrimesConfig:
+    """Validated bundle of framework knobs."""
+
+    def __init__(self, epoch_interval_ms=200.0,
+                 safety=SafetyMode.SYNCHRONOUS,
+                 optimization=OptimizationLevel.FULL,
+                 fidelity=CopyFidelity.FULL,
+                 remote_backup=False,
+                 scan_enabled=True,
+                 nominal_frames=NOMINAL_FRAME_COUNT,
+                 history_capacity=0,
+                 auto_respond=True,
+                 seed=0):
+        if epoch_interval_ms <= 0:
+            raise ConfigError("epoch interval must be positive")
+        if epoch_interval_ms < 5.0:
+            raise ConfigError(
+                "epoch intervals below 5 ms leave no time to run the VM "
+                "(the paper uses 10-200 ms)"
+            )
+        if not isinstance(safety, SafetyMode):
+            raise ConfigError("safety must be a SafetyMode")
+        if not isinstance(optimization, OptimizationLevel):
+            raise ConfigError("optimization must be an OptimizationLevel")
+        if not isinstance(fidelity, CopyFidelity):
+            raise ConfigError("fidelity must be a CopyFidelity")
+        if nominal_frames <= 0:
+            raise ConfigError("nominal_frames must be positive")
+        self.epoch_interval_ms = float(epoch_interval_ms)
+        self.safety = safety
+        self.optimization = optimization
+        self.fidelity = fidelity
+        self.remote_backup = remote_backup
+        self.scan_enabled = scan_enabled
+        self.nominal_frames = nominal_frames
+        self.history_capacity = history_capacity
+        self.auto_respond = auto_respond
+        self.seed = seed
+
+    def __repr__(self):
+        return (
+            "CrimesConfig(interval=%.0fms, safety=%s, optimization=%s)"
+            % (self.epoch_interval_ms, self.safety.value, self.optimization.value)
+        )
+
+    # -- (de)serialization for ops tooling ---------------------------------
+
+    def to_dict(self):
+        """Plain-data form (JSON/YAML friendly)."""
+        return {
+            "epoch_interval_ms": self.epoch_interval_ms,
+            "safety": self.safety.value,
+            "optimization": self.optimization.value,
+            "fidelity": self.fidelity.value,
+            "remote_backup": self.remote_backup,
+            "scan_enabled": self.scan_enabled,
+            "nominal_frames": self.nominal_frames,
+            "history_capacity": self.history_capacity,
+            "auto_respond": self.auto_respond,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Build (and validate) a config from a plain dict."""
+        data = dict(data)
+        unknown = set(data) - set(cls().to_dict())
+        if unknown:
+            raise ConfigError(
+                "unknown config keys: %s" % ", ".join(sorted(unknown))
+            )
+        if "safety" in data:
+            data["safety"] = SafetyMode(data["safety"])
+        if "optimization" in data:
+            data["optimization"] = OptimizationLevel(data["optimization"])
+        if "fidelity" in data:
+            data["fidelity"] = CopyFidelity(data["fidelity"])
+        return cls(**data)

@@ -1,0 +1,422 @@
+"""The CRIMES epoch loop.
+
+Each epoch (Figure 2):
+
+1. **Speculate** — the guest's programs run for the interval; device
+   outputs land in the hypervisor buffer; stores set dirty bits (and pay
+   the log-dirty fault tax).
+2. **Suspend** — the domain is paused.
+3. **Checkpoint pipeline** — bitscan / map / copy stage the epoch's dirty
+   pages (not yet committed to the backup).
+4. **Audit** — the Detector's modules introspect the paused VM, focused on
+   the dirtied pages.
+5. **Commit or respond** — on a clean audit the staged checkpoint becomes
+   the new backup, buffered outputs are released, and the VM resumes; on a
+   critical finding outputs are discarded and the Analyzer takes over.
+"""
+
+import copy
+
+from repro.analyzer.analyzer import Analyzer
+from repro.analyzer.timeline import AttackTimeline
+from repro.checkpoint.checkpointer import Checkpointer, CopyFidelity
+from repro.core.async_scan import AsyncScanner
+from repro.checkpoint.costmodel import CheckpointCostModel
+from repro.core.config import CrimesConfig
+from repro.detectors.base import Detector
+from repro.errors import CrimesError
+from repro.hypervisor.xen import Hypervisor
+from repro.log import get_logger
+from repro.netbuf.buffer import OutputBuffer
+from repro.vmi.libvmi import VMIInstance
+
+logger = get_logger("core")
+
+#: Canonical phase order of the paper's pause breakdown (Table 1 / Fig 4).
+PHASE_ORDER = ("suspend", "vmi", "bitscan", "map", "copy", "resume")
+
+
+class EpochRecord:
+    """Everything measured about one completed epoch."""
+
+    __slots__ = ("epoch", "start_ms", "interval_ms", "phase_ms", "dirty_pages",
+                 "real_dirty", "logdirty_tax_ms", "work_done_ms", "committed",
+                 "detection", "released_packets", "released_disk_writes",
+                 "async_verdict")
+
+    def __init__(self, **kwargs):
+        for name in self.__slots__:
+            setattr(self, name, kwargs.get(name))
+
+    @property
+    def pause_ms(self):
+        return sum(self.phase_ms.values())
+
+    def __repr__(self):
+        return "EpochRecord(epoch=%d, dirty=%d, pause=%.3fms, committed=%s)" % (
+            self.epoch, self.dirty_pages, self.pause_ms, self.committed,
+        )
+
+
+class Crimes:
+    """One protected VM under the CRIMES framework."""
+
+    def __init__(self, vm, config=None, hypervisor=None, cost_model=None):
+        self.config = config if config is not None else CrimesConfig()
+        self.hypervisor = (
+            hypervisor if hypervisor is not None else Hypervisor(clock=vm.clock)
+        )
+        self.clock = self.hypervisor.clock
+        self.vm = vm
+        self.domain = self.hypervisor.create_domain(vm)
+        self.costs = cost_model if cost_model is not None else CheckpointCostModel()
+
+        # Interpose the output buffer between the guest devices and the world.
+        self.external_sink = vm.output_sink
+        self.buffer = OutputBuffer(
+            self.external_sink, mode=self.config.safety.buffer_mode,
+            clock=self.clock,
+        )
+        vm.set_output_sink(self.buffer)
+
+        self.checkpointer = Checkpointer(
+            self.domain,
+            level=self.config.optimization,
+            cost_model=self.costs,
+            fidelity=self.config.fidelity,
+            remote=self.config.remote_backup,
+            nominal_frames=self.config.nominal_frames,
+            history_capacity=self.config.history_capacity,
+        )
+        self.vmi = VMIInstance(self.domain, seed=self.config.seed)
+        self.detector = Detector(self.vmi)
+        self.analyzer = Analyzer(
+            self.domain, self.checkpointer, self.vmi, seed=self.config.seed
+        )
+
+        self.programs = []
+        self._clean_program_states = []
+        self.records = []
+        self.started = False
+        self.suspended = False
+        self.epochs_run = 0
+        self.last_outcome = None
+        self.async_scanner = AsyncScanner(self.clock)
+        self.last_async_verdict = None
+        #: When True (honeypot mode), critical findings are logged as
+        #: observations instead of suspending the VM; outputs flow into
+        #: the quarantine sink the HoneypotSession installed.
+        self.honeypot_active = False
+        self._hooks = {"epoch": [], "attack": [], "async-verdict": []}
+
+    # -- setup --------------------------------------------------------------
+
+    def install_module(self, module):
+        """Install a Detector scan module."""
+        return self.detector.install(module)
+
+    def install_async_module(self, module):
+        """Install a deep scan module run asynchronously on checkpoints.
+
+        Asynchronous scans (§5.3's future-work extension) analyze the
+        committed backup on a separate modeled core: they add nothing to
+        the VM's pause time, but their verdicts lag the evidence and
+        outputs released in the meantime have already escaped. Requires
+        FULL copy fidelity (the backup image is the scan input).
+        """
+        if self.config.fidelity is not CopyFidelity.FULL:
+            raise CrimesError(
+                "asynchronous scanning needs a real backup image; "
+                "use CopyFidelity.FULL"
+            )
+        return self.async_scanner.install(module)
+
+    def add_program(self, program):
+        """Attach a guest program (workload or attack) to the epoch loop."""
+        program.bind(self.vm)
+        self.programs.append(program)
+        return program
+
+    def on(self, event, callback):
+        """Register a monitoring hook.
+
+        Events: ``"epoch"`` (every EpochRecord), ``"attack"`` (the failed
+        epoch's record), ``"async-verdict"`` (each completed deep scan).
+        Hook exceptions are logged, never propagated — monitoring must
+        not break protection.
+        """
+        if event not in self._hooks:
+            raise CrimesError(
+                "unknown hook %r (known: %s)"
+                % (event, ", ".join(sorted(self._hooks)))
+            )
+        self._hooks[event].append(callback)
+        return callback
+
+    def _emit(self, event, payload):
+        for callback in self._hooks[event]:
+            try:
+                callback(payload)
+            except Exception:  # noqa: BLE001 — isolate monitoring faults
+                logger.exception(
+                    "%s: %r hook raised; continuing", self.vm.name, event
+                )
+
+    def start(self):
+        if self.started:
+            raise CrimesError("framework already started")
+        self.checkpointer.start()
+        self.clock.advance(self.checkpointer.init_cost_ms)
+        self._snapshot_program_states()
+        self.started = True
+        logger.info(
+            "%s: protection started (%s; %d scan modules, %d programs)",
+            self.vm.name, self.config, len(self.detector.modules),
+            len(self.programs),
+        )
+
+    def _snapshot_program_states(self):
+        self._clean_program_states = [
+            copy.deepcopy(program.state_dict()) for program in self.programs
+        ]
+
+    # -- the epoch loop ----------------------------------------------------------
+
+    def run_epoch(self):
+        """Run one full epoch; returns its :class:`EpochRecord`.
+
+        If the audit fails and ``auto_respond`` is set, the Analyzer runs
+        before this method returns (see :attr:`last_outcome`); the
+        framework is then suspended and further epochs raise.
+        """
+        if not self.started:
+            raise CrimesError("call start() before run_epoch()")
+        if self.suspended:
+            raise CrimesError("VM is suspended after an attack; cannot continue")
+
+        interval = self.config.epoch_interval_ms
+        start_ms = self.clock.now
+
+        # 1. Speculative execution.
+        synthetic_dirty = 0
+        for program in self.programs:
+            report = program.step(start_ms, interval) or {}
+            synthetic_dirty += int(report.get("synthetic_dirty", 0))
+        self.clock.advance(interval)
+
+        # 2-3. Suspend + checkpoint pipeline.
+        self.domain.pause()
+        checkpoint = self.checkpointer.run_checkpoint(
+            interval, synthetic_dirty=synthetic_dirty
+        )
+        dirty_pages = checkpoint.dirty_pages
+        logdirty_tax = self.costs.logdirty_running_ms(dirty_pages)
+        phase_ms = {
+            "suspend": self.costs.suspend_ms(dirty_pages, interval),
+            "bitscan": checkpoint.phase_ms["bitscan"],
+            "map": checkpoint.phase_ms["map"],
+            "copy": checkpoint.phase_ms["copy"],
+        }
+
+        # 4. Audit.
+        detection = None
+        if self.config.scan_enabled:
+            detection = self.detector.scan(
+                dirty_pfns=set(self._last_dirty_pfns(checkpoint)),
+                output_buffer=self.buffer,
+                epoch=checkpoint.epoch,
+                now_ms=self.clock.now,
+            )
+            phase_ms["vmi"] = detection.cost_ms
+        else:
+            phase_ms["vmi"] = 0.0
+
+        attack = detection is not None and detection.attack_detected
+        if attack and self.honeypot_active:
+            # Observation mode: the attack proceeds against the honeypot;
+            # its outputs only ever reach the quarantine sink.
+            attack = False
+        self.epochs_run += 1
+
+        if attack:
+            # Charge the pause phases spent before the verdict. The staged
+            # checkpoint is dropped (the backup stays clean) and the
+            # attacked epoch's outputs are destroyed, never released.
+            self.clock.advance(sum(phase_ms.values()))
+            self.checkpointer.abort()
+            dropped_packets, dropped_writes = self.buffer.discard()
+            logger.warning(
+                "%s: AUDIT FAILED at epoch %d — %s; destroyed %d packet(s) "
+                "and %d disk write(s) from the attacked epoch",
+                self.vm.name, checkpoint.epoch,
+                "; ".join(f.summary for f in detection.critical_findings()),
+                dropped_packets, dropped_writes,
+            )
+            record = EpochRecord(
+                epoch=checkpoint.epoch, start_ms=start_ms, interval_ms=interval,
+                phase_ms=phase_ms, dirty_pages=dirty_pages,
+                real_dirty=checkpoint.real_dirty, logdirty_tax_ms=logdirty_tax,
+                work_done_ms=max(interval - logdirty_tax, 0.0), committed=False,
+                detection=detection, released_packets=0, released_disk_writes=0,
+            )
+            self.records.append(record)
+            self.suspended = True
+            self._emit("epoch", record)
+            self._emit("attack", record)
+            if self.config.auto_respond:
+                self.last_outcome = self.respond(detection, interval)
+            return record
+
+        # 5. Commit, release, resume.
+        phase_ms["resume"] = self.costs.resume_ms(dirty_pages, interval)
+        self.checkpointer.commit()
+        packets, disk_writes = self.buffer.commit()
+        self.domain.resume()
+        self.clock.advance(sum(phase_ms.values()))
+
+        record = EpochRecord(
+            epoch=checkpoint.epoch, start_ms=start_ms, interval_ms=interval,
+            phase_ms=phase_ms, dirty_pages=dirty_pages,
+            real_dirty=checkpoint.real_dirty, logdirty_tax_ms=logdirty_tax,
+            work_done_ms=max(interval - logdirty_tax, 0.0), committed=True,
+            detection=detection, released_packets=packets,
+            released_disk_writes=disk_writes,
+        )
+        self.records.append(record)
+        for program in self.programs:
+            program.on_epoch_end(record)
+        # Snapshot program state only after end-of-epoch bookkeeping, so a
+        # later rollback+replay restores the complete committed state.
+        self._snapshot_program_states()
+        record.async_verdict = self._drive_async_scanner(checkpoint.epoch)
+        self._emit("epoch", record)
+        if record.async_verdict is not None:
+            self._emit("async-verdict", record.async_verdict)
+        return record
+
+    def _drive_async_scanner(self, epoch):
+        """Collect any finished deep scan; start one on the new backup."""
+        if not self.async_scanner.modules:
+            return None
+        verdict = self.async_scanner.poll()
+        if verdict is not None and verdict.attack_detected:
+            # Weakened guarantee: the evidence epoch's outputs already
+            # escaped; all we can do now is stop the VM and report.
+            self.last_async_verdict = verdict
+            self.suspended = True
+            self.domain.suspend()
+            logger.warning(
+                "%s: ASYNC SCAN FAILED on checkpoint of epoch %d "
+                "(verdict lagged the evidence by %.1f ms) — %s",
+                self.vm.name, verdict.job.snapshot_epoch,
+                verdict.detection_lag_ms,
+                "; ".join(f.summary for f in verdict.critical_findings()),
+            )
+            return verdict
+        if self.async_scanner.busy:
+            # Don't copy a snapshot the scanner cannot take anyway.
+            self.async_scanner.snapshots_skipped += 1
+        else:
+            self.async_scanner.offer_snapshot(
+                self.vm, self.checkpointer.backup_snapshot(), epoch
+            )
+        return verdict
+
+    def _last_dirty_pfns(self, checkpoint_report):
+        # The bitmap was harvested inside run_checkpoint; recover the set
+        # from the staged pages (FULL) or report nothing (ACCOUNTING).
+        staged = self.checkpointer._pending
+        if staged and staged["pages"] is not None:
+            return [pfn for pfn, _data in staged["pages"]]
+        return []
+
+    def respond(self, detection, interval_ms):
+        """Hand the first critical finding to the Analyzer."""
+        finding = detection.critical_findings()[0]
+        module = None
+        for candidate in self.detector.modules:
+            if candidate.name == finding.module:
+                module = candidate
+                break
+        timeline = AttackTimeline(self.clock)
+        outcome = self.analyzer.respond(
+            finding, module,
+            programs=self.programs,
+            program_states=self._clean_program_states,
+            interval_ms=interval_ms,
+            timeline=timeline,
+        )
+        return outcome
+
+    # -- convenience drivers ---------------------------------------------------------
+
+    def run(self, max_epochs=None, until_ms=None):
+        """Run epochs until a bound is hit, programs finish, or an attack."""
+        while not self.suspended:
+            if max_epochs is not None and self.epochs_run >= max_epochs:
+                break
+            if until_ms is not None and self.clock.now >= until_ms:
+                break
+            if self.programs and all(p.finished for p in self.programs):
+                break
+            record = self.run_epoch()
+            if not record.committed:
+                break
+        return self.records
+
+    # -- summary metrics -----------------------------------------------------------------
+
+    def total_pause_ms(self):
+        return sum(record.pause_ms for record in self.records)
+
+    def mean_pause_ms(self):
+        committed = [r for r in self.records if r.committed]
+        if not committed:
+            return 0.0
+        return sum(r.pause_ms for r in committed) / len(committed)
+
+    def mean_phase_breakdown(self):
+        """Average per-phase cost across committed epochs (Table 1 rows)."""
+        committed = [r for r in self.records if r.committed]
+        if not committed:
+            return {phase: 0.0 for phase in PHASE_ORDER}
+        return {
+            phase: sum(r.phase_ms.get(phase, 0.0) for r in committed)
+            / len(committed)
+            for phase in PHASE_ORDER
+        }
+
+    def mean_dirty_pages(self):
+        committed = [r for r in self.records if r.committed]
+        if not committed:
+            return 0.0
+        return sum(r.dirty_pages for r in committed) / len(committed)
+
+    def metrics(self):
+        """One plain-data snapshot of operational metrics.
+
+        The monitoring surface an adopting provider would export: epoch
+        throughput, pause behaviour, audit cost, buffer statistics, and
+        incident state.
+        """
+        return {
+            "epochs_run": self.epochs_run,
+            "virtual_time_ms": self.clock.now,
+            "suspended": self.suspended,
+            "honeypot_active": self.honeypot_active,
+            "mean_pause_ms": self.mean_pause_ms(),
+            "mean_dirty_pages": self.mean_dirty_pages(),
+            "phase_breakdown_ms": self.mean_phase_breakdown(),
+            "scans_run": self.detector.scans_run,
+            "scan_cost_total_ms": self.detector.total_cost_ms,
+            "packets_released": self.buffer.committed_packets,
+            "packets_discarded": self.buffer.discarded_packets,
+            "disk_writes_released": self.buffer.committed_disk_writes,
+            "disk_writes_discarded": self.buffer.discarded_disk_writes,
+            "checkpoints_committed": self.checkpointer.epoch,
+            "pages_copied_total": self.checkpointer.total_pages_copied,
+            "async_jobs_started": self.async_scanner.jobs_started,
+            "async_snapshots_skipped": self.async_scanner.snapshots_skipped,
+            "backup_memory_bytes": self.vm.memory.size
+            if self.config.fidelity is CopyFidelity.FULL else 0,
+        }

@@ -1,0 +1,53 @@
+"""Security scan modules and the Detector orchestrator (§3.2, §4.2).
+
+Modules come in two flavours, as in the paper: *unaided* modules need no
+cooperation from the guest (malware blacklist, syscall-table integrity,
+kernel-module whitelist, outgoing-packet signatures); *guest-aided*
+modules rely on tripwires planted inside the VM (heap canaries).
+"""
+
+from repro.detectors.base import (
+    Detector,
+    DetectionResult,
+    Finding,
+    ScanContext,
+    ScanModule,
+    Severity,
+)
+from repro.detectors.canary import CanaryScanModule
+from repro.detectors.connections import ConnectionPolicyModule
+from repro.detectors.deep import (
+    DeepScanModule,
+    HiddenProcessDeepScan,
+    SignatureSweepModule,
+    SynchronousDeepAdapter,
+)
+from repro.detectors.malware import MalwareScanModule
+from repro.detectors.syscall_table import (
+    IdtTableModule,
+    SyscallTableModule,
+    TableIntegrityModule,
+)
+from repro.detectors.module_list import KernelModuleModule
+from repro.detectors.netsig import OutputSignatureModule
+
+__all__ = [
+    "Detector",
+    "DetectionResult",
+    "Finding",
+    "ScanContext",
+    "ScanModule",
+    "Severity",
+    "CanaryScanModule",
+    "ConnectionPolicyModule",
+    "DeepScanModule",
+    "HiddenProcessDeepScan",
+    "SignatureSweepModule",
+    "SynchronousDeepAdapter",
+    "MalwareScanModule",
+    "SyscallTableModule",
+    "IdtTableModule",
+    "TableIntegrityModule",
+    "KernelModuleModule",
+    "OutputSignatureModule",
+]

@@ -1,0 +1,149 @@
+"""Guest-aided memory-error detection via heap tripwires (§4.2, §5.5).
+
+The guest's malloc wrapper (``repro.guest.heap``) plants two kinds of
+evidence, both published through a per-process lookup table the
+hypervisor can read:
+
+* an 8-byte random canary after every live object — a linear overflow
+  clobbers it (the paper's buffer-overflow module);
+* a DoubleTake-style poison fill over every freed object — a write
+  through a dangling pointer disturbs it (use-after-free detection,
+  from the DoubleTake lineage the paper builds on).
+
+At the end of each epoch this module validates the tripwires whose pages
+were dirtied during the epoch — the dirty-page filter is what makes the
+scan cheap (§5.5: ≈90,000 canaries validated per millisecond).
+"""
+
+from repro.detectors.base import Finding, ScanModule, Severity
+from repro.errors import IntrospectionError
+from repro.guest.heap import FREED_FILL_BYTE, KIND_CANARY, KIND_FREED
+from repro.guest.memory import PAGE_SIZE
+
+
+class CanaryScanModule(ScanModule):
+    """Validate heap/stack canaries and freed-region poison fills."""
+
+    name = "canary"
+    guest_aided = True
+
+    def __init__(self, scan_all_pages=False, check_freed=True):
+        #: When True, ignore the dirty filter and validate everything
+        #: (used by tests and by replay-time verification).
+        self.scan_all_pages = scan_all_pages
+        #: Use-after-free checking can be disabled to measure its cost.
+        self.check_freed = check_freed
+        self.canaries_checked = 0
+        self.freed_regions_checked = 0
+
+    def scan(self, context):
+        vmi = context.vmi
+        findings = []
+        try:
+            directory = vmi.canary_directory()
+        except IntrospectionError:
+            return findings
+        for pid, table_va in directory:
+            try:
+                table = vmi.read_canary_table(pid, table_va)
+            except IntrospectionError:
+                findings.append(
+                    Finding(
+                        self.name,
+                        "table-corrupt",
+                        Severity.CRITICAL,
+                        "canary table of pid %d unreadable or corrupt" % pid,
+                        {"pid": pid, "table_va": table_va},
+                    )
+                )
+                continue
+            expected = table["canary"]
+            for addr, size, kind in table["entries"]:
+                if kind == KIND_CANARY:
+                    finding = self._check_canary(
+                        context, pid, addr, size, expected
+                    )
+                elif kind == KIND_FREED and self.check_freed:
+                    finding = self._check_freed(context, pid, addr, size)
+                else:
+                    finding = None
+                if finding is not None:
+                    findings.append(finding)
+        return findings
+
+    # -- live-object canaries ----------------------------------------------
+
+    def _check_canary(self, context, pid, addr, size, expected):
+        vmi = context.vmi
+        try:
+            canary_pa = vmi.translate(addr + size, pid=pid)
+        except IntrospectionError:
+            return None
+        if not self.scan_all_pages and not context.page_is_dirty(
+            canary_pa // PAGE_SIZE
+        ):
+            return None
+        value = vmi.read_canary_value(pid, addr, size)
+        self.canaries_checked += 1
+        if value == expected:
+            return None
+        return Finding(
+            self.name,
+            "buffer-overflow",
+            Severity.CRITICAL,
+            "canary after object 0x%x (pid %d) clobbered: %016x != %016x"
+            % (addr, pid, value, expected),
+            {
+                "pid": pid,
+                "object_addr": addr,
+                "object_size": size,
+                "canary_va": addr + size,
+                "canary_pa": canary_pa,
+                "expected": expected,
+                "observed": value,
+            },
+        )
+
+    # -- freed-region poison fills -------------------------------------------
+
+    def _check_freed(self, context, pid, addr, size):
+        vmi = context.vmi
+        try:
+            region_pa = vmi.translate(addr, pid=pid)
+        except IntrospectionError:
+            return None
+        if not self.scan_all_pages:
+            # Skip unless some page of the region was dirtied this epoch.
+            first = region_pa // PAGE_SIZE
+            last = (region_pa + size - 1) // PAGE_SIZE
+            if not any(context.page_is_dirty(pfn)
+                       for pfn in range(first, last + 1)):
+                return None
+        data = vmi.read_freed_region(pid, addr, size)
+        self.freed_regions_checked += 1
+        for offset, value in enumerate(data):
+            if value != FREED_FILL_BYTE:
+                return Finding(
+                    self.name,
+                    "use-after-free",
+                    Severity.CRITICAL,
+                    "freed object 0x%x (pid %d) written after free: "
+                    "offset %d holds 0x%02x"
+                    % (addr, pid, offset, value),
+                    {
+                        "pid": pid,
+                        "object_addr": addr,
+                        "object_size": size,
+                        "write_offset": offset,
+                        "observed_byte": value,
+                        "canary_pa": region_pa + offset,
+                        "expected": None,
+                    },
+                )
+        return None
+
+    def replay_targets(self, finding):
+        """Physical address to write-trap when replaying this finding."""
+        if finding.kind not in ("buffer-overflow", "use-after-free"):
+            return []
+        return [finding.details["canary_pa"]]

@@ -1,0 +1,55 @@
+"""Connection-policy scan (unaided).
+
+Flags TCP endpoints whose remote peer is outside the tenant's allowlist —
+a command-and-control beacon shows up as kernel socket state regardless
+of how the malware itself hides. Works on both guest OSes through the
+live socket view (Linux socket list / Windows pool scan).
+"""
+
+import ipaddress
+
+from repro.detectors.base import Finding, ScanModule, Severity
+from repro.guest.net import TCP_CLOSED
+
+
+class ConnectionPolicyModule(ScanModule):
+    """Flag connections to remote networks outside the allowlist."""
+
+    name = "connection-policy"
+    guest_aided = False
+
+    def __init__(self, allowed_networks=("10.0.0.0/8", "192.168.0.0/16",
+                                         "127.0.0.0/8")):
+        self.allowed = [ipaddress.ip_network(network)
+                        for network in allowed_networks]
+
+    def _permitted(self, remote_ip):
+        address = ipaddress.ip_address(remote_ip)
+        return any(address in network for network in self.allowed)
+
+    def scan(self, context):
+        findings = []
+        for socket in context.vmi.list_sockets():
+            if socket.state == TCP_CLOSED:
+                continue
+            remote_ip, remote_port = socket.remote
+            if self._permitted(remote_ip):
+                continue
+            findings.append(
+                Finding(
+                    self.name,
+                    "unauthorized-connection",
+                    Severity.CRITICAL,
+                    "pid %d holds a %s connection to %s:%d outside the "
+                    "allowlist"
+                    % (socket.owner_pid, socket.state_name, remote_ip,
+                       remote_port),
+                    {
+                        "pid": socket.owner_pid,
+                        "remote": "%s:%d" % (remote_ip, remote_port),
+                        "local": "%s:%d" % socket.local,
+                        "state": socket.state_name,
+                    },
+                )
+            )
+        return findings

@@ -1,0 +1,44 @@
+"""Kernel-module whitelist scan (unaided).
+
+Rootkits commonly load themselves as kernel modules. This module records
+the set of modules present at install time and flags anything that appears
+later — a simple instance of the paper's "anomalous data in well known
+kernel data structures" scans.
+"""
+
+from repro.detectors.base import Finding, ScanModule, Severity
+
+
+class KernelModuleModule(ScanModule):
+    """Flag kernel modules loaded after the baseline was captured."""
+
+    name = "kernel-modules"
+    guest_aided = False
+
+    def __init__(self, extra_whitelist=()):
+        self._whitelist = set(extra_whitelist)
+
+    def setup(self, vmi):
+        self._whitelist.update(
+            module.name for module in vmi.list_modules()
+        )
+
+    def scan(self, context):
+        findings = []
+        for module in context.vmi.list_modules():
+            if module.name not in self._whitelist:
+                findings.append(
+                    Finding(
+                        self.name,
+                        "unknown-module",
+                        Severity.CRITICAL,
+                        "unknown kernel module %r loaded at 0x%x"
+                        % (module.name, module.base),
+                        {
+                            "module": module.name,
+                            "base": module.base,
+                            "size": module.size,
+                        },
+                    )
+                )
+        return findings

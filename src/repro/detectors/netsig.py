@@ -1,0 +1,60 @@
+"""Outgoing-packet signature scan (unaided; §3.2: "a security module could
+focus on the outputs of the VM, e.g., scanning outgoing network packets
+for suspicious content").
+
+Because CRIMES buffers all outputs during an epoch, this module can audit
+the *entire* epoch's traffic before any byte leaves the host — a scanner
+placement no in-guest tool can match.
+"""
+
+import re
+
+from repro.detectors.base import Finding, ScanModule, Severity
+
+#: Default signatures: exfiltration markers and card-number-shaped data.
+DEFAULT_SIGNATURES = (
+    ("exfil-marker", re.compile(rb"EXFIL|BEGIN_DUMP")),
+    ("card-number", re.compile(rb"\b(?:\d[ -]?){15}\d\b")),
+    ("private-key", re.compile(rb"-----BEGIN (?:RSA )?PRIVATE KEY-----")),
+)
+
+
+class OutputSignatureModule(ScanModule):
+    """Scan the epoch's buffered outgoing packets for signatures."""
+
+    name = "output-signatures"
+    guest_aided = False
+
+    #: Virtual µs to scan one payload byte.
+    PER_BYTE_US = 0.002
+
+    def __init__(self, signatures=None):
+        self.signatures = tuple(signatures or DEFAULT_SIGNATURES)
+
+    def scan(self, context):
+        if context.output_buffer is None:
+            return []
+        findings = []
+        scanned_bytes = 0
+        for packet in context.output_buffer.peek_packets():
+            scanned_bytes += len(packet.payload)
+            for label, pattern in self.signatures:
+                match = pattern.search(packet.payload)
+                if match:
+                    findings.append(
+                        Finding(
+                            self.name,
+                            "suspicious-output",
+                            Severity.CRITICAL,
+                            "outgoing packet to %s matches signature %r"
+                            % (packet.dst, label),
+                            {
+                                "dst": packet.dst,
+                                "signature": label,
+                                "excerpt": match.group(0)[:64],
+                            },
+                        )
+                    )
+                    break
+        context.vmi._charge_us(self.PER_BYTE_US * scanned_bytes)
+        return findings

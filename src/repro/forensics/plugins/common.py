@@ -1,0 +1,62 @@
+"""OS-agnostic forensics plugins."""
+
+import re
+
+from repro.forensics.volatility import plugin
+
+
+@plugin("yarascan", pool_scan=True)
+def yarascan(dump, pattern, context_bytes=32):
+    """Regex sweep over the whole physical image (Volatility's yarascan).
+
+    ``pattern`` is a bytes regex (or a compiled one). Returns one row per
+    match with the physical offset and surrounding context.
+    """
+    if isinstance(pattern, (bytes, str)):
+        if isinstance(pattern, str):
+            pattern = pattern.encode("utf-8")
+        pattern = re.compile(pattern)
+    rows = []
+    for match in pattern.finditer(dump.image):
+        start = match.start()
+        rows.append(
+            {
+                "paddr": start,
+                "match": match.group(0)[:64],
+                "context": dump.image[
+                    max(start - context_bytes, 0) : start + context_bytes
+                ],
+            }
+        )
+        if len(rows) >= 1000:
+            break  # cap runaway patterns
+    return rows
+
+
+@plugin("memdiff", pool_scan=True)
+def memdiff(dump, against, granularity=4096):
+    """Page-granular diff of two images (the §3.3 'determine the
+    differences between the two dumps' primitive).
+
+    ``against`` is another MemoryDump of the same size. Returns one row
+    per differing page.
+    """
+    if against.size != dump.size:
+        from repro.errors import ForensicsError
+
+        raise ForensicsError("memdiff requires same-size images")
+    rows = []
+    for offset in range(0, dump.size, granularity):
+        a = dump.image[offset : offset + granularity]
+        b = against.image[offset : offset + granularity]
+        if a != b:
+            first = next(index for index in range(len(a))
+                         if a[index] != b[index])
+            rows.append(
+                {
+                    "paddr": offset,
+                    "first_difference": offset + first,
+                    "pfn": offset // granularity,
+                }
+            )
+    return rows

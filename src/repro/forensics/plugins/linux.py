@@ -1,0 +1,336 @@
+"""Linux forensics plugins (the §5.5 buffer-overflow case-study battery)."""
+
+import struct
+
+from repro.errors import ForensicsError
+from repro.forensics.volatility import plugin
+from repro.guest.layout import cstring
+from repro.guest.linux import (
+    KMEM_CACHE,
+    MM_STRUCT,
+    MODULE,
+    SYSCALL_COUNT,
+    TASK_MAGIC,
+    TASK_STRUCT,
+    VM_AREA,
+)
+from repro.guest.memory import PAGE_SIZE
+from repro.guest.pagetable import kernel_pa, kernel_va
+
+_MAX_PID = 1 << 20
+
+
+def _require_linux(dump):
+    if dump.os_name != "linux":
+        raise ForensicsError("plugin requires a Linux memory dump")
+
+
+def _task_row(record, source_va):
+    return {
+        "pid": record["pid"],
+        "uid": record["uid"],
+        "name": cstring(record["comm"]),
+        "state": record["state"],
+        "start_time": record["start_time"],
+        "task_va": source_va,
+        "in_use": bool(record["flags"] & 0x1),
+    }
+
+
+@plugin("linux_pslist")
+def linux_pslist(dump):
+    """Walk init_task's circular task list."""
+    _require_linux(dump)
+    head_va = dump.lookup_symbol("init_task")
+    rows = []
+    current = head_va
+    seen = set()
+    while True:
+        if current in seen:
+            raise ForensicsError("corrupt task list in dump")
+        seen.add(current)
+        record = TASK_STRUCT.decode(dump.read(kernel_pa(current), TASK_STRUCT.size))
+        rows.append(_task_row(record, current))
+        current = record["tasks_next"]
+        if current == head_va:
+            return rows
+        if current == 0:
+            raise ForensicsError("task list broken: NULL tasks_next")
+
+
+@plugin("linux_psscan", pool_scan=True)
+def linux_psscan(dump):
+    """Sweep the task_struct slab for TASK magics (finds ghosts)."""
+    _require_linux(dump)
+    cache_va = dump.lookup_symbol("kmem_cache_task")
+    cache = KMEM_CACHE.decode(dump.read(kernel_pa(cache_va), KMEM_CACHE.size))
+    base = kernel_pa(cache["base"])
+    rows = []
+    for slot in range(cache["slot_count"]):
+        slot_pa = base + slot * cache["slot_size"]
+        magic = struct.unpack("<I", dump.read(slot_pa, 4))[0]
+        if magic != TASK_MAGIC:
+            continue
+        record = TASK_STRUCT.decode(dump.read(slot_pa, TASK_STRUCT.size))
+        if record["pid"] < _MAX_PID:
+            rows.append(_task_row(record, kernel_va(slot_pa)))
+    return rows
+
+
+@plugin("linux_pidhashtable")
+def linux_pidhashtable(dump):
+    """Walk every pid-hash chain (second live view)."""
+    _require_linux(dump)
+    hash_pa = kernel_pa(dump.lookup_symbol("pid_hash"))
+    rows = []
+    for bucket in range(64):
+        current = struct.unpack("<Q", dump.read(hash_pa + bucket * 8, 8))[0]
+        hops = 0
+        while current:
+            record = TASK_STRUCT.decode(
+                dump.read(kernel_pa(current), TASK_STRUCT.size)
+            )
+            rows.append(_task_row(record, current))
+            current = record["pid_chain"]
+            hops += 1
+            if hops > 65536:
+                raise ForensicsError("pid hash chain does not terminate")
+    return rows
+
+
+@plugin("linux_psxview", pool_scan=True)
+def linux_psxview(dump):
+    """Cross-view: pslist × pid_hash × slab scan.
+
+    A task present in kmem_cache/pid_hash but missing from pslist is the
+    classic signature of rootkit process hiding (§4.2 Memory Forensics).
+    """
+    listed = {row["task_va"] for row in linux_pslist(dump)}
+    hashed = {row["task_va"] for row in linux_pidhashtable(dump)}
+    rows = []
+    for row in linux_psscan(dump):
+        task_va = row["task_va"]
+        in_pslist = task_va in listed
+        in_pid_hash = task_va in hashed
+        rows.append(
+            {
+                **row,
+                "in_pslist": in_pslist,
+                "in_pid_hash": in_pid_hash,
+                "in_kmem_cache": True,
+                "suspicious": row["in_use"] and not in_pslist,
+            }
+        )
+    return rows
+
+
+@plugin("linux_lsmod")
+def linux_lsmod(dump):
+    """Walk the kernel module list."""
+    _require_linux(dump)
+    head_pa = kernel_pa(dump.lookup_symbol("modules"))
+    current = struct.unpack("<Q", dump.read(head_pa, 8))[0]
+    rows = []
+    while current:
+        record = MODULE.decode(dump.read(kernel_pa(current), MODULE.size))
+        rows.append(
+            {
+                "name": cstring(record["name"]),
+                "base": record["base"],
+                "size": record["size"],
+            }
+        )
+        current = record["next"]
+        if len(rows) > 65536:
+            raise ForensicsError("module list does not terminate")
+    return rows
+
+
+@plugin("linux_check_syscall")
+def linux_check_syscall(dump, reference=None):
+    """Report syscall-table entries (flagging mismatches vs a reference)."""
+    _require_linux(dump)
+    table_pa = kernel_pa(dump.lookup_symbol("sys_call_table"))
+    raw = dump.read(table_pa, SYSCALL_COUNT * 8)
+    entries = struct.unpack("<%dQ" % SYSCALL_COUNT, raw)
+    rows = []
+    for index, address in enumerate(entries):
+        row = {"index": index, "address": address}
+        if reference is not None:
+            row["hijacked"] = address != reference[index]
+        rows.append(row)
+    return rows
+
+
+@plugin("linux_proc_maps")
+def linux_proc_maps(dump, pid):
+    """List a process's memory regions (VMAs) from its mm_struct."""
+    _require_linux(dump)
+    for row in linux_pslist(dump):
+        if row["pid"] != pid:
+            continue
+        record = TASK_STRUCT.decode(
+            dump.read(kernel_pa(row["task_va"]), TASK_STRUCT.size)
+        )
+        if record["mm"] == 0:
+            return []
+        mm = MM_STRUCT.decode(dump.read(kernel_pa(record["mm"]), MM_STRUCT.size))
+        vma_pa = kernel_pa(mm["vma_array"])
+        rows = []
+        for index in range(mm["vma_count"]):
+            vma = VM_AREA.decode(
+                dump.read(vma_pa + index * VM_AREA.size, VM_AREA.size)
+            )
+            rows.append(
+                {
+                    "pid": pid,
+                    "start": vma["start"],
+                    "end": vma["end"],
+                    "flags": vma["flags"],
+                    "name": cstring(vma["name"]),
+                }
+            )
+        return rows
+    raise ForensicsError("linux_proc_maps: no process with pid %d" % pid)
+
+
+@plugin("linux_lsof")
+def linux_lsof(dump, pid=None):
+    """Walk the kernel's open-file chain (optionally filtered by pid)."""
+    _require_linux(dump)
+    from repro.guest.linux import FILE_MAGIC, FILE_OBJECT
+
+    head_pa = kernel_pa(dump.lookup_symbol("file_table"))
+    current = struct.unpack("<Q", dump.read(head_pa, 8))[0]
+    rows = []
+    hops = 0
+    while current:
+        record = FILE_OBJECT.decode(
+            dump.read(kernel_pa(current), FILE_OBJECT.size)
+        )
+        if record["magic"] != FILE_MAGIC:
+            raise ForensicsError("corrupt file object at 0x%x" % current)
+        if pid is None or record["pid"] == pid:
+            rows.append(
+                {
+                    "pid": record["pid"],
+                    "path": cstring(record["path"]),
+                    "file_va": current,
+                }
+            )
+        current = record["next"]
+        hops += 1
+        if hops > 65536:
+            raise ForensicsError("file table does not terminate")
+    return rows
+
+
+@plugin("linux_netstat")
+def linux_netstat(dump):
+    """Walk the kernel's TCP socket list."""
+    _require_linux(dump)
+    from repro.guest.linux import SOCKET, SOCKET_MAGIC
+    from repro.guest.net import TCP_STATE_NAMES, bytes_to_ip
+
+    head_pa = kernel_pa(dump.lookup_symbol("tcp_sockets"))
+    current = struct.unpack("<Q", dump.read(head_pa, 8))[0]
+    rows = []
+    while current:
+        record = SOCKET.decode(dump.read(kernel_pa(current), SOCKET.size))
+        if record["magic"] != SOCKET_MAGIC:
+            raise ForensicsError("corrupt socket object at 0x%x" % current)
+        rows.append(
+            {
+                "protocol": "TCPv4",
+                "owner_pid": record["pid"],
+                "local": "%s:%d" % (bytes_to_ip(record["local_ip"]),
+                                    record["local_port"]),
+                "remote": "%s:%d" % (bytes_to_ip(record["remote_ip"]),
+                                     record["remote_port"]),
+                "state": TCP_STATE_NAMES.get(
+                    record["state"], "UNKNOWN(%d)" % record["state"]
+                ),
+            }
+        )
+        current = record["next"]
+        if len(rows) > 65536:
+            raise ForensicsError("socket list does not terminate")
+    return rows
+
+
+#: Injected-payload signatures linux_malfind sweeps process memory for.
+MALFIND_SIGNATURES = (
+    ("meterpreter", b"METERPRETER_STAGE2"),
+    ("shellcode-nop-sled", b"\x90" * 32),
+    ("eicar", b"X5O!P%@AP[4\\PZX54(P^)7CC)7}$EICAR"),
+)
+
+
+@plugin("linux_malfind", pool_scan=True)
+def linux_malfind(dump, signatures=None):
+    """Sweep every process's mapped regions for injected-payload patterns.
+
+    The Volatility plugin of the same name hunts for suspicious
+    executable mappings; here the per-region byte sweep plays that role
+    over the simulated address spaces.
+    """
+    _require_linux(dump)
+    chosen = tuple(signatures or MALFIND_SIGNATURES)
+    rows = []
+    for row in linux_pslist(dump):
+        pid = row["pid"]
+        if pid == 0:
+            continue
+        try:
+            regions = linux_proc_maps(dump, pid)
+        except ForensicsError:
+            continue
+        for vma in regions:
+            length = vma["end"] - vma["start"]
+            data = dump.read_va(vma["start"], length, pid=pid)
+            for label, needle in chosen:
+                offset = data.find(needle)
+                if offset != -1:
+                    rows.append(
+                        {
+                            "pid": pid,
+                            "process": row["name"],
+                            "region": vma["name"],
+                            "vaddr": vma["start"] + offset,
+                            "signature": label,
+                        }
+                    )
+    return rows
+
+
+@plugin("linux_dump_map")
+def linux_dump_map(dump, pid, region=None):
+    """Extract the bytes of a process's memory regions (§5.5's 5-second
+    per-process dump that analysts inspect for the attack's root cause)."""
+    _require_linux(dump)
+    rows = []
+    for vma in linux_proc_maps(dump, pid):
+        name = vma["name"].strip("[]")
+        if region is not None and name != region:
+            continue
+        length = vma["end"] - vma["start"]
+        data = bytearray()
+        cursor = vma["start"]
+        while cursor < vma["end"]:
+            chunk = min(PAGE_SIZE - cursor % PAGE_SIZE, vma["end"] - cursor)
+            data.extend(dump.read_va(cursor, chunk, pid=pid))
+            cursor += chunk
+        rows.append(
+            {
+                "pid": pid,
+                "region": name,
+                "start": vma["start"],
+                "length": length,
+                "data": bytes(data),
+            }
+        )
+    if region is not None and not rows:
+        raise ForensicsError(
+            "linux_dump_map: pid %d has no region %r" % (pid, region)
+        )
+    return rows

@@ -1,0 +1,72 @@
+"""The Volatility-style framework: plugin registry + cost accounting.
+
+Plugins are functions ``plugin(dump, **options) -> list[dict]`` registered
+under their Volatility-like names (``pslist``, ``psscan``, ``netscan``,
+``linux_psxview``, ...). The framework charges virtual time per §5.3's
+measurements: ≈2.5 s one-time initialization, ≈500 ms per scan — far too
+slow for every epoch, which is exactly why CRIMES uses LibVMI for the hot
+path and Volatility only post-detection.
+"""
+
+from repro.errors import ForensicsError
+from repro.sim.rng import SeededStream
+
+#: One-time framework initialization (profile load, image parse).
+INIT_MS = 2500.0
+#: Baseline cost of one plugin run.
+PLUGIN_RUN_MS = 500.0
+#: Extra cost per MiB of image swept by pool-scanning plugins.
+POOL_SCAN_PER_MIB_MS = 12.0
+
+_REGISTRY = {}
+
+
+def plugin(name, pool_scan=False):
+    """Register a forensics plugin under its Volatility name."""
+
+    def decorator(func):
+        func.plugin_name = name
+        func.pool_scan = pool_scan
+        _REGISTRY[name] = func
+        return func
+
+    return decorator
+
+
+def registered_plugins():
+    return sorted(_REGISTRY)
+
+
+class VolatilityFramework:
+    """Runs registered plugins over memory dumps, charging virtual time."""
+
+    def __init__(self, seed=0):
+        self._jitter = SeededStream(seed, "volatility")
+        self._cost_ms = INIT_MS
+        self.init_cost_ms = INIT_MS
+        self.runs = 0
+
+    def take_cost_ms(self):
+        cost, self._cost_ms = self._cost_ms, 0.0
+        return cost
+
+    def run(self, plugin_name, dump, **options):
+        """Run one plugin against a dump; returns its row list."""
+        func = _REGISTRY.get(plugin_name)
+        if func is None:
+            raise ForensicsError(
+                "unknown plugin %r (known: %s)"
+                % (plugin_name, ", ".join(registered_plugins()))
+            )
+        cost = PLUGIN_RUN_MS
+        if func.pool_scan:
+            cost += POOL_SCAN_PER_MIB_MS * (dump.size / float(1 << 20))
+        self._cost_ms += self._jitter.jitter(cost, 0.05)
+        self.runs += 1
+        return func(dump, **options)
+
+
+# Importing the plugin modules populates the registry.
+from repro.forensics.plugins import common as _common_plugins  # noqa: E402,F401
+from repro.forensics.plugins import linux as _linux_plugins  # noqa: E402,F401
+from repro.forensics.plugins import windows as _windows_plugins  # noqa: E402,F401

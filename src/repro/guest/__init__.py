@@ -1,0 +1,28 @@
+"""Simulated guest machines.
+
+A guest is real bytes in a simulated physical memory: kernel data structures
+(task lists, syscall tables, slab caches, EPROCESS chains, handle tables)
+are serialized into RAM with a System.map-style symbol table, and user
+processes allocate from a canary-placing heap. Introspection (``repro.vmi``)
+and forensics (``repro.forensics``) parse those same bytes from outside the
+guest, exactly as LibVMI and Volatility do against a real VM.
+"""
+
+from repro.guest.memory import PAGE_SIZE, PhysicalMemory
+from repro.guest.layout import StructDef
+from repro.guest.pagetable import PageTable
+from repro.guest.symbols import SymbolMap
+from repro.guest.vm import GuestVM
+from repro.guest.linux import LinuxGuest
+from repro.guest.windows import WindowsGuest
+
+__all__ = [
+    "PAGE_SIZE",
+    "PhysicalMemory",
+    "StructDef",
+    "PageTable",
+    "SymbolMap",
+    "GuestVM",
+    "LinuxGuest",
+    "WindowsGuest",
+]

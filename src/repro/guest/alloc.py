@@ -1,0 +1,87 @@
+"""Physical-frame and kernel-region allocators for the simulated guests."""
+
+from repro.errors import AllocationError
+from repro.guest.memory import PAGE_SIZE
+
+
+class FrameAllocator:
+    """Hands out physical frames from a contiguous range, lowest first."""
+
+    def __init__(self, first_frame, frame_count):
+        self.first_frame = first_frame
+        self.frame_count = frame_count
+        self._next = first_frame
+        self._free = []
+
+    @property
+    def limit(self):
+        return self.first_frame + self.frame_count
+
+    def allocate(self, count=1):
+        """Allocate ``count`` frames (not necessarily contiguous)."""
+        frames = []
+        for _ in range(count):
+            if self._free:
+                frames.append(self._free.pop())
+            elif self._next < self.limit:
+                frames.append(self._next)
+                self._next += 1
+            else:
+                raise AllocationError(
+                    "frame allocator exhausted (%d frames)" % self.frame_count
+                )
+        return frames
+
+    def allocate_one(self):
+        return self.allocate(1)[0]
+
+    def release(self, frames):
+        for pfn in frames:
+            if not (self.first_frame <= pfn < self.limit):
+                raise AllocationError("frame %d not owned by this allocator" % pfn)
+            self._free.append(pfn)
+
+    def frames_in_use(self):
+        return (self._next - self.first_frame) - len(self._free)
+
+    def state_dict(self):
+        return {"next": self._next, "free": list(self._free)}
+
+    def load_state_dict(self, state):
+        self._next = state["next"]
+        self._free = list(state["free"])
+
+
+class KernelBumpAllocator:
+    """Bump allocator over the kernel's reserved physical region.
+
+    Kernel objects are permanent in these simulations (tasks are recycled
+    through the slab cache, not here), so a bump pointer suffices.
+    """
+
+    def __init__(self, base_paddr, size_bytes):
+        self.base = base_paddr
+        self.size = size_bytes
+        self._cursor = base_paddr
+
+    def allocate(self, size, align=8):
+        cursor = (self._cursor + align - 1) // align * align
+        if cursor + size > self.base + self.size:
+            raise AllocationError(
+                "kernel region exhausted (%d bytes)" % self.size
+            )
+        self._cursor = cursor + size
+        return cursor
+
+    def allocate_pages(self, count):
+        """Allocate ``count`` page-aligned pages; returns the base paddr."""
+        return self.allocate(count * PAGE_SIZE, align=PAGE_SIZE)
+
+    def bytes_used(self):
+        return self._cursor - self.base
+
+    def state_dict(self):
+        return {"cursor": self._cursor}
+
+    def load_state_dict(self, state):
+        self._cursor = state["cursor"]

@@ -1,0 +1,128 @@
+"""Virtual devices: NIC and block disk.
+
+Devices emit *outputs* — the externally visible effects CRIMES must hold
+back during speculative execution. A device writes into whatever sink is
+installed; the hypervisor installs either a pass-through sink (Best Effort
+Safety) or a buffering sink (Synchronous Safety, ``repro.netbuf``).
+"""
+
+
+class Packet:
+    """An outgoing network packet."""
+
+    __slots__ = ("src", "dst", "payload", "flags", "conn_id", "sent_at")
+
+    def __init__(self, src, dst, payload=b"", flags=(), conn_id=None, sent_at=None):
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.flags = tuple(flags)
+        self.conn_id = conn_id
+        self.sent_at = sent_at
+
+    def __repr__(self):
+        return "Packet(%s -> %s, %d bytes, flags=%s)" % (
+            self.src,
+            self.dst,
+            len(self.payload),
+            "|".join(self.flags) or "-",
+        )
+
+
+class DiskWrite:
+    """An outgoing block-device write."""
+
+    __slots__ = ("block", "data", "issued_at")
+
+    def __init__(self, block, data, issued_at=None):
+        self.block = block
+        self.data = data
+        self.issued_at = issued_at
+
+    def __repr__(self):
+        return "DiskWrite(block=%d, %d bytes)" % (self.block, len(self.data))
+
+
+class OutputSink:
+    """Terminal sink: records everything that actually left the VM.
+
+    This models "the outside world". Benchmarks and tests inspect
+    ``packets`` / ``disk_writes`` to check what escaped and when.
+    """
+
+    def __init__(self, clock=None):
+        self._clock = clock
+        self.packets = []
+        self.disk_writes = []
+
+    def _now(self):
+        return self._clock.now if self._clock is not None else None
+
+    def emit_packet(self, packet):
+        packet.sent_at = self._now()
+        self.packets.append(packet)
+
+    def emit_disk_write(self, write):
+        write.issued_at = self._now()
+        self.disk_writes.append(write)
+
+
+class VirtualNic:
+    """Guest-side network interface; counts traffic and forwards to the sink."""
+
+    def __init__(self, sink):
+        self.sink = sink
+        self.tx_packets = 0
+        self.tx_bytes = 0
+
+    def send(self, packet):
+        self.tx_packets += 1
+        self.tx_bytes += len(packet.payload)
+        self.sink.emit_packet(packet)
+
+    def state_dict(self):
+        return {"tx_packets": self.tx_packets, "tx_bytes": self.tx_bytes}
+
+    def load_state_dict(self, state):
+        self.tx_packets = state["tx_packets"]
+        self.tx_bytes = state["tx_bytes"]
+
+
+class VirtualDisk:
+    """Guest-side block device.
+
+    Writes update the guest-local image (if one is attached) *and* emit
+    an external output — the externally visible effect CRIMES buffers.
+    The image participates in state_dict, so checkpoints snapshot the
+    disk and rollback reverts tampering (the §3.1 extension).
+    """
+
+    def __init__(self, sink, image=None):
+        self.sink = sink
+        self.image = image
+        self.writes = 0
+
+    def attach_image(self, image):
+        self.image = image
+
+    def write(self, block, data):
+        self.writes += 1
+        if self.image is not None:
+            self.image.write_block(block, data)
+        self.sink.emit_disk_write(DiskWrite(block, data))
+
+    def read(self, block):
+        if self.image is None:
+            raise RuntimeError("no disk image attached")
+        return self.image.read_block(block)
+
+    def state_dict(self):
+        state = {"writes": self.writes}
+        if self.image is not None:
+            state["image"] = self.image.state_dict()
+        return state
+
+    def load_state_dict(self, state):
+        self.writes = state["writes"]
+        if self.image is not None and "image" in state:
+            self.image.load_state_dict(state["image"])

@@ -1,0 +1,134 @@
+"""Binary struct layouts for guest kernel objects.
+
+Kernel objects are stored in guest physical memory as packed little-endian
+records. :class:`StructDef` is the single codec used both by the guest when
+*writing* structures and by the introspection layer when *parsing* them, so
+the two sides can never disagree about offsets — mirroring how LibVMI and a
+real kernel agree via debug symbols.
+"""
+
+import struct as _struct
+
+from repro.errors import IntrospectionError
+
+_SCALARS = {
+    "u8": "<B",
+    "u16": "<H",
+    "u32": "<I",
+    "u64": "<Q",
+    "i8": "<b",
+    "i16": "<h",
+    "i32": "<i",
+    "i64": "<q",
+}
+
+
+class Field:
+    """One named field of a :class:`StructDef`."""
+
+    def __init__(self, name, kind, offset):
+        self.name = name
+        self.kind = kind
+        self.offset = offset
+        if isinstance(kind, tuple):
+            tag, length = kind
+            if tag != "bytes":
+                raise IntrospectionError("unknown compound field kind %r" % (kind,))
+            self.size = length
+            self._fmt = None
+        else:
+            fmt = _SCALARS.get(kind)
+            if fmt is None:
+                raise IntrospectionError("unknown field kind %r" % (kind,))
+            self.size = _struct.calcsize(fmt)
+            self._fmt = fmt
+
+    def pack_into(self, buffer, base, value):
+        if self._fmt is None:
+            data = bytes(value)[: self.size].ljust(self.size, b"\x00")
+            buffer[base + self.offset : base + self.offset + self.size] = data
+        else:
+            _struct.pack_into(self._fmt, buffer, base + self.offset, value)
+
+    def unpack_from(self, buffer, base):
+        start = base + self.offset
+        if self._fmt is None:
+            return bytes(buffer[start : start + self.size])
+        return _struct.unpack_from(self._fmt, buffer, start)[0]
+
+
+class StructDef:
+    """A packed record layout: ordered ``(name, kind)`` pairs.
+
+    Kinds are ``u8/u16/u32/u64/i8/i16/i32/i64`` or ``("bytes", n)``.
+    """
+
+    def __init__(self, name, fields):
+        self.name = name
+        self.fields = []
+        self._by_name = {}
+        offset = 0
+        for field_name, kind in fields:
+            field = Field(field_name, kind, offset)
+            offset += field.size
+            self.fields.append(field)
+            if field_name in self._by_name:
+                raise IntrospectionError(
+                    "duplicate field %r in struct %s" % (field_name, name)
+                )
+            self._by_name[field_name] = field
+        self.size = offset
+
+    def field(self, name):
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise IntrospectionError(
+                "struct %s has no field %r" % (self.name, name)
+            ) from None
+
+    def offset_of(self, name):
+        return self.field(name).offset
+
+    def encode(self, values):
+        """Pack a dict of field values into ``self.size`` bytes."""
+        buffer = bytearray(self.size)
+        for field in self.fields:
+            if field.name in values:
+                field.pack_into(buffer, 0, values[field.name])
+        return bytes(buffer)
+
+    def decode(self, data, base=0):
+        """Unpack ``self.size`` bytes (at ``base``) into a dict."""
+        if len(data) - base < self.size:
+            raise IntrospectionError(
+                "buffer too small for struct %s: need %d bytes, have %d"
+                % (self.name, self.size, len(data) - base)
+            )
+        return {field.name: field.unpack_from(data, base) for field in self.fields}
+
+    def read(self, memory, paddr):
+        """Read and decode one record from physical memory."""
+        return self.decode(memory.read(paddr, self.size))
+
+    def write(self, memory, paddr, values):
+        """Encode and write one record into physical memory."""
+        memory.write(paddr, self.encode(values))
+
+    def write_field(self, memory, paddr, name, value):
+        """Overwrite a single field of a record already in memory."""
+        field = self.field(name)
+        buffer = bytearray(field.size)
+        field.pack_into(buffer, -field.offset, value)
+        memory.write(paddr + field.offset, bytes(buffer))
+
+    def read_field(self, memory, paddr, name):
+        """Read a single field of a record from physical memory."""
+        field = self.field(name)
+        data = memory.read(paddr + field.offset, field.size)
+        return field.unpack_from(data, -field.offset)
+
+
+def cstring(raw):
+    """Decode a NUL-padded fixed-width byte field into a str."""
+    return raw.split(b"\x00", 1)[0].decode("utf-8", errors="replace")

@@ -1,0 +1,135 @@
+"""Simulated guest physical memory.
+
+A flat byte-addressable RAM divided into 4 KiB frames. Every store notifies
+registered dirty-page observers — this is the hook the hypervisor's
+log-dirty mode attaches to, exactly as Xen intercepts guest stores via
+shadow/EPT write protection.
+"""
+
+from repro.errors import PhysicalAccessError
+
+PAGE_SIZE = 4096
+
+
+class PhysicalMemory:
+    """Byte-addressable simulated RAM with per-frame dirty notification."""
+
+    def __init__(self, size_bytes):
+        if size_bytes <= 0 or size_bytes % PAGE_SIZE != 0:
+            raise PhysicalAccessError(
+                "memory size must be a positive multiple of %d, got %r"
+                % (PAGE_SIZE, size_bytes)
+            )
+        self.size = size_bytes
+        self.frame_count = size_bytes // PAGE_SIZE
+        self._ram = bytearray(size_bytes)
+        self._observers = []
+        self._write_observers = []
+
+    # -- observation ---------------------------------------------------
+
+    def add_dirty_observer(self, callback):
+        """Register ``callback(pfn)``, invoked once per frame per store."""
+        self._observers.append(callback)
+
+    def remove_dirty_observer(self, callback):
+        self._observers.remove(callback)
+
+    def add_write_observer(self, callback):
+        """Register ``callback(paddr, data)`` for byte-precise write traps.
+
+        This is the hook Xen-style memory-event monitoring attaches to
+        during replay; it is expensive, so nothing registers it in normal
+        operation (§4.2: "event monitoring with Xen is expensive").
+        """
+        self._write_observers.append(callback)
+
+    def remove_write_observer(self, callback):
+        self._write_observers.remove(callback)
+
+    def _notify(self, first_frame, last_frame):
+        if not self._observers:
+            return
+        for pfn in range(first_frame, last_frame + 1):
+            for callback in self._observers:
+                callback(pfn)
+
+    def _notify_write(self, paddr, data):
+        for callback in self._write_observers:
+            callback(paddr, data)
+
+    # -- access --------------------------------------------------------
+
+    def _check_range(self, paddr, length):
+        if paddr < 0 or length < 0 or paddr + length > self.size:
+            raise PhysicalAccessError(
+                "physical access [0x%x, +%d) outside RAM of %d bytes"
+                % (paddr, length, self.size)
+            )
+
+    def read(self, paddr, length):
+        """Read ``length`` bytes at physical address ``paddr``."""
+        self._check_range(paddr, length)
+        return bytes(self._ram[paddr : paddr + length])
+
+    def write(self, paddr, data):
+        """Write ``data`` at physical address ``paddr``, marking frames dirty."""
+        length = len(data)
+        self._check_range(paddr, length)
+        self._ram[paddr : paddr + length] = data
+        if length:
+            self._notify(paddr // PAGE_SIZE, (paddr + length - 1) // PAGE_SIZE)
+            if self._write_observers:
+                self._notify_write(paddr, bytes(data))
+
+    def touch_frame(self, pfn, value=0xA5):
+        """Dirty one frame with a single byte store (bulk-workload fast path)."""
+        if pfn < 0 or pfn >= self.frame_count:
+            raise PhysicalAccessError("frame %d outside RAM" % pfn)
+        paddr = pfn * PAGE_SIZE
+        self._ram[paddr] = value & 0xFF
+        for callback in self._observers:
+            callback(pfn)
+        if self._write_observers:
+            self._notify_write(paddr, bytes([value & 0xFF]))
+
+    def read_frame(self, pfn):
+        """Return the 4 KiB contents of one frame."""
+        if pfn < 0 or pfn >= self.frame_count:
+            raise PhysicalAccessError("frame %d outside RAM" % pfn)
+        start = pfn * PAGE_SIZE
+        return bytes(self._ram[start : start + PAGE_SIZE])
+
+    def write_frame(self, pfn, data, notify=True):
+        """Replace one frame's contents (used by checkpoint restore)."""
+        if len(data) != PAGE_SIZE:
+            raise PhysicalAccessError(
+                "frame write must be exactly %d bytes, got %d" % (PAGE_SIZE, len(data))
+            )
+        if pfn < 0 or pfn >= self.frame_count:
+            raise PhysicalAccessError("frame %d outside RAM" % pfn)
+        start = pfn * PAGE_SIZE
+        self._ram[start : start + PAGE_SIZE] = data
+        if notify:
+            for callback in self._observers:
+                callback(pfn)
+
+    # -- whole-image operations -----------------------------------------
+
+    def snapshot_bytes(self):
+        """A full copy of RAM (used for memory dumps and checkpoints)."""
+        return bytes(self._ram)
+
+    def load_bytes(self, image, notify=False):
+        """Restore RAM from a full image produced by :meth:`snapshot_bytes`."""
+        if len(image) != self.size:
+            raise PhysicalAccessError(
+                "image size %d does not match RAM size %d" % (len(image), self.size)
+            )
+        self._ram[:] = image
+        if notify:
+            self._notify(0, self.frame_count - 1)
+
+    def view(self):
+        """A read-only memoryview of RAM (zero-copy scanning)."""
+        return memoryview(self._ram).toreadonly()

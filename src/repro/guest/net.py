@@ -1,0 +1,24 @@
+"""Shared network-object vocabulary for the simulated guests."""
+
+#: TCP endpoint states (subset of the real state machines).
+TCP_ESTABLISHED = 1
+TCP_CLOSE_WAIT = 2
+TCP_LISTENING = 3
+TCP_CLOSED = 4
+
+TCP_STATE_NAMES = {
+    TCP_ESTABLISHED: "ESTABLISHED",
+    TCP_CLOSE_WAIT: "CLOSE_WAIT",
+    TCP_LISTENING: "LISTENING",
+    TCP_CLOSED: "CLOSED",
+}
+
+
+def ip_to_bytes(dotted):
+    """'192.168.1.76' -> 4 bytes."""
+    return bytes(int(part) for part in dotted.split("."))
+
+
+def bytes_to_ip(raw):
+    """4 bytes -> '192.168.1.76'."""
+    return ".".join(str(b) for b in raw)

@@ -1,0 +1,53 @@
+"""System.map-style symbol tables.
+
+A real introspector locates kernel structures through the guest's
+``System.map`` (or Windows PDB symbols). The simulated guests publish the
+virtual addresses of their root objects the same way; VMI resolves names
+through this table and never receives Python references into the guest.
+"""
+
+from repro.errors import SymbolNotFound
+
+
+class SymbolMap:
+    """An immutable-feeling name -> virtual address table."""
+
+    def __init__(self, os_name, kernel_version):
+        self.os_name = os_name
+        self.kernel_version = kernel_version
+        self._symbols = {}
+
+    def define(self, name, vaddr):
+        self._symbols[name] = vaddr
+
+    def lookup(self, name):
+        try:
+            return self._symbols[name]
+        except KeyError:
+            raise SymbolNotFound(name) from None
+
+    def __contains__(self, name):
+        return name in self._symbols
+
+    def names(self):
+        return sorted(self._symbols)
+
+    def as_system_map(self):
+        """Render the table in classic ``System.map`` text format."""
+        lines = [
+            "%016x D %s" % (vaddr, name)
+            for name, vaddr in sorted(self._symbols.items(), key=lambda kv: kv[1])
+        ]
+        return "\n".join(lines) + "\n"
+
+    def state_dict(self):
+        return {
+            "os_name": self.os_name,
+            "kernel_version": self.kernel_version,
+            "symbols": dict(self._symbols),
+        }
+
+    def load_state_dict(self, state):
+        self.os_name = state["os_name"]
+        self.kernel_version = state["kernel_version"]
+        self._symbols = dict(state["symbols"])

@@ -1,0 +1,23 @@
+"""Xen-style hypervisor control plane.
+
+Provides the mechanisms CRIMES builds on: domains with pause/resume,
+log-dirty page tracking, foreign-memory mapping (with hypercall
+accounting), and memory-event rings for write-trap monitoring during
+replay.
+"""
+
+from repro.hypervisor.dirty import DirtyBitmap, ScanStats
+from repro.hypervisor.events import MemEvent, MemoryEventMonitor
+from repro.hypervisor.foreign_map import MappingTable
+from repro.hypervisor.xen import Domain, DomainState, Hypervisor
+
+__all__ = [
+    "DirtyBitmap",
+    "ScanStats",
+    "MemEvent",
+    "MemoryEventMonitor",
+    "MappingTable",
+    "Domain",
+    "DomainState",
+    "Hypervisor",
+]

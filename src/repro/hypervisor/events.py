@@ -1,0 +1,121 @@
+"""Xen-style memory-event monitoring.
+
+Each domain owns a ring buffer of events consumed by external tools
+(LibVMI's ``VMI_EVENT_MEMORY`` wraps this). Registering a frame write-traps
+it: every store touching the frame appends a byte-precise event. This is
+the expensive facility CRIMES enables *only* during replay (§4.2).
+"""
+
+from collections import deque
+
+from repro.errors import HypervisorError
+from repro.guest.memory import PAGE_SIZE
+
+
+class MemEvent:
+    """One trapped memory write."""
+
+    #: Written bytes retained per event (enough to inspect a canary).
+    DATA_CAPTURE_LIMIT = 256
+
+    __slots__ = ("pfn", "paddr", "length", "time_ms", "rip", "data")
+
+    def __init__(self, pfn, paddr, length, time_ms, rip=0, data=b""):
+        self.pfn = pfn
+        self.paddr = paddr
+        self.length = length
+        self.time_ms = time_ms
+        self.rip = rip
+        self.data = data
+
+    def bytes_at(self, paddr, length):
+        """The bytes this write placed in ``[paddr, paddr+length)``.
+
+        Returns None if the write does not fully cover that range (a
+        partial overwrite — inherently corrupting for a canary) or if the
+        range lies beyond the captured prefix.
+        """
+        start = paddr - self.paddr
+        if start < 0 or start + length > min(self.length, len(self.data)):
+            return None
+        return self.data[start : start + length]
+
+    def covers(self, paddr, length=1):
+        """Does this write overlap the physical byte range?"""
+        return self.paddr < paddr + length and paddr < self.paddr + self.length
+
+    def __repr__(self):
+        return "MemEvent(pfn=%d, paddr=0x%x, len=%d, t=%.3fms)" % (
+            self.pfn,
+            self.paddr,
+            self.length,
+            self.time_ms,
+        )
+
+
+class MemoryEventMonitor:
+    """Write-traps selected frames of one guest and queues events."""
+
+    RING_CAPACITY = 4096
+
+    def __init__(self, vm, clock):
+        self._vm = vm
+        self._clock = clock
+        self._watched = set()
+        self._ring = deque()
+        self._attached = False
+        self.events_trapped = 0
+        self.events_dropped = 0
+
+    def watch_frame(self, pfn):
+        """Write-trap one physical frame."""
+        if not (0 <= pfn < self._vm.memory.frame_count):
+            raise HypervisorError("cannot watch frame %d" % pfn)
+        self._watched.add(pfn)
+
+    def watch_paddr(self, paddr):
+        self.watch_frame(paddr // PAGE_SIZE)
+
+    def attach(self):
+        """Enable trapping (marks the frames read-only in a real Xen)."""
+        if self._attached:
+            raise HypervisorError("monitor already attached")
+        self._vm.memory.add_write_observer(self._on_write)
+        self._attached = True
+
+    def detach(self):
+        if self._attached:
+            self._vm.memory.remove_write_observer(self._on_write)
+            self._attached = False
+
+    @property
+    def attached(self):
+        return self._attached
+
+    def _on_write(self, paddr, data):
+        length = len(data)
+        first = paddr // PAGE_SIZE
+        last = (paddr + max(length, 1) - 1) // PAGE_SIZE
+        for pfn in range(first, last + 1):
+            if pfn in self._watched:
+                if len(self._ring) >= self.RING_CAPACITY:
+                    self._ring.popleft()
+                    self.events_dropped += 1
+                self._ring.append(
+                    MemEvent(
+                        pfn, paddr, length, self._clock.now,
+                        rip=self._vm.cpu.get("rip", 0),
+                        data=data[: MemEvent.DATA_CAPTURE_LIMIT],
+                    )
+                )
+                self.events_trapped += 1
+                break
+
+    def poll(self):
+        """Drain and return all queued events (LibVMI's events_listen loop)."""
+        events = list(self._ring)
+        self._ring.clear()
+        return events
+
+    def pending(self):
+        return len(self._ring)

@@ -1,0 +1,48 @@
+"""Foreign-memory mapping bookkeeping (§4.1, Optimizations 1 and 2).
+
+``xenforeignmemory_map`` lets a Domain-0 process map guest frames into its
+own address space. Remus maps the epoch's dirty pages and unmaps them each
+interval; CRIMES builds one global PFN→MFN table at start-up and keeps
+every frame mapped. The table records how many map/unmap *hypercalls* each
+strategy performs so the cost model can price them (each mapping adjusts
+page tables and is expensive).
+"""
+
+
+class MappingTable:
+    """Tracks which guest frames a Dom0 process currently has mapped."""
+
+    def __init__(self, frame_count):
+        self.frame_count = frame_count
+        self._mapped = set()
+        self.map_calls = 0
+        self.pages_mapped_total = 0
+        self.pages_unmapped_total = 0
+        self.pfn_to_mfn_lookups = 0
+
+    def map_pages(self, pfns):
+        """Map the given frames; returns the number of *new* mappings made."""
+        new = [pfn for pfn in pfns if pfn not in self._mapped]
+        self._mapped.update(new)
+        if new:
+            self.map_calls += 1
+            self.pages_mapped_total += len(new)
+        self.pfn_to_mfn_lookups += len(pfns)
+        return len(new)
+
+    def map_all(self):
+        """Global mapping: map the entire guest once (CRIMES Optimization 2)."""
+        return self.map_pages(range(self.frame_count))
+
+    def unmap_pages(self, pfns):
+        """Unmap frames; returns how many were actually mapped."""
+        present = [pfn for pfn in pfns if pfn in self._mapped]
+        self._mapped.difference_update(present)
+        self.pages_unmapped_total += len(present)
+        return len(present)
+
+    def is_mapped(self, pfn):
+        return pfn in self._mapped
+
+    def mapped_count(self):
+        return len(self._mapped)

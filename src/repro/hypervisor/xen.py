@@ -1,0 +1,113 @@
+"""Domains and the hypervisor itself.
+
+A :class:`Domain` wraps a guest VM with the control-plane facilities Xen
+gives Dom0: pause/resume, log-dirty tracking, foreign mapping, and
+memory-event monitoring. The :class:`Hypervisor` hosts domains over a
+shared virtual clock.
+"""
+
+import enum
+
+from repro.errors import DomainStateError, HypervisorError
+from repro.hypervisor.dirty import DirtyBitmap
+from repro.hypervisor.events import MemoryEventMonitor
+from repro.hypervisor.foreign_map import MappingTable
+from repro.sim.clock import VirtualClock
+
+
+class DomainState(enum.Enum):
+    RUNNING = "running"
+    PAUSED = "paused"
+    SUSPENDED = "suspended"
+    DESTROYED = "destroyed"
+
+
+class Domain:
+    """One guest VM under hypervisor control."""
+
+    def __init__(self, domid, vm, clock):
+        self.domid = domid
+        self.vm = vm
+        self.clock = clock
+        self.state = DomainState.RUNNING
+        self.dirty_bitmap = DirtyBitmap(vm.memory.frame_count)
+        self._log_dirty_enabled = False
+        self.event_monitor = MemoryEventMonitor(vm, clock)
+
+    # -- log-dirty mode ------------------------------------------------------
+
+    def enable_log_dirty(self):
+        if self._log_dirty_enabled:
+            return
+        self.vm.memory.add_dirty_observer(self.dirty_bitmap.set)
+        self._log_dirty_enabled = True
+
+    def disable_log_dirty(self):
+        if not self._log_dirty_enabled:
+            return
+        self.vm.memory.remove_dirty_observer(self.dirty_bitmap.set)
+        self._log_dirty_enabled = False
+
+    @property
+    def log_dirty_enabled(self):
+        return self._log_dirty_enabled
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def pause(self):
+        if self.state is not DomainState.RUNNING:
+            raise DomainStateError(
+                "cannot pause domain %d in state %s" % (self.domid, self.state)
+            )
+        self.vm.pause()
+        self.state = DomainState.PAUSED
+
+    def resume(self):
+        if self.state is not DomainState.PAUSED:
+            raise DomainStateError(
+                "cannot resume domain %d in state %s" % (self.domid, self.state)
+            )
+        self.vm.resume()
+        self.state = DomainState.RUNNING
+
+    def suspend(self):
+        """Permanent stop (attack response); cannot be resumed."""
+        if self.state is DomainState.RUNNING:
+            self.vm.pause()
+        self.state = DomainState.SUSPENDED
+
+    def destroy(self):
+        self.state = DomainState.DESTROYED
+
+    # -- foreign mapping ---------------------------------------------------------
+
+    def new_mapping_table(self):
+        """A fresh Dom0-process view of this domain's frames."""
+        return MappingTable(self.vm.memory.frame_count)
+
+
+class Hypervisor:
+    """Hosts domains; the root object benchmarks construct."""
+
+    def __init__(self, clock=None):
+        self.clock = clock if clock is not None else VirtualClock()
+        self.domains = {}
+        self._next_domid = 1
+
+    def create_domain(self, vm):
+        if vm.clock is not self.clock:
+            raise HypervisorError(
+                "guest VM must share the hypervisor's clock; pass clock= when "
+                "constructing the guest"
+            )
+        domid = self._next_domid
+        self._next_domid += 1
+        domain = Domain(domid, vm, self.clock)
+        self.domains[domid] = domain
+        return domain
+
+    def destroy_domain(self, domid):
+        domain = self.domains.pop(domid, None)
+        if domain is None:
+            raise HypervisorError("no domain %d" % domid)
+        domain.destroy()

@@ -1,0 +1,16 @@
+"""Logging conventions for the library.
+
+Every component logs under the ``repro.`` namespace; the library never
+configures handlers (that is the application's job, per standard library
+practice). Security-relevant events use WARNING so a default-configured
+root logger surfaces them.
+"""
+
+import logging
+
+
+def get_logger(name):
+    """Logger for a component, rooted under ``repro``."""
+    if not name.startswith("repro"):
+        name = "repro.%s" % name
+    return logging.getLogger(name)

@@ -1,0 +1,12 @@
+"""Shared measurement helpers for the benchmark harness."""
+
+from repro.metrics.stats import geometric_mean, mean, normalize_series
+from repro.metrics.tables import format_series, format_table
+
+__all__ = [
+    "geometric_mean",
+    "mean",
+    "normalize_series",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,27 @@
+"""Small statistics helpers (the paper reports geometric means)."""
+
+import math
+
+
+def mean(values):
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values):
+    """Geometric mean (used for Figure 3's suite-wide overhead)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(value <= 0 for value in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def normalize_series(values, baseline):
+    """Divide each value by the baseline (normalized-runtime plots)."""
+    if baseline == 0:
+        raise ValueError("cannot normalize by zero baseline")
+    return [value / baseline for value in values]

@@ -1,0 +1,33 @@
+"""Text rendering of tables and figure series for the bench harness."""
+
+
+def format_table(rows, columns, title=None):
+    """Fixed-width text table from dict rows."""
+    if not rows:
+        return (title + "\n(no rows)") if title else "(no rows)"
+    widths = {
+        column: max(len(column), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    rule = "-" * len(header)
+    lines = []
+    if title:
+        lines.extend([title, "=" * len(title)])
+    lines.extend([header, rule])
+    for row in rows:
+        lines.append(
+            "  ".join(
+                str(row.get(column, "")).ljust(widths[column])
+                for column in columns
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_series(name, xs, ys, x_label="x", y_label="y", fmt="%.3f"):
+    """One figure series as aligned text (x -> y pairs)."""
+    lines = ["%s  (%s -> %s)" % (name, x_label, y_label)]
+    for x, y in zip(xs, ys):
+        lines.append("  %-10s %s" % (x, fmt % y))
+    return "\n".join(lines)

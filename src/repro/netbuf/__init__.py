@@ -1,0 +1,11 @@
+"""Output buffering for speculative execution (§3.1).
+
+Under Synchronous Safety every externally visible output — network packet
+or disk write — is held in the hypervisor until the end-of-epoch security
+audit passes. Commit releases the whole epoch's outputs at once; rollback
+discards them, which is what gives CRIMES its zero window of vulnerability.
+"""
+
+from repro.netbuf.buffer import BufferMode, OutputBuffer
+
+__all__ = ["BufferMode", "OutputBuffer"]

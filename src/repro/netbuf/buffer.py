@@ -1,0 +1,77 @@
+"""The hypervisor-side output buffer.
+
+Installed as the guest's device sink. In ``SYNCHRONOUS`` mode outputs are
+queued and only reach the downstream (real) sink on :meth:`commit`; in
+``BEST_EFFORT`` mode they pass straight through (§3.1's Best Effort
+Safety). Rollback calls :meth:`discard`, annihilating the speculative
+epoch's outputs — an attacked epoch therefore has *no* external effect.
+"""
+
+import enum
+
+
+class BufferMode(enum.Enum):
+    SYNCHRONOUS = "synchronous"
+    BEST_EFFORT = "best_effort"
+
+
+class OutputBuffer:
+    """Packet/disk-write buffer between a guest's devices and the world."""
+
+    def __init__(self, downstream, mode=BufferMode.SYNCHRONOUS, clock=None):
+        self.downstream = downstream
+        self.mode = mode
+        self._clock = clock
+        self._packets = []
+        self._disk_writes = []
+        self.committed_packets = 0
+        self.committed_disk_writes = 0
+        self.discarded_packets = 0
+        self.discarded_disk_writes = 0
+
+    # -- sink interface (guest devices call these) -------------------------
+
+    def emit_packet(self, packet):
+        if self.mode is BufferMode.BEST_EFFORT:
+            self.downstream.emit_packet(packet)
+        else:
+            self._packets.append(packet)
+
+    def emit_disk_write(self, write):
+        if self.mode is BufferMode.BEST_EFFORT:
+            self.downstream.emit_disk_write(write)
+        else:
+            self._disk_writes.append(write)
+
+    # -- epoch control -------------------------------------------------------
+
+    def pending_packets(self):
+        return len(self._packets)
+
+    def pending_disk_writes(self):
+        return len(self._disk_writes)
+
+    def commit(self):
+        """Release the epoch's outputs downstream, preserving order."""
+        packets, self._packets = self._packets, []
+        writes, self._disk_writes = self._disk_writes, []
+        for packet in packets:
+            self.downstream.emit_packet(packet)
+        for write in writes:
+            self.downstream.emit_disk_write(write)
+        self.committed_packets += len(packets)
+        self.committed_disk_writes += len(writes)
+        return len(packets), len(writes)
+
+    def discard(self):
+        """Drop the epoch's outputs (rollback path)."""
+        self.discarded_packets += len(self._packets)
+        self.discarded_disk_writes += len(self._disk_writes)
+        dropped = (len(self._packets), len(self._disk_writes))
+        self._packets = []
+        self._disk_writes = []
+        return dropped
+
+    def peek_packets(self):
+        """Read-only view of buffered packets (outgoing-content scanners)."""
+        return tuple(self._packets)

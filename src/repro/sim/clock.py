@@ -1,0 +1,40 @@
+"""Virtual time source.
+
+Time is kept in float milliseconds. A dedicated class (rather than a bare
+float) gives a single authority over advancement, guards against backwards
+movement, and lets components share one clock by reference.
+"""
+
+from repro.errors import SimulationError
+
+
+class VirtualClock:
+    """A monotonically non-decreasing clock measured in milliseconds."""
+
+    def __init__(self, start_ms=0.0):
+        self._now = float(start_ms)
+
+    @property
+    def now(self):
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    def advance(self, delta_ms):
+        """Move the clock forward by ``delta_ms`` and return the new time."""
+        if delta_ms < 0:
+            raise SimulationError("cannot advance clock by %r ms" % delta_ms)
+        self._now += delta_ms
+        return self._now
+
+    def advance_to(self, when_ms):
+        """Move the clock forward to the absolute time ``when_ms``."""
+        if when_ms < self._now - 1e-9:
+            raise SimulationError(
+                "cannot move clock backwards: now=%.6f target=%.6f"
+                % (self._now, when_ms)
+            )
+        self._now = max(self._now, float(when_ms))
+        return self._now
+
+    def __repr__(self):
+        return "VirtualClock(now=%.6fms)" % self._now

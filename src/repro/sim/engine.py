@@ -1,0 +1,159 @@
+"""A small coroutine-based discrete-event engine.
+
+Processes are generator functions that ``yield`` *awaitables*:
+
+* :class:`Timeout` — resume after a virtual delay,
+* :class:`Event` — resume when another process triggers the event.
+
+The web-server experiment (Figure 7) is the main client of this engine;
+the epoch loop itself is sequential and simply advances the shared clock.
+"""
+
+import heapq
+import itertools
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+
+
+class Timeout:
+    """Awaitable: resume the yielding process after ``delay_ms``."""
+
+    def __init__(self, delay_ms):
+        if delay_ms < 0:
+            raise SimulationError("negative timeout: %r" % delay_ms)
+        self.delay_ms = float(delay_ms)
+
+
+class Event:
+    """A one-shot broadcast event processes can wait on.
+
+    ``trigger(value)`` wakes every waiter; late waiters resume immediately
+    with the stored value.
+    """
+
+    def __init__(self, engine):
+        self._engine = engine
+        self._triggered = False
+        self._value = None
+        self._waiters = []
+
+    @property
+    def triggered(self):
+        return self._triggered
+
+    @property
+    def value(self):
+        return self._value
+
+    def trigger(self, value=None):
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._engine._schedule(0.0, process, value)
+
+    def _add_waiter(self, process):
+        if self._triggered:
+            self._engine._schedule(0.0, process, self._value)
+        else:
+            self._waiters.append(process)
+
+
+class Waiter:
+    """Awaitable handle for the completion of another process."""
+
+    def __init__(self, process):
+        self.process = process
+
+
+class Process:
+    """A running generator coroutine inside the engine."""
+
+    def __init__(self, engine, generator, name):
+        self._engine = engine
+        self._generator = generator
+        self.name = name
+        self.finished = False
+        self.result = None
+        self._completion_waiters = []
+
+    def _step(self, send_value):
+        if self.finished:
+            return
+        try:
+            awaited = self._generator.send(send_value)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None))
+            return
+        if isinstance(awaited, Timeout):
+            self._engine._schedule(awaited.delay_ms, self, None)
+        elif isinstance(awaited, Event):
+            awaited._add_waiter(self)
+        elif isinstance(awaited, Waiter):
+            awaited.process._add_completion_waiter(self)
+        elif isinstance(awaited, Process):
+            awaited._add_completion_waiter(self)
+        else:
+            raise SimulationError(
+                "process %r yielded unsupported awaitable %r" % (self.name, awaited)
+            )
+
+    def _finish(self, result):
+        self.finished = True
+        self.result = result
+        waiters, self._completion_waiters = self._completion_waiters, []
+        for process in waiters:
+            self._engine._schedule(0.0, process, result)
+
+    def _add_completion_waiter(self, process):
+        if self.finished:
+            self._engine._schedule(0.0, process, self.result)
+        else:
+            self._completion_waiters.append(process)
+
+
+class Engine:
+    """Run processes over a shared :class:`VirtualClock`."""
+
+    def __init__(self, clock=None):
+        self.clock = clock if clock is not None else VirtualClock()
+        self._queue = []
+        self._sequence = itertools.count()
+        self._active = 0
+
+    def now(self):
+        return self.clock.now
+
+    def event(self):
+        """Create a new one-shot :class:`Event` bound to this engine."""
+        return Event(self)
+
+    def spawn(self, generator, name="process"):
+        """Register a generator coroutine and start it at the current time."""
+        process = Process(self, generator, name)
+        self._schedule(0.0, process, None)
+        return process
+
+    def _schedule(self, delay_ms, process, send_value):
+        when = self.clock.now + delay_ms
+        heapq.heappush(self._queue, (when, next(self._sequence), process, send_value))
+
+    def run(self, until_ms=None):
+        """Run queued work; stop when drained or when the clock passes ``until_ms``."""
+        while self._queue:
+            when, _seq, process, send_value = self._queue[0]
+            if until_ms is not None and when > until_ms:
+                break
+            heapq.heappop(self._queue)
+            self.clock.advance_to(when)
+            process._step(send_value)
+        if until_ms is not None:
+            self.clock.advance_to(max(self.clock.now, until_ms))
+        return self.clock.now
+
+    def pending(self):
+        """Number of scheduled wake-ups not yet delivered."""
+        return len(self._queue)

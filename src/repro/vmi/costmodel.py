@@ -1,0 +1,52 @@
+"""Virtual-time costs of introspection operations.
+
+Calibrated to Table 3 of the paper (LibVMI on a Ubuntu Linux VM, mean of
+100 runs) and the Volatility comparison in §5.3:
+
+===================  ============  ===========
+operation            process-list  module-list
+===================  ============  ===========
+initialization        67,096 µs     66,025 µs
+preprocessing         53,678 µs     54,928 µs
+memory analysis        1,444 µs      1,777 µs
+===================  ============  ===========
+
+Initialization (OS/kernel-version detection) and preprocessing (address-
+translation setup) happen once per VMI instance; only the memory-analysis
+cost recurs each checkpoint — which is why CRIMES can afford a scan every
+few tens of milliseconds (§5.3).
+"""
+
+
+class VmiCostModel:
+    """Tunable virtual-time constants, in milliseconds unless noted."""
+
+    #: One-time LibVMI initialization (kernel detection, symbol load).
+    INIT_MS = 66.5
+    #: One-time preprocessing (address-translation setup, struct mapping).
+    PREPROCESS_MS = 54.0
+
+    #: Fixed entry cost of any scan (ring setup, TLB of the mapper, ...).
+    SCAN_BASE_MS = 0.35
+    #: Walking one task_struct / EPROCESS record.
+    PER_PROCESS_US = 10.0
+    #: Walking one kernel-module record.
+    PER_MODULE_US = 17.0
+    #: Reading one syscall-table entry.
+    PER_SYSCALL_US = 0.6
+    #: Validating one heap canary (§5.5: "90,000 canaries per millisecond").
+    PER_CANARY_US = 1.0 / 90.0
+    #: Comparing one process name against the blacklist (§5.6: ≈0.3 µs).
+    PER_BLACKLIST_US = 0.3
+    #: Raw physical read, per 4 KiB page.
+    PER_PAGE_READ_US = 0.8
+
+    #: Relative jitter applied to every charge (keeps runs plausibly noisy
+    #: while remaining deterministic under a fixed seed).
+    JITTER = 0.03
+
+    def __init__(self, **overrides):
+        for name, value in overrides.items():
+            if not hasattr(type(self), name):
+                raise TypeError("unknown VMI cost constant %r" % name)
+            setattr(self, name, value)

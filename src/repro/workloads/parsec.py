@@ -1,0 +1,165 @@
+"""PARSEC 3.0 workload profiles (Table 2) as synthetic guest programs.
+
+Each benchmark is characterized by the two properties that determine its
+behaviour under continuous checkpointing:
+
+* ``d200`` — unique pages dirtied in a 200 ms epoch (the quantity Figure 5c
+  plots). fluidanimate's rate is far above the rest, which is why it is
+  the paper's worst case (§5.2: its dirty-page count is ≈5× benchmarks
+  like raytrace; unoptimized Remus reaches ≈4.7× native runtime on it).
+* ``tau_ms`` — the re-dirtying time constant: unique pages dirtied in an
+  interval t follow ``W * (1 - exp(-t / tau))``, saturating at the write
+  working set W. This reproduces Figure 5c's growth-with-interval shape.
+
+``asan_slowdown`` is the benchmark's AddressSanitizer runtime factor, used
+by the AS bars of Figure 3.
+"""
+
+import math
+
+from repro.sim.rng import SeededStream
+from repro.workloads.base import GuestProgram
+
+
+class ParsecProfile:
+    """Calibrated per-benchmark constants."""
+
+    __slots__ = ("name", "description", "d200", "tau_ms", "asan_slowdown",
+                 "native_runtime_ms")
+
+    def __init__(self, name, description, d200, tau_ms, asan_slowdown,
+                 native_runtime_ms=10000.0):
+        self.name = name
+        self.description = description
+        self.d200 = d200
+        self.tau_ms = tau_ms
+        self.asan_slowdown = asan_slowdown
+        self.native_runtime_ms = native_runtime_ms
+
+    def working_set_pages(self):
+        return self.d200 / (1.0 - math.exp(-200.0 / self.tau_ms))
+
+    def dirty_pages(self, interval_ms):
+        """Expected unique pages dirtied in one epoch of ``interval_ms``."""
+        return self.working_set_pages() * (
+            1.0 - math.exp(-interval_ms / self.tau_ms)
+        )
+
+
+#: Table 2's suite, with dirty profiles fit to Figures 3-6 (see DESIGN.md).
+PARSEC_PROFILES = {
+    profile.name: profile
+    for profile in (
+        ParsecProfile(
+            "blackscholes", "Uses PDE to calculate portfolio prices",
+            d200=2500, tau_ms=140, asan_slowdown=1.45,
+        ),
+        ParsecProfile(
+            "swaptions", "Use HJM framework and Monte Carlo simulations",
+            d200=2000, tau_ms=150, asan_slowdown=1.50,
+        ),
+        ParsecProfile(
+            "vips", "Perform affine transformations and convolutions",
+            d200=6000, tau_ms=110, asan_slowdown=1.55,
+        ),
+        ParsecProfile(
+            "radiosity", "Compute the equilibrium distribution of light",
+            d200=3500, tau_ms=130, asan_slowdown=1.60,
+        ),
+        ParsecProfile(
+            "raytrace", "Simulate real-time raytracing for animations",
+            d200=1200, tau_ms=160, asan_slowdown=1.40,
+        ),
+        ParsecProfile(
+            "volrend", "Renders a 3D volume onto a 2D image plane",
+            d200=2800, tau_ms=140, asan_slowdown=1.35,
+        ),
+        ParsecProfile(
+            "bodytrack", "Body tracking of a person",
+            d200=5000, tau_ms=120, asan_slowdown=1.55,
+        ),
+        ParsecProfile(
+            "fluidanimate", "Simulate incompressible fluid for animations",
+            d200=52000, tau_ms=100, asan_slowdown=2.60,
+        ),
+        ParsecProfile(
+            "freqmine", "Frequent itemset mining",
+            d200=7000, tau_ms=130, asan_slowdown=1.60,
+        ),
+        ParsecProfile(
+            "water-spatial", "Spatial molecular dynamics N-body problem",
+            d200=2200, tau_ms=150, asan_slowdown=1.40,
+        ),
+        ParsecProfile(
+            "water-nsquared", "Solves molecular dynamics N-body problem",
+            d200=3000, tau_ms=150, asan_slowdown=1.50,
+        ),
+    )
+}
+
+
+def parsec_names():
+    """Suite order as plotted in Figure 3."""
+    return [
+        "blackscholes", "swaptions", "vips", "radiosity", "raytrace",
+        "volrend", "bodytrack", "fluidanimate", "freqmine",
+        "water-spatial", "water-nsquared",
+    ]
+
+
+class ParsecWorkload(GuestProgram):
+    """One PARSEC benchmark running to completion inside a guest.
+
+    Reports its per-epoch dirty pages synthetically (from the calibrated
+    profile) and tracks completed work; the benchmark finishes once it has
+    accumulated ``native_runtime_ms`` of actual compute, so total virtual
+    wall-clock divided by native runtime is the normalized runtime of
+    Figure 3.
+    """
+
+    def __init__(self, benchmark, seed=0, native_runtime_ms=None,
+                 jitter=0.05):
+        super().__init__()
+        profile = PARSEC_PROFILES.get(benchmark)
+        if profile is None:
+            raise KeyError(
+                "unknown PARSEC benchmark %r (known: %s)"
+                % (benchmark, ", ".join(sorted(PARSEC_PROFILES)))
+            )
+        self.name = "parsec/%s" % benchmark
+        self.profile = profile
+        self.native_runtime_ms = (
+            native_runtime_ms
+            if native_runtime_ms is not None
+            else profile.native_runtime_ms
+        )
+        self.jitter = jitter
+        self._rng = SeededStream(seed, self.name)
+        self._work_done_ms = 0.0
+        self._epochs = 0
+
+    def step(self, start_ms, interval_ms):
+        self._require_bound()
+        if self.finished:
+            return {"synthetic_dirty": 0}
+        self._epochs += 1
+        expected = self.profile.dirty_pages(interval_ms)
+        return {"synthetic_dirty": int(self._rng.jitter(expected, self.jitter))}
+
+    def on_epoch_end(self, record):
+        self._work_done_ms += record.work_done_ms
+
+    @property
+    def finished(self):
+        return self._work_done_ms >= self.native_runtime_ms
+
+    @property
+    def work_done_ms(self):
+        return self._work_done_ms
+
+    def state_dict(self):
+        return {"work_done_ms": self._work_done_ms, "epochs": self._epochs}
+
+    def load_state_dict(self, state):
+        self._work_done_ms = state["work_done_ms"]
+        self._epochs = state["epochs"]

@@ -1,0 +1,224 @@
+"""Web-server workloads: NGINX + wrk (§5.1, §5.4, Table 1, Figure 7).
+
+Two pieces:
+
+* :class:`WebServerWorkload` — a dirty-page-profile guest program at three
+  wrk load levels, used by the Table 1 cost-breakdown experiment.
+* :class:`WebServerExperiment` — a discrete-event closed-loop HTTP model
+  for Figure 7: N client connections each perform connect → request →
+  response cycles; under Synchronous Safety every server→client message
+  (SYN/ACK and response alike) is held until the end-of-epoch commit,
+  which is exactly why the three-way handshake hurts and why the
+  closed-loop client starves the server at large intervals (§5.4).
+"""
+
+import math
+
+from repro.checkpoint.costmodel import CheckpointCostModel, OptimizationLevel
+from repro.netbuf.buffer import BufferMode
+from repro.sim.clock import VirtualClock
+from repro.sim.engine import Engine, Timeout
+from repro.sim.rng import SeededStream
+from repro.vmi.costmodel import VmiCostModel
+from repro.workloads.base import GuestProgram
+
+
+class WebLoadLevel:
+    """One wrk intensity: dirty-page profile of the serving VM."""
+
+    __slots__ = ("name", "d20", "tau_ms", "connections")
+
+    def __init__(self, name, d20, tau_ms, connections):
+        self.name = name
+        self.d20 = d20
+        self.tau_ms = tau_ms
+        self.connections = connections
+
+    def working_set_pages(self):
+        return self.d20 / (1.0 - math.exp(-20.0 / self.tau_ms))
+
+    def dirty_pages(self, interval_ms):
+        return self.working_set_pages() * (
+            1.0 - math.exp(-interval_ms / self.tau_ms)
+        )
+
+
+#: Calibrated so that the no-opt 20 ms pipeline reproduces Table 1's rows.
+WEB_LOAD_LEVELS = {
+    "light": WebLoadLevel("light", d20=1220, tau_ms=60, connections=16),
+    "medium": WebLoadLevel("medium", d20=1435, tau_ms=60, connections=48),
+    "high": WebLoadLevel("high", d20=2000, tau_ms=60, connections=128),
+}
+
+
+class WebServerWorkload(GuestProgram):
+    """NGINX under a fixed wrk load level (dirty-profile program)."""
+
+    def __init__(self, load="medium", seed=0, jitter=0.04):
+        super().__init__()
+        level = WEB_LOAD_LEVELS.get(load)
+        if level is None:
+            raise KeyError(
+                "unknown load level %r (known: %s)"
+                % (load, ", ".join(sorted(WEB_LOAD_LEVELS)))
+            )
+        self.name = "nginx/%s" % load
+        self.level = level
+        self.jitter = jitter
+        self._rng = SeededStream(seed, self.name)
+
+    def step(self, start_ms, interval_ms):
+        self._require_bound()
+        expected = self.level.dirty_pages(interval_ms)
+        return {"synthetic_dirty": int(self._rng.jitter(expected, self.jitter))}
+
+
+class WebResult:
+    """Measured client-side performance of one experiment run."""
+
+    __slots__ = ("mean_latency_ms", "throughput_rps", "requests_completed",
+                 "duration_ms", "mean_pause_ms")
+
+    def __init__(self, mean_latency_ms, throughput_rps, requests_completed,
+                 duration_ms, mean_pause_ms):
+        self.mean_latency_ms = mean_latency_ms
+        self.throughput_rps = throughput_rps
+        self.requests_completed = requests_completed
+        self.duration_ms = duration_ms
+        self.mean_pause_ms = mean_pause_ms
+
+    def __repr__(self):
+        return "WebResult(latency=%.2fms, throughput=%.0f req/s)" % (
+            self.mean_latency_ms,
+            self.throughput_rps,
+        )
+
+
+class WebServerExperiment:
+    """Closed-loop wrk clients against a CRIMES-protected NGINX.
+
+    ``buffering=None`` disables CRIMES entirely (the normalization
+    baseline). ``BufferMode.BEST_EFFORT`` pauses the server for audits but
+    releases outputs immediately; ``BufferMode.SYNCHRONOUS`` additionally
+    holds every server→client message until the end-of-epoch commit.
+    """
+
+    def __init__(self, interval_ms=50.0, buffering=BufferMode.SYNCHRONOUS,
+                 load="medium", duration_ms=5000.0, service_ms=2.4,
+                 rtt_ms=0.2, keepalive=False, cost_model=None,
+                 vmi_costs=None, seed=0):
+        self.interval_ms = interval_ms
+        self.buffering = buffering
+        self.level = WEB_LOAD_LEVELS[load]
+        self.duration_ms = duration_ms
+        self.service_ms = service_ms
+        self.rtt_ms = rtt_ms
+        self.keepalive = keepalive
+        self.costs = cost_model if cost_model is not None else CheckpointCostModel()
+        self.vmi_costs = vmi_costs if vmi_costs is not None else VmiCostModel()
+        self._rng = SeededStream(seed, "web/%s/%s" % (load, interval_ms))
+
+        self.latencies = []
+        self._pauses = []
+        self._paused = False
+        self._engine = None
+        self._commit_event = None
+        self._resume_event = None
+
+    # -- pause model -----------------------------------------------------------
+
+    def _epoch_pause_ms(self):
+        """Full-optimization CRIMES pause for one epoch at this load."""
+        dirty = self._rng.jitter(
+            self.level.dirty_pages(self.interval_ms), 0.04
+        )
+        level = OptimizationLevel.FULL
+        return (
+            self.costs.suspend_ms(dirty, self.interval_ms)
+            + self.vmi_costs.SCAN_BASE_MS
+            + self.costs.bitscan_ms(dirty, level)
+            + self.costs.map_ms(dirty, level)
+            + self.costs.copy_ms(dirty, level)
+            + self.costs.resume_ms(dirty, self.interval_ms)
+        )
+
+    # -- DES processes ------------------------------------------------------------
+
+    def _epoch_driver(self):
+        """Pause the server and commit the buffer at every epoch boundary."""
+        while True:
+            yield Timeout(self.interval_ms)
+            pause = self._epoch_pause_ms()
+            self._pauses.append(pause)
+            self._paused = True
+            self._resume_event = self._engine.event()
+            yield Timeout(pause)
+            self._paused = False
+            resume_event = self._resume_event
+            commit_event, self._commit_event = (
+                self._commit_event,
+                self._engine.event(),
+            )
+            resume_event.trigger()
+            commit_event.trigger()
+
+    def _server_turnaround(self):
+        """One server->client message: wait out pauses and (sync) commits."""
+        if self._paused:
+            yield self._resume_event
+        if self.buffering is BufferMode.SYNCHRONOUS:
+            # Held in the hypervisor buffer until the next commit.
+            yield self._commit_event
+        yield Timeout(self.rtt_ms / 2.0)
+
+    def _connection(self):
+        """One closed-loop wrk connection."""
+        while True:
+            request_start = self._engine.now()
+            if not self.keepalive:
+                # Three-way handshake: SYN out, SYN/ACK back (buffered!).
+                yield Timeout(self.rtt_ms / 2.0)
+                for step in self._server_turnaround():
+                    yield step
+                yield Timeout(self.rtt_ms / 2.0)  # final ACK
+            # Request out, service, response back (buffered!).
+            yield Timeout(self.rtt_ms / 2.0)
+            if self._paused:
+                yield self._resume_event
+            yield Timeout(self.service_ms)
+            for step in self._server_turnaround():
+                yield step
+            self.latencies.append(self._engine.now() - request_start)
+
+    # -- driver ----------------------------------------------------------------------
+
+    def run(self):
+        """Simulate ``duration_ms`` of client traffic; returns a WebResult."""
+        self._engine = Engine(VirtualClock())
+        self._commit_event = self._engine.event()
+        self._resume_event = self._engine.event()
+        if self.buffering is not None:
+            self._engine.spawn(self._epoch_driver(), name="epoch-driver")
+        for index in range(self.level.connections):
+            self._engine.spawn(self._connection(), name="conn-%d" % index)
+        self._engine.run(until_ms=self.duration_ms)
+
+        completed = len(self.latencies)
+        mean_latency = (
+            sum(self.latencies) / completed if completed else float("inf")
+        )
+        throughput = completed / (self.duration_ms / 1000.0)
+        mean_pause = sum(self._pauses) / len(self._pauses) if self._pauses else 0.0
+        return WebResult(
+            mean_latency_ms=mean_latency,
+            throughput_rps=throughput,
+            requests_completed=completed,
+            duration_ms=self.duration_ms,
+            mean_pause_ms=mean_pause,
+        )
+
+
+def baseline_web_result(load="medium", **kwargs):
+    """Unprotected run used to normalize Figure 7's series."""
+    experiment = WebServerExperiment(buffering=None, load=load, **kwargs)
+    return experiment.run()

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.guest.linux import LinuxGuest
+from repro.guest.windows import WindowsGuest
+from repro.hypervisor.xen import Hypervisor
+
+
+@pytest.fixture
+def linux_vm():
+    """A small booted Linux guest."""
+    return LinuxGuest(name="test-linux", memory_bytes=8 * 1024 * 1024, seed=11)
+
+
+@pytest.fixture
+def windows_vm():
+    """A small booted Windows guest."""
+    return WindowsGuest(name="test-windows", memory_bytes=8 * 1024 * 1024,
+                        seed=12)
+
+
+@pytest.fixture
+def linux_domain(linux_vm):
+    hypervisor = Hypervisor(clock=linux_vm.clock)
+    return hypervisor.create_domain(linux_vm)
+
+
+@pytest.fixture
+def windows_domain(windows_vm):
+    hypervisor = Hypervisor(clock=windows_vm.clock)
+    return hypervisor.create_domain(windows_vm)

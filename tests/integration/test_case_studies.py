@@ -1,0 +1,122 @@
+"""Integration tests: the paper's two case studies end to end."""
+
+import pytest
+
+from repro.experiments.case_studies import (
+    case1_overflow,
+    case2_malware,
+    fig8_attack_timeline,
+)
+from repro.workloads.attacks import OVERFLOW_RIP
+
+
+class TestCaseStudy1:
+    @pytest.fixture(scope="class")
+    def case(self):
+        return case1_overflow(interval_ms=50.0, seed=7)
+
+    def test_attack_detected_within_one_epoch(self, case):
+        # §5.5: exploit at t0, detection at the epoch's end (~24.4 ms later
+        # with their offsets; always < interval + pause here).
+        assert 0 < case["detect_latency_ms"] < 50.0 + 30.0
+
+    def test_zero_external_impact(self, case):
+        # The post-exploit exfiltration packet never left the hypervisor.
+        assert case["escaped_packets"] == 0
+        assert case["crimes"].buffer.discarded_packets >= 1
+
+    def test_replay_pinpoints_the_overflow_instruction(self, case):
+        pinpoint = case["outcome"].pinpoint
+        assert pinpoint.matched
+        assert pinpoint.rip == OVERFLOW_RIP
+
+    def test_three_dumps_produced(self, case):
+        labels = [dump.label for dump in case["outcome"].dumps]
+        assert labels == ["last-clean", "audit-failed", "at-attack"]
+
+    def test_report_names_the_object(self, case):
+        rendered = case["outcome"].report.render()
+        assert "Heap Buffer Overflow" in rendered
+        assert "Replay pinpoint" in rendered
+        assert "0x%x" % OVERFLOW_RIP in rendered
+
+    def test_vm_left_suspended(self, case):
+        from repro.hypervisor.xen import DomainState
+
+        assert case["crimes"].domain.state is DomainState.SUSPENDED
+
+    def test_heap_dump_artifact_contains_overflow_pattern(self, case):
+        heap_bytes = case["outcome"].report.artifacts["heap_dump"]
+        assert b"ABCDEFGH" in heap_bytes  # the attack's payload pattern
+
+
+class TestFig8Timeline:
+    def test_milestone_ordering(self):
+        fig8 = fig8_attack_timeline(interval_ms=50.0, seed=7)
+        labels = [label for label, _offset in fig8["milestones"]]
+        assert labels[0] == "attack executed (t0)"
+        detect_index = next(
+            index for index, label in enumerate(labels)
+            if label.startswith("audit failed")
+        )
+        replay_index = next(
+            index for index, label in enumerate(labels)
+            if "replay prepared" in label
+        )
+        assert detect_index < replay_index
+        offsets = [offset for _label, offset in fig8["milestones"]]
+        assert offsets == sorted(offsets)
+
+    def test_figure8_scale(self):
+        """Detection ≈25 ms after the attack; replay ready within ~30 ms;
+        report within seconds; checkpoints within minutes (Figure 8)."""
+        fig8 = fig8_attack_timeline(interval_ms=50.0, seed=7)
+        milestones = dict((label, offset)
+                          for label, offset in fig8["milestones"])
+        detect = next(v for k, v in milestones.items()
+                      if k.startswith("audit failed"))
+        assert 15.0 < detect < 45.0
+        replay_ready = next(v for k, v in milestones.items()
+                            if "replay prepared" in k)
+        assert replay_ready < detect + 15.0
+        report = milestones["forensic report complete"]
+        assert report < 15000.0
+        checkpoints = milestones["system checkpoints written to disk"]
+        assert checkpoints > 30000.0  # "100+ sec" scaled to dump sizes
+
+
+class TestCaseStudy2:
+    @pytest.fixture(scope="class")
+    def case(self):
+        return case2_malware(interval_ms=50.0, seed=3)
+
+    def test_malware_detected_and_vm_suspended(self, case):
+        assert case["outcome"].finding.kind == "blacklisted-process"
+        assert case["crimes"].suspended
+
+    def test_exfiltration_blocked(self, case):
+        assert case["escaped_packets"] == 0
+        assert case["escaped_disk_writes"] == 0
+
+    def test_report_matches_paper_output(self, case):
+        rendered = case["report"].render()
+        assert "reg_read.exe" in rendered
+        assert "192.168.1.76:49164" in rendered
+        assert "104.28.18.89:8080" in rendered
+        assert "CLOSE_WAIT" in rendered
+        assert "write_file.txt" in rendered
+
+    def test_artifacts_for_sandbox_analysis(self, case):
+        executable = case["report"].artifacts["malware_executable"]
+        assert executable["name"] == "reg_read.exe"
+        assert executable["artifact_size"] > 0
+
+    def test_no_replay_needed_for_malware(self, case):
+        # §5.6: "CRIMES does not require replay of the VM since it is not
+        # looking for a specific memory event."
+        assert not case["outcome"].replayed
+
+    def test_hidden_malware_found_by_psxview(self):
+        case = case2_malware(interval_ms=50.0, seed=3, hide=True)
+        hidden = case["report"].artifacts["hidden_processes"]
+        assert any(row["name"] == "reg_read.exe" for row in hidden)

@@ -1,0 +1,98 @@
+"""Robustness property: forensics plugins over corrupted guest memory.
+
+An attacker controls every byte the analyzer parses. Whatever garbage a
+dump contains, plugins must either return rows or raise a library error
+— never hang, never chase pointers outside the image, never crash with
+an unrelated exception.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CrimesError
+from repro.forensics.dumps import MemoryDump
+from repro.forensics.volatility import VolatilityFramework
+from repro.guest.linux import LinuxGuest
+from repro.guest.windows import WindowsGuest
+
+LINUX_PLUGINS = ("linux_pslist", "linux_psscan", "linux_pidhashtable",
+                 "linux_lsmod", "linux_netstat", "linux_lsof")
+WINDOWS_PLUGINS = ("pslist", "psscan", "netscan", "handles", "printkey",
+                   "pstree")
+
+_volatility = VolatilityFramework()
+
+
+def _corrupt(vm, rng_data):
+    """Overwrite random kernel-region spans with attacker bytes."""
+    for offset, blob in rng_data:
+        span = min(len(blob), vm.memory.size - offset)
+        if span > 0:
+            vm.memory.write(offset, blob[:span])
+    return MemoryDump.from_vm(vm, label="corrupted")
+
+
+corruption = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=512 * 1024),
+        st.binary(min_size=1, max_size=512),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rng_data=corruption)
+def test_linux_plugins_fail_closed(rng_data):
+    vm = LinuxGuest(name="fuzz-linux", memory_bytes=4 * 1024 * 1024,
+                    seed=200)
+    vm.create_process("victim", heap_pages=2)
+    dump = _corrupt(vm, rng_data)
+    for plugin_name in LINUX_PLUGINS:
+        try:
+            rows = _volatility.run(plugin_name, dump)
+        except CrimesError:
+            continue  # fail-closed: a typed library error is acceptable
+        assert isinstance(rows, list)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rng_data=corruption)
+def test_windows_plugins_fail_closed(rng_data):
+    vm = WindowsGuest(name="fuzz-windows", memory_bytes=4 * 1024 * 1024,
+                      seed=201)
+    pid = vm.create_process("victim.exe")
+    vm.open_file(pid, "\\Device\\X\\fuzz.txt")
+    vm.open_socket(pid, ("10.0.0.1", 1), ("10.0.0.2", 2))
+    dump = _corrupt(vm, rng_data)
+    for plugin_name in WINDOWS_PLUGINS:
+        try:
+            rows = _volatility.run(plugin_name, dump)
+        except CrimesError:
+            continue
+        assert isinstance(rows, list)
+
+
+@settings(max_examples=20, deadline=None)
+@given(rng_data=corruption)
+def test_live_vmi_walkers_fail_closed(rng_data):
+    from repro.hypervisor.xen import Hypervisor
+    from repro.vmi.libvmi import VMIInstance
+
+    vm = LinuxGuest(name="fuzz-vmi", memory_bytes=4 * 1024 * 1024,
+                    seed=202)
+    vm.create_process("victim", heap_pages=2)
+    for offset, blob in rng_data:
+        span = min(len(blob), vm.memory.size - offset)
+        if span > 0:
+            vm.memory.write(offset, blob[:span])
+    domain = Hypervisor(clock=vm.clock).create_domain(vm)
+    vmi = VMIInstance(domain, seed=202)
+    for walker in (vmi.list_processes, vmi.list_modules,
+                   vmi.list_sockets, vmi.list_processes_pid_hash,
+                   vmi.read_syscall_table, vmi.canary_directory):
+        try:
+            result = walker()
+        except CrimesError:
+            continue
+        assert result is not None

@@ -1,0 +1,248 @@
+"""Property-based tests over core invariants (hypothesis).
+
+These encode the safety arguments of the paper:
+
+* rollback restores *exactly* the checkpointed state, whatever the guest
+  did since (the clean backup is trustworthy);
+* buffered outputs are all-or-nothing per epoch and order-preserving
+  (Synchronous Safety);
+* the two dirty-bitmap scans are interchangeable (Optimization 3 is safe);
+* the canary table in guest memory always mirrors the allocator's
+  bookkeeping (the Detector reads the truth).
+"""
+
+import struct
+
+from hypothesis import given, settings, strategies as st
+
+from repro.checkpoint.checkpointer import Checkpointer
+from repro.guest.devices import OutputSink, Packet
+from repro.guest.linux import LinuxGuest
+from repro.guest.memory import PAGE_SIZE
+from repro.hypervisor.xen import Hypervisor
+from repro.netbuf.buffer import BufferMode, OutputBuffer
+from repro.sim.clock import VirtualClock
+
+# Guest operations a random program can perform between checkpoints.
+_OPERATIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("malloc"), st.integers(1, 200)),
+        st.tuples(st.just("free"), st.integers(0, 10**6)),
+        st.tuples(st.just("write"), st.integers(0, 60000)),
+        st.tuples(st.just("spawn"), st.integers(0, 3)),
+        st.tuples(st.just("hijack"), st.integers(0, 63)),
+        st.tuples(st.just("module"), st.integers(0, 100)),
+    ),
+    max_size=25,
+)
+
+
+def apply_operations(vm, process, operations):
+    """Drive the guest through an arbitrary operation sequence.
+
+    Raw heap writes may clobber a canary, in which case a later free()
+    legitimately reports heap corruption (the DoubleTake-style check);
+    that fault is deterministic guest behaviour, not a test failure.
+    """
+    from repro.errors import GuestFault
+
+    live = []
+    for op, arg in operations:
+        if op == "malloc":
+            live.append(process.malloc(arg))
+        elif op == "free" and live:
+            try:
+                process.free(live.pop(arg % len(live)))
+            except GuestFault:
+                pass  # corrupted canary detected on free; object is gone
+        elif op == "write":
+            base, end = process.region_range("heap")
+            target = base + (arg % (end - base - 64))
+            process.write(target, b"x" * 16)
+        elif op == "spawn":
+            vm.create_process("bg-%d" % arg)
+        elif op == "hijack":
+            vm.hijack_syscall(arg, 0xFFFFFFFF00000000 + arg)
+        elif op == "module":
+            vm.load_module("m%d" % arg, 0x1000)
+
+
+@settings(max_examples=20, deadline=None)
+@given(before=_OPERATIONS, after=_OPERATIONS)
+def test_rollback_restores_exact_state(before, after):
+    """memory image + kernel graph + heap bookkeeping all revert."""
+    vm = LinuxGuest(name="prop-rollback", memory_bytes=8 * 1024 * 1024,
+                    seed=33)
+    domain = Hypervisor(clock=vm.clock).create_domain(vm)
+    process = vm.create_process("subject", heap_pages=64)
+    checkpointer = Checkpointer(domain)
+    checkpointer.start()
+
+    apply_operations(vm, process, before)
+    checkpointer.run_checkpoint(interval_ms=20.0)
+    checkpointer.commit()
+    reference_image = vm.memory.snapshot_bytes()
+    reference_pids = sorted(vm.processes)
+    reference_heap = process.heap.state_dict()
+
+    apply_operations(vm, process, after)
+    checkpointer.rollback()
+
+    assert vm.memory.snapshot_bytes() == reference_image
+    assert sorted(vm.processes) == reference_pids
+    assert vm.processes[process.pid].heap.state_dict() == reference_heap
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    epochs=st.lists(
+        st.tuples(st.integers(0, 5), st.booleans()),  # (packets, commit?)
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_buffer_all_or_nothing_and_ordered(epochs):
+    clock = VirtualClock()
+    sink = OutputSink(clock)
+    buffer = OutputBuffer(sink, mode=BufferMode.SYNCHRONOUS, clock=clock)
+    expected = []
+    sequence = 0
+    for packet_count, commit in epochs:
+        staged = []
+        for _ in range(packet_count):
+            buffer.emit_packet(Packet("s", "d", struct.pack("<I", sequence)))
+            staged.append(sequence)
+            sequence += 1
+        if commit:
+            buffer.commit()
+            expected.extend(staged)
+        else:
+            buffer.discard()
+    released = [struct.unpack("<I", p.payload)[0] for p in sink.packets]
+    assert released == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops=_OPERATIONS)
+def test_dirty_bitmap_scans_agree_on_real_guest_traffic(ops):
+    vm = LinuxGuest(name="prop-dirty", memory_bytes=8 * 1024 * 1024, seed=34)
+    domain = Hypervisor(clock=vm.clock).create_domain(vm)
+    domain.enable_log_dirty()
+    process = vm.create_process("traffic", heap_pages=64)
+    apply_operations(vm, process, ops)
+    bit_dirty, _ = domain.dirty_bitmap.scan_bit_by_bit()
+    word_dirty, _ = domain.dirty_bitmap.scan_by_words()
+    assert bit_dirty == word_dirty
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops=_OPERATIONS)
+def test_canary_table_in_memory_mirrors_allocator(ops):
+    vm = LinuxGuest(name="prop-canary", memory_bytes=8 * 1024 * 1024,
+                    seed=35)
+    process = vm.create_process("guarded", heap_pages=64)
+    # Only heap operations here: raw heap writes could clobber canaries.
+    safe_ops = [(op, arg) for op, arg in ops if op in ("malloc", "free")]
+    apply_operations(vm, process, safe_ops)
+
+    from repro.guest.heap import (
+        CANARY_ENTRY,
+        CANARY_TABLE_HEADER,
+        FREED_FILL_BYTE,
+        KIND_CANARY,
+        KIND_FREED,
+    )
+
+    header = CANARY_TABLE_HEADER.decode(
+        process.read(0x70000000, CANARY_TABLE_HEADER.size)
+    )
+    live_entries = set()
+    freed_entries = set()
+    for index in range(header["count"]):
+        entry = CANARY_ENTRY.decode(
+            process.read(
+                0x70000000 + CANARY_TABLE_HEADER.size
+                + index * CANARY_ENTRY.size,
+                CANARY_ENTRY.size,
+            )
+        )
+        if entry["kind"] == KIND_CANARY:
+            live_entries.add((entry["addr"], entry["size"]))
+        else:
+            assert entry["kind"] == KIND_FREED
+            freed_entries.add((entry["addr"], entry["size"]))
+    live = {(addr, size)
+            for addr, size in process.heap.live_allocations().items()}
+    assert live_entries == live
+    # Every live canary holds the correct value in raw memory...
+    for addr, size in live_entries:
+        value = struct.unpack("<Q", process.read(addr + size, 8))[0]
+        assert value == header["canary"] == process.heap.canary_value
+    # ...and every freed region is fully poison-filled.
+    for addr, size in freed_entries:
+        assert process.read(addr, size) == bytes([FREED_FILL_BYTE]) * size
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("push"), st.integers(1, 200)),
+            st.tuples(st.just("pop"), st.just(0)),
+            st.tuples(st.just("abandon"), st.just(0)),
+        ),
+        max_size=40,
+    )
+)
+def test_stack_guard_invariants(ops):
+    """Stack pointer stays within the region and descends exactly by the
+    live frames' footprints; live frames' canaries always validate."""
+    import struct as _struct
+
+    from repro.errors import GuestFault
+
+    vm = LinuxGuest(name="prop-stack", memory_bytes=8 * 1024 * 1024,
+                    seed=37)
+    process = vm.create_process("stacky", stack_pages=16)
+    guard = process.stack_guard
+    top = guard.stack_top
+    for op, size in ops:
+        if op == "push":
+            guard.push_frame(size)
+        elif op == "pop" and guard.depth:
+            guard.pop_frame()
+        elif op == "abandon" and guard.depth:
+            guard.abandon_frame()
+    assert guard.stack_base <= guard.stack_pointer <= top
+    footprints = sum(frame[2] for frame in guard._frames)
+    assert guard.stack_pointer == top - footprints
+    for locals_base, locals_size, _footprint in guard._frames:
+        canary = _struct.unpack(
+            "<Q", process.read(locals_base + locals_size, 8)
+        )[0]
+        assert canary == process.heap.canary_value
+    # Every remaining frame can be popped cleanly.
+    while guard.depth:
+        guard.pop_frame()
+    assert guard.stack_pointer == top
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    interval=st.floats(min_value=10.0, max_value=300.0),
+    epoch_count=st.integers(min_value=1, max_value=5),
+)
+def test_epoch_loop_clock_monotonic_and_accounted(interval, epoch_count):
+    from repro.core.config import CrimesConfig
+    from repro.core.crimes import Crimes
+
+    vm = LinuxGuest(name="prop-loop", memory_bytes=8 * 1024 * 1024, seed=36)
+    crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=interval))
+    crimes.start()
+    last = crimes.clock.now
+    for _ in range(epoch_count):
+        record = crimes.run_epoch()
+        assert crimes.clock.now > last
+        assert crimes.clock.now - last == \
+            __import__("pytest").approx(interval + record.pause_ms)
+        last = crimes.clock.now

@@ -1,0 +1,107 @@
+"""Tests for the adaptive epoch-interval controller."""
+
+import pytest
+
+from repro.checkpoint.checkpointer import CopyFidelity
+from repro.core.adaptive import AdaptiveIntervalController, \
+    attach_adaptive_interval
+from repro.core.config import CrimesConfig
+from repro.core.crimes import Crimes
+from repro.errors import ConfigError
+from repro.guest.linux import LinuxGuest
+from repro.workloads.parsec import ParsecWorkload
+
+
+class TestController:
+    def test_no_change_within_tolerance(self):
+        controller = AdaptiveIntervalController(target_overhead=0.10)
+        # 10 ms pause at 100 ms interval = exactly on target.
+        assert controller.next_interval(100.0, 10.0) == 100.0
+
+    def test_grows_interval_when_overhead_high(self):
+        controller = AdaptiveIntervalController(target_overhead=0.10)
+        grown = controller.next_interval(50.0, 25.0)  # 50% overhead
+        assert grown > 50.0
+
+    def test_shrinks_interval_when_overhead_low(self):
+        controller = AdaptiveIntervalController(target_overhead=0.10)
+        shrunk = controller.next_interval(400.0, 4.0)  # 1% overhead
+        assert shrunk < 400.0
+
+    def test_clamped_to_bounds(self):
+        controller = AdaptiveIntervalController(
+            target_overhead=0.10, min_interval_ms=20.0,
+            max_interval_ms=100.0, gain=1.0,
+        )
+        assert controller.next_interval(100.0, 90.0) == 100.0  # at max
+        assert controller.next_interval(20.0, 0.1) == 20.0     # at min
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            AdaptiveIntervalController(target_overhead=0.0)
+        with pytest.raises(ConfigError):
+            AdaptiveIntervalController(min_interval_ms=50.0,
+                                       max_interval_ms=40.0)
+        with pytest.raises(ConfigError):
+            AdaptiveIntervalController(gain=0.0)
+
+    def test_zero_pause_keeps_interval(self):
+        controller = AdaptiveIntervalController()
+        assert controller.next_interval(50.0, 0.0) == 50.0
+
+
+def run_adaptive(benchmark, start_interval, epochs=60, target=0.10):
+    vm = LinuxGuest(name="adaptive-%s" % benchmark,
+                    memory_bytes=4 * 1024 * 1024, seed=190)
+    crimes = Crimes(
+        vm,
+        CrimesConfig(epoch_interval_ms=start_interval,
+                     fidelity=CopyFidelity.ACCOUNTING, seed=190),
+    )
+    crimes.add_program(ParsecWorkload(benchmark, seed=190,
+                                      native_runtime_ms=10**9))
+    controller = attach_adaptive_interval(
+        crimes, AdaptiveIntervalController(target_overhead=target)
+    )
+    crimes.start()
+    crimes.run(max_epochs=epochs)
+    final = crimes.records[-1]
+    return crimes, controller, final.pause_ms / final.interval_ms
+
+
+class TestClosedLoop:
+    def test_converges_for_dirty_heavy_workload(self):
+        """fluidanimate at a naive 50 ms interval pays huge overhead; the
+        controller walks the interval up until the ratio hits target."""
+        crimes, controller, final_overhead = run_adaptive(
+            "fluidanimate", start_interval=50.0
+        )
+        assert controller.adjustments >= 1
+        assert crimes.config.epoch_interval_ms > 50.0
+        assert 0.05 < final_overhead < 0.35  # clamped by max interval
+
+    def test_shrinks_for_light_workload(self):
+        """raytrace at 400 ms wastes detection latency: overhead is far
+        below target, so the interval shrinks (better security for the
+        same budget)."""
+        crimes, controller, final_overhead = run_adaptive(
+            "raytrace", start_interval=400.0
+        )
+        assert crimes.config.epoch_interval_ms < 400.0
+        assert final_overhead == pytest.approx(0.10, rel=0.5)
+
+    def test_interval_stays_within_bounds(self):
+        crimes, controller, _overhead = run_adaptive(
+            "fluidanimate", start_interval=50.0
+        )
+        for record in crimes.records:
+            assert controller.min_interval_ms <= record.interval_ms <= \
+                controller.max_interval_ms
+
+    def test_stable_workload_settles(self):
+        """After convergence the interval stops moving (no oscillation)."""
+        crimes, _controller, _overhead = run_adaptive(
+            "swaptions", start_interval=30.0, epochs=80
+        )
+        tail = [record.interval_ms for record in crimes.records[-10:]]
+        assert max(tail) - min(tail) < 0.05 * max(tail)

@@ -1,0 +1,127 @@
+"""Tests for asynchronous checkpoint scanning (§5.3 extension)."""
+
+import pytest
+
+from repro.checkpoint.checkpointer import CopyFidelity
+from repro.core.config import CrimesConfig
+from repro.core.crimes import Crimes
+from repro.detectors.deep import (
+    HiddenProcessDeepScan,
+    SignatureSweepModule,
+)
+from repro.errors import CrimesError
+from repro.forensics.dumps import MemoryDump
+from repro.guest.linux import LinuxGuest
+from repro.workloads.attacks import MemoryResidentMalware, RootkitProgram
+
+
+def make_crimes(**kwargs):
+    vm = LinuxGuest(name="async-test", memory_bytes=8 * 1024 * 1024,
+                    seed=61)
+    kwargs.setdefault("epoch_interval_ms", 50.0)
+    return Crimes(vm, CrimesConfig(**kwargs))
+
+
+class TestDeepModules:
+    def test_signature_sweep_finds_payload(self, linux_vm):
+        process = linux_vm.create_process("host")
+        addr = process.malloc(64)
+        process.write(addr, MemoryResidentMalware.PAYLOAD)
+        dump = MemoryDump.from_vm(linux_vm)
+        findings = SignatureSweepModule().scan(dump)
+        assert any(f.details["signature"] == "meterpreter"
+                   for f in findings)
+
+    def test_signature_sweep_clean_dump(self, linux_vm):
+        dump = MemoryDump.from_vm(linux_vm)
+        assert SignatureSweepModule().scan(dump) == []
+
+    def test_sweep_cost_scales_with_ram(self, linux_vm):
+        dump = MemoryDump.from_vm(linux_vm)
+        module = SignatureSweepModule()
+        assert module.cost_ms(dump) == pytest.approx(
+            module.SWEEP_PER_MIB_MS * dump.size / (1 << 20)
+        )
+
+    def test_psxview_deep_scan_finds_hidden(self, linux_vm):
+        process = linux_vm.create_process("lurker")
+        linux_vm.hide_process(process.pid)
+        dump = MemoryDump.from_vm(linux_vm)
+        findings = HiddenProcessDeepScan(seed=1).scan(dump)
+        assert any(f.details["name"] == "lurker" for f in findings)
+
+
+class TestAsyncScannerIntegration:
+    def test_requires_full_fidelity(self):
+        crimes = make_crimes(fidelity=CopyFidelity.ACCOUNTING)
+        with pytest.raises(CrimesError):
+            crimes.install_async_module(SignatureSweepModule())
+
+    def test_fileless_malware_caught_asynchronously(self):
+        crimes = make_crimes()
+        crimes.install_async_module(SignatureSweepModule())
+        attack = crimes.add_program(MemoryResidentMalware(trigger_epoch=2))
+        crimes.start()
+        crimes.run(max_epochs=30)
+        assert crimes.suspended
+        verdict = crimes.last_async_verdict
+        assert verdict is not None
+        assert verdict.attack_detected
+        kinds = {f.kind for f in verdict.critical_findings()}
+        assert "memory-signature" in kinds
+
+    def test_detection_lags_the_evidence(self):
+        crimes = make_crimes()
+        crimes.install_async_module(SignatureSweepModule())
+        crimes.add_program(MemoryResidentMalware(trigger_epoch=2))
+        crimes.start()
+        crimes.run(max_epochs=30)
+        verdict = crimes.last_async_verdict
+        # The sweep takes ~35 ms/MiB over an 8 MiB VM (~280 ms) plus
+        # snapshot queueing: well over one 50 ms epoch.
+        assert verdict.detection_lag_ms > 50.0
+
+    def test_pause_time_unchanged_by_async_modules(self):
+        plain = make_crimes()
+        plain.start()
+        plain.run(max_epochs=4)
+
+        with_async = make_crimes()
+        with_async.install_async_module(SignatureSweepModule())
+        with_async.start()
+        with_async.run(max_epochs=4)
+
+        assert with_async.mean_pause_ms() == pytest.approx(
+            plain.mean_pause_ms(), rel=0.02
+        )
+
+    def test_busy_scanner_skips_snapshots(self):
+        crimes = make_crimes()
+        crimes.install_async_module(SignatureSweepModule())
+        crimes.start()
+        crimes.run(max_epochs=6)
+        scanner = crimes.async_scanner
+        # The sweep spans multiple epochs, so some snapshots were skipped.
+        assert scanner.snapshots_skipped >= 1
+        assert scanner.jobs_started >= 1
+
+    def test_clean_run_reaches_verdicts_without_alarm(self):
+        crimes = make_crimes()
+        crimes.install_async_module(SignatureSweepModule())
+        crimes.start()
+        crimes.run(max_epochs=30)
+        assert not crimes.suspended
+        assert crimes.async_scanner.verdicts
+        assert all(not verdict.attack_detected
+                   for verdict in crimes.async_scanner.verdicts)
+
+    def test_hidden_process_caught_by_async_psxview(self):
+        crimes = make_crimes()
+        crimes.install_async_module(HiddenProcessDeepScan(seed=2))
+        crimes.add_program(RootkitProgram(trigger_epoch=2))
+        crimes.start()
+        crimes.run(max_epochs=40)
+        assert crimes.suspended
+        kinds = {f.kind
+                 for f in crimes.last_async_verdict.critical_findings()}
+        assert "hidden-process" in kinds

@@ -1,0 +1,119 @@
+"""Unit tests for baselines and metrics helpers."""
+
+import pytest
+
+from repro.baselines.asan import AsanBaseline, AsanCheckedHeap, \
+    AsanRedZoneViolation
+from repro.baselines.remus_baseline import remus_config
+from repro.baselines.virus_scanner import PeriodicScannerBaseline
+from repro.guest.linux import LinuxGuest
+from repro.metrics.stats import geometric_mean, mean, normalize_series
+from repro.metrics.tables import format_series, format_table
+
+
+class TestAsanBaseline:
+    def test_slowdown_from_profile(self):
+        assert AsanBaseline("fluidanimate").normalized_runtime() == 2.60
+
+    def test_runtime_scales(self):
+        baseline = AsanBaseline("swaptions")
+        assert baseline.runtime_ms(1000.0) == pytest.approx(1500.0)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            AsanBaseline("quake")
+
+
+class TestAsanCheckedHeap:
+    @pytest.fixture
+    def checked(self):
+        vm = LinuxGuest(memory_bytes=8 * 1024 * 1024, seed=9)
+        process = vm.create_process("asan-app")
+        return AsanCheckedHeap(process)
+
+    def test_in_bounds_write_passes(self, checked):
+        addr = checked.malloc(64)
+        checked.store(addr, b"x" * 64)
+        assert checked.checks_performed == 1
+
+    def test_overflow_aborts_at_the_store(self, checked):
+        addr = checked.malloc(64)
+        with pytest.raises(AsanRedZoneViolation):
+            checked.store(addr, b"x" * 65)
+
+    def test_freed_memory_not_tracked(self, checked):
+        addr = checked.malloc(32)
+        checked.free(addr)
+        # A store to an untracked address passes through unchecked —
+        # matching ASan's scope being limited to instrumented allocations.
+        checked.store(addr, b"y" * 8)
+
+
+class TestRemusConfig:
+    def test_remus_has_no_scans_and_remote_backup(self):
+        config = remus_config()
+        assert not config.scan_enabled
+        assert config.remote_backup
+
+    def test_interval_forwarded(self):
+        assert remus_config(epoch_interval_ms=100.0).epoch_interval_ms == \
+            100.0
+
+
+class TestPeriodicScanner:
+    def test_windows_of_vulnerability(self):
+        scanner = PeriodicScannerBaseline(scan_period_ms=300000.0)
+        assert scanner.worst_case_window_ms() == 300000.0
+        assert scanner.expected_window_ms() == 150000.0
+
+    def test_detection_time(self):
+        scanner = PeriodicScannerBaseline(scan_period_ms=1000.0,
+                                          scan_cost_ms=100.0)
+        assert scanner.detection_time_ms(400.0) == pytest.approx(700.0)
+        with pytest.raises(ValueError):
+            scanner.detection_time_ms(1000.0)
+
+    def test_overhead_fraction(self):
+        scanner = PeriodicScannerBaseline(scan_period_ms=900.0,
+                                          scan_cost_ms=100.0)
+        assert scanner.overhead_fraction() == pytest.approx(0.1)
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicScannerBaseline(scan_period_ms=0)
+
+    def test_crimes_window_is_orders_of_magnitude_smaller(self):
+        # Best Effort CRIMES: window <= epoch interval (tens of ms);
+        # a periodic scanner: minutes.
+        scanner = PeriodicScannerBaseline()
+        assert scanner.expected_window_ms() / 50.0 > 1000
+
+
+class TestMetrics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_normalize_series(self):
+        assert normalize_series([2.0, 4.0], 2.0) == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            normalize_series([1.0], 0.0)
+
+    def test_format_table(self):
+        text = format_table([{"a": 1, "b": "xy"}], ["a", "b"], title="T")
+        assert "T" in text and "xy" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], ["a"])
+
+    def test_format_series(self):
+        text = format_series("s", [1, 2], [0.5, 0.25])
+        assert "0.500" in text and "0.250" in text

@@ -1,0 +1,147 @@
+"""Unit tests for the checkpointer: staging, commit, abort, rollback."""
+
+import pytest
+
+from repro.checkpoint.checkpointer import Checkpointer, CopyFidelity
+from repro.checkpoint.costmodel import OptimizationLevel
+from repro.errors import CheckpointError
+from repro.guest.memory import PAGE_SIZE
+
+
+@pytest.fixture
+def checkpointer(linux_domain):
+    cp = Checkpointer(linux_domain, level=OptimizationLevel.FULL)
+    cp.start()
+    return cp
+
+
+def test_start_enables_log_dirty(checkpointer, linux_domain):
+    assert linux_domain.log_dirty_enabled
+
+
+def test_start_twice_rejected(checkpointer):
+    with pytest.raises(CheckpointError):
+        checkpointer.start()
+
+
+def test_checkpoint_before_start_rejected(linux_domain):
+    cp = Checkpointer(linux_domain)
+    with pytest.raises(CheckpointError):
+        cp.run_checkpoint(interval_ms=20.0)
+
+
+def test_premap_maps_everything_at_start(checkpointer, linux_domain):
+    assert checkpointer.mapping.mapped_count() == \
+        linux_domain.vm.memory.frame_count
+    assert checkpointer.init_cost_ms > 0
+
+
+def test_dirty_pages_counted_per_epoch(checkpointer, linux_domain):
+    linux_domain.vm.memory.write(0x10000, b"dirty")
+    report = checkpointer.run_checkpoint(interval_ms=20.0)
+    assert report.real_dirty >= 1
+    checkpointer.commit()
+    # A second, clean epoch sees no dirty pages.
+    report2 = checkpointer.run_checkpoint(interval_ms=20.0)
+    assert report2.real_dirty == 0
+
+
+def test_synthetic_dirty_included_in_costs(checkpointer):
+    report = checkpointer.run_checkpoint(interval_ms=20.0,
+                                         synthetic_dirty=5000)
+    assert report.dirty_pages >= 5000
+    assert report.phase_ms["copy"] > 1.0
+
+
+def test_commit_advances_backup(checkpointer, linux_domain):
+    vm = linux_domain.vm
+    vm.memory.write(0x20000, b"epoch-1-data")
+    checkpointer.run_checkpoint(interval_ms=20.0)
+    checkpointer.commit()
+    backup = checkpointer.backup_snapshot()
+    offset = 0x20000
+    assert backup.memory_image[offset : offset + 12] == b"epoch-1-data"
+
+
+def test_abort_keeps_backup_clean(checkpointer, linux_domain):
+    vm = linux_domain.vm
+    vm.memory.write(0x20000, b"attack-epoch")
+    checkpointer.run_checkpoint(interval_ms=20.0)
+    checkpointer.abort()
+    backup = checkpointer.backup_snapshot()
+    assert backup.memory_image[0x20000 : 0x20000 + 12] == b"\x00" * 12
+
+
+def test_commit_without_staged_rejected(checkpointer):
+    with pytest.raises(CheckpointError):
+        checkpointer.commit()
+
+
+def test_rollback_restores_memory_and_state(checkpointer, linux_domain):
+    vm = linux_domain.vm
+    process = vm.create_process("pre-checkpoint")
+    checkpointer.run_checkpoint(interval_ms=20.0)
+    checkpointer.commit()
+
+    vm.create_process("post-checkpoint")
+    vm.memory.write(0x30000, b"scribble")
+    cost_ms = checkpointer.rollback()
+    assert cost_ms > 0
+    assert sorted(vm.processes) == [process.pid]
+    assert vm.memory.read(0x30000, 8) == b"\x00" * 8
+
+
+def test_rollback_clears_dirty_bitmap(checkpointer, linux_domain):
+    checkpointer.run_checkpoint(interval_ms=20.0)
+    checkpointer.commit()
+    linux_domain.vm.memory.write(0x40000, b"junk")
+    checkpointer.rollback()
+    assert linux_domain.dirty_bitmap.count() == 0
+
+
+def test_accounting_fidelity_skips_backup(linux_domain):
+    cp = Checkpointer(linux_domain, fidelity=CopyFidelity.ACCOUNTING)
+    cp.start()
+    report = cp.run_checkpoint(interval_ms=20.0, synthetic_dirty=100)
+    assert report.phase_ms["copy"] > 0
+    with pytest.raises(CheckpointError):
+        cp.backup_snapshot()
+    with pytest.raises(CheckpointError):
+        cp.rollback()
+
+
+def test_no_opt_maps_and_unmaps_each_epoch(linux_domain):
+    cp = Checkpointer(linux_domain, level=OptimizationLevel.NO_OPT)
+    cp.start()
+    linux_domain.vm.memory.write(0x50000, b"d")
+    cp.run_checkpoint(interval_ms=20.0)
+    # Dirty pages were mapped then unmapped: nothing stays mapped.
+    assert cp.mapping.mapped_count() == 0
+    assert cp.mapping.pages_mapped_total >= 1
+    assert cp.mapping.pages_unmapped_total >= 1
+
+
+def test_phase_report_has_canonical_keys(checkpointer):
+    report = checkpointer.run_checkpoint(interval_ms=20.0)
+    assert set(report.phase_ms) == {"bitscan", "map", "copy"}
+    assert report.total_ms == pytest.approx(sum(report.phase_ms.values()))
+
+
+def test_history_records_commits(linux_domain):
+    cp = Checkpointer(linux_domain, history_capacity=2)
+    cp.start()
+    for index in range(3):
+        linux_domain.vm.memory.write(0x60000 + index, bytes([index + 1]))
+        cp.run_checkpoint(interval_ms=20.0)
+        cp.commit()
+    assert len(cp.history) == 2  # bounded ring keeps the newest two
+    assert cp.history.latest().epoch == 3
+    assert cp.history.total_recorded == 3
+
+
+def test_backup_taken_at_tracks_commits(checkpointer, linux_domain):
+    t0 = checkpointer.backup_taken_at
+    linux_domain.vm.clock.advance(100.0)
+    checkpointer.run_checkpoint(interval_ms=20.0)
+    checkpointer.commit()
+    assert checkpointer.backup_taken_at > t0

@@ -1,0 +1,112 @@
+"""Unit tests for the checkpoint cost model and optimization levels."""
+
+import pytest
+
+from repro.checkpoint.costmodel import (
+    CheckpointCostModel,
+    NOMINAL_FRAME_COUNT,
+    OptimizationLevel,
+)
+
+
+@pytest.fixture
+def costs():
+    return CheckpointCostModel()
+
+
+class TestOptimizationLevels:
+    def test_no_opt_has_no_optimizations(self):
+        level = OptimizationLevel.NO_OPT
+        assert not level.use_memcpy
+        assert not level.use_premap
+        assert not level.use_wordscan
+
+    def test_memcpy_only(self):
+        level = OptimizationLevel.MEMCPY
+        assert level.use_memcpy
+        assert not level.use_premap
+        assert not level.use_wordscan
+
+    def test_premap_includes_memcpy(self):
+        level = OptimizationLevel.PREMAP
+        assert level.use_memcpy
+        assert level.use_premap
+        assert not level.use_wordscan
+
+    def test_full_includes_everything(self):
+        level = OptimizationLevel.FULL
+        assert level.use_memcpy and level.use_premap and level.use_wordscan
+
+
+class TestPhaseCosts:
+    def test_copy_socket_vs_memcpy(self, costs):
+        dirty = 2000
+        socket = costs.copy_ms(dirty, OptimizationLevel.NO_OPT)
+        local = costs.copy_ms(dirty, OptimizationLevel.FULL)
+        # §5.3: copy falls from ~70% of the pause to ~5%.
+        assert socket / local > 10
+
+    def test_remote_copy_is_multifold_worse(self, costs):
+        dirty = 2000
+        local_socket = costs.copy_ms(dirty, OptimizationLevel.NO_OPT)
+        remote = costs.copy_ms(dirty, OptimizationLevel.NO_OPT, remote=True)
+        assert remote > 2 * local_socket
+
+    def test_memcpy_without_premap_pays_map_twice(self, costs):
+        dirty = 2000
+        no_opt = costs.map_ms(dirty, OptimizationLevel.NO_OPT)
+        memcpy = costs.map_ms(dirty, OptimizationLevel.MEMCPY)
+        assert memcpy == pytest.approx(2 * no_opt)
+
+    def test_premap_map_cost_is_constant(self, costs):
+        assert costs.map_ms(100, OptimizationLevel.FULL) == costs.map_ms(
+            100000, OptimizationLevel.FULL
+        )
+
+    def test_bitscan_word_vs_bit(self, costs):
+        dirty = 2000
+        bit = costs.bitscan_ms(dirty, OptimizationLevel.NO_OPT)
+        word = costs.bitscan_ms(dirty, OptimizationLevel.FULL)
+        # Figure 4: 2.7 ms -> 0.14 ms.
+        assert bit / word > 10
+
+    def test_bitscan_scales_with_vm_size(self, costs):
+        small = costs.bitscan_ms(0, OptimizationLevel.NO_OPT,
+                                 nominal_frames=NOMINAL_FRAME_COUNT)
+        large = costs.bitscan_ms(0, OptimizationLevel.NO_OPT,
+                                 nominal_frames=16 * NOMINAL_FRAME_COUNT)
+        assert large == pytest.approx(16 * small)
+
+    def test_suspend_resume_grow_with_interval_and_dirty(self, costs):
+        assert costs.suspend_ms(2000, 200) > costs.suspend_ms(1000, 20)
+        assert costs.resume_ms(2000, 200) > costs.resume_ms(1000, 20)
+
+    def test_rollback_cost_scales(self, costs):
+        assert costs.rollback_ms(10000) > costs.rollback_ms(10)
+
+    def test_disk_write_cost(self, costs):
+        one_gib = costs.disk_write_ms(1 << 30)
+        assert one_gib == pytest.approx(costs.DISK_WRITE_PER_GIB_S * 1000.0)
+
+    def test_overrides_accepted(self):
+        costs = CheckpointCostModel(MEMCPY_PER_PAGE_US=1.0)
+        assert costs.MEMCPY_PER_PAGE_US == 1.0
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(TypeError):
+            CheckpointCostModel(NOT_A_CONSTANT=1.0)
+
+
+class TestPaperCalibration:
+    """The cost model must land near the paper's anchor measurements."""
+
+    def test_table1_high_copy(self, costs):
+        # High web load @20ms: ~2000 dirty pages, copy ~20 ms.
+        copy = costs.copy_ms(2000, OptimizationLevel.NO_OPT)
+        assert 17.0 < copy < 23.0
+
+    def test_fig4_bitscan_anchor(self, costs):
+        bit = costs.bitscan_ms(2000, OptimizationLevel.NO_OPT)
+        word = costs.bitscan_ms(2000, OptimizationLevel.FULL)
+        assert 1.8 < bit < 3.5
+        assert 0.08 < word < 0.25

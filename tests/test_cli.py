@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig3" in out and "case2" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figNaN"])
+
+
+def test_table1_output(capsys):
+    assert main(["table1", "--epochs", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "Light" in out and "High" in out
+
+
+def test_fig4_output(capsys):
+    assert main(["fig4"]) == 0
+    out = capsys.readouterr().out
+    assert "swaptions" in out
+    assert "no-opt" in out
+
+
+def test_fig6b_output(capsys):
+    assert main(["fig6b"]) == 0
+    out = capsys.readouterr().out
+    assert "bit_by_bit_ms" in out
+
+
+def test_fig8_output(capsys):
+    assert main(["fig8"]) == 0
+    out = capsys.readouterr().out
+    assert "attack executed (t0)" in out
+    assert "escaped packets: 0" in out
+
+
+def test_case2_output(capsys):
+    assert main(["case2"]) == 0
+    out = capsys.readouterr().out
+    assert "reg_read.exe" in out
+    assert "104.28.18.89:8080" in out
+
+
+def test_claims_output(capsys):
+    assert main(["claims"]) == 0
+    out = capsys.readouterr().out
+    assert "improvement over Remus" in out
+
+
+def test_table3_output(capsys):
+    assert main(["table3", "--iterations", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "process-list" in out and "volatility" in out
+
+
+def test_verify_self_check(capsys):
+    assert main(["verify"]) == 0
+    out = capsys.readouterr().out
+    assert "FAIL" not in out
+    assert "8/8 claims verified" in out

@@ -1,0 +1,133 @@
+"""Tests for multi-tenant hosting (CloudHost)."""
+
+import pytest
+
+from repro.core.cloud import CloudHost
+from repro.core.config import CrimesConfig
+from repro.detectors.canary import CanaryScanModule
+from repro.detectors.malware import MalwareScanModule
+from repro.errors import CrimesError
+from repro.guest.linux import LinuxGuest
+from repro.guest.windows import WindowsGuest
+from repro.workloads.attacks import MalwareProgram, OverflowAttackProgram
+from repro.workloads.parsec import ParsecWorkload
+
+
+def small_linux(name, seed):
+    return LinuxGuest(name=name, memory_bytes=8 * 1024 * 1024, seed=seed)
+
+
+def config(**kwargs):
+    kwargs.setdefault("epoch_interval_ms", 50.0)
+    return CrimesConfig(**kwargs)
+
+
+class TestAdmission:
+    def test_admit_starts_protection(self):
+        host = CloudHost()
+        crimes = host.admit(small_linux("t1", 1), config())
+        assert crimes.started
+        assert host.tenant("t1") is crimes
+
+    def test_duplicate_name_rejected(self):
+        host = CloudHost()
+        host.admit(small_linux("t1", 1), config())
+        with pytest.raises(CrimesError):
+            host.admit(small_linux("t1", 2), config())
+
+    def test_unknown_tenant_rejected(self):
+        with pytest.raises(CrimesError):
+            CloudHost().tenant("ghost")
+
+    def test_evict(self):
+        host = CloudHost()
+        host.admit(small_linux("t1", 1), config())
+        host.evict("t1")
+        with pytest.raises(CrimesError):
+            host.tenant("t1")
+
+
+class TestFleetDriving:
+    def test_round_advances_every_tenant(self):
+        host = CloudHost()
+        host.admit(small_linux("t1", 1), config())
+        host.admit(small_linux("t2", 2), config())
+        records = host.run_round()
+        assert set(records) == {"t1", "t2"}
+        assert all(record.committed for record in records.values())
+
+    def test_incident_isolated_to_one_tenant(self):
+        host = CloudHost()
+        host.admit(
+            small_linux("victim", 3), config(),
+            modules=[CanaryScanModule()],
+            programs=[OverflowAttackProgram(trigger_epoch=2)],
+        )
+        host.admit(
+            small_linux("bystander", 4), config(),
+            modules=[CanaryScanModule()],
+            programs=[ParsecWorkload("raytrace", native_runtime_ms=10000.0)],
+        )
+        incidents = host.run(rounds=5)
+        assert incidents == ["victim"]
+        assert not host.tenant("bystander").suspended
+        assert host.tenant("bystander").epochs_run == 5
+        outcome = host.incident_outcomes()["victim"]
+        assert outcome.finding.kind == "buffer-overflow"
+
+    def test_mixed_os_fleet(self):
+        host = CloudHost()
+        host.admit(
+            small_linux("linux-web", 5), config(),
+            modules=[CanaryScanModule()],
+        )
+        host.admit(
+            WindowsGuest(name="win-desktop", memory_bytes=8 * 1024 * 1024,
+                         seed=6),
+            config(),
+            modules=[MalwareScanModule()],
+            programs=[MalwareProgram(trigger_epoch=2)],
+        )
+        incidents = host.run(rounds=4)
+        assert incidents == ["win-desktop"]
+
+    def test_run_stops_when_all_suspended(self):
+        host = CloudHost()
+        host.admit(
+            small_linux("only", 7), config(),
+            modules=[CanaryScanModule()],
+            programs=[OverflowAttackProgram(trigger_epoch=1)],
+        )
+        host.run(rounds=10)
+        assert host.rounds_run <= 2
+
+
+class TestHostAccounting:
+    def test_memory_overhead_is_backup_per_tenant(self):
+        host = CloudHost()
+        host.admit(small_linux("t1", 8), config())
+        host.admit(small_linux("t2", 9), config())
+        assert host.memory_overhead_bytes() == 2 * 8 * 1024 * 1024
+
+    def test_audit_demand_scales_with_fleet(self):
+        host = CloudHost()
+        for index in range(4):
+            host.admit(small_linux("t%d" % index, 10 + index), config())
+        host.run(rounds=3)
+        demand = host.audit_seconds_per_wall_second()
+        # Each tenant's minimal audit is ~0.35 ms per ~57 ms cycle.
+        per_tenant = demand / 4
+        assert 0.003 < per_tenant < 0.02
+        # A single scan core handles hundreds of such tenants - the
+        # economy-of-scale argument of section 2.
+        assert 1.0 / per_tenant > 50
+
+    def test_fleet_summary_rows(self):
+        host = CloudHost()
+        host.admit(small_linux("t1", 20), config(), sla="premium")
+        host.run(rounds=2)
+        rows = host.fleet_summary()
+        assert rows[0]["tenant"] == "t1"
+        assert rows[0]["sla"] == "premium"
+        assert rows[0]["epochs"] == 2
+        assert rows[0]["status"] == "running"

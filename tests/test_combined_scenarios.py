@@ -1,0 +1,115 @@
+"""Combined-scenario integration tests: concurrent programs, replay with
+multiple programs, keep-alive web clients."""
+
+import pytest
+
+from repro.core.config import CrimesConfig
+from repro.core.crimes import Crimes
+from repro.detectors.canary import CanaryScanModule
+from repro.guest.linux import LinuxGuest
+from repro.netbuf.buffer import BufferMode
+from repro.checkpoint.checkpointer import CopyFidelity
+from repro.workloads.attacks import (
+    OVERFLOW_RIP,
+    OverflowAttackProgram,
+    UseAfterFreeProgram,
+)
+from repro.workloads.parsec import ParsecWorkload
+from repro.workloads.webserver import WebServerExperiment, \
+    baseline_web_result
+
+
+class TestWorkloadPlusAttack:
+    def test_attack_detected_under_heavy_workload(self):
+        """A busy benchmark VM doesn't mask the attack: the dirty-page
+        filter still visits the canary page."""
+        vm = LinuxGuest(name="busy", memory_bytes=8 * 1024 * 1024, seed=111)
+        crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=111))
+        crimes.install_module(CanaryScanModule())
+        crimes.add_program(ParsecWorkload("vips", seed=111,
+                                          native_runtime_ms=10000.0))
+        crimes.add_program(OverflowAttackProgram(trigger_epoch=3))
+        crimes.start()
+        crimes.run(max_epochs=6)
+        assert crimes.suspended
+        assert crimes.last_outcome.finding.kind == "buffer-overflow"
+
+    def test_replay_with_multiple_programs_still_pinpoints(self):
+        """Replay re-runs every program; the extra benign traffic must
+        not confuse the pinpoint."""
+        vm = LinuxGuest(name="multi", memory_bytes=8 * 1024 * 1024,
+                        seed=112)
+        crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=112))
+        crimes.install_module(CanaryScanModule())
+        crimes.add_program(UseAfterFreeProgram(trigger_epoch=99))
+        crimes.add_program(OverflowAttackProgram(trigger_epoch=3))
+        crimes.start()
+        crimes.run(max_epochs=6)
+        outcome = crimes.last_outcome
+        assert outcome.pinpoint.matched
+        assert outcome.pinpoint.rip == OVERFLOW_RIP
+
+    def test_two_attacks_first_one_wins(self):
+        """Both attacks fire in the same epoch; the audit reports both,
+        the Analyzer handles the first critical finding."""
+        vm = LinuxGuest(name="double", memory_bytes=8 * 1024 * 1024,
+                        seed=113)
+        crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=113,
+                                         auto_respond=False))
+        crimes.install_module(CanaryScanModule())
+        crimes.add_program(UseAfterFreeProgram(trigger_epoch=2))
+        crimes.add_program(OverflowAttackProgram(trigger_epoch=2))
+        crimes.start()
+        crimes.run(max_epochs=4)
+        detection = crimes.records[-1].detection
+        kinds = {f.kind for f in detection.critical_findings()}
+        assert kinds == {"use-after-free", "buffer-overflow"}
+
+
+class TestKeepAliveWebClients:
+    def test_keepalive_skips_handshake_penalty(self):
+        """With keep-alive connections only the response is buffered, so
+        sync latency roughly halves versus per-request connections."""
+        per_request = WebServerExperiment(
+            interval_ms=100.0, buffering=BufferMode.SYNCHRONOUS,
+            duration_ms=2000.0, keepalive=False,
+        ).run()
+        keepalive = WebServerExperiment(
+            interval_ms=100.0, buffering=BufferMode.SYNCHRONOUS,
+            duration_ms=2000.0, keepalive=True,
+        ).run()
+        assert keepalive.mean_latency_ms < 0.7 * per_request.mean_latency_ms
+        assert keepalive.throughput_rps > per_request.throughput_rps
+
+    def test_keepalive_baseline_faster(self):
+        plain = baseline_web_result(duration_ms=2000.0)
+        keepalive = WebServerExperiment(
+            buffering=None, duration_ms=2000.0, keepalive=True,
+        ).run()
+        assert keepalive.mean_latency_ms < plain.mean_latency_ms
+
+
+class TestAccountingVsFullConsistency:
+    def test_timing_identical_across_fidelities(self):
+        """ACCOUNTING mode must report the same virtual-time behaviour
+        as FULL mode for a synthetic-dirty workload."""
+
+        def run(fidelity):
+            vm = LinuxGuest(name="fid-%s" % fidelity.value,
+                            memory_bytes=8 * 1024 * 1024, seed=114)
+            crimes = Crimes(
+                vm,
+                CrimesConfig(epoch_interval_ms=200.0, fidelity=fidelity,
+                             seed=114),
+            )
+            crimes.add_program(ParsecWorkload("swaptions", seed=114,
+                                              native_runtime_ms=1000.0))
+            crimes.start()
+            crimes.run()
+            return crimes.clock.now, crimes.mean_pause_ms()
+
+        full = run(CopyFidelity.FULL)
+        accounting = run(CopyFidelity.ACCOUNTING)
+        # FULL pays the one-time initial whole-VM copy; per-epoch timing
+        # must agree to within that constant.
+        assert full[1] == pytest.approx(accounting[1], rel=0.02)

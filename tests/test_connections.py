@@ -1,0 +1,110 @@
+"""Tests for live socket introspection and the connection-policy module."""
+
+import pytest
+
+from repro.core.config import CrimesConfig
+from repro.core.crimes import Crimes
+from repro.detectors.base import Detector
+from repro.detectors.connections import ConnectionPolicyModule
+from repro.guest.net import TCP_CLOSED, TCP_ESTABLISHED
+from repro.guest.windows import WindowsGuest
+from repro.vmi.libvmi import VMIInstance
+from repro.workloads.attacks import MalwareProgram, OverflowAttackProgram
+
+
+class TestListSockets:
+    def test_linux_socket_list(self, linux_domain):
+        vm = linux_domain.vm
+        process = vm.create_process("serverd")
+        vm.open_socket(process.pid, ("10.0.0.5", 443),
+                       ("192.168.1.10", 51000))
+        vmi = VMIInstance(linux_domain, seed=7)
+        sockets = vmi.list_sockets()
+        assert len(sockets) == 1
+        assert sockets[0].owner_pid == process.pid
+        assert sockets[0].remote == ("192.168.1.10", 51000)
+        assert sockets[0].state_name == "ESTABLISHED"
+
+    def test_windows_socket_pool(self, windows_domain):
+        vm = windows_domain.vm
+        pid = vm.create_process("browser.exe")
+        vm.open_socket(pid, ("192.168.1.76", 50000), ("10.9.8.7", 443))
+        vmi = VMIInstance(windows_domain, seed=7)
+        sockets = vmi.list_sockets()
+        assert any(s.owner_pid == pid and s.remote == ("10.9.8.7", 443)
+                   for s in sockets)
+
+
+class TestConnectionPolicy:
+    def test_internal_traffic_allowed(self, linux_domain):
+        vm = linux_domain.vm
+        process = vm.create_process("db-client")
+        vm.open_socket(process.pid, ("10.0.0.5", 5432), ("10.0.0.9", 5432))
+        detector = Detector(VMIInstance(linux_domain, seed=7))
+        detector.install(ConnectionPolicyModule())
+        assert not detector.scan().attack_detected
+
+    def test_external_connection_flagged(self, linux_domain):
+        vm = linux_domain.vm
+        process = vm.create_process("beacon")
+        vm.open_socket(process.pid, ("10.0.0.5", 4444),
+                       ("203.0.113.66", 443))
+        detector = Detector(VMIInstance(linux_domain, seed=7))
+        detector.install(ConnectionPolicyModule())
+        result = detector.scan()
+        assert result.attack_detected
+        finding = result.critical_findings()[0]
+        assert finding.kind == "unauthorized-connection"
+        assert finding.details["remote"] == "203.0.113.66:443"
+
+    def test_closed_connections_ignored(self, linux_domain):
+        vm = linux_domain.vm
+        process = vm.create_process("old-client")
+        socket_va = vm.open_socket(
+            process.pid, ("10.0.0.5", 80), ("203.0.113.66", 80),
+            state=TCP_CLOSED,
+        )
+        detector = Detector(VMIInstance(linux_domain, seed=7))
+        detector.install(ConnectionPolicyModule())
+        assert not detector.scan().attack_detected
+
+    def test_custom_allowlist(self, linux_domain):
+        vm = linux_domain.vm
+        process = vm.create_process("partner-sync")
+        vm.open_socket(process.pid, ("10.0.0.5", 8443),
+                       ("203.0.113.66", 8443))
+        detector = Detector(VMIInstance(linux_domain, seed=7))
+        detector.install(
+            ConnectionPolicyModule(allowed_networks=("203.0.113.0/24",))
+        )
+        assert not detector.scan().attack_detected
+
+    def test_catches_overflow_exfil_connection_end_to_end(self):
+        from repro.guest.linux import LinuxGuest
+
+        vm = LinuxGuest(name="conn-e2e", memory_bytes=8 * 1024 * 1024,
+                        seed=160)
+        crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=160,
+                                         auto_respond=False))
+        crimes.install_module(ConnectionPolicyModule())
+        crimes.add_program(OverflowAttackProgram(trigger_epoch=2))
+        crimes.start()
+        crimes.run(max_epochs=4)
+        # The exploit's C2 connection (198.51.100.7) violates policy.
+        assert crimes.suspended
+        kinds = {f.kind for f in
+                 crimes.records[-1].detection.critical_findings()}
+        assert "unauthorized-connection" in kinds
+
+    def test_catches_windows_malware_connection(self):
+        vm = WindowsGuest(name="conn-win", memory_bytes=8 * 1024 * 1024,
+                          seed=161)
+        crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=161,
+                                         auto_respond=False))
+        crimes.install_module(ConnectionPolicyModule())
+        crimes.add_program(MalwareProgram(trigger_epoch=2))
+        crimes.start()
+        crimes.run(max_epochs=4)
+        assert crimes.suspended
+        finding = crimes.records[-1].detection.critical_findings()[0]
+        assert finding.details["remote"] == "104.28.18.89:8080"

@@ -1,0 +1,147 @@
+"""Edge-path tests for corners not covered elsewhere."""
+
+import pytest
+
+from repro.analyzer.analyzer import Analyzer
+from repro.checkpoint.checkpointer import Checkpointer
+from repro.checkpoint.costmodel import OptimizationLevel
+from repro.checkpoint.snapshot import CheckpointHistory
+from repro.core.config import CrimesConfig
+from repro.core.crimes import Crimes
+from repro.detectors.canary import CanaryScanModule
+from repro.errors import CheckpointError
+from repro.forensics.dumps import MemoryDump
+from repro.forensics.volatility import VolatilityFramework
+from repro.guest.linux import LinuxGuest
+from repro.workloads.attacks import OverflowAttackProgram
+
+
+class TestCheckpointEdges:
+    def test_double_stage_rejected(self, linux_domain):
+        checkpointer = Checkpointer(linux_domain)
+        checkpointer.start()
+        checkpointer.run_checkpoint(interval_ms=20.0)
+        with pytest.raises(CheckpointError):
+            checkpointer.run_checkpoint(interval_ms=20.0)
+        checkpointer.commit()
+        checkpointer.run_checkpoint(interval_ms=20.0)  # clean again
+
+    def test_remote_checkpointer_costs_more(self, linux_domain):
+        local = Checkpointer(linux_domain, level=OptimizationLevel.NO_OPT)
+        remote = Checkpointer(linux_domain, level=OptimizationLevel.NO_OPT,
+                              remote=True)
+        local_ms = local.costs.copy_ms(2000, OptimizationLevel.NO_OPT)
+        remote_ms = remote.costs.copy_ms(2000, OptimizationLevel.NO_OPT,
+                                         remote=True)
+        assert remote_ms > 2 * local_ms
+
+    def test_history_checkpoints_are_independent_copies(self, linux_domain):
+        checkpointer = Checkpointer(linux_domain, history_capacity=2)
+        checkpointer.start()
+        vm = linux_domain.vm
+        vm.memory.write(0x50000, b"one")
+        checkpointer.run_checkpoint(interval_ms=20.0)
+        checkpointer.commit()
+        vm.memory.write(0x50000, b"two")
+        checkpointer.run_checkpoint(interval_ms=20.0)
+        checkpointer.commit()
+        first, second = checkpointer.history.all()
+        assert first.memory_image[0x50000:0x50003] == b"one"
+        assert second.memory_image[0x50000:0x50003] == b"two"
+
+    def test_unbounded_history(self):
+        history = CheckpointHistory(capacity=0)
+        assert history.latest() is None
+        assert len(history) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointHistory(capacity=-1)
+
+
+class TestAnalyzerEdges:
+    def test_respond_without_checkpoint_writes(self, linux_domain):
+        from repro.vmi.libvmi import VMIInstance
+
+        vm = linux_domain.vm
+        program = OverflowAttackProgram(trigger_epoch=1)
+        program.bind(vm)
+        clean = program.state_dict()
+        # Start checkpointing only after the guest is set up, so the
+        # backup (rollback target) contains the victim process.
+        checkpointer = Checkpointer(linux_domain)
+        checkpointer.start()
+        vmi = VMIInstance(linux_domain, seed=220)
+        analyzer = Analyzer(linux_domain, checkpointer, vmi, seed=220)
+        program.step(0.0, 50.0)
+        checkpointer.run_checkpoint(50.0)
+
+        from repro.detectors.base import Detector
+
+        detector = Detector(vmi)
+        module = detector.install(CanaryScanModule(scan_all_pages=True))
+        finding = detector.scan().critical_findings()[0]
+
+        before = vm.clock.now
+        outcome = analyzer.respond(
+            finding, module, programs=[program], program_states=[clean],
+            interval_ms=50.0, write_checkpoints=False,
+        )
+        assert not outcome.timeline.has(
+            "system checkpoints written to disk"
+        )
+        # Still well under the 100+ second disk-write cost.
+        assert vm.clock.now - before < 60000.0
+
+
+class TestFilescan:
+    def test_finds_files_without_live_handles(self, windows_vm):
+        pid = windows_vm.create_process("ghostwriter.exe")
+        windows_vm.open_file(pid, "\\Device\\HarddiskVolume2\\dropped.bin")
+        windows_vm.terminate_process(pid)  # unlinked from the active list
+        dump = MemoryDump.from_vm(windows_vm)
+        volatility = VolatilityFramework()
+        # handles (pslist-based) no longer sees the process...
+        assert not any(
+            row["pid"] == pid for row in volatility.run("handles", dump)
+        )
+        # ...but the pool scan still finds the file object.
+        rows = volatility.run("filescan", dump)
+        assert any(row["owner_pid"] == pid and
+                   row["path"].endswith("dropped.bin") for row in rows)
+
+
+class TestMiscEdges:
+    def test_crimes_with_zero_programs_and_modules(self):
+        vm = LinuxGuest(name="bare", memory_bytes=8 * 1024 * 1024, seed=221)
+        crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=221))
+        crimes.start()
+        records = crimes.run(max_epochs=2)
+        assert len(records) == 2
+        assert all(record.committed for record in records)
+
+    def test_epoch_record_pause_property(self):
+        vm = LinuxGuest(name="pause", memory_bytes=8 * 1024 * 1024,
+                        seed=222)
+        crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=222))
+        crimes.start()
+        record = crimes.run_epoch()
+        assert record.pause_ms == pytest.approx(
+            sum(record.phase_ms.values())
+        )
+
+    def test_windows_guest_rejects_linux_only_vmi_calls(self, windows_domain):
+        from repro.errors import IntrospectionError
+        from repro.vmi.libvmi import VMIInstance
+
+        vmi = VMIInstance(windows_domain, seed=223)
+        with pytest.raises(IntrospectionError):
+            vmi.list_modules()
+
+    def test_linux_guest_rejects_windows_pool_scan(self, linux_domain):
+        from repro.errors import IntrospectionError
+        from repro.vmi.libvmi import VMIInstance
+
+        vmi = VMIInstance(linux_domain, seed=224)
+        with pytest.raises(IntrospectionError):
+            vmi.pool_scan_processes()

@@ -1,0 +1,92 @@
+"""The docs/custom_modules.md worked example, kept honest by CI.
+
+If this test breaks, the tutorial is lying to users.
+"""
+
+from repro.core.config import CrimesConfig
+from repro.core.crimes import Crimes
+from repro.detectors.base import Finding, ScanModule, Severity
+from repro.guest.linux import LinuxGuest
+from repro.workloads.base import GuestProgram
+
+
+class ProcessQuotaModule(ScanModule):
+    """Flag guests whose live process count exceeds the tenant quota."""
+
+    name = "process-quota"
+    guest_aided = False
+
+    def __init__(self, max_processes=64):
+        self.max_processes = max_processes
+
+    def scan(self, context):
+        processes = context.vmi.list_processes()
+        live = [p for p in processes if not p.kernel_thread]
+        if len(live) <= self.max_processes:
+            return []
+        return [
+            Finding(
+                self.name,
+                "process-quota-exceeded",
+                Severity.CRITICAL,
+                "%d live processes exceed the quota of %d"
+                % (len(live), self.max_processes),
+                {"count": len(live), "quota": self.max_processes},
+            )
+        ]
+
+
+class ForkBomb(GuestProgram):
+    """Spawns processes geometrically once triggered."""
+
+    name = "fork-bomb"
+
+    def __init__(self, trigger_epoch=2, spawn_per_epoch=8):
+        super().__init__()
+        self.trigger_epoch = trigger_epoch
+        self.spawn_per_epoch = spawn_per_epoch
+        self._epoch = 0
+        self._spawned = 0
+
+    def step(self, start_ms, interval_ms):
+        self._epoch += 1
+        if self._epoch >= self.trigger_epoch:
+            for _ in range(self.spawn_per_epoch):
+                self._spawned += 1
+                self.vm.create_process(
+                    "bomb-%03d" % self._spawned,
+                    heap_pages=1, canaries_enabled=False,
+                )
+        return {}
+
+    def state_dict(self):
+        return {"epoch": self._epoch, "spawned": self._spawned}
+
+    def load_state_dict(self, state):
+        self._epoch = state["epoch"]
+        self._spawned = state["spawned"]
+
+
+def test_tutorial_module_detects_fork_bomb():
+    vm = LinuxGuest(name="quota-vm", memory_bytes=8 * 1024 * 1024, seed=180)
+    crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=180,
+                                     auto_respond=False))
+    crimes.install_module(ProcessQuotaModule(max_processes=10))
+    crimes.add_program(ForkBomb(trigger_epoch=2, spawn_per_epoch=8))
+    crimes.start()
+    crimes.run(max_epochs=5)
+    assert crimes.suspended
+    finding = crimes.records[-1].detection.critical_findings()[0]
+    assert finding.kind == "process-quota-exceeded"
+    assert finding.details["count"] > 10
+
+
+def test_tutorial_module_quiet_under_quota():
+    vm = LinuxGuest(name="quota-vm2", memory_bytes=8 * 1024 * 1024,
+                    seed=181)
+    crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=181))
+    crimes.install_module(ProcessQuotaModule(max_processes=10))
+    crimes.add_program(ForkBomb(trigger_epoch=99))
+    crimes.start()
+    records = crimes.run(max_epochs=3)
+    assert all(record.committed for record in records)

@@ -1,0 +1,185 @@
+"""Unit tests for the Detector framework and every scan module."""
+
+import pytest
+
+from repro.detectors.base import Detector, Severity
+from repro.detectors.canary import CanaryScanModule
+from repro.detectors.malware import MalwareScanModule
+from repro.detectors.module_list import KernelModuleModule
+from repro.detectors.netsig import OutputSignatureModule
+from repro.detectors.syscall_table import SyscallTableModule
+from repro.guest.devices import OutputSink, Packet
+from repro.guest.memory import PAGE_SIZE
+from repro.netbuf.buffer import BufferMode, OutputBuffer
+from repro.vmi.libvmi import VMIInstance
+
+
+@pytest.fixture
+def detector(linux_domain):
+    return Detector(VMIInstance(linux_domain, seed=2))
+
+
+@pytest.fixture
+def windows_detector(windows_domain):
+    return Detector(VMIInstance(windows_domain, seed=2))
+
+
+class TestDetectorFramework:
+    def test_clean_scan_has_base_cost_only(self, detector):
+        result = detector.scan()
+        assert not result.attack_detected
+        # Table 1's "vmi" row: ~0.34 ms for the minimal audit.
+        assert 0.25 < result.cost_ms < 0.55
+
+    def test_scan_counts_accumulate(self, detector):
+        detector.scan()
+        detector.scan()
+        assert detector.scans_run == 2
+        assert detector.total_cost_ms > 0
+
+    def test_module_lookup(self, detector):
+        module = detector.install(CanaryScanModule())
+        assert detector.module("canary") is module
+        with pytest.raises(KeyError):
+            detector.module("nonexistent")
+
+
+class TestCanaryModule:
+    def test_clean_heap_passes(self, detector, linux_domain):
+        linux_domain.vm.create_process("clean").malloc(40)
+        result = detector_scan_all(detector, CanaryScanModule())
+        assert not result.attack_detected
+
+    def test_overflow_detected_with_details(self, detector, linux_domain):
+        process = linux_domain.vm.create_process("victim")
+        addr = process.malloc(100)
+        process.write(addr, b"B" * 108)
+        result = detector_scan_all(detector, CanaryScanModule())
+        assert result.attack_detected
+        finding = result.critical_findings()[0]
+        assert finding.kind == "buffer-overflow"
+        assert finding.details["object_addr"] == addr
+        assert finding.details["object_size"] == 100
+
+    def test_dirty_page_filter_skips_clean_pages(self, detector,
+                                                 linux_domain):
+        process = linux_domain.vm.create_process("victim")
+        addr = process.malloc(100)
+        process.write(addr, b"B" * 108)
+        module = detector.install(CanaryScanModule())
+        # Scan with an empty dirty set: the corrupted page is not visited.
+        result = detector.scan(dirty_pfns=set())
+        assert not result.attack_detected
+        # Scanning the right page finds it.
+        canary_pa = detector.vmi.translate(addr + 100, pid=process.pid)
+        result = detector.scan(dirty_pfns={canary_pa // PAGE_SIZE})
+        assert result.attack_detected
+
+    def test_replay_targets_point_at_canary(self, detector, linux_domain):
+        process = linux_domain.vm.create_process("victim")
+        addr = process.malloc(64)
+        process.write(addr, b"C" * 72)
+        module = CanaryScanModule(scan_all_pages=True)
+        result = detector_scan_all(detector, module, install=False,
+                                   premade=module)
+        finding = result.critical_findings()[0]
+        targets = module.replay_targets(finding)
+        assert targets == [finding.details["canary_pa"]]
+
+
+class TestMalwareModule:
+    def test_blacklisted_process_detected(self, windows_detector,
+                                          windows_domain):
+        windows_domain.vm.create_process("reg_read.exe")
+        windows_detector.install(MalwareScanModule())
+        result = windows_detector.scan()
+        assert result.attack_detected
+        assert result.critical_findings()[0].kind == "blacklisted-process"
+
+    def test_benign_processes_pass(self, windows_detector, windows_domain):
+        windows_domain.vm.create_process("notepad.exe")
+        windows_detector.install(MalwareScanModule())
+        assert not windows_detector.scan().attack_detected
+
+    def test_blacklist_is_case_insensitive(self, windows_detector,
+                                           windows_domain):
+        windows_domain.vm.create_process("REG_READ.exe")
+        windows_detector.install(MalwareScanModule())
+        assert windows_detector.scan().attack_detected
+
+    def test_hidden_linux_process_detected(self, detector, linux_domain):
+        vm = linux_domain.vm
+        process = vm.create_process("sneaky")
+        vm.hide_process(process.pid)
+        detector.install(MalwareScanModule())
+        result = detector.scan()
+        assert result.attack_detected
+        assert any(f.kind == "hidden-process" for f in result.findings)
+
+    def test_custom_blacklist(self, detector, linux_domain):
+        linux_domain.vm.create_process("sitespecific")
+        detector.install(MalwareScanModule(blacklist={"sitespecific"},
+                                           detect_hidden=False))
+        assert detector.scan().attack_detected
+
+
+class TestKernelIntegrityModules:
+    def test_syscall_hijack_detected(self, detector, linux_domain):
+        detector.install(SyscallTableModule())
+        assert not detector.scan().attack_detected
+        linux_domain.vm.hijack_syscall(13, 0xFFFFFFFFA0666000)
+        result = detector.scan()
+        assert result.attack_detected
+        finding = result.critical_findings()[0]
+        assert finding.kind == "syscall-hijack"
+        assert finding.details["index"] == 13
+
+    def test_unknown_module_detected(self, detector, linux_domain):
+        detector.install(KernelModuleModule())
+        assert not detector.scan().attack_detected
+        linux_domain.vm.load_module("diamorphine", 0x8000)
+        result = detector.scan()
+        assert result.attack_detected
+        assert result.critical_findings()[0].details["module"] == \
+            "diamorphine"
+
+    def test_whitelisted_extra_module_passes(self, detector, linux_domain):
+        detector.install(KernelModuleModule(extra_whitelist={"goodmod"}))
+        linux_domain.vm.load_module("goodmod", 0x1000)
+        assert not detector.scan().attack_detected
+
+
+class TestOutputSignatureModule:
+    def _buffer_with(self, payload):
+        buffer = OutputBuffer(OutputSink(), mode=BufferMode.SYNCHRONOUS)
+        buffer.emit_packet(Packet("vm", "198.51.100.9:80", payload))
+        return buffer
+
+    def test_exfil_marker_detected(self, detector):
+        detector.install(OutputSignatureModule())
+        buffer = self._buffer_with(b"BEGIN_DUMP aaaa")
+        result = detector.scan(output_buffer=buffer)
+        assert result.attack_detected
+
+    def test_card_number_detected(self, detector):
+        detector.install(OutputSignatureModule())
+        buffer = self._buffer_with(b"cc=4111 1111 1111 1111 exp=12/29")
+        assert detector.scan(output_buffer=buffer).attack_detected
+
+    def test_clean_traffic_passes(self, detector):
+        detector.install(OutputSignatureModule())
+        buffer = self._buffer_with(b"HTTP/1.1 200 OK\r\n\r\nhello")
+        assert not detector.scan(output_buffer=buffer).attack_detected
+
+    def test_no_buffer_no_findings(self, detector):
+        detector.install(OutputSignatureModule())
+        assert not detector.scan(output_buffer=None).attack_detected
+
+
+def detector_scan_all(detector, module, install=True, premade=None):
+    """Install a module configured to ignore the dirty filter and scan."""
+    chosen = premade if premade is not None else module
+    chosen.scan_all_pages = True
+    if install or premade is not None:
+        detector.install(chosen)
+    return detector.scan()

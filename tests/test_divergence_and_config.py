@@ -1,0 +1,115 @@
+"""Tests for nondeterministic-replay degradation and config round-trips."""
+
+import pytest
+
+from repro.core.config import CrimesConfig, SafetyMode
+from repro.core.crimes import Crimes
+from repro.checkpoint.costmodel import OptimizationLevel
+from repro.detectors.canary import CanaryScanModule
+from repro.errors import ConfigError
+from repro.guest.linux import LinuxGuest
+from repro.workloads.base import GuestProgram
+
+
+class NondeterministicOverflow(GuestProgram):
+    """Overflows a buffer only on its *first* execution of the trigger
+    epoch: the execution counter is deliberately outside state_dict, so
+    replay (a second execution of the same epoch) behaves differently —
+    the nondeterminism §6 concedes real guests have."""
+
+    name = "nondet-overflow"
+
+    def __init__(self, trigger_epoch=2):
+        super().__init__()
+        self.trigger_epoch = trigger_epoch
+        self._epoch = 0
+        self._pid = None
+        self._executions_of_trigger = 0  # NOT checkpointed: nondeterminism
+
+    def bind(self, vm):
+        super().bind(vm)
+        self._pid = vm.create_process("nondet").pid
+
+    def step(self, start_ms, interval_ms):
+        self._epoch += 1
+        if self._epoch == self.trigger_epoch:
+            self._executions_of_trigger += 1
+            if self._executions_of_trigger == 1:
+                process = self.vm.processes[self._pid]
+                victim = process.malloc(24)
+                process.write(victim, b"Z" * 32)
+        return {}
+
+    def state_dict(self):
+        return {"epoch": self._epoch, "pid": self._pid}
+
+    def load_state_dict(self, state):
+        self._epoch = state["epoch"]
+        self._pid = state["pid"]
+
+
+class TestReplayDivergenceHandling:
+    def test_response_survives_divergent_replay(self):
+        vm = LinuxGuest(name="nondet-vm", memory_bytes=8 * 1024 * 1024,
+                        seed=130)
+        crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=130))
+        crimes.install_module(CanaryScanModule())
+        crimes.add_program(NondeterministicOverflow(trigger_epoch=2))
+        crimes.start()
+        crimes.run(max_epochs=4)
+
+        outcome = crimes.last_outcome
+        assert outcome is not None
+        # The replay could not reproduce the store...
+        assert outcome.pinpoint is None
+        assert any("replay diverged" in label
+                   for _when, label in outcome.timeline)
+        # ...but detection, suspension, and the forensic report all hold.
+        assert crimes.suspended
+        rendered = outcome.report.render()
+        assert "Heap Buffer Overflow" in rendered
+        assert "Replay pinpoint" not in rendered
+
+    def test_dumps_still_cover_before_and_after(self):
+        vm = LinuxGuest(name="nondet-vm2", memory_bytes=8 * 1024 * 1024,
+                        seed=131)
+        crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=131))
+        crimes.install_module(CanaryScanModule())
+        crimes.add_program(NondeterministicOverflow(trigger_epoch=2))
+        crimes.start()
+        crimes.run(max_epochs=4)
+        labels = [dump.label for dump in crimes.last_outcome.dumps]
+        assert labels == ["last-clean", "audit-failed"]  # no at-attack dump
+
+
+class TestConfigSerialization:
+    def test_roundtrip(self):
+        config = CrimesConfig(
+            epoch_interval_ms=20.0,
+            safety=SafetyMode.BEST_EFFORT,
+            optimization=OptimizationLevel.MEMCPY,
+            history_capacity=4,
+            seed=9,
+        )
+        clone = CrimesConfig.from_dict(config.to_dict())
+        assert clone.to_dict() == config.to_dict()
+
+    def test_from_dict_validates_values(self):
+        with pytest.raises(ConfigError):
+            CrimesConfig.from_dict({"epoch_interval_ms": -1})
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError):
+            CrimesConfig.from_dict({"epoch_ms": 50})
+
+    def test_from_dict_accepts_enum_strings(self):
+        config = CrimesConfig.from_dict(
+            {"safety": "best_effort", "optimization": "pre-map",
+             "fidelity": "accounting"}
+        )
+        assert config.safety is SafetyMode.BEST_EFFORT
+        assert config.optimization is OptimizationLevel.PREMAP
+
+    def test_defaults_roundtrip(self):
+        assert CrimesConfig.from_dict({}).to_dict() == \
+            CrimesConfig().to_dict()

@@ -1,0 +1,190 @@
+"""Tests for the experiment harness: every series must have the paper's
+shape (who wins, by what factor, where crossovers fall)."""
+
+import pytest
+
+from repro.experiments import (
+    fig3_parsec_overhead,
+    fig4_swaptions_breakdown,
+    fig5_interval_sweep,
+    fig6a_fluidanimate,
+    fig6b_bitmap_scan,
+    remus_comparison,
+    run_parsec,
+    table1_cost_breakdown,
+    table3_vmi_costs,
+)
+from repro.experiments.bitmap_experiments import functional_scan_check
+from repro.checkpoint.costmodel import OptimizationLevel
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def fig3(self):
+        return fig3_parsec_overhead(native_runtime_ms=1500.0)
+
+    def test_full_geomean_near_9_8_percent(self, fig3):
+        assert 1.05 < fig3["full"]["geomean"] < 1.16
+
+    def test_no_opt_and_asan_in_40_60_band(self, fig3):
+        assert 1.30 < fig3["no-opt"]["geomean"] < 1.70
+        assert 1.40 < fig3["AS"]["geomean"] < 1.70
+
+    def test_optimizations_strictly_ordered(self, fig3):
+        assert (fig3["full"]["geomean"]
+                < fig3["pre-map"]["geomean"]
+                < fig3["memcpy"]["geomean"]
+                < fig3["no-opt"]["geomean"])
+
+    def test_crimes_beats_asan_on_every_benchmark(self, fig3):
+        for benchmark, value in fig3["full"].items():
+            if benchmark == "geomean":
+                continue
+            assert value < fig3["AS"][benchmark], benchmark
+
+    def test_fluidanimate_extremes(self, fig3):
+        assert 4.0 < fig3["no-opt"]["fluidanimate"] < 5.5
+        assert fig3["AS"]["fluidanimate"] == 2.6
+        assert fig3["full"]["fluidanimate"] < 1.7
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def fig4(self):
+        return fig4_swaptions_breakdown()
+
+    def test_totals_match_paper_anchors(self, fig4):
+        # Paper: 29.86 ms -> 10.21 ms, a 67% reduction.
+        assert 26.0 < fig4["no-opt"]["total"] < 34.0
+        assert 8.0 < fig4["full"]["total"] < 13.0
+        reduction = 1 - fig4["full"]["total"] / fig4["no-opt"]["total"]
+        assert 0.55 < reduction < 0.75
+
+    def test_copy_dominates_no_opt_only(self, fig4):
+        no_opt_share = fig4["no-opt"]["copy"] / fig4["no-opt"]["total"]
+        full_share = fig4["full"]["copy"] / fig4["full"]["total"]
+        assert no_opt_share > 0.55
+        assert full_share < 0.15
+
+    def test_bitscan_drops_only_with_full(self, fig4):
+        assert fig4["no-opt"]["bitscan"] == pytest.approx(
+            fig4["pre-map"]["bitscan"], rel=0.2
+        )
+        assert fig4["full"]["bitscan"] < fig4["pre-map"]["bitscan"] / 10
+
+    def test_memcpy_pays_map_twice(self, fig4):
+        assert fig4["memcpy"]["map"] > 1.6 * fig4["no-opt"]["map"]
+
+    def test_premap_map_constant_and_small_copy(self, fig4):
+        assert fig4["pre-map"]["map"] == pytest.approx(
+            fig4["full"]["map"], rel=0.05
+        )
+        assert fig4["pre-map"]["copy"] < fig4["no-opt"]["copy"] / 10
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def fig5(self):
+        return fig5_interval_sweep(intervals=(60, 120, 200))
+
+    def test_runtime_decreases_with_interval(self, fig5):
+        for benchmark, series in fig5.items():
+            runtimes = [row["normalized_runtime"] for row in series]
+            assert runtimes[0] > runtimes[-1], benchmark
+
+    def test_pause_increases_with_interval(self, fig5):
+        for benchmark, series in fig5.items():
+            pauses = [row["pause_ms"] for row in series]
+            assert pauses[0] < pauses[-1], benchmark
+
+    def test_pause_scale_matches_fig5b(self, fig5):
+        # Figure 5b: ~10-16 ms paused time across these benchmarks.
+        for series in fig5.values():
+            assert 6.0 < series[-1]["pause_ms"] < 18.0
+
+    def test_dirty_pages_increase_and_scale(self, fig5):
+        for benchmark, series in fig5.items():
+            dirty = [row["dirty_pages"] for row in series]
+            assert dirty[0] < dirty[-1], benchmark
+            assert dirty[-1] < 8000  # Figure 5c's axis tops out ~5k
+
+
+class TestFig6a:
+    def test_full_much_faster_than_no_opt_at_small_intervals(self):
+        fig6a = fig6a_fluidanimate(intervals=(60, 200),
+                                   native_runtime_ms=1200.0)
+        at60 = {level: series[0]["normalized_runtime"]
+                for level, series in fig6a.items()}
+        # §5.3: "runtime is 3.5X faster than the No-opt case".
+        assert at60["no-opt"] / at60["full"] > 3.0
+        for level, series in fig6a.items():
+            assert series[0]["normalized_runtime"] >= \
+                series[-1]["normalized_runtime"] * 0.99, level
+
+
+class TestFig6b:
+    def test_cost_series_shapes(self):
+        rows = fig6b_bitmap_scan(sizes_gb=(1, 8, 16))
+        for row in rows:
+            assert row["optimized_ms"] < row["not_optimized_ms"] / 5
+        assert rows[-1]["not_optimized_ms"] > rows[0]["not_optimized_ms"] * 10
+        # 16 GiB bit-by-bit lands in the paper's tens-of-ms regime.
+        assert 30.0 < rows[-1]["not_optimized_ms"] < 80.0
+
+    def test_functional_equivalence(self):
+        check = functional_scan_check(frame_count=32768, dirty_fraction=0.01)
+        assert check["identical"]
+        assert check["bits_saved_fraction"] > 0.5
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def table1(self):
+        return table1_cost_breakdown(epochs=30)
+
+    def test_copy_dominates_each_row(self, table1):
+        for row in table1:
+            total = sum(row[phase] for phase in
+                        ("suspend", "vmi", "bitscan", "map", "copy",
+                         "resume"))
+            assert row["copy"] / total > 0.55, row["workload"]
+
+    def test_rows_ordered_by_load(self, table1):
+        copies = [row["copy"] for row in table1]
+        assert copies[0] < copies[1] < copies[2]
+
+    def test_values_match_paper_anchors(self, table1):
+        # Paper row Light: 0.96 / 0.34 / 1.83 / 1.6 / 12.58 / 1.5.
+        light = table1[0]
+        assert 0.7 < light["suspend"] < 1.4
+        assert 0.25 < light["vmi"] < 0.5
+        assert 1.4 < light["bitscan"] < 3.0
+        assert 1.0 < light["map"] < 2.2
+        assert 10.0 < light["copy"] < 15.0
+        assert 1.1 < light["resume"] < 2.1
+        high = table1[2]
+        assert 17.0 < high["copy"] < 23.0
+
+
+class TestTable3:
+    def test_cost_split(self):
+        rows = table3_vmi_costs(iterations=10)
+        for scan in ("process-list", "module-list"):
+            assert 60000 < rows[scan]["initialization_us"] < 73000
+            assert 48000 < rows[scan]["preprocessing_us"] < 60000
+            assert 500 < rows[scan]["memory_analysis_us"] < 2500
+        assert rows["volatility"]["initialization_us"] > 2e6
+        assert rows["volatility"]["process_scan_us"] > 3e5
+
+
+class TestHeadlineClaims:
+    def test_remus_improvement_near_33_percent(self):
+        result = remus_comparison()
+        assert 0.25 < result["improvement"] < 0.45
+
+    def test_canary_validation_rate(self):
+        # §5.5: "our scanner can validate 90,000 canaries per millisecond".
+        from repro.vmi.costmodel import VmiCostModel
+
+        per_ms = 1000.0 / VmiCostModel.PER_CANARY_US
+        assert per_ms == pytest.approx(90000.0)

@@ -1,0 +1,179 @@
+"""Unit tests for the Volatility-style plugin battery."""
+
+import pytest
+
+from repro.errors import ForensicsError
+from repro.forensics.dumps import MemoryDump
+from repro.forensics.volatility import VolatilityFramework, registered_plugins
+
+
+@pytest.fixture
+def volatility():
+    return VolatilityFramework(seed=0)
+
+
+@pytest.fixture
+def linux_dump(linux_vm):
+    process = linux_vm.create_process("svc_a")
+    hidden = linux_vm.create_process("hidden_miner")
+    ghost = linux_vm.create_process("ghost")
+    linux_vm.exit_process(ghost.pid)
+    linux_vm.hide_process(hidden.pid)
+    dump = MemoryDump.from_vm(linux_vm)
+    dump.pids = {"svc": process.pid, "hidden": hidden.pid, "ghost": ghost.pid}
+    return dump
+
+
+@pytest.fixture
+def windows_dump(windows_vm):
+    malware = windows_vm.create_process("reg_read.exe")
+    windows_vm.open_file(malware, "\\Device\\HarddiskVolume2\\loot.txt")
+    windows_vm.open_socket(malware, ("192.168.1.76", 49164),
+                           ("104.28.18.89", 8080))
+    hidden = windows_vm.create_process("stealth.exe")
+    windows_vm.hide_process(hidden)
+    exited = windows_vm.create_process("done.exe")
+    windows_vm.terminate_process(exited)
+    dump = MemoryDump.from_vm(windows_vm)
+    dump.pids = {"malware": malware, "hidden": hidden, "exited": exited}
+    return dump
+
+
+class TestFramework:
+    def test_known_plugins_registered(self):
+        plugins = registered_plugins()
+        for name in ("pslist", "psscan", "psxview", "netscan", "handles",
+                     "procdump", "linux_pslist", "linux_psscan",
+                     "linux_psxview", "linux_proc_maps", "linux_dump_map"):
+            assert name in plugins
+
+    def test_unknown_plugin_rejected(self, volatility, linux_dump):
+        with pytest.raises(ForensicsError):
+            volatility.run("not_a_plugin", linux_dump)
+
+    def test_costs_match_section_5_3(self, volatility, linux_dump):
+        # ~2.5 s init; ~500 ms per scan.
+        init = volatility.take_cost_ms()
+        assert 2300 < init < 2700
+        volatility.run("linux_pslist", linux_dump)
+        scan = volatility.take_cost_ms()
+        assert 400 < scan < 700
+
+
+class TestLinuxPlugins:
+    def test_pslist_misses_hidden(self, volatility, linux_dump):
+        rows = volatility.run("linux_pslist", linux_dump)
+        names = [row["name"] for row in rows]
+        assert "svc_a" in names
+        assert "hidden_miner" not in names
+        assert "ghost" not in names
+
+    def test_psscan_finds_hidden_and_ghost(self, volatility, linux_dump):
+        rows = volatility.run("linux_psscan", linux_dump)
+        names = [row["name"] for row in rows]
+        assert "hidden_miner" in names
+        assert "ghost" in names
+
+    def test_pidhashtable_sees_hidden_not_ghost(self, volatility,
+                                                linux_dump):
+        rows = volatility.run("linux_pidhashtable", linux_dump)
+        names = [row["name"] for row in rows]
+        assert "hidden_miner" in names
+        assert "ghost" not in names
+
+    def test_psxview_flags_only_hidden(self, volatility, linux_dump):
+        rows = volatility.run("linux_psxview", linux_dump)
+        suspicious = [row["name"] for row in rows if row["suspicious"]]
+        assert suspicious == ["hidden_miner"]
+
+    def test_lsmod(self, volatility, linux_dump):
+        names = {row["name"] for row in volatility.run("linux_lsmod",
+                                                       linux_dump)}
+        assert "ext4" in names
+
+    def test_check_syscall_with_reference(self, volatility, linux_vm):
+        from repro.guest.linux import KERNEL_TEXT_BASE, SYSCALL_COUNT
+
+        reference = [KERNEL_TEXT_BASE + index * 0x100
+                     for index in range(SYSCALL_COUNT)]
+        linux_vm.hijack_syscall(3, 0xBAD)
+        dump = MemoryDump.from_vm(linux_vm)
+        rows = volatility.run("linux_check_syscall", dump,
+                              reference=reference)
+        hijacked = [row["index"] for row in rows if row.get("hijacked")]
+        assert hijacked == [3]
+
+    def test_proc_maps_and_dump_map(self, volatility, linux_dump):
+        pid = linux_dump.pids["svc"]
+        maps = volatility.run("linux_proc_maps", linux_dump, pid=pid)
+        regions = {row["name"] for row in maps}
+        assert {"[code]", "[heap]", "[stack]", "[canary_table]"} <= regions
+        dumped = volatility.run("linux_dump_map", linux_dump, pid=pid,
+                                region="heap")
+        assert len(dumped) == 1
+        assert dumped[0]["length"] == len(dumped[0]["data"])
+
+    def test_dump_map_unknown_region_rejected(self, volatility, linux_dump):
+        with pytest.raises(ForensicsError):
+            volatility.run("linux_dump_map", linux_dump,
+                           pid=linux_dump.pids["svc"], region="nowhere")
+
+    def test_proc_maps_unknown_pid_rejected(self, volatility, linux_dump):
+        with pytest.raises(ForensicsError):
+            volatility.run("linux_proc_maps", linux_dump, pid=654321)
+
+    def test_linux_plugin_rejects_windows_dump(self, volatility,
+                                               windows_dump):
+        with pytest.raises(ForensicsError):
+            volatility.run("linux_pslist", windows_dump)
+
+
+class TestWindowsPlugins:
+    def test_pslist_misses_hidden_and_exited(self, volatility,
+                                             windows_dump):
+        names = [row["name"] for row in volatility.run("pslist",
+                                                       windows_dump)]
+        assert "reg_read.exe" in names
+        assert "stealth.exe" not in names
+        assert "done.exe" not in names
+
+    def test_psscan_finds_everything(self, volatility, windows_dump):
+        names = [row["name"] for row in volatility.run("psscan",
+                                                       windows_dump)]
+        assert "stealth.exe" in names
+        assert "done.exe" in names
+
+    def test_psxview_flags_hidden_not_exited(self, volatility,
+                                             windows_dump):
+        rows = volatility.run("psxview", windows_dump)
+        suspicious = {row["name"] for row in rows if row["suspicious"]}
+        assert suspicious == {"stealth.exe"}
+
+    def test_netscan_reports_endpoints(self, volatility, windows_dump):
+        rows = volatility.run("netscan", windows_dump)
+        row = next(r for r in rows
+                   if r["owner_pid"] == windows_dump.pids["malware"])
+        assert row["local"] == "192.168.1.76:49164"
+        assert row["remote"] == "104.28.18.89:8080"
+        assert row["protocol"] == "TCPv4"
+
+    def test_handles_filtered_by_pid(self, volatility, windows_dump):
+        rows = volatility.run("handles", windows_dump,
+                              pid=windows_dump.pids["malware"])
+        assert [row["path"] for row in rows] == \
+            ["\\Device\\HarddiskVolume2\\loot.txt"]
+
+    def test_procdump_extracts_record(self, volatility, windows_dump):
+        rows = volatility.run("procdump", windows_dump,
+                              pid=windows_dump.pids["malware"])
+        assert rows[0]["name"] == "reg_read.exe"
+        assert rows[0]["artifact_size"] > 0
+
+    def test_procdump_unknown_pid_rejected(self, volatility, windows_dump):
+        with pytest.raises(ForensicsError):
+            volatility.run("procdump", windows_dump, pid=123456)
+
+    def test_windows_plugin_rejects_linux_dump(self, volatility,
+                                               linux_dump):
+        with pytest.raises(ForensicsError):
+            volatility.run("pslist", linux_dump)

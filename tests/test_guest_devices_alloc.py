@@ -1,0 +1,114 @@
+"""Unit tests for devices, frame allocators, and the user process layer."""
+
+import pytest
+
+from repro.errors import AllocationError, PageFault
+from repro.guest.alloc import FrameAllocator, KernelBumpAllocator
+from repro.guest.devices import DiskWrite, OutputSink, Packet, VirtualDisk, \
+    VirtualNic
+from repro.guest.memory import PAGE_SIZE
+from repro.sim.clock import VirtualClock
+
+
+class TestFrameAllocator:
+    def test_allocates_lowest_first(self):
+        alloc = FrameAllocator(first_frame=10, frame_count=5)
+        assert alloc.allocate(3) == [10, 11, 12]
+
+    def test_release_enables_reuse(self):
+        alloc = FrameAllocator(10, 3)
+        frames = alloc.allocate(3)
+        alloc.release([frames[1]])
+        assert alloc.allocate_one() == frames[1]
+
+    def test_exhaustion_raises(self):
+        alloc = FrameAllocator(0, 2)
+        alloc.allocate(2)
+        with pytest.raises(AllocationError):
+            alloc.allocate_one()
+
+    def test_release_foreign_frame_rejected(self):
+        alloc = FrameAllocator(10, 2)
+        with pytest.raises(AllocationError):
+            alloc.release([3])
+
+    def test_frames_in_use_accounting(self):
+        alloc = FrameAllocator(0, 10)
+        frames = alloc.allocate(4)
+        alloc.release(frames[:2])
+        assert alloc.frames_in_use() == 2
+
+    def test_state_roundtrip(self):
+        alloc = FrameAllocator(0, 10)
+        alloc.allocate(5)
+        state = alloc.state_dict()
+        alloc.allocate(2)
+        alloc.load_state_dict(state)
+        assert alloc.frames_in_use() == 5
+
+
+class TestKernelBumpAllocator:
+    def test_alignment_respected(self):
+        alloc = KernelBumpAllocator(PAGE_SIZE, PAGE_SIZE * 4)
+        alloc.allocate(3)
+        addr = alloc.allocate(8, align=64)
+        assert addr % 64 == 0
+
+    def test_exhaustion_raises(self):
+        alloc = KernelBumpAllocator(0, 100)
+        with pytest.raises(AllocationError):
+            alloc.allocate(200)
+
+    def test_allocate_pages_is_page_aligned(self):
+        alloc = KernelBumpAllocator(PAGE_SIZE, PAGE_SIZE * 8)
+        alloc.allocate(1)
+        addr = alloc.allocate_pages(2)
+        assert addr % PAGE_SIZE == 0
+
+
+class TestDevices:
+    def test_nic_counts_and_forwards(self):
+        sink = OutputSink(VirtualClock(5.0))
+        nic = VirtualNic(sink)
+        nic.send(Packet("a", "b", payload=b"xyz"))
+        assert nic.tx_packets == 1
+        assert nic.tx_bytes == 3
+        assert sink.packets[0].sent_at == 5.0
+
+    def test_disk_counts_and_forwards(self):
+        sink = OutputSink(VirtualClock(1.0))
+        disk = VirtualDisk(sink)
+        disk.write(7, b"data")
+        assert disk.writes == 1
+        assert sink.disk_writes[0].block == 7
+        assert sink.disk_writes[0].issued_at == 1.0
+
+    def test_device_state_roundtrip(self):
+        sink = OutputSink()
+        nic = VirtualNic(sink)
+        nic.send(Packet("a", "b", payload=b"1234"))
+        state = nic.state_dict()
+        nic.send(Packet("a", "b", payload=b"5678"))
+        nic.load_state_dict(state)
+        assert nic.tx_packets == 1
+        assert nic.tx_bytes == 4
+
+
+class TestUserProcess:
+    def test_write_read_across_region(self, linux_vm):
+        process = linux_vm.create_process("io")
+        base, end = process.region_range("heap")
+        blob = bytes(range(200))
+        process.write(base + PAGE_SIZE - 100, blob)
+        assert process.read(base + PAGE_SIZE - 100, 200) == blob
+
+    def test_unmapped_access_faults(self, linux_vm):
+        process = linux_vm.create_process("faulty")
+        with pytest.raises(PageFault):
+            process.read(0xDEAD0000, 4)
+
+    def test_u64_helpers(self, linux_vm):
+        process = linux_vm.create_process("words")
+        base, _end = process.region_range("heap")
+        process.write_u64(base, 0x1122334455667788)
+        assert process.read_u64(base) == 0x1122334455667788

@@ -1,0 +1,75 @@
+"""Tests for the guest disk image and its checkpoint participation."""
+
+import pytest
+
+from repro.errors import GuestFault
+from repro.guest.disk import BLOCK_SIZE, BlockStore
+
+
+class TestBlockStore:
+    def test_unwritten_blocks_read_zero(self):
+        store = BlockStore(8)
+        assert store.read_block(3) == b"\x00" * BLOCK_SIZE
+
+    def test_write_read_roundtrip_with_padding(self):
+        store = BlockStore(8)
+        store.write_block(1, b"hello")
+        data = store.read_block(1)
+        assert data.startswith(b"hello")
+        assert len(data) == BLOCK_SIZE
+
+    def test_out_of_range_rejected(self):
+        store = BlockStore(4)
+        with pytest.raises(GuestFault):
+            store.read_block(4)
+        with pytest.raises(GuestFault):
+            store.write_block(-1, b"x")
+
+    def test_oversized_write_rejected(self):
+        store = BlockStore(4)
+        with pytest.raises(GuestFault):
+            store.write_block(0, b"x" * (BLOCK_SIZE + 1))
+
+    def test_zero_blocks_rejected(self):
+        with pytest.raises(GuestFault):
+            BlockStore(0)
+
+    def test_state_roundtrip(self):
+        store = BlockStore(8)
+        store.write_block(2, b"persisted")
+        clone = BlockStore(8)
+        clone.load_state_dict(store.state_dict())
+        assert clone.read_block(2) == store.read_block(2)
+        assert clone.blocks_in_use() == 1
+
+
+class TestDiskCheckpointing:
+    def test_vm_disk_attached_by_default(self, linux_vm):
+        linux_vm.disk.write(5, b"config-v1")
+        assert linux_vm.disk.read(5).startswith(b"config-v1")
+
+    def test_disk_writes_still_emit_outputs(self, linux_vm):
+        before = len(linux_vm.output_sink.disk_writes)
+        linux_vm.disk.write(0, b"data")
+        assert len(linux_vm.output_sink.disk_writes) == before + 1
+
+    def test_snapshot_restores_disk_contents(self, linux_vm):
+        linux_vm.disk.write(7, b"original")
+        snapshot = linux_vm.snapshot()
+        linux_vm.disk.write(7, b"TAMPERED")
+        linux_vm.restore(snapshot)
+        assert linux_vm.disk.read(7).startswith(b"original")
+
+    def test_rollback_reverts_disk_tampering(self, linux_domain):
+        from repro.checkpoint.checkpointer import Checkpointer
+
+        vm = linux_domain.vm
+        vm.disk.write(3, b"ledger-balance=100")
+        checkpointer = Checkpointer(linux_domain)
+        checkpointer.start()
+        checkpointer.run_checkpoint(interval_ms=20.0)
+        checkpointer.commit()
+
+        vm.disk.write(3, b"ledger-balance=999999")  # the attack
+        checkpointer.rollback()
+        assert vm.disk.read(3).startswith(b"ledger-balance=100")

@@ -1,0 +1,147 @@
+"""Unit + property tests for the canary heap allocator."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AllocationError, GuestFault
+from repro.guest.heap import CANARY_TABLE_HEADER, CanaryHeap
+from repro.guest.linux import LinuxGuest
+
+
+@pytest.fixture
+def process():
+    vm = LinuxGuest(name="heap-test", memory_bytes=8 * 1024 * 1024, seed=5)
+    return vm.create_process("heapster", heap_pages=32)
+
+
+def read_table_count(process):
+    raw = process.read(process.heap.table_va, CANARY_TABLE_HEADER.size)
+    return CANARY_TABLE_HEADER.decode(raw)["count"]
+
+
+def test_malloc_returns_aligned_addresses(process):
+    for _ in range(10):
+        assert process.malloc(33) % 16 == 0
+
+
+def test_canary_written_after_object(process):
+    addr = process.malloc(64)
+    canary = struct.unpack("<Q", process.read(addr + 64, 8))[0]
+    assert canary == process.heap.canary_value
+
+
+def test_table_count_tracks_allocations(process):
+    process.malloc(8)
+    process.malloc(8)
+    assert read_table_count(process) == 2
+    # the process starts with zero allocations in a fresh heap
+
+
+def test_free_converts_entry_to_freed_tripwire(process):
+    from repro.guest.heap import FREED_FILL_BYTE, KIND_FREED
+
+    a = process.malloc(16)
+    b = process.malloc(16)
+    process.free(a)
+    # One live canary (b) plus one freed-region tripwire (a).
+    assert read_table_count(process) == 2
+    heap = process.vm.processes[process.pid].heap
+    assert b in heap._table_index
+    assert a in heap._table_index
+    # The freed region is poison-filled.
+    assert process.read(a, 16) == bytes([FREED_FILL_BYTE]) * 16
+
+
+def test_free_unknown_address_raises(process):
+    with pytest.raises(GuestFault):
+        process.free(0xDEAD0000)
+
+
+def test_double_free_raises(process):
+    addr = process.malloc(8)
+    process.free(addr)
+    with pytest.raises(GuestFault):
+        process.free(addr)
+
+
+def test_free_detects_corrupted_canary(process):
+    addr = process.malloc(32)
+    process.write(addr, b"A" * 40)  # overflow clobbers the canary
+    with pytest.raises(GuestFault, match="heap corruption"):
+        process.free(addr)
+
+
+def test_malloc_zero_rejected(process):
+    with pytest.raises(AllocationError):
+        process.malloc(0)
+
+
+def test_heap_exhaustion_raises(process):
+    with pytest.raises(AllocationError):
+        process.malloc(64 * 1024 * 1024)
+
+
+def test_allocation_size_lookup(process):
+    addr = process.malloc(100)
+    assert process.heap.allocation_size(addr) == 100
+
+
+def test_state_roundtrip_preserves_bookkeeping(process):
+    a = process.malloc(24)
+    state = process.heap.state_dict()
+    process.malloc(24)
+    process.heap.load_state_dict(state)
+    assert process.heap.allocation_size(a) == 24
+    assert len(process.heap.live_allocations()) == 1
+
+
+def test_canaries_disabled_mode():
+    vm = LinuxGuest(name="nocanary", memory_bytes=8 * 1024 * 1024, seed=5)
+    process = vm.create_process("plain", canaries_enabled=False)
+    addr = process.malloc(16)
+    process.free(addr)  # no canary check, no table entries
+
+
+@settings(max_examples=25, deadline=None)
+@given(sizes=st.lists(st.integers(min_value=1, max_value=256), min_size=1,
+                      max_size=40))
+def test_property_allocations_never_overlap(sizes):
+    vm = LinuxGuest(name="prop-heap", memory_bytes=8 * 1024 * 1024, seed=5)
+    process = vm.create_process("prop", heap_pages=64)
+    spans = []
+    for size in sizes:
+        addr = process.malloc(size)
+        footprint = size + 8  # object + canary
+        for other_start, other_end in spans:
+            assert addr + footprint <= other_start or addr >= other_end
+        spans.append((addr, addr + footprint))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["malloc", "free"]),
+                  st.integers(min_value=1, max_value=128)),
+        max_size=60,
+    )
+)
+def test_property_table_count_matches_live_set(ops):
+    vm = LinuxGuest(name="prop-heap2", memory_bytes=8 * 1024 * 1024, seed=5)
+    process = vm.create_process("prop2", heap_pages=64)
+    live = []
+    for op, size in ops:
+        if op == "malloc":
+            live.append(process.malloc(size))
+        elif live:
+            process.free(live.pop(size % len(live)))
+    frees = len([1 for op, _ in ops if op == "free"])
+    freed_recorded = read_table_count(process) - len(live)
+    assert freed_recorded >= 0
+    assert freed_recorded <= frees
+    # Every live object's canary must still validate through real memory.
+    for addr in live:
+        size = process.heap.allocation_size(addr)
+        canary = struct.unpack("<Q", process.read(addr + size, 8))[0]
+        assert canary == process.heap.canary_value

@@ -1,0 +1,111 @@
+"""Unit + property tests for the binary struct codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IntrospectionError
+from repro.guest.layout import StructDef, cstring
+from repro.guest.memory import PhysicalMemory
+
+SAMPLE = StructDef(
+    "sample",
+    [
+        ("a", "u32"),
+        ("b", "u32"),
+        ("c", "u64"),
+        ("name", ("bytes", 16)),
+        ("d", "u16"),
+    ],
+)
+
+
+def test_size_is_sum_of_fields():
+    assert SAMPLE.size == 4 + 4 + 8 + 16 + 2
+
+
+def test_offsets_are_sequential():
+    assert SAMPLE.offset_of("a") == 0
+    assert SAMPLE.offset_of("b") == 4
+    assert SAMPLE.offset_of("c") == 8
+    assert SAMPLE.offset_of("name") == 16
+    assert SAMPLE.offset_of("d") == 32
+
+
+def test_encode_decode_roundtrip():
+    values = {"a": 1, "b": 2, "c": 3 << 40, "name": b"hello", "d": 9}
+    decoded = SAMPLE.decode(SAMPLE.encode(values))
+    assert decoded["a"] == 1
+    assert decoded["c"] == 3 << 40
+    assert decoded["name"].startswith(b"hello\x00")
+    assert decoded["d"] == 9
+
+
+def test_missing_fields_encode_as_zero():
+    decoded = SAMPLE.decode(SAMPLE.encode({"a": 5}))
+    assert decoded["b"] == 0
+    assert decoded["c"] == 0
+
+
+def test_bytes_field_truncates_and_pads():
+    decoded = SAMPLE.decode(SAMPLE.encode({"name": b"x" * 99}))
+    assert decoded["name"] == b"x" * 16
+
+
+def test_unknown_field_raises():
+    with pytest.raises(IntrospectionError):
+        SAMPLE.offset_of("nope")
+
+
+def test_duplicate_field_rejected():
+    with pytest.raises(IntrospectionError):
+        StructDef("bad", [("x", "u32"), ("x", "u32")])
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(IntrospectionError):
+        StructDef("bad", [("x", "u33")])
+
+
+def test_decode_short_buffer_raises():
+    with pytest.raises(IntrospectionError):
+        SAMPLE.decode(b"\x00" * 4)
+
+
+def test_memory_read_write_field():
+    memory = PhysicalMemory(4096 * 4)
+    SAMPLE.write(memory, 256, {"a": 7, "c": 1234, "name": b"svc"})
+    SAMPLE.write_field(memory, 256, "b", 0xDEAD)
+    record = SAMPLE.read(memory, 256)
+    assert record["a"] == 7
+    assert record["b"] == 0xDEAD
+    assert SAMPLE.read_field(memory, 256, "c") == 1234
+
+
+def test_cstring_stops_at_nul():
+    assert cstring(b"nginx\x00\x00garbage") == "nginx"
+
+
+def test_cstring_full_width():
+    assert cstring(b"abcd") == "abcd"
+
+
+@given(
+    a=st.integers(min_value=0, max_value=2**32 - 1),
+    c=st.integers(min_value=0, max_value=2**64 - 1),
+    d=st.integers(min_value=0, max_value=2**16 - 1),
+    name=st.binary(max_size=16),
+)
+def test_roundtrip_property(a, c, d, name):
+    decoded = SAMPLE.decode(SAMPLE.encode({"a": a, "c": c, "d": d,
+                                           "name": name}))
+    assert decoded["a"] == a
+    assert decoded["c"] == c
+    assert decoded["d"] == d
+    assert decoded["name"] == name.ljust(16, b"\x00")[:16]
+
+
+@given(st.binary(min_size=SAMPLE.size, max_size=SAMPLE.size))
+def test_decode_encode_decode_is_stable(raw):
+    decoded = SAMPLE.decode(raw)
+    again = SAMPLE.decode(SAMPLE.encode(decoded))
+    assert decoded == again

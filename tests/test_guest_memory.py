@@ -1,0 +1,118 @@
+"""Unit tests for simulated physical memory."""
+
+import pytest
+
+from repro.errors import PhysicalAccessError
+from repro.guest.memory import PAGE_SIZE, PhysicalMemory
+
+
+def test_size_must_be_page_multiple():
+    with pytest.raises(PhysicalAccessError):
+        PhysicalMemory(PAGE_SIZE + 1)
+
+
+def test_size_must_be_positive():
+    with pytest.raises(PhysicalAccessError):
+        PhysicalMemory(0)
+
+
+def test_read_write_roundtrip():
+    memory = PhysicalMemory(PAGE_SIZE * 4)
+    memory.write(100, b"hello")
+    assert memory.read(100, 5) == b"hello"
+
+
+def test_write_across_page_boundary():
+    memory = PhysicalMemory(PAGE_SIZE * 4)
+    memory.write(PAGE_SIZE - 2, b"abcd")
+    assert memory.read(PAGE_SIZE - 2, 4) == b"abcd"
+
+
+def test_out_of_range_read_rejected():
+    memory = PhysicalMemory(PAGE_SIZE)
+    with pytest.raises(PhysicalAccessError):
+        memory.read(PAGE_SIZE - 1, 2)
+
+
+def test_out_of_range_write_rejected():
+    memory = PhysicalMemory(PAGE_SIZE)
+    with pytest.raises(PhysicalAccessError):
+        memory.write(PAGE_SIZE, b"x")
+
+
+def test_dirty_observer_fires_per_touched_frame():
+    memory = PhysicalMemory(PAGE_SIZE * 4)
+    dirtied = []
+    memory.add_dirty_observer(dirtied.append)
+    memory.write(PAGE_SIZE - 1, b"ab")  # spans frames 0 and 1
+    assert dirtied == [0, 1]
+
+
+def test_removed_observer_stops_firing():
+    memory = PhysicalMemory(PAGE_SIZE * 2)
+    dirtied = []
+    memory.add_dirty_observer(dirtied.append)
+    memory.remove_dirty_observer(dirtied.append)
+    memory.write(0, b"x")
+    assert dirtied == []
+
+
+def test_write_observer_gets_address_and_data():
+    memory = PhysicalMemory(PAGE_SIZE * 2)
+    events = []
+    memory.add_write_observer(lambda paddr, data: events.append((paddr, data)))
+    memory.write(123, b"zap")
+    assert events == [(123, b"zap")]
+
+
+def test_touch_frame_dirties_one_frame():
+    memory = PhysicalMemory(PAGE_SIZE * 4)
+    dirtied = []
+    memory.add_dirty_observer(dirtied.append)
+    memory.touch_frame(2)
+    assert dirtied == [2]
+    assert memory.read(2 * PAGE_SIZE, 1) != b"\x00"
+
+
+def test_read_write_frame_roundtrip():
+    memory = PhysicalMemory(PAGE_SIZE * 2)
+    payload = bytes(range(256)) * 16
+    memory.write_frame(1, payload)
+    assert memory.read_frame(1) == payload
+
+
+def test_write_frame_requires_exact_size():
+    memory = PhysicalMemory(PAGE_SIZE * 2)
+    with pytest.raises(PhysicalAccessError):
+        memory.write_frame(0, b"short")
+
+
+def test_snapshot_and_load_roundtrip():
+    memory = PhysicalMemory(PAGE_SIZE * 2)
+    memory.write(10, b"state")
+    image = memory.snapshot_bytes()
+    memory.write(10, b"zzzzz")
+    memory.load_bytes(image)
+    assert memory.read(10, 5) == b"state"
+
+
+def test_load_bytes_rejects_wrong_size():
+    memory = PhysicalMemory(PAGE_SIZE * 2)
+    with pytest.raises(PhysicalAccessError):
+        memory.load_bytes(b"\x00" * PAGE_SIZE)
+
+
+def test_load_bytes_does_not_notify_by_default():
+    memory = PhysicalMemory(PAGE_SIZE * 2)
+    image = memory.snapshot_bytes()
+    dirtied = []
+    memory.add_dirty_observer(dirtied.append)
+    memory.load_bytes(image)
+    assert dirtied == []
+
+
+def test_view_is_read_only():
+    memory = PhysicalMemory(PAGE_SIZE)
+    view = memory.view()
+    with pytest.raises((TypeError, ValueError)):
+        view[0] = 1

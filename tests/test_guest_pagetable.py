@@ -1,0 +1,66 @@
+"""Unit tests for page tables and the kernel direct map."""
+
+import pytest
+
+from repro.errors import PageFault
+from repro.guest.memory import PAGE_SIZE
+from repro.guest.pagetable import KERNEL_BASE, PageTable, kernel_pa, kernel_va
+
+
+def test_translate_mapped_page():
+    table = PageTable()
+    table.map(vpn=5, pfn=9)
+    assert table.translate(5 * PAGE_SIZE + 7) == 9 * PAGE_SIZE + 7
+
+
+def test_translate_unmapped_raises_pagefault():
+    table = PageTable()
+    with pytest.raises(PageFault) as exc:
+        table.translate(0x1000)
+    assert exc.value.vaddr == 0x1000
+
+
+def test_unmap_removes_translation():
+    table = PageTable()
+    table.map(1, 2)
+    table.unmap(1)
+    with pytest.raises(PageFault):
+        table.translate(PAGE_SIZE)
+
+
+def test_is_mapped():
+    table = PageTable()
+    table.map(3, 4)
+    assert table.is_mapped(3 * PAGE_SIZE)
+    assert not table.is_mapped(4 * PAGE_SIZE)
+
+
+def test_entries_sorted_by_vpn():
+    table = PageTable()
+    table.map(9, 1)
+    table.map(2, 7)
+    assert list(table.entries()) == [(2, 7), (9, 1)]
+
+
+def test_frame_of():
+    table = PageTable()
+    table.map(0, 42)
+    assert table.frame_of(100) == 42
+
+
+def test_state_roundtrip():
+    table = PageTable()
+    table.map(1, 2)
+    state = table.state_dict()
+    fresh = PageTable()
+    fresh.load_state_dict(state)
+    assert fresh.translate(PAGE_SIZE) == 2 * PAGE_SIZE
+
+
+def test_kernel_direct_map_roundtrip():
+    assert kernel_pa(kernel_va(0x1234)) == 0x1234
+
+
+def test_kernel_pa_rejects_user_address():
+    with pytest.raises(PageFault):
+        kernel_pa(KERNEL_BASE - 1)

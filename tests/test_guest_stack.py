@@ -1,0 +1,110 @@
+"""Tests for StackGuard frame canaries and stack-smash detection."""
+
+import struct
+
+import pytest
+
+from repro.core.config import CrimesConfig
+from repro.core.crimes import Crimes
+from repro.detectors.canary import CanaryScanModule
+from repro.errors import AllocationError, GuestFault
+from repro.guest.linux import LinuxGuest
+from repro.workloads.attacks import StackSmashProgram
+
+
+@pytest.fixture
+def process(linux_vm):
+    return linux_vm.create_process("stacker", stack_pages=8)
+
+
+class TestStackGuard:
+    def test_frames_descend(self, process):
+        guard = process.stack_guard
+        top = guard.stack_pointer
+        first = guard.push_frame(64)
+        second = guard.push_frame(64)
+        assert second < first < top
+
+    def test_canary_planted_above_locals(self, process):
+        guard = process.stack_guard
+        frame = guard.push_frame(32)
+        canary = struct.unpack("<Q", process.read(frame + 32, 8))[0]
+        assert canary == process.heap.canary_value
+
+    def test_pop_restores_stack_pointer(self, process):
+        guard = process.stack_guard
+        top = guard.stack_pointer
+        guard.push_frame(100)
+        guard.pop_frame()
+        assert guard.stack_pointer == top
+        assert guard.depth == 0
+
+    def test_epilogue_detects_smash(self, process):
+        guard = process.stack_guard
+        frame = guard.push_frame(16)
+        process.write(frame, b"A" * 24)
+        with pytest.raises(GuestFault, match="stack smashing"):
+            guard.pop_frame()
+
+    def test_pop_empty_rejected(self, process):
+        with pytest.raises(GuestFault):
+            process.stack_guard.pop_frame()
+
+    def test_stack_overflow_rejected(self, process):
+        with pytest.raises(AllocationError):
+            process.stack_guard.push_frame(64 * 1024 * 1024)
+
+    def test_frame_canaries_share_heap_table(self, process):
+        from repro.guest.heap import CANARY_TABLE_HEADER
+
+        process.malloc(10)
+        process.stack_guard.push_frame(10)
+        header = CANARY_TABLE_HEADER.decode(
+            process.read(0x70000000, CANARY_TABLE_HEADER.size)
+        )
+        assert header["count"] == 2
+
+    def test_state_roundtrip_via_vm_snapshot(self, linux_vm):
+        process = linux_vm.create_process("snapper")
+        process.stack_guard.push_frame(40)
+        snapshot = linux_vm.snapshot()
+        process.stack_guard.push_frame(40)
+        linux_vm.restore(snapshot)
+        restored = linux_vm.processes[process.pid]
+        assert restored.stack_guard.depth == 1
+
+    def test_abandon_frame_leaves_canary_registered(self, process):
+        from repro.guest.heap import CANARY_TABLE_HEADER
+
+        process.stack_guard.push_frame(16)
+        process.stack_guard.abandon_frame()
+        header = CANARY_TABLE_HEADER.decode(
+            process.read(0x70000000, CANARY_TABLE_HEADER.size)
+        )
+        assert header["count"] == 1  # the tripwire stays armed
+
+
+class TestStackSmashEndToEnd:
+    def test_hypervisor_scan_catches_missed_epilogue(self):
+        vm = LinuxGuest(name="smash", memory_bytes=8 * 1024 * 1024, seed=77)
+        crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=77))
+        crimes.install_module(CanaryScanModule())
+        attack = crimes.add_program(StackSmashProgram(trigger_epoch=3))
+        crimes.start()
+        crimes.run(max_epochs=6)
+        assert crimes.suspended
+        assert attack.smashed
+        outcome = crimes.last_outcome
+        assert outcome.finding.kind == "buffer-overflow"
+        # Replay pinpoints the smashing store's instruction.
+        assert outcome.pinpoint.matched
+        assert outcome.pinpoint.rip == StackSmashProgram.SMASH_RIP
+
+    def test_benign_epochs_commit(self):
+        vm = LinuxGuest(name="smash2", memory_bytes=8 * 1024 * 1024, seed=78)
+        crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=78))
+        crimes.install_module(CanaryScanModule())
+        crimes.add_program(StackSmashProgram(trigger_epoch=99))
+        crimes.start()
+        records = crimes.run(max_epochs=4)
+        assert all(record.committed for record in records)

@@ -1,0 +1,104 @@
+"""Unit tests for the Windows guest kernel object graph."""
+
+import pytest
+
+from repro.errors import GuestFault
+from repro.guest.layout import cstring
+from repro.guest.pagetable import kernel_pa
+from repro.guest.windows import (
+    EPROCESS,
+    LIST_HEAD,
+    TCP_CLOSE_WAIT,
+    WindowsGuest,
+    bytes_to_ip,
+    ip_to_bytes,
+)
+
+
+def walk_active_list(vm):
+    head_va = vm.symbols.lookup("PsActiveProcessHead")
+    head = LIST_HEAD.read(vm.memory, kernel_pa(head_va))
+    names = []
+    current = head["next"]
+    while current != head_va:
+        record = EPROCESS.read(vm.memory, kernel_pa(current))
+        names.append(cstring(record["image_name"]))
+        current = record["links_next"]
+    return names
+
+
+def test_boot_creates_system_processes(windows_vm):
+    names = walk_active_list(windows_vm)
+    assert names[0] == "System"
+    assert "explorer.exe" in names
+
+
+def test_pids_are_multiples_of_four(windows_vm):
+    pid = windows_vm.create_process("calc.exe")
+    assert pid % 4 == 0
+
+
+def test_create_process_appends_to_active_list(windows_vm):
+    windows_vm.create_process("notepad.exe")
+    assert walk_active_list(windows_vm)[-1] == "notepad.exe"
+
+
+def test_terminate_unlinks_and_stamps_exit_time(windows_vm):
+    pid = windows_vm.create_process("job.exe")
+    eprocess_pa = windows_vm._eprocess(pid)
+    windows_vm.terminate_process(pid)
+    assert "job.exe" not in walk_active_list(windows_vm)
+    record = EPROCESS.read(windows_vm.memory, eprocess_pa)
+    assert record["exit_time"] >= record["create_time"]
+
+
+def test_hide_unlinks_without_exit_time(windows_vm):
+    pid = windows_vm.create_process("stealth.exe")
+    eprocess_pa = windows_vm._eprocess(pid)
+    windows_vm.hide_process(pid)
+    assert "stealth.exe" not in walk_active_list(windows_vm)
+    record = EPROCESS.read(windows_vm.memory, eprocess_pa)
+    assert record["exit_time"] == 0
+
+
+def test_unknown_pid_rejected(windows_vm):
+    with pytest.raises(GuestFault):
+        windows_vm.terminate_process(99996)
+
+
+def test_open_file_fills_handle_table(windows_vm):
+    pid = windows_vm.create_process("writer.exe")
+    windows_vm.open_file(pid, "\\Device\\HarddiskVolume2\\x.txt")
+    eprocess_pa = windows_vm._eprocess(pid)
+    record = EPROCESS.read(windows_vm.memory, eprocess_pa)
+    assert record["handle_table"] != 0
+
+
+def test_open_socket_records_endpoints(windows_vm):
+    pid = windows_vm.create_process("net.exe")
+    socket_va = windows_vm.open_socket(
+        pid, ("10.0.0.1", 1234), ("203.0.113.9", 443)
+    )
+    assert socket_va != 0
+    windows_vm.set_socket_state(socket_va, TCP_CLOSE_WAIT)
+
+
+def test_registry_read_returns_seeded_keys(windows_vm):
+    keys = dict(windows_vm.read_registry())
+    assert keys["HKLM\\SOFTWARE\\Vendor\\License"] == "A1B2-C3D4-E5F6"
+
+
+def test_set_registry_key_is_readable(windows_vm):
+    windows_vm.set_registry_key("HKCU\\Test\\Key", "value123")
+    assert ("HKCU\\Test\\Key", "value123") in windows_vm.read_registry()
+
+
+def test_ip_conversion_roundtrip():
+    assert bytes_to_ip(ip_to_bytes("192.168.1.76")) == "192.168.1.76"
+
+
+def test_snapshot_restore_forgets_new_process(windows_vm):
+    snapshot = windows_vm.snapshot()
+    windows_vm.create_process("late.exe")
+    windows_vm.restore(snapshot)
+    assert "late.exe" not in walk_active_list(windows_vm)

@@ -1,0 +1,140 @@
+"""Tests for the honeypot response mode (§6 extension)."""
+
+import pytest
+
+from repro.analyzer.honeypot import HoneypotSession
+from repro.core.config import CrimesConfig
+from repro.core.crimes import Crimes
+from repro.detectors.malware import MalwareScanModule
+from repro.detectors.netsig import OutputSignatureModule
+from repro.errors import CrimesError
+from repro.guest.devices import Packet
+from repro.guest.windows import WindowsGuest
+from repro.workloads.base import GuestProgram
+from repro.workloads.attacks import MalwareProgram
+
+
+class _PersistentExfiltrator(GuestProgram):
+    """Keeps exfiltrating to new hosts every epoch once active."""
+
+    name = "persistent-exfil"
+
+    def __init__(self, trigger_epoch=2):
+        super().__init__()
+        self.trigger_epoch = trigger_epoch
+        self._epoch = 0
+
+    def step(self, start_ms, interval_ms):
+        self._epoch += 1
+        if self._epoch >= self.trigger_epoch:
+            self.vm.nic.send(
+                Packet(
+                    "192.168.1.76:49164",
+                    "203.0.113.%d:8080" % (self._epoch % 250),
+                    b"EXFIL batch %d" % self._epoch,
+                )
+            )
+        return {}
+
+    def state_dict(self):
+        return {"epoch": self._epoch}
+
+    def load_state_dict(self, state):
+        self._epoch = state["epoch"]
+
+
+def detected_crimes():
+    vm = WindowsGuest(name="honeypot-vm", memory_bytes=8 * 1024 * 1024,
+                      seed=71)
+    crimes = Crimes(
+        vm,
+        CrimesConfig(epoch_interval_ms=50.0, auto_respond=False, seed=71),
+    )
+    crimes.install_module(OutputSignatureModule())
+    crimes.add_program(_PersistentExfiltrator(trigger_epoch=2))
+    crimes.start()
+    crimes.run(max_epochs=4)
+    assert crimes.suspended
+    return crimes
+
+
+class TestHoneypotSession:
+    def test_engage_requires_detection(self):
+        vm = WindowsGuest(name="clean", memory_bytes=8 * 1024 * 1024,
+                          seed=72)
+        crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=72))
+        crimes.start()
+        with pytest.raises(CrimesError):
+            HoneypotSession(crimes).engage()
+
+    def test_observe_requires_engage(self):
+        crimes = detected_crimes()
+        with pytest.raises(CrimesError):
+            HoneypotSession(crimes).observe(1)
+
+    def test_attacker_keeps_acting_nothing_escapes(self):
+        crimes = detected_crimes()
+        escaped_before = len(crimes.external_sink.packets)
+        session = HoneypotSession(crimes).engage()
+        session.observe(epochs=3)
+        report = session.report()
+        # The exfiltrator fired every observed epoch...
+        assert report.total_packets_quarantined >= 3
+        # ...but the real world saw nothing new.
+        assert len(crimes.external_sink.packets) == escaped_before
+
+    def test_findings_logged_not_fatal(self):
+        crimes = detected_crimes()
+        session = HoneypotSession(crimes).engage()
+        observations = session.observe(epochs=2)
+        assert all(observation.findings for observation in observations)
+        assert not crimes.suspended
+
+    def test_contacted_hosts_collected(self):
+        crimes = detected_crimes()
+        session = HoneypotSession(crimes).engage()
+        session.observe(epochs=3)
+        hosts = session.report().contacted_hosts()
+        assert len(hosts) >= 3
+        assert all(host.startswith("203.0.113.") for host in hosts)
+
+    def test_disengage_suspends_for_good(self):
+        crimes = detected_crimes()
+        session = HoneypotSession(crimes).engage()
+        session.observe(epochs=1)
+        session.disengage()
+        assert crimes.suspended
+        with pytest.raises(CrimesError):
+            crimes.run_epoch()
+
+    def test_report_renders(self):
+        crimes = detected_crimes()
+        session = HoneypotSession(crimes).engage()
+        session.observe(epochs=2)
+        rendered = session.report().render()
+        assert "Honeypot Session Report" in rendered
+        assert "Quarantined outputs" in rendered
+
+    def test_kernel_write_traps_observe_rootkit_behavior(self):
+        vm = WindowsGuest(name="honeypot-vm2",
+                          memory_bytes=8 * 1024 * 1024, seed=73)
+        crimes = Crimes(
+            vm,
+            CrimesConfig(epoch_interval_ms=50.0, auto_respond=False,
+                         seed=73),
+        )
+        crimes.install_module(MalwareScanModule())
+        crimes.add_program(MalwareProgram(trigger_epoch=2))
+        # A second malware wave arrives while the honeypot is live.
+        late = MalwareProgram(trigger_epoch=4)
+        late.MALWARE_NAME = "second_stage.exe"
+        crimes.add_program(late)
+        crimes.start()
+        crimes.run(max_epochs=3)
+        assert crimes.suspended
+
+        session = HoneypotSession(crimes).engage()
+        observations = session.observe(epochs=3)
+        # The second stage's process creation mutates the EPROCESS list,
+        # whose frame is write-trapped.
+        assert any(observation.mem_events for observation in observations)

@@ -1,0 +1,114 @@
+"""Unit + property tests for the dirty bitmap and its two scan strategies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import HypervisorError
+from repro.hypervisor.dirty import DirtyBitmap
+from repro.sim.rng import SeededStream
+
+
+def test_set_and_test():
+    bitmap = DirtyBitmap(1000)
+    bitmap.set(0)
+    bitmap.set(999)
+    assert bitmap.test(0)
+    assert bitmap.test(999)
+    assert not bitmap.test(500)
+
+
+def test_count_deduplicates():
+    bitmap = DirtyBitmap(100)
+    bitmap.set(5)
+    bitmap.set(5)
+    assert bitmap.count() == 1
+
+
+def test_out_of_range_rejected():
+    bitmap = DirtyBitmap(64)
+    with pytest.raises(HypervisorError):
+        bitmap.set(64)
+    with pytest.raises(HypervisorError):
+        bitmap.set(-1)
+
+
+def test_zero_frames_rejected():
+    with pytest.raises(HypervisorError):
+        DirtyBitmap(0)
+
+
+def test_clear_resets():
+    bitmap = DirtyBitmap(100)
+    bitmap.set(3)
+    bitmap.clear()
+    assert bitmap.count() == 0
+    assert not bitmap.test(3)
+
+
+def test_both_scans_find_same_pfns_sorted():
+    bitmap = DirtyBitmap(500)
+    for pfn in (0, 63, 64, 65, 127, 400, 499):
+        bitmap.set(pfn)
+    bit_dirty, _stats = bitmap.scan_bit_by_bit()
+    word_dirty, _stats = bitmap.scan_by_words()
+    assert bit_dirty == word_dirty == [0, 63, 64, 65, 127, 400, 499]
+
+
+def test_word_scan_skips_zero_words():
+    bitmap = DirtyBitmap(64 * 100)
+    bitmap.set(0)  # only word 0 is non-zero
+    _dirty, stats = bitmap.scan_by_words()
+    assert stats.bits_visited == 64
+    _dirty, bit_stats = bitmap.scan_bit_by_bit()
+    assert bit_stats.bits_visited == 64 * 100
+
+
+def test_harvest_clears_after_scan():
+    bitmap = DirtyBitmap(128)
+    bitmap.set(7)
+    dirty, stats = bitmap.harvest(optimized=True)
+    assert dirty == [7]
+    assert stats.dirty_found == 1
+    assert bitmap.count() == 0
+
+
+def test_harvest_strategy_selection():
+    bitmap = DirtyBitmap(6400)
+    bitmap.set(1)
+    _dirty, stats = bitmap.harvest(optimized=False)
+    assert stats.bits_visited == 6400
+
+
+def test_load_random_density():
+    bitmap = DirtyBitmap(10000)
+    bitmap.load_random(SeededStream(1, "t"), 0.05)
+    # collisions allowed: count is at most the expected number
+    assert 0 < bitmap.count() <= 500
+
+
+def test_last_partial_word_handled():
+    bitmap = DirtyBitmap(70)  # 2 words, second partial
+    bitmap.set(69)
+    bit_dirty, _ = bitmap.scan_bit_by_bit()
+    word_dirty, _ = bitmap.scan_by_words()
+    assert bit_dirty == word_dirty == [69]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    frame_count=st.integers(min_value=1, max_value=2000),
+    data=st.data(),
+)
+def test_property_scan_equivalence(frame_count, data):
+    """The optimized scan must find exactly the bit-by-bit scan's set."""
+    bitmap = DirtyBitmap(frame_count)
+    pfns = data.draw(
+        st.lists(st.integers(min_value=0, max_value=frame_count - 1),
+                 max_size=100)
+    )
+    for pfn in pfns:
+        bitmap.set(pfn)
+    bit_dirty, _ = bitmap.scan_bit_by_bit()
+    word_dirty, _ = bitmap.scan_by_words()
+    assert bit_dirty == word_dirty == sorted(set(pfns))
+    assert bitmap.count() == len(set(pfns))

@@ -1,0 +1,95 @@
+"""Unit tests for memory-event monitoring."""
+
+import pytest
+
+from repro.errors import HypervisorError
+from repro.guest.memory import PAGE_SIZE
+
+
+def test_unattached_monitor_traps_nothing(linux_domain):
+    monitor = linux_domain.event_monitor
+    monitor.watch_frame(0)
+    linux_domain.vm.memory.write(10, b"x")
+    assert monitor.pending() == 0
+
+
+def test_attached_monitor_traps_watched_frame(linux_domain):
+    monitor = linux_domain.event_monitor
+    monitor.watch_frame(2)
+    monitor.attach()
+    linux_domain.vm.memory.write(2 * PAGE_SIZE + 5, b"evil")
+    events = monitor.poll()
+    assert len(events) == 1
+    assert events[0].paddr == 2 * PAGE_SIZE + 5
+    assert events[0].data == b"evil"
+    monitor.detach()
+
+
+def test_unwatched_frames_not_trapped(linux_domain):
+    monitor = linux_domain.event_monitor
+    monitor.watch_frame(2)
+    monitor.attach()
+    linux_domain.vm.memory.write(3 * PAGE_SIZE, b"meh")
+    assert monitor.poll() == []
+    monitor.detach()
+
+
+def test_event_captures_rip(linux_domain):
+    linux_domain.vm.cpu["rip"] = 0x4141
+    monitor = linux_domain.event_monitor
+    monitor.watch_frame(1)
+    monitor.attach()
+    linux_domain.vm.memory.write(PAGE_SIZE, b"z")
+    assert monitor.poll()[0].rip == 0x4141
+    monitor.detach()
+
+
+def test_covers_overlap_logic(linux_domain):
+    monitor = linux_domain.event_monitor
+    monitor.watch_frame(0)
+    monitor.attach()
+    linux_domain.vm.memory.write(100, b"12345678")
+    event = monitor.poll()[0]
+    assert event.covers(100, 1)
+    assert event.covers(107, 1)
+    assert event.covers(95, 6)
+    assert not event.covers(108, 4)
+    assert not event.covers(90, 10)
+    monitor.detach()
+
+
+def test_bytes_at_full_and_partial_coverage(linux_domain):
+    monitor = linux_domain.event_monitor
+    monitor.watch_frame(0)
+    monitor.attach()
+    linux_domain.vm.memory.write(0, b"ABCDEFGH")
+    event = monitor.poll()[0]
+    assert event.bytes_at(2, 4) == b"CDEF"
+    assert event.bytes_at(6, 4) is None  # partial coverage
+    monitor.detach()
+
+
+def test_ring_drops_oldest_when_full(linux_domain):
+    monitor = linux_domain.event_monitor
+    monitor.RING_CAPACITY = 4  # shrink for the test
+    monitor.watch_frame(0)
+    monitor.attach()
+    for index in range(6):
+        linux_domain.vm.memory.write(index, bytes([index]))
+    events = monitor.poll()
+    assert len(events) == 4
+    assert monitor.events_dropped == 2
+    monitor.detach()
+
+
+def test_double_attach_rejected(linux_domain):
+    monitor = linux_domain.event_monitor
+    monitor.attach()
+    with pytest.raises(HypervisorError):
+        monitor.attach()
+    monitor.detach()
+
+
+def test_watch_out_of_range_rejected(linux_domain):
+    with pytest.raises(HypervisorError):
+        linux_domain.event_monitor.watch_frame(10**9)

@@ -1,0 +1,111 @@
+"""Tests for IDT integrity, Linux sockets/netstat, and Crimes.metrics()."""
+
+import pytest
+
+from repro.core.config import CrimesConfig
+from repro.core.crimes import Crimes
+from repro.detectors.base import Detector
+from repro.detectors.canary import CanaryScanModule
+from repro.detectors.syscall_table import IdtTableModule, SyscallTableModule
+from repro.errors import GuestFault
+from repro.forensics.dumps import MemoryDump
+from repro.forensics.volatility import VolatilityFramework
+from repro.guest.linux import IDT_VECTORS, LinuxGuest
+from repro.guest.net import TCP_CLOSE_WAIT
+from repro.vmi.libvmi import VMIInstance
+from repro.workloads.attacks import OverflowAttackProgram
+
+
+class TestIdtIntegrity:
+    def test_clean_idt_passes(self, linux_domain):
+        detector = Detector(VMIInstance(linux_domain, seed=5))
+        detector.install(IdtTableModule())
+        assert not detector.scan().attack_detected
+
+    def test_idt_hook_detected(self, linux_domain):
+        detector = Detector(VMIInstance(linux_domain, seed=5))
+        detector.install(IdtTableModule())
+        linux_domain.vm.hijack_idt(14, 0xFFFFFFFFA0BAD000)  # page-fault vec
+        result = detector.scan()
+        assert result.attack_detected
+        finding = result.critical_findings()[0]
+        assert finding.kind == "idt-hook"
+        assert finding.details["index"] == 14
+
+    def test_idt_vector_bounds(self, linux_vm):
+        with pytest.raises(GuestFault):
+            linux_vm.hijack_idt(IDT_VECTORS, 0x1)
+
+    def test_idt_and_syscall_modules_are_independent(self, linux_domain):
+        detector = Detector(VMIInstance(linux_domain, seed=5))
+        detector.install(IdtTableModule())
+        detector.install(SyscallTableModule())
+        linux_domain.vm.hijack_syscall(3, 0xBAD)
+        result = detector.scan()
+        kinds = {f.kind for f in result.critical_findings()}
+        assert kinds == {"syscall-hijack"}
+
+
+class TestLinuxSockets:
+    def test_netstat_walks_socket_list(self, linux_vm):
+        process = linux_vm.create_process("serverd")
+        linux_vm.open_socket(process.pid, ("10.0.0.5", 80),
+                             ("198.51.100.7", 52100))
+        socket_va = linux_vm.open_socket(
+            process.pid, ("10.0.0.5", 443), ("203.0.113.2", 40000)
+        )
+        linux_vm.set_socket_state(socket_va, TCP_CLOSE_WAIT)
+        dump = MemoryDump.from_vm(linux_vm)
+        rows = VolatilityFramework().run("linux_netstat", dump)
+        assert len(rows) == 2
+        by_local = {row["local"]: row for row in rows}
+        assert by_local["10.0.0.5:443"]["state"] == "CLOSE_WAIT"
+        assert by_local["10.0.0.5:80"]["state"] == "ESTABLISHED"
+        assert by_local["10.0.0.5:80"]["owner_pid"] == process.pid
+
+    def test_netstat_empty_on_fresh_guest(self, linux_vm):
+        dump = MemoryDump.from_vm(linux_vm)
+        assert VolatilityFramework().run("linux_netstat", dump) == []
+
+    def test_overflow_report_includes_attack_socket(self):
+        vm = LinuxGuest(name="sock-report", memory_bytes=8 * 1024 * 1024,
+                        seed=55)
+        crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=55))
+        crimes.install_module(CanaryScanModule())
+        crimes.add_program(OverflowAttackProgram(trigger_epoch=2))
+        crimes.start()
+        crimes.run(max_epochs=4)
+        rendered = crimes.last_outcome.report.render()
+        assert "Connections opened during the attacked epoch" in rendered
+        assert "198.51.100.7:80" in rendered
+
+
+class TestMetrics:
+    def test_metrics_snapshot(self):
+        vm = LinuxGuest(name="metrics", memory_bytes=8 * 1024 * 1024,
+                        seed=56)
+        crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=56))
+        crimes.start()
+        crimes.run(max_epochs=3)
+        metrics = crimes.metrics()
+        assert metrics["epochs_run"] == 3
+        assert metrics["scans_run"] == 3
+        assert not metrics["suspended"]
+        assert metrics["mean_pause_ms"] > 0
+        assert metrics["backup_memory_bytes"] == vm.memory.size
+        assert set(metrics["phase_breakdown_ms"]) == {
+            "suspend", "vmi", "bitscan", "map", "copy", "resume"
+        }
+
+    def test_metrics_reflect_incident(self):
+        vm = LinuxGuest(name="metrics2", memory_bytes=8 * 1024 * 1024,
+                        seed=57)
+        crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=57,
+                                         auto_respond=False))
+        crimes.install_module(CanaryScanModule())
+        crimes.add_program(OverflowAttackProgram(trigger_epoch=2))
+        crimes.start()
+        crimes.run(max_epochs=4)
+        metrics = crimes.metrics()
+        assert metrics["suspended"]
+        assert metrics["packets_discarded"] >= 1

@@ -1,0 +1,51 @@
+"""Tests for Linux kernel file objects and the linux_lsof plugin."""
+
+import pytest
+
+from repro.errors import GuestFault
+from repro.forensics.dumps import MemoryDump
+from repro.forensics.volatility import VolatilityFramework
+
+
+def test_open_files_walkable(linux_vm):
+    process = linux_vm.create_process("editor")
+    linux_vm.open_file(process.pid, "/home/user/notes.txt")
+    linux_vm.open_file(process.pid, "/etc/passwd")
+    dump = MemoryDump.from_vm(linux_vm)
+    rows = VolatilityFramework().run("linux_lsof", dump)
+    paths = {row["path"] for row in rows}
+    assert paths == {"/home/user/notes.txt", "/etc/passwd"}
+
+
+def test_lsof_pid_filter(linux_vm):
+    a = linux_vm.create_process("a")
+    b = linux_vm.create_process("b")
+    linux_vm.open_file(a.pid, "/tmp/a.log")
+    linux_vm.open_file(b.pid, "/tmp/b.log")
+    dump = MemoryDump.from_vm(linux_vm)
+    rows = VolatilityFramework().run("linux_lsof", dump, pid=b.pid)
+    assert [row["path"] for row in rows] == ["/tmp/b.log"]
+
+
+def test_close_file_unlinks(linux_vm):
+    process = linux_vm.create_process("closer")
+    first = linux_vm.open_file(process.pid, "/tmp/one")
+    linux_vm.open_file(process.pid, "/tmp/two")
+    linux_vm.close_file(first)
+    dump = MemoryDump.from_vm(linux_vm)
+    rows = VolatilityFramework().run("linux_lsof", dump)
+    assert [row["path"] for row in rows] == ["/tmp/two"]
+
+
+def test_close_unknown_file_rejected(linux_vm):
+    with pytest.raises(GuestFault):
+        linux_vm.close_file(0xFFFF_8800_0000_5000)
+
+
+def test_overflow_report_lists_dropped_webshell():
+    from repro.experiments.case_studies import case1_overflow
+
+    case = case1_overflow(interval_ms=50.0, seed=7)
+    rendered = case["outcome"].report.render()
+    assert "Files opened during the attacked epoch" in rendered
+    assert "/var/www/html/.webshell.php" in rendered

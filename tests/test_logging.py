@@ -1,0 +1,51 @@
+"""Tests for the library's logging conventions."""
+
+import logging
+
+from repro.core.config import CrimesConfig
+from repro.core.crimes import Crimes
+from repro.detectors.canary import CanaryScanModule
+from repro.guest.linux import LinuxGuest
+from repro.log import get_logger
+from repro.workloads.attacks import OverflowAttackProgram
+
+
+def test_get_logger_roots_under_repro():
+    assert get_logger("core").name == "repro.core"
+    assert get_logger("repro.analyzer").name == "repro.analyzer"
+
+
+def test_start_logs_info(caplog):
+    vm = LinuxGuest(name="log-vm", memory_bytes=8 * 1024 * 1024, seed=140)
+    crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=140))
+    with caplog.at_level(logging.INFO, logger="repro"):
+        crimes.start()
+    assert any("protection started" in record.message
+               for record in caplog.records)
+
+
+def test_attack_logs_warning_with_summary(caplog):
+    vm = LinuxGuest(name="log-vm2", memory_bytes=8 * 1024 * 1024, seed=141)
+    crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=141,
+                                     auto_respond=False))
+    crimes.install_module(CanaryScanModule())
+    crimes.add_program(OverflowAttackProgram(trigger_epoch=2))
+    crimes.start()
+    with caplog.at_level(logging.WARNING, logger="repro"):
+        crimes.run(max_epochs=4)
+    warnings = [record for record in caplog.records
+                if record.levelno == logging.WARNING]
+    assert warnings
+    assert "AUDIT FAILED" in warnings[0].message
+    assert "canary" in warnings[0].message
+
+
+def test_clean_run_logs_no_warnings(caplog):
+    vm = LinuxGuest(name="log-vm3", memory_bytes=8 * 1024 * 1024, seed=142)
+    crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=142))
+    crimes.install_module(CanaryScanModule())
+    crimes.start()
+    with caplog.at_level(logging.WARNING, logger="repro"):
+        crimes.run(max_epochs=3)
+    assert not [record for record in caplog.records
+                if record.levelno >= logging.WARNING]

@@ -1,0 +1,137 @@
+"""Unit tests for smaller modules: errors, net, osprofile, printkey,
+SynchronousDeepAdapter, and experiment helpers."""
+
+import pytest
+
+from repro import errors
+from repro.detectors.base import Detector
+from repro.detectors.deep import SignatureSweepModule, SynchronousDeepAdapter
+from repro.errors import IntrospectionError, PageFault, SymbolNotFound
+from repro.forensics.dumps import MemoryDump
+from repro.forensics.volatility import VolatilityFramework
+from repro.guest.net import (
+    TCP_STATE_NAMES,
+    bytes_to_ip,
+    ip_to_bytes,
+)
+from repro.vmi.libvmi import VMIInstance
+from repro.vmi.osprofile import profile_for
+from repro.workloads.attacks import MemoryResidentMalware
+
+
+class TestErrors:
+    def test_everything_derives_from_crimes_error(self):
+        for name in dir(errors):
+            attr = getattr(errors, name)
+            if isinstance(attr, type) and issubclass(attr, Exception) \
+                    and attr is not errors.CrimesError:
+                assert issubclass(attr, errors.CrimesError), name
+
+    def test_pagefault_carries_address(self):
+        fault = PageFault(0xDEAD)
+        assert fault.vaddr == 0xDEAD
+        assert "0xdead" in str(fault)
+
+    def test_symbol_not_found_carries_name(self):
+        missing = SymbolNotFound("foo_bar")
+        assert missing.name == "foo_bar"
+        assert "foo_bar" in str(missing)
+
+
+class TestNetVocabulary:
+    def test_state_names_cover_constants(self):
+        assert set(TCP_STATE_NAMES.values()) == {
+            "ESTABLISHED", "CLOSE_WAIT", "LISTENING", "CLOSED"
+        }
+
+    def test_ip_roundtrip(self):
+        for ip in ("0.0.0.0", "255.255.255.255", "10.1.2.3"):
+            assert bytes_to_ip(ip_to_bytes(ip)) == ip
+
+
+class TestOsProfiles:
+    def test_known_oses(self):
+        assert profile_for("linux").os_name == "linux"
+        assert profile_for("windows").os_name == "windows"
+
+    def test_unknown_os_rejected(self):
+        with pytest.raises(IntrospectionError):
+            profile_for("plan9")
+
+    def test_struct_and_root_lookup(self):
+        profile = profile_for("linux")
+        assert profile.struct("task_struct").size > 0
+        assert profile.root_symbol("process_list") == "init_task"
+        with pytest.raises(IntrospectionError):
+            profile.struct("no_such_struct")
+        with pytest.raises(IntrospectionError):
+            profile.root_symbol("no_such_role")
+
+
+class TestPrintkey:
+    def test_lists_seeded_hives(self, windows_vm):
+        dump = MemoryDump.from_vm(windows_vm)
+        rows = VolatilityFramework().run("printkey", dump)
+        keys = {row["key"]: row["value"] for row in rows}
+        assert keys["HKLM\\SOFTWARE\\Vendor\\License"] == "A1B2-C3D4-E5F6"
+
+    def test_prefix_filter(self, windows_vm):
+        dump = MemoryDump.from_vm(windows_vm)
+        rows = VolatilityFramework().run("printkey", dump, prefix="HKCU\\")
+        assert rows
+        assert all(row["key"].startswith("HKCU\\") for row in rows)
+
+    def test_rejects_linux_dump(self, linux_vm):
+        from repro.errors import ForensicsError
+
+        dump = MemoryDump.from_vm(linux_vm)
+        with pytest.raises(ForensicsError):
+            VolatilityFramework().run("printkey", dump)
+
+
+class TestSynchronousDeepAdapter:
+    def test_adapter_finds_payload_inline(self, linux_domain):
+        vm = linux_domain.vm
+        malware = MemoryResidentMalware(trigger_epoch=1)
+        malware.bind(vm)
+        malware.step(0.0, 50.0)
+
+        detector = Detector(VMIInstance(linux_domain, seed=9))
+        detector.install(SynchronousDeepAdapter(SignatureSweepModule()))
+        result = detector.scan()
+        assert result.attack_detected
+        # The full sweep cost lands on the audit's critical path.
+        assert result.cost_ms > 100.0
+
+    def test_adapter_name_tags_inner_module(self):
+        adapter = SynchronousDeepAdapter(SignatureSweepModule())
+        assert adapter.name == "sync[deep-signatures]"
+
+
+class TestExperimentHelpers:
+    def test_run_parsec_result_fields(self):
+        from repro.checkpoint.costmodel import OptimizationLevel
+        from repro.experiments.parsec_experiments import run_parsec
+
+        result = run_parsec("raytrace", level=OptimizationLevel.FULL,
+                            native_runtime_ms=500.0)
+        assert result.benchmark == "raytrace"
+        assert result.normalized_runtime > 1.0
+        assert result.epochs >= 2
+        assert set(result.phase_breakdown) == {
+            "suspend", "vmi", "bitscan", "map", "copy", "resume"
+        }
+
+    def test_run_parsec_deterministic(self):
+        from repro.experiments.parsec_experiments import run_parsec
+
+        first = run_parsec("vips", seed=5, native_runtime_ms=500.0)
+        second = run_parsec("vips", seed=5, native_runtime_ms=500.0)
+        assert first.normalized_runtime == second.normalized_runtime
+
+    def test_seed_changes_jitter(self):
+        from repro.experiments.parsec_experiments import run_parsec
+
+        first = run_parsec("vips", seed=5, native_runtime_ms=500.0)
+        second = run_parsec("vips", seed=6, native_runtime_ms=500.0)
+        assert first.mean_dirty_pages != second.mean_dirty_pages

@@ -1,0 +1,87 @@
+"""Unit tests for output buffering (Synchronous vs Best Effort Safety)."""
+
+from repro.guest.devices import DiskWrite, OutputSink, Packet
+from repro.netbuf.buffer import BufferMode, OutputBuffer
+from repro.sim.clock import VirtualClock
+
+
+def make_buffer(mode):
+    clock = VirtualClock()
+    sink = OutputSink(clock)
+    return OutputBuffer(sink, mode=mode, clock=clock), sink, clock
+
+
+def test_synchronous_holds_until_commit():
+    buffer, sink, _clock = make_buffer(BufferMode.SYNCHRONOUS)
+    buffer.emit_packet(Packet("a", "b", b"p1"))
+    buffer.emit_disk_write(DiskWrite(1, b"d1"))
+    assert sink.packets == [] and sink.disk_writes == []
+    assert buffer.pending_packets() == 1
+    assert buffer.pending_disk_writes() == 1
+    buffer.commit()
+    assert len(sink.packets) == 1
+    assert len(sink.disk_writes) == 1
+
+
+def test_best_effort_passes_through_immediately():
+    buffer, sink, _clock = make_buffer(BufferMode.BEST_EFFORT)
+    buffer.emit_packet(Packet("a", "b", b"p1"))
+    assert len(sink.packets) == 1
+    assert buffer.pending_packets() == 0
+
+
+def test_commit_preserves_packet_order():
+    buffer, sink, _clock = make_buffer(BufferMode.SYNCHRONOUS)
+    for index in range(5):
+        buffer.emit_packet(Packet("a", "b", bytes([index])))
+    buffer.commit()
+    assert [p.payload[0] for p in sink.packets] == [0, 1, 2, 3, 4]
+
+
+def test_commit_returns_released_counts():
+    buffer, _sink, _clock = make_buffer(BufferMode.SYNCHRONOUS)
+    buffer.emit_packet(Packet("a", "b", b"x"))
+    buffer.emit_packet(Packet("a", "b", b"y"))
+    buffer.emit_disk_write(DiskWrite(0, b"z"))
+    assert buffer.commit() == (2, 1)
+    assert buffer.committed_packets == 2
+    assert buffer.committed_disk_writes == 1
+
+
+def test_discard_destroys_epoch_outputs():
+    buffer, sink, _clock = make_buffer(BufferMode.SYNCHRONOUS)
+    buffer.emit_packet(Packet("mal", "c2", b"EXFIL secret"))
+    buffer.emit_disk_write(DiskWrite(7, b"tampered"))
+    dropped = buffer.discard()
+    assert dropped == (1, 1)
+    buffer.commit()
+    assert sink.packets == [] and sink.disk_writes == []
+    assert buffer.discarded_packets == 1
+
+
+def test_commit_stamps_release_time_not_send_time():
+    clock = VirtualClock()
+    sink = OutputSink(clock)
+    buffer = OutputBuffer(sink, mode=BufferMode.SYNCHRONOUS, clock=clock)
+    buffer.emit_packet(Packet("a", "b", b"held"))
+    clock.advance(50.0)
+    buffer.commit()
+    assert sink.packets[0].sent_at == 50.0
+
+
+def test_peek_packets_is_readonly_view():
+    buffer, _sink, _clock = make_buffer(BufferMode.SYNCHRONOUS)
+    buffer.emit_packet(Packet("a", "b", b"peek"))
+    view = buffer.peek_packets()
+    assert len(view) == 1
+    assert isinstance(view, tuple)
+    assert buffer.pending_packets() == 1
+
+
+def test_multiple_epochs_accumulate_statistics():
+    buffer, sink, _clock = make_buffer(BufferMode.SYNCHRONOUS)
+    for _epoch in range(3):
+        buffer.emit_packet(Packet("a", "b", b"x"))
+        buffer.commit()
+    assert buffer.committed_packets == 3
+    assert len(sink.packets) == 3

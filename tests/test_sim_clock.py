@@ -1,0 +1,56 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+
+
+def test_starts_at_zero_by_default():
+    assert VirtualClock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert VirtualClock(12.5).now == 12.5
+
+
+def test_advance_accumulates():
+    clock = VirtualClock()
+    clock.advance(10.0)
+    clock.advance(2.5)
+    assert clock.now == 12.5
+
+
+def test_advance_returns_new_time():
+    clock = VirtualClock(5.0)
+    assert clock.advance(1.0) == 6.0
+
+
+def test_advance_rejects_negative():
+    clock = VirtualClock()
+    with pytest.raises(SimulationError):
+        clock.advance(-0.1)
+
+
+def test_advance_to_moves_forward():
+    clock = VirtualClock()
+    clock.advance_to(100.0)
+    assert clock.now == 100.0
+
+
+def test_advance_to_rejects_backwards():
+    clock = VirtualClock(50.0)
+    with pytest.raises(SimulationError):
+        clock.advance_to(49.0)
+
+
+def test_advance_to_same_time_is_noop():
+    clock = VirtualClock(50.0)
+    clock.advance_to(50.0)
+    assert clock.now == 50.0
+
+
+def test_zero_advance_allowed():
+    clock = VirtualClock(1.0)
+    clock.advance(0.0)
+    assert clock.now == 1.0

@@ -1,0 +1,145 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.engine import Engine, Timeout
+
+
+def test_timeout_advances_clock():
+    engine = Engine(VirtualClock())
+    times = []
+
+    def proc():
+        yield Timeout(5.0)
+        times.append(engine.now())
+        yield Timeout(2.0)
+        times.append(engine.now())
+
+    engine.spawn(proc())
+    engine.run()
+    assert times == [5.0, 7.0]
+
+
+def test_processes_interleave_in_time_order():
+    engine = Engine(VirtualClock())
+    order = []
+
+    def slow():
+        yield Timeout(10.0)
+        order.append("slow")
+
+    def fast():
+        yield Timeout(1.0)
+        order.append("fast")
+
+    engine.spawn(slow())
+    engine.spawn(fast())
+    engine.run()
+    assert order == ["fast", "slow"]
+
+
+def test_event_wakes_all_waiters_with_value():
+    engine = Engine(VirtualClock())
+    event = engine.event()
+    received = []
+
+    def waiter(tag):
+        value = yield event
+        received.append((tag, value))
+
+    def trigger():
+        yield Timeout(3.0)
+        event.trigger("go")
+
+    engine.spawn(waiter("a"))
+    engine.spawn(waiter("b"))
+    engine.spawn(trigger())
+    engine.run()
+    assert sorted(received) == [("a", "go"), ("b", "go")]
+
+
+def test_late_waiter_resumes_immediately():
+    engine = Engine(VirtualClock())
+    event = engine.event()
+    event.trigger(42)
+    got = []
+
+    def late():
+        value = yield event
+        got.append((engine.now(), value))
+
+    engine.spawn(late())
+    engine.run()
+    assert got == [(0.0, 42)]
+
+
+def test_event_cannot_trigger_twice():
+    engine = Engine(VirtualClock())
+    event = engine.event()
+    event.trigger()
+    with pytest.raises(SimulationError):
+        event.trigger()
+
+
+def test_waiting_on_process_completion():
+    engine = Engine(VirtualClock())
+    results = []
+
+    def child():
+        yield Timeout(4.0)
+        return "child-result"
+
+    def parent():
+        handle = engine.spawn(child())
+        value = yield handle
+        results.append((engine.now(), value))
+
+    engine.spawn(parent())
+    engine.run()
+    assert results == [(4.0, "child-result")]
+
+
+def test_run_until_stops_at_horizon():
+    engine = Engine(VirtualClock())
+    fired = []
+
+    def proc():
+        yield Timeout(100.0)
+        fired.append(True)
+
+    engine.spawn(proc())
+    engine.run(until_ms=50.0)
+    assert not fired
+    assert engine.now() == 50.0
+    assert engine.pending() == 1
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-1.0)
+
+
+def test_yielding_garbage_raises():
+    engine = Engine(VirtualClock())
+
+    def bad():
+        yield "not-an-awaitable"
+
+    engine.spawn(bad())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_process_result_recorded():
+    engine = Engine(VirtualClock())
+
+    def proc():
+        yield Timeout(1.0)
+        return 99
+
+    handle = engine.spawn(proc())
+    engine.run()
+    assert handle.finished
+    assert handle.result == 99

@@ -1,0 +1,127 @@
+"""Tests for time-travel forensics over the checkpoint history."""
+
+import pytest
+
+from repro.analyzer.timetravel import TimeTravelInvestigator
+from repro.core.config import CrimesConfig
+from repro.core.crimes import Crimes
+from repro.errors import ForensicsError
+from repro.forensics.volatility import VolatilityFramework
+from repro.guest.linux import LinuxGuest
+from repro.workloads.attacks import RootkitProgram
+
+
+def rootkit_indicator(volatility):
+    """Indicator: the diamorphine module is present in the dump."""
+
+    def check(dump):
+        rows = volatility.run("linux_lsmod", dump)
+        return any(row["name"] == RootkitProgram.MODULE_NAME for row in rows)
+
+    return check
+
+
+def run_history(trigger_epoch, epochs, capacity=8, seed=120):
+    vm = LinuxGuest(name="history", memory_bytes=8 * 1024 * 1024, seed=seed)
+    crimes = Crimes(
+        vm,
+        CrimesConfig(epoch_interval_ms=50.0, history_capacity=capacity,
+                     seed=seed, scan_enabled=True),
+    )
+    # No live modules installed: the rootkit persists undetected, which
+    # is exactly when retroactive history analysis matters.
+    crimes.add_program(RootkitProgram(trigger_epoch=trigger_epoch))
+    crimes.start()
+    crimes.run(max_epochs=epochs)
+    return crimes
+
+
+class TestTimeTravel:
+    def test_bisect_finds_the_compromise_epoch(self):
+        crimes = run_history(trigger_epoch=4, epochs=8)
+        investigator = TimeTravelInvestigator(
+            crimes.vm, crimes.checkpointer.history
+        )
+        window = investigator.find_first_compromised(
+            rootkit_indicator(VolatilityFramework())
+        )
+        assert window.bounded
+        assert window.first_bad.epoch == 4
+        assert window.last_clean.epoch == 3
+        assert window.window_ms() > 0
+
+    def test_linear_sweep_agrees_with_bisection(self):
+        crimes = run_history(trigger_epoch=4, epochs=8)
+        investigator = TimeTravelInvestigator(
+            crimes.vm, crimes.checkpointer.history
+        )
+        volatility = VolatilityFramework()
+        bisected = investigator.find_first_compromised(
+            rootkit_indicator(volatility), bisect=True
+        )
+        swept = investigator.find_first_compromised(
+            rootkit_indicator(volatility), bisect=False
+        )
+        assert bisected.first_bad.epoch == swept.first_bad.epoch
+
+    def test_bisection_examines_fewer_checkpoints(self):
+        # Late compromise: linear sweeps most of the history, bisection
+        # homes in logarithmically.
+        crimes = run_history(trigger_epoch=7, epochs=8)
+        investigator = TimeTravelInvestigator(
+            crimes.vm, crimes.checkpointer.history
+        )
+        volatility = VolatilityFramework()
+        bisected = investigator.find_first_compromised(
+            rootkit_indicator(volatility), bisect=True
+        )
+        swept = investigator.find_first_compromised(
+            rootkit_indicator(volatility), bisect=False
+        )
+        assert bisected.checkpoints_examined <= swept.checkpoints_examined
+
+    def test_clean_history(self):
+        crimes = run_history(trigger_epoch=99, epochs=6)
+        investigator = TimeTravelInvestigator(
+            crimes.vm, crimes.checkpointer.history
+        )
+        window = investigator.find_first_compromised(
+            rootkit_indicator(VolatilityFramework())
+        )
+        assert window.first_bad is None
+        assert not window.bounded
+
+    def test_compromise_older_than_history(self):
+        # Trigger at epoch 2 but keep only the last 3 checkpoints of 8:
+        # every retained checkpoint is already compromised.
+        crimes = run_history(trigger_epoch=2, epochs=8, capacity=3)
+        investigator = TimeTravelInvestigator(
+            crimes.vm, crimes.checkpointer.history
+        )
+        window = investigator.find_first_compromised(
+            rootkit_indicator(VolatilityFramework())
+        )
+        assert window.first_bad is not None
+        assert window.last_clean is None
+
+    def test_empty_history_rejected(self):
+        crimes = run_history(trigger_epoch=2, epochs=3, capacity=0)
+        investigator = TimeTravelInvestigator(
+            crimes.vm, crimes.checkpointer.history
+        )
+        with pytest.raises(ForensicsError):
+            investigator.find_first_compromised(lambda dump: True)
+
+
+class TestPstree:
+    def test_windows_hierarchy(self, windows_vm):
+        from repro.forensics.dumps import MemoryDump
+
+        child = windows_vm.create_process("word.exe", ppid=4)
+        windows_vm.create_process("macro_pay.exe", ppid=child)
+        dump = MemoryDump.from_vm(windows_vm)
+        rows = VolatilityFramework().run("pstree", dump)
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["macro_pay.exe"]["depth"] == \
+            by_name["word.exe"]["depth"] + 1
+        assert by_name["System"]["depth"] == 0

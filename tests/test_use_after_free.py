@@ -1,0 +1,96 @@
+"""Tests for use-after-free detection (freed-region poisoning)."""
+
+import pytest
+
+from repro.core.config import CrimesConfig
+from repro.core.crimes import Crimes
+from repro.detectors.base import Detector
+from repro.detectors.canary import CanaryScanModule
+from repro.guest.heap import FREED_FILL_BYTE
+from repro.guest.linux import LinuxGuest
+from repro.vmi.libvmi import VMIInstance
+from repro.workloads.attacks import UseAfterFreeProgram
+
+
+class TestFreedRegionScanning:
+    def test_clean_freed_regions_pass(self, linux_domain):
+        process = linux_domain.vm.create_process("clean")
+        addr = process.malloc(40)
+        process.free(addr)
+        detector = Detector(VMIInstance(linux_domain, seed=6))
+        detector.install(CanaryScanModule(scan_all_pages=True))
+        assert not detector.scan().attack_detected
+
+    def test_dangling_write_detected(self, linux_domain):
+        process = linux_domain.vm.create_process("victim")
+        addr = process.malloc(40)
+        process.free(addr)
+        process.write(addr + 4, b"UAF!")  # the dangling write
+        detector = Detector(VMIInstance(linux_domain, seed=6))
+        detector.install(CanaryScanModule(scan_all_pages=True))
+        result = detector.scan()
+        assert result.attack_detected
+        finding = result.critical_findings()[0]
+        assert finding.kind == "use-after-free"
+        assert finding.details["object_addr"] == addr
+        assert finding.details["write_offset"] == 4
+
+    def test_check_freed_can_be_disabled(self, linux_domain):
+        process = linux_domain.vm.create_process("victim")
+        addr = process.malloc(40)
+        process.free(addr)
+        process.write(addr, b"UAF!")
+        detector = Detector(VMIInstance(linux_domain, seed=6))
+        detector.install(
+            CanaryScanModule(scan_all_pages=True, check_freed=False)
+        )
+        assert not detector.scan().attack_detected
+
+    def test_fill_byte_visible_through_vmi(self, linux_domain):
+        process = linux_domain.vm.create_process("poisoned")
+        addr = process.malloc(24)
+        process.free(addr)
+        vmi = VMIInstance(linux_domain, seed=6)
+        data = vmi.read_freed_region(process.pid, addr, 24)
+        assert data == bytes([FREED_FILL_BYTE]) * 24
+
+
+class TestUseAfterFreeEndToEnd:
+    @pytest.fixture(scope="class")
+    def attacked(self):
+        vm = LinuxGuest(name="uaf", memory_bytes=8 * 1024 * 1024, seed=88)
+        crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=88))
+        crimes.install_module(CanaryScanModule())
+        attack = crimes.add_program(UseAfterFreeProgram(trigger_epoch=3))
+        crimes.start()
+        crimes.run(max_epochs=6)
+        return crimes, attack
+
+    def test_detected_in_trigger_epoch(self, attacked):
+        crimes, attack = attacked
+        assert crimes.suspended
+        assert attack.attacked
+        assert crimes.records[-1].epoch == 3
+        finding = crimes.last_outcome.finding
+        assert finding.kind == "use-after-free"
+
+    def test_replay_pinpoints_dangling_write(self, attacked):
+        crimes, _attack = attacked
+        pinpoint = crimes.last_outcome.pinpoint
+        assert pinpoint.matched
+        assert pinpoint.rip == UseAfterFreeProgram.UAF_RIP
+
+    def test_report_names_use_after_free(self, attacked):
+        crimes, _attack = attacked
+        rendered = crimes.last_outcome.report.render()
+        assert "Use After Free" in rendered
+        assert "dangling write at offset" in rendered
+
+    def test_benign_epochs_unaffected(self):
+        vm = LinuxGuest(name="uaf2", memory_bytes=8 * 1024 * 1024, seed=89)
+        crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=89))
+        crimes.install_module(CanaryScanModule())
+        crimes.add_program(UseAfterFreeProgram(trigger_epoch=99))
+        crimes.start()
+        records = crimes.run(max_epochs=4)
+        assert all(record.committed for record in records)

@@ -1,0 +1,46 @@
+"""Fast smoke tests for the Figure 7 harness (full sweep runs in the
+benchmark suite; these check the plumbing at reduced scale)."""
+
+from repro.experiments.web_experiments import fig7_web_performance
+from repro.workloads.webserver import WebServerExperiment
+from repro.netbuf.buffer import BufferMode
+
+
+def test_fig7_structure_and_normalization():
+    results = fig7_web_performance(intervals=(20, 100), duration_ms=800.0)
+    assert set(results) == {"baseline", "synchronous", "best_effort"}
+    for label in ("synchronous", "best_effort"):
+        series = results[label]
+        assert [row["interval"] for row in series] == [20, 100]
+        for row in series:
+            assert row["norm_latency"] == row["latency_ms"] / \
+                results["baseline"]["latency_ms"]
+            assert row["norm_throughput"] > 0
+
+
+def test_fig7_sync_worse_than_best_effort_at_every_point():
+    results = fig7_web_performance(intervals=(50,), duration_ms=800.0)
+    sync = results["synchronous"][0]
+    best = results["best_effort"][0]
+    assert sync["norm_latency"] > best["norm_latency"]
+    assert sync["norm_throughput"] < best["norm_throughput"]
+
+
+def test_experiment_counts_pauses():
+    run = WebServerExperiment(
+        interval_ms=50.0, buffering=BufferMode.SYNCHRONOUS,
+        duration_ms=500.0,
+    )
+    result = run.run()
+    # ~10 epochs in 500 ms; each recorded a pause.
+    assert 5 <= len(run._pauses) <= 12
+    assert result.mean_pause_ms > 0
+
+
+def test_zero_duration_yields_no_requests():
+    result = WebServerExperiment(
+        interval_ms=50.0, buffering=BufferMode.SYNCHRONOUS,
+        duration_ms=1.0,
+    ).run()
+    assert result.requests_completed == 0
+    assert result.mean_latency_ms == float("inf")

@@ -1,0 +1,223 @@
+"""Unit tests for workload programs (PARSEC, web server, attacks)."""
+
+import pytest
+
+from repro.errors import CrimesError
+from repro.guest.linux import LinuxGuest
+from repro.guest.windows import WindowsGuest
+from repro.netbuf.buffer import BufferMode
+from repro.workloads.attacks import (
+    MalwareProgram,
+    OverflowAttackProgram,
+    RootkitProgram,
+)
+from repro.workloads.base import GuestProgram
+from repro.workloads.parsec import PARSEC_PROFILES, ParsecWorkload, \
+    parsec_names
+from repro.workloads.webserver import (
+    WEB_LOAD_LEVELS,
+    WebServerExperiment,
+    WebServerWorkload,
+    baseline_web_result,
+)
+
+
+class TestParsecProfiles:
+    def test_all_eleven_benchmarks_present(self):
+        assert len(parsec_names()) == 11
+        assert set(parsec_names()) == set(PARSEC_PROFILES)
+
+    def test_fluidanimate_is_the_dirtiest(self):
+        fluid = PARSEC_PROFILES["fluidanimate"].d200
+        others = [p.d200 for name, p in PARSEC_PROFILES.items()
+                  if name != "fluidanimate"]
+        # §5.2: fluidanimate's dirty-page rate is ~5x the others'.
+        assert fluid >= 5 * max(others)
+
+    def test_dirty_pages_saturate_with_interval(self):
+        profile = PARSEC_PROFILES["swaptions"]
+        d60 = profile.dirty_pages(60)
+        d200 = profile.dirty_pages(200)
+        d2000 = profile.dirty_pages(2000)
+        assert d60 < d200 < d2000
+        assert d2000 < profile.working_set_pages() + 1
+
+    def test_d200_matches_definition(self):
+        profile = PARSEC_PROFILES["freqmine"]
+        assert profile.dirty_pages(200) == pytest.approx(profile.d200)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            ParsecWorkload("doom")
+
+
+class TestParsecWorkload:
+    def test_unbound_step_rejected(self):
+        with pytest.raises(CrimesError):
+            ParsecWorkload("vips").step(0.0, 200.0)
+
+    def test_step_reports_near_profile_dirty(self):
+        vm = LinuxGuest(memory_bytes=4 * 1024 * 1024)
+        workload = ParsecWorkload("vips", seed=1)
+        workload.bind(vm)
+        report = workload.step(0.0, 200.0)
+        expected = PARSEC_PROFILES["vips"].d200
+        assert abs(report["synthetic_dirty"] - expected) < expected * 0.1
+
+    def test_finishes_after_native_runtime(self):
+        vm = LinuxGuest(memory_bytes=4 * 1024 * 1024)
+        workload = ParsecWorkload("vips", native_runtime_ms=100.0)
+        workload.bind(vm)
+
+        class FakeRecord:
+            work_done_ms = 60.0
+
+        workload.on_epoch_end(FakeRecord())
+        assert not workload.finished
+        workload.on_epoch_end(FakeRecord())
+        assert workload.finished
+        assert workload.step(0.0, 200.0) == {"synthetic_dirty": 0}
+
+    def test_state_roundtrip(self):
+        vm = LinuxGuest(memory_bytes=4 * 1024 * 1024)
+        workload = ParsecWorkload("vips")
+        workload.bind(vm)
+        workload.step(0.0, 200.0)
+        state = workload.state_dict()
+        fresh = ParsecWorkload("vips")
+        fresh.load_state_dict(state)
+        assert fresh.state_dict() == state
+
+
+class TestWebWorkload:
+    def test_load_levels_ordering(self):
+        assert (WEB_LOAD_LEVELS["light"].d20
+                < WEB_LOAD_LEVELS["medium"].d20
+                < WEB_LOAD_LEVELS["high"].d20)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(KeyError):
+            WebServerWorkload(load="extreme")
+
+    def test_step_reports_dirty(self):
+        vm = LinuxGuest(memory_bytes=4 * 1024 * 1024)
+        workload = WebServerWorkload(load="light", seed=0)
+        workload.bind(vm)
+        report = workload.step(0.0, 20.0)
+        assert 1000 < report["synthetic_dirty"] < 1450
+
+
+class TestWebExperiment:
+    def test_baseline_matches_paper_scale(self):
+        result = baseline_web_result(duration_ms=2000.0)
+        # §5.4: ~17094 req/s and ~2.83 ms on the authors' testbed.
+        assert 2.0 < result.mean_latency_ms < 4.0
+        assert 10000 < result.throughput_rps < 25000
+
+    def test_synchronous_buffering_delays_responses(self):
+        sync = WebServerExperiment(
+            interval_ms=50.0, buffering=BufferMode.SYNCHRONOUS,
+            duration_ms=2000.0,
+        ).run()
+        baseline = baseline_web_result(duration_ms=2000.0)
+        assert sync.mean_latency_ms > 5 * baseline.mean_latency_ms
+        assert sync.throughput_rps < baseline.throughput_rps / 2
+
+    def test_best_effort_close_to_baseline(self):
+        best = WebServerExperiment(
+            interval_ms=100.0, buffering=BufferMode.BEST_EFFORT,
+            duration_ms=2000.0,
+        ).run()
+        baseline = baseline_web_result(duration_ms=2000.0)
+        assert best.throughput_rps > 0.8 * baseline.throughput_rps
+        assert best.mean_latency_ms < 1.5 * baseline.mean_latency_ms
+
+    def test_latency_grows_with_interval_under_sync(self):
+        latencies = []
+        for interval in (20.0, 100.0, 200.0):
+            run = WebServerExperiment(
+                interval_ms=interval, buffering=BufferMode.SYNCHRONOUS,
+                duration_ms=1500.0,
+            ).run()
+            latencies.append(run.mean_latency_ms)
+        assert latencies[0] < latencies[1] < latencies[2]
+
+
+class TestAttackPrograms:
+    def test_overflow_clobbers_canary_on_trigger(self):
+        vm = LinuxGuest(memory_bytes=8 * 1024 * 1024, seed=1)
+        program = OverflowAttackProgram(trigger_epoch=2)
+        program.bind(vm)
+        program.step(0.0, 50.0)
+        assert not program.attacked
+        program.step(50.0, 50.0)
+        assert program.attacked
+        assert program.attack_time_ms is not None
+        # The overflow physically corrupted a canary in guest memory.
+        heap = program.process.heap
+        import struct
+
+        live = heap.live_allocations()
+        corrupted = 0
+        for addr, size in live.items():
+            value = struct.unpack("<Q",
+                                  program.process.read(addr + size, 8))[0]
+            if value != heap.canary_value:
+                corrupted += 1
+        assert corrupted == 1
+
+    def test_overflow_exfil_packet_sent(self):
+        vm = LinuxGuest(memory_bytes=8 * 1024 * 1024, seed=1)
+        program = OverflowAttackProgram(trigger_epoch=1,
+                                        exfil_after_attack=True)
+        program.bind(vm)
+        program.step(0.0, 50.0)
+        assert vm.nic.tx_packets == 1
+
+    def test_overflow_state_roundtrip_enables_replay(self):
+        vm = LinuxGuest(memory_bytes=8 * 1024 * 1024, seed=1)
+        program = OverflowAttackProgram(trigger_epoch=2)
+        program.bind(vm)
+        program.step(0.0, 50.0)
+        state = program.state_dict()
+        program.step(50.0, 50.0)
+        program.load_state_dict(state)
+        assert not program.attacked
+
+    def test_malware_creates_all_evidence(self):
+        vm = WindowsGuest(memory_bytes=8 * 1024 * 1024, seed=1)
+        program = MalwareProgram(trigger_epoch=1)
+        program.bind(vm)
+        program.step(0.0, 50.0)
+        assert program.malware_pid is not None
+        assert vm.nic.tx_packets == 1
+        assert vm.disk.writes == 1
+        payload = vm.output_sink.packets[0].payload
+        assert b"EXFIL" in payload
+        assert b"A1B2-C3D4-E5F6" in payload  # stolen registry value
+
+    def test_malware_triggers_once(self):
+        vm = WindowsGuest(memory_bytes=8 * 1024 * 1024, seed=1)
+        program = MalwareProgram(trigger_epoch=1)
+        program.bind(vm)
+        program.step(0.0, 50.0)
+        program.step(50.0, 50.0)
+        assert vm.nic.tx_packets == 1
+
+    def test_rootkit_installs_all_three_mutations(self):
+        vm = LinuxGuest(memory_bytes=8 * 1024 * 1024, seed=1)
+        program = RootkitProgram(trigger_epoch=1)
+        program.bind(vm)
+        program.step(0.0, 50.0)
+        assert program.worker_pid is not None
+        # syscall hijacked
+        import struct as _struct
+
+        from repro.guest.pagetable import kernel_pa
+
+        table_pa = kernel_pa(vm.symbols.lookup("sys_call_table"))
+        entry = _struct.unpack(
+            "<Q",
+            vm.memory.read(table_pa + RootkitProgram.HIJACKED_SYSCALL * 8, 8),
+        )[0]
+        assert entry == RootkitProgram.PAYLOAD_ADDRESS
