@@ -10,6 +10,7 @@ import os
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 @pytest.fixture
@@ -23,6 +24,23 @@ def record_result():
             handle.write(text.rstrip() + "\n")
         print("\n" + text)
         return path
+
+    return _record
+
+
+@pytest.fixture
+def record_bench():
+    """record_bench(name, extra, registry=None): write BENCH_<name>.json.
+
+    Persists a machine-readable summary at the repo root via the
+    ``repro.obs`` exporter, so the repo accumulates a benchmark
+    trajectory alongside the rendered ``results/*.txt`` goldens.
+    """
+    from repro.obs.exporters import bench_payload, write_bench_json
+
+    def _record(name, extra, registry=None):
+        payload = bench_payload(name, registry=registry, extra=extra)
+        return write_bench_json(REPO_ROOT, name, payload)
 
     return _record
 

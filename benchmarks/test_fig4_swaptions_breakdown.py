@@ -13,7 +13,7 @@ from repro.metrics.tables import format_table
 LEVELS = ["full", "pre-map", "memcpy", "no-opt"]
 
 
-def test_fig4(run_once, record_result):
+def test_fig4(run_once, record_result, record_bench):
     results = run_once(fig4_swaptions_breakdown)
     rows = []
     for level in LEVELS:
@@ -30,6 +30,14 @@ def test_fig4(run_once, record_result):
         title="Figure 4 - pause breakdown for swaptions (ms), 200 ms epochs",
     )
     record_result("fig4_swaptions_breakdown", text)
+    record_bench("fig4_swaptions_breakdown", {
+        "description": "swaptions pause breakdown (ms), 200 ms epochs",
+        "levels": {level: dict(results[level]) for level in LEVELS},
+        "pause_reduction": 1 - results["full"]["total"]
+        / results["no-opt"]["total"],
+        "paper_anchor": {"pause_reduction": 0.67,
+                         "no_opt_total_ms": 29.86, "full_total_ms": 10.21},
+    })
 
     assert 26.0 < results["no-opt"]["total"] < 34.0
     assert 8.0 < results["full"]["total"] < 13.0

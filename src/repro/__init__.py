@@ -38,6 +38,7 @@ from repro.guest.linux import LinuxGuest
 from repro.guest.windows import WindowsGuest
 from repro.hypervisor.xen import Hypervisor
 from repro.netbuf.buffer import BufferMode, OutputBuffer
+from repro.obs import MetricsRegistry, Observer, Tracer
 from repro.vmi.libvmi import VMIInstance
 from repro.forensics.volatility import VolatilityFramework
 
@@ -59,6 +60,9 @@ __all__ = [
     "Hypervisor",
     "BufferMode",
     "OutputBuffer",
+    "MetricsRegistry",
+    "Observer",
+    "Tracer",
     "VMIInstance",
     "VolatilityFramework",
     "__version__",

@@ -69,7 +69,8 @@ class Checkpointer:
 
     def __init__(self, domain, level=OptimizationLevel.FULL, cost_model=None,
                  fidelity=CopyFidelity.FULL, remote=False,
-                 nominal_frames=NOMINAL_FRAME_COUNT, history_capacity=0):
+                 nominal_frames=NOMINAL_FRAME_COUNT, history_capacity=0,
+                 registry=None):
         self.domain = domain
         self.level = level
         self.costs = cost_model if cost_model is not None else CheckpointCostModel()
@@ -78,6 +79,25 @@ class Checkpointer:
         self.nominal_frames = max(nominal_frames, domain.vm.memory.frame_count)
         self.mapping = domain.new_mapping_table()
         self.history = CheckpointHistory(history_capacity)
+        self._registry = registry
+        if registry is not None:
+            from repro.obs.registry import DEFAULT_COUNT_BUCKETS
+
+            self._phase_hists = {
+                phase: registry.histogram(
+                    "checkpoint.%s_ms" % phase,
+                    help="per-epoch %s phase cost" % phase)
+                for phase in ("bitscan", "map", "copy")
+            }
+            self._dirty_hist = registry.histogram(
+                "checkpoint.dirty_pages", buckets=DEFAULT_COUNT_BUCKETS,
+                help="dirty pages staged per epoch")
+            self._commits = registry.counter(
+                "checkpoint.commits", help="staged epochs committed")
+            self._aborts = registry.counter(
+                "checkpoint.aborts", help="staged epochs dropped on attack")
+            self._pages_copied = registry.counter(
+                "checkpoint.pages_copied", help="real dirty pages staged")
 
         self.epoch = 0
         self.started = False
@@ -169,6 +189,11 @@ class Checkpointer:
             "dirty": total_dirty,
         }
         self.total_pages_copied += len(dirty_pfns)
+        if self._registry is not None:
+            for phase, hist in self._phase_hists.items():
+                hist.observe(phase_ms[phase])
+            self._dirty_hist.observe(total_dirty)
+            self._pages_copied.inc(len(dirty_pfns))
         return CheckpointReport(
             self.epoch, len(dirty_pfns), synthetic_dirty, phase_ms, stats
         )
@@ -178,6 +203,8 @@ class Checkpointer:
         if self._pending is None:
             raise CheckpointError("no staged checkpoint to commit")
         pending, self._pending = self._pending, None
+        if self._registry is not None:
+            self._commits.inc()
         if self.fidelity is CopyFidelity.FULL:
             for pfn, data in pending["pages"]:
                 start = pfn * PAGE_SIZE
@@ -198,6 +225,8 @@ class Checkpointer:
 
     def abort(self):
         """Drop the staged epoch (audit failed); backup stays clean."""
+        if self._pending is not None and self._registry is not None:
+            self._aborts.inc()
         self._pending = None
 
     # -- rollback and export -------------------------------------------------------

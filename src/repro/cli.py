@@ -6,7 +6,9 @@ Usage::
 
 Experiments: ``table1``, ``table3``, ``fig3``, ``fig4``, ``fig5``,
 ``fig6a``, ``fig6b``, ``fig7``, ``fig8``, ``case1``, ``case2``,
-``claims``, ``list``.
+``claims``, ``list``; plus ``metrics`` (instrumented run exporting the
+``repro.obs`` summary — JSON, Prometheus text, JSONL trace, or a
+``BENCH_*.json`` file).
 """
 
 import argparse
@@ -211,6 +213,55 @@ def _cmd_safety(args):
     )
 
 
+def _cmd_metrics(args):
+    """Instrumented run; emits the observer's machine-readable summary.
+
+    Drives one CRIMES-protected guest (web workload + kernel-integrity
+    modules) for ``--epochs`` epochs and prints the full ``repro.obs``
+    summary as JSON: per-phase pause histograms, per-module detector
+    costs, buffer statistics, and the trace rollup. ``--trace-out``
+    additionally writes the span stream as JSONL; ``--bench-out`` writes
+    a ``BENCH_metrics_cli.json`` summary into the given directory;
+    ``--prometheus`` switches the output to text exposition format.
+    """
+    import json
+
+    from repro.core.config import CrimesConfig
+    from repro.core.crimes import Crimes
+    from repro.detectors import KernelModuleModule, SyscallTableModule
+    from repro.guest.linux import LinuxGuest
+    from repro.workloads.webserver import WebServerWorkload
+
+    vm = LinuxGuest(name="metrics-demo", memory_bytes=8 * 1024 * 1024,
+                    seed=11)
+    crimes = Crimes(
+        vm, CrimesConfig(epoch_interval_ms=args.interval_ms, seed=11)
+    )
+    crimes.install_module(SyscallTableModule())
+    crimes.install_module(KernelModuleModule())
+    crimes.add_program(WebServerWorkload("medium", seed=11))
+    crimes.start()
+    crimes.run(max_epochs=args.epochs)
+
+    lines = []
+    if args.trace_out:
+        crimes.observer.write_trace_jsonl(args.trace_out)
+        lines.append("trace written to %s" % args.trace_out)
+    if args.bench_out:
+        path = crimes.observer.write_bench(
+            args.bench_out, "metrics_cli",
+            extra={"epochs": crimes.epochs_run,
+                   "legacy_metrics": crimes.metrics()},
+        )
+        lines.append("bench summary written to %s" % path)
+    if args.prometheus:
+        lines.append(crimes.observer.prometheus_text().rstrip())
+    else:
+        lines.append(json.dumps(crimes.observer.summary(), indent=2,
+                                sort_keys=True))
+    return "\n".join(lines)
+
+
 def _cmd_claims(args):
     from repro.experiments import fig4_swaptions_breakdown, remus_comparison
 
@@ -331,6 +382,7 @@ _COMMANDS = {
     "case2": _cmd_case2,
     "claims": _cmd_claims,
     "safety": _cmd_safety,
+    "metrics": _cmd_metrics,
 }
 
 
@@ -355,6 +407,12 @@ def build_parser():
                         help="client duration (fig7)")
     parser.add_argument("--hide", action="store_true",
                         help="case2: DKOM-hide the malware process")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="metrics: write the span trace as JSONL")
+    parser.add_argument("--bench-out", metavar="DIR",
+                        help="metrics: write a BENCH_*.json summary here")
+    parser.add_argument("--prometheus", action="store_true",
+                        help="metrics: emit Prometheus text instead of JSON")
     return parser
 
 

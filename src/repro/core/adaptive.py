@@ -26,6 +26,8 @@ class AdaptiveIntervalController:
             raise ConfigError("need 5 <= min_interval < max_interval")
         if not 0.0 < gain <= 1.0:
             raise ConfigError("gain must be in (0, 1]")
+        if tolerance < 0.0:
+            raise ConfigError("tolerance must be >= 0")
         self.target_overhead = target_overhead
         self.min_interval_ms = min_interval_ms
         self.max_interval_ms = max_interval_ms

@@ -72,7 +72,7 @@ class AsyncScanner:
     scanning the freshest committed state dominates scanning stale ones.
     """
 
-    def __init__(self, clock):
+    def __init__(self, clock, registry=None):
         self.clock = clock
         self.modules = []
         self._active_job = None
@@ -80,6 +80,18 @@ class AsyncScanner:
         self.jobs_started = 0
         self.snapshots_skipped = 0
         self.verdicts = []
+        self._registry = registry
+        if registry is not None:
+            self._jobs_counter = registry.counter(
+                "async.jobs_started", help="deep scans dispatched")
+            self._skipped_counter = registry.counter(
+                "async.snapshots_skipped",
+                help="checkpoints not scanned because the core was busy")
+            self._lag_gauge = registry.gauge(
+                "async.detection_lag_ms",
+                help="snapshot-to-verdict lag of the latest deep scan")
+            self._duration_hist = registry.histogram(
+                "async.scan_duration_ms", help="deep scan durations")
 
     def install(self, module):
         self.modules.append(module)
@@ -89,12 +101,20 @@ class AsyncScanner:
     def busy(self):
         return self._active_job is not None
 
+    def skip_snapshot(self):
+        """Record a checkpoint passed over because the scanner was busy."""
+        self.snapshots_skipped += 1
+        if self._registry is not None:
+            self._skipped_counter.inc()
+
     def offer_snapshot(self, vm, snapshot, epoch):
         """Offer a freshly committed checkpoint for deep scanning."""
         if not self.modules:
             return None
         if self._active_job is not None:
             self.snapshots_skipped += 1
+            if self._registry is not None:
+                self._skipped_counter.inc()
             return None
         dump = MemoryDump.from_snapshot(vm, snapshot,
                                         label="async-epoch-%d" % epoch)
@@ -109,6 +129,8 @@ class AsyncScanner:
         )
         self._active_job = job
         self.jobs_started += 1
+        if self._registry is not None:
+            self._jobs_counter.inc()
         return job
 
     def poll(self):
@@ -122,6 +144,9 @@ class AsyncScanner:
             findings.extend(module.scan(job.dump) or [])
         verdict = AsyncVerdict(job, findings, verdict_time_ms=self.clock.now)
         self.verdicts.append(verdict)
+        if self._registry is not None:
+            self._lag_gauge.set(verdict.detection_lag_ms)
+            self._duration_hist.observe(self.clock.now - job.started_at)
         return verdict
 
     def as_detection_result(self, verdict):

@@ -139,6 +139,38 @@ class CloudHost:
                 demand += breakdown["vmi"] / cycle
         return demand
 
+    def observability_rollup(self):
+        """Per-tenant observer summaries plus fleet-level aggregates.
+
+        The provider-side export: one full metrics/trace summary per
+        tenant (each on its own virtual timeline) and the host-level
+        rollup a capacity planner actually reads.
+        """
+        tenants = {
+            name: record.crimes.observer.summary()
+            for name, record in sorted(self.tenants.items())
+        }
+        epochs_total = sum(record.crimes.epochs_run
+                           for record in self.tenants.values())
+        pauses = [record.crimes.mean_pause_ms()
+                  for record in self.tenants.values()
+                  if record.crimes.records]
+        return {
+            "host": self.name,
+            "rounds_run": self.rounds_run,
+            "fleet": {
+                "tenants": len(self.tenants),
+                "incidents": len(self.incidents()),
+                "epochs_total": epochs_total,
+                "mean_pause_ms": (sum(pauses) / len(pauses)) if pauses
+                else 0.0,
+                "audit_seconds_per_wall_second":
+                    self.audit_seconds_per_wall_second(),
+                "memory_overhead_bytes": self.memory_overhead_bytes(),
+            },
+            "tenants": tenants,
+        }
+
     def fleet_summary(self):
         """One status row per tenant (provider dashboard material)."""
         rows = []

@@ -28,6 +28,8 @@ from repro.errors import CrimesError
 from repro.hypervisor.xen import Hypervisor
 from repro.log import get_logger
 from repro.netbuf.buffer import OutputBuffer
+from repro.obs.observer import Observer
+from repro.obs.registry import DEFAULT_COUNT_BUCKETS
 from repro.vmi.libvmi import VMIInstance
 
 logger = get_logger("core")
@@ -61,7 +63,8 @@ class EpochRecord:
 class Crimes:
     """One protected VM under the CRIMES framework."""
 
-    def __init__(self, vm, config=None, hypervisor=None, cost_model=None):
+    def __init__(self, vm, config=None, hypervisor=None, cost_model=None,
+                 observer=None):
         self.config = config if config is not None else CrimesConfig()
         self.hypervisor = (
             hypervisor if hypervisor is not None else Hypervisor(clock=vm.clock)
@@ -71,11 +74,39 @@ class Crimes:
         self.domain = self.hypervisor.create_domain(vm)
         self.costs = cost_model if cost_model is not None else CheckpointCostModel()
 
+        # Cross-cutting observability: one registry + tracer shared by the
+        # epoch loop and every substrate component below it.
+        self.observer = (
+            observer if observer is not None
+            else Observer(self.clock, name=vm.name)
+        )
+        registry = self.observer.registry
+        self._pause_hists = {
+            phase: registry.histogram(
+                "epoch.pause.%s_ms" % phase,
+                help="per-epoch %s pause phase" % phase)
+            for phase in PHASE_ORDER
+        }
+        self._pause_total_hist = registry.histogram(
+            "epoch.pause.total_ms", help="total per-epoch pause")
+        self._dirty_pages_hist = registry.histogram(
+            "epoch.dirty_pages", buckets=DEFAULT_COUNT_BUCKETS,
+            help="dirty pages per epoch")
+        self._committed_counter = registry.counter(
+            "epoch.committed", help="epochs whose audit passed")
+        self._rolled_back_counter = registry.counter(
+            "epoch.rolled_back", help="epochs destroyed by a detection")
+        self._detect_latency_gauge = registry.gauge(
+            "epoch.detection_latency_ms",
+            help="worst-case attack-to-verdict latency of the last audit")
+        self._interval_gauge = registry.gauge(
+            "epoch.interval_ms", help="current epoch interval")
+
         # Interpose the output buffer between the guest devices and the world.
         self.external_sink = vm.output_sink
         self.buffer = OutputBuffer(
             self.external_sink, mode=self.config.safety.buffer_mode,
-            clock=self.clock,
+            clock=self.clock, registry=registry,
         )
         vm.set_output_sink(self.buffer)
 
@@ -87,9 +118,10 @@ class Crimes:
             remote=self.config.remote_backup,
             nominal_frames=self.config.nominal_frames,
             history_capacity=self.config.history_capacity,
+            registry=registry,
         )
         self.vmi = VMIInstance(self.domain, seed=self.config.seed)
-        self.detector = Detector(self.vmi)
+        self.detector = Detector(self.vmi, registry=registry)
         self.analyzer = Analyzer(
             self.domain, self.checkpointer, self.vmi, seed=self.config.seed
         )
@@ -101,7 +133,7 @@ class Crimes:
         self.suspended = False
         self.epochs_run = 0
         self.last_outcome = None
-        self.async_scanner = AsyncScanner(self.clock)
+        self.async_scanner = AsyncScanner(self.clock, registry=registry)
         self.last_async_verdict = None
         #: When True (honeypot mode), critical findings are logged as
         #: observations instead of suspending the VM; outputs flow into
@@ -196,109 +228,160 @@ class Crimes:
 
         interval = self.config.epoch_interval_ms
         start_ms = self.clock.now
+        tracer = self.observer.tracer
+        self._interval_gauge.set(interval)
 
-        # 1. Speculative execution.
-        synthetic_dirty = 0
-        for program in self.programs:
-            report = program.step(start_ms, interval) or {}
-            synthetic_dirty += int(report.get("synthetic_dirty", 0))
-        self.clock.advance(interval)
+        with tracer.span("epoch") as epoch_span:
+            # 1. Speculative execution.
+            with tracer.span("epoch.speculate"):
+                synthetic_dirty = 0
+                for program in self.programs:
+                    report = program.step(start_ms, interval) or {}
+                    synthetic_dirty += int(report.get("synthetic_dirty", 0))
+                self.clock.advance(interval)
 
-        # 2-3. Suspend + checkpoint pipeline.
-        self.domain.pause()
-        checkpoint = self.checkpointer.run_checkpoint(
-            interval, synthetic_dirty=synthetic_dirty
-        )
-        dirty_pages = checkpoint.dirty_pages
-        logdirty_tax = self.costs.logdirty_running_ms(dirty_pages)
-        phase_ms = {
-            "suspend": self.costs.suspend_ms(dirty_pages, interval),
-            "bitscan": checkpoint.phase_ms["bitscan"],
-            "map": checkpoint.phase_ms["map"],
-            "copy": checkpoint.phase_ms["copy"],
-        }
+            # 2-3. Suspend + checkpoint pipeline.
+            self.domain.pause()
+            with tracer.span("epoch.checkpoint") as checkpoint_span:
+                checkpoint = self.checkpointer.run_checkpoint(
+                    interval, synthetic_dirty=synthetic_dirty
+                )
+                dirty_pages = checkpoint.dirty_pages
+                logdirty_tax = self.costs.logdirty_running_ms(dirty_pages)
+                phase_ms = {
+                    "suspend": self.costs.suspend_ms(dirty_pages, interval),
+                    "bitscan": checkpoint.phase_ms["bitscan"],
+                    "map": checkpoint.phase_ms["map"],
+                    "copy": checkpoint.phase_ms["copy"],
+                }
+                checkpoint_span.annotate(epoch=checkpoint.epoch,
+                                         dirty_pages=dirty_pages)
+                # The clock is charged in one batch at epoch end; attribute
+                # this span's share so trace durations stay meaningful.
+                checkpoint_span.attribute_ms(sum(phase_ms.values()))
+            epoch_span.annotate(epoch=checkpoint.epoch)
 
-        # 4. Audit.
-        detection = None
-        if self.config.scan_enabled:
-            detection = self.detector.scan(
-                dirty_pfns=set(self._last_dirty_pfns(checkpoint)),
-                output_buffer=self.buffer,
-                epoch=checkpoint.epoch,
-                now_ms=self.clock.now,
-            )
-            phase_ms["vmi"] = detection.cost_ms
-        else:
-            phase_ms["vmi"] = 0.0
+            # 4. Audit.
+            detection = None
+            with tracer.span("epoch.audit") as audit_span:
+                if self.config.scan_enabled:
+                    detection = self.detector.scan(
+                        dirty_pfns=set(self._last_dirty_pfns(checkpoint)),
+                        output_buffer=self.buffer,
+                        epoch=checkpoint.epoch,
+                        now_ms=self.clock.now,
+                    )
+                    phase_ms["vmi"] = detection.cost_ms
+                    audit_span.annotate(
+                        findings=len(detection.findings),
+                        attack=detection.attack_detected,
+                    )
+                else:
+                    phase_ms["vmi"] = 0.0
+                audit_span.attribute_ms(phase_ms["vmi"])
 
-        attack = detection is not None and detection.attack_detected
-        if attack and self.honeypot_active:
-            # Observation mode: the attack proceeds against the honeypot;
-            # its outputs only ever reach the quarantine sink.
-            attack = False
-        self.epochs_run += 1
+            attack = detection is not None and detection.attack_detected
+            if attack and self.honeypot_active:
+                # Observation mode: the attack proceeds against the honeypot;
+                # its outputs only ever reach the quarantine sink.
+                attack = False
+            self.epochs_run += 1
+            if self.config.scan_enabled:
+                # Worst case: the attack landed at the epoch's first
+                # instruction and the verdict arrives after the audit.
+                self._detect_latency_gauge.set(
+                    interval + sum(phase_ms.values())
+                )
 
-        if attack:
-            # Charge the pause phases spent before the verdict. The staged
-            # checkpoint is dropped (the backup stays clean) and the
-            # attacked epoch's outputs are destroyed, never released.
-            self.clock.advance(sum(phase_ms.values()))
-            self.checkpointer.abort()
-            dropped_packets, dropped_writes = self.buffer.discard()
-            logger.warning(
-                "%s: AUDIT FAILED at epoch %d — %s; destroyed %d packet(s) "
-                "and %d disk write(s) from the attacked epoch",
-                self.vm.name, checkpoint.epoch,
-                "; ".join(f.summary for f in detection.critical_findings()),
-                dropped_packets, dropped_writes,
-            )
+            if attack:
+                # Charge the pause phases spent before the verdict. The staged
+                # checkpoint is dropped (the backup stays clean) and the
+                # attacked epoch's outputs are destroyed, never released.
+                self.clock.advance(sum(phase_ms.values()))
+                self.checkpointer.abort()
+                dropped_packets, dropped_writes = self.buffer.discard()
+                logger.warning(
+                    "%s: AUDIT FAILED at epoch %d — %s; destroyed %d packet(s) "
+                    "and %d disk write(s) from the attacked epoch",
+                    self.vm.name, checkpoint.epoch,
+                    "; ".join(f.summary for f in detection.critical_findings()),
+                    dropped_packets, dropped_writes,
+                )
+                record = EpochRecord(
+                    epoch=checkpoint.epoch, start_ms=start_ms, interval_ms=interval,
+                    phase_ms=phase_ms, dirty_pages=dirty_pages,
+                    real_dirty=checkpoint.real_dirty, logdirty_tax_ms=logdirty_tax,
+                    work_done_ms=max(interval - logdirty_tax, 0.0), committed=False,
+                    detection=detection, released_packets=0, released_disk_writes=0,
+                )
+                self.records.append(record)
+                self.suspended = True
+                self._observe_epoch(record)
+                tracer.event(
+                    "epoch.attack", epoch=checkpoint.epoch,
+                    dropped_packets=dropped_packets,
+                    dropped_disk_writes=dropped_writes,
+                )
+                self._emit("epoch", record)
+                self._emit("attack", record)
+                if self.config.auto_respond:
+                    with tracer.span("epoch.respond"):
+                        self.last_outcome = self.respond(detection, interval)
+                return record
+
+            # 5. Commit, release, resume.
+            phase_ms["resume"] = self.costs.resume_ms(dirty_pages, interval)
+            with tracer.span("epoch.commit") as commit_span:
+                self.checkpointer.commit()
+                packets, disk_writes = self.buffer.commit()
+                self.domain.resume()
+                self.clock.advance(sum(phase_ms.values()))
+                commit_span.annotate(released_packets=packets,
+                                     released_disk_writes=disk_writes)
+
             record = EpochRecord(
                 epoch=checkpoint.epoch, start_ms=start_ms, interval_ms=interval,
                 phase_ms=phase_ms, dirty_pages=dirty_pages,
                 real_dirty=checkpoint.real_dirty, logdirty_tax_ms=logdirty_tax,
-                work_done_ms=max(interval - logdirty_tax, 0.0), committed=False,
-                detection=detection, released_packets=0, released_disk_writes=0,
+                work_done_ms=max(interval - logdirty_tax, 0.0), committed=True,
+                detection=detection, released_packets=packets,
+                released_disk_writes=disk_writes,
             )
             self.records.append(record)
-            self.suspended = True
-            self._emit("epoch", record)
-            self._emit("attack", record)
-            if self.config.auto_respond:
-                self.last_outcome = self.respond(detection, interval)
-            return record
-
-        # 5. Commit, release, resume.
-        phase_ms["resume"] = self.costs.resume_ms(dirty_pages, interval)
-        self.checkpointer.commit()
-        packets, disk_writes = self.buffer.commit()
-        self.domain.resume()
-        self.clock.advance(sum(phase_ms.values()))
-
-        record = EpochRecord(
-            epoch=checkpoint.epoch, start_ms=start_ms, interval_ms=interval,
-            phase_ms=phase_ms, dirty_pages=dirty_pages,
-            real_dirty=checkpoint.real_dirty, logdirty_tax_ms=logdirty_tax,
-            work_done_ms=max(interval - logdirty_tax, 0.0), committed=True,
-            detection=detection, released_packets=packets,
-            released_disk_writes=disk_writes,
-        )
-        self.records.append(record)
-        for program in self.programs:
-            program.on_epoch_end(record)
-        # Snapshot program state only after end-of-epoch bookkeeping, so a
-        # later rollback+replay restores the complete committed state.
-        self._snapshot_program_states()
-        record.async_verdict = self._drive_async_scanner(checkpoint.epoch)
+            self._observe_epoch(record)
+            for program in self.programs:
+                program.on_epoch_end(record)
+            # Snapshot program state only after end-of-epoch bookkeeping, so a
+            # later rollback+replay restores the complete committed state.
+            self._snapshot_program_states()
+            record.async_verdict = self._drive_async_scanner(checkpoint.epoch)
         self._emit("epoch", record)
         if record.async_verdict is not None:
             self._emit("async-verdict", record.async_verdict)
         return record
+
+    def _observe_epoch(self, record):
+        """Fold one finished epoch into the registry."""
+        for phase, hist in self._pause_hists.items():
+            hist.observe(record.phase_ms.get(phase, 0.0))
+        self._pause_total_hist.observe(record.pause_ms)
+        self._dirty_pages_hist.observe(record.dirty_pages)
+        if record.committed:
+            self._committed_counter.inc()
+        else:
+            self._rolled_back_counter.inc()
 
     def _drive_async_scanner(self, epoch):
         """Collect any finished deep scan; start one on the new backup."""
         if not self.async_scanner.modules:
             return None
         verdict = self.async_scanner.poll()
+        if verdict is not None:
+            self.observer.tracer.event(
+                "async.verdict", epoch=verdict.job.snapshot_epoch,
+                attack=verdict.attack_detected,
+                lag_ms=verdict.detection_lag_ms,
+            )
         if verdict is not None and verdict.attack_detected:
             # Weakened guarantee: the evidence epoch's outputs already
             # escaped; all we can do now is stop the VM and report.
@@ -315,7 +398,7 @@ class Crimes:
             return verdict
         if self.async_scanner.busy:
             # Don't copy a snapshot the scanner cannot take anyway.
-            self.async_scanner.snapshots_skipped += 1
+            self.async_scanner.skip_snapshot()
         else:
             self.async_scanner.offer_snapshot(
                 self.vm, self.checkpointer.backup_snapshot(), epoch

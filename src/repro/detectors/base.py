@@ -99,11 +99,29 @@ class DetectionResult:
 class Detector:
     """Runs the installed scan modules at the end of each epoch."""
 
-    def __init__(self, vmi):
+    def __init__(self, vmi, registry=None):
         self.vmi = vmi
         self.modules = []
         self.scans_run = 0
         self.total_cost_ms = 0.0
+        self._registry = registry
+        if registry is not None:
+            self._scan_hist = registry.histogram(
+                "detector.scan_ms", help="full audit cost per epoch")
+            self._findings_total = registry.counter(
+                "detector.findings_total", help="findings across all modules")
+            self._critical_total = registry.counter(
+                "detector.findings_critical",
+                help="critical findings (attacks detected)")
+
+    def _module_instruments(self, module):
+        hist = self._registry.histogram(
+            "detector.module.%s.cost_ms" % module.name,
+            help="per-epoch scan cost of module %s" % module.name)
+        findings = self._registry.counter(
+            "detector.module.%s.findings" % module.name,
+            help="findings reported by module %s" % module.name)
+        return hist, findings
 
     def install(self, module):
         """Install a scan module (captures its reference state now)."""
@@ -131,11 +149,27 @@ class Detector:
         # Fixed audit entry cost (ring setup etc.) even with no modules —
         # this is the ~0.34 ms "vmi" line of Table 1.
         self.vmi._charge_ms(self.vmi.costs.SCAN_BASE_MS)
+        cost = self.vmi.take_cost_ms()
         findings = []
         for module in self.modules:
-            findings.extend(module.scan(context) or [])
-        cost = self.vmi.take_cost_ms()
+            module_findings = module.scan(context) or []
+            module_cost = self.vmi.take_cost_ms()
+            cost += module_cost
+            findings.extend(module_findings)
+            if self._registry is not None:
+                hist, finding_counter = self._module_instruments(module)
+                hist.observe(module_cost)
+                if module_findings:
+                    finding_counter.inc(len(module_findings))
         self.scans_run += 1
         self.total_cost_ms += cost
+        if self._registry is not None:
+            self._scan_hist.observe(cost)
+            if findings:
+                self._findings_total.inc(len(findings))
+            critical = sum(1 for f in findings
+                           if f.severity is Severity.CRITICAL)
+            if critical:
+                self._critical_total.inc(critical)
         return DetectionResult(findings, cost, [m.name for m in self.modules],
                                epoch)

@@ -67,3 +67,7 @@ class ReplayDivergenceError(CrimesError):
 
 class ConfigError(CrimesError):
     """Invalid CRIMES framework configuration."""
+
+
+class ObservabilityError(CrimesError):
+    """A metrics/tracing instrument was used incorrectly."""

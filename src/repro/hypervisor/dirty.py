@@ -52,6 +52,8 @@ class DirtyBitmap:
             self._dirty_count += 1
 
     def test(self, pfn):
+        if not (0 <= pfn < self.frame_count):
+            raise HypervisorError("pfn %d outside bitmap" % pfn)
         word, bit = divmod(pfn, WORD_BITS)
         return bool(self._words[word] & (1 << bit))
 
@@ -119,8 +121,15 @@ class DirtyBitmap:
         return dirty, stats
 
     def load_random(self, rng, dirty_fraction):
-        """Populate with random dirty bits (Figure 6b's simulated bitmaps)."""
+        """Populate with random dirty bits (Figure 6b's simulated bitmaps).
+
+        Frames are drawn *without* replacement so the bitmap hits the
+        requested count exactly — sampling with replacement undershoots
+        the density through collisions, badly at Figure 6b's higher
+        dirty fractions.
+        """
         self.clear()
-        expected = int(self.frame_count * dirty_fraction)
-        for _ in range(expected):
-            self.set(rng.randint(0, self.frame_count - 1))
+        expected = min(int(self.frame_count * dirty_fraction),
+                       self.frame_count)
+        for pfn in rng.sample(range(self.frame_count), expected):
+            self.set(pfn)

@@ -6,6 +6,6 @@ audit passes. Commit releases the whole epoch's outputs at once; rollback
 discards them, which is what gives CRIMES its zero window of vulnerability.
 """
 
-from repro.netbuf.buffer import BufferMode, OutputBuffer
+from repro.netbuf.buffer import BufferedOutput, BufferMode, OutputBuffer
 
-__all__ = ["BufferMode", "OutputBuffer"]
+__all__ = ["BufferedOutput", "BufferMode", "OutputBuffer"]

@@ -5,6 +5,12 @@ queued and only reach the downstream (real) sink on :meth:`commit`; in
 ``BEST_EFFORT`` mode they pass straight through (§3.1's Best Effort
 Safety). Rollback calls :meth:`discard`, annihilating the speculative
 epoch's outputs — an attacked epoch therefore has *no* external effect.
+
+Buffered outputs carry a global sequence number stamped at emission, and
+:meth:`commit` releases them in exactly that order: a disk write issued
+between two packets reaches the world between those packets, preserving
+cross-device emission order (a database's write-ahead ordering depends
+on this).
 """
 
 import enum
@@ -15,63 +21,121 @@ class BufferMode(enum.Enum):
     BEST_EFFORT = "best_effort"
 
 
+_PACKET = "packet"
+_DISK_WRITE = "disk_write"
+
+
+class BufferedOutput:
+    """One queued output: its kind, payload, and emission metadata."""
+
+    __slots__ = ("seq", "kind", "item", "emitted_at_ms")
+
+    def __init__(self, seq, kind, item, emitted_at_ms):
+        self.seq = seq
+        self.kind = kind
+        self.item = item
+        self.emitted_at_ms = emitted_at_ms
+
+    def __repr__(self):
+        return "BufferedOutput(seq=%d, %s)" % (self.seq, self.kind)
+
+
 class OutputBuffer:
     """Packet/disk-write buffer between a guest's devices and the world."""
 
-    def __init__(self, downstream, mode=BufferMode.SYNCHRONOUS, clock=None):
+    def __init__(self, downstream, mode=BufferMode.SYNCHRONOUS, clock=None,
+                 registry=None):
         self.downstream = downstream
         self.mode = mode
         self._clock = clock
-        self._packets = []
-        self._disk_writes = []
+        self._pending = []
+        self._next_seq = 0
         self.committed_packets = 0
         self.committed_disk_writes = 0
         self.discarded_packets = 0
         self.discarded_disk_writes = 0
+        self._registry = registry
+        if registry is not None:
+            self._buffered_total = registry.counter(
+                "netbuf.buffered_total",
+                help="outputs queued while speculating")
+            self._committed_total = registry.counter(
+                "netbuf.committed_total", help="outputs released downstream")
+            self._discarded_total = registry.counter(
+                "netbuf.discarded_total", help="outputs destroyed by rollback")
+            self._residency = registry.histogram(
+                "netbuf.residency_ms",
+                help="time outputs sat in the buffer before release")
+
+    def _now(self):
+        return self._clock.now if self._clock is not None else 0.0
 
     # -- sink interface (guest devices call these) -------------------------
+
+    def _enqueue(self, kind, item):
+        self._pending.append(
+            BufferedOutput(self._next_seq, kind, item, self._now())
+        )
+        self._next_seq += 1
+        if self._registry is not None:
+            self._buffered_total.inc()
 
     def emit_packet(self, packet):
         if self.mode is BufferMode.BEST_EFFORT:
             self.downstream.emit_packet(packet)
         else:
-            self._packets.append(packet)
+            self._enqueue(_PACKET, packet)
 
     def emit_disk_write(self, write):
         if self.mode is BufferMode.BEST_EFFORT:
             self.downstream.emit_disk_write(write)
         else:
-            self._disk_writes.append(write)
+            self._enqueue(_DISK_WRITE, write)
 
     # -- epoch control -------------------------------------------------------
 
     def pending_packets(self):
-        return len(self._packets)
+        return sum(1 for entry in self._pending if entry.kind is _PACKET)
 
     def pending_disk_writes(self):
-        return len(self._disk_writes)
+        return sum(1 for entry in self._pending if entry.kind is _DISK_WRITE)
 
     def commit(self):
-        """Release the epoch's outputs downstream, preserving order."""
-        packets, self._packets = self._packets, []
-        writes, self._disk_writes = self._disk_writes, []
-        for packet in packets:
-            self.downstream.emit_packet(packet)
-        for write in writes:
-            self.downstream.emit_disk_write(write)
-        self.committed_packets += len(packets)
-        self.committed_disk_writes += len(writes)
-        return len(packets), len(writes)
+        """Release the epoch's outputs downstream in emission order."""
+        pending, self._pending = self._pending, []
+        packets = disk_writes = 0
+        now = self._now()
+        for entry in pending:
+            if entry.kind is _PACKET:
+                self.downstream.emit_packet(entry.item)
+                packets += 1
+            else:
+                self.downstream.emit_disk_write(entry.item)
+                disk_writes += 1
+            if self._registry is not None:
+                self._residency.observe(now - entry.emitted_at_ms)
+        self.committed_packets += packets
+        self.committed_disk_writes += disk_writes
+        if self._registry is not None and pending:
+            self._committed_total.inc(len(pending))
+        return packets, disk_writes
 
     def discard(self):
         """Drop the epoch's outputs (rollback path)."""
-        self.discarded_packets += len(self._packets)
-        self.discarded_disk_writes += len(self._disk_writes)
-        dropped = (len(self._packets), len(self._disk_writes))
-        self._packets = []
-        self._disk_writes = []
-        return dropped
+        pending, self._pending = self._pending, []
+        packets = sum(1 for entry in pending if entry.kind is _PACKET)
+        disk_writes = len(pending) - packets
+        self.discarded_packets += packets
+        self.discarded_disk_writes += disk_writes
+        if self._registry is not None and pending:
+            self._discarded_total.inc(len(pending))
+        return packets, disk_writes
 
     def peek_packets(self):
         """Read-only view of buffered packets (outgoing-content scanners)."""
-        return tuple(self._packets)
+        return tuple(entry.item for entry in self._pending
+                     if entry.kind is _PACKET)
+
+    def peek_outputs(self):
+        """Read-only view of all buffered outputs, in emission order."""
+        return tuple(self._pending)

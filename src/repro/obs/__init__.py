@@ -1,0 +1,41 @@
+"""Observability: metrics registry, span tracer, and exporters.
+
+CRIMES is a system built on evidence; this package is the evidence the
+reproduction keeps about *itself*. See ``docs/architecture.md``
+("repro.obs") for the layer contract.
+"""
+
+from repro.obs.exporters import (
+    BENCH_SCHEMA,
+    bench_payload,
+    export_jsonl,
+    export_prometheus,
+    write_bench_json,
+)
+from repro.obs.observer import Observer
+from repro.obs.registry import (
+    Counter,
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_MS_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import SpanEvent, Tracer
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "bench_payload",
+    "export_jsonl",
+    "export_prometheus",
+    "write_bench_json",
+    "Observer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_MS_BUCKETS",
+    "DEFAULT_COUNT_BUCKETS",
+    "SpanEvent",
+    "Tracer",
+]

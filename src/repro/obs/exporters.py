@@ -1,0 +1,96 @@
+"""Exporters: JSONL traces, Prometheus-style text, BENCH_*.json summaries.
+
+Three consumers, three formats:
+
+* operators tail the **JSONL** event stream (one span per line),
+* scrapers pull the **Prometheus** text exposition of the registry,
+* the benchmark harness persists **BENCH_<name>.json** summaries so the
+  repo accumulates a machine-readable performance trajectory that later
+  optimization PRs can diff against.
+"""
+
+import json
+import os
+import re
+
+from repro.errors import ObservabilityError
+
+#: Schema tag written into every BENCH summary (bump on shape changes).
+BENCH_SCHEMA = "crimes-obs/1"
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_BENCH_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+
+def export_jsonl(events, path):
+    """Write span events (or any ``to_dict()``-able items) as JSON lines."""
+    with open(path, "w") as handle:
+        for event in events:
+            payload = event.to_dict() if hasattr(event, "to_dict") else event
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+    return path
+
+
+def _prom_name(name):
+    """Sanitize a dotted metric name into a Prometheus identifier."""
+    cleaned = _PROM_NAME_RE.sub("_", name.replace(".", "_"))
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def export_prometheus(registry):
+    """Render a registry as Prometheus text exposition format."""
+    lines = []
+    for instrument in registry:
+        name = _prom_name(instrument.name)
+        if instrument.help:
+            lines.append("# HELP %s %s" % (name, instrument.help))
+        lines.append("# TYPE %s %s" % (name, instrument.kind))
+        if instrument.kind == "histogram":
+            cumulative = 0
+            for bound, count in zip(instrument.buckets,
+                                    instrument.bucket_counts):
+                cumulative += count
+                lines.append('%s_bucket{le="%g"} %d'
+                             % (name, bound, cumulative))
+            lines.append('%s_bucket{le="+Inf"} %d' % (name, instrument.count))
+            lines.append("%s_sum %g" % (name, instrument.sum))
+            lines.append("%s_count %d" % (name, instrument.count))
+        else:
+            value = instrument.value
+            if value is None:
+                continue
+            lines.append("%s %g" % (name, value))
+    return "\n".join(lines) + "\n"
+
+
+def bench_payload(name, registry=None, extra=None):
+    """Build a ``BENCH_*.json``-ready summary dict.
+
+    ``extra`` carries experiment-specific results (figure rows, paper
+    anchors); the registry snapshot, when given, carries the generic
+    instrument state. Everything is plain data.
+    """
+    payload = {
+        "bench": name,
+        "schema": BENCH_SCHEMA,
+        "unit": "ms",
+    }
+    if registry is not None:
+        payload["metrics"] = registry.snapshot()
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def write_bench_json(directory, name, payload):
+    """Persist a summary as ``<directory>/BENCH_<name>.json``."""
+    if not _BENCH_NAME_RE.match(name):
+        raise ObservabilityError("invalid bench name %r" % name)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "BENCH_%s.json" % name)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

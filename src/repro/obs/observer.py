@@ -1,0 +1,66 @@
+"""The Observer: one handle bundling a registry and a tracer.
+
+Every :class:`~repro.core.crimes.Crimes` instance owns one
+(``crimes.observer``); the epoch loop, checkpointer, detector, output
+buffer, and async scanner all write into it. ``summary()`` is the
+machine-readable export the CLI prints and the BENCH writer persists.
+"""
+
+from repro.obs.exporters import (
+    bench_payload,
+    export_jsonl,
+    export_prometheus,
+    write_bench_json,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+class Observer:
+    """Metrics + tracing for one protected VM (or one standalone run)."""
+
+    def __init__(self, clock, name="vm", capture_wall=False,
+                 max_trace_events=100000):
+        self.name = name
+        self.clock = clock
+        self.registry = MetricsRegistry(clock)
+        self.tracer = Tracer(clock, capture_wall=capture_wall,
+                             max_events=max_trace_events)
+
+    # -- instrument shortcuts ---------------------------------------------
+
+    def counter(self, name, help=""):
+        return self.registry.counter(name, help=help)
+
+    def gauge(self, name, help=""):
+        return self.registry.gauge(name, help=help)
+
+    def histogram(self, name, **kwargs):
+        return self.registry.histogram(name, **kwargs)
+
+    def span(self, name, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    def event(self, name, **attrs):
+        return self.tracer.event(name, **attrs)
+
+    # -- exports -----------------------------------------------------------
+
+    def summary(self):
+        """Plain-data snapshot: all instruments + the trace rollup."""
+        return {
+            "observer": self.name,
+            "virtual_time_ms": self.clock.now,
+            "metrics": self.registry.snapshot(),
+            "trace": self.tracer.summary(),
+        }
+
+    def prometheus_text(self):
+        return export_prometheus(self.registry)
+
+    def write_trace_jsonl(self, path):
+        return export_jsonl(self.tracer.events, path)
+
+    def write_bench(self, directory, name, extra=None):
+        payload = bench_payload(name, registry=self.registry, extra=extra)
+        return write_bench_json(directory, name, payload)

@@ -42,6 +42,10 @@ class SeededStream:
     def choice(self, seq):
         return self._rng.choice(seq)
 
+    def sample(self, population, k):
+        """``k`` distinct elements of ``population`` (no replacement)."""
+        return self._rng.sample(population, k)
+
     def shuffle(self, seq):
         self._rng.shuffle(seq)
 

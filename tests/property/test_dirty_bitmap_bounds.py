@@ -1,0 +1,49 @@
+"""Property tests: DirtyBitmap bounds checking and load_random density.
+
+Regression coverage for two substrate defects: ``test()`` accepted any
+pfn (negative values wrapped via Python indexing and read the wrong
+word's bit; large values raised bare ``IndexError``), and
+``load_random()`` sampled with replacement, undershooting the requested
+dirty density.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import HypervisorError
+from repro.hypervisor.dirty import DirtyBitmap
+from repro.sim.rng import SeededStream
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    frame_count=st.integers(min_value=1, max_value=2000),
+    pfn=st.integers(min_value=-5000, max_value=5000),
+)
+def test_property_test_and_set_agree_on_bounds(frame_count, pfn):
+    """test() accepts exactly the pfns set() accepts, and no others."""
+    bitmap = DirtyBitmap(frame_count)
+    if 0 <= pfn < frame_count:
+        assert bitmap.test(pfn) is False
+        bitmap.set(pfn)
+        assert bitmap.test(pfn) is True
+    else:
+        with pytest.raises(HypervisorError):
+            bitmap.set(pfn)
+        with pytest.raises(HypervisorError):
+            bitmap.test(pfn)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    frame_count=st.integers(min_value=1, max_value=4096),
+    dirty_permille=st.integers(min_value=0, max_value=1000),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_load_random_exact_density(frame_count, dirty_permille,
+                                            seed):
+    """load_random marks exactly floor(frames * fraction) distinct pfns."""
+    bitmap = DirtyBitmap(frame_count)
+    fraction = dirty_permille / 1000.0
+    bitmap.load_random(SeededStream(seed, "density"), fraction)
+    assert bitmap.count() == int(frame_count * fraction)

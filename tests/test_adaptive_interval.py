@@ -45,6 +45,17 @@ class TestController:
         with pytest.raises(ConfigError):
             AdaptiveIntervalController(gain=0.0)
 
+    def test_negative_tolerance_rejected(self):
+        # A negative tolerance makes |error - 1| <= tolerance
+        # unsatisfiable, so the controller would adjust every epoch.
+        with pytest.raises(ConfigError):
+            AdaptiveIntervalController(tolerance=-0.1)
+
+    def test_zero_tolerance_allowed(self):
+        controller = AdaptiveIntervalController(tolerance=0.0)
+        # Exactly on target: no adjustment even with zero tolerance.
+        assert controller.next_interval(100.0, 10.0) == 100.0
+
     def test_zero_pause_keeps_interval(self):
         controller = AdaptiveIntervalController()
         assert controller.next_interval(50.0, 0.0) == 50.0

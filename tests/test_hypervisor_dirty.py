@@ -32,6 +32,23 @@ def test_out_of_range_rejected():
         bitmap.set(-1)
 
 
+def test_test_out_of_range_rejected_like_set():
+    bitmap = DirtyBitmap(64)
+    with pytest.raises(HypervisorError):
+        bitmap.test(64)
+    with pytest.raises(HypervisorError):
+        bitmap.test(-1)
+
+
+def test_test_negative_pfn_does_not_wrap():
+    # pfn -1 used to read the *last* word's top bit via Python negative
+    # indexing; a dirty frame there must not leak into a bogus answer.
+    bitmap = DirtyBitmap(128)
+    bitmap.set(127)
+    with pytest.raises(HypervisorError):
+        bitmap.test(-1)
+
+
 def test_zero_frames_rejected():
     with pytest.raises(HypervisorError):
         DirtyBitmap(0)
@@ -82,8 +99,22 @@ def test_harvest_strategy_selection():
 def test_load_random_density():
     bitmap = DirtyBitmap(10000)
     bitmap.load_random(SeededStream(1, "t"), 0.05)
-    # collisions allowed: count is at most the expected number
-    assert 0 < bitmap.count() <= 500
+    assert bitmap.count() == 500
+
+
+def test_load_random_hits_requested_density_exactly():
+    # Sampling with replacement undershoots badly at high densities:
+    # 50% of 10000 frames drawn with replacement collides ~21% of the
+    # time. Distinct draws must hit the requested count exactly.
+    bitmap = DirtyBitmap(10000)
+    bitmap.load_random(SeededStream(7, "dense"), 0.5)
+    assert bitmap.count() == 5000
+
+
+def test_load_random_full_density_saturates():
+    bitmap = DirtyBitmap(256)
+    bitmap.load_random(SeededStream(2, "full"), 1.0)
+    assert bitmap.count() == 256
 
 
 def test_last_partial_word_handled():

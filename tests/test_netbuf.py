@@ -38,6 +38,44 @@ def test_commit_preserves_packet_order():
     assert [p.payload[0] for p in sink.packets] == [0, 1, 2, 3, 4]
 
 
+def test_commit_interleaves_packets_and_disk_writes_in_emission_order():
+    # A write-ahead log write issued *between* two packets must reach
+    # the world between those packets; flushing all packets before all
+    # disk writes would reorder cross-device effects.
+    clock = VirtualClock()
+    sink = RecordingSink(clock)
+    buffer = OutputBuffer(sink, mode=BufferMode.SYNCHRONOUS, clock=clock)
+    buffer.emit_packet(Packet("a", "b", b"p0"))
+    buffer.emit_disk_write(DiskWrite(0, b"w0"))
+    buffer.emit_packet(Packet("a", "b", b"p1"))
+    buffer.emit_disk_write(DiskWrite(1, b"w1"))
+    assert buffer.commit() == (2, 2)
+    assert sink.order == ["packet:p0", "write:w0", "packet:p1", "write:w1"]
+
+
+class RecordingSink:
+    """Sink that records the *global* arrival order across both devices."""
+
+    def __init__(self, clock):
+        self._clock = clock
+        self.order = []
+
+    def emit_packet(self, packet):
+        self.order.append("packet:%s" % packet.payload.decode())
+
+    def emit_disk_write(self, write):
+        self.order.append("write:%s" % write.data.decode())
+
+
+def test_buffered_outputs_carry_sequence_numbers():
+    buffer, _sink, _clock = make_buffer(BufferMode.SYNCHRONOUS)
+    buffer.emit_packet(Packet("a", "b", b"x"))
+    buffer.emit_disk_write(DiskWrite(0, b"y"))
+    first, second = buffer.peek_outputs()
+    assert first.seq < second.seq
+    assert first.kind == "packet" and second.kind == "disk_write"
+
+
 def test_commit_returns_released_counts():
     buffer, _sink, _clock = make_buffer(BufferMode.SYNCHRONOUS)
     buffer.emit_packet(Packet("a", "b", b"x"))
