@@ -1,0 +1,126 @@
+"""Seed-revision reference implementations for the wall-clock suite.
+
+These reproduce the pre-optimization hot paths the delta-checkpoint /
+zero-copy PR replaced:
+
+* ``LegacyCheckpointer`` — commit() materializes a full ``bytes`` RAM
+  image plus a deepcopy per committed epoch when history is enabled;
+  rollback() diffs every frame of RAM against the backup in a Python
+  loop; staging copies each dirty frame with ``read_frame``.
+* ``LegacyWordBitmap`` — the seed's list-of-ints dirty bitmap with the
+  per-word Python-loop scan and the tail filter.
+
+The wall-clock benchmarks time these against the live implementations so
+``BENCH_wallclock_substrate.json`` records a true before/after on the
+same host. Virtual-time outputs are identical on both sides by
+construction; only host time differs.
+"""
+
+import copy
+
+from repro.checkpoint.checkpointer import Checkpointer, CopyFidelity
+from repro.checkpoint.snapshot import Checkpoint
+from repro.errors import CheckpointError
+from repro.guest.memory import PAGE_SIZE
+from repro.hypervisor.dirty import ScanStats, WORD_BITS
+
+
+class LegacyCheckpointer(Checkpointer):
+    """Checkpointer with the seed revision's O(RAM) commit/rollback."""
+
+    def run_checkpoint(self, interval_ms, synthetic_dirty=0):
+        # Re-stage with per-frame byte copies (the seed's staging path).
+        report = super().run_checkpoint(interval_ms,
+                                        synthetic_dirty=synthetic_dirty)
+        if self._pending is not None and self._pending["pages"] is not None:
+            memory = self.domain.vm.memory
+            self._pending["pages"] = [
+                (pfn, memory.read_frame(pfn))
+                for pfn, _view in self._pending["pages"]
+            ]
+        return report
+
+    def commit(self):
+        if self._pending is None:
+            raise CheckpointError("no staged checkpoint to commit")
+        pending, self._pending = self._pending, None
+        if self.fidelity is CopyFidelity.FULL:
+            for pfn, data in pending["pages"]:
+                start = pfn * PAGE_SIZE
+                self._backup_image[start : start + PAGE_SIZE] = data
+            self._backup_state = pending["state"]
+            self._backup_taken_at = pending["taken_at"]
+            if self.history.capacity:
+                self.history.record(
+                    Checkpoint(
+                        epoch=self.epoch,
+                        taken_at=pending["taken_at"],
+                        memory_image=bytes(self._backup_image),
+                        guest_state=copy.deepcopy(self._backup_state),
+                        dirty_pages=pending["dirty"],
+                        label="epoch-%d" % self.epoch,
+                    )
+                )
+
+    def rollback(self):
+        vm = self.domain.vm
+        differing = 0
+        image = self._backup_image
+        for pfn in range(vm.memory.frame_count):
+            start = pfn * PAGE_SIZE
+            if vm.memory.read_frame(pfn) != bytes(
+                    image[start : start + PAGE_SIZE]):
+                differing += 1
+        vm.memory.load_bytes(bytes(image))
+        vm.load_state_dict(copy.deepcopy(self._backup_state))
+        self.domain.dirty_bitmap.clear()
+        self._pending = None
+        self._dirty_since_backup = set()
+        self._untracked_seen = vm.memory.untracked_loads
+        return self.costs.rollback_ms(differing)
+
+
+class LegacyWordBitmap:
+    """The seed's dirty bitmap: a Python list of 64-bit words."""
+
+    def __init__(self, frame_count):
+        self.frame_count = frame_count
+        self.word_count = (frame_count + WORD_BITS - 1) // WORD_BITS
+        self._words = [0] * self.word_count
+        self._dirty_count = 0
+
+    def set(self, pfn):
+        word, bit = divmod(pfn, WORD_BITS)
+        mask = 1 << bit
+        if not self._words[word] & mask:
+            self._words[word] |= mask
+            self._dirty_count += 1
+
+    def clear(self):
+        self._words = [0] * self.word_count
+        self._dirty_count = 0
+
+    def scan_by_words(self):
+        dirty = []
+        bits_visited = 0
+        for word_index, word in enumerate(self._words):
+            if word == 0:
+                continue
+            base = word_index * WORD_BITS
+            bits_visited += WORD_BITS
+            while word:
+                low = word & -word
+                dirty.append(base + low.bit_length() - 1)
+                word ^= low
+        dirty = [pfn for pfn in dirty if pfn < self.frame_count]
+        stats = ScanStats(
+            words_visited=self.word_count,
+            bits_visited=bits_visited,
+            dirty_found=len(dirty),
+        )
+        return dirty, stats
+
+    def harvest(self, optimized=True):
+        dirty, stats = self.scan_by_words()
+        self.clear()
+        return dirty, stats

@@ -1,0 +1,218 @@
+"""Wall-clock before/after microbenchmarks for the epoch substrate.
+
+Unlike everything under ``benchmarks/results/`` — which measures the
+paper's *virtual-time* cost model and must stay bit-identical — this
+suite times the host-side hot paths the delta-checkpoint / zero-copy PR
+rewrote, against the seed-revision reference implementations kept in
+``benchmarks/perf/legacy.py``:
+
+* ``epoch_full_fidelity`` — one FULL-fidelity epoch end to end
+  (harvest + stage + commit, history disabled),
+* ``commit_with_history``  — commit() with a capacity-8 history ring
+  (the seed materialized ``bytes(backup)`` + a deepcopy per commit),
+* ``rollback``             — restore after an aborted epoch (the seed
+  diffed every frame of RAM in a Python loop),
+* ``bitmap_harvest``       — word-scan harvest at 10% dirty density
+  (the seed looped a Python list of ints word by word).
+
+Results are written to ``BENCH_wallclock_substrate.json`` (schema
+``crimes-obs/1``). Numbers are host-dependent by nature; the acceptance
+thresholds (>= 5x on commit-with-history and rollback, >= 2x on harvest)
+are asserted only at the default 64 MiB size. Set ``CRIMES_PERF_FRAMES``
+(e.g. 2048) to scale the simulated RAM down for a quick CI smoke run.
+"""
+
+import os
+import random
+import sys
+import time
+
+from repro.checkpoint.checkpointer import Checkpointer
+from repro.guest.linux import LinuxGuest
+from repro.guest.memory import PAGE_SIZE
+from repro.hypervisor.dirty import DirtyBitmap
+from repro.hypervisor.xen import Hypervisor
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from legacy import LegacyCheckpointer, LegacyWordBitmap  # noqa: E402
+
+DEFAULT_FRAMES = 16384  # 64 MiB of simulated RAM at 4 KiB pages
+FRAMES = int(os.environ.get("CRIMES_PERF_FRAMES", DEFAULT_FRAMES))
+FULL_SCALE = FRAMES >= DEFAULT_FRAMES
+RAM_BYTES = FRAMES * PAGE_SIZE
+EPOCH_DIRTY = max(4, FRAMES // 50)  # ~2% dirtied per epoch (25 ms epochs)
+HARVEST_DENSITY = 0.10
+HISTORY_CAPACITY = 8
+EPOCHS = 4
+REPEATS = 3
+
+THRESHOLDS = {
+    "commit_with_history": 5.0,
+    "rollback": 5.0,
+    "bitmap_harvest": 2.0,
+}
+
+
+def _make_checkpointer(cls, history_capacity=0, seed=11):
+    vm = LinuxGuest(name="perf", memory_bytes=RAM_BYTES, seed=seed)
+    domain = Hypervisor(clock=vm.clock).create_domain(vm)
+    checkpointer = cls(domain, history_capacity=history_capacity)
+    checkpointer.start()
+    return checkpointer
+
+
+def _epoch_samples(count=EPOCHS, size=EPOCH_DIRTY, seed=5):
+    rng = random.Random(seed)
+    return [rng.sample(range(FRAMES), size) for _ in range(count)]
+
+
+def _dirty(vm, pfns):
+    for pfn in pfns:
+        vm.memory.touch_frame(pfn)
+
+
+def _case(before_ms, after_ms, detail):
+    return {
+        "before_ms": before_ms,
+        "after_ms": after_ms,
+        "speedup": before_ms / after_ms if after_ms else float("inf"),
+        "detail": detail,
+    }
+
+
+def _bench_epoch_full_fidelity(samples):
+    """run_checkpoint() + commit() per epoch, history disabled."""
+    results = {}
+    for key, cls in (("after", Checkpointer), ("before", LegacyCheckpointer)):
+        best = float("inf")
+        for _ in range(REPEATS):
+            checkpointer = _make_checkpointer(cls)
+            elapsed = 0.0
+            for pfns in samples:
+                _dirty(checkpointer.domain.vm, pfns)
+                start = time.perf_counter()
+                checkpointer.run_checkpoint(interval_ms=25.0)
+                checkpointer.commit()
+                elapsed += time.perf_counter() - start
+            best = min(best, elapsed / len(samples))
+        results[key] = best * 1000.0
+    return _case(results["before"], results["after"],
+                 "per-epoch harvest+stage+commit, %d dirty frames"
+                 % EPOCH_DIRTY)
+
+
+def _bench_commit_with_history(samples):
+    """commit() alone, capacity-%d history ring recording each epoch."""
+    results = {}
+    for key, cls in (("after", Checkpointer), ("before", LegacyCheckpointer)):
+        best = float("inf")
+        for _ in range(REPEATS):
+            checkpointer = _make_checkpointer(
+                cls, history_capacity=HISTORY_CAPACITY)
+            for pfns in samples:
+                _dirty(checkpointer.domain.vm, pfns)
+                checkpointer.run_checkpoint(interval_ms=25.0)
+                start = time.perf_counter()
+                checkpointer.commit()
+                best = min(best, time.perf_counter() - start)
+        results[key] = best * 1000.0
+    return _case(results["before"], results["after"],
+                 "commit() with capacity-%d history, %d dirty frames"
+                 % (HISTORY_CAPACITY, EPOCH_DIRTY))
+
+
+def _bench_rollback(samples):
+    """rollback() after a committed epoch, an aborted one, and live dirt."""
+    results = {}
+    split = EPOCH_DIRTY // 2
+    for key, cls in (("after", Checkpointer), ("before", LegacyCheckpointer)):
+        best = float("inf")
+        checkpointer = _make_checkpointer(cls)
+        vm = checkpointer.domain.vm
+        _dirty(vm, samples[0])
+        checkpointer.run_checkpoint(interval_ms=25.0)
+        checkpointer.commit()
+        reference = bytes(vm.memory.view())
+        for _ in range(REPEATS):
+            _dirty(vm, samples[1][:split])
+            checkpointer.run_checkpoint(interval_ms=25.0)
+            checkpointer.abort()
+            _dirty(vm, samples[1][split:])
+            start = time.perf_counter()
+            checkpointer.rollback()
+            best = min(best, time.perf_counter() - start)
+            assert bytes(vm.memory.view()) == reference
+        results[key] = best * 1000.0
+    return _case(results["before"], results["after"],
+                 "restore after one aborted epoch + %d live dirty frames"
+                 % (EPOCH_DIRTY - split))
+
+
+def _bench_bitmap_harvest():
+    """harvest() (word scan + clear) at 10% dirty density."""
+    rng = random.Random(7)
+    dirty_pfns = rng.sample(range(FRAMES), int(FRAMES * HARVEST_DENSITY))
+
+    new_bitmap = DirtyBitmap(FRAMES)
+    old_bitmap = LegacyWordBitmap(FRAMES)
+    results = {}
+    expected = None
+    for key, bitmap in (("after", new_bitmap), ("before", old_bitmap)):
+        best = float("inf")
+        for _ in range(REPEATS):
+            if key == "after":
+                bitmap.set_many(dirty_pfns)
+            else:
+                for pfn in dirty_pfns:
+                    bitmap.set(pfn)
+            start = time.perf_counter()
+            dirty, stats = bitmap.harvest(True)
+            best = min(best, time.perf_counter() - start)
+        # Both backends must agree on the dirty set and the virtual-cost
+        # inputs — the scan stats feed the paper's cost model.
+        if expected is None:
+            expected = (dirty, stats.words_visited, stats.bits_visited,
+                        stats.dirty_found)
+        else:
+            assert dirty == expected[0]
+            assert (stats.words_visited, stats.bits_visited,
+                    stats.dirty_found) == expected[1:]
+        results[key] = best * 1000.0
+    return _case(results["before"], results["after"],
+                 "word-scan harvest of %d dirty frames (10%% density)"
+                 % len(dirty_pfns))
+
+
+def test_wallclock_substrate(record_bench):
+    samples = _epoch_samples()
+    cases = {
+        "epoch_full_fidelity": _bench_epoch_full_fidelity(samples),
+        "commit_with_history": _bench_commit_with_history(samples),
+        "rollback": _bench_rollback(samples),
+        "bitmap_harvest": _bench_bitmap_harvest(),
+    }
+
+    path = record_bench("wallclock_substrate", extra={
+        "description": "host wall-clock before/after for the delta-"
+                       "checkpoint and zero-copy substrate rewrite",
+        "frames": FRAMES,
+        "ram_mib": RAM_BYTES // (1024 * 1024),
+        "full_scale": FULL_SCALE,
+        "thresholds": THRESHOLDS,
+        "cases": cases,
+    })
+    assert os.path.exists(path)
+
+    for name, case in sorted(cases.items()):
+        print("%-22s before %8.3f ms  after %8.3f ms  speedup %6.1fx"
+              % (name, case["before_ms"], case["after_ms"],
+                 case["speedup"]))
+
+    if FULL_SCALE:
+        for name, floor in THRESHOLDS.items():
+            assert cases[name]["speedup"] >= floor, (
+                "%s: %.2fx < required %.1fx"
+                % (name, cases[name]["speedup"], floor)
+            )
+        # The end-to-end epoch must at minimum not regress.
+        assert cases["epoch_full_fidelity"]["speedup"] >= 1.0

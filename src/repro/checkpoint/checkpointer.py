@@ -25,7 +25,7 @@ from repro.checkpoint.costmodel import (
     NOMINAL_FRAME_COUNT,
     OptimizationLevel,
 )
-from repro.checkpoint.snapshot import Checkpoint, CheckpointHistory
+from repro.checkpoint.snapshot import CheckpointHistory
 from repro.guest.memory import PAGE_SIZE
 from repro.guest.vm import GuestSnapshot
 
@@ -108,6 +108,15 @@ class Checkpointer:
         self._backup_state = None
         self._backup_taken_at = None
         self._pending = None  # staged epoch awaiting commit/abort
+        # Frames whose RAM content may differ from the backup: harvested
+        # dirty sets that were aborted instead of committed. Together
+        # with the live bitmap (and any staged pages) this bounds what a
+        # rollback has to diff/restore — O(dirty) instead of O(RAM).
+        self._dirty_since_backup = set()
+        # Generation of untracked bulk loads at the last backup sync; if
+        # it moves, incremental tracking is stale and rollback falls back
+        # to a full-image diff.
+        self._untracked_seen = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -122,14 +131,19 @@ class Checkpointer:
             self.mapping.map_all()
             self.init_cost_ms += self.costs.premap_init_ms(self.nominal_frames)
         if self.fidelity is CopyFidelity.FULL:
-            self._backup_image = bytearray(vm.memory.snapshot_bytes())
+            self._backup_image = bytearray(vm.memory.view())
             self._backup_state = copy.deepcopy(vm.state_dict())
             self._backup_taken_at = vm.clock.now
+            if self.history.capacity:
+                # Seed the delta chain; every later commit records O(dirty).
+                self.history.set_base(self._backup_image)
             # Initial full synchronization is a whole-VM copy.
             self.init_cost_ms += self.costs.copy_ms(
                 vm.memory.frame_count, self.level, remote=self.remote
             )
         self.domain.dirty_bitmap.clear()
+        self._dirty_since_backup = set()
+        self._untracked_seen = vm.memory.untracked_loads
         self.started = True
 
     def stop(self):
@@ -173,9 +187,15 @@ class Checkpointer:
             self.mapping.map_pages(dirty_pfns)
         staged_pages = None
         if self.fidelity is CopyFidelity.FULL:
-            memory = self.domain.vm.memory
+            # Zero-copy staging: slice read-only views of the dirty frames
+            # instead of materializing per-frame byte copies. The domain
+            # stays paused from here until commit()/abort(), so the views
+            # are stable for the staging window; commit() copies only
+            # what the delta history must retain.
+            view = self.domain.vm.memory.view()
             staged_pages = [
-                (pfn, memory.read_frame(pfn)) for pfn in dirty_pfns
+                (pfn, view[pfn * PAGE_SIZE : (pfn + 1) * PAGE_SIZE])
+                for pfn in dirty_pfns
             ]
         if not self.level.use_premap:
             self.mapping.unmap_pages(dirty_pfns)
@@ -206,27 +226,42 @@ class Checkpointer:
         if self._registry is not None:
             self._commits.inc()
         if self.fidelity is CopyFidelity.FULL:
-            for pfn, data in pending["pages"]:
+            staged = pending["pages"]
+            for pfn, data in staged:
                 start = pfn * PAGE_SIZE
                 self._backup_image[start : start + PAGE_SIZE] = data
             self._backup_state = pending["state"]
             self._backup_taken_at = pending["taken_at"]
+            # The staged frames now match the backup again; anything
+            # re-dirtied after staging is still in the live bitmap.
+            if self._dirty_since_backup:
+                self._dirty_since_backup.difference_update(
+                    pfn for pfn, _data in staged
+                )
             if self.history.capacity:
-                self.history.record(
-                    Checkpoint(
-                        epoch=self.epoch,
-                        taken_at=pending["taken_at"],
-                        memory_image=bytes(self._backup_image),
-                        guest_state=copy.deepcopy(self._backup_state),
-                        dirty_pages=pending["dirty"],
-                        label="epoch-%d" % self.epoch,
-                    )
+                # O(dirty) delta record — the full image is reconstructed
+                # lazily if forensics ever reads it.
+                self.history.record_delta(
+                    epoch=self.epoch,
+                    taken_at=pending["taken_at"],
+                    deltas=staged,
+                    guest_state=copy.deepcopy(self._backup_state),
+                    dirty_pages=pending["dirty"],
+                    label="epoch-%d" % self.epoch,
                 )
 
     def abort(self):
         """Drop the staged epoch (audit failed); backup stays clean."""
-        if self._pending is not None and self._registry is not None:
-            self._aborts.inc()
+        if self._pending is not None:
+            if self._registry is not None:
+                self._aborts.inc()
+            staged = self._pending["pages"]
+            if staged is not None:
+                # Those frames were harvested out of the bitmap but never
+                # reached the backup: remember them for rollback's diff.
+                self._dirty_since_backup.update(
+                    pfn for pfn, _data in staged
+                )
         self._pending = None
 
     # -- rollback and export -------------------------------------------------------
@@ -241,23 +276,62 @@ class Checkpointer:
             taken_at=self._backup_taken_at,
         )
 
+    def _rollback_candidates(self):
+        """Frames that could differ from the backup (reverse delta set).
+
+        Every guest store since the last backup sync either sits in the
+        live bitmap, was harvested into a staged-then-aborted epoch
+        (``_dirty_since_backup``), or is currently staged. If log-dirty
+        tracking was off at any point, or RAM took an untracked bulk load
+        (e.g. ``vm.restore``), the incremental view is stale and the
+        whole address space must be diffed, exactly as before.
+        """
+        memory = self.domain.vm.memory
+        if (not self.domain.log_dirty_enabled
+                or memory.untracked_loads != self._untracked_seen):
+            return range(memory.frame_count)
+        candidates = set(self._dirty_since_backup)
+        live_dirty, _stats = self.domain.dirty_bitmap.scan_by_words()
+        candidates.update(live_dirty)
+        if self._pending is not None and self._pending["pages"] is not None:
+            candidates.update(pfn for pfn, _data in self._pending["pages"])
+        return sorted(candidates)
+
     def rollback(self):
-        """Restore the primary VM from the backup; returns the time cost."""
+        """Restore the primary VM from the backup; returns the time cost.
+
+        Only the frames written since the last commit are diffed and
+        restored — the dirty sets harvested each epoch already name them
+        — so rollback is O(dirty), not O(RAM). The ``differing`` count
+        fed to the cost model is unchanged: frames outside the candidate
+        set provably match the backup byte-for-byte.
+        """
         if self.fidelity is not CopyFidelity.FULL:
             raise CheckpointError("cannot roll back in ACCOUNTING fidelity")
         vm = self.domain.vm
+        memory = vm.memory
+        candidates = self._rollback_candidates()
         # Count how many frames actually differ (that is what a real
         # restore would copy; also what the cost model prices).
         differing = 0
-        image = self._backup_image
-        for pfn in range(vm.memory.frame_count):
-            start = pfn * PAGE_SIZE
-            if vm.memory.read_frame(pfn) != bytes(image[start : start + PAGE_SIZE]):
-                differing += 1
-        vm.memory.load_bytes(bytes(image))
+        ram_view = memory.view()
+        backup_view = memoryview(self._backup_image)
+        try:
+            for pfn in candidates:
+                start = pfn * PAGE_SIZE
+                end = start + PAGE_SIZE
+                backup_page = backup_view[start:end]
+                if ram_view[start:end] != backup_page:
+                    differing += 1
+                    memory.write_frame(pfn, backup_page, notify=False)
+        finally:
+            ram_view.release()
+            backup_view.release()
         vm.load_state_dict(copy.deepcopy(self._backup_state))
         self.domain.dirty_bitmap.clear()
         self._pending = None
+        self._dirty_since_backup = set()
+        self._untracked_seen = memory.untracked_loads
         return self.costs.rollback_ms(differing)
 
     @property

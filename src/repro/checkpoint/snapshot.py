@@ -4,29 +4,59 @@ The base system keeps exactly one backup — the most recent clean state —
 doubling the VM's memory cost, as the paper notes. §3.1 suggests a history
 of checkpoints as an extension to aid forensics; :class:`CheckpointHistory`
 implements that extension with a bounded ring.
+
+The ring stores *deltas*, not full images: each committed epoch records
+only its ``(pfn, page)`` dirty pages against the previous entry, over one
+base image seeded when checkpointing starts. Recording a checkpoint is
+therefore O(dirty pages) in time and space — the same trick the
+checkpointer itself plays on the backup — and a full ``memory_image`` is
+reconstructed lazily (and cached) only when a forensic consumer actually
+reads it. Evicting the oldest entry folds its deltas into the base in
+O(dirty) as well, so a full ring advances without ever copying RAM.
 """
 
 from collections import deque
 
+from repro.errors import CheckpointError
+from repro.guest.memory import PAGE_SIZE
+
 
 class Checkpoint:
-    """One immutable checkpoint: epoch metadata + full guest state."""
+    """One immutable checkpoint: epoch metadata + full guest state.
 
-    __slots__ = ("epoch", "taken_at", "memory_image", "guest_state",
-                 "dirty_pages", "label")
+    ``memory_image`` is either the full image bytes handed to the
+    constructor, or — for delta-recorded history entries — reconstructed
+    on first access through the owning history's resolver and cached.
+    """
+
+    __slots__ = ("epoch", "taken_at", "guest_state", "dirty_pages", "label",
+                 "_image", "_resolver")
 
     def __init__(self, epoch, taken_at, memory_image, guest_state,
-                 dirty_pages=0, label=""):
+                 dirty_pages=0, label="", resolver=None):
         self.epoch = epoch
         self.taken_at = taken_at
-        self.memory_image = memory_image
+        self._image = memory_image
+        self._resolver = resolver
         self.guest_state = guest_state
         self.dirty_pages = dirty_pages
         self.label = label
 
     @property
+    def memory_image(self):
+        if self._image is None and self._resolver is not None:
+            self._image = self._resolver(self)
+        return self._image
+
+    @property
+    def materialized(self):
+        """Whether the full image is resident (False for lazy deltas)."""
+        return self._image is not None
+
+    @property
     def size_bytes(self):
-        return len(self.memory_image) if self.memory_image is not None else 0
+        image = self.memory_image
+        return len(image) if image is not None else 0
 
     def __repr__(self):
         return "Checkpoint(epoch=%d, t=%.2fms, label=%r)" % (
@@ -36,27 +66,143 @@ class Checkpoint:
         )
 
 
+def _evicted_resolver(checkpoint):
+    raise CheckpointError(
+        "checkpoint %r was evicted from the history before its image was "
+        "materialized; it can no longer be reconstructed" % (checkpoint,)
+    )
+
+
 class CheckpointHistory:
-    """A bounded ring of past checkpoints (newest last)."""
+    """A bounded ring of past checkpoints (newest last), delta-encoded."""
 
     def __init__(self, capacity=1):
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         self.capacity = capacity
-        self._ring = deque(maxlen=capacity if capacity else None)
+        # Entries are [checkpoint, deltas]; ``deltas`` is a list of
+        # (pfn, page_bytes) against the previous entry, or None for a
+        # full-image record (whose checkpoint carries its own image).
+        self._entries = deque()
+        self._base_image = None
         self.total_recorded = 0
 
+    # -- recording ---------------------------------------------------------
+
+    def set_base(self, image):
+        """Seed the delta chain with the full image deltas apply against.
+
+        The checkpointer calls this once at start-up with the initial
+        backup image; every later :meth:`record_delta` is O(dirty).
+        """
+        self._base_image = bytearray(image)
+
     def record(self, checkpoint):
+        """Record a full (self-contained) checkpoint."""
         if self.capacity == 0:
             return
-        self._ring.append(checkpoint)
+        self._append([checkpoint, None])
+
+    def record_delta(self, epoch, taken_at, deltas, guest_state,
+                     dirty_pages=0, label=""):
+        """Record one committed epoch as its dirty-page delta.
+
+        ``deltas`` is an iterable of ``(pfn, page)`` pairs (page buffers
+        are copied here, so zero-copy staging views are safe to pass).
+        Returns the lazy :class:`Checkpoint`, or None when disabled.
+        """
+        if self.capacity == 0:
+            return None
+        if self._base_image is None and not self._entries:
+            raise CheckpointError(
+                "delta history has no base image; call set_base() first "
+                "or record() a full checkpoint"
+            )
+        checkpoint = Checkpoint(
+            epoch=epoch,
+            taken_at=taken_at,
+            memory_image=None,
+            guest_state=guest_state,
+            dirty_pages=dirty_pages,
+            label=label,
+            resolver=self._materialize,
+        )
+        pages = [(pfn, bytes(page)) for pfn, page in deltas]
+        self._append([checkpoint, pages])
+        return checkpoint
+
+    def _append(self, entry):
+        self._entries.append(entry)
         self.total_recorded += 1
+        while len(self._entries) > self.capacity:
+            self._evict()
+
+    def _evict(self):
+        """Drop the oldest entry, folding its delta into the base image."""
+        checkpoint, deltas = self._entries.popleft()
+        if deltas is None:
+            # A full record is its own base for whatever follows it.
+            self._base_image = bytearray(checkpoint.memory_image)
+        elif self._base_image is not None:
+            base = self._base_image
+            for pfn, page in deltas:
+                start = pfn * PAGE_SIZE
+                base[start : start + PAGE_SIZE] = page
+        if not checkpoint.materialized:
+            checkpoint._resolver = _evicted_resolver
+
+    # -- reconstruction ----------------------------------------------------
+
+    def _materialize(self, checkpoint):
+        """Rebuild one entry's full image: nearest snapshot + deltas."""
+        entries = list(self._entries)
+        target = None
+        for index, (candidate, _deltas) in enumerate(entries):
+            if candidate is checkpoint:
+                target = index
+                break
+        if target is None:
+            raise CheckpointError(
+                "checkpoint %r is no longer in the history" % (checkpoint,)
+            )
+        # Walk back to the nearest materialized image at or before the
+        # target; everything between replays forward as O(dirty) deltas.
+        start = -1
+        image = None
+        for index in range(target, -1, -1):
+            candidate, _deltas = entries[index]
+            if candidate.materialized:
+                image = bytearray(candidate.memory_image)
+                start = index
+                break
+        if image is None:
+            if self._base_image is None:
+                raise CheckpointError(
+                    "history has no base image to reconstruct from"
+                )
+            image = bytearray(self._base_image)
+        for index in range(start + 1, target + 1):
+            _candidate, deltas = entries[index]
+            if deltas is None:
+                continue
+            for pfn, page in deltas:
+                offset = pfn * PAGE_SIZE
+                image[offset : offset + PAGE_SIZE] = page
+        return bytes(image)
+
+    # -- access ------------------------------------------------------------
 
     def latest(self):
-        return self._ring[-1] if self._ring else None
+        return self._entries[-1][0] if self._entries else None
 
     def all(self):
-        return list(self._ring)
+        return [entry[0] for entry in self._entries]
+
+    def delta_pages_retained(self):
+        """Total dirty pages stored as deltas (the ring's real footprint)."""
+        return sum(
+            len(entry[1]) for entry in self._entries if entry[1] is not None
+        )
 
     def __len__(self):
-        return len(self._ring)
+        return len(self._entries)

@@ -112,9 +112,7 @@ class AsyncScanner:
         if not self.modules:
             return None
         if self._active_job is not None:
-            self.snapshots_skipped += 1
-            if self._registry is not None:
-                self._skipped_counter.inc()
+            self.skip_snapshot()
             return None
         dump = MemoryDump.from_snapshot(vm, snapshot,
                                         label="async-epoch-%d" % epoch)

@@ -17,6 +17,10 @@ class MemoryDump:
 
     def __init__(self, image, os_name, symbols, guest_state, taken_at=0.0,
                  label=""):
+        # bytes() is the single defensive copy that makes the dump
+        # immutable; passing ``bytes`` (no copy) or a zero-copy
+        # ``memoryview``/``bytearray`` (one bulk copy, never per-frame)
+        # are both fine.
         self.image = bytes(image)
         self.os_name = os_name
         self.symbols = dict(symbols)

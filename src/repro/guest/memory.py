@@ -24,7 +24,14 @@ class PhysicalMemory:
         self.frame_count = size_bytes // PAGE_SIZE
         self._ram = bytearray(size_bytes)
         self._observers = []
+        self._range_observers = []
         self._write_observers = []
+        #: Bumped on every bulk restore that bypasses dirty notification
+        #: (``load_bytes`` / ``write_frame`` with ``notify=False``).
+        #: Consumers that maintain incremental views of RAM (e.g. the
+        #: checkpointer's rollback fast path) compare generations to know
+        #: when their tracking went stale.
+        self.untracked_loads = 0
 
     # -- observation ---------------------------------------------------
 
@@ -34,6 +41,18 @@ class PhysicalMemory:
 
     def remove_dirty_observer(self, callback):
         self._observers.remove(callback)
+
+    def add_dirty_range_observer(self, callback):
+        """Register ``callback(first_pfn, last_pfn)`` for batched dirtying.
+
+        A multi-frame store notifies a range observer exactly once with
+        the inclusive frame span, instead of once per frame — this is the
+        fast path the hypervisor's log-dirty mode uses.
+        """
+        self._range_observers.append(callback)
+
+    def remove_dirty_range_observer(self, callback):
+        self._range_observers.remove(callback)
 
     def add_write_observer(self, callback):
         """Register ``callback(paddr, data)`` for byte-precise write traps.
@@ -48,11 +67,16 @@ class PhysicalMemory:
         self._write_observers.remove(callback)
 
     def _notify(self, first_frame, last_frame):
-        if not self._observers:
-            return
-        for pfn in range(first_frame, last_frame + 1):
-            for callback in self._observers:
-                callback(pfn)
+        for callback in self._range_observers:
+            callback(first_frame, last_frame)
+        if self._observers:
+            if first_frame == last_frame:
+                for callback in self._observers:
+                    callback(first_frame)
+            else:
+                for pfn in range(first_frame, last_frame + 1):
+                    for callback in self._observers:
+                        callback(pfn)
 
     def _notify_write(self, paddr, data):
         for callback in self._write_observers:
@@ -88,8 +112,7 @@ class PhysicalMemory:
             raise PhysicalAccessError("frame %d outside RAM" % pfn)
         paddr = pfn * PAGE_SIZE
         self._ram[paddr] = value & 0xFF
-        for callback in self._observers:
-            callback(pfn)
+        self._notify(pfn, pfn)
         if self._write_observers:
             self._notify_write(paddr, bytes([value & 0xFF]))
 
@@ -111,8 +134,9 @@ class PhysicalMemory:
         start = pfn * PAGE_SIZE
         self._ram[start : start + PAGE_SIZE] = data
         if notify:
-            for callback in self._observers:
-                callback(pfn)
+            self._notify(pfn, pfn)
+        else:
+            self.untracked_loads += 1
 
     # -- whole-image operations -----------------------------------------
 
@@ -129,6 +153,8 @@ class PhysicalMemory:
         self._ram[:] = image
         if notify:
             self._notify(0, self.frame_count - 1)
+        else:
+            self.untracked_loads += 1
 
     def view(self):
         """A read-only memoryview of RAM (zero-copy scanning)."""

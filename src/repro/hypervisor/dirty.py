@@ -5,12 +5,34 @@ time, skipping zero words — exploiting the fact that most of memory is
 clean and dirty pages cluster. Both strategies are implemented for real
 over a word-array bitmap, and both report visit statistics the cost model
 converts into virtual time (Figure 6b).
+
+The bitmap is backed by a flat ``bytearray`` (one bit per frame, 64-bit
+words stored little-endian) so the optimized scan can extract the dirty
+set in bulk — through ``numpy`` when available, or a word-at-a-time
+``memoryview`` cast otherwise — instead of a per-word Python loop. The
+reported :class:`ScanStats` are bit-identical either way: the *virtual*
+cost of a scan is a function of the bitmap contents, never of the host
+implementation.
 """
+
+import sys
 
 from repro.errors import HypervisorError
 
+try:  # optional accelerator: the container may not ship numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the fallback paths
+    _np = None
+
 WORD_BITS = 64
 _WORD_MASK = (1 << WORD_BITS) - 1
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+try:
+    _popcount = int.bit_count  # Python >= 3.10
+except AttributeError:  # pragma: no cover - 3.9 fallback
+    def _popcount(value):
+        return bin(value).count("1")
 
 
 class ScanStats:
@@ -39,38 +61,121 @@ class DirtyBitmap:
             raise HypervisorError("frame_count must be positive")
         self.frame_count = frame_count
         self.word_count = (frame_count + WORD_BITS - 1) // WORD_BITS
-        self._words = [0] * self.word_count
+        self._bits = bytearray(self.word_count * 8)
         self._dirty_count = 0
+        # Mask for the final (possibly partial) word: bits at or beyond
+        # frame_count can never be set through the public API, but the
+        # scans mask them anyway so a corrupted tail cannot leak bogus
+        # pfns into the dirty set.
+        tail_bits = frame_count - (self.word_count - 1) * WORD_BITS
+        self._final_word_mask = (1 << tail_bits) - 1
 
     def set(self, pfn):
         if not (0 <= pfn < self.frame_count):
             raise HypervisorError("pfn %d outside bitmap" % pfn)
-        word, bit = divmod(pfn, WORD_BITS)
-        mask = 1 << bit
-        if not self._words[word] & mask:
-            self._words[word] |= mask
+        index = pfn >> 3
+        mask = 1 << (pfn & 7)
+        byte = self._bits[index]
+        if not byte & mask:
+            self._bits[index] = byte | mask
             self._dirty_count += 1
+
+    def set_many(self, pfns):
+        """Mark many frames dirty in one call (bulk-workload fast path).
+
+        Validates the whole batch up front, so a bad pfn leaves the
+        bitmap untouched.
+        """
+        pfns = pfns if isinstance(pfns, (list, tuple)) else list(pfns)
+        if not pfns:
+            return
+        if min(pfns) < 0 or max(pfns) >= self.frame_count:
+            raise HypervisorError(
+                "set_many: pfns must lie in [0, %d)" % self.frame_count
+            )
+        bits = self._bits
+        added = 0
+        for pfn in pfns:
+            index = pfn >> 3
+            mask = 1 << (pfn & 7)
+            byte = bits[index]
+            if not byte & mask:
+                bits[index] = byte | mask
+                added += 1
+        self._dirty_count += added
+
+    def set_range(self, first_pfn, last_pfn):
+        """Mark the inclusive frame range dirty (multi-frame store path).
+
+        This is the hook a bulk guest store notifies once, instead of one
+        observer call per frame; interior whole bytes are filled with a
+        single slice store.
+        """
+        if first_pfn > last_pfn:
+            return
+        if first_pfn < 0 or last_pfn >= self.frame_count:
+            raise HypervisorError(
+                "frame range [%d, %d] outside bitmap of %d frames"
+                % (first_pfn, last_pfn, self.frame_count)
+            )
+        bits = self._bits
+        first_byte, first_bit = divmod(first_pfn, 8)
+        last_byte, last_bit = divmod(last_pfn, 8)
+        added = 0
+        if first_byte == last_byte:
+            mask = ((2 << last_bit) - 1) & ~((1 << first_bit) - 1)
+            old = bits[first_byte]
+            new = old | mask
+            if new != old:
+                added += _popcount(new ^ old)
+                bits[first_byte] = new
+        else:
+            old = bits[first_byte]
+            new = old | (0xFF & ~((1 << first_bit) - 1))
+            added += _popcount(new ^ old)
+            bits[first_byte] = new
+            old = bits[last_byte]
+            new = old | ((2 << last_bit) - 1)
+            added += _popcount(new ^ old)
+            bits[last_byte] = new
+            interior = last_byte - first_byte - 1
+            if interior:
+                existing = _popcount(
+                    int.from_bytes(bits[first_byte + 1 : last_byte], "little")
+                )
+                added += interior * 8 - existing
+                bits[first_byte + 1 : last_byte] = b"\xff" * interior
+        self._dirty_count += added
 
     def test(self, pfn):
         if not (0 <= pfn < self.frame_count):
             raise HypervisorError("pfn %d outside bitmap" % pfn)
-        word, bit = divmod(pfn, WORD_BITS)
-        return bool(self._words[word] & (1 << bit))
+        return bool(self._bits[pfn >> 3] & (1 << (pfn & 7)))
 
     def count(self):
         """Number of dirty frames (O(1) bookkeeping, not a scan)."""
         return self._dirty_count
 
     def clear(self):
-        self._words = [0] * self.word_count
+        self._bits = bytearray(self.word_count * 8)
         self._dirty_count = 0
 
     # -- scans ------------------------------------------------------------
 
+    def _word_values(self):
+        """The bitmap as a sequence of 64-bit word values (zero-copy on
+        little-endian hosts)."""
+        if _LITTLE_ENDIAN:
+            return memoryview(self._bits).cast("Q")
+        return [
+            int.from_bytes(self._bits[index * 8 : index * 8 + 8], "little")
+            for index in range(self.word_count)
+        ]
+
     def scan_bit_by_bit(self):
         """Remus-style scan: visit every bit. Returns (dirty_pfns, stats)."""
         dirty = []
-        for word_index, word in enumerate(self._words):
+        for word_index, word in enumerate(self._word_values()):
             base = word_index * WORD_BITS
             for bit in range(WORD_BITS):
                 pfn = base + bit
@@ -86,25 +191,47 @@ class DirtyBitmap:
         return dirty, stats
 
     def scan_by_words(self):
-        """CRIMES scan: skip zero words, expand only non-zero ones."""
+        """CRIMES scan: skip zero words, expand only non-zero ones.
+
+        Extracted in bulk (numpy when available); the final partial word
+        is masked once instead of tail-filtering the whole result list.
+        """
+        if _np is not None:
+            dirty, nonzero_words = self._scan_bulk()
+        else:
+            dirty, nonzero_words = self._scan_words_python()
+        stats = ScanStats(
+            words_visited=self.word_count,
+            bits_visited=nonzero_words * WORD_BITS,
+            dirty_found=len(dirty),
+        )
+        return dirty, stats
+
+    def _scan_bulk(self):
+        """Vectorized dirty-set extraction; same results as the fallback."""
+        raw = _np.frombuffer(self._bits, dtype=_np.uint8)
+        bits = _np.unpackbits(raw, bitorder="little")
+        # Slicing to frame_count masks the final partial word's tail.
+        dirty = _np.flatnonzero(bits[: self.frame_count]).tolist()
+        words = _np.frombuffer(self._bits, dtype=_np.uint64)
+        return dirty, int(_np.count_nonzero(words))
+
+    def _scan_words_python(self):
         dirty = []
-        bits_visited = 0
-        for word_index, word in enumerate(self._words):
+        nonzero_words = 0
+        last_index = self.word_count - 1
+        for word_index, word in enumerate(self._word_values()):
             if word == 0:
                 continue
+            nonzero_words += 1
+            if word_index == last_index:
+                word &= self._final_word_mask
             base = word_index * WORD_BITS
-            bits_visited += WORD_BITS
             while word:
                 low = word & -word
                 dirty.append(base + low.bit_length() - 1)
                 word ^= low
-        dirty = [pfn for pfn in dirty if pfn < self.frame_count]
-        stats = ScanStats(
-            words_visited=self.word_count,
-            bits_visited=bits_visited,
-            dirty_found=len(dirty),
-        )
-        return dirty, stats
+        return dirty, nonzero_words
 
     def harvest(self, optimized):
         """Scan with the selected strategy, then clear (read-and-reset).
@@ -128,8 +255,16 @@ class DirtyBitmap:
         the density through collisions, badly at Figure 6b's higher
         dirty fractions.
         """
+        valid = (
+            isinstance(dirty_fraction, (int, float))
+            and 0.0 <= dirty_fraction <= 1.0  # NaN compares false
+        )
+        if not valid:
+            raise HypervisorError(
+                "dirty_fraction must be a number in [0, 1], got %r"
+                % (dirty_fraction,)
+            )
         self.clear()
         expected = min(int(self.frame_count * dirty_fraction),
                        self.frame_count)
-        for pfn in rng.sample(range(self.frame_count), expected):
-            self.set(pfn)
+        self.set_many(rng.sample(range(self.frame_count), expected))

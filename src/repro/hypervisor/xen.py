@@ -39,13 +39,16 @@ class Domain:
     def enable_log_dirty(self):
         if self._log_dirty_enabled:
             return
-        self.vm.memory.add_dirty_observer(self.dirty_bitmap.set)
+        # Range observer: one callback per store, however many frames it
+        # spans, with whole-byte bitmap fills for large spans — the
+        # batched dispatch path of the write-notification fast path.
+        self.vm.memory.add_dirty_range_observer(self.dirty_bitmap.set_range)
         self._log_dirty_enabled = True
 
     def disable_log_dirty(self):
         if not self._log_dirty_enabled:
             return
-        self.vm.memory.remove_dirty_observer(self.dirty_bitmap.set)
+        self.vm.memory.remove_dirty_range_observer(self.dirty_bitmap.set_range)
         self._log_dirty_enabled = False
 
     @property

@@ -125,3 +125,18 @@ class TestAsyncScannerIntegration:
         kinds = {f.kind
                  for f in crimes.last_async_verdict.critical_findings()}
         assert "hidden-process" in kinds
+
+
+def test_offer_while_busy_routes_through_skip_snapshot(monkeypatch):
+    """offer_snapshot defers to skip_snapshot(); the counter has one home."""
+    from repro.core.async_scan import AsyncScanner
+    from repro.sim.clock import VirtualClock
+
+    scanner = AsyncScanner(VirtualClock())
+    scanner.modules.append(object())  # any module: gets past the empty check
+    scanner._active_job = object()  # simulate a busy scanning core
+    calls = []
+    monkeypatch.setattr(scanner, "skip_snapshot",
+                        lambda: calls.append("skipped"))
+    assert scanner.offer_snapshot(None, None, epoch=3) is None
+    assert calls == ["skipped"]

@@ -116,3 +116,54 @@ def test_view_is_read_only():
     view = memory.view()
     with pytest.raises((TypeError, ValueError)):
         view[0] = 1
+
+
+def test_range_observer_called_once_per_multiframe_store():
+    memory = PhysicalMemory(8 * PAGE_SIZE)
+    spans = []
+    memory.add_dirty_range_observer(lambda first, last: spans.append((first, last)))
+    memory.write(PAGE_SIZE - 4, b"\x01" * (2 * PAGE_SIZE))  # spans frames 0-2
+    assert spans == [(0, 2)]
+    memory.touch_frame(5)
+    assert spans == [(0, 2), (5, 5)]
+
+
+def test_range_and_per_pfn_observers_see_same_frames():
+    memory = PhysicalMemory(8 * PAGE_SIZE)
+    per_pfn = []
+    spans = []
+    memory.add_dirty_observer(per_pfn.append)
+    memory.add_dirty_range_observer(lambda first, last: spans.append((first, last)))
+    memory.write(3 * PAGE_SIZE, b"\x02" * PAGE_SIZE * 2)
+    expanded = [pfn for first, last in spans for pfn in range(first, last + 1)]
+    assert expanded == per_pfn == [3, 4]
+
+
+def test_removed_range_observer_stops_firing():
+    memory = PhysicalMemory(4 * PAGE_SIZE)
+    spans = []
+    callback = lambda first, last: spans.append((first, last))  # noqa: E731
+    memory.add_dirty_range_observer(callback)
+    memory.remove_dirty_range_observer(callback)
+    memory.write(0, b"data")
+    assert spans == []
+
+
+def test_untracked_loads_generation_counter():
+    memory = PhysicalMemory(4 * PAGE_SIZE)
+    assert memory.untracked_loads == 0
+    memory.write_frame(1, b"\x07" * PAGE_SIZE)  # notifying: not untracked
+    assert memory.untracked_loads == 0
+    memory.write_frame(1, b"\x08" * PAGE_SIZE, notify=False)
+    assert memory.untracked_loads == 1
+    memory.load_bytes(bytes(4 * PAGE_SIZE))
+    assert memory.untracked_loads == 2
+    memory.load_bytes(bytes(4 * PAGE_SIZE), notify=True)
+    assert memory.untracked_loads == 2
+
+
+def test_write_frame_accepts_memoryview():
+    memory = PhysicalMemory(4 * PAGE_SIZE)
+    source = memoryview(bytes([9]) * PAGE_SIZE)
+    memory.write_frame(2, source)
+    assert memory.read_frame(2) == bytes([9]) * PAGE_SIZE

@@ -143,3 +143,85 @@ def test_property_scan_equivalence(frame_count, data):
     word_dirty, _ = bitmap.scan_by_words()
     assert bit_dirty == word_dirty == sorted(set(pfns))
     assert bitmap.count() == len(set(pfns))
+
+
+def test_set_many_counts_and_sets():
+    bitmap = DirtyBitmap(500)
+    bitmap.set(7)
+    bitmap.set_many([7, 8, 64, 499])
+    assert bitmap.count() == 4
+    assert all(bitmap.test(pfn) for pfn in (7, 8, 64, 499))
+
+
+def test_set_many_validates_batch_atomically():
+    bitmap = DirtyBitmap(64)
+    with pytest.raises(HypervisorError):
+        bitmap.set_many([1, 2, 64])
+    with pytest.raises(HypervisorError):
+        bitmap.set_many([-1, 3])
+    # The failed batches left the bitmap untouched.
+    assert bitmap.count() == 0
+
+
+def test_set_range_spans_and_counts():
+    bitmap = DirtyBitmap(1000)
+    bitmap.set(100)  # already dirty inside the range: not double counted
+    bitmap.set_range(96, 400)
+    assert bitmap.count() == 400 - 96 + 1
+    dirty, _ = bitmap.scan_by_words()
+    assert dirty == list(range(96, 401))
+
+
+def test_set_range_single_frame_and_bounds():
+    bitmap = DirtyBitmap(128)
+    bitmap.set_range(5, 5)
+    assert bitmap.count() == 1 and bitmap.test(5)
+    bitmap.set_range(9, 3)  # empty range is a no-op
+    assert bitmap.count() == 1
+    with pytest.raises(HypervisorError):
+        bitmap.set_range(0, 128)
+    with pytest.raises(HypervisorError):
+        bitmap.set_range(-1, 5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(frame_count=st.integers(min_value=1, max_value=600), data=st.data())
+def test_property_set_range_equals_individual_sets(frame_count, data):
+    first = data.draw(st.integers(0, frame_count - 1))
+    last = data.draw(st.integers(first, frame_count - 1))
+    ranged = DirtyBitmap(frame_count)
+    ranged.set_range(first, last)
+    individual = DirtyBitmap(frame_count)
+    for pfn in range(first, last + 1):
+        individual.set(pfn)
+    assert ranged.count() == individual.count()
+    assert ranged.scan_by_words()[0] == individual.scan_by_words()[0]
+
+
+def test_load_random_rejects_out_of_range_fraction():
+    bitmap = DirtyBitmap(100)
+    for junk in (-0.1, 1.5, float("nan"), float("inf"), "0.5", None):
+        with pytest.raises(HypervisorError):
+            bitmap.load_random(SeededStream(1, "junk"), junk)
+
+
+def test_load_random_boundary_fractions_ok():
+    bitmap = DirtyBitmap(100)
+    bitmap.load_random(SeededStream(1, "edge"), 0.0)
+    assert bitmap.count() == 0
+    bitmap.load_random(SeededStream(1, "edge"), 1.0)
+    assert bitmap.count() == 100
+
+
+def test_scan_stats_identical_across_backends():
+    """words/bits visited are functions of bitmap content, not backend."""
+    from repro.hypervisor import dirty as dirty_module
+
+    bitmap = DirtyBitmap(64 * 10 + 5)
+    for pfn in (0, 1, 64, 300, 644):
+        bitmap.set(pfn)
+    fast, fast_stats = bitmap.scan_by_words()
+    slow, slow_count = bitmap._scan_words_python()
+    assert fast == slow
+    assert fast_stats.bits_visited == slow_count * dirty_module.WORD_BITS
+    assert fast_stats.words_visited == bitmap.word_count
