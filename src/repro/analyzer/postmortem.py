@@ -38,6 +38,17 @@ class SecurityReport:
             lines.append(body if body else "(none)")
         return "\n".join(lines)
 
+    def to_dict(self):
+        """JSON-ready form for incident bundles: sections verbatim, plus
+        the artifact names (artifact *values* can hold raw dumps and
+        live objects, so only their inventory travels in a bundle)."""
+        return {
+            "title": self.title,
+            "sections": [{"heading": heading, "body": body}
+                         for heading, body in self.sections],
+            "artifacts": sorted(self.artifacts),
+        }
+
 
 def _format_table(rows, columns):
     """Fixed-width text table from dict rows (report rendering helper)."""

@@ -70,8 +70,9 @@ class Checkpointer:
     def __init__(self, domain, level=OptimizationLevel.FULL, cost_model=None,
                  fidelity=CopyFidelity.FULL, remote=False,
                  nominal_frames=NOMINAL_FRAME_COUNT, history_capacity=0,
-                 registry=None):
+                 registry=None, flight=None):
         self.domain = domain
+        self._flight = flight
         self.level = level
         self.costs = cost_model if cost_model is not None else CheckpointCostModel()
         self.fidelity = fidelity
@@ -209,6 +210,11 @@ class Checkpointer:
             "dirty": total_dirty,
         }
         self.total_pages_copied += len(dirty_pfns)
+        if self._flight is not None:
+            self._flight.record(
+                "checkpoint.harvest", epoch=self.epoch,
+                real_dirty=len(dirty_pfns), synthetic_dirty=synthetic_dirty,
+            )
         if self._registry is not None:
             for phase, hist in self._phase_hists.items():
                 hist.observe(phase_ms[phase])
@@ -223,6 +229,9 @@ class Checkpointer:
         if self._pending is None:
             raise CheckpointError("no staged checkpoint to commit")
         pending, self._pending = self._pending, None
+        if self._flight is not None:
+            self._flight.record("epoch.commit", epoch=self.epoch,
+                                dirty_pages=pending["dirty"])
         if self._registry is not None:
             self._commits.inc()
         if self.fidelity is CopyFidelity.FULL:
@@ -253,6 +262,9 @@ class Checkpointer:
     def abort(self):
         """Drop the staged epoch (audit failed); backup stays clean."""
         if self._pending is not None:
+            if self._flight is not None:
+                self._flight.record("epoch.abort", epoch=self.epoch,
+                                    dirty_pages=self._pending["dirty"])
             if self._registry is not None:
                 self._aborts.inc()
             staged = self._pending["pages"]
@@ -332,8 +344,30 @@ class Checkpointer:
         self._pending = None
         self._dirty_since_backup = set()
         self._untracked_seen = memory.untracked_loads
+        if self._flight is not None:
+            self._flight.record("rollback", epoch=self.epoch,
+                                restored_pages=differing,
+                                backup_taken_at_ms=self._backup_taken_at)
         return self.costs.rollback_ms(differing)
 
     @property
     def backup_taken_at(self):
         return self._backup_taken_at
+
+    def history_stats(self):
+        """Plain-data checkpoint-history state (for incident bundles)."""
+        return {
+            "epoch": self.epoch,
+            "backup_taken_at_ms": self._backup_taken_at,
+            "total_pages_copied": self.total_pages_copied,
+            "fidelity": self.fidelity.value,
+            "history": {
+                "capacity": self.history.capacity,
+                "entries": len(self.history),
+                "total_recorded": self.history.total_recorded,
+                "delta_pages_retained":
+                    self.history.delta_pages_retained(),
+                "epochs": [checkpoint.epoch
+                           for checkpoint in self.history.all()],
+            },
+        }

@@ -8,7 +8,8 @@ Experiments: ``table1``, ``table3``, ``fig3``, ``fig4``, ``fig5``,
 ``fig6a``, ``fig6b``, ``fig7``, ``fig8``, ``case1``, ``case2``,
 ``claims``, ``list``; plus ``metrics`` (instrumented run exporting the
 ``repro.obs`` summary — JSON, Prometheus text, JSONL trace, or a
-``BENCH_*.json`` file).
+``BENCH_*.json`` file) and ``incident`` (canned canary-smash run that
+dumps and validates a ``crimes-obs/2`` incident bundle).
 """
 
 import argparse
@@ -262,6 +263,95 @@ def _cmd_metrics(args):
     return "\n".join(lines)
 
 
+def _cmd_incident(args):
+    """Dump (and validate) an incident bundle from a canned canary smash.
+
+    Drives a CRIMES-protected guest through a web workload plus a heap
+    overflow that clobbers a canary on the trigger epoch, with a tight
+    SLO policy so the watchdog journals alerts along the way. The failed
+    audit rolls the epoch back, the Analyzer runs, and the framework
+    snapshots the incident bundle this command prints (``--out`` writes
+    it to a file; ``--summary`` prints a human digest instead of JSON).
+    The bundle is validated against the ``crimes-obs/2`` schema — the
+    exit status is the validation result, which is what the CI smoke
+    job checks.
+    """
+    import json
+
+    from repro.core.adaptive import AdaptiveIntervalController
+    from repro.core.config import CrimesConfig
+    from repro.core.crimes import Crimes
+    from repro.detectors.canary import CanaryScanModule
+    from repro.guest.linux import LinuxGuest
+    from repro.obs.incident import validate_incident_bundle
+    from repro.obs.slo import SLOBudget, SLOPolicy, attach_slo_watchdog
+    from repro.workloads.attacks import OverflowAttackProgram
+    from repro.workloads.webserver import WebServerWorkload
+
+    seed = 7
+    vm = LinuxGuest(name="incident-demo", memory_bytes=8 * 1024 * 1024,
+                    seed=seed)
+    crimes = Crimes(
+        vm, CrimesConfig(epoch_interval_ms=args.interval_ms, seed=seed,
+                         history_capacity=4)
+    )
+    crimes.install_module(CanaryScanModule())
+    crimes.add_program(WebServerWorkload("light", seed=seed))
+    crimes.add_program(OverflowAttackProgram(trigger_epoch=4))
+    # Deliberately unmeetable budgets: the demo must show alert events.
+    attach_slo_watchdog(
+        crimes,
+        policy=SLOPolicy([
+            SLOBudget("pause_p99_ms", 0.05,
+                      description="demo budget, set to breach"),
+            SLOBudget("epoch_overhead_pct", 0.1, unit="%",
+                      description="demo budget, set to breach"),
+        ]),
+        controller=AdaptiveIntervalController(
+            min_interval_ms=10.0, max_interval_ms=args.interval_ms),
+    )
+    crimes.start()
+    crimes.run(max_epochs=10)
+
+    bundle = crimes.last_incident
+    if bundle is None:
+        raise SystemExit("incident demo did not produce a bundle")
+    validate_incident_bundle(bundle)
+
+    lines = []
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(bundle, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        lines.append("incident bundle written to %s" % args.out)
+    if args.summary or args.out:
+        flight = bundle["flight"]
+        lines.append("incident: %s on tenant %s at epoch %d (t=%.1f ms)"
+                     % (bundle["reason"], bundle["tenant"],
+                        bundle["incident_epoch"],
+                        bundle["virtual_time_ms"]))
+        detection = bundle["detection"]
+        for finding in detection["findings"]:
+            lines.append("  finding: [%s] %s" % (finding["severity"],
+                                                 finding["summary"]))
+        lines.append("  epoch chain: %s (clean checkpoint at %s)"
+                     % ([link["epoch"] for link in bundle["epoch_chain"]],
+                        next((link["epoch"] for link in
+                              bundle["epoch_chain"]
+                              if link["clean_checkpoint"]), "n/a")))
+        lines.append("  flight ring: %d events, chain %s, head %s..."
+                     % (len(flight["events"]),
+                        "intact" if flight["verify"]["ok"] else "BROKEN",
+                        flight["head_hash"][:16]))
+        lines.append("  slo: %d evaluations, %d alerts"
+                     % (len(bundle["slo"]["evaluations"]),
+                        bundle["slo"]["alerts"]))
+        lines.append("bundle valid (schema %s)" % bundle["schema"])
+    else:
+        lines.append(json.dumps(bundle, indent=2, sort_keys=True))
+    return "\n".join(lines)
+
+
 def _cmd_claims(args):
     from repro.experiments import fig4_swaptions_breakdown, remus_comparison
 
@@ -383,6 +473,7 @@ _COMMANDS = {
     "claims": _cmd_claims,
     "safety": _cmd_safety,
     "metrics": _cmd_metrics,
+    "incident": _cmd_incident,
 }
 
 
@@ -413,6 +504,14 @@ def build_parser():
                         help="metrics: write a BENCH_*.json summary here")
     parser.add_argument("--prometheus", action="store_true",
                         help="metrics: emit Prometheus text instead of JSON")
+    parser.add_argument("--demo", action="store_true",
+                        help="incident: run the canned canary-smash "
+                             "scenario (currently the only source)")
+    parser.add_argument("--out", metavar="PATH",
+                        help="incident: write the bundle JSON here")
+    parser.add_argument("--summary", action="store_true",
+                        help="incident: print a human digest instead of "
+                             "the full bundle JSON")
     return parser
 
 

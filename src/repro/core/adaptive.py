@@ -34,6 +34,7 @@ class AdaptiveIntervalController:
         self.gain = gain
         self.tolerance = tolerance
         self.adjustments = 0
+        self.nudges = 0
 
     def next_interval(self, current_interval_ms, pause_ms):
         """Interval for the next epoch given the one just measured."""
@@ -52,6 +53,26 @@ class AdaptiveIntervalController:
                       self.max_interval_ms)
         if clamped != current_interval_ms:
             self.adjustments += 1
+        return clamped
+
+    def nudge(self, current_interval_ms, direction):
+        """One SLO-driven multiplicative step, clamped to the range.
+
+        ``direction=+1`` lengthens the epoch (amortize pause overhead);
+        ``direction=-1`` shortens it (cut detection latency). The step is
+        half the controller's gain — the watchdog fires on *budget*
+        breaches, which are coarser signals than the per-epoch overhead
+        ratio, so nudges stay gentler than regular adjustments.
+        """
+        if direction not in (-1, 1):
+            raise ConfigError("nudge direction must be -1 or +1")
+        factor = 1.0 + self.gain * 0.5
+        stepped = (current_interval_ms * factor if direction > 0
+                   else current_interval_ms / factor)
+        clamped = min(max(stepped, self.min_interval_ms),
+                      self.max_interval_ms)
+        if clamped != current_interval_ms:
+            self.nudges += 1
         return clamped
 
 

@@ -72,8 +72,9 @@ class AsyncScanner:
     scanning the freshest committed state dominates scanning stale ones.
     """
 
-    def __init__(self, clock, registry=None):
+    def __init__(self, clock, registry=None, flight=None):
         self.clock = clock
+        self._flight = flight
         self.modules = []
         self._active_job = None
         self._pending_snapshot = None
@@ -129,6 +130,12 @@ class AsyncScanner:
         self.jobs_started += 1
         if self._registry is not None:
             self._jobs_counter.inc()
+        if self._flight is not None:
+            self._flight.record(
+                "async.dispatch", epoch=epoch,
+                completes_at_ms=job.completes_at,
+                modules=[module.name for module in job.modules],
+            )
         return job
 
     def poll(self):
@@ -145,6 +152,12 @@ class AsyncScanner:
         if self._registry is not None:
             self._lag_gauge.set(verdict.detection_lag_ms)
             self._duration_hist.observe(self.clock.now - job.started_at)
+        if self._flight is not None:
+            self._flight.record(
+                "scan.verdict", epoch=job.snapshot_epoch, async_scan=True,
+                findings=len(findings), attack=verdict.attack_detected,
+                lag_ms=verdict.detection_lag_ms,
+            )
         return verdict
 
     def as_detection_result(self, verdict):

@@ -12,6 +12,7 @@ memory cost of keeping every tenant's backup image).
 from repro.core.config import CrimesConfig
 from repro.core.crimes import Crimes
 from repro.errors import CrimesError
+from repro.obs.incident import INCIDENT_SCHEMA
 
 
 class TenantRecord:
@@ -113,6 +114,31 @@ class CloudHost:
             name: record.crimes.last_outcome
             for name, record in self.tenants.items()
             if record.crimes.last_outcome is not None
+        }
+
+    def incident_bundles(self):
+        """Tenant -> incident bundle, for every tenant that built one."""
+        return {
+            name: record.crimes.last_incident
+            for name, record in sorted(self.tenants.items())
+            if record.crimes.last_incident is not None
+        }
+
+    def host_incident_bundle(self):
+        """One aggregate artifact for a multi-tenant incident.
+
+        Each per-tenant bundle keeps its own hash chain (tenants run on
+        independent virtual timelines); the host wraps them with the
+        fleet rollup a provider's incident response starts from.
+        """
+        bundles = self.incident_bundles()
+        return {
+            "schema": INCIDENT_SCHEMA,
+            "host": self.name,
+            "rounds_run": self.rounds_run,
+            "incident_tenants": sorted(bundles),
+            "incidents": bundles,
+            "fleet": self.observability_rollup()["fleet"],
         }
 
     def memory_overhead_bytes(self):

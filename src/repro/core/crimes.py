@@ -28,8 +28,10 @@ from repro.errors import CrimesError
 from repro.hypervisor.xen import Hypervisor
 from repro.log import get_logger
 from repro.netbuf.buffer import OutputBuffer
+from repro.obs.incident import build_incident_bundle
 from repro.obs.observer import Observer
 from repro.obs.registry import DEFAULT_COUNT_BUCKETS
+from repro.obs.slo import SLOWatchdog
 from repro.vmi.libvmi import VMIInstance
 
 logger = get_logger("core")
@@ -107,6 +109,7 @@ class Crimes:
         self.buffer = OutputBuffer(
             self.external_sink, mode=self.config.safety.buffer_mode,
             clock=self.clock, registry=registry,
+            flight=self.observer.flight,
         )
         vm.set_output_sink(self.buffer)
 
@@ -119,6 +122,7 @@ class Crimes:
             nominal_frames=self.config.nominal_frames,
             history_capacity=self.config.history_capacity,
             registry=registry,
+            flight=self.observer.flight,
         )
         self.vmi = VMIInstance(self.domain, seed=self.config.seed)
         self.detector = Detector(self.vmi, registry=registry)
@@ -133,13 +137,22 @@ class Crimes:
         self.suspended = False
         self.epochs_run = 0
         self.last_outcome = None
-        self.async_scanner = AsyncScanner(self.clock, registry=registry)
+        self.async_scanner = AsyncScanner(self.clock, registry=registry,
+                                          flight=self.observer.flight)
         self.last_async_verdict = None
+        #: The most recent incident bundle (built on any failed audit or
+        #: failed async deep scan); None until something goes wrong.
+        self.last_incident = None
         #: When True (honeypot mode), critical findings are logged as
         #: observations instead of suspending the VM; outputs flow into
         #: the quarantine sink the HoneypotSession installed.
         self.honeypot_active = False
         self._hooks = {"epoch": [], "attack": [], "async-verdict": []}
+        # Always-on SLO watchdog: observation only by default. Pass a
+        # controller via repro.obs.slo.attach_slo_watchdog to let budget
+        # breaches steer the epoch interval.
+        self.slo_watchdog = SLOWatchdog(self.observer)
+        self.on("epoch", self.slo_watchdog.evaluate)
 
     # -- setup --------------------------------------------------------------
 
@@ -230,6 +243,10 @@ class Crimes:
         start_ms = self.clock.now
         tracer = self.observer.tracer
         self._interval_gauge.set(interval)
+        self.observer.journal(
+            "epoch.begin", epoch=self.checkpointer.epoch + 1,
+            interval_ms=interval,
+        )
 
         with tracer.span("epoch") as epoch_span:
             # 1. Speculative execution.
@@ -276,6 +293,20 @@ class Crimes:
                         findings=len(detection.findings),
                         attack=detection.attack_detected,
                     )
+                    self.observer.journal(
+                        "scan.verdict", epoch=checkpoint.epoch,
+                        modules=list(detection.modules_run),
+                        findings=len(detection.findings),
+                        attack=detection.attack_detected,
+                        cost_ms=detection.cost_ms,
+                    )
+                    for finding in detection.critical_findings():
+                        self.observer.journal(
+                            "scan.finding", epoch=checkpoint.epoch,
+                            module=finding.module,
+                            finding_kind=finding.kind,
+                            summary=finding.summary,
+                        )
                 else:
                     phase_ms["vmi"] = 0.0
                 audit_span.attribute_ms(phase_ms["vmi"])
@@ -327,6 +358,13 @@ class Crimes:
                 if self.config.auto_respond:
                     with tracer.span("epoch.respond"):
                         self.last_outcome = self.respond(detection, interval)
+                self.observer.journal(
+                    "incident", epoch=checkpoint.epoch,
+                    reason="audit-failed",
+                )
+                self.last_incident = build_incident_bundle(
+                    self, reason="audit-failed", detection=detection,
+                )
                 return record
 
             # 5. Commit, release, resume.
@@ -395,6 +433,15 @@ class Crimes:
                 verdict.detection_lag_ms,
                 "; ".join(f.summary for f in verdict.critical_findings()),
             )
+            self.observer.journal(
+                "incident", epoch=verdict.job.snapshot_epoch,
+                reason="async-scan-failed",
+            )
+            self.last_incident = build_incident_bundle(
+                self, reason="async-scan-failed",
+                detection=self.async_scanner.as_detection_result(verdict),
+                incident_epoch=verdict.job.snapshot_epoch,
+            )
             return verdict
         if self.async_scanner.busy:
             # Don't copy a snapshot the scanner cannot take anyway.
@@ -428,6 +475,16 @@ class Crimes:
             program_states=self._clean_program_states,
             interval_ms=interval_ms,
             timeline=timeline,
+        )
+        if outcome.replayed:
+            self.observer.journal(
+                "replay", epoch=self.checkpointer.epoch,
+                pinpointed=outcome.pinpoint is not None
+                and outcome.pinpoint.matched,
+            )
+        self.observer.journal(
+            "analyzer.report", epoch=self.checkpointer.epoch,
+            title=outcome.report.title, replayed=outcome.replayed,
         )
         return outcome
 

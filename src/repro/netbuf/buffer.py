@@ -44,10 +44,14 @@ class OutputBuffer:
     """Packet/disk-write buffer between a guest's devices and the world."""
 
     def __init__(self, downstream, mode=BufferMode.SYNCHRONOUS, clock=None,
-                 registry=None):
+                 registry=None, flight=None):
         self.downstream = downstream
         self.mode = mode
         self._clock = clock
+        self._flight = flight
+        # One "buffer.hold" journal event per speculation batch, not per
+        # output — the flight ring must not be flooded by a chatty guest.
+        self._hold_journaled = False
         self._pending = []
         self._next_seq = 0
         self.committed_packets = 0
@@ -79,6 +83,9 @@ class OutputBuffer:
         self._next_seq += 1
         if self._registry is not None:
             self._buffered_total.inc()
+        if self._flight is not None and not self._hold_journaled:
+            self._flight.record("buffer.hold", first_seq=self._pending[0].seq)
+            self._hold_journaled = True
 
     def emit_packet(self, packet):
         if self.mode is BufferMode.BEST_EFFORT:
@@ -118,6 +125,10 @@ class OutputBuffer:
         self.committed_disk_writes += disk_writes
         if self._registry is not None and pending:
             self._committed_total.inc(len(pending))
+        if self._flight is not None and pending:
+            self._flight.record("buffer.release", packets=packets,
+                                disk_writes=disk_writes)
+        self._hold_journaled = False
         return packets, disk_writes
 
     def discard(self):
@@ -129,6 +140,10 @@ class OutputBuffer:
         self.discarded_disk_writes += disk_writes
         if self._registry is not None and pending:
             self._discarded_total.inc(len(pending))
+        if self._flight is not None and pending:
+            self._flight.record("buffer.discard", packets=packets,
+                                disk_writes=disk_writes)
+        self._hold_journaled = False
         return packets, disk_writes
 
     def peek_packets(self):

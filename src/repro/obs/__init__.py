@@ -8,11 +8,24 @@ reproduction keeps about *itself*. See ``docs/architecture.md``
 from repro.obs.exporters import (
     BENCH_SCHEMA,
     bench_payload,
+    escape_label_value,
     export_jsonl,
     export_prometheus,
     write_bench_json,
 )
+from repro.obs.flight import FlightEvent, FlightRecorder, verify_event_chain
+from repro.obs.incident import (
+    INCIDENT_SCHEMA,
+    build_incident_bundle,
+    validate_incident_bundle,
+)
 from repro.obs.observer import Observer
+from repro.obs.slo import (
+    SLOBudget,
+    SLOPolicy,
+    SLOWatchdog,
+    attach_slo_watchdog,
+)
 from repro.obs.registry import (
     Counter,
     DEFAULT_COUNT_BUCKETS,
@@ -25,11 +38,22 @@ from repro.obs.tracer import SpanEvent, Tracer
 
 __all__ = [
     "BENCH_SCHEMA",
+    "INCIDENT_SCHEMA",
     "bench_payload",
+    "build_incident_bundle",
+    "escape_label_value",
     "export_jsonl",
     "export_prometheus",
+    "validate_incident_bundle",
+    "verify_event_chain",
     "write_bench_json",
+    "FlightEvent",
+    "FlightRecorder",
     "Observer",
+    "SLOBudget",
+    "SLOPolicy",
+    "SLOWatchdog",
+    "attach_slo_watchdog",
     "Counter",
     "Gauge",
     "Histogram",

@@ -23,11 +23,17 @@ _BENCH_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
 
 
 def export_jsonl(events, path):
-    """Write span events (or any ``to_dict()``-able items) as JSON lines."""
+    """Write span events (or any ``to_dict()``-able items) as JSON lines.
+
+    The handle is flushed before the context manager closes it, so a
+    consumer tailing the file (or a crash right after the call) sees
+    every line that was written.
+    """
     with open(path, "w") as handle:
         for event in events:
             payload = event.to_dict() if hasattr(event, "to_dict") else event
             handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        handle.flush()
     return path
 
 
@@ -39,22 +45,52 @@ def _prom_name(name):
     return cleaned
 
 
+def escape_label_value(value):
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote, and newline are the three characters the
+    format requires escaping inside ``label="..."``; anything else
+    passes through verbatim.
+    """
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(text):
+    """HELP lines escape backslash and newline (quotes are legal there)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def format_sample(name, labels, value):
+    """One exposition line with a properly escaped label set."""
+    rendered = ",".join(
+        '%s="%s"' % (key, escape_label_value(labels[key]))
+        for key in sorted(labels)
+    )
+    return "%s{%s} %s" % (name, rendered, value)
+
+
 def export_prometheus(registry):
     """Render a registry as Prometheus text exposition format."""
     lines = []
     for instrument in registry:
         name = _prom_name(instrument.name)
         if instrument.help:
-            lines.append("# HELP %s %s" % (name, instrument.help))
+            lines.append("# HELP %s %s" % (name, _escape_help(
+                instrument.help)))
         lines.append("# TYPE %s %s" % (name, instrument.kind))
         if instrument.kind == "histogram":
             cumulative = 0
             for bound, count in zip(instrument.buckets,
                                     instrument.bucket_counts):
                 cumulative += count
-                lines.append('%s_bucket{le="%g"} %d'
-                             % (name, bound, cumulative))
-            lines.append('%s_bucket{le="+Inf"} %d' % (name, instrument.count))
+                lines.append(format_sample(
+                    name + "_bucket", {"le": "%g" % bound},
+                    "%d" % cumulative))
+            lines.append(format_sample(
+                name + "_bucket", {"le": "+Inf"}, "%d" % instrument.count))
             lines.append("%s_sum %g" % (name, instrument.sum))
             lines.append("%s_count %d" % (name, instrument.count))
         else:

@@ -1,0 +1,180 @@
+"""Incident bundles: one JSON artifact telling the whole detection story.
+
+On a failed audit (or a failed async deep scan) the framework snapshots
+everything an operator or forensic analyst needs into a single
+plain-data bundle (schema ``crimes-obs/2``):
+
+* the flight-recorder ring (with its hash chain, verified),
+* the causally-linked **epoch chain** from the last clean checkpoint to
+  the incident epoch,
+* the serialized detection (module, findings, evidence details),
+* the observer's metrics summary, the active config, checkpoint-history
+  stats, the SLO evaluation trail, and — when the Analyzer ran — the
+  rendered forensic report, replay pinpoint, and attack timeline.
+
+``validate_incident_bundle`` re-derives the hash chain from the
+serialized events, so a consumer can check tamper evidence without any
+recorder state. ``crimes-repro incident`` dumps and validates a bundle
+from a canned canary-smash scenario; :class:`~repro.core.cloud.CloudHost`
+aggregates per-tenant bundles for multi-tenant incidents.
+"""
+
+from repro.obs.flight import verify_event_chain
+from repro.errors import ObservabilityError
+
+#: Schema tag for incident bundles (crimes-obs/1 is the BENCH schema).
+INCIDENT_SCHEMA = "crimes-obs/2"
+
+#: Keys every bundle must carry (the contract the CI smoke validates).
+REQUIRED_KEYS = (
+    "schema", "reason", "tenant", "virtual_time_ms", "detection",
+    "epoch_chain", "flight", "metrics", "config", "checkpoints", "slo",
+    "forensics",
+)
+
+
+def _finding_to_dict(finding):
+    return {
+        "module": finding.module,
+        "kind": finding.kind,
+        "severity": finding.severity.value,
+        "summary": finding.summary,
+        "details": {key: value for key, value in finding.details.items()
+                    if isinstance(value, (int, float, str, bool,
+                                          type(None)))},
+    }
+
+
+def _detection_to_dict(detection):
+    if detection is None:
+        return None
+    return {
+        "epoch": detection.epoch,
+        "cost_ms": detection.cost_ms,
+        "modules_run": list(detection.modules_run),
+        "attack_detected": detection.attack_detected,
+        "findings": [_finding_to_dict(f) for f in detection.findings],
+    }
+
+
+def _outcome_to_dict(outcome):
+    if outcome is None:
+        return None
+    pinpoint = outcome.pinpoint
+    return {
+        "replayed": outcome.replayed,
+        "pinpoint": (
+            {"matched": pinpoint.matched, "paddr": pinpoint.paddr,
+             "length": pinpoint.length, "rip": pinpoint.rip,
+             "time_ms": pinpoint.time_ms}
+            if pinpoint is not None and pinpoint.matched else None
+        ),
+        "timeline": [{"t_ms": when, "label": label}
+                     for when, label in outcome.timeline],
+        "report": outcome.report.to_dict(),
+    }
+
+
+def build_epoch_chain(flight, incident_epoch):
+    """Per-epoch event groups from the last clean commit to the incident.
+
+    Walks the retained ring backwards from ``incident_epoch`` to the
+    most recent ``epoch.commit`` of an *earlier* epoch — the last clean
+    checkpoint the backup still holds — then groups the events of every
+    epoch in between (evidence the rollback will erase from the live VM,
+    preserved here, in causal order).
+    """
+    clean_epoch = None
+    for event in reversed(flight.events()):
+        if (event.kind == "epoch.commit" and event.epoch is not None
+                and event.epoch < incident_epoch):
+            clean_epoch = event.epoch
+            break
+    first_epoch = clean_epoch if clean_epoch is not None else incident_epoch
+    chain = []
+    for epoch in range(first_epoch, incident_epoch + 1):
+        events = flight.events(epoch=epoch)
+        if not events and epoch != incident_epoch:
+            continue
+        chain.append({
+            "epoch": epoch,
+            "clean_checkpoint": epoch == clean_epoch,
+            "events": [{"seq": e.seq, "t_ms": e.t_ms, "kind": e.kind,
+                        "span_id": e.span_id, "hash": e.hash}
+                       for e in events],
+        })
+    return chain
+
+
+def build_incident_bundle(crimes, reason, detection=None,
+                          incident_epoch=None):
+    """Snapshot one framework's full incident evidence as plain data."""
+    flight = crimes.observer.flight
+    if incident_epoch is None:
+        if detection is not None:
+            incident_epoch = detection.epoch
+        else:
+            last = flight.last("epoch.abort") or flight.last()
+            incident_epoch = (last.epoch if last is not None
+                              and last.epoch is not None
+                              else crimes.checkpointer.epoch)
+    watchdog = getattr(crimes, "slo_watchdog", None)
+    return {
+        "schema": INCIDENT_SCHEMA,
+        "reason": reason,
+        "tenant": crimes.vm.name,
+        "virtual_time_ms": crimes.clock.now,
+        "incident_epoch": incident_epoch,
+        "detection": _detection_to_dict(detection),
+        "epoch_chain": build_epoch_chain(flight, incident_epoch),
+        "flight": flight.snapshot(),
+        "metrics": crimes.observer.summary(),
+        "config": crimes.config.to_dict(),
+        "checkpoints": crimes.checkpointer.history_stats(),
+        "slo": (watchdog.snapshot() if watchdog is not None
+                else {"policy": {}, "alerts": 0, "evaluations": []}),
+        "forensics": _outcome_to_dict(crimes.last_outcome),
+    }
+
+
+def validate_incident_bundle(bundle):
+    """Check a bundle's contract; raises ObservabilityError on violation.
+
+    Validates the schema tag, the required keys, the re-derived hash
+    chain over the serialized flight events, and the causal linkage of
+    the epoch chain. Returns the (trusted-after-this) bundle.
+    """
+    missing = [key for key in REQUIRED_KEYS if key not in bundle]
+    if missing:
+        raise ObservabilityError(
+            "incident bundle is missing keys: %s" % ", ".join(missing)
+        )
+    if bundle["schema"] != INCIDENT_SCHEMA:
+        raise ObservabilityError(
+            "incident bundle schema %r != %r"
+            % (bundle["schema"], INCIDENT_SCHEMA)
+        )
+    flight = bundle["flight"]
+    verdict = verify_event_chain(flight["events"],
+                                 head_hash=flight["head_hash"])
+    if not verdict["ok"]:
+        raise ObservabilityError(
+            "incident bundle hash chain broken: %s" % verdict["error"]
+        )
+    retained = {event["seq"] for event in flight["events"]}
+    chain = bundle["epoch_chain"]
+    if not chain:
+        raise ObservabilityError("incident bundle has an empty epoch chain")
+    epochs = [link["epoch"] for link in chain]
+    if epochs != sorted(epochs) or epochs[-1] != bundle["incident_epoch"]:
+        raise ObservabilityError(
+            "epoch chain is not causally ordered up to the incident epoch"
+        )
+    for link in chain:
+        for event in link["events"]:
+            if event["seq"] not in retained:
+                raise ObservabilityError(
+                    "epoch chain references seq=%d outside the flight ring"
+                    % event["seq"]
+                )
+    return bundle

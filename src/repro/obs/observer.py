@@ -12,20 +12,23 @@ from repro.obs.exporters import (
     export_prometheus,
     write_bench_json,
 )
+from repro.obs.flight import FlightRecorder
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Tracer
 
 
 class Observer:
-    """Metrics + tracing for one protected VM (or one standalone run)."""
+    """Metrics + tracing + flight journal for one protected VM."""
 
     def __init__(self, clock, name="vm", capture_wall=False,
-                 max_trace_events=100000):
+                 max_trace_events=100000, flight_capacity=4096):
         self.name = name
         self.clock = clock
         self.registry = MetricsRegistry(clock)
         self.tracer = Tracer(clock, capture_wall=capture_wall,
                              max_events=max_trace_events)
+        self.flight = FlightRecorder(clock, tenant=name,
+                                     capacity=flight_capacity)
 
     # -- instrument shortcuts ---------------------------------------------
 
@@ -44,6 +47,12 @@ class Observer:
     def event(self, name, **attrs):
         return self.tracer.event(name, **attrs)
 
+    def journal(self, kind, epoch=None, **attrs):
+        """Record a flight event, causally tied to the current span."""
+        return self.flight.record(
+            kind, epoch=epoch, span_id=self.tracer.current_span_id, **attrs
+        )
+
     # -- exports -----------------------------------------------------------
 
     def summary(self):
@@ -53,13 +62,21 @@ class Observer:
             "virtual_time_ms": self.clock.now,
             "metrics": self.registry.snapshot(),
             "trace": self.tracer.summary(),
+            "flight": self.flight.summary(),
         }
 
     def prometheus_text(self):
         return export_prometheus(self.registry)
 
     def write_trace_jsonl(self, path):
-        return export_jsonl(self.tracer.events, path)
+        """Write the span stream as JSONL, including still-open spans.
+
+        Open spans (an export can happen mid-epoch, or after a crash cut
+        the loop short) are emitted last with ``"unfinished": true``
+        instead of being silently dropped.
+        """
+        events = list(self.tracer.events) + self.tracer.open_spans()
+        return export_jsonl(events, path)
 
     def write_bench(self, directory, name, extra=None):
         payload = bench_payload(name, registry=self.registry, extra=extra)

@@ -127,16 +127,23 @@ class Histogram(_Instrument):
         return self.sum / self.count if self.count else 0.0
 
     def percentile(self, p):
-        """Estimate the p-th percentile (0 < p <= 100) from the buckets.
+        """Estimate the p-th percentile (0 <= p <= 100) from the buckets.
 
         Linear interpolation inside the winning bucket; observations in
         the overflow bucket report the observed maximum (the best bound
-        we have).
+        we have). Degenerate cases are exact: an empty histogram returns
+        None, a single-observation histogram returns that observation,
+        p=0 returns the observed minimum. Out-of-range quantiles raise
+        ValueError — a clamped estimate would silently misreport tails.
         """
-        if not 0.0 < p <= 100.0:
-            raise ObservabilityError("percentile %r outside (0, 100]" % p)
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile %r outside [0, 100]" % p)
         if self.count == 0:
             return None
+        if self.count == 1:
+            return self.min
+        if p == 0.0:
+            return self.min
         rank = math.ceil(self.count * p / 100.0)
         seen = 0
         for index, bucket_count in enumerate(self.bucket_counts):

@@ -150,6 +150,36 @@ class Tracer:
             wall_start_s=wall, wall_end_s=wall,
         ))
 
+    @property
+    def current_span_id(self):
+        """ID of the innermost open span, or None outside any span."""
+        return self._stack[-1].span_id if self._stack else None
+
+    def open_spans(self):
+        """Still-open spans as JSON-ready dicts, outermost first.
+
+        Exporters call this so an export taken mid-span (or after a
+        crash) shows the in-flight work with ``"unfinished": true``
+        instead of dropping it; the open span keeps accumulating and is
+        recorded normally when it eventually closes.
+        """
+        now = self.clock.now
+        out = []
+        for open_span in self._stack:
+            entry = {
+                "span_id": open_span.span_id,
+                "parent_id": open_span.parent_id,
+                "name": open_span.name,
+                "start_ms": open_span.start_ms,
+                "end_ms": now + open_span.extra_ms,
+                "duration_ms": now + open_span.extra_ms - open_span.start_ms,
+                "unfinished": True,
+            }
+            if open_span.attrs:
+                entry["attrs"] = dict(open_span.attrs)
+            out.append(entry)
+        return out
+
     def spans_named(self, name):
         return [event for event in self.events if event.name == name]
 

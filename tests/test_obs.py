@@ -330,3 +330,133 @@ class TestMetricsCli:
         assert main(["metrics", "--epochs", "2", "--prometheus"]) == 0
         out = capsys.readouterr().out
         assert "# TYPE epoch_committed counter" in out
+
+
+class TestTraceExportOpenSpans:
+    def test_open_spans_exported_with_unfinished_marker(self, tmp_path):
+        clock = VirtualClock()
+        observer = Observer(clock, name="export")
+        with observer.tracer.span("closed"):
+            clock.advance(5.0)
+        span = observer.tracer.span("in-flight", epoch=9)
+        span.__enter__()
+        clock.advance(7.0)
+        path = observer.write_trace_jsonl(str(tmp_path / "trace.jsonl"))
+        lines = [json.loads(line) for line in open(path)]
+        assert [line["name"] for line in lines] == ["closed", "in-flight"]
+        assert "unfinished" not in lines[0]
+        assert lines[1]["unfinished"] is True
+        assert lines[1]["duration_ms"] == 7.0
+        assert lines[1]["attrs"] == {"epoch": 9}
+        # The span keeps running and is recorded normally on close.
+        clock.advance(3.0)
+        span.__exit__(None, None, None)
+        assert observer.tracer.events[-1].name == "in-flight"
+        assert observer.tracer.events[-1].duration_ms == 10.0
+
+    def test_nested_open_spans_export_outermost_first(self, tmp_path):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        outer = tracer.span("outer")
+        outer.__enter__()
+        inner = tracer.span("inner")
+        inner.__enter__()
+        dumped = tracer.open_spans()
+        assert [entry["name"] for entry in dumped] == ["outer", "inner"]
+        assert dumped[1]["parent_id"] == dumped[0]["span_id"]
+        inner.__exit__(None, None, None)
+        outer.__exit__(None, None, None)
+
+
+class TestPrometheusEscaping:
+    def test_escape_label_value(self):
+        from repro.obs import escape_label_value
+
+        assert escape_label_value('pa\\th "x"\nend') == \
+            'pa\\\\th \\"x\\"\\nend'
+        assert escape_label_value(12.5) == "12.5"
+
+    def test_format_sample_sorts_and_escapes(self):
+        from repro.obs.exporters import format_sample
+
+        line = format_sample("m", {"b": 'say "hi"', "a": "x\\y"}, 3)
+        assert line == 'm{a="x\\\\y",b="say \\"hi\\""} 3'
+
+    def test_help_text_escaped_in_exposition(self):
+        registry = MetricsRegistry(VirtualClock())
+        registry.counter("c", help="line one\nline two \\ done").inc()
+        text = export_prometheus(registry)
+        assert "# HELP c line one\\nline two \\\\ done" in text
+        assert "\nline two" not in text  # no raw newline inside HELP
+
+
+class TestPercentileRegressions:
+    def test_single_observation_is_exact(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 10.0))
+        hist.observe(3.7)
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert hist.percentile(q) == 3.7
+
+    def test_p0_returns_observed_min(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 10.0))
+        for value in (2.0, 5.0, 8.0):
+            hist.observe(value)
+        assert hist.percentile(0.0) == 2.0
+
+    def test_quantile_outside_range_rejected(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(1.0)
+        for bad in (-0.1, 100.1, 1000.0):
+            with pytest.raises(ValueError):
+                hist.percentile(bad)
+
+
+class TestRollbackSpanHygiene:
+    """Spans opened inside an aborted epoch must not leak attribution
+    into the epochs that follow the rollback."""
+
+    def _attacked(self, seed, **config):
+        crimes = make_crimes(seed=seed, **config)
+        crimes.install_module(CanaryScanModule())
+        crimes.add_program(OverflowAttackProgram(trigger_epoch=2))
+        crimes.start()
+        crimes.run(max_epochs=5)
+        return crimes
+
+    def test_no_open_spans_survive_a_responded_attack(self):
+        crimes = self._attacked(seed=97)  # auto_respond: rollback + replay
+        tracer = crimes.observer.tracer
+        assert tracer.open_spans() == []
+        assert tracer.current_span_id is None
+
+    def test_no_open_spans_survive_suspension(self):
+        crimes = self._attacked(seed=98, auto_respond=False)
+        assert crimes.suspended
+        assert crimes.observer.tracer.open_spans() == []
+
+    def test_epochs_after_detection_not_parented_to_attacked_epoch(self):
+        # Honeypot mode is the one path where the loop continues past a
+        # detection; the resumed epochs must carry fresh span trees.
+        from repro.analyzer.honeypot import HoneypotSession
+
+        crimes = self._attacked(seed=99, auto_respond=False)
+        events_before = len(crimes.observer.tracer.events)
+        attacked_ids = {e.span_id for e in crimes.observer.tracer.events}
+        HoneypotSession(crimes).engage().observe(epochs=2)
+        events = crimes.observer.tracer.events
+        late = events[events_before:]
+        assert late, "honeypot observation must record new spans"
+        for event in late:
+            assert event.parent_id not in attacked_ids
+        assert crimes.observer.tracer.open_spans() == []
+
+    def test_replay_spans_attributed_to_attacked_epoch_only(self):
+        crimes = self._attacked(seed=100)
+        events = crimes.observer.tracer.events
+        # The committed epochs after the rollback carry fresh span IDs
+        # and keep their phase children under their own epoch span.
+        for child in (e for e in events if e.name == "epoch.audit"):
+            parent = next(e for e in events
+                          if e.span_id == child.parent_id)
+            assert parent.name == "epoch"
+            assert parent.start_ms <= child.start_ms <= parent.end_ms

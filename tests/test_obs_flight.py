@@ -1,0 +1,261 @@
+"""Flight recorder + SLO watchdog unit tests (repro.obs.flight / .slo)."""
+
+import json
+
+import pytest
+
+from repro.core.adaptive import AdaptiveIntervalController
+from repro.core.config import CrimesConfig
+from repro.core.crimes import Crimes
+from repro.errors import ConfigError
+from repro.guest.linux import LinuxGuest
+from repro.obs import Observer
+from repro.obs.flight import (
+    GENESIS_HASH,
+    FlightRecorder,
+    verify_event_chain,
+)
+from repro.obs.slo import (
+    SLOBudget,
+    SLOPolicy,
+    SLOWatchdog,
+    attach_slo_watchdog,
+)
+from repro.sim.clock import VirtualClock
+
+
+class TestFlightRecorder:
+    def test_events_stamp_virtual_time_and_causal_ids(self):
+        clock = VirtualClock()
+        recorder = FlightRecorder(clock, tenant="t0")
+        clock.advance(12.5)
+        event = recorder.record("epoch.begin", epoch=3, span_id=7, note="x")
+        assert event.t_ms == 12.5
+        assert event.tenant == "t0"
+        assert event.epoch == 3
+        assert event.span_id == 7
+        assert event.attrs == {"note": "x"}
+        json.dumps(event.to_dict())  # plain data
+
+    def test_chain_links_and_verifies(self):
+        recorder = FlightRecorder(VirtualClock())
+        first = recorder.record("a")
+        second = recorder.record("b")
+        assert first.prev_hash == GENESIS_HASH
+        assert second.prev_hash == first.hash
+        assert recorder.head_hash == second.hash
+        verdict = recorder.verify_chain()
+        assert verdict["ok"] and verdict["checked"] == 2
+
+    def test_tampering_breaks_verification(self):
+        recorder = FlightRecorder(VirtualClock())
+        recorder.record("a", detail="original")
+        recorder.record("b")
+        dumped = [event.to_dict() for event in recorder.events()]
+        dumped[0]["attrs"]["detail"] = "doctored"
+        verdict = verify_event_chain(dumped, head_hash=recorder.head_hash)
+        assert not verdict["ok"]
+        assert "hash mismatch" in verdict["error"]
+
+    def test_dropping_a_middle_event_breaks_linkage(self):
+        recorder = FlightRecorder(VirtualClock())
+        for kind in ("a", "b", "c"):
+            recorder.record(kind)
+        dumped = [event.to_dict() for event in recorder.events()]
+        del dumped[1]
+        verdict = verify_event_chain(dumped)
+        assert not verdict["ok"]
+        assert "chain broken" in verdict["error"]
+
+    def test_ring_is_bounded_and_still_verifies(self):
+        recorder = FlightRecorder(VirtualClock(), capacity=4)
+        for index in range(10):
+            recorder.record("tick", index=index)
+        assert len(recorder) == 4
+        assert recorder.evicted == 6
+        assert recorder.events_recorded == 10
+        # The retained suffix anchors on the oldest survivor's prev_hash.
+        assert recorder.verify_chain()["ok"]
+        assert [event.attrs["index"] for event in recorder.events()] == \
+            [6, 7, 8, 9]
+
+    def test_identical_runs_produce_identical_chains(self):
+        def run():
+            clock = VirtualClock()
+            recorder = FlightRecorder(clock, tenant="twin")
+            for epoch in range(5):
+                recorder.record("epoch.begin", epoch=epoch)
+                clock.advance(50.0)
+                recorder.record("epoch.commit", epoch=epoch, dirty=epoch * 3)
+            return recorder.head_hash
+
+        assert run() == run()
+
+    def test_filters_and_last(self):
+        recorder = FlightRecorder(VirtualClock())
+        recorder.record("a", epoch=1)
+        recorder.record("b", epoch=1)
+        recorder.record("a", epoch=2)
+        assert [e.epoch for e in recorder.events(kind="a")] == [1, 2]
+        assert len(recorder.events(epoch=1)) == 2
+        assert recorder.last("b").epoch == 1
+        assert recorder.last().kind == "a"
+
+    def test_overhead_accounting_reported(self):
+        recorder = FlightRecorder(VirtualClock())
+        for _ in range(50):
+            recorder.record("tick")
+        overhead = recorder.overhead()
+        assert overhead["events_recorded"] == 50
+        assert overhead["wall_s"] > 0.0
+        # Wall time is accounting only: never part of the hashed payload.
+        assert "wall" not in json.dumps(
+            [event.to_dict() for event in recorder.events()]
+        )
+
+    def test_snapshot_is_plain_data(self):
+        recorder = FlightRecorder(VirtualClock())
+        recorder.record("a")
+        snap = recorder.snapshot()
+        json.dumps(snap)
+        assert snap["verify"]["ok"]
+        assert snap["events"][0]["kind"] == "a"
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(VirtualClock(), capacity=0)
+
+
+class TestSLOPolicy:
+    def test_budget_rejects_nonpositive_limit(self):
+        with pytest.raises(ConfigError):
+            SLOBudget("pause_p99_ms", 0.0)
+
+    def test_policy_rejects_unknown_budget(self):
+        with pytest.raises(ConfigError):
+            SLOPolicy([SLOBudget("made_up_metric", 1.0)])
+
+    def test_from_dict_shorthand_and_verbose(self):
+        policy = SLOPolicy.from_dict({
+            "pause_p99_ms": 20.0,
+            "epoch_overhead_pct": {"limit": 15.0, "unit": "%"},
+        })
+        assert policy.budgets["pause_p99_ms"].limit == 20.0
+        assert policy.budgets["epoch_overhead_pct"].unit == "%"
+
+    def test_default_policy_covers_known_budgets(self):
+        assert set(SLOPolicy.default().budgets) == set(SLOPolicy.KNOWN)
+
+    def test_budget_evaluate_handles_missing_data(self):
+        result = SLOBudget("pause_p99_ms", 10.0).evaluate(None)
+        assert result["value"] is None and not result["breached"]
+
+
+def make_crimes(seed=71, **config):
+    vm = LinuxGuest(name="slo-%d" % seed, memory_bytes=8 * 1024 * 1024,
+                    seed=seed)
+    return Crimes(vm, CrimesConfig(epoch_interval_ms=50.0, seed=seed,
+                                   **config))
+
+
+class TestSLOWatchdog:
+    def test_default_watchdog_is_always_on(self):
+        crimes = make_crimes()
+        crimes.start()
+        crimes.run(max_epochs=3)
+        watchdog = crimes.slo_watchdog
+        assert len(watchdog.evaluations) == 3
+        counters = crimes.observer.summary()["metrics"]["counters"]
+        assert counters["slo.evaluations"]["value"] == 3
+
+    def test_breach_journals_alert_events(self):
+        crimes = make_crimes(seed=72)
+        attach_slo_watchdog(crimes, policy=SLOPolicy([
+            SLOBudget("epoch_overhead_pct", 0.0001, unit="%"),
+        ]))
+        crimes.start()
+        crimes.run(max_epochs=2)
+        alerts = crimes.observer.flight.events(kind="slo.alert")
+        assert len(alerts) == 2
+        assert alerts[0].attrs["budget"] == "epoch_overhead_pct"
+        assert crimes.slo_watchdog.alerts == 2
+        counters = crimes.observer.summary()["metrics"]["counters"]
+        assert counters["slo.alerts"]["value"] == 2
+
+    def test_attach_reconfigures_in_place_no_double_evaluation(self):
+        crimes = make_crimes(seed=73)
+        before = crimes.slo_watchdog
+        after = attach_slo_watchdog(crimes, policy=SLOPolicy.default())
+        assert after is before
+        crimes.start()
+        crimes.run(max_epochs=2)
+        assert len(after.evaluations) == 2
+
+    def test_overhead_breach_nudges_interval_up(self):
+        crimes = make_crimes(seed=74)
+        controller = AdaptiveIntervalController(
+            min_interval_ms=10.0, max_interval_ms=400.0)
+        attach_slo_watchdog(
+            crimes,
+            policy=SLOPolicy([SLOBudget("epoch_overhead_pct", 0.0001,
+                                        unit="%")]),
+            controller=controller,
+        )
+        crimes.start()
+        crimes.run(max_epochs=3)
+        assert crimes.config.epoch_interval_ms > 50.0
+        assert controller.nudges >= 1
+        nudges = crimes.observer.flight.events(kind="slo.nudge")
+        assert nudges and nudges[0].attrs["direction"] == 1
+
+    def test_detection_latency_breach_nudges_interval_down(self):
+        crimes = make_crimes(seed=75)
+        controller = AdaptiveIntervalController(
+            min_interval_ms=10.0, max_interval_ms=400.0)
+        attach_slo_watchdog(
+            crimes,
+            policy=SLOPolicy([SLOBudget("detection_latency_ms", 1.0)]),
+            controller=controller,
+        )
+        crimes.start()
+        crimes.run(max_epochs=3)
+        assert crimes.config.epoch_interval_ms < 50.0
+
+    def test_observation_only_without_controller(self):
+        crimes = make_crimes(seed=76)
+        attach_slo_watchdog(crimes, policy=SLOPolicy([
+            SLOBudget("epoch_overhead_pct", 0.0001, unit="%"),
+        ]))
+        crimes.start()
+        crimes.run(max_epochs=2)
+        assert crimes.config.epoch_interval_ms == 50.0
+
+    def test_evaluation_trail_is_bounded(self):
+        observer = Observer(VirtualClock(), name="bounded")
+        watchdog = SLOWatchdog(observer, max_evaluations=3)
+        for _ in range(5):
+            watchdog.evaluate()
+        assert len(watchdog.evaluations) == 3
+
+    def test_snapshot_and_summary_are_plain_data(self):
+        crimes = make_crimes(seed=77)
+        crimes.start()
+        crimes.run(max_epochs=2)
+        json.dumps(crimes.slo_watchdog.snapshot())
+        json.dumps(crimes.slo_watchdog.summary())
+
+
+class TestAdaptiveNudge:
+    def test_nudge_directions_and_clamping(self):
+        controller = AdaptiveIntervalController(
+            gain=0.5, min_interval_ms=10.0, max_interval_ms=100.0)
+        up = controller.nudge(80.0, +1)
+        assert up == pytest.approx(100.0)  # clamped to max
+        down = controller.nudge(80.0, -1)
+        assert down == pytest.approx(80.0 / 1.25)
+        assert controller.nudges == 2
+
+    def test_nudge_rejects_bad_direction(self):
+        controller = AdaptiveIntervalController()
+        with pytest.raises(ConfigError):
+            controller.nudge(50.0, 0)
