@@ -1,0 +1,83 @@
+"""Fault-plane hook overhead: disarmed probes must be (almost) free.
+
+The injector's probes are compiled into the epoch loop's hot path
+unconditionally — ``OutputBuffer._release_gate``, the checkpointer's
+harvest/copy/sync seams, every VMI read charge. This benchmark drives
+the identical seeded workload twice, once with no injector at all
+(``fault_plan=None``) and once with a disarmed injector
+(``FaultPlan.none()``: hooks installed, every probe a guaranteed-miss
+dict lookup), and holds the wall-time delta **under 2%**.
+
+Both configurations take the min of N repetitions so scheduler noise
+does not masquerade as hook cost. Results go to
+``BENCH_faults_overhead.json``; the epoch count scales with
+``CRIMES_PERF_FRAMES`` like the other perf benchmarks.
+"""
+
+import os
+import time
+
+from repro.core.config import CrimesConfig
+from repro.core.crimes import Crimes
+from repro.detectors import SyscallTableModule
+from repro.faults import FaultPlan
+from repro.guest.linux import LinuxGuest
+from repro.workloads.webserver import WebServerWorkload
+
+DEFAULT_FRAMES = 16384
+FRAMES = int(os.environ.get("CRIMES_PERF_FRAMES", DEFAULT_FRAMES))
+EPOCHS = max(32, min(512, FRAMES // 8))
+REPETITIONS = 5
+OVERHEAD_CEILING_PCT = 2.0
+
+
+def _drive(fault_plan, epochs=EPOCHS, seed=47):
+    vm = LinuxGuest(name="faults-perf", memory_bytes=8 * 1024 * 1024,
+                    seed=seed)
+    crimes = Crimes(
+        vm, CrimesConfig(epoch_interval_ms=25.0, seed=seed,
+                         history_capacity=4),
+        fault_plan=fault_plan,
+    )
+    crimes.install_module(SyscallTableModule())
+    crimes.add_program(WebServerWorkload("light", seed=seed))
+    crimes.start()
+    start = time.perf_counter()
+    crimes.run(max_epochs=epochs)
+    wall_s = time.perf_counter() - start
+    return crimes, wall_s
+
+
+def test_disarmed_fault_hooks_are_cheap(record_bench):
+    _drive(None, epochs=32)  # warm caches/allocator before timing
+    # Interleave the two configurations so load drift hits both alike;
+    # min-of-N strips the remaining scheduler noise.
+    bare_s = disarmed_s = None
+    for _ in range(REPETITIONS):
+        crimes, wall_s = _drive(None)
+        assert crimes.epochs_run == EPOCHS
+        bare_s = wall_s if bare_s is None else min(bare_s, wall_s)
+        crimes, wall_s = _drive(FaultPlan.none())
+        assert crimes.epochs_run == EPOCHS
+        disarmed_s = wall_s if disarmed_s is None else min(disarmed_s,
+                                                           wall_s)
+    overhead_pct = 100.0 * (disarmed_s - bare_s) / bare_s
+
+    path = record_bench("faults_overhead", extra={
+        "description": "disarmed fault-injector hooks vs no injector",
+        "epochs": EPOCHS,
+        "repetitions": REPETITIONS,
+        "bare_wall_s": bare_s,
+        "disarmed_wall_s": disarmed_s,
+        "overhead_pct": overhead_pct,
+        "ceiling_pct": OVERHEAD_CEILING_PCT,
+    })
+    assert os.path.exists(path)
+
+    print("fault hooks: bare %.4fs, disarmed %.4fs -> %+.3f%% "
+          "(ceiling %.1f%%)"
+          % (bare_s, disarmed_s, overhead_pct, OVERHEAD_CEILING_PCT))
+    assert overhead_pct < OVERHEAD_CEILING_PCT, (
+        "disarmed fault hooks cost %.3f%% of epoch wall time "
+        "(ceiling %.1f%%)" % (overhead_pct, OVERHEAD_CEILING_PCT)
+    )

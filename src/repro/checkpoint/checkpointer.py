@@ -20,6 +20,7 @@ import copy
 import enum
 
 from repro.errors import CheckpointError
+from repro.faults.planes import FaultPlane
 from repro.checkpoint.costmodel import (
     CheckpointCostModel,
     NOMINAL_FRAME_COUNT,
@@ -70,9 +71,10 @@ class Checkpointer:
     def __init__(self, domain, level=OptimizationLevel.FULL, cost_model=None,
                  fidelity=CopyFidelity.FULL, remote=False,
                  nominal_frames=NOMINAL_FRAME_COUNT, history_capacity=0,
-                 registry=None, flight=None):
+                 registry=None, flight=None, injector=None):
         self.domain = domain
         self._flight = flight
+        self._injector = injector
         self.level = level
         self.costs = cost_model if cost_model is not None else CheckpointCostModel()
         self.fidelity = fidelity
@@ -99,16 +101,30 @@ class Checkpointer:
                 "checkpoint.aborts", help="staged epochs dropped on attack")
             self._pages_copied = registry.counter(
                 "checkpoint.pages_copied", help="real dirty pages staged")
+            self._copy_retries = registry.counter(
+                "checkpoint.copy_retries",
+                help="staging memcpy attempts redone after a copy fault")
+            self._sync_retries = registry.counter(
+                "checkpoint.sync_retries",
+                help="backup synchronizations retried after a sync fault")
 
         self.epoch = 0
         self.started = False
         self.init_cost_ms = 0.0
         self.total_pages_copied = 0
+        #: Backoff charged by the most recent commit()'s sync retries —
+        #: readable even when commit() raised (the caller still owes the
+        #: virtual time the failed retries consumed).
+        self.last_sync_backoff_ms = 0.0
 
         self._backup_image = None
         self._backup_state = None
         self._backup_taken_at = None
         self._pending = None  # staged epoch awaiting commit/abort
+        # True when a staged epoch survived a failed backup sync: the
+        # next run_checkpoint() merges into it instead of raising, and
+        # commit() retries the whole accumulated delta.
+        self._pending_held = False
         # Frames whose RAM content may differ from the backup: harvested
         # dirty sets that were aborted instead of committed. Together
         # with the live bitmap (and any staged pages) this bounds what a
@@ -164,25 +180,61 @@ class Checkpointer:
         """
         if not self.started:
             raise CheckpointError("checkpointer not started")
+        held = None
         if self._pending is not None:
-            raise CheckpointError(
-                "epoch %d is still staged; commit() or abort() it first"
-                % self.epoch
-            )
+            if not self._pending_held:
+                raise CheckpointError(
+                    "epoch %d is still staged; commit() or abort() it first"
+                    % self.epoch
+                )
+            # Degraded mode: a staged epoch survived a failed backup
+            # sync. Merge it into this epoch's delta — the VM is paused
+            # and both stage sets view the same live RAM, so the union
+            # of pfns at current contents is exactly the state the
+            # (eventually successful) sync must propagate.
+            held, self._pending = self._pending, None
+            self._pending_held = False
         self.epoch += 1
 
-        dirty_pfns, stats = self.domain.dirty_bitmap.harvest(
-            self.level.use_wordscan
+        injector = self._injector
+        fault = (injector.check(FaultPlane.BITMAP_HARVEST)
+                 if injector is not None else None)
+        dirty_pfns, stats, harvest_backoff_ms = self.domain.harvest_dirty(
+            self.level.use_wordscan, fault=fault, injector=injector
         )
         total_dirty = len(dirty_pfns) + synthetic_dirty
 
         phase_ms = {
-            "bitscan": self.costs.bitscan_ms(
+            "bitscan": harvest_backoff_ms + self.costs.bitscan_ms(
                 total_dirty, self.level, self.nominal_frames
             ),
             "map": self.costs.map_ms(total_dirty, self.level),
             "copy": self.costs.copy_ms(total_dirty, self.level, remote=self.remote),
         }
+        if injector is not None:
+            fault = injector.check(FaultPlane.CHECKPOINT_COPY)
+            if fault is not None:
+                outcome = injector.retry(fault, site="checkpoint-copy")
+                if not outcome.success:
+                    # The harvested frames never reached a staged copy;
+                    # remember them so rollback still knows what to diff.
+                    self._dirty_since_backup.update(dirty_pfns)
+                    if held is not None and held["pages"] is not None:
+                        self._dirty_since_backup.update(
+                            pfn for pfn, _data in held["pages"]
+                        )
+                    if self._registry is not None:
+                        self._copy_retries.inc(outcome.failed_attempts)
+                    raise CheckpointError(
+                        "checkpoint copy failed after %d attempt(s)"
+                        % outcome.attempts
+                    )
+                # Each failed attempt redid the memcpy after a backoff.
+                phase_ms["copy"] += outcome.backoff_ms + (
+                    outcome.failed_attempts * phase_ms["copy"]
+                )
+                if self._registry is not None and outcome.failed_attempts:
+                    self._copy_retries.inc(outcome.failed_attempts)
 
         if not self.level.use_premap:
             self.mapping.map_pages(dirty_pfns)
@@ -193,11 +245,15 @@ class Checkpointer:
             # stays paused from here until commit()/abort(), so the views
             # are stable for the staging window; commit() copies only
             # what the delta history must retain.
+            stage_pfns = set(dirty_pfns)
+            if held is not None and held["pages"] is not None:
+                stage_pfns.update(pfn for pfn, _data in held["pages"])
             view = self.domain.vm.memory.view()
             staged_pages = [
                 (pfn, view[pfn * PAGE_SIZE : (pfn + 1) * PAGE_SIZE])
-                for pfn in dirty_pfns
+                for pfn in sorted(stage_pfns)
             ]
+            total_dirty = len(stage_pfns) + synthetic_dirty
         if not self.level.use_premap:
             self.mapping.unmap_pages(dirty_pfns)
 
@@ -225,10 +281,44 @@ class Checkpointer:
         )
 
     def commit(self):
-        """Advance the backup to the just-audited state (audit passed)."""
+        """Advance the backup to the just-audited state (audit passed).
+
+        Returns ``{"backoff_ms": ..., "retries": ...}`` describing any
+        backup-sync retry work (zero in the fault-free path); the caller
+        charges the backoff to virtual time. If a BACKUP_SYNC fault
+        exhausts the retry budget, the staged epoch is *kept* (marked
+        held, for the next ``run_checkpoint`` to merge into) and a
+        :class:`CheckpointError` is raised — the epoch's outputs must
+        stay in the buffer until a later sync lands the delta.
+        """
         if self._pending is None:
             raise CheckpointError("no staged checkpoint to commit")
+        sync = {"backoff_ms": 0.0, "retries": 0}
+        self.last_sync_backoff_ms = 0.0
+        injector = self._injector
+        if injector is not None:
+            fault = injector.check(FaultPlane.BACKUP_SYNC)
+            if fault is not None:
+                outcome = injector.retry(fault, site="backup-sync")
+                sync["backoff_ms"] = outcome.backoff_ms
+                sync["retries"] = outcome.failed_attempts
+                self.last_sync_backoff_ms = outcome.backoff_ms
+                if self._registry is not None and outcome.failed_attempts:
+                    self._sync_retries.inc(outcome.failed_attempts)
+                if not outcome.success:
+                    self._pending_held = True
+                    if self._flight is not None:
+                        self._flight.record(
+                            "checkpoint.sync_lost", epoch=self.epoch,
+                            dirty_pages=self._pending["dirty"],
+                            attempts=outcome.attempts,
+                        )
+                    raise CheckpointError(
+                        "backup sync lost after %d attempt(s); epoch %d "
+                        "held" % (outcome.attempts, self.epoch)
+                    )
         pending, self._pending = self._pending, None
+        self._pending_held = False
         if self._flight is not None:
             self._flight.record("epoch.commit", epoch=self.epoch,
                                 dirty_pages=pending["dirty"])
@@ -258,6 +348,7 @@ class Checkpointer:
                     dirty_pages=pending["dirty"],
                     label="epoch-%d" % self.epoch,
                 )
+        return sync
 
     def abort(self):
         """Drop the staged epoch (audit failed); backup stays clean."""
@@ -275,6 +366,7 @@ class Checkpointer:
                     pfn for pfn, _data in staged
                 )
         self._pending = None
+        self._pending_held = False
 
     # -- rollback and export -------------------------------------------------------
 
@@ -342,6 +434,7 @@ class Checkpointer:
         vm.load_state_dict(copy.deepcopy(self._backup_state))
         self.domain.dirty_bitmap.clear()
         self._pending = None
+        self._pending_held = False
         self._dirty_since_backup = set()
         self._untracked_seen = memory.untracked_loads
         if self._flight is not None:

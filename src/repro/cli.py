@@ -8,8 +8,10 @@ Experiments: ``table1``, ``table3``, ``fig3``, ``fig4``, ``fig5``,
 ``fig6a``, ``fig6b``, ``fig7``, ``fig8``, ``case1``, ``case2``,
 ``claims``, ``list``; plus ``metrics`` (instrumented run exporting the
 ``repro.obs`` summary — JSON, Prometheus text, JSONL trace, or a
-``BENCH_*.json`` file) and ``incident`` (canned canary-smash run that
-dumps and validates a ``crimes-obs/2`` incident bundle).
+``BENCH_*.json`` file), ``incident`` (canned canary-smash run that
+dumps and validates a ``crimes-obs/2`` incident bundle), and ``chaos``
+(deterministic fault-injection run with a safety-invariant verdict and
+a replayable journal artifact).
 """
 
 import argparse
@@ -352,6 +354,109 @@ def _cmd_incident(args):
     return "\n".join(lines)
 
 
+def _cmd_chaos(args):
+    """Deterministic chaos run: a protected guest under a fault plan.
+
+    Arms every plane named by ``--planes`` (default: all of them) with
+    one ``--schedule``-shaped fault schedule, runs a small web-workload
+    guest for ``--epochs`` epochs, and prints the fault/recovery story:
+    injections, retries, escalations, degraded-mode holds/sheds, and the
+    safety-invariant verdict re-derived from the flight journal. The
+    run is fully determined by ``--seed`` — re-running with the same
+    arguments reproduces the identical journal, hash chain and guest
+    memory. ``--out`` writes the journal artifact (the same hash-chained
+    event dump an incident bundle ships) as JSON. Exits non-zero if the
+    safety invariant does not hold.
+    """
+    import json
+
+    from repro.faults import ALL_PLANES, FaultPlan, FaultPlane, FaultSchedule
+    from repro.faults.chaos import run_chaos
+
+    if args.planes:
+        planes = [FaultPlane(name.strip())
+                  for name in args.planes.split(",") if name.strip()]
+    else:
+        planes = list(ALL_PLANES)
+    factories = {
+        "transient": lambda: FaultSchedule.transient(
+            probability=args.probability, magnitude_ms=args.magnitude_ms),
+        "persistent": lambda: FaultSchedule.persistent(
+            start_epoch=3, magnitude_ms=args.magnitude_ms),
+        "burst": lambda: FaultSchedule.burst(
+            start_epoch=3, duration=2, magnitude_ms=args.magnitude_ms),
+    }
+    plan = FaultPlan.uniform(factories[args.schedule], planes=planes,
+                             seed=args.seed)
+    result = run_chaos(
+        fault_plan=plan, seed=args.seed, epochs=args.epochs,
+        interval_ms=args.interval_ms, attack_epoch=args.attack_epoch,
+    )
+    crimes = result["crimes"]
+    metrics = result["metrics"]
+    faults = metrics["faults"]
+    safety = result["safety"]
+
+    lines = ["chaos run: seed=%d, %d epoch(s) requested, %d run"
+             % (args.seed, args.epochs, metrics["epochs_run"])]
+    lines.append("plan: %s schedule on %s"
+                 % (args.schedule,
+                    ", ".join(sorted(p.value for p in planes))))
+    lines.append(
+        "faults: %d injected, %d recovered by retry, %d escalated"
+        % (faults["injected_total"], faults["recovered_total"],
+           faults["escalated_total"])
+    )
+    lines.append(
+        "degraded: %d epoch(s) held, %d shed, %d fault rollback(s); "
+        "health=%s"
+        % (metrics["epochs_held"], metrics["epochs_shed"],
+           metrics["fault_rollbacks"], metrics["health"])
+    )
+    lines.append(
+        "outputs: %d packet(s) released, %d discarded"
+        % (metrics["packets_released"], metrics["packets_discarded"])
+    )
+    if crimes.suspended:
+        lines.append("vm: SUSPENDED (attack response engaged)")
+    lines.append("journal: %d event(s), head %s..."
+                 % (len(result["events"]), result["head_hash"][:16]))
+    lines.append("guest memory sha256: %s..."
+                 % result["memory_sha256"][:16])
+
+    if args.out:
+        artifact = {
+            "schema": "crimes-chaos/1",
+            "seed": args.seed,
+            "plan": plan.to_dict(),
+            "epochs_requested": args.epochs,
+            "interval_ms": args.interval_ms,
+            "metrics": {key: metrics[key] for key in
+                        ("epochs_run", "epochs_held", "epochs_shed",
+                         "fault_rollbacks", "health", "packets_released",
+                         "packets_discarded")},
+            "faults": faults,
+            "safety": safety,
+            "memory_sha256": result["memory_sha256"],
+            "flight": crimes.observer.flight.snapshot(),
+        }
+        with open(args.out, "w") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        lines.append("chaos artifact written to %s" % args.out)
+
+    if safety["ok"]:
+        lines.append("safety invariant: OK (released epochs all audited "
+                     "clean, none previously discarded)")
+    else:
+        lines.append("safety invariant: VIOLATED")
+        for violation in safety["violations"]:
+            lines.append("  %s" % violation)
+        print("\n".join(lines))
+        raise SystemExit(1)
+    return "\n".join(lines)
+
+
 def _cmd_claims(args):
     from repro.experiments import fig4_swaptions_breakdown, remus_comparison
 
@@ -474,6 +579,7 @@ _COMMANDS = {
     "safety": _cmd_safety,
     "metrics": _cmd_metrics,
     "incident": _cmd_incident,
+    "chaos": _cmd_chaos,
 }
 
 
@@ -512,6 +618,23 @@ def build_parser():
     parser.add_argument("--summary", action="store_true",
                         help="incident: print a human digest instead of "
                              "the full bundle JSON")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="chaos: root seed (same seed = same run)")
+    parser.add_argument("--planes", metavar="P1,P2,...",
+                        help="chaos: comma-separated fault planes "
+                             "(default: all)")
+    parser.add_argument("--schedule",
+                        choices=["transient", "persistent", "burst"],
+                        default="transient",
+                        help="chaos: temporal shape of every armed plane")
+    parser.add_argument("--probability", type=float, default=0.25,
+                        help="chaos: per-epoch fault probability "
+                             "(transient schedule)")
+    parser.add_argument("--magnitude-ms", type=float, default=1.0,
+                        help="chaos: fault magnitude (latency/skew/stall)")
+    parser.add_argument("--attack-epoch", type=int, default=None,
+                        help="chaos: also trigger a heap-overflow attack "
+                             "at this epoch")
     return parser
 
 

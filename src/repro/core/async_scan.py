@@ -80,6 +80,7 @@ class AsyncScanner:
         self._pending_snapshot = None
         self.jobs_started = 0
         self.snapshots_skipped = 0
+        self.jobs_cancelled = 0
         self.verdicts = []
         self._registry = registry
         if registry is not None:
@@ -88,6 +89,10 @@ class AsyncScanner:
             self._skipped_counter = registry.counter(
                 "async.snapshots_skipped",
                 help="checkpoints not scanned because the core was busy")
+            self._cancelled_counter = registry.counter(
+                "async.jobs_cancelled",
+                help="in-flight scans abandoned because their snapshot "
+                     "was rolled back")
             self._lag_gauge = registry.gauge(
                 "async.detection_lag_ms",
                 help="snapshot-to-verdict lag of the latest deep scan")
@@ -136,6 +141,26 @@ class AsyncScanner:
                 completes_at_ms=job.completes_at,
                 modules=[module.name for module in job.modules],
             )
+        return job
+
+    def cancel(self, reason="rollback"):
+        """Abandon the in-flight scan (its snapshot was just undone).
+
+        A deep scan of an epoch the framework rolled back must never
+        deliver a verdict: the state it scanned no longer exists, so a
+        late "clean" would vouch for outputs that were already discarded
+        and a late "attack" would punish a guest that was already reset.
+        Returns the cancelled job, or None if the scanner was idle.
+        """
+        job, self._active_job = self._active_job, None
+        if job is None:
+            return None
+        self.jobs_cancelled += 1
+        if self._registry is not None:
+            self._cancelled_counter.inc()
+        if self._flight is not None:
+            self._flight.record("async.cancelled", epoch=job.snapshot_epoch,
+                                reason=reason)
         return job
 
     def poll(self):

@@ -18,12 +18,17 @@ from repro.obs.incident import INCIDENT_SCHEMA
 class TenantRecord:
     """One tenant's registration on the host."""
 
-    __slots__ = ("name", "crimes", "sla")
+    __slots__ = ("name", "crimes", "sla", "quarantined", "quarantine_reason")
 
     def __init__(self, name, crimes, sla):
         self.name = name
         self.crimes = crimes
         self.sla = sla
+        #: Set when the tenant's epoch loop raised out of run_epoch (a
+        #: fault the framework could not absorb): the host fences the VM
+        #: off instead of letting one tenant's failure stall the round.
+        self.quarantined = False
+        self.quarantine_reason = None
 
     @property
     def suspended(self):
@@ -46,11 +51,12 @@ class CloudHost:
     # -- admission ----------------------------------------------------------
 
     def admit(self, vm, config=None, modules=(), async_modules=(),
-              programs=(), sla="standard"):
+              programs=(), sla="standard", fault_plan=None):
         """Bring a tenant VM under CRIMES protection; returns its Crimes."""
         if vm.name in self.tenants:
             raise CrimesError("tenant %r already admitted" % vm.name)
-        crimes = Crimes(vm, config if config is not None else CrimesConfig())
+        crimes = Crimes(vm, config if config is not None else CrimesConfig(),
+                        fault_plan=fault_plan)
         for module in modules:
             crimes.install_module(module)
         for module in async_modules:
@@ -77,7 +83,12 @@ class CloudHost:
 
     def active_tenants(self):
         return [record for record in self.tenants.values()
-                if not record.suspended]
+                if not record.suspended and not record.quarantined]
+
+    def quarantined_tenants(self):
+        """Names of tenants fenced off after an unabsorbed fault."""
+        return [name for name, record in sorted(self.tenants.items())
+                if record.quarantined]
 
     def run_round(self):
         """Advance every non-suspended tenant by one epoch.
@@ -85,11 +96,21 @@ class CloudHost:
         Returns ``{tenant_name: EpochRecord}``; tenants whose audit
         failed are suspended individually — an incident on one tenant
         never touches another (the isolation §2 argues hypervisor-level
-        placement buys).
+        placement buys). A tenant whose epoch loop *raises* (a fault its
+        own retry/degraded machinery could not absorb) is quarantined:
+        fenced out of future rounds, while every other tenant's epoch
+        still runs this round.
         """
         records = {}
         for record in self.active_tenants():
-            records[record.name] = record.crimes.run_epoch()
+            try:
+                records[record.name] = record.crimes.run_epoch()
+            except CrimesError as err:
+                record.quarantined = True
+                record.quarantine_reason = str(err)
+                record.crimes.observer.journal(
+                    "tenant.quarantined", reason=str(err),
+                )
         self.rounds_run += 1
         return records
 
@@ -187,6 +208,15 @@ class CloudHost:
             "fleet": {
                 "tenants": len(self.tenants),
                 "incidents": len(self.incidents()),
+                "quarantined": len(self.quarantined_tenants()),
+                "degraded": sum(
+                    1 for record in self.tenants.values()
+                    if record.crimes.health == "degraded"
+                ),
+                "epochs_held_total": sum(
+                    record.crimes.epochs_held
+                    for record in self.tenants.values()
+                ),
                 "epochs_total": epochs_total,
                 "mean_pause_ms": (sum(pauses) / len(pauses)) if pauses
                 else 0.0,
@@ -202,13 +232,21 @@ class CloudHost:
         rows = []
         for name, record in sorted(self.tenants.items()):
             crimes = record.crimes
+            if record.quarantined:
+                status = "QUARANTINED"
+            elif record.suspended:
+                status = "SUSPENDED"
+            elif crimes.health == "degraded":
+                status = "degraded"
+            else:
+                status = "running"
             rows.append(
                 {
                     "tenant": name,
                     "sla": record.sla,
                     "epochs": crimes.epochs_run,
                     "mean_pause_ms": round(crimes.mean_pause_ms(), 2),
-                    "status": "SUSPENDED" if record.suspended else "running",
+                    "status": status,
                 }
             )
         return rows

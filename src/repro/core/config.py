@@ -39,7 +39,9 @@ class CrimesConfig:
                  nominal_frames=NOMINAL_FRAME_COUNT,
                  history_capacity=0,
                  auto_respond=True,
-                 seed=0):
+                 seed=0,
+                 audit_timeout_ms=None,
+                 max_hold_epochs=3):
         if epoch_interval_ms <= 0:
             raise ConfigError("epoch interval must be positive")
         if epoch_interval_ms < 5.0:
@@ -55,6 +57,10 @@ class CrimesConfig:
             raise ConfigError("fidelity must be a CopyFidelity")
         if nominal_frames <= 0:
             raise ConfigError("nominal_frames must be positive")
+        if audit_timeout_ms is not None and audit_timeout_ms <= 0:
+            raise ConfigError("audit_timeout_ms must be positive (or None)")
+        if max_hold_epochs < 1:
+            raise ConfigError("max_hold_epochs must be >= 1")
         self.epoch_interval_ms = float(epoch_interval_ms)
         self.safety = safety
         self.optimization = optimization
@@ -65,6 +71,16 @@ class CrimesConfig:
         self.history_capacity = history_capacity
         self.auto_respond = auto_respond
         self.seed = seed
+        #: Audit budget: a synchronous audit that runs past this many ms
+        #: is treated as inconclusive and the epoch is rolled back
+        #: (None = no budget). Chaos runs pair this with the
+        #: AUDIT_TIMEOUT fault plane.
+        self.audit_timeout_ms = (None if audit_timeout_ms is None
+                                 else float(audit_timeout_ms))
+        #: Degraded mode: epochs of audited-clean output the buffer may
+        #: hold while the checkpointer/sink is unhealthy before the
+        #: framework sheds them and rolls back.
+        self.max_hold_epochs = int(max_hold_epochs)
 
     def __repr__(self):
         return (
@@ -87,6 +103,8 @@ class CrimesConfig:
             "history_capacity": self.history_capacity,
             "auto_respond": self.auto_respond,
             "seed": self.seed,
+            "audit_timeout_ms": self.audit_timeout_ms,
+            "max_hold_epochs": self.max_hold_epochs,
         }
 
     @classmethod

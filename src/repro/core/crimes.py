@@ -24,7 +24,17 @@ from repro.core.async_scan import AsyncScanner
 from repro.checkpoint.costmodel import CheckpointCostModel
 from repro.core.config import CrimesConfig
 from repro.detectors.base import Detector
-from repro.errors import CrimesError
+from repro.errors import (
+    AuditTimeoutError,
+    CheckpointError,
+    CrimesError,
+    ForensicsError,
+    HypervisorError,
+    IntrospectionError,
+    NetbufReleaseError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.planes import FaultPlane
 from repro.hypervisor.xen import Hypervisor
 from repro.log import get_logger
 from repro.netbuf.buffer import OutputBuffer
@@ -46,19 +56,21 @@ class EpochRecord:
     __slots__ = ("epoch", "start_ms", "interval_ms", "phase_ms", "dirty_pages",
                  "real_dirty", "logdirty_tax_ms", "work_done_ms", "committed",
                  "detection", "released_packets", "released_disk_writes",
-                 "async_verdict")
+                 "async_verdict", "outcome")
 
     def __init__(self, **kwargs):
         for name in self.__slots__:
             setattr(self, name, kwargs.get(name))
+        if self.outcome is None:
+            self.outcome = "committed" if self.committed else "attack"
 
     @property
     def pause_ms(self):
         return sum(self.phase_ms.values())
 
     def __repr__(self):
-        return "EpochRecord(epoch=%d, dirty=%d, pause=%.3fms, committed=%s)" % (
-            self.epoch, self.dirty_pages, self.pause_ms, self.committed,
+        return "EpochRecord(epoch=%d, dirty=%d, pause=%.3fms, outcome=%s)" % (
+            self.epoch, self.dirty_pages, self.pause_ms, self.outcome,
         )
 
 
@@ -66,7 +78,7 @@ class Crimes:
     """One protected VM under the CRIMES framework."""
 
     def __init__(self, vm, config=None, hypervisor=None, cost_model=None,
-                 observer=None):
+                 observer=None, fault_plan=None):
         self.config = config if config is not None else CrimesConfig()
         self.hypervisor = (
             hypervisor if hypervisor is not None else Hypervisor(clock=vm.clock)
@@ -103,13 +115,32 @@ class Crimes:
             help="worst-case attack-to-verdict latency of the last audit")
         self._interval_gauge = registry.gauge(
             "epoch.interval_ms", help="current epoch interval")
+        self._audit_error_counter = registry.counter(
+            "faults.audit_error",
+            help="audits that raised instead of returning a verdict")
+        self._held_counter = registry.counter(
+            "epoch.held",
+            help="epochs whose outputs were held in degraded mode")
+        self._shed_counter = registry.counter(
+            "epoch.shed",
+            help="held epochs shed (discarded + rolled back) after the "
+                 "hold budget ran out")
+
+        # Deterministic fault injection. The injector exists whenever a
+        # plan was passed — even FaultPlan.none() — so the hook overhead
+        # of an unarmed injector is a measured quantity, not a guess.
+        self.injector = None
+        if fault_plan is not None:
+            self.injector = FaultInjector(
+                fault_plan, registry=registry, flight=self.observer.flight,
+            )
 
         # Interpose the output buffer between the guest devices and the world.
         self.external_sink = vm.output_sink
         self.buffer = OutputBuffer(
             self.external_sink, mode=self.config.safety.buffer_mode,
             clock=self.clock, registry=registry,
-            flight=self.observer.flight,
+            flight=self.observer.flight, injector=self.injector,
         )
         vm.set_output_sink(self.buffer)
 
@@ -123,8 +154,11 @@ class Crimes:
             history_capacity=self.config.history_capacity,
             registry=registry,
             flight=self.observer.flight,
+            injector=self.injector,
         )
         self.vmi = VMIInstance(self.domain, seed=self.config.seed)
+        if self.injector is not None:
+            self.vmi.attach_injector(self.injector)
         self.detector = Detector(self.vmi, registry=registry)
         self.analyzer = Analyzer(
             self.domain, self.checkpointer, self.vmi, seed=self.config.seed
@@ -137,6 +171,14 @@ class Crimes:
         self.suspended = False
         self.epochs_run = 0
         self.last_outcome = None
+        #: "healthy" or "degraded" — degraded means audited-clean output
+        #: is parked in the buffer because the checkpointer or the
+        #: downstream sink is unhealthy (hold-and-shed, §degraded modes).
+        self.health = "healthy"
+        self._held_epochs = 0          # consecutive holds this episode
+        self.epochs_held = 0           # lifetime holds
+        self.epochs_shed = 0           # lifetime sheds (held epochs lost)
+        self.fault_rollbacks = 0       # epochs undone by escalated faults
         self.async_scanner = AsyncScanner(self.clock, registry=registry,
                                           flight=self.observer.flight)
         self.last_async_verdict = None
@@ -213,6 +255,11 @@ class Crimes:
         self.checkpointer.start()
         self.clock.advance(self.checkpointer.init_cost_ms)
         self._snapshot_program_states()
+        # Outputs emitted while binding programs (e.g. a store seeding
+        # its disk) predate the initial backup: they are not speculative,
+        # and a later rollback must not destroy them — the guest state
+        # that produced them survives in the backup. Release them now.
+        self.buffer.commit()
         self.started = True
         logger.info(
             "%s: protection started (%s; %d scan modules, %d programs)",
@@ -242,11 +289,15 @@ class Crimes:
         interval = self.config.epoch_interval_ms
         start_ms = self.clock.now
         tracer = self.observer.tracer
+        injector = self.injector
+        epoch_no = self.checkpointer.epoch + 1
         self._interval_gauge.set(interval)
         self.observer.journal(
-            "epoch.begin", epoch=self.checkpointer.epoch + 1,
-            interval_ms=interval,
+            "epoch.begin", epoch=epoch_no, interval_ms=interval,
         )
+        if injector is not None:
+            injector.begin_epoch(epoch_no)
+        self.buffer.begin_epoch(epoch_no)
 
         with tracer.span("epoch") as epoch_span:
             # 1. Speculative execution.
@@ -256,60 +307,145 @@ class Crimes:
                     report = program.step(start_ms, interval) or {}
                     synthetic_dirty += int(report.get("synthetic_dirty", 0))
                 self.clock.advance(interval)
+                if injector is not None:
+                    skew = injector.check(FaultPlane.CLOCK_SKEW)
+                    if skew is not None and skew.fires():
+                        # The epoch ran long: the timer interrupt arrived
+                        # late, so the guest speculated extra time before
+                        # the suspend landed.
+                        self.clock.advance(skew.magnitude_ms)
+                        self.observer.journal(
+                            "fault.observed", epoch=epoch_no,
+                            plane=FaultPlane.CLOCK_SKEW.value,
+                            skew_ms=skew.magnitude_ms,
+                        )
 
             # 2-3. Suspend + checkpoint pipeline.
             self.domain.pause()
-            with tracer.span("epoch.checkpoint") as checkpoint_span:
-                checkpoint = self.checkpointer.run_checkpoint(
-                    interval, synthetic_dirty=synthetic_dirty
-                )
-                dirty_pages = checkpoint.dirty_pages
-                logdirty_tax = self.costs.logdirty_running_ms(dirty_pages)
+            try:
+                with tracer.span("epoch.checkpoint") as checkpoint_span:
+                    checkpoint = self.checkpointer.run_checkpoint(
+                        interval, synthetic_dirty=synthetic_dirty
+                    )
+                    dirty_pages = checkpoint.dirty_pages
+                    logdirty_tax = self.costs.logdirty_running_ms(dirty_pages)
+                    phase_ms = {
+                        "suspend": self.costs.suspend_ms(dirty_pages, interval),
+                        "bitscan": checkpoint.phase_ms["bitscan"],
+                        "map": checkpoint.phase_ms["map"],
+                        "copy": checkpoint.phase_ms["copy"],
+                    }
+                    checkpoint_span.annotate(epoch=checkpoint.epoch,
+                                             dirty_pages=dirty_pages)
+                    # The clock is charged in one batch at epoch end; attribute
+                    # this span's share so trace durations stay meaningful.
+                    checkpoint_span.attribute_ms(sum(phase_ms.values()))
+            except (CheckpointError, HypervisorError) as err:
+                if injector is None:
+                    raise
+                # The pipeline could not stage this epoch at all. The
+                # speculated interval is unauditable: undo it.
                 phase_ms = {
-                    "suspend": self.costs.suspend_ms(dirty_pages, interval),
-                    "bitscan": checkpoint.phase_ms["bitscan"],
-                    "map": checkpoint.phase_ms["map"],
-                    "copy": checkpoint.phase_ms["copy"],
+                    "suspend": self.costs.suspend_ms(0, interval),
                 }
-                checkpoint_span.annotate(epoch=checkpoint.epoch,
-                                         dirty_pages=dirty_pages)
-                # The clock is charged in one batch at epoch end; attribute
-                # this span's share so trace durations stay meaningful.
-                checkpoint_span.attribute_ms(sum(phase_ms.values()))
+                return self._fault_rollback(
+                    epoch_no, start_ms, interval, phase_ms,
+                    reason="checkpoint-failed", error=err,
+                )
             epoch_span.annotate(epoch=checkpoint.epoch)
 
-            # 4. Audit.
+            # 4. Audit. An audit that *errors* or *stalls* is as bad as
+            # one that fails: the epoch was never proven clean, so it is
+            # escalated to a synchronous rollback — never released.
             detection = None
+            audit_error = None
             with tracer.span("epoch.audit") as audit_span:
                 if self.config.scan_enabled:
-                    detection = self.detector.scan(
-                        dirty_pfns=set(self._last_dirty_pfns(checkpoint)),
-                        output_buffer=self.buffer,
-                        epoch=checkpoint.epoch,
-                        now_ms=self.clock.now,
-                    )
-                    phase_ms["vmi"] = detection.cost_ms
-                    audit_span.annotate(
-                        findings=len(detection.findings),
-                        attack=detection.attack_detected,
-                    )
-                    self.observer.journal(
-                        "scan.verdict", epoch=checkpoint.epoch,
-                        modules=list(detection.modules_run),
-                        findings=len(detection.findings),
-                        attack=detection.attack_detected,
-                        cost_ms=detection.cost_ms,
-                    )
-                    for finding in detection.critical_findings():
-                        self.observer.journal(
-                            "scan.finding", epoch=checkpoint.epoch,
-                            module=finding.module,
-                            finding_kind=finding.kind,
-                            summary=finding.summary,
+                    try:
+                        detection = self.detector.scan(
+                            dirty_pfns=set(self._last_dirty_pfns(checkpoint)),
+                            output_buffer=self.buffer,
+                            epoch=checkpoint.epoch,
+                            now_ms=self.clock.now,
                         )
+                    except (IntrospectionError, ForensicsError) as err:
+                        # Previously this unwound the whole epoch loop
+                        # silently; now it is observed evidence.
+                        audit_error = err
+                        self._audit_error_counter.inc()
+                        # Charge the partial audit work the scan did
+                        # before it blew up.
+                        phase_ms["vmi"] = self.vmi.take_cost_ms()
+                        self.observer.journal(
+                            "fault.observed", epoch=checkpoint.epoch,
+                            site="audit", error=type(err).__name__,
+                            detail=str(err),
+                        )
+                    else:
+                        phase_ms["vmi"] = detection.cost_ms
+                        audit_span.annotate(
+                            findings=len(detection.findings),
+                            attack=detection.attack_detected,
+                        )
+                        self.observer.journal(
+                            "scan.verdict", epoch=checkpoint.epoch,
+                            modules=list(detection.modules_run),
+                            findings=len(detection.findings),
+                            attack=detection.attack_detected,
+                            cost_ms=detection.cost_ms,
+                        )
+                        for finding in detection.critical_findings():
+                            self.observer.journal(
+                                "scan.finding", epoch=checkpoint.epoch,
+                                module=finding.module,
+                                finding_kind=finding.kind,
+                                summary=finding.summary,
+                            )
+                        if injector is not None:
+                            stall = injector.check(FaultPlane.AUDIT_TIMEOUT)
+                            if stall is not None and stall.fires():
+                                # The scanner hung; the watchdog fired
+                                # after the stall's magnitude.
+                                phase_ms["vmi"] += stall.magnitude_ms
+                                detection = None
+                                audit_error = AuditTimeoutError(
+                                    "audit stalled %.1f ms past its verdict "
+                                    "(epoch %d)"
+                                    % (stall.magnitude_ms, checkpoint.epoch)
+                                )
+                                injector.escalated(
+                                    FaultPlane.AUDIT_TIMEOUT,
+                                    checkpoint.epoch, site="audit",
+                                    stall_ms=stall.magnitude_ms,
+                                )
+                        budget = self.config.audit_timeout_ms
+                        if (audit_error is None and budget is not None
+                                and phase_ms["vmi"] > budget):
+                            detection = None
+                            audit_error = AuditTimeoutError(
+                                "audit took %.1f ms against a %.1f ms budget "
+                                "(epoch %d)"
+                                % (phase_ms["vmi"], budget, checkpoint.epoch)
+                            )
+                            self.observer.journal(
+                                "fault.observed", epoch=checkpoint.epoch,
+                                site="audit-timeout", budget_ms=budget,
+                                cost_ms=phase_ms["vmi"],
+                            )
                 else:
                     phase_ms["vmi"] = 0.0
                 audit_span.attribute_ms(phase_ms["vmi"])
+
+            if audit_error is not None:
+                return self._fault_rollback(
+                    checkpoint.epoch, start_ms, interval, phase_ms,
+                    reason=("audit-timeout"
+                            if isinstance(audit_error, AuditTimeoutError)
+                            else "audit-error"),
+                    error=audit_error,
+                    dirty_pages=dirty_pages, real_dirty=checkpoint.real_dirty,
+                    logdirty_tax_ms=logdirty_tax,
+                )
 
             attack = detection is not None and detection.attack_detected
             if attack and self.honeypot_active:
@@ -329,6 +465,9 @@ class Crimes:
                 # checkpoint is dropped (the backup stays clean) and the
                 # attacked epoch's outputs are destroyed, never released.
                 self.clock.advance(sum(phase_ms.values()))
+                # A deep scan still in flight is scanning a timeline that
+                # just ended; its late verdict must never land.
+                self.async_scanner.cancel(reason="attack")
                 self.checkpointer.abort()
                 dropped_packets, dropped_writes = self.buffer.discard()
                 logger.warning(
@@ -344,6 +483,7 @@ class Crimes:
                     real_dirty=checkpoint.real_dirty, logdirty_tax_ms=logdirty_tax,
                     work_done_ms=max(interval - logdirty_tax, 0.0), committed=False,
                     detection=detection, released_packets=0, released_disk_writes=0,
+                    outcome="attack",
                 )
                 self.records.append(record)
                 self.suspended = True
@@ -367,15 +507,53 @@ class Crimes:
                 )
                 return record
 
-            # 5. Commit, release, resume.
+            # 5. Commit, release, resume — or hold, if the backup sync or
+            # the downstream sink is unhealthy (degraded mode).
             phase_ms["resume"] = self.costs.resume_ms(dirty_pages, interval)
+            packets = disk_writes = 0
+            sync_ok = False
+            hold_reason = None
             with tracer.span("epoch.commit") as commit_span:
-                self.checkpointer.commit()
-                packets, disk_writes = self.buffer.commit()
-                self.domain.resume()
-                self.clock.advance(sum(phase_ms.values()))
+                try:
+                    sync = self.checkpointer.commit()
+                    sync_ok = True
+                    phase_ms["copy"] += sync["backoff_ms"]
+                except CheckpointError as err:
+                    if injector is None:
+                        raise
+                    phase_ms["copy"] += self.checkpointer.last_sync_backoff_ms
+                    hold_reason = "backup-sync"
+                    logger.warning("%s: epoch %d held — %s",
+                                   self.vm.name, checkpoint.epoch, err)
+                if sync_ok:
+                    try:
+                        packets, disk_writes = self.buffer.commit()
+                    except NetbufReleaseError as err:
+                        hold_reason = "netbuf-release"
+                        logger.warning("%s: epoch %d outputs held — %s",
+                                       self.vm.name, checkpoint.epoch, err)
+                    phase_ms["resume"] += self.buffer.last_release_backoff_ms
                 commit_span.annotate(released_packets=packets,
-                                     released_disk_writes=disk_writes)
+                                     released_disk_writes=disk_writes,
+                                     held=hold_reason is not None)
+
+            if hold_reason is not None:
+                return self._hold_epoch(
+                    checkpoint, start_ms, interval, phase_ms, logdirty_tax,
+                    detection, hold_reason, sync_ok,
+                )
+
+            self.domain.resume()
+            self.clock.advance(sum(phase_ms.values()))
+            if self.health == "degraded":
+                # The sync/sink recovered and buffer.commit() flushed
+                # every held epoch's outputs along with this one's.
+                self.observer.journal(
+                    "degraded.exit", epoch=checkpoint.epoch,
+                    epochs_recovered=self._held_epochs,
+                )
+                self.health = "healthy"
+                self._held_epochs = 0
 
             record = EpochRecord(
                 epoch=checkpoint.epoch, start_ms=start_ms, interval_ms=interval,
@@ -383,7 +561,7 @@ class Crimes:
                 real_dirty=checkpoint.real_dirty, logdirty_tax_ms=logdirty_tax,
                 work_done_ms=max(interval - logdirty_tax, 0.0), committed=True,
                 detection=detection, released_packets=packets,
-                released_disk_writes=disk_writes,
+                released_disk_writes=disk_writes, outcome="committed",
             )
             self.records.append(record)
             self._observe_epoch(record)
@@ -398,6 +576,132 @@ class Crimes:
             self._emit("async-verdict", record.async_verdict)
         return record
 
+    def _hold_epoch(self, checkpoint, start_ms, interval, phase_ms,
+                    logdirty_tax, detection, reason, sync_ok):
+        """Degraded mode: park an audited-clean epoch instead of failing.
+
+        The audit passed but the epoch could not be made durable
+        (``backup-sync``) or its outputs could not be flushed
+        (``netbuf-release``). The VM keeps running — the epoch's outputs
+        stay in the buffer — until either a later commit drains the
+        backlog (``degraded.exit``) or ``config.max_hold_epochs``
+        consecutive holds exhaust the budget and everything held is shed
+        (discarded + rolled back, ``degraded.shed``).
+        """
+        epoch = checkpoint.epoch
+        if self.health != "degraded":
+            self.health = "degraded"
+            self.observer.journal("degraded.enter", epoch=epoch,
+                                  reason=reason)
+        self._held_epochs += 1
+        self.epochs_held += 1
+        self._held_counter.inc()
+        self.observer.journal(
+            "epoch.held", epoch=epoch, reason=reason,
+            held=self._held_epochs, limit=self.config.max_hold_epochs,
+        )
+        if self._held_epochs >= self.config.max_hold_epochs:
+            if sync_ok:
+                # The backup already advanced past this epoch; align the
+                # program-state snapshot so the rollback target is
+                # internally consistent.
+                self._snapshot_program_states()
+            return self._fault_rollback(
+                epoch, start_ms, interval, phase_ms,
+                reason="hold-budget-exhausted", error=None,
+                dirty_pages=checkpoint.dirty_pages,
+                real_dirty=checkpoint.real_dirty,
+                logdirty_tax_ms=logdirty_tax,
+                count_epoch=False,  # run_epoch already counted this epoch
+            )
+        self.domain.resume()
+        self.clock.advance(sum(phase_ms.values()))
+        record = EpochRecord(
+            epoch=epoch, start_ms=start_ms, interval_ms=interval,
+            phase_ms=phase_ms, dirty_pages=checkpoint.dirty_pages,
+            real_dirty=checkpoint.real_dirty, logdirty_tax_ms=logdirty_tax,
+            work_done_ms=max(interval - logdirty_tax, 0.0), committed=False,
+            detection=detection, released_packets=0, released_disk_writes=0,
+            outcome="held",
+        )
+        self.records.append(record)
+        self._observe_epoch(record)
+        for program in self.programs:
+            program.on_epoch_end(record)
+        if sync_ok:
+            # The backup did advance (only the sink flush failed), so the
+            # rollback target now includes this epoch's program state.
+            self._snapshot_program_states()
+        self._emit("epoch", record)
+        return record
+
+    def _fault_rollback(self, epoch, start_ms, interval, phase_ms, reason,
+                        error, dirty_pages=0, real_dirty=0,
+                        logdirty_tax_ms=0.0, count_epoch=True):
+        """Synchronous rollback of an epoch the framework could not prove.
+
+        Used when the checkpoint pipeline failed, the audit errored or
+        timed out, or the degraded-mode hold budget ran out: the epoch's
+        outputs are destroyed, guest memory and program state return to
+        the last committed backup, and the VM resumes — the service
+        degrades (lost epochs) but never emits unaudited output.
+        """
+        if self.config.fidelity is not CopyFidelity.FULL:
+            # No backup image to restore from; all we can do is propagate.
+            raise error if error is not None else CrimesError(
+                "cannot roll back %s in ACCOUNTING fidelity" % reason
+            )
+        self.fault_rollbacks += 1
+        if count_epoch:
+            # Pre-audit call sites return before run_epoch's own
+            # epochs_run increment; the hold path passes False because
+            # its epoch was already counted.
+            self.epochs_run += 1
+        self.async_scanner.cancel(reason=reason)
+        self.checkpointer.abort()
+        dropped_packets, dropped_writes = self.buffer.discard()
+        if self._held_epochs:
+            # Degraded-mode backlog goes down with the ship: the held
+            # outputs were just discarded along with this epoch's.
+            self.epochs_shed += self._held_epochs
+            self._shed_counter.inc(self._held_epochs)
+            self.observer.journal(
+                "degraded.shed", epoch=epoch,
+                epochs_shed=self._held_epochs, reason=reason,
+            )
+            self.health = "healthy"
+            self._held_epochs = 0
+        phase_ms = dict(phase_ms)
+        phase_ms["rollback"] = self.checkpointer.rollback()
+        for program, state in zip(self.programs, self._clean_program_states):
+            program.load_state_dict(copy.deepcopy(state))
+        self.domain.resume()
+        self.clock.advance(sum(phase_ms.values()))
+        logger.warning(
+            "%s: epoch %d rolled back (%s)%s — destroyed %d packet(s) and "
+            "%d disk write(s)",
+            self.vm.name, epoch, reason,
+            ": %s" % error if error is not None else "",
+            dropped_packets, dropped_writes,
+        )
+        self.observer.journal(
+            "epoch.rolled_back", epoch=epoch, reason=reason,
+            dropped_packets=dropped_packets,
+            dropped_disk_writes=dropped_writes,
+        )
+        record = EpochRecord(
+            epoch=epoch, start_ms=start_ms, interval_ms=interval,
+            phase_ms=phase_ms, dirty_pages=dirty_pages,
+            real_dirty=real_dirty, logdirty_tax_ms=logdirty_tax_ms,
+            work_done_ms=0.0, committed=False, detection=None,
+            released_packets=0, released_disk_writes=0,
+            outcome="rolled-back",
+        )
+        self.records.append(record)
+        self._observe_epoch(record)
+        self._emit("epoch", record)
+        return record
+
     def _observe_epoch(self, record):
         """Fold one finished epoch into the registry."""
         for phase, hist in self._pause_hists.items():
@@ -406,6 +710,8 @@ class Crimes:
         self._dirty_pages_hist.observe(record.dirty_pages)
         if record.committed:
             self._committed_counter.inc()
+        elif record.outcome == "held":
+            pass  # tracked by the epoch.held counter instead
         else:
             self._rolled_back_counter.inc()
 
@@ -500,7 +806,10 @@ class Crimes:
             if self.programs and all(p.finished for p in self.programs):
                 break
             record = self.run_epoch()
-            if not record.committed:
+            if self.suspended:
+                # Attack response (or async verdict) stopped the VM.
+                # Held or fault-rolled-back epochs keep the loop running:
+                # degraded modes are for riding faults out, not stopping.
                 break
         return self.records
 
@@ -557,6 +866,13 @@ class Crimes:
             "pages_copied_total": self.checkpointer.total_pages_copied,
             "async_jobs_started": self.async_scanner.jobs_started,
             "async_snapshots_skipped": self.async_scanner.snapshots_skipped,
+            "async_jobs_cancelled": self.async_scanner.jobs_cancelled,
             "backup_memory_bytes": self.vm.memory.size
             if self.config.fidelity is CopyFidelity.FULL else 0,
+            "health": self.health,
+            "epochs_held": self.epochs_held,
+            "epochs_shed": self.epochs_shed,
+            "fault_rollbacks": self.fault_rollbacks,
+            "faults": (self.injector.summary()
+                       if self.injector is not None else None),
         }

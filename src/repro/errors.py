@@ -71,3 +71,15 @@ class ConfigError(CrimesError):
 
 class ObservabilityError(CrimesError):
     """A metrics/tracing instrument was used incorrectly."""
+
+
+class FaultPlanError(ConfigError):
+    """An injected-fault plan or schedule is invalid."""
+
+
+class NetbufReleaseError(CrimesError):
+    """The output buffer could not flush to the downstream sink."""
+
+
+class AuditTimeoutError(CrimesError):
+    """The end-of-epoch audit exceeded its time budget."""

@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the CRIMES substrate.
+
+The protection machinery is only trustworthy if it fails *safe*: this
+package injects seeded, replayable faults at every substrate seam
+(checkpoint copy, bitmap harvest, VMI reads, audit timeouts, buffer
+release, backup sync, clock skew) and gives consumers the recovery
+vocabulary — bounded retry/backoff, escalation to synchronous rollback,
+and degraded hold-and-shed modes — that the chaos test matrix validates
+against the flight-recorder journal.
+"""
+
+from repro.faults.injector import ActiveFault, FaultInjector
+from repro.faults.plan import FaultPlan, FaultSchedule, ScheduleKind
+from repro.faults.planes import ALL_PLANES, FaultPlane
+from repro.faults.retry import RetryOutcome, RetryPolicy
+from repro.faults.safety import check_safety_invariant
+
+__all__ = [
+    "ALL_PLANES",
+    "ActiveFault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlane",
+    "FaultSchedule",
+    "RetryOutcome",
+    "RetryPolicy",
+    "ScheduleKind",
+    "check_safety_invariant",
+]

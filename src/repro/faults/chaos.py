@@ -1,0 +1,92 @@
+"""Canned chaos runs: one protected guest driven under a fault plan.
+
+This is the harness the ``crimes-repro chaos`` CLI command and the chaos
+test matrix share: build a small CRIMES-protected Linux guest with a web
+workload (so the buffer actually carries outputs), run it for a bounded
+number of epochs under a :class:`~repro.faults.plan.FaultPlan`, and hand
+back the evidence — the flight journal, its hash-chain head, a guest
+memory digest, and the safety-invariant verdict derived from the journal
+alone.
+
+Everything here is seeded and virtual-time only: the same (seed, plan)
+pair reproduces the identical run, byte for byte.
+"""
+
+import hashlib
+
+from repro.faults.safety import check_safety_invariant
+
+
+def build_chaos_crimes(fault_plan=None, seed=0, interval_ms=20.0,
+                       max_hold_epochs=3, audit_timeout_ms=None,
+                       attack_epoch=None, memory_bytes=4 * 1024 * 1024):
+    """A small protected guest, ready to run under ``fault_plan``.
+
+    ``attack_epoch`` additionally arms a heap-overflow attack program
+    (and the canary module that catches it), for exercising the
+    attack-under-fault corner of the matrix.
+    """
+    from repro.core.config import CrimesConfig
+    from repro.core.crimes import Crimes
+    from repro.detectors import SyscallTableModule
+    from repro.guest.linux import LinuxGuest
+    from repro.workloads.kvstore import KeyValueStoreProgram
+    from repro.workloads.webserver import WebServerWorkload
+
+    vm = LinuxGuest(name="chaos-%d" % seed, memory_bytes=memory_bytes,
+                    seed=seed)
+    config = CrimesConfig(
+        epoch_interval_ms=interval_ms, seed=seed,
+        max_hold_epochs=max_hold_epochs,
+        audit_timeout_ms=audit_timeout_ms,
+    )
+    crimes = Crimes(vm, config, fault_plan=fault_plan)
+    crimes.install_module(SyscallTableModule())
+    # Two programs: the web profile dirties pages; the kv-store serves
+    # query traffic over the NIC, so every epoch has buffered outputs
+    # for the release/discard planes to act on.
+    crimes.add_program(WebServerWorkload("light", seed=seed))
+    crimes.add_program(KeyValueStoreProgram(seed=seed))
+    if attack_epoch is not None:
+        from repro.detectors.canary import CanaryScanModule
+        from repro.workloads.attacks import OverflowAttackProgram
+
+        crimes.install_module(CanaryScanModule())
+        crimes.add_program(OverflowAttackProgram(trigger_epoch=attack_epoch))
+    crimes.start()
+    return crimes
+
+
+def run_chaos(fault_plan=None, seed=0, epochs=12, interval_ms=20.0,
+              max_hold_epochs=3, audit_timeout_ms=None, attack_epoch=None,
+              memory_bytes=4 * 1024 * 1024):
+    """Run a chaos scenario end to end; returns the evidence bundle.
+
+    The returned dict::
+
+        {"crimes": Crimes, "events": [payload dicts...],
+         "head_hash": str, "memory_sha256": str,
+         "safety": check_safety_invariant(...),
+         "metrics": crimes.metrics()}
+    """
+    crimes = build_chaos_crimes(
+        fault_plan=fault_plan, seed=seed, interval_ms=interval_ms,
+        max_hold_epochs=max_hold_epochs, audit_timeout_ms=audit_timeout_ms,
+        attack_epoch=attack_epoch, memory_bytes=memory_bytes,
+    )
+    crimes.run(max_epochs=epochs)
+    flight = crimes.observer.flight
+    events = [event.payload() for event in flight.events()]
+    view = crimes.vm.memory.view()
+    try:
+        memory_sha256 = hashlib.sha256(view).hexdigest()
+    finally:
+        view.release()
+    return {
+        "crimes": crimes,
+        "events": events,
+        "head_hash": flight.head_hash,
+        "memory_sha256": memory_sha256,
+        "safety": check_safety_invariant(events),
+        "metrics": crimes.metrics(),
+    }

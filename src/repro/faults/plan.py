@@ -1,0 +1,202 @@
+"""Fault plans: which planes fault, when, and how hard.
+
+A :class:`FaultPlan` maps fault planes to :class:`FaultSchedule`\\ s and
+carries the root seed every injection decision derives from. Two runs
+with the same plan (and the same workload seed) make bit-identical
+injection decisions — chaos runs are replayable evidence, not noise.
+"""
+
+from repro.errors import FaultPlanError
+from repro.faults.planes import FaultPlane
+
+
+class ScheduleKind:
+    """The three temporal shapes of the chaos matrix."""
+
+    #: Each epoch independently faults with ``probability``; the fault
+    #: clears after ``fail_attempts`` failed tries (a retry recovers it).
+    TRANSIENT = "transient"
+
+    #: Every epoch from ``start_epoch`` on faults, and no retry ever
+    #: succeeds — the consumer's escalation/degraded path must engage.
+    PERSISTENT = "persistent"
+
+    #: A contiguous window ``[start_epoch, start_epoch + duration)`` of
+    #: faulting epochs; within the window each epoch behaves like a
+    #: transient fault (retries recover after ``fail_attempts`` tries).
+    BURST = "burst"
+
+    ALL = (TRANSIENT, PERSISTENT, BURST)
+
+
+class FaultSchedule:
+    """When one plane faults, and how the fault behaves when probed."""
+
+    __slots__ = ("kind", "probability", "start_epoch", "duration",
+                 "fail_attempts", "magnitude_ms", "mode")
+
+    def __init__(self, kind, probability=0.0, start_epoch=1, duration=1,
+                 fail_attempts=1, magnitude_ms=1.0, mode="fail"):
+        if kind not in ScheduleKind.ALL:
+            raise FaultPlanError("unknown schedule kind %r (known: %s)"
+                              % (kind, ", ".join(ScheduleKind.ALL)))
+        if not 0.0 <= probability <= 1.0:
+            raise FaultPlanError("probability must be in [0, 1]")
+        if start_epoch < 1:
+            raise FaultPlanError("start_epoch must be >= 1")
+        if duration < 1:
+            raise FaultPlanError("duration must be >= 1")
+        if fail_attempts < 1:
+            raise FaultPlanError("fail_attempts must be >= 1")
+        if magnitude_ms < 0:
+            raise FaultPlanError("magnitude_ms must be >= 0")
+        if mode not in ("fail", "latency", "corrupt"):
+            raise FaultPlanError("mode must be 'fail', 'latency' or 'corrupt'")
+        self.kind = kind
+        self.probability = probability
+        self.start_epoch = start_epoch
+        self.duration = duration
+        self.fail_attempts = fail_attempts
+        self.magnitude_ms = magnitude_ms
+        self.mode = mode
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def transient(cls, probability=0.25, fail_attempts=1, magnitude_ms=1.0,
+                  mode="fail"):
+        return cls(ScheduleKind.TRANSIENT, probability=probability,
+                   fail_attempts=fail_attempts, magnitude_ms=magnitude_ms,
+                   mode=mode)
+
+    @classmethod
+    def persistent(cls, start_epoch=1, magnitude_ms=1.0, mode="fail"):
+        return cls(ScheduleKind.PERSISTENT, start_epoch=start_epoch,
+                   magnitude_ms=magnitude_ms, mode=mode)
+
+    @classmethod
+    def burst(cls, start_epoch=1, duration=2, fail_attempts=1,
+              magnitude_ms=1.0, mode="fail"):
+        return cls(ScheduleKind.BURST, start_epoch=start_epoch,
+                   duration=duration, fail_attempts=fail_attempts,
+                   magnitude_ms=magnitude_ms, mode=mode)
+
+    # -- the per-epoch decision ----------------------------------------------
+
+    def faulting(self, stream, epoch):
+        """Does this plane fault at ``epoch``?
+
+        ``stream`` is the plane's private seeded stream; only TRANSIENT
+        schedules consume randomness (one draw per epoch), so adding a
+        deterministic plane to a plan never perturbs another plane.
+        """
+        if self.kind == ScheduleKind.TRANSIENT:
+            return stream.random() < self.probability
+        if self.kind == ScheduleKind.PERSISTENT:
+            return epoch >= self.start_epoch
+        return self.start_epoch <= epoch < self.start_epoch + self.duration
+
+    def attempts_to_fail(self):
+        """Failed probes before the fault clears (None = never clears)."""
+        if self.kind == ScheduleKind.PERSISTENT:
+            return None
+        return self.fail_attempts
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self):
+        return {
+            "kind": self.kind,
+            "probability": self.probability,
+            "start_epoch": self.start_epoch,
+            "duration": self.duration,
+            "fail_attempts": self.fail_attempts,
+            "magnitude_ms": self.magnitude_ms,
+            "mode": self.mode,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        data = dict(data)
+        unknown = set(data) - set(cls.transient().to_dict())
+        if unknown:
+            raise FaultPlanError("unknown schedule keys: %s"
+                              % ", ".join(sorted(unknown)))
+        return cls(**data)
+
+    def __repr__(self):
+        return ("FaultSchedule(%s, p=%.2f, start=%d, dur=%d, fail=%d, "
+                "mag=%.1fms, %s)"
+                % (self.kind, self.probability, self.start_epoch,
+                   self.duration, self.fail_attempts, self.magnitude_ms,
+                   self.mode))
+
+
+class FaultPlan:
+    """A seeded mapping of fault planes to schedules."""
+
+    __slots__ = ("schedules", "seed")
+
+    def __init__(self, schedules=None, seed=0):
+        schedules = dict(schedules or {})
+        for plane, schedule in schedules.items():
+            if not isinstance(plane, FaultPlane):
+                raise FaultPlanError("plan keys must be FaultPlane, got %r"
+                                  % (plane,))
+            if not isinstance(schedule, FaultSchedule):
+                raise FaultPlanError("plan values must be FaultSchedule, got %r"
+                                  % (schedule,))
+        self.schedules = schedules
+        self.seed = seed
+
+    @classmethod
+    def none(cls, seed=0):
+        """The empty plan: hooks installed, nothing ever fires."""
+        return cls({}, seed=seed)
+
+    @classmethod
+    def single(cls, plane, schedule, seed=0):
+        return cls({plane: schedule}, seed=seed)
+
+    @classmethod
+    def uniform(cls, schedule_factory, planes=None, seed=0):
+        """One independently parameterized schedule per plane.
+
+        ``schedule_factory()`` is called once per plane so mutable
+        schedule state (there is none today, but the per-plane streams
+        assume independence) is never shared.
+        """
+        planes = tuple(planes) if planes is not None else tuple(FaultPlane)
+        return cls({plane: schedule_factory() for plane in planes},
+                   seed=seed)
+
+    @property
+    def armed(self):
+        return bool(self.schedules)
+
+    def to_dict(self):
+        return {
+            "seed": self.seed,
+            "planes": {plane.value: schedule.to_dict()
+                       for plane, schedule in sorted(
+                           self.schedules.items(), key=lambda kv: kv[0].value)},
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        data = dict(data)
+        unknown = set(data) - {"seed", "planes"}
+        if unknown:
+            raise FaultPlanError("unknown plan keys: %s"
+                              % ", ".join(sorted(unknown)))
+        return cls(
+            {FaultPlane(name): FaultSchedule.from_dict(schedule)
+             for name, schedule in data.get("planes", {}).items()},
+            seed=data.get("seed", 0),
+        )
+
+    def __repr__(self):
+        return "FaultPlan(seed=%d, planes=[%s])" % (
+            self.seed,
+            ", ".join(sorted(p.value for p in self.schedules)),
+        )

@@ -1,0 +1,60 @@
+"""Named fault planes: the substrate seams where faults can be injected.
+
+Each plane names one seam of the CRIMES substrate whose failure the
+framework must survive *safely* — a stalled copy, a slow introspection
+read, or a lost backup sync must degrade into a retry, a rollback, or a
+held buffer, never into a silent release of unaudited output. The
+injector (``repro.faults.injector``) arms planes per epoch from a
+:class:`~repro.faults.plan.FaultPlan`; the consumer that owns each seam
+asks the injector whether its plane is faulting and runs its recovery
+policy (retry/backoff, escalation, or degraded mode).
+"""
+
+import enum
+
+
+class FaultPlane(enum.Enum):
+    """One injectable seam of the checkpoint/audit/buffer machinery."""
+
+    #: The memcpy stage of the checkpoint pipeline: dirty-page staging
+    #: stalls or fails. Recovery: bounded retry with backoff (the recopy
+    #: cost is charged to the ``copy`` pause phase); exhaustion escalates
+    #: to a synchronous rollback of the epoch.
+    CHECKPOINT_COPY = "checkpoint_copy"
+
+    #: The dirty-bitmap harvest (``XEN_DOMCTL_SHADOW_OP_CLEAN``): the
+    #: read-and-reset stalls. Recovery: retry *before* the bitmap is
+    #: cleared, so an exhausted harvest never loses the dirty set.
+    BITMAP_HARVEST = "bitmap_harvest"
+
+    #: VMI reads during the audit run slow (``mode="latency"``) or
+    #: return garbage (``mode="corrupt"``, surfacing as an
+    #: ``IntrospectionError`` mid-audit). An audit that cannot complete
+    #: is *inconclusive*: the epoch is rolled back, never released.
+    VMI_READ = "vmi_read"
+
+    #: The end-of-epoch audit exceeds its per-epoch budget. Timeouts
+    #: escalate to a synchronous rollback — a stalled scanner must not
+    #: hold outputs hostage forever, and must never release them.
+    AUDIT_TIMEOUT = "audit_timeout"
+
+    #: The downstream sink rejects the buffer flush at release time.
+    #: Recovery: bounded retry; exhaustion parks the epoch's outputs in
+    #: the buffer (degraded hold) until a later flush succeeds or the
+    #: hold budget is exhausted and the outputs are shed.
+    NETBUF_RELEASE = "netbuf_release"
+
+    #: The commit-time synchronization to the (possibly remote) backup
+    #: is lost. Recovery: retry; exhaustion keeps the epoch staged and
+    #: holds its outputs (Synchronous Safety ties release to a durable
+    #: backup), shedding + rolling back if the outage persists.
+    BACKUP_SYNC = "backup_sync"
+
+    #: The virtual clock skews forward at an epoch boundary (a stalled
+    #: hypervisor scheduler). No recovery needed — but the skew must be
+    #: deterministic, journaled, and visible in the metrics.
+    CLOCK_SKEW = "clock_skew"
+
+
+#: Every plane, in declaration order (the chaos matrix iterates this).
+ALL_PLANES = tuple(FaultPlane)

@@ -1,0 +1,124 @@
+"""Bounded retry with exponential backoff and monotone jitter.
+
+The substrate's transient-fault recovery policy: delays grow
+exponentially from ``base_ms`` toward ``cap_ms``, each perturbed by a
+*positive* seeded jitter and clamped so the sequence is monotone
+non-decreasing — two properties the chaos property suite asserts for
+every seed (monotone, and bounded by ``cap_ms * (1 + jitter_frac)``).
+
+Backoff here is *virtual* time: the caller charges the returned
+``backoff_ms`` to the phase that stalled, so chaos runs stay
+deterministic and the flight journal prices every recovery.
+"""
+
+from repro.errors import FaultPlanError
+
+
+class RetryOutcome:
+    """What one bounded-retry episode did."""
+
+    __slots__ = ("success", "attempts", "delays_ms")
+
+    def __init__(self, success, attempts, delays_ms):
+        self.success = success
+        self.attempts = attempts
+        self.delays_ms = list(delays_ms)
+
+    @property
+    def failed_attempts(self):
+        return self.attempts - 1 if self.success else self.attempts
+
+    @property
+    def backoff_ms(self):
+        return sum(self.delays_ms)
+
+    def __repr__(self):
+        return "RetryOutcome(%s, attempts=%d, backoff=%.3fms)" % (
+            "ok" if self.success else "exhausted", self.attempts,
+            self.backoff_ms,
+        )
+
+
+class RetryPolicy:
+    """Exponential backoff, jittered, bounded, monotone."""
+
+    __slots__ = ("base_ms", "factor", "cap_ms", "max_attempts",
+                 "jitter_frac")
+
+    def __init__(self, base_ms=0.5, factor=2.0, cap_ms=8.0, max_attempts=4,
+                 jitter_frac=0.25):
+        if base_ms <= 0:
+            raise FaultPlanError("base_ms must be positive")
+        if factor < 1.0:
+            raise FaultPlanError("factor must be >= 1")
+        if cap_ms < base_ms:
+            raise FaultPlanError("cap_ms must be >= base_ms")
+        if max_attempts < 1:
+            raise FaultPlanError("max_attempts must be >= 1")
+        if not 0.0 <= jitter_frac <= 1.0:
+            raise FaultPlanError("jitter_frac must be in [0, 1]")
+        self.base_ms = base_ms
+        self.factor = factor
+        self.cap_ms = cap_ms
+        self.max_attempts = max_attempts
+        self.jitter_frac = jitter_frac
+
+    @property
+    def max_delay_ms(self):
+        """Hard bound on any single delay the policy can produce."""
+        return self.cap_ms * (1.0 + self.jitter_frac)
+
+    def delays(self, stream, count=None):
+        """The first ``count`` backoff delays for one retry episode.
+
+        Jitter is additive-positive and the sequence is clamped to its
+        running maximum, so it is monotone non-decreasing for *every*
+        seed — backoff must never shrink under randomness.
+        """
+        count = self.max_attempts - 1 if count is None else count
+        out = []
+        previous = 0.0
+        raw = self.base_ms
+        for _ in range(max(count, 0)):
+            delay = min(raw, self.cap_ms)
+            if self.jitter_frac > 0:
+                delay *= 1.0 + stream.uniform(0.0, self.jitter_frac)
+            delay = max(delay, previous)
+            out.append(delay)
+            previous = delay
+            raw *= self.factor
+        return out
+
+    def run(self, fault, stream):
+        """Probe ``fault`` until it clears or attempts are exhausted.
+
+        ``fault`` is an :class:`~repro.faults.injector.ActiveFault`;
+        each probe consumes one of its failures. Returns a
+        :class:`RetryOutcome` whose ``backoff_ms`` the caller charges to
+        virtual time.
+        """
+        delays = []
+        attempts = 0
+        while True:
+            attempts += 1
+            if not fault.fires():
+                return RetryOutcome(True, attempts, delays)
+            if attempts >= self.max_attempts:
+                return RetryOutcome(False, attempts, delays)
+            delays.append(self._next_delay(stream, delays))
+
+    def _next_delay(self, stream, delays_so_far):
+        """The next delay, continuing a monotone episode in progress."""
+        index = len(delays_so_far)
+        raw = min(self.base_ms * (self.factor ** index), self.cap_ms)
+        if self.jitter_frac > 0:
+            raw *= 1.0 + stream.uniform(0.0, self.jitter_frac)
+        if delays_so_far:
+            raw = max(raw, delays_so_far[-1])
+        return raw
+
+    def __repr__(self):
+        return ("RetryPolicy(base=%.2fms, factor=%.1f, cap=%.2fms, "
+                "max_attempts=%d, jitter=%.2f)"
+                % (self.base_ms, self.factor, self.cap_ms,
+                   self.max_attempts, self.jitter_frac))

@@ -1,0 +1,92 @@
+"""The safety invariant, checked against flight-recorder evidence.
+
+CRIMES's guarantee is that **no output emitted during an epoch that was
+never audited clean escapes** — under attack, and equally under faults
+in the protection machinery itself. The chaos suite does not trust the
+epoch loop's own return values to prove this; it re-derives the
+invariant from the flight journal, the same tamper-evident artifact an
+incident bundle ships.
+
+The derivation reads three event families:
+
+* ``scan.verdict`` (synchronous audits only) — which epochs were
+  audited, and whether they came back clean;
+* ``buffer.release`` — which epochs' outputs actually reached the
+  downstream sink (the buffer stamps every batch with the epochs it
+  contains);
+* ``buffer.discard`` — which epochs' outputs were destroyed.
+
+An epoch's outputs may be released only if that epoch has a clean
+synchronous verdict and was never discarded first.
+"""
+
+
+def _iter_payloads(events):
+    for event in events:
+        if isinstance(event, dict):
+            yield event
+        else:  # FlightEvent
+            yield event.payload()
+
+
+def check_safety_invariant(events, require_audit=True):
+    """Check the no-unaudited-release invariant over a flight journal.
+
+    ``events`` is a sequence of :class:`~repro.obs.flight.FlightEvent`
+    objects or their dict payloads (e.g. from an incident bundle or a
+    chaos artifact). Returns a plain-data verdict::
+
+        {"ok": bool, "violations": [...], "released_epochs": [...],
+         "clean_epochs": [...], "discarded_epochs": [...]}
+
+    With ``require_audit=False``, releases of never-audited epochs are
+    tolerated (a scan-disabled run has no verdicts at all); releases of
+    epochs whose audit *failed* or whose outputs were already discarded
+    are violations regardless.
+    """
+    clean = set()
+    attacked = set()
+    discarded = set()
+    released = set()
+    violations = []
+    for payload in _iter_payloads(events):
+        kind = payload["kind"]
+        attrs = payload.get("attrs") or {}
+        if kind == "scan.verdict" and not attrs.get("async_scan"):
+            epoch = payload.get("epoch")
+            if attrs.get("attack"):
+                attacked.add(epoch)
+            else:
+                clean.add(epoch)
+        elif kind == "buffer.discard":
+            discarded.update(attrs.get("epochs") or [])
+        elif kind == "buffer.release":
+            for epoch in attrs.get("epochs") or []:
+                released.add(epoch)
+                if epoch in attacked:
+                    violations.append(
+                        "epoch %s released after a failed audit" % epoch)
+                elif epoch in discarded:
+                    violations.append(
+                        "epoch %s released after its outputs were "
+                        "discarded" % epoch)
+                elif epoch is None:
+                    # Pre-speculation outputs (emitted before the first
+                    # epoch stamp, e.g. while seeding at start()): they
+                    # predate the initial backup and no audit covers
+                    # them, so a release is legitimate — but a release
+                    # after a discard (above) never is.
+                    continue
+                elif epoch not in clean and require_audit:
+                    violations.append(
+                        "epoch %s released without a clean audit verdict"
+                        % epoch)
+    return {
+        "ok": not violations,
+        "violations": violations,
+        # A release batch can carry epoch=None entries (outputs emitted
+        # before the first epoch stamp); keep the sort total anyway.
+        "released_epochs": sorted(released, key=lambda e: (e is None, e)),
+        "clean_epochs": sorted(clean),
+        "discarded_epochs": sorted(discarded),
+    }

@@ -55,6 +55,29 @@ class Domain:
     def log_dirty_enabled(self):
         return self._log_dirty_enabled
 
+    def harvest_dirty(self, optimized, fault=None, injector=None):
+        """Harvest-and-clear the dirty bitmap, surviving harvest faults.
+
+        The fault is probed *before* the read-and-reset runs: a harvest
+        that ultimately fails leaves the bitmap untouched, so rollback's
+        candidate set (which reads the live bitmap) is never lost to a
+        faulting control plane. Returns ``(dirty_pfns, stats,
+        backoff_ms)`` where ``backoff_ms`` is the retry cost to charge
+        to the bitscan phase; raises :class:`HypervisorError` if the
+        fault exhausts the retry budget.
+        """
+        backoff_ms = 0.0
+        if fault is not None:
+            outcome = injector.retry(fault, site="bitmap-harvest")
+            backoff_ms = outcome.backoff_ms
+            if not outcome.success:
+                raise HypervisorError(
+                    "dirty-bitmap harvest failed after %d attempt(s) "
+                    "(domain %d)" % (outcome.attempts, self.domid)
+                )
+        dirty, stats = self.dirty_bitmap.harvest(optimized)
+        return dirty, stats, backoff_ms
+
     # -- lifecycle ------------------------------------------------------------
 
     def pause(self):

@@ -11,6 +11,7 @@ walking CR3 — the mapping consulted is identical.
 import struct
 
 from repro.errors import IntrospectionError
+from repro.faults.planes import FaultPlane
 from repro.guest.layout import cstring
 from repro.guest.memory import PAGE_SIZE
 from repro.guest.pagetable import KERNEL_BASE, kernel_pa
@@ -92,14 +93,36 @@ class VMIInstance:
         self.costs = cost_model if cost_model is not None else VmiCostModel()
         self._jitter_rng = SeededStream(seed, "vmi/%s" % self.vm.name)
         self._cost_ms = 0.0
+        self._injector = None
         self.init_cost_ms = 0.0
         self.preprocess_cost_ms = 0.0
         self._initialize()
+
+    def attach_injector(self, injector):
+        """Route reads through the VMI_READ fault plane."""
+        self._injector = injector
 
     # -- cost accounting ---------------------------------------------------
 
     def _charge_ms(self, ms):
         charged = self._jitter_rng.jitter(ms, self.costs.JITTER)
+        injector = self._injector
+        if injector is not None:
+            fault = injector.check(FaultPlane.VMI_READ)
+            if fault is not None:
+                if fault.mode == "latency":
+                    # A slow mapping path: every charged read pays the
+                    # fault's magnitude on top of its modeled cost.
+                    charged += fault.magnitude_ms
+                elif fault.fires():
+                    # "fail"/"corrupt": the foreign mapping tears or the
+                    # bytes are garbage — surfaces as the same error a
+                    # real LibVMI read failure produces, and the audit
+                    # loop's escalation path owns the response.
+                    raise IntrospectionError(
+                        "VMI read fault injected (epoch %d, %s)"
+                        % (fault.epoch, fault.mode)
+                    )
         self._cost_ms += charged
         return charged
 

@@ -1,0 +1,124 @@
+"""Tier-1 chaos smoke tests (run in the default suite, no marker).
+
+Three seeded end-to-end scenarios, one per degraded-mode behaviour the
+fault plane promises:
+
+* a transient backup-sync fault → hold, then recover on the next clean
+  commit (``degraded.enter``/``degraded.exit``; the held epoch's
+  outputs eventually released);
+* a persistent backup-sync fault → the hold budget exhausts and the
+  backlog is shed (``degraded.shed`` + synchronous rollback);
+* an attack landing while the substrate faults → still detected and
+  contained.
+
+The full plane × shape matrix lives in test_fault_matrix.py behind the
+``chaos`` marker.
+"""
+
+from repro.faults import FaultPlan, FaultPlane, FaultSchedule
+from repro.faults.chaos import run_chaos
+
+
+def kinds_of(events):
+    return [event["kind"] for event in events]
+
+
+class TestHoldThenRecover:
+    # Seed 2 (probed, deterministic): the backup-sync plane faults once
+    # with fail_attempts above the retry budget — one held epoch, then
+    # the next epoch's clean commit drains the backlog.
+    PLAN = lambda self: FaultPlan.single(
+        FaultPlane.BACKUP_SYNC,
+        FaultSchedule.transient(probability=0.25, fail_attempts=5),
+        seed=2)
+
+    def test_held_epoch_recovers_on_next_commit(self):
+        result = run_chaos(fault_plan=self.PLAN(), seed=2, epochs=12)
+        crimes = result["crimes"]
+        kinds = kinds_of(result["events"])
+
+        assert crimes.epochs_held == 1 and crimes.epochs_shed == 0
+        assert kinds.count("degraded.enter") == 1
+        assert kinds.count("degraded.exit") == 1
+        assert crimes.health == "healthy"
+
+        # Nothing was lost: every epoch's outputs were eventually
+        # released (the held epoch's rode along with the next commit).
+        released = set(result["safety"]["released_epochs"])
+        assert set(range(1, 13)) <= released
+        assert result["safety"]["ok"], result["safety"]["violations"]
+
+    def test_hold_and_recovery_are_journaled_in_order(self):
+        result = run_chaos(fault_plan=self.PLAN(), seed=2, epochs=12)
+        kinds = kinds_of(result["events"])
+        enter = kinds.index("degraded.enter")
+        held = kinds.index("epoch.held")
+        exit_ = kinds.index("degraded.exit")
+        assert enter < held < exit_
+        (held_event,) = [e for e in result["events"]
+                         if e["kind"] == "epoch.held"]
+        assert held_event["attrs"]["reason"] == "backup-sync"
+
+    def test_backoff_cost_is_charged_to_virtual_time(self):
+        faulted = run_chaos(fault_plan=self.PLAN(), seed=2, epochs=12)
+        clean = run_chaos(fault_plan=None, seed=2, epochs=12)
+        # Retries and holds cost time: the faulted run's clock must be
+        # strictly behind-schedule relative to the identical clean run.
+        assert faulted["crimes"].clock.now > clean["crimes"].clock.now
+
+
+class TestHoldBudgetExhaustionSheds:
+    PLAN = lambda self: FaultPlan.single(
+        FaultPlane.BACKUP_SYNC, FaultSchedule.persistent(start_epoch=3),
+        seed=0)
+
+    def test_persistent_sync_fault_sheds_after_budget(self):
+        result = run_chaos(fault_plan=self.PLAN(), seed=0, epochs=10,
+                           max_hold_epochs=3)
+        crimes = result["crimes"]
+        outcomes = [record.outcome for record in crimes.records]
+        # Two full hold/hold/shed cycles, then the tail holds again:
+        # epochs 3-4 held, 5 shed (budget=3), 6-7 held, 8 shed, 9-10 held.
+        assert outcomes == ["committed", "committed",
+                            "held", "held", "rolled-back",
+                            "held", "held", "rolled-back",
+                            "held", "held"]
+        assert crimes.epochs_run == 10
+        assert crimes.fault_rollbacks == 2
+        assert crimes.epochs_shed == 6  # 2 sheds × (2 held + the trigger)
+
+        shed_events = [e for e in result["events"]
+                       if e["kind"] == "degraded.shed"]
+        assert [e["attrs"]["epochs_shed"] for e in shed_events] == [3, 3]
+        assert [e["attrs"]["reason"] for e in shed_events] == \
+            ["hold-budget-exhausted"] * 2
+
+    def test_no_held_output_ever_escapes(self):
+        result = run_chaos(fault_plan=self.PLAN(), seed=0, epochs=10,
+                           max_hold_epochs=3)
+        # Only the two epochs committed before the fault began (plus
+        # pre-speculation seeding) ever reached the sink.
+        assert result["safety"]["released_epochs"] == [1, 2, None]
+        assert result["safety"]["ok"], result["safety"]["violations"]
+        metrics = result["metrics"]
+        assert metrics["packets_discarded"] > 0
+
+
+class TestAttackUnderFault:
+    def test_attack_detected_despite_substrate_faults(self):
+        # Seed 23 (probed): transient faults on every plane roll several
+        # epochs back; the heap overflow re-triggers after each restore
+        # and is finally caught at its audit. Nothing escapes.
+        plan = FaultPlan.uniform(
+            lambda: FaultSchedule.transient(probability=0.35,
+                                            fail_attempts=2),
+            seed=23)
+        result = run_chaos(fault_plan=plan, seed=23, epochs=12,
+                           attack_epoch=4)
+        crimes = result["crimes"]
+        assert crimes.suspended
+        assert crimes.records[-1].outcome == "attack"
+        assert crimes.records[-1].detection.attack_detected
+        assert result["safety"]["ok"], result["safety"]["violations"]
+        attacked = crimes.records[-1].epoch
+        assert attacked not in set(result["safety"]["released_epochs"])

@@ -1,0 +1,112 @@
+"""The chaos matrix: every fault plane × every temporal shape.
+
+Each cell runs a seeded chaos scenario (one CRIMES-protected guest with
+a packet-emitting workload) under a single-plane fault plan and asserts
+the two things the fault subsystem owes us:
+
+* **safety** — re-derived from the flight journal alone: no output from
+  an epoch that was never audited clean ever reached the downstream
+  sink, no matter which seam faulted or how;
+* **reproducibility** — the same (seed, plan) pair yields bit-identical
+  flight journals (hash-chain head included) and a bit-identical final
+  guest memory image.
+
+The matrix is deselected from the tier-1 run (`-m "not chaos"` in
+pyproject); CI's chaos job opts in with ``-m chaos`` and can reduce the
+density via the ``CRIMES_CHAOS_EPOCHS`` environment variable.
+"""
+
+import os
+
+import pytest
+
+from repro.faults import ALL_PLANES, FaultPlan, FaultSchedule, ScheduleKind
+from repro.faults.chaos import run_chaos
+
+pytestmark = pytest.mark.chaos
+
+EPOCHS = int(os.environ.get("CRIMES_CHAOS_EPOCHS", "12"))
+
+# One schedule factory per temporal shape. fail_attempts=2 keeps the
+# retry path busy without guaranteeing recovery (the retry budget is 4
+# attempts), so both recovery and escalation show up across the matrix.
+_SHAPES = {
+    ScheduleKind.TRANSIENT: lambda: FaultSchedule.transient(
+        probability=0.35, fail_attempts=2),
+    ScheduleKind.PERSISTENT: lambda: FaultSchedule.persistent(start_epoch=3),
+    ScheduleKind.BURST: lambda: FaultSchedule.burst(start_epoch=3, duration=2,
+                                                    fail_attempts=2),
+}
+
+
+def _cell_id(plane, kind):
+    return "%s-%s" % (plane.value, kind)
+
+
+def _cell_seed(plane, kind, base):
+    # Stable across processes (unlike hash()): every cell gets its own
+    # seed so plans don't accidentally share fault timelines.
+    return (base
+            + list(ALL_PLANES).index(plane) * len(ScheduleKind.ALL)
+            + ScheduleKind.ALL.index(kind))
+
+
+@pytest.mark.parametrize(
+    "plane,kind",
+    [(plane, kind) for plane in ALL_PLANES for kind in ScheduleKind.ALL],
+    ids=[_cell_id(plane, kind)
+         for plane in ALL_PLANES for kind in ScheduleKind.ALL],
+)
+class TestFaultMatrix:
+    def _plan(self, plane, kind, seed):
+        return FaultPlan.single(plane, _SHAPES[kind](), seed=seed)
+
+    def test_safety_invariant_holds(self, plane, kind):
+        seed = _cell_seed(plane, kind, base=100)
+        result = run_chaos(fault_plan=self._plan(plane, kind, seed),
+                           seed=seed, epochs=EPOCHS)
+        assert result["safety"]["ok"], result["safety"]["violations"]
+        metrics = result["metrics"]
+        # The run must have actually finished its epochs — a fault that
+        # wedges the loop is as much a failure as one that leaks.
+        assert metrics["epochs_run"] == EPOCHS
+        # Accounting closes: every injected fault either recovered,
+        # escalated, or was absorbed without a retry episode (latency
+        # skew, audit errors raised straight to rollback, holds).
+        faults = metrics["faults"]
+        assert faults["recovered_total"] + faults["escalated_total"] \
+            <= faults["injected_total"]
+
+    def test_same_seed_reproduces_bit_identical_evidence(self, plane, kind):
+        seed = _cell_seed(plane, kind, base=500)
+        first = run_chaos(fault_plan=self._plan(plane, kind, seed),
+                          seed=seed, epochs=EPOCHS)
+        second = run_chaos(fault_plan=self._plan(plane, kind, seed),
+                           seed=seed, epochs=EPOCHS)
+        assert first["head_hash"] == second["head_hash"]
+        assert first["events"] == second["events"]
+        assert first["memory_sha256"] == second["memory_sha256"]
+
+
+class TestCombinedPlanes:
+    """All planes armed at once — the shapes interact, safety must not."""
+
+    @pytest.mark.parametrize("seed", [1, 17, 42])
+    def test_all_planes_transient(self, seed):
+        plan = FaultPlan.uniform(_SHAPES[ScheduleKind.TRANSIENT], seed=seed)
+        result = run_chaos(fault_plan=plan, seed=seed, epochs=EPOCHS)
+        assert result["safety"]["ok"], result["safety"]["violations"]
+        assert result["metrics"]["epochs_run"] == EPOCHS
+
+    def test_attack_under_fault_is_still_contained(self):
+        # An overflow attack fires while transient faults rattle the
+        # substrate; whatever the interleaving, nothing the attacked (or
+        # any unaudited) epoch emitted may escape.
+        plan = FaultPlan.uniform(_SHAPES[ScheduleKind.TRANSIENT], seed=23)
+        result = run_chaos(fault_plan=plan, seed=23, epochs=EPOCHS,
+                           attack_epoch=4)
+        assert result["safety"]["ok"], result["safety"]["violations"]
+        crimes = result["crimes"]
+        if crimes.suspended:  # the attack epoch survived to its audit
+            assert crimes.records[-1].outcome == "attack"
+            assert crimes.records[-1].detection.attack_detected

@@ -1,0 +1,112 @@
+"""Property tests for the fault plane (hypothesis).
+
+Two promises, checked over arbitrary seeds and plan shapes rather than
+hand-picked scenarios:
+
+* **determinism** — a chaos run is a pure function of (workload seed,
+  fault plan): same inputs, bit-identical flight journal (hash-chain
+  head included) and bit-identical final guest memory;
+* **bounded monotone backoff** — for every policy shape and every seed,
+  retry delays never shrink, never exceed ``cap_ms * (1 +
+  jitter_frac)``, and never number more than ``max_attempts - 1``.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import (
+    ALL_PLANES,
+    FaultPlan,
+    FaultSchedule,
+    RetryPolicy,
+    ScheduleKind,
+)
+from repro.faults.chaos import run_chaos
+from repro.sim.rng import SeededStream
+
+_SCHEDULES = st.sampled_from(ScheduleKind.ALL).flatmap(
+    lambda kind: st.builds(
+        FaultSchedule,
+        kind=st.just(kind),
+        probability=st.floats(0.0, 1.0),
+        start_epoch=st.integers(1, 6),
+        duration=st.integers(1, 3),
+        fail_attempts=st.integers(1, 6),
+        magnitude_ms=st.floats(0.0, 5.0),
+        mode=st.sampled_from(["fail", "latency", "corrupt"]),
+    )
+)
+
+_PLANS = st.dictionaries(
+    st.sampled_from(list(ALL_PLANES)), _SCHEDULES, min_size=1, max_size=3,
+)
+
+
+class TestChaosDeterminism:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), schedules=_PLANS)
+    def test_same_seed_and_plan_reproduce_identical_evidence(
+            self, seed, schedules):
+        def once():
+            plan = FaultPlan(dict(schedules), seed=seed)
+            return run_chaos(fault_plan=plan, seed=seed, epochs=6)
+
+        first, second = once(), once()
+        assert first["head_hash"] == second["head_hash"]
+        assert first["events"] == second["events"]
+        assert first["memory_sha256"] == second["memory_sha256"]
+        assert first["metrics"]["faults"] == second["metrics"]["faults"]
+        # and the safety invariant held, whatever the plan did
+        assert first["safety"]["ok"], first["safety"]["violations"]
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_disarmed_plan_matches_no_plan(self, seed):
+        # FaultPlan.none() must be behaviourally invisible: the hooks
+        # are installed but the run's evidence is identical to a run
+        # with no injector at all.
+        armed = run_chaos(fault_plan=FaultPlan.none(seed=seed), seed=seed,
+                          epochs=6)
+        bare = run_chaos(fault_plan=None, seed=seed, epochs=6)
+        assert armed["head_hash"] == bare["head_hash"]
+        assert armed["events"] == bare["events"]
+        assert armed["memory_sha256"] == bare["memory_sha256"]
+
+
+_POLICIES = st.builds(
+    RetryPolicy,
+    base_ms=st.floats(0.01, 4.0),
+    factor=st.floats(1.0, 4.0),
+    cap_ms=st.floats(4.0, 64.0),
+    max_attempts=st.integers(1, 8),
+    jitter_frac=st.floats(0.0, 1.0),
+)
+
+
+class TestRetryBackoffProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(policy=_POLICIES, seed=st.integers(0, 2**31 - 1))
+    def test_delays_monotone_bounded_and_counted(self, policy, seed):
+        delays = policy.delays(SeededStream(seed, "faults/backoff"))
+        assert len(delays) == policy.max_attempts - 1
+        assert all(later >= earlier
+                   for earlier, later in zip(delays, delays[1:]))
+        assert all(0.0 < delay <= policy.max_delay_ms for delay in delays)
+
+    @settings(max_examples=50, deadline=None)
+    @given(policy=_POLICIES, seed=st.integers(0, 2**31 - 1),
+           fail_attempts=st.integers(1, 12))
+    def test_run_episode_delays_obey_the_same_bounds(
+            self, policy, seed, fail_attempts):
+        from repro.faults import ActiveFault, FaultPlane
+
+        fault = ActiveFault(
+            FaultPlane.CHECKPOINT_COPY,
+            FaultSchedule.transient(fail_attempts=fail_attempts), 1)
+        outcome = policy.run(fault, SeededStream(seed, "faults/run"))
+        delays = outcome.delays_ms
+        assert len(delays) <= policy.max_attempts - 1
+        assert all(later >= earlier
+                   for earlier, later in zip(delays, delays[1:]))
+        assert all(0.0 < delay <= policy.max_delay_ms for delay in delays)
+        assert outcome.attempts <= policy.max_attempts
+        assert outcome.success == (fail_attempts < policy.max_attempts)

@@ -1,0 +1,242 @@
+"""Regression tests for fault-path races and silent-unwind bugs.
+
+Three formerly-latent behaviours, pinned down:
+
+* ``OutputBuffer.release()`` for an epoch a rollback already discarded
+  must be a counted no-op, never a late leak;
+* an :class:`AsyncScanner` job whose snapshot was rolled back must be
+  cancelled — its late verdict must never land;
+* an audit that *raises* (``IntrospectionError``/``ForensicsError``)
+  used to unwind the epoch loop silently; it must now be observed
+  evidence (counter + journal) that escalates to a synchronous
+  rollback, after which the VM keeps running.
+"""
+
+import pytest
+
+from repro.core.async_scan import AsyncScanner
+from repro.core.config import CrimesConfig
+from repro.core.crimes import Crimes
+from repro.detectors import SyscallTableModule
+from repro.errors import ForensicsError
+from repro.faults import FaultPlan, FaultPlane, FaultSchedule
+from repro.faults.chaos import run_chaos
+from repro.guest.devices import DiskWrite, OutputSink, Packet
+from repro.guest.linux import LinuxGuest
+from repro.netbuf.buffer import BufferMode, OutputBuffer
+from repro.obs import MetricsRegistry
+from repro.obs.flight import FlightRecorder
+from repro.sim.clock import VirtualClock
+from repro.workloads.kvstore import KeyValueStoreProgram
+
+
+def make_buffer():
+    clock = VirtualClock()
+    sink = OutputSink(clock)
+    registry = MetricsRegistry(clock)
+    flight = FlightRecorder(clock, tenant="t")
+    buffer = OutputBuffer(sink, mode=BufferMode.SYNCHRONOUS, clock=clock,
+                          registry=registry, flight=flight)
+    return buffer, sink, registry, flight
+
+
+class TestStaleRelease:
+    def test_release_after_discard_is_a_counted_noop(self):
+        buffer, sink, registry, flight = make_buffer()
+        buffer.begin_epoch(1)
+        buffer.emit_packet(Packet("a", "b", b"speculative"))
+        buffer.emit_disk_write(DiskWrite(0, b"speculative"))
+        buffer.discard()  # rollback destroyed epoch 1's outputs
+
+        assert buffer.release(1) == (0, 0)
+        assert sink.packets == [] and sink.disk_writes == []
+        assert registry.counter("netbuf.stale_releases").value == 1
+        (event,) = flight.events(kind="buffer.release_stale")
+        assert event.epoch == 1
+        # and nothing was journaled as an actual release
+        assert not flight.events(kind="buffer.release")
+
+    def test_discard_marks_current_epoch_even_without_outputs(self):
+        # Rollback of an epoch that never emitted anything must still
+        # fence later release() calls for it.
+        buffer, sink, registry, _flight = make_buffer()
+        buffer.begin_epoch(4)
+        buffer.discard()
+        assert buffer.release(4) == (0, 0)
+        assert registry.counter("netbuf.stale_releases").value == 1
+        assert sink.packets == []
+
+    def test_release_of_live_epoch_still_works_after_older_discard(self):
+        buffer, sink, _registry, _flight = make_buffer()
+        buffer.begin_epoch(1)
+        buffer.emit_packet(Packet("a", "b", b"doomed"))
+        buffer.discard()
+        buffer.begin_epoch(2)
+        buffer.emit_packet(Packet("a", "b", b"clean"))
+        assert buffer.release(2) == (1, 0)
+        assert [p.payload for p in sink.packets] == [b"clean"]
+
+
+class FakeDeepScan:
+    """A deep-scan module with a controllable (long) duration."""
+
+    name = "fake-deep-scan"
+
+    def __init__(self, cost_ms=1000.0):
+        self._cost_ms = cost_ms
+        self.scans = 0
+
+    def cost_ms(self, dump):
+        return self._cost_ms
+
+    def scan(self, dump):
+        self.scans += 1
+        return []
+
+
+class TestAsyncLateVerdictRace:
+    def make_scanner(self, linux_domain):
+        from repro.checkpoint.checkpointer import Checkpointer
+
+        vm = linux_domain.vm
+        clock = vm.clock
+        registry = MetricsRegistry(clock)
+        flight = FlightRecorder(clock, tenant="t")
+        checkpointer = Checkpointer(linux_domain)
+        checkpointer.start()
+        scanner = AsyncScanner(clock, registry=registry, flight=flight)
+        scanner.install(FakeDeepScan(cost_ms=100.0))
+        return scanner, checkpointer, vm, clock, registry, flight
+
+    def test_cancelled_job_never_delivers_a_verdict(self, linux_domain):
+        scanner, checkpointer, vm, clock, registry, flight = \
+            self.make_scanner(linux_domain)
+        job = scanner.offer_snapshot(vm, checkpointer.backup_snapshot(), 1)
+        assert job is not None and scanner.busy
+
+        cancelled = scanner.cancel(reason="rollback")
+        assert cancelled is job and not scanner.busy
+
+        # The race: virtual time passes the job's completion point.
+        # Without the cancel this poll would deliver a verdict for a
+        # snapshot whose epoch was rolled back.
+        clock.advance(job.completes_at - clock.now + 1.0)
+        assert scanner.poll() is None
+        assert scanner.verdicts == []
+        assert scanner.modules[0].scans == 0  # the dump was never scanned
+
+        assert scanner.jobs_cancelled == 1
+        assert registry.counter("async.jobs_cancelled").value == 1
+        (event,) = flight.events(kind="async.cancelled")
+        assert event.epoch == 1 and event.attrs["reason"] == "rollback"
+
+    def test_counterfactual_poll_delivers_without_cancel(self, linux_domain):
+        scanner, checkpointer, vm, clock, _registry, _flight = \
+            self.make_scanner(linux_domain)
+        job = scanner.offer_snapshot(vm, checkpointer.backup_snapshot(), 1)
+        clock.advance(job.completes_at - clock.now + 1.0)
+        assert scanner.poll() is not None  # the race is real
+
+    def test_cancel_frees_the_scanning_core(self, linux_domain):
+        scanner, checkpointer, vm, _clock, _registry, _flight = \
+            self.make_scanner(linux_domain)
+        scanner.offer_snapshot(vm, checkpointer.backup_snapshot(), 1)
+        scanner.cancel()
+        assert scanner.offer_snapshot(
+            vm, checkpointer.backup_snapshot(), 2) is not None
+
+    def test_cancel_while_idle_is_a_noop(self, linux_domain):
+        scanner, _checkpointer, _vm, _clock, registry, flight = \
+            self.make_scanner(linux_domain)
+        assert scanner.cancel() is None
+        assert scanner.jobs_cancelled == 0
+        assert not flight.events(kind="async.cancelled")
+
+    def test_fault_rollback_cancels_inflight_scan(self):
+        # End to end: an audit fault rolls epoch 3 back while a deep
+        # scan of epoch 1's checkpoint is still in flight; the scan is
+        # cancelled, journaled, and never produces a verdict.
+        plan = FaultPlan.single(
+            FaultPlane.VMI_READ,
+            FaultSchedule.burst(start_epoch=3, duration=1), seed=5)
+        vm = LinuxGuest(name="race-test", memory_bytes=4 * 1024 * 1024,
+                        seed=5)
+        crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=20.0, seed=5),
+                        fault_plan=plan)
+        crimes.install_module(SyscallTableModule())
+        deep = crimes.install_async_module(FakeDeepScan(cost_ms=10_000.0))
+        crimes.add_program(KeyValueStoreProgram(seed=5))
+        crimes.start()
+        crimes.run(max_epochs=5)
+
+        assert crimes.fault_rollbacks == 1
+        assert crimes.async_scanner.jobs_cancelled == 1
+        assert crimes.async_scanner.verdicts == []
+        assert deep.scans == 0
+        (event,) = crimes.observer.flight.events(kind="async.cancelled")
+        assert event.attrs["reason"] == "audit-error"
+        # the VM kept running after the rollback
+        assert crimes.epochs_run == 5 and not crimes.suspended
+
+
+class TestAuditErrorObservability:
+    def test_injected_vmi_fault_is_observed_and_rolled_back(self):
+        plan = FaultPlan.single(
+            FaultPlane.VMI_READ,
+            FaultSchedule.burst(start_epoch=3, duration=1), seed=9)
+        result = run_chaos(fault_plan=plan, seed=9, epochs=6)
+        crimes = result["crimes"]
+
+        assert crimes.observer.registry.counter(
+            "faults.audit_error").value == 1
+        observed = [e for e in result["events"]
+                    if e["kind"] == "fault.observed"
+                    and e["attrs"].get("site") == "audit"]
+        assert len(observed) == 1
+        assert observed[0]["epoch"] == 3
+        assert observed[0]["attrs"]["error"] == "IntrospectionError"
+
+        (rollback,) = [e for e in result["events"]
+                       if e["kind"] == "epoch.rolled_back"]
+        assert rollback["epoch"] == 3
+        record = crimes.records[2]
+        assert record.outcome == "rolled-back" and not record.committed
+
+        # The VM survived: later epochs committed, nothing escaped from
+        # the unaudited epoch, and the safety invariant holds.
+        assert crimes.epochs_run == 6 and not crimes.suspended
+        assert crimes.records[-1].committed
+        assert 3 not in result["safety"]["released_epochs"]
+        assert result["safety"]["ok"], result["safety"]["violations"]
+
+    def test_forensics_error_mid_audit_is_observed(self, monkeypatch):
+        # Same contract when the *forensics* layer blows up: previously
+        # this unwound run_epoch silently; now it is counted, journaled,
+        # and escalated to a rollback — no fault plan required.
+        vm = LinuxGuest(name="forensics-err", memory_bytes=4 * 1024 * 1024,
+                        seed=3)
+        crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=20.0, seed=3))
+        crimes.install_module(SyscallTableModule())
+        crimes.add_program(KeyValueStoreProgram(seed=3))
+        crimes.start()
+
+        real_scan = crimes.detector.scan
+        calls = {"n": 0}
+
+        def flaky_scan(**kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise ForensicsError("symbol table vanished mid-walk")
+            return real_scan(**kwargs)
+
+        monkeypatch.setattr(crimes.detector, "scan", flaky_scan)
+        crimes.run(max_epochs=4)
+
+        assert crimes.observer.registry.counter(
+            "faults.audit_error").value == 1
+        (observed,) = crimes.observer.flight.events(kind="fault.observed")
+        assert observed.attrs["error"] == "ForensicsError"
+        assert "symbol table" in observed.attrs["detail"]
+        assert crimes.records[1].outcome == "rolled-back"
+        assert crimes.fault_rollbacks == 1
+        assert crimes.epochs_run == 4 and crimes.records[-1].committed
