@@ -1,0 +1,17 @@
+# Convenience entry points; everything runs from the source tree.
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: lint lint-json test verify
+
+lint:
+	$(PYTHON) -m repro lint
+
+lint-json:
+	$(PYTHON) -m repro lint --format json --out crimeslint.json
+
+test:
+	$(PYTHON) -m pytest -q
+
+verify:
+	$(PYTHON) -m repro verify

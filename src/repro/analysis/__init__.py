@@ -1,0 +1,38 @@
+"""crimeslint — static enforcement of the repo's runtime invariants.
+
+The dynamic planes (``repro.faults.safety``, the flight journal, the
+seeded RNG streams) detect invariant violations after they execute;
+this package rejects them at the source level. See
+``docs/architecture.md`` for the rule catalog.
+"""
+
+from repro.analysis import rules as _rules  # noqa: F401 — registers the pack
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.engine import (
+    LintEngine,
+    LintReport,
+    PARSE_RULE,
+    REPORT_SCHEMA,
+    run_lint,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import RULES, Rule, catalog, register
+from repro.analysis.resolver import Project, SourceModule
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "PARSE_RULE",
+    "Project",
+    "REPORT_SCHEMA",
+    "RULES",
+    "Rule",
+    "Severity",
+    "SourceModule",
+    "catalog",
+    "register",
+    "run_lint",
+]

@@ -1,0 +1,174 @@
+"""The ``.crimeslint.toml`` baseline: justified suppressions only.
+
+A baseline entry allowlists findings by rule + file (and optionally by
+symbol, message substring, or line). Every entry must carry a ``reason``
+— a suppression without a justification is a config error, because the
+baseline is the audited record of *why* each residual violation is
+acceptable. Entries that match nothing are reported as unused so the
+baseline cannot silently rot.
+
+The file is TOML; ``tomllib`` parses it on Python 3.11+, and a small
+restricted fallback parser (sections, ``[[suppress]]`` tables, string
+and string-array values) keeps 3.9/3.10 working without adding a
+dependency.
+"""
+
+import fnmatch
+import re
+
+try:
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - 3.9/3.10 fallback
+    _toml = None
+
+from repro.errors import ConfigError
+
+DEFAULT_BASELINE_NAME = ".crimeslint.toml"
+
+_SECTION = re.compile(r"^\[\[?([A-Za-z0-9_.-]+)\]?\]$")
+_KEYVAL = re.compile(r"^([A-Za-z0-9_-]+)\s*=\s*(.+)$")
+
+
+def _parse_value(raw):
+    raw = raw.strip()
+    if raw.startswith("[") and raw.endswith("]"):
+        inner = raw[1:-1].strip()
+        if not inner:
+            return []
+        return [_parse_value(part) for part in inner.split(",") if part.strip()]
+    if (raw.startswith('"') and raw.endswith('"')) or (
+            raw.startswith("'") and raw.endswith("'")):
+        return raw[1:-1]
+    if raw in ("true", "false"):
+        return raw == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigError("unsupported TOML value: %r" % raw)
+
+
+def _fallback_parse(text):  # pragma: no cover - exercised only pre-3.11
+    """Parse the restricted TOML subset the baseline format uses."""
+    data = {}
+    current = data
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip() if not (
+            '"' in raw_line or "'" in raw_line) else raw_line.strip()
+        if line.startswith("#") or not line:
+            continue
+        match = _SECTION.match(line)
+        if match is not None:
+            name = match.group(1)
+            if line.startswith("[["):
+                current = {}
+                data.setdefault(name, []).append(current)
+            else:
+                current = data.setdefault(name, {})
+            continue
+        match = _KEYVAL.match(line)
+        if match is None:
+            raise ConfigError("unparseable baseline line: %r" % raw_line)
+        current[match.group(1)] = _parse_value(match.group(2))
+    return data
+
+
+def parse_toml(text):
+    if _toml is not None:
+        return _toml.loads(text)
+    return _fallback_parse(text)
+
+
+class BaselineEntry:
+    """One allowlisted violation class, with its justification."""
+
+    __slots__ = ("rule", "path", "symbol", "contains", "line", "reason",
+                 "hits")
+
+    def __init__(self, rule, path, reason, symbol=None, contains=None,
+                 line=None):
+        self.rule = rule
+        self.path = path
+        self.reason = reason
+        self.symbol = symbol
+        self.contains = contains
+        self.line = line
+        self.hits = 0
+
+    def matches(self, finding):
+        if finding.rule != self.rule:
+            return False
+        if not fnmatch.fnmatch(finding.path, self.path):
+            return False
+        if self.symbol is not None and finding.symbol != self.symbol:
+            return False
+        if self.contains is not None and self.contains not in finding.message:
+            return False
+        if self.line is not None and finding.line != self.line:
+            return False
+        return True
+
+    def to_dict(self):
+        out = {"rule": self.rule, "path": self.path, "reason": self.reason}
+        if self.symbol is not None:
+            out["symbol"] = self.symbol
+        if self.contains is not None:
+            out["contains"] = self.contains
+        if self.line is not None:
+            out["line"] = self.line
+        return out
+
+
+class Baseline:
+    """Parsed ``.crimeslint.toml``: lint config + suppression entries."""
+
+    def __init__(self, entries=(), lint_paths=None, source=None):
+        self.entries = list(entries)
+        self.lint_paths = list(lint_paths) if lint_paths else None
+        self.source = source
+
+    @classmethod
+    def empty(cls):
+        return cls()
+
+    @classmethod
+    def from_text(cls, text, source=None):
+        data = parse_toml(text)
+        entries = []
+        for index, raw in enumerate(data.get("suppress", [])):
+            if not isinstance(raw, dict):
+                raise ConfigError("[[suppress]] entry %d is not a table"
+                                  % index)
+            missing = {"rule", "path", "reason"} - set(raw)
+            if missing:
+                raise ConfigError(
+                    "[[suppress]] entry %d is missing %s — every baseline "
+                    "suppression needs a rule, a path, and a one-line "
+                    "justification" % (index, ", ".join(sorted(missing)))
+                )
+            entries.append(BaselineEntry(
+                rule=str(raw["rule"]).upper(),
+                path=raw["path"],
+                reason=raw["reason"],
+                symbol=raw.get("symbol"),
+                contains=raw.get("contains"),
+                line=raw.get("line"),
+            ))
+        lint = data.get("lint", {})
+        return cls(entries=entries, lint_paths=lint.get("paths"),
+                   source=source)
+
+    @classmethod
+    def from_path(cls, path):
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_text(handle.read(), source=str(path))
+
+    def match(self, finding):
+        """First entry suppressing ``finding`` (hit-counted), or None."""
+        for entry in self.entries:
+            if entry.matches(finding):
+                entry.hits += 1
+                return entry
+        return None
+
+    def unused_entries(self):
+        return [entry for entry in self.entries if entry.hits == 0]

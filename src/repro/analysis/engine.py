@@ -1,0 +1,191 @@
+"""The lint engine: discovery -> parse -> rules -> suppression -> report.
+
+``LintEngine`` discovers ``*.py`` files under the configured paths,
+parses each into a :class:`SourceModule` (files that fail to parse
+become CRL000 findings rather than crashes), runs every registered rule
+over the resulting :class:`Project`, then applies inline pragmas and the
+``.crimeslint.toml`` baseline. The resulting :class:`LintReport` renders
+as text for humans or as a versioned JSON document for the CI artifact.
+"""
+
+import json
+import os
+
+from repro.analysis import registry
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import suppresses
+from repro.analysis.resolver import Project, SourceModule
+from repro.errors import ConfigError
+
+#: Schema tag stamped into every JSON report.
+REPORT_SCHEMA = "crimes-lint/1"
+
+#: Pseudo-rule for files the analyzer cannot parse at all.
+PARSE_RULE = "CRL000"
+
+
+class LintReport:
+    """The outcome of one lint run."""
+
+    def __init__(self, findings, suppressed_pragma, suppressed_baseline,
+                 files, rules, unused_baseline):
+        self.findings = findings
+        self.suppressed_pragma = suppressed_pragma
+        self.suppressed_baseline = suppressed_baseline
+        self.files = files
+        self.rules = rules
+        self.unused_baseline = unused_baseline
+
+    @property
+    def clean(self):
+        return not self.findings and not self.unused_baseline
+
+    def exit_code(self):
+        return 0 if self.clean else 1
+
+    def render_text(self):
+        lines = [finding.render() for finding in self.findings]
+        for entry in self.unused_baseline:
+            lines.append(
+                "%s: baseline warning: unused suppression for %s (%s) — "
+                "remove the stale entry" % (entry.path, entry.rule,
+                                            entry.reason)
+            )
+        lines.append(
+            "crimeslint: %d finding(s) in %d file(s), %d rule(s); "
+            "%d suppressed (%d pragma, %d baseline)" % (
+                len(self.findings), len(self.files), len(self.rules),
+                self.suppressed_pragma + self.suppressed_baseline,
+                self.suppressed_pragma, self.suppressed_baseline,
+            )
+        )
+        return "\n".join(lines)
+
+    def to_dict(self):
+        return {
+            "schema": REPORT_SCHEMA,
+            "clean": self.clean,
+            "files": list(self.files),
+            "rules": list(self.rules),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "suppressed": {
+                "pragma": self.suppressed_pragma,
+                "baseline": self.suppressed_baseline,
+            },
+            "unused_baseline": [entry.to_dict()
+                                for entry in self.unused_baseline],
+        }
+
+    def render_json(self):
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+class LintEngine:
+    """Configured analyzer: run :meth:`run` to produce a report."""
+
+    def __init__(self, paths=None, root=None, baseline="auto", select=None):
+        self.root = os.path.abspath(root or os.getcwd())
+        self.baseline = self._load_baseline(baseline)
+        if paths is None and self.baseline.lint_paths:
+            paths = self.baseline.lint_paths
+        if paths is None:
+            paths = ["src/repro"]
+        self.paths = list(paths)
+        self.rules = registry.instantiate(select=select)
+
+    def _load_baseline(self, baseline):
+        if baseline is False or baseline is None:
+            return Baseline.empty()
+        if baseline == "auto":
+            candidate = os.path.join(self.root, DEFAULT_BASELINE_NAME)
+            if os.path.isfile(candidate):
+                return Baseline.from_path(candidate)
+            return Baseline.empty()
+        if not os.path.isfile(baseline):
+            raise ConfigError("baseline file not found: %s" % baseline)
+        return Baseline.from_path(baseline)
+
+    # -- discovery ---------------------------------------------------------
+
+    def _discover(self):
+        files = []
+        for path in self.paths:
+            absolute = path if os.path.isabs(path) else os.path.join(
+                self.root, path)
+            if os.path.isdir(absolute):
+                for dirpath, dirnames, filenames in os.walk(absolute):
+                    dirnames.sort()
+                    dirnames[:] = [d for d in dirnames
+                                   if d != "__pycache__"]
+                    for name in sorted(filenames):
+                        if name.endswith(".py"):
+                            files.append(os.path.join(dirpath, name))
+            elif os.path.isfile(absolute):
+                files.append(absolute)
+            else:
+                raise ConfigError("lint path does not exist: %s" % path)
+        seen = set()
+        unique = []
+        for path in files:
+            if path not in seen:
+                seen.add(path)
+                unique.append(path)
+        return unique
+
+    def _rel(self, path):
+        rel = os.path.relpath(path, self.root)
+        return rel.replace(os.sep, "/")
+
+    # -- the run -----------------------------------------------------------
+
+    def run(self):
+        parse_findings = []
+        modules = []
+        for path in self._discover():
+            rel = self._rel(path)
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            try:
+                modules.append(SourceModule(path, rel, text))
+            except SyntaxError as err:
+                parse_findings.append(Finding(
+                    rule=PARSE_RULE,
+                    path=rel,
+                    line=err.lineno or 1,
+                    message="file does not parse: %s" % (err.msg or err),
+                ))
+        project = Project(modules)
+
+        raw = list(parse_findings)
+        for rule in self.rules:
+            raw.extend(rule.check_project(project))
+
+        findings = []
+        suppressed_pragma = 0
+        suppressed_baseline = 0
+        for finding in raw:
+            module = project.by_rel_path.get(finding.path)
+            if module is not None and suppresses(module.pragmas, finding):
+                suppressed_pragma += 1
+                continue
+            if self.baseline.match(finding) is not None:
+                suppressed_baseline += 1
+                continue
+            findings.append(finding)
+        findings.sort(key=lambda finding: finding.sort_key())
+
+        return LintReport(
+            findings=findings,
+            suppressed_pragma=suppressed_pragma,
+            suppressed_baseline=suppressed_baseline,
+            files=[module.rel_path for module in project],
+            rules=[rule.id for rule in self.rules],
+            unused_baseline=self.baseline.unused_entries(),
+        )
+
+
+def run_lint(paths=None, root=None, baseline="auto", select=None):
+    """One-call convenience wrapper used by the CLI and tests."""
+    return LintEngine(paths=paths, root=root, baseline=baseline,
+                      select=select).run()

@@ -1,0 +1,56 @@
+"""Structured findings: the analyzer's one output type.
+
+A :class:`Finding` is a plain record — rule ID, location, message — that
+renders as ``path:line: RULE message`` for humans, as a JSON object for
+the CI artifact, and is shaped so the ``repro.obs`` exporters can fold a
+lint report into an incident bundle or BENCH payload without adapters.
+"""
+
+
+class Severity:
+    ERROR = "error"
+    WARNING = "warning"
+
+
+class Finding:
+    """One rule violation at one source location."""
+
+    __slots__ = ("rule", "path", "line", "col", "message", "severity",
+                 "symbol")
+
+    def __init__(self, rule, path, line, message, col=0,
+                 severity=Severity.ERROR, symbol=None):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.col = col
+        self.message = message
+        self.severity = severity
+        self.symbol = symbol
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule)
+
+    def location(self):
+        return "%s:%d" % (self.path, self.line)
+
+    def render(self):
+        return "%s:%d: %s %s: %s" % (
+            self.path, self.line, self.rule, self.severity, self.message,
+        )
+
+    def to_dict(self):
+        out = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.symbol is not None:
+            out["symbol"] = self.symbol
+        return out
+
+    def __repr__(self):
+        return "Finding(%s @ %s:%d)" % (self.rule, self.path, self.line)

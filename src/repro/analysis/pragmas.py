@@ -1,0 +1,45 @@
+"""Inline suppression pragmas.
+
+``# crimeslint: ignore[CRL001]`` on a line suppresses that rule's
+findings on that line; ``ignore[CRL001,CRL006]`` suppresses several, and
+a bare ``# crimeslint: ignore`` suppresses every rule on the line. The
+pragma must sit on the *same physical line* as the finding — there is no
+block form, by design: a suppression should be exactly as visible as the
+violation it excuses.
+"""
+
+import re
+
+#: Matches the pragma anywhere in a line (usually a trailing comment).
+_PRAGMA = re.compile(
+    r"#\s*crimeslint:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?"
+)
+
+#: Sentinel rule set meaning "every rule".
+ALL_RULES = frozenset({"ALL"})
+
+
+def scan_pragmas(text):
+    """Map line number -> frozenset of suppressed rule IDs (or ALL_RULES)."""
+    out = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        rules = match.group(1)
+        if rules is None:
+            out[lineno] = ALL_RULES
+        else:
+            out[lineno] = frozenset(
+                part.strip().upper()
+                for part in rules.split(",") if part.strip()
+            )
+    return out
+
+
+def suppresses(pragmas, finding):
+    """True if the module's pragma map silences ``finding``."""
+    rules = pragmas.get(finding.line)
+    if rules is None:
+        return False
+    return rules is ALL_RULES or "ALL" in rules or finding.rule in rules

@@ -1,0 +1,64 @@
+"""Pluggable rule registry.
+
+A rule subclasses :class:`Rule`, sets ``id``/``name``/``description``,
+implements ``check_module`` (per-file) and/or ``check_project``
+(cross-file), and registers itself with the ``@register`` decorator.
+The engine instantiates every registered rule, optionally filtered by a
+``--select`` list of rule IDs.
+"""
+
+from repro.errors import ConfigError
+
+#: rule id -> Rule subclass
+RULES = {}
+
+
+def register(cls):
+    """Class decorator adding a rule to the global registry."""
+    if not getattr(cls, "id", None):
+        raise ConfigError("rule %s has no id" % cls.__name__)
+    if cls.id in RULES:
+        raise ConfigError("duplicate rule id %s" % cls.id)
+    RULES[cls.id] = cls
+    return cls
+
+
+class Rule:
+    """Base class for all crimeslint rules."""
+
+    id = None
+    name = None
+    description = None
+
+    def check_module(self, module, project):
+        """Yield findings for one :class:`SourceModule`."""
+        return ()
+
+    def check_project(self, project):
+        """Yield findings needing the whole file set (default: per-module)."""
+        for module in project:
+            for finding in self.check_module(module, project):
+                yield finding
+
+
+def instantiate(select=None):
+    """Build rule instances, optionally filtered by a list of IDs."""
+    if select:
+        wanted = {rule_id.upper() for rule_id in select}
+        unknown = wanted - set(RULES)
+        if unknown:
+            raise ConfigError(
+                "unknown rule id(s): %s (known: %s)" % (
+                    ", ".join(sorted(unknown)),
+                    ", ".join(sorted(RULES)),
+                )
+            )
+        return [cls() for rule_id, cls in sorted(RULES.items())
+                if rule_id in wanted]
+    return [cls() for _, cls in sorted(RULES.items())]
+
+
+def catalog():
+    """(id, name, description) for every registered rule, sorted."""
+    return [(cls.id, cls.name, cls.description)
+            for _, cls in sorted(RULES.items())]

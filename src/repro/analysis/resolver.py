@@ -1,0 +1,392 @@
+"""Shared symbol-resolution layer for the rule pack.
+
+One parse per module produces everything the rules need, so no rule
+re-walks the AST:
+
+* **Import resolution** — dotted call chains are rewritten through the
+  module's ``import``/``from ... import`` table, so ``from time import
+  sleep; sleep(1)`` and ``import time as t; t.sleep(1)`` both resolve to
+  ``time.sleep``.
+* **Scope index** — every call, assignment, and ``except`` handler is
+  tagged with its enclosing function (``Class.method`` qualnames).
+* **Intra-module call graph** — ``self.x()`` edges between methods of
+  the same class and bare calls to module functions, with a transitive
+  ``closure_of``; this is the CFG-lite substrate the dataflow rules
+  (audited-release taint, fault-seam gating) reason over.
+* **Constructor bindings** — ``name = Ctor(...)`` and ``self.attr =
+  Ctor(...)`` assignments, resolved through imports, so a rule can ask
+  "what was this receiver constructed as?".
+"""
+
+import ast
+
+from repro.analysis.pragmas import scan_pragmas
+
+MODULE_SCOPE = "<module>"
+
+
+def dotted_chain(node):
+    """Render a Name/Attribute chain as ``a.b.c``, or None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class CallSite:
+    """One call expression, located and import-resolved."""
+
+    __slots__ = ("node", "chain", "resolved", "scope", "class_name",
+                 "in_with_item", "is_returned")
+
+    def __init__(self, node, chain, resolved, scope, class_name,
+                 in_with_item, is_returned):
+        self.node = node
+        self.chain = chain
+        self.resolved = resolved
+        self.scope = scope
+        self.class_name = class_name
+        self.in_with_item = in_with_item
+        self.is_returned = is_returned
+
+    @property
+    def method(self):
+        """Last segment of the written chain (``a.b.c`` -> ``c``)."""
+        if self.chain is None:
+            return None
+        return self.chain.rpartition(".")[2]
+
+    @property
+    def receiver_parts(self):
+        """Chain segments before the method name, as a tuple."""
+        if self.chain is None:
+            return ()
+        return tuple(self.chain.split(".")[:-1])
+
+    def __repr__(self):
+        return "CallSite(%s @ line %d in %s)" % (
+            self.chain, self.node.lineno, self.scope,
+        )
+
+
+class Assignment:
+    """``target = Ctor(...)``-shaped binding (value resolved)."""
+
+    __slots__ = ("target", "value_chain", "resolved", "scope", "class_name",
+                 "lineno")
+
+    def __init__(self, target, value_chain, resolved, scope, class_name,
+                 lineno):
+        self.target = target
+        self.value_chain = value_chain
+        self.resolved = resolved
+        self.scope = scope
+        self.class_name = class_name
+        self.lineno = lineno
+
+
+class FunctionInfo:
+    """One function or method: scope metadata plus its outgoing calls."""
+
+    __slots__ = ("node", "name", "qualname", "class_name", "lineno",
+                 "params", "calls", "callees")
+
+    def __init__(self, node, name, qualname, class_name):
+        self.node = node
+        self.name = name
+        self.qualname = qualname
+        self.class_name = class_name
+        self.lineno = node.lineno
+        self.params = {arg.arg for arg in node.args.args}
+        self.params.update(arg.arg for arg in node.args.kwonlyargs)
+        self.params.update(arg.arg for arg in node.args.posonlyargs)
+        if node.args.vararg is not None:
+            self.params.add(node.args.vararg.arg)
+        if node.args.kwarg is not None:
+            self.params.add(node.args.kwarg.arg)
+        self.calls = []
+        self.callees = set()
+
+
+class ClassInfo:
+    """One class: its method names and base-class chains."""
+
+    __slots__ = ("node", "name", "methods", "bases", "self_ctor_attrs")
+
+    def __init__(self, node, bases):
+        self.node = node
+        self.name = node.name
+        self.methods = set()
+        self.bases = bases
+        self.self_ctor_attrs = {}
+
+
+class _Collector(ast.NodeVisitor):
+    def __init__(self, module):
+        self.mod = module
+        self._func_stack = []
+        self._class_stack = []
+        self._with_calls = set()
+        self._returned_calls = set()
+
+    # -- scope bookkeeping -------------------------------------------------
+
+    def _scope(self):
+        return self._func_stack[-1] if self._func_stack else None
+
+    def _scope_name(self):
+        func = self._scope()
+        return func.qualname if func is not None else MODULE_SCOPE
+
+    def _class_name(self):
+        return self._class_stack[-1].name if self._class_stack else None
+
+    # -- imports -----------------------------------------------------------
+
+    def visit_Import(self, node):
+        for alias in node.names:
+            if alias.asname is not None:
+                self.mod.import_aliases[alias.asname] = alias.name
+            else:
+                top = alias.name.split(".")[0]
+                self.mod.import_aliases[top] = top
+
+    def visit_ImportFrom(self, node):
+        base = node.module or ""
+        for alias in node.names:
+            local = alias.asname or alias.name
+            dotted = "%s.%s" % (base, alias.name) if base else alias.name
+            self.mod.from_imports[local] = dotted
+
+    # -- definitions -------------------------------------------------------
+
+    def _visit_function(self, node):
+        class_info = self._class_stack[-1] if self._class_stack else None
+        if class_info is not None and not self._func_stack:
+            qualname = "%s.%s" % (class_info.name, node.name)
+            class_info.methods.add(node.name)
+        elif self._func_stack:
+            qualname = "%s.%s" % (self._func_stack[-1].qualname, node.name)
+        else:
+            qualname = node.name
+        info = FunctionInfo(node, node.name, qualname,
+                            class_info.name if class_info is not None
+                            and not self._func_stack else None)
+        self.mod.functions[qualname] = info
+        self._func_stack.append(info)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_FunctionDef(self, node):
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node):
+        self._visit_function(node)
+
+    def visit_ClassDef(self, node):
+        bases = [dotted_chain(base) for base in node.bases]
+        info = ClassInfo(node, [b for b in bases if b is not None])
+        self.mod.classes[node.name] = info
+        self._class_stack.append(info)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    # -- expressions the rules care about ---------------------------------
+
+    def visit_With(self, node):
+        for item in node.items:
+            if isinstance(item.context_expr, ast.Call):
+                self._with_calls.add(id(item.context_expr))
+        self.generic_visit(node)
+
+    def visit_AsyncWith(self, node):
+        self.visit_With(node)
+
+    def visit_Return(self, node):
+        if isinstance(node.value, ast.Call):
+            self._returned_calls.add(id(node.value))
+        self.generic_visit(node)
+
+    def visit_Call(self, node):
+        chain = dotted_chain(node.func)
+        site = CallSite(
+            node=node,
+            chain=chain,
+            resolved=self.mod.resolve(chain),
+            scope=self._scope_name(),
+            class_name=(self._scope().class_name
+                        if self._scope() is not None else None),
+            in_with_item=id(node) in self._with_calls,
+            is_returned=id(node) in self._returned_calls,
+        )
+        self.mod.calls.append(site)
+        func = self._scope()
+        if func is not None:
+            func.calls.append(site)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node):
+        if len(node.targets) == 1 and isinstance(node.value, ast.Call):
+            target = dotted_chain(node.targets[0])
+            value_chain = dotted_chain(node.value.func)
+            if target is not None and value_chain is not None:
+                self.mod.assignments.append(Assignment(
+                    target=target,
+                    value_chain=value_chain,
+                    resolved=self.mod.resolve(value_chain),
+                    scope=self._scope_name(),
+                    class_name=(self._scope().class_name
+                                if self._scope() is not None else None),
+                    lineno=node.lineno,
+                ))
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node):
+        self.mod.except_handlers.append((node, self._scope_name()))
+        self.generic_visit(node)
+
+
+class SourceModule:
+    """One parsed + indexed source file."""
+
+    def __init__(self, path, rel_path, text):
+        self.path = path
+        self.rel_path = rel_path
+        self.text = text
+        self.tree = ast.parse(text, filename=rel_path)
+        self.import_aliases = {}
+        self.from_imports = {}
+        self.functions = {}
+        self.classes = {}
+        self.calls = []
+        self.assignments = []
+        self.except_handlers = []
+        self.pragmas = scan_pragmas(text)
+        _Collector(self).visit(self.tree)
+        self._link_callees()
+        self._collect_ctor_attrs()
+
+    # -- import resolution -------------------------------------------------
+
+    def resolve(self, chain):
+        """Rewrite ``chain`` through the import table, or None if local."""
+        if chain is None:
+            return None
+        head, _, rest = chain.partition(".")
+        if head in self.import_aliases:
+            base = self.import_aliases[head]
+        elif head in self.from_imports:
+            base = self.from_imports[head]
+        else:
+            return None
+        return "%s.%s" % (base, rest) if rest else base
+
+    # -- call graph --------------------------------------------------------
+
+    def _link_callees(self):
+        module_funcs = {name for name in self.functions
+                        if "." not in name}
+        for func in self.functions.values():
+            for site in func.calls:
+                chain = site.chain
+                if chain is None:
+                    continue
+                if chain.startswith("self.") and func.class_name is not None:
+                    method = chain[len("self."):]
+                    if "." in method:
+                        continue
+                    qualname = "%s.%s" % (func.class_name, method)
+                    if qualname in self.functions:
+                        func.callees.add(qualname)
+                elif "." not in chain and chain in module_funcs:
+                    func.callees.add(chain)
+
+    def closure_of(self, qualname):
+        """Functions reachable from ``qualname`` (itself included)."""
+        seen = {qualname}
+        stack = [qualname]
+        while stack:
+            info = self.functions.get(stack.pop())
+            if info is None:
+                continue
+            for callee in info.callees:
+                if callee not in seen:
+                    seen.add(callee)
+                    stack.append(callee)
+        return seen
+
+    def reachable_from(self, roots):
+        """Union of :meth:`closure_of` over ``roots``."""
+        out = set()
+        for root in roots:
+            out |= self.closure_of(root)
+        return out
+
+    # -- constructor bindings ----------------------------------------------
+
+    def _collect_ctor_attrs(self):
+        for assign in self.assignments:
+            if (assign.class_name is not None
+                    and assign.target.startswith("self.")
+                    and assign.target.count(".") == 1):
+                info = self.classes.get(assign.class_name)
+                if info is not None:
+                    attr = assign.target[len("self."):]
+                    info.self_ctor_attrs[attr] = (
+                        assign.resolved or assign.value_chain
+                    )
+
+    def ctor_of(self, receiver_parts, scope, class_name):
+        """Best-effort constructor name for a call receiver.
+
+        ``receiver_parts`` is the dotted receiver split into segments,
+        e.g. ``("self", "quarantine")``. Looks through function-local
+        ``x = Ctor(...)`` bindings and class-level ``self.attr =
+        Ctor(...)`` bindings; returns the resolved constructor chain or
+        None.
+        """
+        if not receiver_parts:
+            return None
+        target = ".".join(receiver_parts)
+        for assign in self.assignments:
+            if assign.scope == scope and assign.target == target:
+                return assign.resolved or assign.value_chain
+        if (len(receiver_parts) == 2 and receiver_parts[0] == "self"
+                and class_name is not None):
+            info = self.classes.get(class_name)
+            if info is not None:
+                return info.self_ctor_attrs.get(receiver_parts[1])
+        return None
+
+    def references(self, name):
+        """True if the module imports or dereferences ``name`` anywhere."""
+        if name in self.import_aliases or name in self.from_imports:
+            return True
+        for dotted in self.from_imports.values():
+            if dotted == name or dotted.endswith(".%s" % name):
+                return True
+        for site in self.calls:
+            if site.chain is not None and (
+                    site.chain == name
+                    or site.chain.startswith("%s." % name)
+                    or (".%s." % name) in site.chain):
+                return True
+        return False
+
+
+class Project:
+    """The analyzed file set: parsed modules plus cross-module lookups."""
+
+    def __init__(self, modules):
+        self.modules = list(modules)
+        self.by_rel_path = {module.rel_path: module for module in self.modules}
+
+    def __iter__(self):
+        return iter(self.modules)
+
+    def __len__(self):
+        return len(self.modules)

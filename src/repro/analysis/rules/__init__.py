@@ -1,0 +1,7 @@
+"""The initial rule pack. Importing this package registers every rule."""
+
+from repro.analysis.rules import determinism  # noqa: F401  CRL001, CRL002
+from repro.analysis.rules import release      # noqa: F401  CRL003
+from repro.analysis.rules import journal      # noqa: F401  CRL004
+from repro.analysis.rules import seams        # noqa: F401  CRL005
+from repro.analysis.rules import exceptions   # noqa: F401  CRL006

@@ -1,0 +1,135 @@
+"""CRL001 determinism and CRL002 virtual-time.
+
+The replay guarantee (bit-identical seeded runs) dies the moment a
+wall-clock read, an unseeded RNG, or a real sleep sneaks into the
+simulation path. These two rules ban the whole family at the source
+level; the handful of justified sites (the observability layer metering
+its *own* host-side overhead) live in the baseline with reasons.
+"""
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+#: Calls whose results depend on the host wall clock.
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Calls drawing from host entropy rather than a derived seed.
+_ENTROPY = frozenset({
+    "uuid.uuid1", "uuid.uuid4",
+    "os.urandom", "os.getrandom",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+    "secrets.randbelow", "secrets.choice", "secrets.randbits",
+})
+
+#: Real-clock waits; simulated delays must charge ``sim.clock`` instead.
+_REAL_WAITS = frozenset({
+    "time.sleep",
+    "asyncio.sleep",
+})
+
+
+def _is_module_random(resolved):
+    """Module-level ``random.*`` (shared global RNG), not ``random.Random``."""
+    if resolved is None or not resolved.startswith("random."):
+        return False
+    return resolved != "random.Random"
+
+
+@register
+class DeterminismRule(Rule):
+    id = "CRL001"
+    name = "determinism"
+    description = (
+        "No wall-clock reads, host entropy, or unseeded randomness in the "
+        "simulation tree; all nondeterminism must derive from the run seed."
+    )
+
+    def check_module(self, module, project):
+        for site in module.calls:
+            resolved = site.resolved
+            if resolved is None:
+                continue
+            if resolved in _WALL_CLOCK:
+                yield Finding(
+                    rule=self.id,
+                    path=module.rel_path,
+                    line=site.node.lineno,
+                    col=site.node.col_offset,
+                    symbol=resolved,
+                    message=(
+                        "%s reads the host wall clock; use sim.clock so "
+                        "replays stay bit-identical" % resolved
+                    ),
+                )
+            elif resolved in _ENTROPY:
+                yield Finding(
+                    rule=self.id,
+                    path=module.rel_path,
+                    line=site.node.lineno,
+                    col=site.node.col_offset,
+                    symbol=resolved,
+                    message=(
+                        "%s draws host entropy; derive values from the run "
+                        "seed via sim.rng instead" % resolved
+                    ),
+                )
+            elif resolved == "random.Random" and not (
+                    site.node.args or site.node.keywords):
+                yield Finding(
+                    rule=self.id,
+                    path=module.rel_path,
+                    line=site.node.lineno,
+                    col=site.node.col_offset,
+                    symbol=resolved,
+                    message=(
+                        "random.Random() without a seed argument is "
+                        "nondeterministic; pass a derived seed"
+                    ),
+                )
+            elif _is_module_random(resolved):
+                yield Finding(
+                    rule=self.id,
+                    path=module.rel_path,
+                    line=site.node.lineno,
+                    col=site.node.col_offset,
+                    symbol=resolved,
+                    message=(
+                        "%s uses the shared module-level RNG; use a seeded "
+                        "sim.rng.SeededStream instead" % resolved
+                    ),
+                )
+
+
+@register
+class VirtualTimeRule(Rule):
+    id = "CRL002"
+    name = "virtual-time"
+    description = (
+        "No real-clock waits; delays are charged to sim.clock so simulated "
+        "time advances deterministically."
+    )
+
+    def check_module(self, module, project):
+        for site in module.calls:
+            if site.resolved in _REAL_WAITS:
+                yield Finding(
+                    rule=self.id,
+                    path=module.rel_path,
+                    line=site.node.lineno,
+                    col=site.node.col_offset,
+                    symbol=site.resolved,
+                    message=(
+                        "%s blocks on the real clock; charge the delay to "
+                        "sim.clock (clock.charge_ms/advance) instead"
+                        % site.resolved
+                    ),
+                )

@@ -1,0 +1,111 @@
+"""CRL006 rollback exception hygiene.
+
+A bare or over-broad ``except`` on the rollback path can swallow
+``IntrospectionError``/``ForensicsError`` — the exact class of bug fixed
+by hand in PR 4, where a silent handler turned a failed VMI read into a
+committed epoch. Broad catches must re-raise (or be pragma'd with a
+justification); catches of the forensic exception types must not be
+silent drops.
+"""
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.resolver import dotted_chain
+
+#: Catch-everything types that can swallow forensic errors.
+_BROAD = frozenset({"Exception", "BaseException"})
+
+#: The forensic exception types that must never be silently dropped.
+_FORENSIC = frozenset({
+    "CrimesError", "IntrospectionError", "ForensicsError",
+})
+
+
+def _handler_types(node):
+    """Exception type names named by an ``except`` clause."""
+    if node.type is None:
+        return None
+    types = []
+    targets = (node.type.elts if isinstance(node.type, ast.Tuple)
+               else [node.type])
+    for target in targets:
+        chain = dotted_chain(target)
+        if chain is not None:
+            types.append(chain.rpartition(".")[2])
+    return types
+
+
+def _reraises(node):
+    """True if any statement in the handler body raises."""
+    return any(isinstance(sub, ast.Raise) for sub in ast.walk(node))
+
+
+def _is_silent(node):
+    """Body is only ``pass``/``...`` — the exception vanishes."""
+    for stmt in node.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Constant) and stmt.value.value is Ellipsis:
+            continue
+        return False
+    return True
+
+
+@register
+class ExceptionHygieneRule(Rule):
+    id = "CRL006"
+    name = "exception-hygiene"
+    description = (
+        "No bare/broad except that can swallow IntrospectionError/"
+        "ForensicsError; broad catches must re-raise, forensic catches "
+        "must not be silent drops."
+    )
+
+    def check_module(self, module, project):
+        for node, scope in module.except_handlers:
+            types = _handler_types(node)
+            if types is None:
+                yield Finding(
+                    rule=self.id,
+                    path=module.rel_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "bare 'except:' swallows every exception including "
+                        "IntrospectionError/ForensicsError; name the types "
+                        "you mean to handle"
+                    ),
+                )
+                continue
+            broad = _BROAD.intersection(types)
+            if broad and not _reraises(node):
+                yield Finding(
+                    rule=self.id,
+                    path=module.rel_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    symbol=sorted(broad)[0],
+                    message=(
+                        "'except %s' without re-raise can swallow "
+                        "IntrospectionError/ForensicsError on the rollback "
+                        "path; narrow the type or re-raise" % sorted(broad)[0]
+                    ),
+                )
+                continue
+            forensic = _FORENSIC.intersection(types)
+            if forensic and _is_silent(node):
+                yield Finding(
+                    rule=self.id,
+                    path=module.rel_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    symbol=sorted(forensic)[0],
+                    message=(
+                        "'except %s: pass' silently drops a forensic "
+                        "error; record it (observer.journal) or re-raise"
+                        % sorted(forensic)[0]
+                    ),
+                )

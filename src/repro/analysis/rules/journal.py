@@ -1,0 +1,134 @@
+"""CRL004 journal discipline.
+
+The flight journal is the forensic record replay and incident bundles
+are rebuilt from, so its event vocabulary is closed: every ``journal``/
+``record`` kind must appear in the ``EVENT_KINDS`` registry declared
+next to the recorder (``obs/flight.py``). A typo'd kind would silently
+fork the vocabulary and break downstream filters. Spans must also have
+a closing path — opened via ``with`` or returned to a caller who owns
+the close — or the journal ends up with unbalanced timing records.
+"""
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+#: Receiver tail segments identifying the flight recorder for ``record``.
+_RECORDER_NAMES = frozenset({"flight", "_flight", "recorder", "journal"})
+
+#: Receiver tail segments identifying a span factory.
+_SPAN_OWNERS = frozenset({"tracer", "_tracer", "observer", "_observer"})
+
+
+def _declared_kinds(project):
+    """Union of every ``EVENT_KINDS = frozenset({...})`` in the file set."""
+    kinds = set()
+    declared = False
+    for module in project:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not (isinstance(target, ast.Name)
+                    and target.id == "EVENT_KINDS"):
+                continue
+            for literal in ast.walk(node.value):
+                if isinstance(literal, ast.Constant) and isinstance(
+                        literal.value, str):
+                    kinds.add(literal.value)
+                    declared = True
+    return kinds if declared else None
+
+
+def _kind_arg(node):
+    """The event-kind argument of a journal/record call, or None."""
+    if node.args:
+        return node.args[0]
+    for keyword in node.keywords:
+        if keyword.arg == "kind":
+            return keyword.value
+    return None
+
+
+@register
+class JournalDisciplineRule(Rule):
+    id = "CRL004"
+    name = "journal-discipline"
+    description = (
+        "Flight-journal event kinds must come from the declared EVENT_KINDS "
+        "registry, and spans must have a closing path (with-block or "
+        "returned to the caller)."
+    )
+
+    def check_project(self, project):
+        kinds = _declared_kinds(project)
+        for module in project:
+            yield from self._check_module(module, kinds)
+
+    def _is_journal_call(self, site):
+        if site.method == "journal" and site.receiver_parts:
+            return True
+        if site.method == "record" and site.receiver_parts:
+            return site.receiver_parts[-1] in _RECORDER_NAMES
+        return False
+
+    def _check_module(self, module, kinds):
+        for site in module.calls:
+            if kinds is not None and self._is_journal_call(site):
+                yield from self._check_kind(module, site, kinds)
+            if site.method == "span" and site.receiver_parts and (
+                    site.receiver_parts[-1] in _SPAN_OWNERS):
+                if not site.in_with_item and not site.is_returned:
+                    yield Finding(
+                        rule=self.id,
+                        path=module.rel_path,
+                        line=site.node.lineno,
+                        col=site.node.col_offset,
+                        symbol=site.chain,
+                        message=(
+                            "span opened without a closing path; use it as "
+                            "a with-block (or return it so the caller owns "
+                            "the close), otherwise the journal records an "
+                            "unbalanced span"
+                        ),
+                    )
+
+    def _check_kind(self, module, site, kinds):
+        arg = _kind_arg(site.node)
+        if arg is None:
+            return
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            if arg.value not in kinds:
+                yield Finding(
+                    rule=self.id,
+                    path=module.rel_path,
+                    line=site.node.lineno,
+                    col=site.node.col_offset,
+                    symbol=arg.value,
+                    message=(
+                        "journal kind %r is not in the EVENT_KINDS registry "
+                        "(obs/flight.py); add it there or fix the typo"
+                        % arg.value
+                    ),
+                )
+            return
+        # Non-literal kinds are only allowed as a parameter passthrough
+        # (e.g. Observer.journal forwarding its ``kind`` argument); an
+        # arbitrary expression defeats the closed vocabulary.
+        if isinstance(arg, ast.Name):
+            func = module.functions.get(site.scope)
+            if func is not None and arg.id in func.params:
+                return
+        yield Finding(
+            rule=self.id,
+            path=module.rel_path,
+            line=site.node.lineno,
+            col=site.node.col_offset,
+            symbol=site.chain,
+            message=(
+                "journal kind is a computed expression; kinds must be "
+                "string literals from EVENT_KINDS (or a forwarded "
+                "parameter) so the vocabulary stays closed"
+            ),
+        )

@@ -1,0 +1,93 @@
+"""CRL003 audited-release taint.
+
+The CRIMES safety invariant — no guest output reaches the outside world
+before its epoch is audited — is enforced dynamically by
+``repro.faults.safety``. This rule is its static twin: a direct call on
+a raw sink (``*.downstream.emit_packet``, an ``OutputSink`` instance)
+is only legal inside the output-buffer class itself, and only on a path
+reachable from the audited release entry points (``commit``/``release``
+and the buffered ``emit_*`` intake methods). Anything else is a
+buffer bypass and ships output that was never audited.
+"""
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.resolver import MODULE_SCOPE
+
+#: The device/network emission methods guarded by the invariant.
+_EMISSIONS = frozenset({"emit_packet", "emit_disk_write"})
+
+#: Receiver segments naming a raw (unaudited) sink handle.
+_RAW_SEGMENTS = frozenset({"downstream", "external_sink", "raw_sink"})
+
+#: Constructors producing a terminal sink object.
+_SINK_CTORS = frozenset({
+    "OutputSink",
+    "repro.guest.devices.OutputSink",
+})
+
+#: Entry points whose intra-class closure may touch the raw sink.
+_RELEASE_ROOTS = ("commit", "release", "emit_packet", "emit_disk_write")
+
+
+def _is_buffer_class(class_info):
+    """A class holding output for audit: defines both commit and discard."""
+    return {"commit", "discard"} <= class_info.methods
+
+
+@register
+class AuditedReleaseRule(Rule):
+    id = "CRL003"
+    name = "audited-release"
+    description = (
+        "Device/network emissions must reach the world only through the "
+        "output buffer's commit/release path; raw sink calls elsewhere "
+        "bypass the epoch audit."
+    )
+
+    def _raw_sink_receiver(self, module, site):
+        """Why this call's receiver is a raw sink, or None if it is not."""
+        parts = site.receiver_parts
+        if not parts:
+            return None
+        raw = _RAW_SEGMENTS.intersection(parts)
+        if raw:
+            return "raw sink handle '%s'" % sorted(raw)[0]
+        ctor = module.ctor_of(parts, site.scope, site.class_name)
+        if ctor is not None and (
+                ctor in _SINK_CTORS or ctor.rpartition(".")[2] == "OutputSink"):
+            return "OutputSink instance '%s'" % ".".join(parts)
+        return None
+
+    def check_module(self, module, project):
+        # Per buffer class, the method set reachable from the audited
+        # release entry points; raw sink calls are legal only there.
+        allowed = {}
+        for class_name, info in module.classes.items():
+            if _is_buffer_class(info):
+                roots = ["%s.%s" % (class_name, root)
+                         for root in _RELEASE_ROOTS
+                         if root in info.methods]
+                allowed[class_name] = module.reachable_from(roots)
+
+        for site in module.calls:
+            if site.method not in _EMISSIONS:
+                continue
+            why = self._raw_sink_receiver(module, site)
+            if why is None:
+                continue
+            if site.class_name in allowed and site.scope != MODULE_SCOPE:
+                if site.scope in allowed[site.class_name]:
+                    continue
+            yield Finding(
+                rule=self.id,
+                path=module.rel_path,
+                line=site.node.lineno,
+                col=site.node.col_offset,
+                symbol=site.chain,
+                message=(
+                    "%s on %s bypasses the output buffer; emissions must "
+                    "flow through OutputBuffer.commit/release so the epoch "
+                    "is audited before anything ships" % (site.method, why)
+                ),
+            )

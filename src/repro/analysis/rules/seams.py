@@ -1,0 +1,177 @@
+"""CRL005 fault-seam coverage.
+
+The chaos matrix is only as honest as its seams: every ``FaultPlane``
+member must actually be probed somewhere, and every call to a primitive
+that a plane guards (dirty-bitmap harvest, VMI reads, checkpoint memory
+copies) must run under that plane's injector hook — either by passing
+``fault=``/``injector=`` through, or by sitting in a function whose
+call closure probes the plane. A new VMI read that skips the hook is a
+blind spot the fault matrix will never exercise.
+"""
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.resolver import dotted_chain
+
+#: Primitive call suffix -> FaultPlane member that must guard it.
+_GUARDED_PRIMITIVES = (
+    (".harvest_dirty", "BITMAP_HARVEST"),
+    (".memory.read", "VMI_READ"),
+    (".memory.view", "CHECKPOINT_COPY"),
+)
+
+#: Keyword arguments that thread the injector into the primitive itself.
+_THREADED_KWARGS = frozenset({"fault", "injector"})
+
+
+def _enum_bases(class_info):
+    return any(base in ("enum.Enum", "Enum", "enum.IntEnum", "IntEnum")
+               for base in class_info.bases)
+
+
+def _declared_planes(project):
+    """member name -> (module, lineno) from the FaultPlane enum, if any."""
+    for module in project:
+        info = module.classes.get("FaultPlane")
+        if info is not None and _enum_bases(info):
+            members = {}
+            for stmt in info.node.body:
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            members[target.id] = (module, stmt.lineno)
+            return members
+    return None
+
+
+def _plane_refs(node):
+    """FaultPlane member names referenced inside ``node``."""
+    out = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute):
+            chain = dotted_chain(sub)
+            if chain is not None and chain.startswith("FaultPlane."):
+                member = chain[len("FaultPlane."):]
+                if "." not in member:
+                    out.add(member)
+    return out
+
+
+@register
+class FaultSeamRule(Rule):
+    id = "CRL005"
+    name = "fault-seam-coverage"
+    description = (
+        "Every FaultPlane member must be probed somewhere, and guarded "
+        "primitives (harvest_dirty, memory.read, memory.view) must run "
+        "under the plane's injector hook."
+    )
+
+    def check_project(self, project):
+        planes = _declared_planes(project)
+        if planes is None:
+            return
+
+        # Which members each function probes (any FaultPlane.X reference
+        # in its body counts — check(), retry(), fault= kwargs alike).
+        probed_by_func = {}
+        used_members = set()
+        for module in project:
+            for qualname, func in module.functions.items():
+                refs = _plane_refs(func.node) & set(planes)
+                if refs:
+                    probed_by_func[(module.rel_path, qualname)] = refs
+                    used_members |= refs
+
+        # (A) declared but never probed anywhere in the file set.
+        for member, (module, lineno) in sorted(planes.items()):
+            if member not in used_members:
+                yield Finding(
+                    rule=self.id,
+                    path=module.rel_path,
+                    line=lineno,
+                    symbol="FaultPlane.%s" % member,
+                    message=(
+                        "FaultPlane.%s is declared but no call site probes "
+                        "it; wire an injector.check()/retry() seam or drop "
+                        "the plane" % member
+                    ),
+                )
+
+        for module in project:
+            # (B) probes of undeclared members (typo'd plane names).
+            for site in module.calls:
+                for arg in list(site.node.args) + [
+                        kw.value for kw in site.node.keywords]:
+                    chain = dotted_chain(arg)
+                    if chain is None or not chain.startswith("FaultPlane."):
+                        continue
+                    member = chain[len("FaultPlane."):]
+                    if "." not in member and member not in planes:
+                        yield Finding(
+                            rule=self.id,
+                            path=module.rel_path,
+                            line=site.node.lineno,
+                            col=site.node.col_offset,
+                            symbol=chain,
+                            message=(
+                                "%s is not a declared FaultPlane member"
+                                % chain
+                            ),
+                        )
+
+            # (C) guarded primitives must sit under the plane's hook.
+            if not module.references("FaultPlane"):
+                continue
+            for site in module.calls:
+                if site.chain is None:
+                    continue
+                for suffix, member in _GUARDED_PRIMITIVES:
+                    if not site.chain.endswith(suffix):
+                        continue
+                    if member not in planes:
+                        continue
+                    if self._threaded(site):
+                        continue
+                    if self._closure_probes(module, site, member,
+                                            probed_by_func):
+                        continue
+                    yield Finding(
+                        rule=self.id,
+                        path=module.rel_path,
+                        line=site.node.lineno,
+                        col=site.node.col_offset,
+                        symbol=site.chain,
+                        message=(
+                            "%s runs outside the FaultPlane.%s seam; probe "
+                            "the injector on this path (or pass "
+                            "fault=/injector= through) so the chaos matrix "
+                            "can exercise it" % (site.chain, member)
+                        ),
+                    )
+
+    def _threaded(self, site):
+        return any(kw.arg in _THREADED_KWARGS for kw in site.node.keywords)
+
+    def _closure_probes(self, module, site, member, probed_by_func):
+        """True if some call path places the primitive under the seam.
+
+        Accepts both shapes: a probing helper in the primitive's own
+        callee closure (``read_pa -> _charge_ms`` which probes), and a
+        probing caller that delegates to the primitive afterwards
+        (``read`` probes, then calls ``_read_raw``) — i.e. any root
+        function whose call closure contains both the probe and this
+        site's function.
+        """
+        if site.scope not in module.functions:
+            return False
+        for qualname in module.functions:
+            closure = module.closure_of(qualname)
+            if site.scope not in closure:
+                continue
+            if any(member in probed_by_func.get((module.rel_path, other), ())
+                   for other in closure):
+                return True
+        return False

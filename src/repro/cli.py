@@ -457,6 +457,59 @@ def _cmd_chaos(args):
     return "\n".join(lines)
 
 
+def _cmd_lint(args):
+    """Run crimeslint, the repo's static invariant analyzer.
+
+    Lints ``src/repro`` (or ``--paths``) against the registered rule
+    pack — determinism, virtual time, audited release, journal
+    discipline, fault-seam coverage, exception hygiene — honoring the
+    ``.crimeslint.toml`` baseline and inline ``# crimeslint:
+    ignore[RULE]`` pragmas unless ``--no-baseline`` is given. Exits 0
+    on a clean tree, 1 on findings (or stale baseline entries), 2 on a
+    configuration error. ``--format json`` prints the versioned
+    ``crimes-lint/1`` report; ``--out`` also writes it to a file (the
+    CI artifact), which happens *before* the exit status is raised so
+    a failing run still uploads its findings.
+    """
+    import json
+
+    from repro.analysis import catalog, run_lint
+    from repro.errors import ConfigError
+
+    if args.list_rules:
+        lines = ["registered rules:"]
+        for rule_id, name, description in catalog():
+            lines.append("  %s %-20s %s" % (rule_id, name, description))
+        return "\n".join(lines)
+
+    try:
+        report = run_lint(
+            paths=args.paths or None,
+            baseline=False if args.no_baseline else "auto",
+            select=args.select.split(",") if args.select else None,
+        )
+    except ConfigError as err:
+        print("crimeslint: configuration error: %s" % err, file=sys.stderr)
+        raise SystemExit(2)
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if args.lint_format == "json":
+        output = report.render_json()
+    else:
+        output = report.render_text()
+        if args.out:
+            output += "\nfindings report written to %s" % args.out
+
+    if report.exit_code() != 0:
+        print(output)
+        raise SystemExit(1)
+    return output
+
+
 def _cmd_claims(args):
     from repro.experiments import fig4_swaptions_breakdown, remus_comparison
 
@@ -580,6 +633,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "incident": _cmd_incident,
     "chaos": _cmd_chaos,
+    "lint": _cmd_lint,
 }
 
 
@@ -635,6 +689,19 @@ def build_parser():
     parser.add_argument("--attack-epoch", type=int, default=None,
                         help="chaos: also trigger a heap-overflow attack "
                              "at this epoch")
+    parser.add_argument("--format", dest="lint_format",
+                        choices=["text", "json"], default="text",
+                        help="lint: output format")
+    parser.add_argument("--paths", metavar="PATH", nargs="*",
+                        help="lint: files/directories to analyze "
+                             "(default: [lint].paths from "
+                             ".crimeslint.toml, else src/repro)")
+    parser.add_argument("--select", metavar="CRL001,CRL002,...",
+                        help="lint: run only these rule IDs")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="lint: ignore .crimeslint.toml suppressions")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="lint: print the rule catalog and exit")
     return parser
 
 
@@ -645,6 +712,13 @@ def main(argv=None):
         return 0
     print(_COMMANDS[args.experiment](args))
     return 0
+
+
+def lint_main(argv=None):
+    """Entry point for the ``crimeslint`` console script."""
+    if argv is None:
+        argv = sys.argv[1:]
+    return main(["lint"] + list(argv))
 
 
 if __name__ == "__main__":

@@ -244,7 +244,10 @@ class Crimes:
         for callback in self._hooks[event]:
             try:
                 callback(payload)
-            except Exception:  # noqa: BLE001 — isolate monitoring faults
+            # Hooks are third-party code: a raising hook must not unwind
+            # the epoch loop, and the failure is logged with a traceback,
+            # not dropped — hence the justified broad catch below.
+            except Exception:  # noqa: BLE001  # crimeslint: ignore[CRL006]
                 logger.exception(
                     "%s: %r hook raised; continuing", self.vm.name, event
                 )

@@ -30,6 +30,44 @@ from collections import deque
 #: The hash every chain starts from (a run with zero events has this head).
 GENESIS_HASH = hashlib.sha256(b"crimes-flight-genesis").hexdigest()
 
+#: The closed event vocabulary. Downstream consumers (incident bundles,
+#: replay filters, the SLO watchdog) key on these strings, so a typo'd
+#: kind would silently fork the journal's vocabulary; crimeslint CRL004
+#: statically checks every ``journal``/``record`` literal against this
+#: registry. Tests may record ad-hoc kinds — the recorder itself does
+#: not enforce membership at runtime.
+EVENT_KINDS = frozenset({
+    "analyzer.report",
+    "async.cancelled",
+    "async.dispatch",
+    "buffer.discard",
+    "buffer.hold",
+    "buffer.release",
+    "buffer.release_stale",
+    "checkpoint.harvest",
+    "checkpoint.sync_lost",
+    "degraded.enter",
+    "degraded.exit",
+    "degraded.shed",
+    "epoch.abort",
+    "epoch.begin",
+    "epoch.commit",
+    "epoch.held",
+    "epoch.rolled_back",
+    "fault.escalated",
+    "fault.injected",
+    "fault.observed",
+    "fault.recovered",
+    "incident",
+    "replay",
+    "rollback",
+    "scan.finding",
+    "scan.verdict",
+    "slo.alert",
+    "slo.nudge",
+    "tenant.quarantined",
+})
+
 #: Canonical-JSON encoder, built once — ``json.dumps`` with non-default
 #: arguments constructs a fresh encoder per call, which the recorder's
 #: always-on hot path cannot afford.

@@ -1,0 +1,9 @@
+"""Fixture: seeded randomness and virtual time are fine."""
+
+import random
+
+
+def derive(seed, clock):
+    rng = random.Random(seed)
+    clock.charge_ms(1.5)
+    return rng.random()

@@ -1,0 +1,15 @@
+"""Fixture: every flavor of nondeterminism CRL001 must catch."""
+
+import random
+import time
+import uuid
+from datetime import datetime
+
+
+def stamp_epoch():
+    started = time.time()  # EXPECT: CRL001
+    label = datetime.now().isoformat()  # EXPECT: CRL001
+    rng = random.Random()  # EXPECT: CRL001
+    jitter = random.random()  # EXPECT: CRL001
+    token = uuid.uuid4()  # EXPECT: CRL001
+    return started, label, rng, jitter, token

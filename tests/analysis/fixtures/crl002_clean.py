@@ -1,0 +1,6 @@
+"""Fixture: delays charged to the simulated clock are fine."""
+
+
+def wait_for_epoch(clock):
+    clock.charge_ms(10.0)
+    clock.advance(5.0)

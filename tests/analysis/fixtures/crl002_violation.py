@@ -1,0 +1,12 @@
+"""Fixture: real-clock waits CRL002 must catch."""
+
+import asyncio
+import time
+
+
+def wait_for_epoch():
+    time.sleep(0.01)  # EXPECT: CRL002
+
+
+async def wait_async():
+    await asyncio.sleep(0.01)  # EXPECT: CRL002

@@ -1,0 +1,21 @@
+"""Fixture: a buffer class may touch its raw sink on the release path."""
+
+
+class MiniBuffer:
+    def __init__(self, downstream):
+        self.downstream = downstream
+        self.held = []
+
+    def emit_packet(self, packet):
+        self.held.append(packet)
+
+    def commit(self):
+        self._flush()
+
+    def discard(self):
+        self.held.clear()
+
+    def _flush(self):
+        for packet in self.held:
+            self.downstream.emit_packet(packet)
+        self.held.clear()

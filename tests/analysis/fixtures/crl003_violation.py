@@ -1,0 +1,18 @@
+"""Fixture: emissions that bypass the output buffer (CRL003)."""
+
+from repro.guest.devices import OutputSink
+
+
+class Forwarder:
+    """Not a buffer (no commit/discard), so raw sink calls are illegal."""
+
+    def __init__(self, downstream):
+        self.downstream = downstream
+
+    def push(self, packet):
+        self.downstream.emit_packet(packet)  # EXPECT: CRL003
+
+
+def leak(packet):
+    sink = OutputSink()
+    sink.emit_packet(packet)  # EXPECT: CRL003

@@ -1,0 +1,13 @@
+"""Fixture: journal-discipline violations (CRL004)."""
+
+
+class Loop:
+    def __init__(self, observer):
+        self.observer = observer
+
+    def run(self):
+        self.observer.journal("epoch.beginn")  # EXPECT: CRL004
+        span = self.observer.span("scan")  # EXPECT: CRL004
+        span.close()
+        kind = "epoch" + ".commit"
+        self.observer.journal(kind)  # EXPECT: CRL004

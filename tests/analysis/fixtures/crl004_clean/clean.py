@@ -1,0 +1,17 @@
+"""Fixture: disciplined journal usage — registry kinds, closed spans."""
+
+
+class Loop:
+    def __init__(self, observer):
+        self.observer = observer
+
+    def journal(self, kind, **attrs):
+        self.observer.journal(kind, **attrs)
+
+    def run(self):
+        self.observer.journal("epoch.begin")
+        with self.observer.span("scan"):
+            self.observer.journal("epoch.commit")
+
+    def open_span(self):
+        return self.observer.span("outer")

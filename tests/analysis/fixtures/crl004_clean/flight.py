@@ -1,0 +1,7 @@
+"""Fixture registry: the closed journal vocabulary for this mini-project."""
+
+EVENT_KINDS = frozenset({
+    "epoch.begin",
+    "epoch.commit",
+    "rollback",
+})

@@ -1,0 +1,9 @@
+"""Fixture planes: one member is declared but never probed."""
+
+import enum
+
+
+class FaultPlane(enum.Enum):
+    VMI_READ = "vmi_read"
+    CHECKPOINT_COPY = "checkpoint_copy"
+    GHOST_PLANE = "ghost_plane"  # EXPECT: CRL005

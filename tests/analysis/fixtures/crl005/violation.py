@@ -1,0 +1,23 @@
+"""Fixture: guarded primitives outside their fault seam (CRL005)."""
+
+from planes import FaultPlane
+
+
+class Prober:
+    def __init__(self, injector, vm):
+        self.injector = injector
+        self.vm = vm
+
+    def checked_read(self, addr):
+        self.injector.check(FaultPlane.VMI_READ)
+        return self.vm.memory.read(addr, 8)
+
+    def unchecked_read(self, addr):
+        return self.vm.memory.read(addr, 8)  # EXPECT: CRL005
+
+    def checkpoint(self):
+        self.injector.check(FaultPlane.CHECKPOINT_COPY)
+        return self.vm.memory.view()
+
+    def typo_probe(self):
+        self.injector.check(FaultPlane.VMI_REED)  # EXPECT: CRL005

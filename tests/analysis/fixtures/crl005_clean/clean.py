@@ -1,0 +1,23 @@
+"""Fixture: every guarded primitive runs under its seam."""
+
+from planes import FaultPlane
+
+
+class Prober:
+    def __init__(self, injector, vm):
+        self.injector = injector
+        self.vm = vm
+
+    def read(self, addr):
+        self.injector.check(FaultPlane.VMI_READ)
+        return self._read_raw(addr)
+
+    def _read_raw(self, addr):
+        return self.vm.memory.read(addr, 8)
+
+    def checkpoint(self):
+        return self.vm.memory.view(fault=None, injector=self.injector)
+
+    def harvest(self, hypervisor):
+        self.injector.check(FaultPlane.CHECKPOINT_COPY)
+        return hypervisor.harvest_dirty()

@@ -1,0 +1,8 @@
+"""Fixture planes: every member is probed by the companion module."""
+
+import enum
+
+
+class FaultPlane(enum.Enum):
+    VMI_READ = "vmi_read"
+    CHECKPOINT_COPY = "checkpoint_copy"

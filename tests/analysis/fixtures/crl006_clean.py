@@ -1,0 +1,22 @@
+"""Fixture: hygienic handlers — narrow types, re-raises, recorded drops."""
+
+from repro.errors import ForensicsError, IntrospectionError
+
+
+def guarded(step, observer):
+    try:
+        step()
+    except IntrospectionError as err:
+        observer.journal("rollback", error=str(err))
+        raise
+    except ForensicsError:
+        raise
+    except ValueError:
+        pass
+
+
+def broad_but_reraises(step):
+    try:
+        step()
+    except Exception:
+        raise

@@ -1,0 +1,186 @@
+"""Engine behavior: pragmas, baseline, selection, report formats, CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis import REPORT_SCHEMA, Baseline, run_lint
+from repro.analysis.baseline import parse_toml
+from repro.analysis.pragmas import ALL_RULES, scan_pragmas
+from repro.errors import ConfigError
+from repro.cli import main as cli_main
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+# -- pragmas ---------------------------------------------------------------
+
+def test_pragma_scanning_variants():
+    pragmas = scan_pragmas(
+        "x = 1  # crimeslint: ignore[CRL001]\n"
+        "y = 2  # crimeslint: ignore[CRL001, CRL006]\n"
+        "z = 3  # crimeslint: ignore\n"
+        "plain = 4\n"
+    )
+    assert pragmas[1] == frozenset({"CRL001"})
+    assert pragmas[2] == frozenset({"CRL001", "CRL006"})
+    assert pragmas[3] is ALL_RULES
+    assert 4 not in pragmas
+
+
+def test_inline_pragma_suppresses_only_its_line_and_rule(tmp_path):
+    write(tmp_path, "mod.py",
+          "import time\n"
+          "\n"
+          "\n"
+          "def f():\n"
+          "    a = time.time()  # crimeslint: ignore[CRL001]\n"
+          "    b = time.time()\n"
+          "    return a, b\n")
+    report = run_lint(paths=["mod.py"], root=str(tmp_path), baseline=False)
+    assert [f.line for f in report.findings] == [6]
+    assert report.suppressed_pragma == 1
+
+
+# -- baseline --------------------------------------------------------------
+
+def test_baseline_suppresses_and_counts(tmp_path):
+    write(tmp_path, "mod.py",
+          "import time\n"
+          "\n"
+          "\n"
+          "def f():\n"
+          "    return time.time()\n")
+    write(tmp_path, ".crimeslint.toml",
+          '[[suppress]]\n'
+          'rule = "CRL001"\n'
+          'path = "mod.py"\n'
+          'symbol = "time.time"\n'
+          'reason = "test fixture"\n')
+    report = run_lint(paths=["mod.py"], root=str(tmp_path))
+    assert report.findings == []
+    assert report.suppressed_baseline == 1
+    assert report.unused_baseline == []
+    assert report.exit_code() == 0
+
+
+def test_unused_baseline_entry_fails_the_run(tmp_path):
+    write(tmp_path, "mod.py", "x = 1\n")
+    write(tmp_path, ".crimeslint.toml",
+          '[[suppress]]\n'
+          'rule = "CRL001"\n'
+          'path = "gone.py"\n'
+          'reason = "stale"\n')
+    report = run_lint(paths=["mod.py"], root=str(tmp_path))
+    assert report.findings == []
+    assert len(report.unused_baseline) == 1
+    assert report.exit_code() == 1
+    assert "unused suppression" in report.render_text()
+
+
+def test_baseline_entry_without_reason_is_config_error():
+    with pytest.raises(ConfigError):
+        Baseline.from_text('[[suppress]]\nrule = "CRL001"\npath = "a.py"\n')
+
+
+def test_fallback_toml_parser_matches_shape():
+    text = ('[lint]\n'
+            'paths = ["src/repro"]\n'
+            '[[suppress]]\n'
+            'rule = "CRL001"\n'
+            'path = "a.py"\n'
+            'reason = "r"\n')
+    data = parse_toml(text)
+    assert data["lint"]["paths"] == ["src/repro"]
+    assert data["suppress"][0]["rule"] == "CRL001"
+
+
+# -- engine ----------------------------------------------------------------
+
+def test_parse_error_becomes_crl000_finding(tmp_path):
+    write(tmp_path, "bad.py", "def broken(:\n")
+    report = run_lint(paths=["bad.py"], root=str(tmp_path), baseline=False)
+    assert [f.rule for f in report.findings] == ["CRL000"]
+    assert report.findings[0].path == "bad.py"
+
+
+def test_select_restricts_rule_pack(tmp_path):
+    write(tmp_path, "mod.py",
+          "import time\n"
+          "\n"
+          "\n"
+          "def f():\n"
+          "    time.sleep(1)\n"
+          "    return time.time()\n")
+    report = run_lint(paths=["mod.py"], root=str(tmp_path), baseline=False,
+                      select=["CRL002"])
+    assert {f.rule for f in report.findings} == {"CRL002"}
+
+
+def test_select_unknown_rule_is_config_error(tmp_path):
+    with pytest.raises(ConfigError):
+        run_lint(paths=["."], root=str(tmp_path), select=["CRL999"])
+
+
+def test_missing_path_is_config_error(tmp_path):
+    with pytest.raises(ConfigError):
+        run_lint(paths=["nope"], root=str(tmp_path), baseline=False)
+
+
+def test_json_report_schema(tmp_path):
+    write(tmp_path, "mod.py",
+          "import time\n"
+          "\n"
+          "\n"
+          "def f():\n"
+          "    return time.time()\n")
+    report = run_lint(paths=["mod.py"], root=str(tmp_path), baseline=False)
+    payload = json.loads(report.render_json())
+    assert payload["schema"] == REPORT_SCHEMA
+    assert payload["clean"] is False
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "CRL001"
+    assert finding["path"] == "mod.py"
+    assert finding["line"] == 5
+    assert payload["suppressed"] == {"pragma": 0, "baseline": 0}
+
+
+# -- CLI -------------------------------------------------------------------
+
+def test_cli_lint_exits_zero_and_writes_artifact(tmp_path, capsys):
+    write(tmp_path, "mod.py", "x = 1\n")
+    out = tmp_path / "report.json"
+    code = cli_main(["lint", "--paths", str(tmp_path / "mod.py"),
+                     "--no-baseline", "--out", str(out)])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == REPORT_SCHEMA and payload["clean"] is True
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_cli_lint_exits_one_but_still_writes_artifact(tmp_path, capsys):
+    mod = write(tmp_path, "mod.py",
+                "import time\n"
+                "\n"
+                "\n"
+                "def f():\n"
+                "    return time.time()\n")
+    out = tmp_path / "report.json"
+    with pytest.raises(SystemExit) as excinfo:
+        cli_main(["lint", "--paths", str(mod), "--no-baseline",
+                  "--format", "json", "--out", str(out)])
+    assert excinfo.value.code == 1
+    assert json.loads(out.read_text())["clean"] is False
+    assert "CRL001" in capsys.readouterr().out
+
+
+def test_cli_lint_list_rules(capsys):
+    assert cli_main(["lint", "--list-rules"]) == 0
+    output = capsys.readouterr().out
+    for rule_id in ("CRL001", "CRL002", "CRL003", "CRL004", "CRL005",
+                    "CRL006"):
+        assert rule_id in output

@@ -1,0 +1,136 @@
+"""Unit tests for the shared symbol-resolution layer."""
+
+import textwrap
+
+from repro.analysis.resolver import MODULE_SCOPE, SourceModule
+
+
+def parse(source):
+    return SourceModule("<mem>", "mem.py", textwrap.dedent(source))
+
+
+def test_import_alias_resolution():
+    module = parse("""
+        import time
+        import os.path
+        import numpy as np
+        from datetime import datetime
+        from random import Random as R
+
+        time.sleep(1)
+        os.path.join("a")
+        np.zeros(3)
+        datetime.now()
+        R(7)
+    """)
+    resolved = {site.chain: site.resolved for site in module.calls}
+    assert resolved["time.sleep"] == "time.sleep"
+    assert resolved["os.path.join"] == "os.path.join"
+    assert resolved["np.zeros"] == "numpy.zeros"
+    assert resolved["datetime.now"] == "datetime.datetime.now"
+    assert resolved["R"] == "random.Random"
+
+
+def test_unresolvable_local_names_resolve_to_none():
+    module = parse("""
+        def run(rng):
+            return rng.random()
+    """)
+    (site,) = module.calls
+    assert site.chain == "rng.random"
+    assert site.resolved is None
+
+
+def test_call_sites_carry_scope_and_flags():
+    module = parse("""
+        top_level()
+
+        class Loop:
+            def run(self, tracer):
+                with tracer.span("a"):
+                    pass
+                return tracer.span("b")
+    """)
+    by_scope = {}
+    for site in module.calls:
+        by_scope.setdefault(site.scope, []).append(site)
+    assert by_scope[MODULE_SCOPE][0].chain == "top_level"
+    spans = by_scope["Loop.run"]
+    assert spans[0].in_with_item and not spans[0].is_returned
+    assert spans[1].is_returned and not spans[1].in_with_item
+    assert all(site.class_name == "Loop" for site in spans)
+
+
+def test_intra_class_call_closure():
+    module = parse("""
+        class Buffer:
+            def commit(self):
+                self._flush()
+
+            def _flush(self):
+                self._emit_all()
+
+            def _emit_all(self):
+                pass
+
+            def discard(self):
+                pass
+    """)
+    closure = module.closure_of("Buffer.commit")
+    assert closure == {"Buffer.commit", "Buffer._flush", "Buffer._emit_all"}
+    assert "Buffer.discard" not in closure
+
+
+def test_module_function_call_graph():
+    module = parse("""
+        def outer():
+            helper()
+
+        def helper():
+            pass
+    """)
+    assert module.closure_of("outer") == {"outer", "helper"}
+
+
+def test_ctor_of_function_local_and_self_attr():
+    module = parse("""
+        from repro.guest.devices import OutputSink
+
+        class Holder:
+            def __init__(self):
+                self.sink = OutputSink()
+
+            def use(self):
+                self.sink.emit_packet(b"x")
+
+        def local():
+            sink = OutputSink()
+            sink.emit_packet(b"y")
+    """)
+    attr_site = next(s for s in module.calls
+                     if s.chain == "self.sink.emit_packet")
+    local_site = next(s for s in module.calls
+                      if s.chain == "sink.emit_packet")
+    assert module.ctor_of(attr_site.receiver_parts, attr_site.scope,
+                          "Holder") == "repro.guest.devices.OutputSink"
+    assert module.ctor_of(local_site.receiver_parts, local_site.scope,
+                          None) == "repro.guest.devices.OutputSink"
+
+
+def test_references_sees_imports_and_attribute_use():
+    module = parse("""
+        from repro.faults import FaultPlane
+
+        def probe(injector):
+            injector.check(FaultPlane.VMI_READ)
+    """)
+    assert module.references("FaultPlane")
+    assert not module.references("NoSuchName")
+
+
+def test_function_params_include_every_kind():
+    module = parse("""
+        def f(a, b, *args, c, **kwargs):
+            pass
+    """)
+    assert module.functions["f"].params == {"a", "b", "args", "c", "kwargs"}

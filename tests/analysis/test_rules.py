@@ -1,0 +1,82 @@
+"""Per-rule fixture tests: violations are found, clean twins stay clean.
+
+Each fixture marks its expected findings with ``# EXPECT: CRLxxx``
+trailing comments; the test lints the fixture (full rule pack, no
+baseline) and requires the finding set to match the marker set exactly
+— same rule, same file, same line, nothing extra.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.analysis import run_lint
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+_EXPECT = re.compile(r"#\s*EXPECT:\s*(CRL\d{3})")
+
+#: fixture path (relative to FIXTURES) -> rule under test.
+VIOLATION_FIXTURES = {
+    "crl001_violation.py": "CRL001",
+    "crl002_violation.py": "CRL002",
+    "crl003_violation.py": "CRL003",
+    "crl004": "CRL004",
+    "crl005": "CRL005",
+    "crl006_violation.py": "CRL006",
+}
+
+CLEAN_FIXTURES = [
+    "crl001_clean.py",
+    "crl002_clean.py",
+    "crl003_clean.py",
+    "crl004_clean",
+    "crl005_clean",
+    "crl006_clean.py",
+]
+
+
+def _expected_markers(fixture):
+    """(rel_path, line, rule) triples from the EXPECT comments."""
+    absolute = os.path.join(FIXTURES, fixture)
+    files = []
+    if os.path.isdir(absolute):
+        for name in sorted(os.listdir(absolute)):
+            if name.endswith(".py"):
+                files.append((os.path.join(absolute, name),
+                              "%s/%s" % (fixture, name)))
+    else:
+        files.append((absolute, fixture))
+    expected = set()
+    for path, rel in files:
+        with open(path) as handle:
+            for lineno, line in enumerate(handle, start=1):
+                match = _EXPECT.search(line)
+                if match is not None:
+                    expected.add((rel, lineno, match.group(1)))
+    return expected
+
+
+@pytest.mark.parametrize("fixture", sorted(VIOLATION_FIXTURES))
+def test_violation_fixture_findings_match_markers(fixture):
+    expected = _expected_markers(fixture)
+    assert expected, "fixture %s has no EXPECT markers" % fixture
+    report = run_lint(paths=[fixture], root=FIXTURES, baseline=False)
+    actual = {(f.path, f.line, f.rule) for f in report.findings}
+    assert actual == expected
+    assert report.exit_code() == 1
+
+
+@pytest.mark.parametrize("fixture", sorted(VIOLATION_FIXTURES))
+def test_violation_fixture_names_the_right_rule(fixture):
+    rule = VIOLATION_FIXTURES[fixture]
+    report = run_lint(paths=[fixture], root=FIXTURES, baseline=False)
+    assert {f.rule for f in report.findings} == {rule}
+
+
+@pytest.mark.parametrize("fixture", CLEAN_FIXTURES)
+def test_clean_fixture_has_no_findings(fixture):
+    report = run_lint(paths=[fixture], root=FIXTURES, baseline=False)
+    assert report.findings == []
+    assert report.exit_code() == 0

@@ -1,0 +1,66 @@
+"""Self-check: the shipped tree lints clean, and the acceptance fixtures
+each fail through the real CLI with the right rule ID and file:line."""
+
+import os
+
+import pytest
+
+from repro.analysis import run_lint
+from repro.cli import main as cli_main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "fixtures")
+
+
+def test_src_repro_is_clean_modulo_baseline():
+    report = run_lint(root=REPO_ROOT)
+    assert report.findings == [], "\n" + report.render_text()
+    assert report.unused_baseline == [], (
+        "stale .crimeslint.toml entries:\n" + report.render_text()
+    )
+    assert report.exit_code() == 0
+
+
+def test_baseline_is_actually_load_bearing():
+    """Without the baseline, only the documented justified sites fire."""
+    report = run_lint(root=REPO_ROOT, baseline=False)
+    assert report.findings, "baseline suppresses nothing; delete it"
+    assert {f.rule for f in report.findings} <= {"CRL001", "CRL005"}
+    for finding in report.findings:
+        assert finding.path in {
+            "src/repro/obs/tracer.py",
+            "src/repro/obs/flight.py",
+            "src/repro/checkpoint/checkpointer.py",
+        }
+
+
+def test_cli_lint_is_green_on_the_tree(capsys, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    assert cli_main(["lint"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+#: Acceptance matrix: one injected-violation fixture per rule, with the
+#: file:line the CLI output must name.
+ACCEPTANCE = [
+    ("CRL001", "crl001_violation.py", "crl001_violation.py:10"),
+    ("CRL002", "crl002_violation.py", "crl002_violation.py:8"),
+    ("CRL003", "crl003_violation.py", "crl003_violation.py:13"),
+    ("CRL004", "crl004", "violation.py:9"),
+    ("CRL005", "crl005", "violation.py:16"),
+    ("CRL006", "crl006_violation.py", "crl006_violation.py:10"),
+]
+
+
+@pytest.mark.parametrize("rule,fixture,location", ACCEPTANCE)
+def test_cli_exits_nonzero_with_rule_and_location(rule, fixture, location,
+                                                 capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        cli_main(["lint", "--paths", os.path.join(FIXTURES, fixture),
+                  "--no-baseline"])
+    assert excinfo.value.code == 1
+    output = capsys.readouterr().out
+    assert rule in output
+    assert location in output
