@@ -3,10 +3,12 @@
 These reproduce the pre-optimization hot paths the delta-checkpoint /
 zero-copy PR replaced:
 
-* ``LegacyCheckpointer`` — commit() materializes a full ``bytes`` RAM
-  image plus a deepcopy per committed epoch when history is enabled;
-  rollback() diffs every frame of RAM against the backup in a Python
-  loop; staging copies each dirty frame with ``read_frame``.
+* ``LegacyCheckpointer`` — commit() propagates staged pages with a
+  per-page Python loop and materializes a full ``bytes`` RAM image plus
+  a deepcopy per committed epoch when history is enabled; rollback()
+  diffs every frame of RAM against the backup in a Python loop; staging
+  copies each dirty frame with ``read_frame`` and deep-copies the guest
+  state dict (the seed's per-epoch snapshot).
 * ``LegacyWordBitmap`` — the seed's list-of-ints dirty bitmap with the
   per-word Python-loop scan and the tail filter.
 
@@ -28,22 +30,39 @@ from repro.hypervisor.dirty import ScanStats, WORD_BITS
 class LegacyCheckpointer(Checkpointer):
     """Checkpointer with the seed revision's O(RAM) commit/rollback."""
 
+    def start(self):
+        super().start()
+        if self.fidelity is CopyFidelity.FULL:
+            # The seed kept the backup guest state as a live deepcopy,
+            # not a frozen blob.
+            self._backup_state = copy.deepcopy(self.domain.vm.state_dict())
+
     def run_checkpoint(self, interval_ms, synthetic_dirty=0):
-        # Re-stage with per-frame byte copies (the seed's staging path).
+        # Re-stage with per-frame byte copies and a deepcopy of the
+        # guest state (the seed's staging path).
         report = super().run_checkpoint(interval_ms,
                                         synthetic_dirty=synthetic_dirty)
-        if self._pending is not None and self._pending["pages"] is not None:
+        if self._pending is not None and self._pending["pfns"] is not None:
             memory = self.domain.vm.memory
             self._pending["pages"] = [
                 (pfn, memory.read_frame(pfn))
-                for pfn, _view in self._pending["pages"]
+                for pfn in self._pending["pfns"]
             ]
+            self._pending["state"] = copy.deepcopy(
+                self.domain.vm.state_dict()
+            )
         return report
 
     def commit(self):
         if self._pending is None:
             raise CheckpointError("no staged checkpoint to commit")
+        sync = {"backoff_ms": 0.0, "retries": 0}
+        self.last_sync_backoff_ms = 0.0
         pending, self._pending = self._pending, None
+        self._pending_held = False
+        if self._flight is not None:
+            self._flight.record("epoch.commit", epoch=self.epoch,
+                                dirty_pages=pending["dirty"])
         if self.fidelity is CopyFidelity.FULL:
             for pfn, data in pending["pages"]:
                 start = pfn * PAGE_SIZE
@@ -61,6 +80,7 @@ class LegacyCheckpointer(Checkpointer):
                         label="epoch-%d" % self.epoch,
                     )
                 )
+        return sync
 
     def rollback(self):
         vm = self.domain.vm
@@ -124,3 +144,120 @@ class LegacyWordBitmap:
         dirty, stats = self.scan_by_words()
         self.clear()
         return dirty, stats
+
+
+# -- seed-revision epoch-pipeline references (phase-attribution bench) ----
+
+from repro.core.crimes import Crimes  # noqa: E402
+from repro.detectors.base import Finding, Severity  # noqa: E402
+from repro.detectors.canary import CanaryScanModule, KIND_CANARY, \
+    KIND_FREED  # noqa: E402
+from repro.errors import IntrospectionError  # noqa: E402
+from repro.guest.layout import cstring  # noqa: E402
+from repro.vmi.libvmi import VMIInstance, ProcessInfo, \
+    _MAX_LIST_LENGTH  # noqa: E402
+
+
+class LegacyVMIInstance(VMIInstance):
+    """VMI with the seed revision's per-field decode hot paths.
+
+    The seed's ``StructDef.decode`` was a per-field ``unpack_from`` loop
+    (today's ``decode_scalar``); both overrides below replay the seed's
+    exact call pattern so a timed scan pays the seed's host cost while
+    charging the identical virtual time.
+    """
+
+    def read_canary_table(self, pid, table_va):
+        from repro.guest.heap import CANARY_ENTRY, CANARY_TABLE_HEADER, \
+            CANARY_TABLE_MAGIC
+
+        header = CANARY_TABLE_HEADER.decode_scalar(
+            self.read_va(table_va, CANARY_TABLE_HEADER.size, pid=pid)
+        )
+        if header["magic"] != CANARY_TABLE_MAGIC:
+            raise IntrospectionError(
+                "bad canary-table magic for pid %d: 0x%x"
+                % (pid, header["magic"])
+            )
+        entries = []
+        cursor = table_va + CANARY_TABLE_HEADER.size
+        raw = self.read_va(cursor, header["count"] * CANARY_ENTRY.size,
+                           pid=pid)
+        for index in range(header["count"]):
+            record = CANARY_ENTRY.decode_scalar(raw, index * CANARY_ENTRY.size)
+            entries.append((record["addr"], record["size"], record["kind"]))
+        return {"canary": header["canary"], "entries": entries}
+
+    def _linux_task_list(self):
+        layout = self.profile.struct("task_struct")
+        head_va = self.lookup_symbol(self.profile.root_symbol("process_list"))
+        processes = []
+        current = head_va
+        for _ in range(_MAX_LIST_LENGTH):
+            record = layout.decode_scalar(self.read_va(current, layout.size))
+            self._charge_us(self.costs.PER_PROCESS_US)
+            processes.append(
+                ProcessInfo(
+                    pid=record["pid"],
+                    name=cstring(record["comm"]),
+                    object_va=current,
+                    uid=record["uid"],
+                    state=record["state"],
+                    start_time=record["start_time"],
+                    kernel_thread=bool(record["flags"] & 0x2),
+                )
+            )
+            current = record["tasks_next"]
+            if current == head_va:
+                return processes
+            if current == 0:
+                raise IntrospectionError("task list broken: NULL tasks_next")
+        raise IntrospectionError("task list does not terminate")
+
+
+class LegacyCanaryScanModule(CanaryScanModule):
+    """The seed's canary scan: a per-entry Python filter, no slab pass."""
+
+    def scan(self, context):
+        vmi = context.vmi
+        findings = []
+        try:
+            directory = vmi.canary_directory()
+        except IntrospectionError:
+            return findings
+        for pid, table_va in directory:
+            try:
+                table = vmi.read_canary_table(pid, table_va)
+            except IntrospectionError:
+                findings.append(
+                    Finding(
+                        self.name,
+                        "table-corrupt",
+                        Severity.CRITICAL,
+                        "canary table of pid %d unreadable or corrupt" % pid,
+                        {"pid": pid, "table_va": table_va},
+                    )
+                )
+                continue
+            expected = table["canary"]
+            for addr, size, kind in table["entries"]:
+                if kind == KIND_CANARY:
+                    finding = self._check_canary(
+                        context, pid, addr, size, expected
+                    )
+                elif kind == KIND_FREED and self.check_freed:
+                    finding = self._check_freed(context, pid, addr, size)
+                else:
+                    finding = None
+                if finding is not None:
+                    findings.append(finding)
+        return findings
+
+
+class LegacyCrimes(Crimes):
+    """Crimes with the seed revision's deepcopy program snapshots."""
+
+    def _snapshot_program_states(self):
+        self._clean_program_states = [
+            copy.deepcopy(program.state_dict()) for program in self.programs
+        ]

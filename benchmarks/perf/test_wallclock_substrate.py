@@ -50,6 +50,12 @@ THRESHOLDS = {
     "commit_with_history": 5.0,
     "rollback": 5.0,
     "bitmap_harvest": 2.0,
+    # The substrate's end-to-end epoch case is memory-bandwidth-bound
+    # (its dirty set is synthetic and the audit trivial), so its floor
+    # is modest; the full-pipeline >= 5x floor lives in
+    # test_epoch_phases.py, whose workload exercises the VMI/detector
+    # hot paths this case cannot.
+    "epoch_full_fidelity": 1.4,
 }
 
 
@@ -214,5 +220,3 @@ def test_wallclock_substrate(record_bench):
                 "%s: %.2fx < required %.1fx"
                 % (name, cases[name]["speedup"], floor)
             )
-        # The end-to-end epoch must at minimum not regress.
-        assert cases["epoch_full_fidelity"]["speedup"] >= 1.0

@@ -16,8 +16,12 @@ Two fidelity modes:
   simulated RAM.
 """
 
-import copy
 import enum
+
+try:  # optional accelerator: the container may not ship numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 from repro.errors import CheckpointError
 from repro.faults.planes import FaultPlane
@@ -29,11 +33,32 @@ from repro.checkpoint.costmodel import (
 from repro.checkpoint.snapshot import CheckpointHistory
 from repro.guest.memory import PAGE_SIZE
 from repro.guest.vm import GuestSnapshot
+from repro.sim.clone import freeze_state, thaw_state
+
+#: Below this many frames the per-page Python loop beats the cost of
+#: building index arrays; above it the numpy row scatter/diff wins.
+_VECTOR_MIN_FRAMES = 8
 
 
 class CopyFidelity(enum.Enum):
     FULL = "full"
     ACCOUNTING = "accounting"
+
+
+def _diff_frames(candidates, ram_view, backup_view):
+    """PFNs among ``candidates`` whose RAM and backup contents differ.
+
+    numpy-only helper: both buffers are viewed as (frames x PAGE_SIZE)
+    matrices and the candidate rows compared in one pass. All array
+    references die when this returns, so the caller may release the
+    underlying memoryviews afterwards.
+    """
+    idx = _np.fromiter(candidates, dtype=_np.intp, count=len(candidates))
+    words = PAGE_SIZE // 8
+    ram = _np.frombuffer(ram_view, dtype=_np.uint64).reshape(-1, words)
+    bak = _np.frombuffer(backup_view, dtype=_np.uint64).reshape(-1, words)
+    mismatch = (ram[idx] != bak[idx]).any(axis=1)
+    return idx[mismatch].tolist()
 
 
 class CheckpointReport:
@@ -118,6 +143,9 @@ class Checkpointer:
         self.last_sync_backoff_ms = 0.0
 
         self._backup_image = None
+        # The backup's guest state, kept *frozen* (a pickle blob): it is
+        # only thawed on the rare paths that need a live object —
+        # rollback, forensic snapshots, the delta history.
         self._backup_state = None
         self._backup_taken_at = None
         self._pending = None  # staged epoch awaiting commit/abort
@@ -149,7 +177,7 @@ class Checkpointer:
             self.init_cost_ms += self.costs.premap_init_ms(self.nominal_frames)
         if self.fidelity is CopyFidelity.FULL:
             self._backup_image = bytearray(vm.memory.view())
-            self._backup_state = copy.deepcopy(vm.state_dict())
+            self._backup_state = freeze_state(vm.state_dict())
             self._backup_taken_at = vm.clock.now
             if self.history.capacity:
                 # Seed the delta chain; every later commit records O(dirty).
@@ -219,10 +247,8 @@ class Checkpointer:
                     # The harvested frames never reached a staged copy;
                     # remember them so rollback still knows what to diff.
                     self._dirty_since_backup.update(dirty_pfns)
-                    if held is not None and held["pages"] is not None:
-                        self._dirty_since_backup.update(
-                            pfn for pfn, _data in held["pages"]
-                        )
+                    if held is not None and held["pfns"] is not None:
+                        self._dirty_since_backup.update(held["pfns"])
                     if self._registry is not None:
                         self._copy_retries.inc(outcome.failed_attempts)
                     raise CheckpointError(
@@ -238,28 +264,29 @@ class Checkpointer:
 
         if not self.level.use_premap:
             self.mapping.map_pages(dirty_pfns)
-        staged_pages = None
+        staged_pfns = None
+        staged_view = None
         if self.fidelity is CopyFidelity.FULL:
-            # Zero-copy staging: slice read-only views of the dirty frames
-            # instead of materializing per-frame byte copies. The domain
-            # stays paused from here until commit()/abort(), so the views
-            # are stable for the staging window; commit() copies only
-            # what the delta history must retain.
-            stage_pfns = set(dirty_pfns)
-            if held is not None and held["pages"] is not None:
-                stage_pfns.update(pfn for pfn, _data in held["pages"])
-            view = self.domain.vm.memory.view()
-            staged_pages = [
-                (pfn, view[pfn * PAGE_SIZE : (pfn + 1) * PAGE_SIZE])
-                for pfn in sorted(stage_pfns)
-            ]
-            total_dirty = len(stage_pfns) + synthetic_dirty
+            # Fused harvest+stage: the harvest already walked the bitmap
+            # once and produced the sorted dirty-frame list, so staging
+            # is just that list plus one read-only view of RAM — no
+            # per-frame slicing or copying at all. The domain stays
+            # paused from here until commit()/abort(), so the view is
+            # stable for the staging window; commit() copies only what
+            # the delta history must retain.
+            if held is not None and held["pfns"] is not None:
+                staged_pfns = sorted(set(dirty_pfns).union(held["pfns"]))
+            else:
+                staged_pfns = list(dirty_pfns)
+            staged_view = self.domain.vm.memory.view()
+            total_dirty = len(staged_pfns) + synthetic_dirty
         if not self.level.use_premap:
             self.mapping.unmap_pages(dirty_pfns)
 
         self._pending = {
-            "pages": staged_pages,
-            "state": copy.deepcopy(self.domain.vm.state_dict())
+            "pfns": staged_pfns,
+            "view": staged_view,
+            "state": freeze_state(self.domain.vm.state_dict())
             if self.fidelity is CopyFidelity.FULL
             else None,
             "taken_at": self.domain.vm.clock.now,
@@ -325,30 +352,51 @@ class Checkpointer:
         if self._registry is not None:
             self._commits.inc()
         if self.fidelity is CopyFidelity.FULL:
-            staged = pending["pages"]
-            for pfn, data in staged:
-                start = pfn * PAGE_SIZE
-                self._backup_image[start : start + PAGE_SIZE] = data
+            pfns = pending["pfns"]
+            view = pending["view"]
+            self._propagate_pages(pfns, view)
             self._backup_state = pending["state"]
             self._backup_taken_at = pending["taken_at"]
             # The staged frames now match the backup again; anything
             # re-dirtied after staging is still in the live bitmap.
             if self._dirty_since_backup:
-                self._dirty_since_backup.difference_update(
-                    pfn for pfn, _data in staged
-                )
+                self._dirty_since_backup.difference_update(pfns)
             if self.history.capacity:
                 # O(dirty) delta record — the full image is reconstructed
                 # lazily if forensics ever reads it.
                 self.history.record_delta(
                     epoch=self.epoch,
                     taken_at=pending["taken_at"],
-                    deltas=staged,
-                    guest_state=copy.deepcopy(self._backup_state),
+                    deltas=((pfn, view[pfn * PAGE_SIZE:(pfn + 1) * PAGE_SIZE])
+                            for pfn in pfns),
+                    guest_state=thaw_state(self._backup_state),
                     dirty_pages=pending["dirty"],
                     label="epoch-%d" % self.epoch,
                 )
         return sync
+
+    def _propagate_pages(self, pfns, view):
+        """Scatter the staged frames into the backup image.
+
+        One fancy-indexed row copy when numpy is available — the backup
+        and the staged RAM view are both (frames x PAGE_SIZE) matrices,
+        so the whole delta lands without a per-page Python loop.
+        """
+        if not pfns:
+            return
+        backup = self._backup_image
+        if _np is not None and len(pfns) >= _VECTOR_MIN_FRAMES:
+            # uint64 rows move the same bytes with 1/8th the elements,
+            # which benchmarks measurably faster than a uint8 scatter.
+            idx = _np.asarray(pfns, dtype=_np.intp)
+            dst = _np.frombuffer(backup, dtype=_np.uint64)
+            src = _np.frombuffer(view, dtype=_np.uint64)
+            words = PAGE_SIZE // 8
+            dst.reshape(-1, words)[idx] = src.reshape(-1, words)[idx]
+            return
+        for pfn in pfns:
+            start = pfn * PAGE_SIZE
+            backup[start : start + PAGE_SIZE] = view[start : start + PAGE_SIZE]
 
     def abort(self):
         """Drop the staged epoch (audit failed); backup stays clean."""
@@ -358,13 +406,11 @@ class Checkpointer:
                                     dirty_pages=self._pending["dirty"])
             if self._registry is not None:
                 self._aborts.inc()
-            staged = self._pending["pages"]
+            staged = self._pending["pfns"]
             if staged is not None:
                 # Those frames were harvested out of the bitmap but never
                 # reached the backup: remember them for rollback's diff.
-                self._dirty_since_backup.update(
-                    pfn for pfn, _data in staged
-                )
+                self._dirty_since_backup.update(staged)
         self._pending = None
         self._pending_held = False
 
@@ -376,7 +422,7 @@ class Checkpointer:
             raise CheckpointError("no backup image in ACCOUNTING fidelity")
         return GuestSnapshot(
             memory_image=bytes(self._backup_image),
-            state=copy.deepcopy(self._backup_state),
+            state=thaw_state(self._backup_state),
             taken_at=self._backup_taken_at,
         )
 
@@ -397,8 +443,8 @@ class Checkpointer:
         candidates = set(self._dirty_since_backup)
         live_dirty, _stats = self.domain.dirty_bitmap.scan_by_words()
         candidates.update(live_dirty)
-        if self._pending is not None and self._pending["pages"] is not None:
-            candidates.update(pfn for pfn, _data in self._pending["pages"])
+        if self._pending is not None and self._pending["pfns"] is not None:
+            candidates.update(self._pending["pfns"])
         return sorted(candidates)
 
     def rollback(self):
@@ -421,17 +467,30 @@ class Checkpointer:
         ram_view = memory.view()
         backup_view = memoryview(self._backup_image)
         try:
-            for pfn in candidates:
-                start = pfn * PAGE_SIZE
-                end = start + PAGE_SIZE
-                backup_page = backup_view[start:end]
-                if ram_view[start:end] != backup_page:
+            if _np is not None and len(candidates) >= _VECTOR_MIN_FRAMES:
+                # Vectorized diff: compare all candidate rows at once,
+                # then restore only the frames that actually changed.
+                # (The numpy views live inside the helper so the buffer
+                # exports are gone before the views are released below.)
+                for pfn in _diff_frames(candidates, ram_view, backup_view):
                     differing += 1
-                    memory.write_frame(pfn, backup_page, notify=False)
+                    start = pfn * PAGE_SIZE
+                    memory.write_frame(
+                        pfn, backup_view[start : start + PAGE_SIZE],
+                        notify=False,
+                    )
+            else:
+                for pfn in candidates:
+                    start = pfn * PAGE_SIZE
+                    end = start + PAGE_SIZE
+                    backup_page = backup_view[start:end]
+                    if ram_view[start:end] != backup_page:
+                        differing += 1
+                        memory.write_frame(pfn, backup_page, notify=False)
         finally:
             ram_view.release()
             backup_view.release()
-        vm.load_state_dict(copy.deepcopy(self._backup_state))
+        vm.load_state_dict(thaw_state(self._backup_state))
         self.domain.dirty_bitmap.clear()
         self._pending = None
         self._pending_held = False

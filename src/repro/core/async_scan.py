@@ -15,6 +15,7 @@ scanners like Volatility.
 """
 
 from repro.detectors.base import DetectionResult, Severity
+from repro.errors import NetbufReleaseError
 from repro.forensics.dumps import MemoryDump
 
 
@@ -61,6 +62,138 @@ class AsyncVerdict:
 
     def critical_findings(self):
         return [f for f in self.findings if f.severity is Severity.CRITICAL]
+
+
+class DeferredRelease:
+    """One audited-clean epoch whose outputs await their verdict time."""
+
+    __slots__ = ("epoch", "ready_at_ms", "scan_cost_ms")
+
+    def __init__(self, epoch, ready_at_ms, scan_cost_ms):
+        self.epoch = epoch
+        self.ready_at_ms = ready_at_ms
+        self.scan_cost_ms = scan_cost_ms
+
+    def __repr__(self):
+        return "DeferredRelease(epoch=%d, ready_at=%.1fms)" % (
+            self.epoch, self.ready_at_ms)
+
+
+class OverlappedAudit:
+    """Deferred output release for the overlapped synchronous audit.
+
+    With ``config.overlap_audit`` the end-of-epoch scan runs against the
+    staged copy on a modeled second core: the guest resumes right after
+    the copy phase and the scan cost becomes *release lag* instead of
+    pause time. The verdict itself is computed at the boundary (same
+    reads, same findings, same jitter draws as the pause-and-scan
+    pipeline); what moves in virtual time is when the epoch's buffered
+    outputs may leave — never before ``commit_time + scan_cost``, so the
+    escape window stays zero.
+
+    The queue holds one entry per committed-but-unreleased epoch.
+    :meth:`drain` releases every entry whose verdict time has passed; a
+    downstream sink failure (NETBUF_RELEASE fault) leaves the entry
+    queued so the next boundary retries it.
+    """
+
+    def __init__(self, clock, buffer, registry=None, flight=None):
+        self.clock = clock
+        self.buffer = buffer
+        self._flight = flight
+        self._queue = []
+        self.releases = 0
+        self.retries = 0
+        self.max_release_lag_ms = 0.0
+        if registry is not None:
+            self._lag_gauge = registry.gauge(
+                "overlap.release_lag_ms",
+                help="commit-to-release lag of the latest overlapped epoch")
+            self._queue_gauge = registry.gauge(
+                "overlap.queued_epochs",
+                help="committed epochs whose outputs await their verdict")
+        else:
+            self._lag_gauge = None
+            self._queue_gauge = None
+
+    @property
+    def queued(self):
+        """Epochs committed but not yet released, oldest first."""
+        return [entry.epoch for entry in self._queue]
+
+    def defer(self, epoch, scan_cost_ms):
+        """Queue a clean epoch's outputs until its verdict time passes."""
+        entry = DeferredRelease(
+            epoch=epoch,
+            ready_at_ms=self.clock.now + scan_cost_ms,
+            scan_cost_ms=scan_cost_ms,
+        )
+        self._queue.append(entry)
+        if self._flight is not None:
+            self._flight.record(
+                "overlap.deferred", epoch=epoch,
+                ready_at_ms=entry.ready_at_ms,
+            )
+        if self._queue_gauge is not None:
+            self._queue_gauge.set(len(self._queue))
+        return entry
+
+    def drain(self):
+        """Release every queued epoch whose verdict time has passed.
+
+        Returns ``(packets, disk_writes)`` released. Entries stay in
+        commit order; a sink failure stops the drain (order-preserving —
+        a newer epoch must not overtake a held older one).
+        """
+        packets = disk_writes = 0
+        while self._queue and self._queue[0].ready_at_ms <= self.clock.now:
+            entry = self._queue[0]
+            try:
+                released = self.buffer.release(entry.epoch)
+            except NetbufReleaseError:
+                self.retries += 1
+                if self._flight is not None:
+                    self._flight.record("overlap.release_held",
+                                        epoch=entry.epoch)
+                break
+            self._queue.pop(0)
+            packets += released[0]
+            disk_writes += released[1]
+            self.releases += 1
+            lag = self.clock.now - (entry.ready_at_ms - entry.scan_cost_ms)
+            self.max_release_lag_ms = max(self.max_release_lag_ms, lag)
+            if self._lag_gauge is not None:
+                self._lag_gauge.set(lag)
+        if self._queue_gauge is not None:
+            self._queue_gauge.set(len(self._queue))
+        return packets, disk_writes
+
+    def flush(self):
+        """Release everything regardless of verdict time (shutdown path).
+
+        Used when the epoch loop stops for good: the scans have no VM to
+        race against any more, so waiting buys nothing.
+        """
+        if self._queue:
+            barrier = max(entry.ready_at_ms for entry in self._queue)
+            if self.clock.now < barrier:
+                self.clock.advance(barrier - self.clock.now)
+        return self.drain()
+
+    def discard(self, reason="rollback"):
+        """Drop the queue (the buffer's discard destroyed the outputs).
+
+        A rollback annihilates every unreleased epoch — including
+        audited-clean predecessors still waiting on their verdict time.
+        Conservative by design: nothing unreleased survives an incident.
+        """
+        dropped, self._queue = [e.epoch for e in self._queue], []
+        if dropped and self._flight is not None:
+            self._flight.record("overlap.discarded", epochs=dropped,
+                                reason=reason)
+        if self._queue_gauge is not None:
+            self._queue_gauge.set(0)
+        return dropped
 
 
 class AsyncScanner:

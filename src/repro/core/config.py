@@ -41,7 +41,8 @@ class CrimesConfig:
                  auto_respond=True,
                  seed=0,
                  audit_timeout_ms=None,
-                 max_hold_epochs=3):
+                 max_hold_epochs=3,
+                 overlap_audit=False):
         if epoch_interval_ms <= 0:
             raise ConfigError("epoch interval must be positive")
         if epoch_interval_ms < 5.0:
@@ -81,6 +82,13 @@ class CrimesConfig:
         #: hold while the checkpointer/sink is unhealthy before the
         #: framework sheds them and rolls back.
         self.max_hold_epochs = int(max_hold_epochs)
+        #: Overlapped audit (opt-in): the synchronous scan runs against
+        #: the staged copy on a modeled second core while the guest
+        #: resumes, so the pause omits the scan cost; the epoch's outputs
+        #: stay buffered until the verdict lands (release lag = scan
+        #: duration, escape window still zero). Default off — the paper's
+        #: pause-and-scan pipeline — so existing goldens are unchanged.
+        self.overlap_audit = bool(overlap_audit)
 
     def __repr__(self):
         return (
@@ -105,6 +113,7 @@ class CrimesConfig:
             "seed": self.seed,
             "audit_timeout_ms": self.audit_timeout_ms,
             "max_hold_epochs": self.max_hold_epochs,
+            "overlap_audit": self.overlap_audit,
         }
 
     @classmethod

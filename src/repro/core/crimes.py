@@ -15,12 +15,10 @@ Each epoch (Figure 2):
    critical finding outputs are discarded and the Analyzer takes over.
 """
 
-import copy
-
 from repro.analyzer.analyzer import Analyzer
 from repro.analyzer.timeline import AttackTimeline
 from repro.checkpoint.checkpointer import Checkpointer, CopyFidelity
-from repro.core.async_scan import AsyncScanner
+from repro.core.async_scan import AsyncScanner, OverlappedAudit
 from repro.checkpoint.costmodel import CheckpointCostModel
 from repro.core.config import CrimesConfig
 from repro.detectors.base import Detector
@@ -42,6 +40,7 @@ from repro.obs.incident import build_incident_bundle
 from repro.obs.observer import Observer
 from repro.obs.registry import DEFAULT_COUNT_BUCKETS
 from repro.obs.slo import SLOWatchdog
+from repro.sim.clone import clone_state
 from repro.vmi.libvmi import VMIInstance
 
 logger = get_logger("core")
@@ -157,6 +156,7 @@ class Crimes:
             injector=self.injector,
         )
         self.vmi = VMIInstance(self.domain, seed=self.config.seed)
+        self.vmi.attach_flight(self.observer.flight)
         if self.injector is not None:
             self.vmi.attach_injector(self.injector)
         self.detector = Detector(self.vmi, registry=registry)
@@ -181,6 +181,10 @@ class Crimes:
         self.fault_rollbacks = 0       # epochs undone by escalated faults
         self.async_scanner = AsyncScanner(self.clock, registry=registry,
                                           flight=self.observer.flight)
+        #: Deferred-release queue for config.overlap_audit; idle otherwise.
+        self.overlap = OverlappedAudit(self.clock, self.buffer,
+                                       registry=registry,
+                                       flight=self.observer.flight)
         self.last_async_verdict = None
         #: The most recent incident bundle (built on any failed audit or
         #: failed async deep scan); None until something goes wrong.
@@ -271,8 +275,10 @@ class Crimes:
         )
 
     def _snapshot_program_states(self):
+        # clone_state (pickle round-trip) rather than deepcopy: this runs
+        # once per committed epoch and the states are plain data.
         self._clean_program_states = [
-            copy.deepcopy(program.state_dict()) for program in self.programs
+            clone_state(program.state_dict()) for program in self.programs
         ]
 
     # -- the epoch loop ----------------------------------------------------------
@@ -439,6 +445,18 @@ class Crimes:
                     phase_ms["vmi"] = 0.0
                 audit_span.attribute_ms(phase_ms["vmi"])
 
+            # Overlapped audit: the scan just ran against the staged copy,
+            # but in this mode it is modeled on a second core — its cost
+            # leaves the pause and becomes release lag for this epoch's
+            # outputs (deferred below). Verdicts, findings, and jitter
+            # draws are identical to the pause-and-scan pipeline; only
+            # where the time is charged differs.
+            overlap_scan_ms = None
+            if (self.config.overlap_audit and audit_error is None
+                    and detection is not None):
+                overlap_scan_ms = phase_ms["vmi"]
+                phase_ms["vmi"] = 0.0
+
             if audit_error is not None:
                 return self._fault_rollback(
                     checkpoint.epoch, start_ms, interval, phase_ms,
@@ -461,6 +479,7 @@ class Crimes:
                 # instruction and the verdict arrives after the audit.
                 self._detect_latency_gauge.set(
                     interval + sum(phase_ms.values())
+                    + (overlap_scan_ms or 0.0)
                 )
 
             if attack:
@@ -471,6 +490,10 @@ class Crimes:
                 # A deep scan still in flight is scanning a timeline that
                 # just ended; its late verdict must never land.
                 self.async_scanner.cancel(reason="attack")
+                # Deferred releases go down too: nothing unreleased —
+                # including audited-clean predecessors still waiting on
+                # their verdict time — survives an incident.
+                self.overlap.discard(reason="attack")
                 self.checkpointer.abort()
                 dropped_packets, dropped_writes = self.buffer.discard()
                 logger.warning(
@@ -528,7 +551,7 @@ class Crimes:
                     hold_reason = "backup-sync"
                     logger.warning("%s: epoch %d held — %s",
                                    self.vm.name, checkpoint.epoch, err)
-                if sync_ok:
+                if sync_ok and overlap_scan_ms is None:
                     try:
                         packets, disk_writes = self.buffer.commit()
                     except NetbufReleaseError as err:
@@ -548,6 +571,15 @@ class Crimes:
 
             self.domain.resume()
             self.clock.advance(sum(phase_ms.values()))
+            if overlap_scan_ms is not None:
+                # The epoch's outputs leave only when its verdict lands
+                # (commit time + scan cost); drain whatever earlier
+                # verdicts the clock has now passed. The released counts
+                # below are therefore those of predecessor epochs whose
+                # release windows closed at this boundary. A sink failure
+                # inside drain keeps the entry queued for the next one.
+                self.overlap.defer(checkpoint.epoch, overlap_scan_ms)
+                packets, disk_writes = self.overlap.drain()
             if self.health == "degraded":
                 # The sync/sink recovered and buffer.commit() flushed
                 # every held epoch's outputs along with this one's.
@@ -661,6 +693,7 @@ class Crimes:
             # its epoch was already counted.
             self.epochs_run += 1
         self.async_scanner.cancel(reason=reason)
+        self.overlap.discard(reason=reason)
         self.checkpointer.abort()
         dropped_packets, dropped_writes = self.buffer.discard()
         if self._held_epochs:
@@ -677,7 +710,7 @@ class Crimes:
         phase_ms = dict(phase_ms)
         phase_ms["rollback"] = self.checkpointer.rollback()
         for program, state in zip(self.programs, self._clean_program_states):
-            program.load_state_dict(copy.deepcopy(state))
+            program.load_state_dict(clone_state(state))
         self.domain.resume()
         self.clock.advance(sum(phase_ms.values()))
         logger.warning(
@@ -763,10 +796,10 @@ class Crimes:
 
     def _last_dirty_pfns(self, checkpoint_report):
         # The bitmap was harvested inside run_checkpoint; recover the set
-        # from the staged pages (FULL) or report nothing (ACCOUNTING).
+        # from the staged frame list (FULL) or report nothing (ACCOUNTING).
         staged = self.checkpointer._pending
-        if staged and staged["pages"] is not None:
-            return [pfn for pfn, _data in staged["pages"]]
+        if staged and staged["pfns"] is not None:
+            return staged["pfns"]
         return []
 
     def respond(self, detection, interval_ms):

@@ -15,10 +15,21 @@ were dirtied during the epoch — the dirty-page filter is what makes the
 scan cheap (§5.5: ≈90,000 canaries validated per millisecond).
 """
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the image
+    _np = None
+
 from repro.detectors.base import Finding, ScanModule, Severity
 from repro.errors import IntrospectionError
 from repro.guest.heap import FREED_FILL_BYTE, KIND_CANARY, KIND_FREED
 from repro.guest.memory import PAGE_SIZE
+
+#: Below this many table entries the per-entry Python filter beats the
+#: cost of building index arrays; above it the slab filter wins.
+_VECTOR_MIN_ENTRIES = 32
+
+_PAGE_SHIFT = PAGE_SIZE.bit_length() - 1
 
 
 class CanaryScanModule(ScanModule):
@@ -45,7 +56,23 @@ class CanaryScanModule(ScanModule):
             return findings
         for pid, table_va in directory:
             try:
-                table = vmi.read_canary_table(pid, table_va)
+                if _np is not None:
+                    # The slab read charges the exact same virtual time as
+                    # the dict variant; only the host-side decode differs.
+                    expected, addrs, sizes, kinds = \
+                        vmi.read_canary_table_slab(pid, table_va)
+                    if len(addrs) >= _VECTOR_MIN_ENTRIES:
+                        self._scan_table_slab(
+                            context, pid, expected, addrs, sizes, kinds,
+                            findings,
+                        )
+                        continue
+                    entries = zip(addrs.tolist(), sizes.tolist(),
+                                  kinds.tolist())
+                else:
+                    table = vmi.read_canary_table(pid, table_va)
+                    expected = table["canary"]
+                    entries = table["entries"]
             except IntrospectionError:
                 findings.append(
                     Finding(
@@ -57,8 +84,7 @@ class CanaryScanModule(ScanModule):
                     )
                 )
                 continue
-            expected = table["canary"]
-            for addr, size, kind in table["entries"]:
+            for addr, size, kind in entries:
                 if kind == KIND_CANARY:
                     finding = self._check_canary(
                         context, pid, addr, size, expected
@@ -70,6 +96,147 @@ class CanaryScanModule(ScanModule):
                 if finding is not None:
                     findings.append(finding)
         return findings
+
+    # -- slab-driven filtering ---------------------------------------------
+
+    def _scan_table_slab(self, context, pid, expected, addrs, sizes, kinds,
+                         findings):
+        """Filter one table's entries against the dirty set in bulk.
+
+        The per-entry filter (``translate`` + ``page_is_dirty``) is
+        uncharged host work, so vectorizing it cannot move virtual time;
+        the charged reads then run for exactly the entries — in exactly
+        the table order — the scalar loop would have read.
+        """
+        vmi = context.vmi
+        is_canary = kinds == KIND_CANARY
+        is_freed = kinds == KIND_FREED
+        # The probe address whose page gates the check: the canary byte
+        # for live objects, the region start for freed objects (the same
+        # VA each scalar check translates first).
+        probe_va = _np.where(is_canary, addrs + sizes, addrs)
+        vpns = probe_va >> _PAGE_SHIFT
+        # Translate each distinct guest page once (objects are dense, so
+        # there are far fewer pages than entries); -1 marks a page the
+        # scalar path would have skipped with an IntrospectionError.
+        uniq, inverse = _np.unique(vpns, return_inverse=True)
+        uniq_pfns = _np.fromiter(
+            (self._pfn_of(vmi, pid, vpn) for vpn in uniq.tolist()),
+            dtype=_np.int64, count=len(uniq),
+        )
+        pfns = uniq_pfns[inverse]
+        mapped = pfns >= 0
+        checked = (is_canary | is_freed) if self.check_freed \
+            else is_canary.copy()
+        checked &= mapped
+        if not self.scan_all_pages and context.dirty_pfns is not None:
+            dirty = context.dirty_pfns
+            dirty_arr = _np.fromiter(dirty, dtype=_np.int64,
+                                     count=len(dirty))
+            hit = _np.isin(pfns, dirty_arr)
+            # A freed region can span pages: re-check the misses whose
+            # physical range covers more than the probe page.
+            offsets = (probe_va & (PAGE_SIZE - 1)).astype(_np.int64)
+            last_pfns = pfns + ((offsets + sizes.astype(_np.int64) - 1)
+                                >> _PAGE_SHIFT)
+            spans = checked & is_freed & ~hit & (last_pfns > pfns)
+            for i in _np.nonzero(spans)[0].tolist():
+                if any(pfn in dirty
+                       for pfn in range(int(pfns[i]) + 1,
+                                        int(last_pfns[i]) + 1)):
+                    hit[i] = True
+            checked &= hit
+        sel = _np.nonzero(checked)[0]
+        if not len(sel):
+            return
+        # Gather every checked live-object canary in one vectorized read
+        # up front: the domain stays paused for the whole audit, so the
+        # bytes cannot change between here and each entry's turn in the
+        # charge loop below. The loop then replays the scalar path's
+        # exact per-entry charge/probe sequence — interleaved with the
+        # freed-region checks in table order — without per-entry read
+        # plumbing.
+        memory = vmi.vm.memory
+        can_mask = is_canary[sel]
+        can_sel = sel[can_mask]
+        values = None
+        any_bad = False
+        if len(can_sel):
+            pas = (pfns[can_sel] * PAGE_SIZE
+                   + (probe_va[can_sel].astype(_np.int64)
+                      & (PAGE_SIZE - 1)))
+            if int(pas.max()) + 8 <= memory.size:
+                ram = _np.frombuffer(memory.view(), dtype=_np.uint8)
+                values = (ram[pas[:, None] + _np.arange(8)]
+                          .copy().view("<u8").ravel())
+                bad = values != expected
+                any_bad = bool(bad.any())
+        can_list = can_mask.tolist()
+        sel_list = sel.tolist()
+        if values is not None and not any_bad:
+            # Every canary is intact: charge each run of consecutive
+            # canaries in one bulk loop, breaking only for the (much
+            # rarer) freed-region checks so the charge order stays the
+            # table order.
+            run = 0
+            for pos, i in enumerate(sel_list):
+                if can_list[pos]:
+                    run += 1
+                    continue
+                if run:
+                    vmi.charge_canary_reads(run)
+                    self.canaries_checked += run
+                    run = 0
+                finding = self._validate_freed(
+                    context, pid, int(addrs[i]), int(sizes[i]),
+                    int(pfns[i]) * PAGE_SIZE
+                    + (int(probe_va[i]) & (PAGE_SIZE - 1)),
+                )
+                if finding is not None:
+                    findings.append(finding)
+            if run:
+                vmi.charge_canary_reads(run)
+                self.canaries_checked += run
+            return
+        charge = vmi.charge_canary_read
+        vi = 0
+        for pos, i in enumerate(sel_list):
+            if can_list[pos]:
+                if values is not None:
+                    charge()
+                    self.canaries_checked += 1
+                    if bad[vi]:
+                        findings.append(self._canary_finding(
+                            pid, int(addrs[i]), int(sizes[i]), expected,
+                            int(values[vi]),
+                            int(pfns[i]) * PAGE_SIZE
+                            + (int(probe_va[i]) & (PAGE_SIZE - 1)),
+                        ))
+                    vi += 1
+                    continue
+                # Degenerate gather (a canary hangs off the end of RAM):
+                # take the scalar path so the failing read raises at
+                # exactly this entry's turn.
+                finding = self._validate_canary(
+                    context, pid, int(addrs[i]), int(sizes[i]), expected,
+                    int(pfns[i]) * PAGE_SIZE
+                    + (int(probe_va[i]) & (PAGE_SIZE - 1)),
+                )
+            else:
+                finding = self._validate_freed(
+                    context, pid, int(addrs[i]), int(sizes[i]),
+                    int(pfns[i]) * PAGE_SIZE
+                    + (int(probe_va[i]) & (PAGE_SIZE - 1)),
+                )
+            if finding is not None:
+                findings.append(finding)
+
+    @staticmethod
+    def _pfn_of(vmi, pid, vpn):
+        try:
+            return vmi.translate(vpn * PAGE_SIZE, pid=pid) // PAGE_SIZE
+        except IntrospectionError:
+            return -1
 
     # -- live-object canaries ----------------------------------------------
 
@@ -83,10 +250,19 @@ class CanaryScanModule(ScanModule):
             canary_pa // PAGE_SIZE
         ):
             return None
-        value = vmi.read_canary_value(pid, addr, size)
+        return self._validate_canary(context, pid, addr, size, expected,
+                                     canary_pa)
+
+    def _validate_canary(self, context, pid, addr, size, expected, canary_pa):
+        """The charged read + comparison for one dirty-page canary."""
+        value = context.vmi.read_canary_value(pid, addr, size)
         self.canaries_checked += 1
         if value == expected:
             return None
+        return self._canary_finding(pid, addr, size, expected, value,
+                                    canary_pa)
+
+    def _canary_finding(self, pid, addr, size, expected, value, canary_pa):
         return Finding(
             self.name,
             "buffer-overflow",
@@ -119,8 +295,16 @@ class CanaryScanModule(ScanModule):
             if not any(context.page_is_dirty(pfn)
                        for pfn in range(first, last + 1)):
                 return None
-        data = vmi.read_freed_region(pid, addr, size)
+        return self._validate_freed(context, pid, addr, size, region_pa)
+
+    def _validate_freed(self, context, pid, addr, size, region_pa):
+        """The charged read + poison check for one dirty freed region."""
+        data = context.vmi.read_freed_region(pid, addr, size)
         self.freed_regions_checked += 1
+        # Fast accept: bytes.count scans at C speed, so the (overwhelmingly
+        # common) intact region never pays the per-byte Python loop below.
+        if data.count(FREED_FILL_BYTE) == len(data):
+            return None
         for offset, value in enumerate(data):
             if value != FREED_FILL_BYTE:
                 return Finding(

@@ -59,6 +59,9 @@ EVENT_KINDS = frozenset({
     "fault.observed",
     "fault.recovered",
     "incident",
+    "overlap.deferred",
+    "overlap.discarded",
+    "overlap.release_held",
     "replay",
     "rollback",
     "scan.finding",
@@ -66,6 +69,7 @@ EVENT_KINDS = frozenset({
     "slo.alert",
     "slo.nudge",
     "tenant.quarantined",
+    "vmi.list_truncated",
 })
 
 #: Canonical-JSON encoder, built once — ``json.dumps`` with non-default

@@ -10,6 +10,11 @@ walking CR3 — the mapping consulted is identical.
 
 import struct
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the image
+    _np = None
+
 from repro.errors import IntrospectionError
 from repro.faults.planes import FaultPlane
 from repro.guest.layout import cstring
@@ -94,6 +99,7 @@ class VMIInstance:
         self._jitter_rng = SeededStream(seed, "vmi/%s" % self.vm.name)
         self._cost_ms = 0.0
         self._injector = None
+        self._flight = None
         self.init_cost_ms = 0.0
         self.preprocess_cost_ms = 0.0
         self._initialize()
@@ -102,29 +108,46 @@ class VMIInstance:
         """Route reads through the VMI_READ fault plane."""
         self._injector = injector
 
+    def attach_flight(self, flight):
+        """Journal introspection anomalies (truncated walks) to ``flight``."""
+        self._flight = flight
+
     # -- cost accounting ---------------------------------------------------
 
     def _charge_ms(self, ms):
         charged = self._jitter_rng.jitter(ms, self.costs.JITTER)
-        injector = self._injector
-        if injector is not None:
-            fault = injector.check(FaultPlane.VMI_READ)
-            if fault is not None:
-                if fault.mode == "latency":
-                    # A slow mapping path: every charged read pays the
-                    # fault's magnitude on top of its modeled cost.
-                    charged += fault.magnitude_ms
-                elif fault.fires():
-                    # "fail"/"corrupt": the foreign mapping tears or the
-                    # bytes are garbage — surfaces as the same error a
-                    # real LibVMI read failure produces, and the audit
-                    # loop's escalation path owns the response.
-                    raise IntrospectionError(
-                        "VMI read fault injected (epoch %d, %s)"
-                        % (fault.epoch, fault.mode)
-                    )
         self._cost_ms += charged
         return charged
+
+    def _probe_read_fault(self):
+        """Probe the VMI_READ plane for one *logical* read.
+
+        The charging unit is the foreign-mapping operation (one
+        :meth:`read_pa` call), not the accounting charge: a batched slab
+        read that parses hundreds of structs from one mapping is still
+        one mapping, so a latency fault adds ``magnitude_ms`` once per
+        mapping — it must not scale with how finely the accounting layer
+        itemises the bytes it moved.
+        """
+        injector = self._injector
+        if injector is None:
+            return
+        fault = injector.check(FaultPlane.VMI_READ)
+        if fault is None:
+            return
+        if fault.mode == "latency":
+            # A slow mapping path: the read pays the fault's magnitude
+            # on top of its modeled cost.
+            self._cost_ms += fault.magnitude_ms
+        elif fault.fires():
+            # "fail"/"corrupt": the foreign mapping tears or the bytes
+            # are garbage — surfaces as the same error a real LibVMI
+            # read failure produces, and the audit loop's escalation
+            # path owns the response.
+            raise IntrospectionError(
+                "VMI read fault injected (epoch %d, %s)"
+                % (fault.epoch, fault.mode)
+            )
 
     def _charge_us(self, us):
         return self._charge_ms(us / 1000.0)
@@ -168,6 +191,7 @@ class VMIInstance:
         self._charge_us(
             self.costs.PER_PAGE_READ_US * max(length, 64) / float(PAGE_SIZE)
         )
+        self._probe_read_fault()
         return self.vm.memory.read(paddr, length)
 
     def read_va(self, vaddr, length, pid=0):
@@ -179,6 +203,26 @@ class VMIInstance:
 
     def read_u64_va(self, vaddr, pid=0):
         return struct.unpack("<Q", self.read_va(vaddr, 8, pid))[0]
+
+    # -- list-walk integrity ------------------------------------------------
+
+    def _abort_list_walk(self, what, node_va, nodes, reason):
+        """A walk over untrusted guest memory did not terminate cleanly.
+
+        A corrupted next pointer must never read as a *shorter clean
+        list* — journal the anomaly so the evidence trail names the walk
+        and the node, then raise so the audit loop escalates (the same
+        path a torn foreign mapping takes).
+        """
+        if self._flight is not None:
+            self._flight.record(
+                "vmi.list_truncated", list=what, node_va=node_va,
+                nodes=nodes, reason=reason,
+            )
+        raise IntrospectionError(
+            "%s list does not terminate (%s at 0x%x after %d nodes)"
+            % (what, reason, node_va, nodes)
+        )
 
     # -- scans: processes ------------------------------------------------------------
 
@@ -192,53 +236,77 @@ class VMIInstance:
     def _linux_task_list(self):
         layout = self.profile.struct("task_struct")
         head_va = self.lookup_symbol(self.profile.root_symbol("process_list"))
+        names = layout.names
+        i_pid = names.index("pid")
+        i_comm = names.index("comm")
+        i_uid = names.index("uid")
+        i_state = names.index("state")
+        i_start = names.index("start_time")
+        i_flags = names.index("flags")
+        i_next = names.index("tasks_next")
         processes = []
         current = head_va
+        seen = set()
         for _ in range(_MAX_LIST_LENGTH):
-            record = layout.decode(self.read_va(current, layout.size))
+            if current in seen:
+                self._abort_list_walk("task", current, len(processes), "cycle")
+            seen.add(current)
+            record = layout.unpack(self.read_va(current, layout.size))
             self._charge_us(self.costs.PER_PROCESS_US)
             processes.append(
                 ProcessInfo(
-                    pid=record["pid"],
-                    name=cstring(record["comm"]),
+                    pid=record[i_pid],
+                    name=cstring(record[i_comm]),
                     object_va=current,
-                    uid=record["uid"],
-                    state=record["state"],
-                    start_time=record["start_time"],
-                    kernel_thread=bool(record["flags"] & 0x2),
+                    uid=record[i_uid],
+                    state=record[i_state],
+                    start_time=record[i_start],
+                    kernel_thread=bool(record[i_flags] & 0x2),
                 )
             )
-            current = record["tasks_next"]
+            current = record[i_next]
             if current == head_va:
                 return processes
             if current == 0:
                 raise IntrospectionError("task list broken: NULL tasks_next")
-        raise IntrospectionError("task list does not terminate")
+        self._abort_list_walk("task", current, len(processes), "bound")
 
     def _windows_active_list(self):
         eprocess = self.profile.struct("eprocess")
         list_head = self.profile.struct("list_head")
         head_va = self.lookup_symbol(self.profile.root_symbol("process_list"))
         head = list_head.decode(self.read_va(head_va, list_head.size))
+        names = eprocess.names
+        i_pid = names.index("pid")
+        i_name = names.index("image_name")
+        i_ppid = names.index("ppid")
+        i_create = names.index("create_time")
+        i_exit = names.index("exit_time")
+        i_next = names.index("links_next")
         processes = []
         current = head["next"]
+        seen = {head_va}
         for _ in range(_MAX_LIST_LENGTH):
             if current == head_va:
                 return processes
-            record = eprocess.decode(self.read_va(current, eprocess.size))
+            if current in seen:
+                self._abort_list_walk("eprocess", current, len(processes),
+                                      "cycle")
+            seen.add(current)
+            record = eprocess.unpack(self.read_va(current, eprocess.size))
             self._charge_us(self.costs.PER_PROCESS_US)
             processes.append(
                 ProcessInfo(
-                    pid=record["pid"],
-                    name=cstring(record["image_name"]),
+                    pid=record[i_pid],
+                    name=cstring(record[i_name]),
                     object_va=current,
-                    ppid=record["ppid"],
-                    start_time=record["create_time"],
-                    exit_time=record["exit_time"],
+                    ppid=record[i_ppid],
+                    start_time=record[i_create],
+                    exit_time=record[i_exit],
                 )
             )
-            current = record["links_next"]
-        raise IntrospectionError("EPROCESS list does not terminate")
+            current = record[i_next]
+        self._abort_list_walk("eprocess", current, len(processes), "bound")
 
     def list_processes_pid_hash(self):
         """Second Linux process view: walk every pid-hash chain."""
@@ -247,29 +315,38 @@ class VMIInstance:
         self._charge_ms(self.costs.SCAN_BASE_MS)
         layout = self.profile.struct("task_struct")
         hash_va = self.lookup_symbol(self.profile.root_symbol("pid_hash"))
+        names = layout.names
+        i_pid = names.index("pid")
+        i_comm = names.index("comm")
+        i_uid = names.index("uid")
+        i_state = names.index("state")
+        i_start = names.index("start_time")
+        i_chain = names.index("pid_chain")
         processes = []
         for bucket in range(64):
             current = self.read_u64_va(hash_va + bucket * 8)
-            hops = 0
+            seen = set()
             while current:
-                record = layout.decode(self.read_va(current, layout.size))
+                if current in seen:
+                    self._abort_list_walk("pid-hash", current,
+                                          len(processes), "cycle")
+                seen.add(current)
+                record = layout.unpack(self.read_va(current, layout.size))
                 self._charge_us(self.costs.PER_PROCESS_US)
                 processes.append(
                     ProcessInfo(
-                        pid=record["pid"],
-                        name=cstring(record["comm"]),
+                        pid=record[i_pid],
+                        name=cstring(record[i_comm]),
                         object_va=current,
-                        uid=record["uid"],
-                        state=record["state"],
-                        start_time=record["start_time"],
+                        uid=record[i_uid],
+                        state=record[i_state],
+                        start_time=record[i_start],
                     )
                 )
-                current = record["pid_chain"]
-                hops += 1
-                if hops > _MAX_LIST_LENGTH:
-                    raise IntrospectionError(
-                        "pid hash chain does not terminate"
-                    )
+                current = record[i_chain]
+                if len(seen) > _MAX_LIST_LENGTH:
+                    self._abort_list_walk("pid-hash", current,
+                                          len(processes), "bound")
         return processes
 
     # -- scans: modules and syscall table -----------------------------------------------
@@ -282,22 +359,31 @@ class VMIInstance:
         layout = self.profile.struct("module")
         head_va = self.lookup_symbol(self.profile.root_symbol("module_list"))
         current = self.read_u64_va(head_va)
+        names = layout.names
+        i_name = names.index("name")
+        i_base = names.index("base")
+        i_size = names.index("size")
+        i_next = names.index("next")
         modules = []
+        seen = set()
         for _ in range(_MAX_LIST_LENGTH):
             if current == 0:
                 return modules
-            record = layout.decode(self.read_va(current, layout.size))
+            if current in seen:
+                self._abort_list_walk("module", current, len(modules), "cycle")
+            seen.add(current)
+            record = layout.unpack(self.read_va(current, layout.size))
             self._charge_us(self.costs.PER_MODULE_US)
             modules.append(
                 ModuleInfo(
-                    name=cstring(record["name"]),
-                    base=record["base"],
-                    size=record["size"],
+                    name=cstring(record[i_name]),
+                    base=record[i_base],
+                    size=record[i_size],
                     object_va=current,
                 )
             )
-            current = record["next"]
-        raise IntrospectionError("module list does not terminate")
+            current = record[i_next]
+        self._abort_list_walk("module", current, len(modules), "bound")
 
     def read_syscall_table(self):
         """Read all syscall-table entries (integrity-scan input)."""
@@ -349,13 +435,41 @@ class VMIInstance:
             raise IntrospectionError(
                 "bad canary-table magic for pid %d: 0x%x" % (pid, header["magic"])
             )
-        entries = []
+        count = header["count"]
         cursor = table_va + CANARY_TABLE_HEADER.size
-        raw = self.read_va(cursor, header["count"] * CANARY_ENTRY.size, pid=pid)
-        for index in range(header["count"]):
-            record = CANARY_ENTRY.decode(raw, index * CANARY_ENTRY.size)
-            entries.append((record["addr"], record["size"], record["kind"]))
+        # One bulk read (already a single logical mapping), then one
+        # slab-decode pass — no per-entry unpack calls or dict builds.
+        raw = self.read_va(cursor, count * CANARY_ENTRY.size, pid=pid)
+        entries = [(addr, size, kind) for addr, size, kind, _pad
+                   in CANARY_ENTRY.unpack_slab(raw, count)]
         return {"canary": header["canary"], "entries": entries}
+
+    def read_canary_table_slab(self, pid, table_va):
+        """Columnar variant of :meth:`read_canary_table`.
+
+        Returns ``(canary, addrs, sizes, kinds)`` where the last three are
+        numpy arrays viewing the slab bytes directly (no per-entry tuples).
+        Performs the exact same two logical reads as the dict variant, so
+        the charged virtual time — and the jitter-stream draw sequence —
+        is bit-identical; only the host-side decode differs.
+        """
+        from repro.guest.heap import CANARY_ENTRY, CANARY_TABLE_HEADER, \
+            CANARY_TABLE_MAGIC
+
+        header = CANARY_TABLE_HEADER.decode(
+            self.read_va(table_va, CANARY_TABLE_HEADER.size, pid=pid)
+        )
+        if header["magic"] != CANARY_TABLE_MAGIC:
+            raise IntrospectionError(
+                "bad canary-table magic for pid %d: 0x%x" % (pid, header["magic"])
+            )
+        count = header["count"]
+        cursor = table_va + CANARY_TABLE_HEADER.size
+        raw = self.read_va(cursor, count * CANARY_ENTRY.size, pid=pid)
+        records = _np.frombuffer(raw, dtype=CANARY_ENTRY.numpy_dtype(),
+                                 count=count)
+        return (header["canary"], records["addr"], records["size"],
+                records["kind"])
 
     def read_freed_region(self, pid, addr, size):
         """Read a poisoned freed region's bytes (use-after-free check)."""
@@ -369,6 +483,51 @@ class VMIInstance:
         self._charge_us(self.costs.PER_CANARY_US)
         return struct.unpack("<Q", raw)[0]
 
+    def charge_canary_read(self):
+        """Charge one canary validation without moving the bytes.
+
+        Virtual-time twin of :meth:`read_canary_value`: the same
+        cache-line read charge, the same per-mapping fault probe, the
+        same per-canary charge — two jitter draws in the identical
+        order. The slab scan pairs this with one vectorized gather of
+        the canary values, so a dirty epoch's thousands of validations
+        stop paying the per-call read plumbing.
+        """
+        self._charge_us(
+            self.costs.PER_PAGE_READ_US * max(8, 64) / float(PAGE_SIZE)
+        )
+        self._probe_read_fault()
+        self._charge_us(self.costs.PER_CANARY_US)
+
+    def charge_canary_reads(self, count):
+        """Charge ``count`` consecutive canary validations in one loop.
+
+        Draw-for-draw identical to ``count`` calls of
+        :meth:`charge_canary_read` — the accumulator is threaded through
+        a local so every float addition happens in the same order. When
+        the VMI_READ plane is quiet this epoch the per-read fault probe
+        is a guaranteed-miss dict lookup, so the whole run needs just
+        one check; with an active fault the per-entry path runs, because
+        probes then consume the fault's bounded-shot budget one read at
+        a time.
+        """
+        injector = self._injector
+        if (injector is not None
+                and injector.check(FaultPlane.VMI_READ) is not None):
+            for _ in range(count):
+                self.charge_canary_read()
+            return
+        jitter = self._jitter_rng.jitter
+        fraction = self.costs.JITTER
+        read_ms = (self.costs.PER_PAGE_READ_US * max(8, 64)
+                   / float(PAGE_SIZE)) / 1000.0
+        canary_ms = self.costs.PER_CANARY_US / 1000.0
+        cost = self._cost_ms
+        for _ in range(count):
+            cost += jitter(read_ms, fraction)
+            cost += jitter(canary_ms, fraction)
+        self._cost_ms = cost
+
     def list_sockets(self):
         """Open TCP endpoints, live (Linux socket list / Windows pool)."""
         self._charge_ms(self.costs.SCAN_BASE_MS)
@@ -381,28 +540,39 @@ class VMIInstance:
 
         head_va = self.lookup_symbol("tcp_sockets")
         current = self.read_u64_va(head_va)
+        names = SOCKET.names
+        i_magic = names.index("magic")
+        i_pid = names.index("pid")
+        i_lip = names.index("local_ip")
+        i_lport = names.index("local_port")
+        i_rip = names.index("remote_ip")
+        i_rport = names.index("remote_port")
+        i_state = names.index("state")
+        i_next = names.index("next")
         sockets = []
+        seen = set()
         for _ in range(_MAX_LIST_LENGTH):
             if current == 0:
                 return sockets
-            record = SOCKET.decode(self.read_va(current, SOCKET.size))
-            if record["magic"] != SOCKET_MAGIC:
+            if current in seen:
+                self._abort_list_walk("socket", current, len(sockets), "cycle")
+            seen.add(current)
+            record = SOCKET.unpack(self.read_va(current, SOCKET.size))
+            if record[i_magic] != SOCKET_MAGIC:
                 raise IntrospectionError(
                     "corrupt socket object at 0x%x" % current
                 )
             sockets.append(
                 SocketInfo(
-                    owner_pid=record["pid"],
-                    local=(bytes_to_ip(record["local_ip"]),
-                           record["local_port"]),
-                    remote=(bytes_to_ip(record["remote_ip"]),
-                            record["remote_port"]),
-                    state=record["state"],
+                    owner_pid=record[i_pid],
+                    local=(bytes_to_ip(record[i_lip]), record[i_lport]),
+                    remote=(bytes_to_ip(record[i_rip]), record[i_rport]),
+                    state=record[i_state],
                     object_va=current,
                 )
             )
-            current = record["next"]
-        raise IntrospectionError("socket list does not terminate")
+            current = record[i_next]
+        self._abort_list_walk("socket", current, len(sockets), "bound")
 
     def _windows_socket_pool(self):
         endpoint = self.profile.struct("tcp_endpoint")

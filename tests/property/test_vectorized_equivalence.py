@@ -1,0 +1,248 @@
+"""Golden-equivalence properties for the vectorized epoch hot paths.
+
+The speed PR rewrote three hot paths — struct decoding, the canary scan,
+and checkpoint harvest+stage/commit/rollback — while keeping the seed
+revision's reference implementations alive (``StructDef.decode_scalar``
+and ``benchmarks/perf/legacy.py``). These properties pin the contract
+the wall-clock benchmarks rely on: over *arbitrary* inputs, the fast
+paths produce bit-identical results — same decoded values, same
+findings, same counters, and (the sharp edge) the exact same sequence
+of charged virtual time, so the deterministic timeline cannot fork.
+"""
+
+import os
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.checkpoint.checkpointer import Checkpointer
+from repro.detectors.base import ScanContext
+from repro.detectors.canary import CanaryScanModule
+from repro.guest.layout import StructDef
+from repro.guest.linux import LinuxGuest
+from repro.guest.memory import PAGE_SIZE
+from repro.hypervisor.xen import Hypervisor
+from repro.vmi.libvmi import VMIInstance
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "..", "..", "benchmarks", "perf"))
+from legacy import LegacyCanaryScanModule, LegacyCheckpointer  # noqa: E402
+
+
+# ---------------------------------------------------------------------------
+# StructDef: fused decode vs the per-field reference decoder
+# ---------------------------------------------------------------------------
+
+_SCALAR_KINDS = ("u8", "u16", "u32", "u64", "i8", "i16", "i32", "i64")
+
+_FIELD_KINDS = st.one_of(
+    st.sampled_from(_SCALAR_KINDS),
+    st.tuples(st.just("bytes"), st.integers(1, 24)),
+)
+
+
+@st.composite
+def _layout_and_slab(draw):
+    kinds = draw(st.lists(_FIELD_KINDS, min_size=1, max_size=8))
+    layout = StructDef(
+        "prop", [("f%d" % i, kind) for i, kind in enumerate(kinds)]
+    )
+    count = draw(st.integers(1, 6))
+    slab = draw(st.binary(min_size=count * layout.size,
+                          max_size=count * layout.size))
+    return layout, count, slab
+
+
+@settings(max_examples=60, deadline=None)
+@given(example=_layout_and_slab())
+def test_struct_decoders_agree(example):
+    """decode / unpack / unpack_slab / numpy view all match decode_scalar."""
+    layout, count, slab = example
+    records = [layout.decode_scalar(slab, i * layout.size)
+               for i in range(count)]
+
+    for i, reference in enumerate(records):
+        base = i * layout.size
+        assert layout.decode(slab, base) == reference
+        assert layout.unpack(slab, base) == tuple(
+            reference[name] for name in layout.names
+        )
+
+    slab_rows = list(layout.unpack_slab(slab, count))
+    assert slab_rows == [layout.unpack(slab, i * layout.size)
+                         for i in range(count)]
+
+    array = np.frombuffer(slab[:count * layout.size],
+                          dtype=layout.numpy_dtype())
+    for i, reference in enumerate(records):
+        for field in layout.fields:
+            value = array[field.name][i]
+            if field._fmt is None:
+                # numpy 'S' fields strip trailing NULs; the raw bytes
+                # field keeps them.
+                assert bytes(value).ljust(field.size, b"\x00") == \
+                    reference[field.name]
+            else:
+                assert int(value) == reference[field.name]
+
+
+# ---------------------------------------------------------------------------
+# Canary scan: slab filter + bulk charging vs the per-entry seed loop
+# ---------------------------------------------------------------------------
+
+@st.composite
+def _heap_scenario(draw):
+    sizes = draw(st.lists(st.integers(8, 160), min_size=40, max_size=80))
+    n = len(sizes)
+    freed = draw(st.sets(st.integers(0, n - 1), max_size=n // 3))
+    clobbered = draw(st.sets(st.integers(0, n - 1), max_size=4)) - freed
+    if freed:
+        scribbled = draw(st.sets(st.sampled_from(sorted(freed)), max_size=3))
+    else:
+        scribbled = set()
+    dirty_salt = draw(st.integers(0, 2 ** 32 - 1))
+    dirty_pct = draw(st.integers(0, 100))
+    scan_all = draw(st.booleans())
+    return {
+        "sizes": sizes,
+        "freed": sorted(freed),
+        "clobbered": sorted(clobbered),
+        "scribbled": sorted(scribbled),
+        "dirty_salt": dirty_salt,
+        "dirty_pct": dirty_pct,
+        "scan_all": scan_all,
+    }
+
+
+def _scan_once(scenario, module):
+    """Build one guest from the scenario and run ``module`` over it.
+
+    Both calls of a property example build byte-identical guests and
+    identically-seeded VMI instances (same guest *name*, which seeds the
+    jitter stream), so any divergence in the returned tuple is the scan
+    implementation's fault.
+    """
+    vm = LinuxGuest(name="prop-vec", memory_bytes=4 * 1024 * 1024, seed=9)
+    domain = Hypervisor(clock=vm.clock).create_domain(vm)
+    process = vm.create_process("subject", heap_pages=256)
+
+    addrs = [process.malloc(size) for size in scenario["sizes"]]
+    for index in scenario["freed"]:
+        process.free(addrs[index])
+    for index in scenario["clobbered"]:
+        # Overwrite the live object's trailing canary in place.
+        process.write(addrs[index] + scenario["sizes"][index], b"\xee" * 8)
+    for index in scenario["scribbled"]:
+        # A dangling write into the freed region's poison fill.
+        process.write(addrs[index], b"Z")
+
+    vmi = VMIInstance(domain, seed=5)
+    if scenario["scan_all"]:
+        dirty = None
+    else:
+        # A deterministic pseudo-random subset of the heap's frames;
+        # translate() is uncharged, so deriving it cannot move the clock.
+        base, end = process.region_range("heap")
+        dirty = set()
+        for va in range(base, end, PAGE_SIZE):
+            pfn = vmi.translate(va, pid=process.pid) // PAGE_SIZE
+            if (pfn * 2654435761 + scenario["dirty_salt"]) % 100 \
+                    < scenario["dirty_pct"]:
+                dirty.add(pfn)
+    vmi.take_cost_ms()  # drain init/preprocess cost before the scan
+
+    findings = module.scan(ScanContext(vmi, dirty_pfns=dirty))
+    return (
+        [(f.kind, f.severity, f.summary, f.details) for f in findings],
+        module.canaries_checked,
+        module.freed_regions_checked,
+        vmi.take_cost_ms(),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(scenario=_heap_scenario())
+def test_slab_canary_scan_matches_seed_loop(scenario):
+    """Same findings, same counters, bit-identical charged time."""
+    fast = _scan_once(scenario, CanaryScanModule())
+    reference = _scan_once(scenario, LegacyCanaryScanModule())
+    assert fast[0] == reference[0]          # findings, in table order
+    assert fast[1] == reference[1]          # canaries_checked
+    assert fast[2] == reference[2]          # freed_regions_checked
+    # Not approx-equal: the bulk charge loop must replay the scalar
+    # path's jitter draws in the exact order, so the floats are equal.
+    assert fast[3] == reference[3]
+
+
+@settings(max_examples=10, deadline=None)
+@given(scenario=_heap_scenario())
+def test_scan_all_pages_ignores_dirty_filter(scenario):
+    """scan_all_pages=True checks everything on both implementations."""
+    scenario = dict(scenario, scan_all=True)
+    fast = _scan_once(scenario, CanaryScanModule(scan_all_pages=True))
+    reference = _scan_once(
+        scenario, LegacyCanaryScanModule(scan_all_pages=True))
+    assert fast == reference
+    # free() converts the object's canary entry into a freed entry in
+    # place, so the table always holds one entry per allocation.
+    assert fast[1] + fast[2] == len(scenario["sizes"])
+
+
+# ---------------------------------------------------------------------------
+# Checkpointer: fused harvest+stage / vectorized commit+rollback vs seed
+# ---------------------------------------------------------------------------
+
+_CKPT_FRAMES = 512  # 2 MiB of simulated RAM
+
+_EPOCH_PLAN = st.lists(
+    st.tuples(
+        st.lists(st.tuples(st.integers(0, _CKPT_FRAMES - 1),
+                           st.integers(0, 255)),
+                 max_size=10),
+        st.sampled_from(["commit", "rollback"]),
+    ),
+    min_size=1, max_size=5,
+)
+
+
+def _make_checkpointer(cls, history_capacity):
+    vm = LinuxGuest(name="prop-ckpt",
+                    memory_bytes=_CKPT_FRAMES * PAGE_SIZE, seed=21)
+    domain = Hypervisor(clock=vm.clock).create_domain(vm)
+    checkpointer = cls(domain, history_capacity=history_capacity)
+    checkpointer.start()
+    return checkpointer
+
+
+@settings(max_examples=20, deadline=None)
+@given(plan=_EPOCH_PLAN, history=st.sampled_from([0, 2]))
+def test_checkpointer_matches_seed_paths(plan, history):
+    """Fused stage + delta commit/rollback track the seed's full copies."""
+    fast = _make_checkpointer(Checkpointer, history)
+    reference = _make_checkpointer(LegacyCheckpointer, history)
+
+    for writes, action in plan:
+        for checkpointer in (fast, reference):
+            vm = checkpointer.domain.vm
+            for pfn, byte in writes:
+                vm.memory.write(pfn * PAGE_SIZE + (pfn % PAGE_SIZE),
+                                bytes([byte]))
+                vm.memory.touch_frame(pfn)
+            checkpointer.run_checkpoint(interval_ms=25.0)
+        if action == "commit":
+            assert fast.commit() == reference.commit()
+        else:
+            fast.abort()
+            reference.abort()
+            assert fast.rollback() == reference.rollback()
+
+        fast_vm = fast.domain.vm
+        reference_vm = reference.domain.vm
+        assert bytes(fast_vm.memory.view()) == \
+            bytes(reference_vm.memory.view())
+        assert bytes(fast._backup_image) == bytes(reference._backup_image)
+        if history:
+            assert len(fast.history) == len(reference.history)
