@@ -9,9 +9,10 @@ Experiments: ``table1``, ``table3``, ``fig3``, ``fig4``, ``fig5``,
 ``claims``, ``list``; plus ``metrics`` (instrumented run exporting the
 ``repro.obs`` summary — JSON, Prometheus text, JSONL trace, or a
 ``BENCH_*.json`` file), ``incident`` (canned canary-smash run that
-dumps and validates a ``crimes-obs/2`` incident bundle), and ``chaos``
+dumps and validates a ``crimes-obs/2`` incident bundle), ``chaos``
 (deterministic fault-injection run with a safety-invariant verdict and
-a replayable journal artifact).
+a replayable journal artifact), and ``fleet`` (sharded multi-tenant run
+across worker processes with an optional serial-equivalence check).
 """
 
 import argparse
@@ -457,6 +458,108 @@ def _cmd_chaos(args):
     return "\n".join(lines)
 
 
+def _cmd_fleet(args):
+    """Fleet-scale run: shard many tenants across worker shards.
+
+    Builds ``--tenants`` deterministic tenants (every third one carries
+    a heap-overflow attack, so the run exercises incident isolation),
+    admits them under an optional ``--budget-mb`` memory budget, and
+    drives ``--rounds`` batched rounds on ``--workers`` shards with the
+    ``--fleet-backend`` backend (``inline`` shards in-process,
+    ``process`` one worker process per shard). Prints the fleet rollup
+    and the LPT dispatch model; ``--equivalence`` re-runs the same specs
+    on a serial ``CloudHost`` and verifies the sharded digests — virtual
+    clocks, epoch counts, incident/quarantine state and flight-journal
+    hash-chain heads — match exactly (non-zero exit on mismatch).
+    ``--out`` writes the rollup + digests as a JSON artifact.
+    """
+    import json
+
+    from repro.core.cloud import CloudHost
+    from repro.core.fleet import FleetScheduler, default_tenant_spec
+
+    def specs():
+        built = []
+        for index in range(args.tenants):
+            built.append(default_tenant_spec(
+                "tenant-%03d" % index,
+                seed=args.seed + index,
+                sla=("premium", "standard", "batch")[index % 3],
+                attack_epoch=4 if index % 3 == 0 else None,
+            ))
+        return built
+
+    budget = (args.budget_mb * 1024 * 1024
+              if args.budget_mb is not None else None)
+    with FleetScheduler(workers=args.workers, backend=args.fleet_backend,
+                        memory_budget_bytes=budget) as fleet:
+        admitted = 0
+        for spec in specs():
+            if fleet.admit(spec).admitted:
+                admitted += 1
+        ran = fleet.run_rounds(args.rounds)
+        rollup = fleet.rollup()
+        plan = fleet.plan_round()
+        digests = fleet.tenant_digests()
+
+    lines = ["fleet run: %d tenant(s) admitted on %d %s shard(s)"
+             % (admitted, args.workers, args.fleet_backend)]
+    lines.append("rounds: %d requested, %d ran; epochs total: %d"
+                 % (args.rounds, ran, rollup["epochs_total"]))
+    lines.append("incidents: %d suspended, %d quarantined"
+                 % (rollup["incidents"], rollup["quarantined"]))
+    lines.append("memory overhead: %.1f MiB (budget: %s)"
+                 % (rollup["memory_overhead_bytes"] / 1048576.0,
+                    "%.1f MiB" % (budget / 1048576.0) if budget else "none"))
+    pause = rollup["round_pause_ms"]
+    if pause["count"]:
+        lines.append("round pause: %d samples, mean %.2f ms, p99 %.2f ms"
+                     % (pause["count"], pause["mean"], pause["p99"]))
+    lines.append("next-round dispatch model: serial %.1f ms -> makespan "
+                 "%.1f ms on %d worker(s) (speedup %.2fx)"
+                 % (plan["serial_ms"], plan["makespan_ms"], args.workers,
+                    plan["speedup"]))
+
+    if args.equivalence:
+        host = CloudHost()
+        for spec in specs():
+            parts = spec.build()
+            host.admit(parts["vm"], parts["config"],
+                       modules=parts["modules"],
+                       programs=parts["programs"], sla=spec.sla,
+                       fault_plan=parts.get("fault_plan"),
+                       priority=spec.priority)
+        host.run(args.rounds)
+        serial = host.tenant_digests()
+        keys = ("clock_ms", "epochs_run", "suspended", "quarantined",
+                "quarantine_reason", "flight_head")
+        mismatches = [
+            name for name in sorted(serial)
+            if any(serial[name][key] != digests[name][key]
+                   for key in keys)
+        ]
+        if mismatches:
+            lines.append("equivalence: FAILED for %s" % mismatches)
+            print("\n".join(lines))
+            raise SystemExit(1)
+        lines.append("equivalence: serial and sharded runs agree on all "
+                     "%d tenant digests (incl. hash-chain heads)"
+                     % len(serial))
+
+    if args.out:
+        artifact = {
+            "schema": "crimes-fleet/1",
+            "rollup": rollup,
+            "dispatch_model": plan,
+            "digests": digests,
+        }
+        with open(args.out, "w") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        lines.append("fleet artifact written to %s" % args.out)
+    return "\n".join(lines)
+
+
 def _cmd_lint(args):
     """Run crimeslint, the repo's static invariant analyzer.
 
@@ -633,6 +736,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "incident": _cmd_incident,
     "chaos": _cmd_chaos,
+    "fleet": _cmd_fleet,
     "lint": _cmd_lint,
 }
 
@@ -689,6 +793,22 @@ def build_parser():
     parser.add_argument("--attack-epoch", type=int, default=None,
                         help="chaos: also trigger a heap-overflow attack "
                              "at this epoch")
+    parser.add_argument("--tenants", type=int, default=16,
+                        help="fleet: number of tenants to admit")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="fleet: number of shards/worker processes")
+    parser.add_argument("--rounds", type=int, default=8,
+                        help="fleet: rounds to drive")
+    parser.add_argument("--fleet-backend", choices=["inline", "process"],
+                        default="process",
+                        help="fleet: shard in-process or one worker "
+                             "process per shard")
+    parser.add_argument("--budget-mb", type=float, default=None,
+                        help="fleet: per-host memory budget for "
+                             "admission control (MiB; default unlimited)")
+    parser.add_argument("--equivalence", action="store_true",
+                        help="fleet: verify sharded digests against a "
+                             "serial CloudHost run of the same specs")
     parser.add_argument("--format", dest="lint_format",
                         choices=["text", "json"], default="text",
                         help="lint: output format")

@@ -13,17 +13,27 @@ from repro.core.config import CrimesConfig
 from repro.core.crimes import Crimes
 from repro.errors import CrimesError
 from repro.obs.incident import INCIDENT_SCHEMA
+from repro.obs.observer import Observer
+from repro.sim.clock import VirtualClock
+
+#: SLA class -> scheduling priority (higher runs earlier in a round).
+#: An unknown SLA gets standard priority; ``admit(priority=...)``
+#: overrides the mapping per tenant.
+SLA_PRIORITY = {"premium": 2, "standard": 1, "batch": 0, "spot": 0}
 
 
 class TenantRecord:
     """One tenant's registration on the host."""
 
-    __slots__ = ("name", "crimes", "sla", "quarantined", "quarantine_reason")
+    __slots__ = ("name", "crimes", "sla", "priority", "quarantined",
+                 "quarantine_reason")
 
-    def __init__(self, name, crimes, sla):
+    def __init__(self, name, crimes, sla, priority=None):
         self.name = name
         self.crimes = crimes
         self.sla = sla
+        self.priority = (priority if priority is not None
+                         else SLA_PRIORITY.get(sla, 1))
         #: Set when the tenant's epoch loop raised out of run_epoch (a
         #: fault the framework could not absorb): the host fences the VM
         #: off instead of letting one tenant's failure stall the round.
@@ -34,6 +44,20 @@ class TenantRecord:
     def suspended(self):
         return self.crimes.suspended
 
+    def schedule_key(self):
+        """Round ordering: priority class first, then health.
+
+        Tenants are independent (per-tenant clocks and seeds), so
+        ordering never changes any tenant's trajectory — it only decides
+        who waits on whom *within* a round's host wall time. High
+        priority runs first; a degraded tenant (mid-hold, paying
+        retry/backoff on every epoch) runs after its healthy shard
+        neighbours so its recovery work cannot stall them. Name is the
+        deterministic tie-break.
+        """
+        degraded = 1 if self.crimes.health != "healthy" else 0
+        return (-self.priority, degraded, self.name)
+
 
 class CloudHost:
     """A physical host running many CRIMES-protected tenant VMs.
@@ -43,15 +67,22 @@ class CloudHost:
     load so a provider can size scanning capacity.
     """
 
-    def __init__(self, name="host-0"):
+    def __init__(self, name="host-0", observer=None):
         self.name = name
         self.tenants = {}
         self.rounds_run = 0
+        # The host's own timeline and journal. Tenants keep their
+        # independent clocks and hash chains; the host clock tracks the
+        # *frontier* (the farthest any tenant has simulated) so
+        # host-level events — round boundaries, admission decisions —
+        # carry a meaningful virtual timestamp for the fleet merge.
+        self.observer = (observer if observer is not None
+                         else Observer(VirtualClock(), name=name))
 
     # -- admission ----------------------------------------------------------
 
     def admit(self, vm, config=None, modules=(), async_modules=(),
-              programs=(), sla="standard", fault_plan=None):
+              programs=(), sla="standard", fault_plan=None, priority=None):
         """Bring a tenant VM under CRIMES protection; returns its Crimes."""
         if vm.name in self.tenants:
             raise CrimesError("tenant %r already admitted" % vm.name)
@@ -64,13 +95,22 @@ class CloudHost:
         for program in programs:
             crimes.add_program(program)
         crimes.start()
-        self.tenants[vm.name] = TenantRecord(vm.name, crimes, sla)
+        record = TenantRecord(vm.name, crimes, sla, priority=priority)
+        self.tenants[vm.name] = record
+        self.observer.journal(
+            "fleet.admit", tenant=vm.name, sla=sla,
+            priority=record.priority, memory_bytes=vm.memory.size,
+        )
         return crimes
 
     def evict(self, name):
         record = self.tenants.pop(name, None)
         if record is None:
             raise CrimesError("no tenant named %r" % name)
+        self.observer.journal(
+            "fleet.evict", tenant=name,
+            quarantined=record.quarantined, suspended=record.suspended,
+        )
         return record
 
     def tenant(self, name):
@@ -85,10 +125,37 @@ class CloudHost:
         return [record for record in self.tenants.values()
                 if not record.suspended and not record.quarantined]
 
+    def scheduled_tenants(self):
+        """Active tenants in this round's dispatch order.
+
+        Priority scheduling: premium SLAs first, degraded tenants last
+        within their class (see :meth:`TenantRecord.schedule_key`).
+        Ordering is pure dispatch policy — per-tenant trajectories are
+        identical whatever the order, which is what lets the fleet
+        scheduler shard this loop across processes at all.
+        """
+        return sorted(self.active_tenants(),
+                      key=TenantRecord.schedule_key)
+
     def quarantined_tenants(self):
         """Names of tenants fenced off after an unabsorbed fault."""
         return [name for name, record in sorted(self.tenants.items())
                 if record.quarantined]
+
+    def _quarantine(self, record, err):
+        """Fence a tenant whose epoch loop raised out of run_epoch."""
+        record.quarantined = True
+        record.quarantine_reason = str(err)
+        # The epoch died mid-flight: any span the raising code path left
+        # open (a third-party scan module that entered a span and blew
+        # up) would otherwise sit on the stack forever and taint every
+        # later trace export with ``unfinished: true``. Abort-close them
+        # before journaling the fence, so the quarantine event carries
+        # no stale causal span and the export tells a finished story.
+        record.crimes.observer.tracer.abort_open(reason="quarantine")
+        record.crimes.observer.journal(
+            "tenant.quarantined", reason=str(err),
+        )
 
     def run_round(self):
         """Advance every non-suspended tenant by one epoch.
@@ -100,19 +167,43 @@ class CloudHost:
         own retry/degraded machinery could not absorb) is quarantined:
         fenced out of future rounds, while every other tenant's epoch
         still runs this round.
+
+        A round in which *no* tenant is eligible is a no-op: it neither
+        advances ``rounds_run`` nor journals, exactly like ``run()``'s
+        pre-check — round accounting is identical whether the host is
+        driven through ``run()`` or by calling ``run_round()`` directly.
         """
+        scheduled = self.scheduled_tenants()
         records = {}
-        for record in self.active_tenants():
+        quarantined_now = 0
+        for record in scheduled:
             try:
                 records[record.name] = record.crimes.run_epoch()
             except CrimesError as err:
-                record.quarantined = True
-                record.quarantine_reason = str(err)
-                record.crimes.observer.journal(
-                    "tenant.quarantined", reason=str(err),
-                )
+                self._quarantine(record, err)
+                quarantined_now += 1
+        if not scheduled:
+            return records
         self.rounds_run += 1
+        self._advance_host_clock()
+        self.observer.journal(
+            "fleet.round", round=self.rounds_run,
+            scheduled=len(scheduled), ran=len(records),
+            quarantined=quarantined_now,
+            suspended_total=len(self.incidents()),
+            quarantined_total=len(self.quarantined_tenants()),
+            tenants_total=len(self.tenants),
+        )
         return records
+
+    def _advance_host_clock(self):
+        """Move the host timeline to the fleet's virtual-time frontier."""
+        frontier = max(
+            (record.crimes.clock.now for record in self.tenants.values()),
+            default=0.0,
+        )
+        if frontier > self.observer.clock.now:
+            self.observer.clock.advance_to(frontier)
 
     def run(self, rounds):
         """Drive the fleet for ``rounds`` rounds; returns incident names."""
@@ -168,6 +259,44 @@ class CloudHost:
             record.crimes.vm.memory.size for record in self.tenants.values()
         )
 
+    def tenant_digests(self):
+        """name -> compact, comparable end-state for every tenant.
+
+        This is the currency of the fleet scheduler's serial-vs-sharded
+        equivalence guarantee: virtual clock, epoch count, incident /
+        quarantine state, and the flight journal's rolling head hash.
+        Two runs that agree on every digest simulated the same fleet —
+        the hash chain covers every journaled event, so agreement is not
+        a coincidence one can fake with matching counters.
+        """
+        digests = {}
+        for name, record in sorted(self.tenants.items()):
+            crimes = record.crimes
+            digests[name] = {
+                "clock_ms": crimes.clock.now,
+                "epochs_run": crimes.epochs_run,
+                "epochs_held": crimes.epochs_held,
+                "epochs_shed": crimes.epochs_shed,
+                "fault_rollbacks": crimes.fault_rollbacks,
+                "health": crimes.health,
+                "suspended": crimes.suspended,
+                "quarantined": record.quarantined,
+                "quarantine_reason": record.quarantine_reason,
+                "flight_head": crimes.observer.flight.head_hash,
+                "priority": record.priority,
+                "sla": record.sla,
+                "memory_bytes": crimes.vm.memory.size,
+                # Dispatch estimate for the next round (virtual ms, so
+                # scheduling stays deterministic): last epoch's pause
+                # plus the configured interval, or the interval alone
+                # before the first epoch completes.
+                "est_cost_ms": (
+                    crimes.config.epoch_interval_ms
+                    + (crimes.records[-1].pause_ms if crimes.records else 0.0)
+                ),
+            }
+        return digests
+
     def audit_seconds_per_wall_second(self):
         """Aggregate scan-core demand across the fleet.
 
@@ -205,6 +334,7 @@ class CloudHost:
         return {
             "host": self.name,
             "rounds_run": self.rounds_run,
+            "host_journal": self.observer.flight.summary(),
             "fleet": {
                 "tenants": len(self.tenants),
                 "incidents": len(self.incidents()),

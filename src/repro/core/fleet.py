@@ -1,0 +1,600 @@
+"""Fleet-scale scheduling: shard the CloudHost across worker processes.
+
+``CloudHost.run_round()`` is a serial loop over tenants — correct, but
+one Python process, so a provider hosting hundreds of tenants gets none
+of the hardware's cores. CRIMES §2's placement-isolation argument cuts
+the other way too: tenants are *independent* (own virtual clock, own
+seeded streams, own hash chain), so the fleet is embarrassingly
+parallel. This module exploits that:
+
+* :class:`TenantSpec` — a pickleable recipe for one tenant. Workers
+  build tenants from specs, so a tenant's construction — and therefore
+  its entire deterministic trajectory — is identical whether it runs in
+  the driving process or in any shard worker.
+* :class:`AdmissionController` — fleet-level admission and eviction
+  under a per-host memory budget (the ``memory_overhead_bytes()``
+  backup-image cost is the budgeted quantity): reject, or evict
+  fenced/lower-priority tenants to make room.
+* :func:`lpt_assignment` — deterministic longest-processing-time
+  dispatch: the idealized form of work stealing (each free worker takes
+  the largest remaining job), used both to place tenants on shards and
+  to model round makespan for capacity planning.
+* :class:`FleetScheduler` — the scheduler itself. ``backend="inline"``
+  keeps every shard in-process (fast, fully debuggable, and the serial
+  reference for equivalence tests); ``backend="process"`` spawns one
+  persistent worker per shard and drives them with *batched* rounds, so
+  cross-process chatter is one message per (worker, batch) — never per
+  epoch.
+
+Determinism survives sharding by construction: nothing a worker does
+depends on wall time, host entropy, or which worker it is — a tenant's
+epochs consume only its own seeded streams and virtual clock. The
+serial-vs-sharded equivalence suite pins this with flight-journal hash
+chains.
+"""
+
+from repro.core.cloud import SLA_PRIORITY
+from repro.core.fleet_worker import ShardHost, ShardWorkerHandle
+from repro.errors import CrimesError
+from repro.obs.fleet_merge import merge_flight_snapshots
+from repro.obs.observer import Observer
+from repro.sim.clock import VirtualClock
+
+
+class FleetError(CrimesError):
+    """A fleet-scheduler operation failed (admission, IPC, worker)."""
+
+
+class TenantSpec:
+    """A pickleable recipe for one tenant.
+
+    ``builder`` is a module-level callable — it crosses the process
+    boundary by reference, so both the inline backend and every shard
+    worker resolve the *same* function. Called as
+    ``builder(name=..., **params)``, it must return a dict with the
+    ``CloudHost.admit`` ingredients::
+
+        {"vm": ..., "config": ..., "modules": [...],
+         "async_modules": [...], "programs": [...], "fault_plan": ...}
+
+    (missing keys default to empty). Building is deferred to admission
+    time *inside the owning shard*: a spec is pure data, so shipping it
+    to a worker costs bytes, not a pickled simulation.
+    """
+
+    __slots__ = ("name", "builder", "params", "sla", "priority",
+                 "memory_bytes")
+
+    def __init__(self, name, builder, params=None, sla="standard",
+                 priority=None, memory_bytes=None):
+        self.name = name
+        self.builder = builder
+        self.params = dict(params or {})
+        self.sla = sla
+        self.priority = (priority if priority is not None
+                         else SLA_PRIORITY.get(sla, 1))
+        #: Admission-control estimate of the backup-image cost. The
+        #: authoritative number is the built VM's memory size; the spec
+        #: carries the same value so the controller can decide *before*
+        #: paying for construction.
+        self.memory_bytes = memory_bytes
+
+    def build(self):
+        """Materialize the admit ingredients (runs in the owning shard)."""
+        parts = self.builder(name=self.name, **self.params)
+        vm = parts["vm"]
+        if self.memory_bytes is not None \
+                and vm.memory.size != self.memory_bytes:
+            raise FleetError(
+                "tenant %r declared %d bytes but built a %d-byte VM; "
+                "admission control budgeted the wrong amount"
+                % (self.name, self.memory_bytes, vm.memory.size)
+            )
+        return parts
+
+    def __repr__(self):
+        return "TenantSpec(%r, sla=%s, priority=%d)" % (
+            self.name, self.sla, self.priority,
+        )
+
+
+class AdmissionDecision:
+    """Outcome of one admission request."""
+
+    __slots__ = ("admitted", "tenant", "shard", "evictions", "reason")
+
+    def __init__(self, admitted, tenant, shard=None, evictions=(),
+                 reason=None):
+        self.admitted = admitted
+        self.tenant = tenant
+        self.shard = shard
+        self.evictions = list(evictions)
+        self.reason = reason
+
+    def __repr__(self):
+        verdict = "admitted" if self.admitted else "rejected"
+        return "AdmissionDecision(%s: %s%s)" % (
+            self.tenant, verdict,
+            ", evicted %s" % self.evictions if self.evictions else "",
+        )
+
+
+class AdmissionController:
+    """Per-host memory budget: admit, evict to make room, or reject.
+
+    The budgeted quantity is the fleet's ``memory_overhead_bytes()`` —
+    the backup image CRIMES keeps per tenant, the dominant per-tenant
+    host cost (§2's 2x memory argument). Eviction candidates, cheapest
+    claim first:
+
+    1. quarantined tenants (already fenced out of every round),
+    2. suspended tenants (their incident bundle is the durable
+       artifact; the live simulation no longer earns its RAM),
+    3. active tenants of strictly lower priority (lowest first).
+
+    A tenant is never evicted for a newcomer of equal or lower priority,
+    and an admission that cannot fit even after every permissible
+    eviction is rejected outright (no partial eviction happens).
+    """
+
+    def __init__(self, memory_budget_bytes=None):
+        if memory_budget_bytes is not None and memory_budget_bytes <= 0:
+            raise FleetError("memory budget must be positive (or None)")
+        self.memory_budget_bytes = memory_budget_bytes
+        self.admitted_total = 0
+        self.rejected_total = 0
+        self.evicted_total = 0
+
+    def decide(self, spec, tenant_states):
+        """Admission verdict for ``spec`` against the current fleet.
+
+        ``tenant_states`` is ``{name: digest}`` (the
+        ``CloudHost.tenant_digests()`` shape: ``memory_bytes``,
+        ``priority``, ``quarantined``, ``suspended``).
+        """
+        if spec.name in tenant_states:
+            return AdmissionDecision(
+                False, spec.name,
+                reason="tenant %r already admitted" % spec.name,
+            )
+        if self.memory_budget_bytes is None:
+            return AdmissionDecision(True, spec.name)
+        needed = spec.memory_bytes
+        if needed is None:
+            return AdmissionDecision(
+                False, spec.name,
+                reason="spec carries no memory_bytes; a budgeted host "
+                       "cannot admit an unsized tenant",
+            )
+        if needed > self.memory_budget_bytes:
+            return AdmissionDecision(
+                False, spec.name,
+                reason="tenant needs %d bytes against a %d-byte budget"
+                       % (needed, self.memory_budget_bytes),
+            )
+        used = sum(state["memory_bytes"]
+                   for state in tenant_states.values())
+        free = self.memory_budget_bytes - used
+        if free >= needed:
+            return AdmissionDecision(True, spec.name)
+
+        evictions = []
+        for name, state in self._eviction_order(spec, tenant_states):
+            evictions.append(name)
+            free += state["memory_bytes"]
+            if free >= needed:
+                return AdmissionDecision(True, spec.name,
+                                         evictions=evictions)
+        return AdmissionDecision(
+            False, spec.name,
+            reason="budget exhausted: %d bytes free, %d needed, and "
+                   "evicting every fenced or lower-priority tenant "
+                   "frees too little" % (free - sum(
+                       tenant_states[name]["memory_bytes"]
+                       for name in evictions), needed),
+        )
+
+    def _eviction_order(self, spec, tenant_states):
+        candidates = []
+        for name, state in tenant_states.items():
+            if state["quarantined"]:
+                rank = 0
+            elif state["suspended"]:
+                rank = 1
+            elif state["priority"] < spec.priority:
+                rank = 2
+            else:
+                continue
+            candidates.append((rank, state["priority"], name, state))
+        candidates.sort(key=lambda c: (c[0], c[1], c[2]))
+        return [(name, state) for _, _, name, state in candidates]
+
+    def record(self, decision):
+        """Fold a decision into the controller's counters."""
+        if decision.admitted:
+            self.admitted_total += 1
+        else:
+            self.rejected_total += 1
+        self.evicted_total += len(decision.evictions)
+
+    def summary(self):
+        return {
+            "memory_budget_bytes": self.memory_budget_bytes,
+            "admitted_total": self.admitted_total,
+            "rejected_total": self.rejected_total,
+            "evicted_total": self.evicted_total,
+        }
+
+
+def lpt_assignment(costs, workers):
+    """Longest-processing-time dispatch of ``costs`` over ``workers``.
+
+    ``costs`` is ``{job_name: cost}``. Returns ``(assignment,
+    makespan)`` where ``assignment`` is a list of ``workers`` job-name
+    lists and ``makespan`` the heaviest worker's total. This greedy
+    schedule is exactly what an idealized work-stealing pool converges
+    to — each worker that falls idle takes the largest remaining job —
+    computed deterministically (ties broken by job name) so the fleet's
+    dispatch is replayable evidence like everything else.
+    """
+    if workers < 1:
+        raise FleetError("workers must be >= 1")
+    assignment = [[] for _ in range(workers)]
+    loads = [0.0] * workers
+    ordered = sorted(costs.items(), key=lambda item: (-item[1], item[0]))
+    for name, cost in ordered:
+        index = min(range(workers), key=lambda i: (loads[i], i))
+        assignment[index].append(name)
+        loads[index] += cost
+    return assignment, (max(loads) if loads else 0.0)
+
+
+class FleetScheduler:
+    """Shard tenants over workers; drive batched, priority-ordered rounds.
+
+    ``workers`` shards are either in-process :class:`ShardHost`\\ s
+    (``backend="inline"``) or persistent worker *processes*
+    (``backend="process"``), one shard each. Admission places a tenant
+    on the least-loaded shard (by budgeted memory, then tenant count);
+    inside a shard every round runs in ``CloudHost.scheduled_tenants()``
+    priority order. ``run_rounds(n)`` ships one batch per worker and
+    stops early once no tenant fleet-wide is eligible, mirroring
+    ``CloudHost.run()``.
+    """
+
+    def __init__(self, workers=1, backend="inline",
+                 memory_budget_bytes=None, name="fleet-0",
+                 batch_rounds=None):
+        if workers < 1:
+            raise FleetError("workers must be >= 1")
+        if backend not in ("inline", "process"):
+            raise FleetError("backend must be 'inline' or 'process'")
+        self.name = name
+        self.workers = workers
+        self.backend = backend
+        self.admission = AdmissionController(memory_budget_bytes)
+        self.observer = Observer(VirtualClock(), name=name)
+        #: Rounds per IPC batch (process backend). Defaults to the whole
+        #: requested run — one message per worker per ``run_rounds``.
+        self.batch_rounds = batch_rounds
+        self.rounds_run = 0
+        #: Per-(tenant, round) virtual pause samples from every shard,
+        #: for fleet-level pause percentiles.
+        self._pause_hist = self.observer.registry.histogram(
+            "fleet.round.pause_ms",
+            help="per-tenant per-round virtual pause across the fleet")
+        self._shards = []
+        self._shard_of = {}
+        self._digests = {}
+        self._closed = False
+        for index in range(workers):
+            shard_name = "%s/shard-%d" % (name, index)
+            if backend == "inline":
+                self._shards.append(ShardHost(shard_name))
+            else:
+                self._shards.append(
+                    ShardWorkerHandle.launch(index, shard_name))
+
+    # -- admission ---------------------------------------------------------
+
+    def admit(self, spec):
+        """Admit ``spec`` (evicting under the budget if needed).
+
+        Returns the :class:`AdmissionDecision`. Raises
+        :class:`FleetError` for structural errors (duplicate name on a
+        budget-less host, closed scheduler); a budget rejection is a
+        *decision*, not an exception.
+        """
+        self._check_open()
+        decision = self.admission.decide(spec, self._digests)
+        self.admission.record(decision)
+        if decision.admitted:
+            for victim in decision.evictions:
+                self._evict_built(victim)
+            shard_index = self._least_loaded_shard()
+            decision.shard = shard_index
+            self._shards[shard_index].admit(spec)
+            self._shard_of[spec.name] = shard_index
+            self._digests[spec.name] = self._placeholder_digest(spec)
+        self.observer.journal(
+            "fleet.admit", tenant=spec.name, admitted=decision.admitted,
+            shard=decision.shard, evicted=decision.evictions,
+            reason=decision.reason, priority=spec.priority,
+            memory_bytes=spec.memory_bytes,
+        )
+        if not decision.admitted and self.admission.memory_budget_bytes \
+                is None:
+            # Without a budget the only rejection is a duplicate name —
+            # a caller bug, kept loud exactly like CloudHost.admit.
+            raise FleetError(decision.reason)
+        return decision
+
+    def _placeholder_digest(self, spec):
+        # Until the first round reports back, admission control needs
+        # the tenant's budget claim and priority; everything else is
+        # the pre-first-epoch state.
+        return {
+            "clock_ms": 0.0,
+            "epochs_run": 0,
+            "suspended": False,
+            "quarantined": False,
+            "quarantine_reason": None,
+            "priority": spec.priority,
+            "sla": spec.sla,
+            "memory_bytes": spec.memory_bytes or 0,
+            "est_cost_ms": 0.0,
+        }
+
+    def evict(self, name):
+        """Remove a tenant from its shard; returns its final digest."""
+        self._check_open()
+        return self._evict_built(name)
+
+    def _evict_built(self, name):
+        shard_index = self._shard_of.pop(name, None)
+        if shard_index is None:
+            raise FleetError("no tenant named %r" % name)
+        digest = self._shards[shard_index].evict(name)
+        last = self._digests.pop(name, None)
+        self.observer.journal(
+            "fleet.evict", tenant=name, shard=shard_index,
+            quarantined=bool(last and last.get("quarantined")),
+            suspended=bool(last and last.get("suspended")),
+        )
+        return digest
+
+    def _least_loaded_shard(self):
+        def load(index):
+            members = [name for name, shard in self._shard_of.items()
+                       if shard == index]
+            memory = sum(self._digests[name]["memory_bytes"]
+                         for name in members)
+            return (memory, len(members), index)
+        return min(range(self.workers), key=load)
+
+    # -- driving -----------------------------------------------------------
+
+    def run_rounds(self, rounds):
+        """Drive the fleet for up to ``rounds`` rounds.
+
+        Rounds are shipped to every shard in batches
+        (:attr:`batch_rounds` per message; default: all of them). After
+        each batch the scheduler merges the shard reports — fleet round
+        accounting, pause samples, fresh digests — and stops early when
+        no tenant anywhere is still eligible, exactly like
+        ``CloudHost.run()``'s pre-check. Returns the number of fleet
+        rounds in which at least one tenant ran an epoch.
+        """
+        self._check_open()
+        if rounds < 0:
+            raise FleetError("rounds must be >= 0")
+        remaining = rounds
+        ran_rounds = 0
+        while remaining > 0:
+            if not any(not d["suspended"] and not d["quarantined"]
+                       for d in self._digests.values()):
+                break
+            batch = min(remaining, self.batch_rounds or remaining)
+            reports = self._dispatch_batch(batch)
+            ran_rounds += self._fold_reports(batch, reports)
+            remaining -= batch
+        return ran_rounds
+
+    def _dispatch_batch(self, batch):
+        # Two phases so shard workers run their batches concurrently:
+        # every command goes out before any reply is awaited.
+        for shard in self._shards:
+            shard.start_rounds(batch)
+        return [shard.finish_rounds() for shard in self._shards]
+
+    def _fold_reports(self, batch, reports):
+        ran_rounds = 0
+        for offset in range(batch):
+            scheduled = ran = quarantined = 0
+            for report in reports:
+                if offset >= len(report["rounds"]):
+                    continue
+                row = report["rounds"][offset]
+                scheduled += row["scheduled"]
+                ran += len(row["ran"])
+                quarantined += len(row["quarantined"])
+                for pause in row["pause_ms"].values():
+                    self._pause_hist.observe(pause)
+            if not scheduled:
+                continue
+            ran_rounds += 1
+            self.rounds_run += 1
+            self._advance_clock(reports)
+            self.observer.journal(
+                "fleet.round", round=self.rounds_run,
+                scheduled=scheduled, ran=ran, quarantined=quarantined,
+                shards=len(reports),
+            )
+        for report in reports:
+            self._digests.update(report["digests"])
+        return ran_rounds
+
+    def _advance_clock(self, reports):
+        frontier = max(
+            (digest["clock_ms"]
+             for report in reports
+             for digest in report["digests"].values()),
+            default=0.0,
+        )
+        if frontier > self.observer.clock.now:
+            self.observer.clock.advance_to(frontier)
+
+    # -- dispatch model ----------------------------------------------------
+
+    def plan_round(self, workers=None):
+        """Model the next round's dispatch over ``workers`` cores.
+
+        Uses each tenant's deterministic virtual cost estimate (last
+        pause + interval) under :func:`lpt_assignment` — the idealized
+        work-stealing schedule. Returns ``{"assignment", "makespan_ms",
+        "serial_ms", "speedup"}``; the capacity-planning view of how
+        much a W-worker host compresses the serial round.
+        """
+        workers = workers if workers is not None else self.workers
+        costs = {
+            name: digest["est_cost_ms"]
+            for name, digest in self._digests.items()
+            if not digest["suspended"] and not digest["quarantined"]
+        }
+        assignment, makespan = lpt_assignment(costs, workers)
+        serial = sum(costs.values())
+        return {
+            "assignment": assignment,
+            "makespan_ms": makespan,
+            "serial_ms": serial,
+            "speedup": (serial / makespan) if makespan > 0 else 1.0,
+        }
+
+    # -- observability -----------------------------------------------------
+
+    def tenant_digests(self):
+        """name -> digest for every tenant (post last completed batch)."""
+        return dict(self._digests)
+
+    def memory_overhead_bytes(self):
+        return sum(digest["memory_bytes"]
+                   for digest in self._digests.values())
+
+    def incidents(self):
+        return sorted(name for name, digest in self._digests.items()
+                      if digest["suspended"])
+
+    def quarantined(self):
+        return sorted(name for name, digest in self._digests.items()
+                      if digest["quarantined"])
+
+    def fleet_journal(self):
+        """Merged, virtual-time-ordered flight journal for the fleet.
+
+        Pulls every tenant's hash-chained journal from its shard plus
+        the scheduler's own host journal, merged by
+        :func:`repro.obs.fleet_merge.merge_flight_snapshots` — ordered
+        reading, per-tenant tamper evidence.
+        """
+        self._check_open()
+        snapshots = [self.observer.flight.snapshot()]
+        for shard in self._shards:
+            snapshots.extend(shard.flight_snapshots())
+        return merge_flight_snapshots(snapshots)
+
+    def rollup(self):
+        """Fleet-level aggregate a capacity planner reads."""
+        digests = self._digests
+        pauses = self.observer.registry.get("fleet.round.pause_ms")
+        return {
+            "fleet": self.name,
+            "backend": self.backend,
+            "workers": self.workers,
+            "rounds_run": self.rounds_run,
+            "tenants": len(digests),
+            "incidents": len(self.incidents()),
+            "quarantined": len(self.quarantined()),
+            "epochs_total": sum(d["epochs_run"] for d in digests.values()),
+            "memory_overhead_bytes": self.memory_overhead_bytes(),
+            "admission": self.admission.summary(),
+            "round_pause_ms": {
+                "count": pauses.count,
+                "mean": pauses.mean,
+                "p99": pauses.percentile(99),
+            },
+            "virtual_time_ms": self.observer.clock.now,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _check_open(self):
+        if self._closed:
+            raise FleetError("scheduler is shut down")
+
+    def shutdown(self):
+        """Stop every shard worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            shard.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.shutdown()
+
+
+def default_tenant_builder(name, seed=0, interval_ms=20.0,
+                           memory_bytes=2 * 1024 * 1024,
+                           attack_epoch=None, fault_plan=None,
+                           max_hold_epochs=3, fidelity=None):
+    """The stock fleet tenant: a small Linux guest serving kv traffic.
+
+    Mirrors the chaos harness's guest — a syscall-table scan module over
+    a key-value store serving NIC traffic (so the buffer always carries
+    outputs), optionally with a heap-overflow attack and a fault plan.
+    Everything derives from ``(name, seed)``; the same spec builds the
+    same tenant in any process.
+    """
+    from repro.checkpoint import CopyFidelity
+    from repro.core.config import CrimesConfig
+    from repro.detectors.syscall_table import SyscallTableModule
+    from repro.guest.linux import LinuxGuest
+    from repro.workloads.kvstore import KeyValueStoreProgram
+
+    vm = LinuxGuest(name=name, memory_bytes=memory_bytes, seed=seed)
+    config_kwargs = {}
+    if fidelity is not None:
+        # Accepts the CopyFidelity *value* string so specs stay plain
+        # data across the process boundary.
+        config_kwargs["fidelity"] = CopyFidelity(fidelity)
+    config = CrimesConfig(epoch_interval_ms=interval_ms, seed=seed,
+                          max_hold_epochs=max_hold_epochs,
+                          **config_kwargs)
+    modules = [SyscallTableModule()]
+    programs = [KeyValueStoreProgram(seed=seed)]
+    if attack_epoch is not None:
+        from repro.detectors.canary import CanaryScanModule
+        from repro.workloads.attacks import OverflowAttackProgram
+
+        modules.append(CanaryScanModule())
+        programs.append(OverflowAttackProgram(trigger_epoch=attack_epoch))
+    return {
+        "vm": vm,
+        "config": config,
+        "modules": modules,
+        "programs": programs,
+        "fault_plan": fault_plan,
+    }
+
+
+def default_tenant_spec(name, seed=0, sla="standard", priority=None,
+                        memory_bytes=2 * 1024 * 1024, **params):
+    """Convenience :class:`TenantSpec` over the default builder."""
+    params["memory_bytes"] = memory_bytes
+    params["seed"] = seed
+    return TenantSpec(name, default_tenant_builder, params=params,
+                      sla=sla, priority=priority,
+                      memory_bytes=memory_bytes)

@@ -1,0 +1,265 @@
+"""Fleet shard workers: one CloudHost per shard, batched-round IPC.
+
+A shard is an ordinary :class:`~repro.core.cloud.CloudHost` owning a
+subset of the fleet — quarantine, suspension, degraded-mode and
+priority-round semantics are *the same code* the serial host runs,
+which is what makes the scheduler's serial-vs-sharded equivalence an
+invariant rather than a hope.
+
+Two shard flavours share one interface (``admit`` / ``start_rounds`` /
+``finish_rounds`` / ``evict`` / ``flight_snapshots`` / ``close``):
+
+* :class:`ShardHost` — in-process, used by the inline backend and by
+  each worker process internally.
+* :class:`ShardWorkerHandle` — the driver side of one persistent worker
+  process. Commands cross the pipe once per *batch* of rounds; a
+  worker runs its batch locally and replies with one report (per-round
+  accounting plus fresh tenant digests), so cross-process chatter is
+  O(batches), never O(epochs).
+
+Workers hold all simulation state; the driver only ever sees plain-data
+specs, reports, digests and journal snapshots. Tenants are built from
+their :class:`~repro.core.fleet.TenantSpec` *inside* the owning worker
+from the same pickled-by-reference builder the driver would use, so a
+tenant's seeded trajectory is independent of which process runs it.
+"""
+
+import multiprocessing
+
+from repro.core.cloud import CloudHost
+from repro.errors import CrimesError
+
+
+def _mp_context():
+    # fork keeps already-imported builder modules available in the
+    # child and is the cheap path on Linux; spawn is the portable
+    # fallback (specs and builders are pickleable either way).
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+class ShardHost:
+    """One shard: a CloudHost plus batched-round reporting."""
+
+    def __init__(self, name):
+        self.host = CloudHost(name=name)
+        self._pending_rounds = None
+
+    # -- shard interface ---------------------------------------------------
+
+    def admit(self, spec):
+        parts = spec.build()
+        self.host.admit(
+            parts["vm"],
+            parts.get("config"),
+            modules=parts.get("modules", ()),
+            async_modules=parts.get("async_modules", ()),
+            programs=parts.get("programs", ()),
+            sla=spec.sla,
+            fault_plan=parts.get("fault_plan"),
+            priority=spec.priority,
+        )
+        return self.host.tenant_digests()[spec.name]
+
+    def run_rounds(self, rounds):
+        """Run up to ``rounds`` local rounds; returns the batch report.
+
+        Emits one row per requested round even when this shard has no
+        eligible tenant left (an all-zero row), so the scheduler can
+        fold rows from every shard by batch offset. Empty rounds are
+        no-ops: the underlying host neither counts nor journals them.
+        """
+        rows = []
+        for index in range(rounds):
+            before_quarantined = set(self.host.quarantined_tenants())
+            scheduled = self.host.scheduled_tenants()
+            records = self.host.run_round()
+            quarantined = {
+                name: self.host.tenants[name].quarantine_reason
+                for name in self.host.quarantined_tenants()
+                if name not in before_quarantined
+            }
+            rows.append({
+                "round": index,
+                "scheduled": len(scheduled),
+                "ran": sorted(records),
+                "quarantined": quarantined,
+                "pause_ms": {name: record.pause_ms
+                             for name, record in records.items()},
+            })
+        return {
+            "rounds": rows,
+            "digests": self.host.tenant_digests(),
+            "active": len(self.host.active_tenants()),
+        }
+
+    def start_rounds(self, rounds):
+        if self._pending_rounds is not None:
+            raise CrimesError("shard %r already has a batch in flight"
+                              % self.host.name)
+        self._pending_rounds = rounds
+
+    def finish_rounds(self):
+        if self._pending_rounds is None:
+            raise CrimesError("shard %r has no batch in flight"
+                              % self.host.name)
+        rounds = self._pending_rounds
+        self._pending_rounds = None
+        return self.run_rounds(rounds)
+
+    def evict(self, name):
+        digest = self.host.tenant_digests().get(name)
+        self.host.evict(name)
+        return digest
+
+    def digests(self):
+        return self.host.tenant_digests()
+
+    def flight_snapshots(self):
+        """Shard journal first, then every tenant's, for the fleet merge."""
+        snapshots = [self.host.observer.flight.snapshot()]
+        for name in sorted(self.host.tenants):
+            snapshots.append(
+                self.host.tenants[name].crimes.observer.flight.snapshot())
+        return snapshots
+
+    def close(self):
+        """In-process shard: nothing to stop."""
+
+
+def shard_worker_main(conn, shard_name):
+    """Worker process entry point: serve shard commands until stopped.
+
+    The protocol is strict request/reply: every received ``(op,
+    payload)`` gets exactly one ``("ok", result)`` or ``("error",
+    message)`` back. A :class:`CrimesError` is *transported* to the
+    driver (which re-raises it as a FleetError), never dropped; any
+    other exception is allowed to kill the worker — the driver sees the
+    broken pipe and fails loudly rather than continuing on a shard in
+    an unknown state.
+    """
+    shard = ShardHost(shard_name)
+    handlers = {
+        "admit": shard.admit,
+        "run_rounds": shard.run_rounds,
+        "evict": shard.evict,
+        "digests": lambda payload: shard.digests(),
+        "flight_snapshots": lambda payload: shard.flight_snapshots(),
+    }
+    while True:
+        try:
+            op, payload = conn.recv()
+        except EOFError:
+            return  # driver went away; shard state dies with us
+        if op == "stop":
+            conn.send(("ok", None))
+            return
+        handler = handlers.get(op)
+        if handler is None:
+            conn.send(("error", "unknown shard op %r" % op))
+            continue
+        try:
+            result = handler(payload)
+        except CrimesError as err:
+            conn.send(("error", "%s: %s" % (type(err).__name__, err)))
+        else:
+            conn.send(("ok", result))
+
+
+class ShardWorkerHandle:
+    """Driver-side handle for one persistent shard worker process."""
+
+    def __init__(self, process, conn, name):
+        self.process = process
+        self.conn = conn
+        self.name = name
+        self._in_flight = False
+        self._closed = False
+
+    @classmethod
+    def launch(cls, index, name):
+        ctx = _mp_context()
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(
+            target=shard_worker_main, args=(child_conn, name),
+            name="crimes-%s" % name.replace("/", "-"), daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return cls(process, parent_conn, name)
+
+    # -- protocol ----------------------------------------------------------
+
+    def _send(self, op, payload=None):
+        if self._closed:
+            raise CrimesError("shard worker %r is closed" % self.name)
+        try:
+            self.conn.send((op, payload))
+        except (BrokenPipeError, OSError) as err:
+            raise CrimesError(
+                "shard worker %r is gone (%s)" % (self.name, err)
+            ) from err
+
+    def _recv(self):
+        try:
+            status, value = self.conn.recv()
+        except EOFError as err:
+            raise CrimesError(
+                "shard worker %r died mid-command" % self.name
+            ) from err
+        if status == "error":
+            raise CrimesError("shard %r: %s" % (self.name, value))
+        return value
+
+    def _call(self, op, payload=None):
+        self._send(op, payload)
+        return self._recv()
+
+    # -- shard interface ---------------------------------------------------
+
+    def admit(self, spec):
+        return self._call("admit", spec)
+
+    def start_rounds(self, rounds):
+        """Ship a batch without waiting — workers run concurrently."""
+        if self._in_flight:
+            raise CrimesError("shard worker %r already has a batch in "
+                              "flight" % self.name)
+        self._send("run_rounds", rounds)
+        self._in_flight = True
+
+    def finish_rounds(self):
+        if not self._in_flight:
+            raise CrimesError("shard worker %r has no batch in flight"
+                              % self.name)
+        self._in_flight = False
+        return self._recv()
+
+    def run_rounds(self, rounds):
+        return self._call("run_rounds", rounds)
+
+    def evict(self, name):
+        return self._call("evict", name)
+
+    def digests(self):
+        return self._call("digests")
+
+    def flight_snapshots(self):
+        return self._call("flight_snapshots")
+
+    def close(self):
+        if self._closed:
+            return
+        try:
+            if self.process.is_alive():
+                self.conn.send(("stop", None))
+                self.conn.recv()
+        except (BrokenPipeError, EOFError, OSError):
+            pass  # already gone; join/terminate below still applies
+        self._closed = True
+        self.conn.close()
+        self.process.join(timeout=5)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5)

@@ -1,0 +1,88 @@
+"""Shard-aware observability merge for fleet runs.
+
+Every tenant journals onto its *own* virtual timeline and hash chain
+(tenants occupy different cores; there is no global clock to agree on),
+and under the fleet scheduler those journals live in different worker
+processes. This module folds the per-tenant exports a scheduler collects
+back into one host-level story:
+
+* :func:`merge_flight_events` — one event stream ordered by virtual
+  time, with a deterministic tie-break, so an operator reads a single
+  fleet timeline instead of W shard dumps. Each tenant's own chain
+  stays internally ordered (its events are already sorted by ``seq``),
+  and the merge never re-hashes anything — per-tenant chains remain
+  independently verifiable.
+* :func:`merge_flight_snapshots` — the same merge over full
+  ``FlightRecorder.snapshot()`` payloads, keeping per-tenant chain
+  verification results alongside the merged stream.
+* :func:`merge_registry_snapshots` — fleet-level metric aggregation
+  (counters sum; gauges and histogram stats keep per-tenant values
+  under their tenant's key) for shard rollups.
+"""
+
+
+def _event_sort_key(event):
+    # Virtual time first; tenant name then per-tenant seq as the
+    # deterministic tie-break (two tenants can easily share a t_ms —
+    # they all start at 0.0 — and a merge that depends on dict order
+    # would not be replayable evidence).
+    return (event["t_ms"], event.get("tenant") or "", event.get("seq", 0))
+
+
+def merge_flight_events(event_lists):
+    """Merge per-tenant flight-event dicts into one fleet timeline.
+
+    ``event_lists`` is an iterable of event-dict lists (one per tenant,
+    each as produced by ``FlightEvent.to_dict()``). Returns a single
+    list ordered by ``(t_ms, tenant, seq)``. Sorting is stable, so each
+    tenant's internal order is preserved even if its journal carried
+    equal timestamps.
+    """
+    merged = []
+    for events in event_lists:
+        merged.extend(events)
+    merged.sort(key=_event_sort_key)
+    return merged
+
+
+def merge_flight_snapshots(snapshots):
+    """Fold full ``FlightRecorder.snapshot()`` payloads into one export.
+
+    Returns ``{"events": [...], "tenants": {name: chain-info}}`` where
+    the merged ``events`` are virtual-time ordered across the fleet and
+    ``tenants`` keeps each journal's head hash, eviction count, and
+    chain-verification verdict — the merge is a *view*; tamper evidence
+    stays per-tenant.
+    """
+    tenants = {}
+    ordered = merge_flight_events(
+        snapshot["events"] for snapshot in snapshots
+    )
+    for snapshot in snapshots:
+        tenants[snapshot["tenant"]] = {
+            "head_hash": snapshot["head_hash"],
+            "events": len(snapshot["events"]),
+            "evicted": snapshot["evicted"],
+            "verify": snapshot.get("verify"),
+        }
+    return {"events": ordered, "tenants": tenants}
+
+
+def merge_registry_snapshots(snapshots_by_tenant):
+    """Aggregate per-tenant ``MetricsRegistry.snapshot()`` payloads.
+
+    Counters are summed across the fleet (they are extensive
+    quantities); gauges and histograms are intensive/per-tenant, so they
+    are kept under the owning tenant's key instead of being averaged
+    into something nobody measured.
+    """
+    counters = {}
+    per_tenant = {}
+    for tenant, snapshot in sorted(snapshots_by_tenant.items()):
+        per_tenant[tenant] = {
+            "gauges": snapshot.get("gauges", {}),
+            "histograms": snapshot.get("histograms", {}),
+        }
+        for name, counter in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + counter["value"]
+    return {"counters": counters, "tenants": per_tenant}

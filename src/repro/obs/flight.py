@@ -58,6 +58,9 @@ EVENT_KINDS = frozenset({
     "fault.injected",
     "fault.observed",
     "fault.recovered",
+    "fleet.admit",
+    "fleet.evict",
+    "fleet.round",
     "incident",
     "overlap.deferred",
     "overlap.discarded",

@@ -127,7 +127,11 @@ class Tracer:
         try:
             yield open_span
         finally:
-            self._stack.pop()
+            # The pop is guarded: a leaked span that was already
+            # abort-closed (tenant quarantine) leaves nothing on the
+            # stack by the time its abandoned context is finalized.
+            if self._stack:
+                self._stack.pop()
             self._record(SpanEvent(
                 span_id=open_span.span_id,
                 parent_id=open_span.parent_id,
@@ -179,6 +183,37 @@ class Tracer:
                 entry["attrs"] = dict(open_span.attrs)
             out.append(entry)
         return out
+
+    def abort_open(self, reason="aborted"):
+        """Force-close every open span, innermost first; returns the count.
+
+        A raising scan module (or any third-party code handed the
+        observer) can enter a span and blow up before exiting it; once
+        the tenant is fenced off that span would stay on the stack
+        forever, and every later trace export would report it as
+        ``unfinished: true``. Aborting records each open span as a
+        normal completed event ending *now*, tagged ``aborted: true``
+        with the fencing reason, so exports tell the true story: the
+        work was cut short, not still in flight.
+        """
+        closed = 0
+        while self._stack:
+            open_span = self._stack.pop()
+            attrs = dict(open_span.attrs)
+            attrs["aborted"] = True
+            attrs["abort_reason"] = reason
+            self._record(SpanEvent(
+                span_id=open_span.span_id,
+                parent_id=open_span.parent_id,
+                name=open_span.name,
+                start_ms=open_span.start_ms,
+                end_ms=self.clock.now + open_span.extra_ms,
+                attrs=attrs,
+                wall_start_s=open_span.wall_start_s,
+                wall_end_s=time.perf_counter() if self.capture_wall else None,
+            ))
+            closed += 1
+        return closed
 
     def spans_named(self, name):
         return [event for event in self.events if event.name == name]

@@ -36,6 +36,24 @@ def test_baseline_is_actually_load_bearing():
         }
 
 
+def test_fleet_modules_are_baseline_free():
+    """The fleet scheduler tree carries zero suppressions.
+
+    New-subsystem discipline: unlike the legacy files the baseline
+    grandfathers, the scheduler, its worker/IPC module, and the
+    shard-merge helpers must satisfy every rule — wall-clock hygiene
+    (CRL001/2), journal vocabulary (CRL004), fault-seam coverage
+    (CRL005), and exception discipline in the worker loop (CRL006) —
+    with no baseline entries and no pragmas.
+    """
+    report = run_lint(root=REPO_ROOT, baseline=False, paths=[
+        "src/repro/core/fleet.py",
+        "src/repro/core/fleet_worker.py",
+        "src/repro/obs/fleet_merge.py",
+    ])
+    assert report.findings == [], "\n" + report.render_text()
+
+
 def test_cli_lint_is_green_on_the_tree(capsys, monkeypatch):
     monkeypatch.chdir(REPO_ROOT)
     assert cli_main(["lint"]) == 0

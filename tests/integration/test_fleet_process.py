@@ -1,0 +1,143 @@
+"""Integration: the fleet scheduler's process backend.
+
+Each shard is a real forked worker process driven over a pipe with
+batched rounds. These tests pin the tentpole guarantee — a sharded
+multi-process run is digest-for-digest identical to the serial
+CloudHost, hash-chain heads included — plus the IPC error transport and
+worker lifecycle.
+"""
+
+import pytest
+
+from repro.core.cloud import CloudHost
+from repro.core.fleet import (
+    FleetScheduler,
+    TenantSpec,
+    default_tenant_builder,
+    default_tenant_spec,
+)
+from repro.core.fleet_worker import ShardWorkerHandle
+from repro.errors import CrimesError
+
+MIB = 1024 * 1024
+
+EQUIV_KEYS = ("clock_ms", "epochs_run", "suspended", "quarantined",
+              "quarantine_reason", "flight_head")
+
+
+def equiv_view(digests):
+    return {name: {key: digest[key] for key in EQUIV_KEYS}
+            for name, digest in digests.items()}
+
+
+def sixteen_tenant_specs():
+    specs = []
+    for index in range(16):
+        specs.append(default_tenant_spec(
+            "tenant-%02d" % index, seed=100 + index,
+            sla=("premium", "standard", "batch", "spot")[index % 4],
+            attack_epoch=3 if index % 5 == 0 else None))
+    return specs
+
+
+def serial_digests(specs, rounds):
+    host = CloudHost()
+    for spec in specs:
+        parts = spec.build()
+        host.admit(parts["vm"], parts.get("config"),
+                   modules=parts.get("modules", ()),
+                   programs=parts.get("programs", ()),
+                   sla=spec.sla, fault_plan=parts.get("fault_plan"),
+                   priority=spec.priority)
+    host.run(rounds)
+    return host.tenant_digests()
+
+
+class TestProcessBackendEquivalence:
+    def test_sixteen_tenants_two_workers_match_serial(self):
+        specs = sixteen_tenant_specs()
+        serial = serial_digests(specs, 6)
+        with FleetScheduler(workers=2, backend="process") as fleet:
+            for spec in specs:
+                assert fleet.admit(spec).admitted
+            ran = fleet.run_rounds(6)
+            sharded = fleet.tenant_digests()
+        assert ran == 6
+        assert equiv_view(sharded) == equiv_view(serial)
+
+    def test_batched_rounds_match_unbatched(self):
+        specs = sixteen_tenant_specs()[:6]
+        with FleetScheduler(workers=2, backend="process",
+                            batch_rounds=2) as fleet:
+            for spec in specs:
+                fleet.admit(spec)
+            fleet.run_rounds(5)  # batches of 2, 2, 1
+            batched = fleet.tenant_digests()
+        assert equiv_view(batched) == equiv_view(serial_digests(specs, 5))
+
+    def test_incidents_and_journal_merge_across_workers(self):
+        specs = sixteen_tenant_specs()
+        with FleetScheduler(workers=4, backend="process") as fleet:
+            for spec in specs:
+                fleet.admit(spec)
+            fleet.run_rounds(6)
+            incidents = fleet.incidents()
+            journal = fleet.fleet_journal()
+            rollup = fleet.rollup()
+        # Every fifth tenant carries an attack at epoch 3.
+        assert incidents == ["tenant-%02d" % i for i in (0, 5, 10, 15)]
+        assert rollup["incidents"] == 4
+        times = [event["t_ms"] for event in journal["events"]]
+        assert times == sorted(times)
+        assert all(info["verify"]["ok"]
+                   for info in journal["tenants"].values())
+
+
+class TestProcessBackendLifecycle:
+    def test_worker_error_is_transported_not_fatal(self):
+        # A spec that lies about its memory footprint fails build()
+        # *inside the worker*; the CrimesError must come back over the
+        # pipe and the worker must stay serviceable.
+        liar = TenantSpec("liar", default_tenant_builder,
+                          params={"memory_bytes": 2 * MIB},
+                          memory_bytes=4 * MIB)
+        with FleetScheduler(workers=1, backend="process") as fleet:
+            with pytest.raises(CrimesError, match="budgeted the wrong"):
+                fleet.admit(liar)
+            # Same worker still serves later commands.
+            assert fleet.admit(default_tenant_spec("ok", seed=1)).admitted
+            assert fleet.run_rounds(2) == 2
+
+    def test_eviction_round_trips_final_digest(self):
+        with FleetScheduler(workers=2, backend="process") as fleet:
+            for spec in sixteen_tenant_specs()[:4]:
+                fleet.admit(spec)
+            fleet.run_rounds(3)
+            digest = fleet.evict("tenant-01")
+            assert digest["epochs_run"] == 3
+            assert "tenant-01" not in fleet.tenant_digests()
+
+    def test_shutdown_reaps_worker_processes(self):
+        fleet = FleetScheduler(workers=2, backend="process")
+        fleet.admit(default_tenant_spec("a", seed=1))
+        workers = [shard.process for shard in fleet._shards]
+        assert all(process.is_alive() for process in workers)
+        fleet.shutdown()
+        assert all(not process.is_alive() for process in workers)
+        fleet.shutdown()  # idempotent
+
+    def test_handle_refuses_use_after_close(self):
+        handle = ShardWorkerHandle.launch(0, "solo-shard")
+        handle.close()
+        with pytest.raises(CrimesError):
+            handle.digests()
+
+    def test_double_start_rounds_rejected(self):
+        handle = ShardWorkerHandle.launch(0, "busy-shard")
+        try:
+            handle.start_rounds(1)
+            with pytest.raises(CrimesError):
+                handle.start_rounds(1)
+            handle.finish_rounds()
+        finally:
+            handle.close()

@@ -1,0 +1,128 @@
+"""Property test: serial-vs-sharded fleet equivalence (hypothesis).
+
+The fleet scheduler's core guarantee — sharding never changes any
+tenant's trajectory — checked over randomized fleets rather than
+hand-picked ones: arbitrary tenant counts, SLA mixes, attack epochs,
+per-tenant fault plans, shard counts and batch sizes. The equivalence
+currency is ``CloudHost.tenant_digests()``: per-tenant virtual clocks,
+epoch counts, incident sets, quarantine reasons, and the flight
+journal's rolling hash-chain head (the chain covers every journaled
+event, so agreement cannot be faked by matching counters).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cloud import CloudHost
+from repro.core.fleet import FleetScheduler, default_tenant_spec
+from repro.faults import FaultPlan, FaultPlane, FaultSchedule
+
+EQUIV_KEYS = ("clock_ms", "epochs_run", "suspended", "quarantined",
+              "quarantine_reason", "flight_head")
+
+_FAULT_PLANES = st.sampled_from([
+    FaultPlane.CHECKPOINT_COPY,
+    FaultPlane.VMI_READ,
+    FaultPlane.NETBUF_RELEASE,
+])
+
+_SCHEDULES = st.one_of(
+    st.builds(FaultSchedule.transient,
+              probability=st.floats(0.1, 0.6),
+              fail_attempts=st.integers(1, 2)),
+    st.builds(FaultSchedule.burst,
+              start_epoch=st.integers(1, 4),
+              duration=st.integers(1, 2)),
+)
+
+_TENANTS = st.lists(
+    st.fixed_dictionaries({
+        "seed": st.integers(0, 2**16),
+        "sla": st.sampled_from(["premium", "standard", "batch", "spot"]),
+        "attack_epoch": st.one_of(st.none(), st.integers(2, 5)),
+        "fault": st.one_of(
+            st.none(),
+            st.fixed_dictionaries({
+                "plane": _FAULT_PLANES,
+                "schedule": _SCHEDULES,
+                "seed": st.integers(0, 2**16),
+            }),
+        ),
+    }),
+    min_size=1, max_size=8,
+)
+
+
+def build_specs(tenant_params):
+    specs = []
+    for index, params in enumerate(tenant_params):
+        fault_plan = None
+        if params["fault"] is not None:
+            fault_plan = FaultPlan(
+                {params["fault"]["plane"]: params["fault"]["schedule"]},
+                seed=params["fault"]["seed"])
+        specs.append(default_tenant_spec(
+            "tenant-%02d" % index,
+            seed=params["seed"],
+            sla=params["sla"],
+            attack_epoch=params["attack_epoch"],
+            fault_plan=fault_plan,
+        ))
+    return specs
+
+
+def equiv_view(digests):
+    return {name: {key: digest[key] for key in EQUIV_KEYS}
+            for name, digest in digests.items()}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    tenants=_TENANTS,
+    workers=st.integers(1, 4),
+    rounds=st.integers(1, 8),
+    batch_rounds=st.one_of(st.none(), st.integers(1, 3)),
+)
+def test_sharded_fleet_matches_serial_host(tenants, workers, rounds,
+                                           batch_rounds):
+    specs = build_specs(tenants)
+
+    host = CloudHost()
+    for spec in specs:
+        parts = spec.build()
+        host.admit(parts["vm"], parts.get("config"),
+                   modules=parts.get("modules", ()),
+                   programs=parts.get("programs", ()),
+                   sla=spec.sla, fault_plan=parts.get("fault_plan"),
+                   priority=spec.priority)
+    host.run(rounds)
+    serial = host.tenant_digests()
+
+    with FleetScheduler(workers=workers,
+                        batch_rounds=batch_rounds) as fleet:
+        for spec in specs:
+            assert fleet.admit(spec).admitted
+        fleet.run_rounds(rounds)
+        sharded = fleet.tenant_digests()
+
+    assert equiv_view(sharded) == equiv_view(serial)
+    # Round accounting agrees too: both hosts stop counting once no
+    # tenant is eligible.
+    assert fleet.rounds_run == host.rounds_run
+
+
+@settings(max_examples=10, deadline=None)
+@given(tenants=_TENANTS, rounds=st.integers(1, 6),
+       workers=st.integers(2, 4))
+def test_shard_count_never_changes_the_fleet_story(tenants, rounds,
+                                                   workers):
+    """Incidents and quarantines are invariant across shard counts."""
+    specs = build_specs(tenants)
+    stories = []
+    for worker_count in (1, workers):
+        with FleetScheduler(workers=worker_count) as fleet:
+            for spec in specs:
+                fleet.admit(spec)
+            fleet.run_rounds(rounds)
+            stories.append((fleet.incidents(), fleet.quarantined(),
+                            equiv_view(fleet.tenant_digests())))
+    assert stories[0] == stories[1]

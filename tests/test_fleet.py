@@ -1,0 +1,524 @@
+"""Tests for the fleet scheduler (repro.core.fleet) — inline backend.
+
+Process-backend integration lives in
+``tests/integration/test_fleet_process.py``; the randomized
+serial-vs-sharded equivalence suite in
+``tests/property/test_fleet_equivalence.py``.
+"""
+
+import pickle
+
+import pytest
+
+from repro.checkpoint import CopyFidelity
+from repro.core.cloud import CloudHost, SLA_PRIORITY
+from repro.core.config import CrimesConfig
+from repro.core.fleet import (
+    AdmissionController,
+    FleetError,
+    FleetScheduler,
+    TenantSpec,
+    default_tenant_builder,
+    default_tenant_spec,
+    lpt_assignment,
+)
+from repro.detectors.base import ScanModule
+from repro.errors import CrimesError, IntrospectionError
+from repro.faults import FaultPlan, FaultPlane, FaultSchedule
+from repro.guest.linux import LinuxGuest
+from repro.workloads.kvstore import KeyValueStoreProgram
+
+MIB = 1024 * 1024
+
+#: The digest fields the serial-vs-sharded equivalence guarantee covers.
+EQUIV_KEYS = ("clock_ms", "epochs_run", "suspended", "quarantined",
+              "quarantine_reason", "flight_head")
+
+
+def equiv_view(digests):
+    return {name: {key: digest[key] for key in EQUIV_KEYS}
+            for name, digest in digests.items()}
+
+
+def serial_digests(specs, rounds):
+    """Run the same specs on a plain serial CloudHost."""
+    host = CloudHost()
+    for spec in specs:
+        parts = spec.build()
+        host.admit(parts["vm"], parts.get("config"),
+                   modules=parts.get("modules", ()),
+                   programs=parts.get("programs", ()),
+                   sla=spec.sla, fault_plan=parts.get("fault_plan"),
+                   priority=spec.priority)
+    host.run(rounds)
+    return host.tenant_digests()
+
+
+class TestTenantSpec:
+    def test_priority_defaults_from_sla(self):
+        assert default_tenant_spec("a", sla="premium").priority \
+            == SLA_PRIORITY["premium"]
+        assert default_tenant_spec("b", sla="spot").priority \
+            == SLA_PRIORITY["spot"]
+        assert TenantSpec("c", default_tenant_builder, sla="no-such-sla") \
+            .priority == 1
+
+    def test_explicit_priority_wins(self):
+        assert default_tenant_spec("a", sla="batch", priority=9) \
+            .priority == 9
+
+    def test_spec_is_pickleable(self):
+        spec = default_tenant_spec("a", seed=3, sla="premium")
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.name == "a" and clone.builder is spec.builder
+        assert clone.params == spec.params
+
+    def test_build_checks_declared_memory(self):
+        spec = TenantSpec("liar", default_tenant_builder,
+                          params={"memory_bytes": 2 * MIB},
+                          memory_bytes=4 * MIB)
+        with pytest.raises(FleetError):
+            spec.build()
+
+    def test_same_spec_builds_identical_tenants(self):
+        spec = default_tenant_spec("twin", seed=9, attack_epoch=3)
+        digests_a = serial_digests([spec], rounds=5)
+        digests_b = serial_digests([spec], rounds=5)
+        assert equiv_view(digests_a) == equiv_view(digests_b)
+
+
+class TestAdmissionController:
+    def _state(self, memory=2 * MIB, priority=1, quarantined=False,
+               suspended=False):
+        return {"memory_bytes": memory, "priority": priority,
+                "quarantined": quarantined, "suspended": suspended}
+
+    def test_budgetless_admits_anything_sized_or_not(self):
+        ctl = AdmissionController()
+        decision = ctl.decide(default_tenant_spec("a"), {})
+        assert decision.admitted and not decision.evictions
+
+    def test_duplicate_name_rejected(self):
+        ctl = AdmissionController()
+        decision = ctl.decide(default_tenant_spec("a"),
+                              {"a": self._state()})
+        assert not decision.admitted
+
+    def test_unsized_spec_rejected_under_budget(self):
+        ctl = AdmissionController(memory_budget_bytes=8 * MIB)
+        spec = TenantSpec("a", default_tenant_builder)
+        decision = ctl.decide(spec, {})
+        assert not decision.admitted
+        assert "unsized" in decision.reason
+
+    def test_over_budget_spec_rejected_outright(self):
+        ctl = AdmissionController(memory_budget_bytes=2 * MIB)
+        decision = ctl.decide(
+            default_tenant_spec("big", memory_bytes=4 * MIB), {})
+        assert not decision.admitted and not decision.evictions
+
+    def test_admits_when_it_fits(self):
+        ctl = AdmissionController(memory_budget_bytes=8 * MIB)
+        decision = ctl.decide(
+            default_tenant_spec("a"),
+            {"b": self._state(), "c": self._state()})
+        assert decision.admitted and not decision.evictions
+
+    def test_eviction_order_quarantined_suspended_lower_priority(self):
+        ctl = AdmissionController(memory_budget_bytes=6 * MIB)
+        states = {
+            "active-low": self._state(priority=0),
+            "suspended": self._state(priority=2, suspended=True),
+            "quarantined": self._state(priority=2, quarantined=True),
+        }
+        decision = ctl.decide(
+            default_tenant_spec("new", sla="premium", memory_bytes=4 * MIB),
+            states)
+        assert decision.admitted
+        # Needs 4 MiB against 0 free: quarantined goes first, then
+        # suspended; the active lower-priority tenant survives.
+        assert decision.evictions == ["quarantined", "suspended"]
+
+    def test_never_evicts_equal_or_higher_priority_active(self):
+        ctl = AdmissionController(memory_budget_bytes=4 * MIB)
+        states = {
+            "peer-a": self._state(priority=1),
+            "peer-b": self._state(priority=1),
+        }
+        decision = ctl.decide(
+            default_tenant_spec("new", sla="standard"), states)
+        assert not decision.admitted
+        assert ctl.rejected_total == 0  # decide() alone never counts
+
+    def test_all_or_nothing(self):
+        ctl = AdmissionController(memory_budget_bytes=4 * MIB)
+        states = {
+            "q": self._state(priority=0, quarantined=True),
+            "peer": self._state(priority=2),  # not evictable by premium
+        }
+        decision = ctl.decide(
+            default_tenant_spec("new", sla="premium", memory_bytes=4 * MIB),
+            states)
+        # Evicting the only candidate frees 2 of the 4 MiB needed: the
+        # request is rejected outright, no partial eviction.
+        assert not decision.admitted
+
+    def test_counters_via_record(self):
+        ctl = AdmissionController(memory_budget_bytes=8 * MIB)
+        admitted = ctl.decide(default_tenant_spec("a"), {})
+        ctl.record(admitted)
+        rejected = ctl.decide(
+            default_tenant_spec("big", memory_bytes=16 * MIB), {})
+        ctl.record(rejected)
+        summary = ctl.summary()
+        assert summary["admitted_total"] == 1
+        assert summary["rejected_total"] == 1
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(FleetError):
+            AdmissionController(memory_budget_bytes=0)
+
+
+class TestLptAssignment:
+    def test_spreads_jobs_deterministically(self):
+        costs = {"a": 5.0, "b": 4.0, "c": 3.0, "d": 3.0}
+        assignment, makespan = lpt_assignment(costs, 2)
+        # a->w0, b->w1, c->w1 (load 4<5), d->w0 (load 5<7)
+        assert assignment == [["a", "d"], ["b", "c"]]
+        assert makespan == 8.0
+
+    def test_ties_broken_by_name(self):
+        costs = {"z": 1.0, "a": 1.0, "m": 1.0}
+        assignment, _ = lpt_assignment(costs, 3)
+        assert assignment == [["a"], ["m"], ["z"]]
+
+    def test_single_worker_is_serial(self):
+        costs = {"a": 2.0, "b": 3.0}
+        assignment, makespan = lpt_assignment(costs, 1)
+        assert assignment == [["b", "a"]]
+        assert makespan == 5.0
+
+    def test_empty_costs(self):
+        assignment, makespan = lpt_assignment({}, 3)
+        assert assignment == [[], [], []]
+        assert makespan == 0.0
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(FleetError):
+            lpt_assignment({"a": 1.0}, 0)
+
+
+def make_specs(count, attack_every=3):
+    specs = []
+    for index in range(count):
+        attack = 4 if attack_every and index % attack_every == 0 else None
+        specs.append(default_tenant_spec(
+            "t%02d" % index, seed=index,
+            sla=("premium", "standard", "batch")[index % 3],
+            attack_epoch=attack))
+    return specs
+
+
+class TestFleetSchedulerInline:
+    def test_matches_serial_cloud_host(self):
+        specs = make_specs(7)
+        with FleetScheduler(workers=3) as fleet:
+            for spec in specs:
+                fleet.admit(spec)
+            ran = fleet.run_rounds(6)
+        assert ran == 6
+        assert equiv_view(fleet.tenant_digests()) \
+            == equiv_view(serial_digests(specs, 6))
+
+    def test_placement_balances_shards(self):
+        with FleetScheduler(workers=3) as fleet:
+            for spec in make_specs(6, attack_every=0):
+                decision = fleet.admit(spec)
+                assert decision.admitted
+            shards = [decision.shard for decision in
+                      [fleet.admit(default_tenant_spec("x%d" % i,
+                                                       seed=90 + i))
+                       for i in range(3)]]
+        assert sorted(shards) == [0, 1, 2]
+
+    def test_duplicate_admit_raises_without_budget(self):
+        with FleetScheduler(workers=2) as fleet:
+            fleet.admit(default_tenant_spec("dup"))
+            with pytest.raises(FleetError):
+                fleet.admit(default_tenant_spec("dup"))
+
+    def test_budget_rejection_is_a_decision_not_an_error(self):
+        with FleetScheduler(workers=2,
+                            memory_budget_bytes=4 * MIB) as fleet:
+            assert fleet.admit(default_tenant_spec("a")).admitted
+            assert fleet.admit(default_tenant_spec("b")).admitted
+            decision = fleet.admit(default_tenant_spec("c"))
+            assert not decision.admitted
+            assert fleet.memory_overhead_bytes() == 4 * MIB
+
+    def test_budget_eviction_frees_a_quarantined_tenant(self):
+        # ACCOUNTING fidelity makes the persistent checkpoint fault
+        # unabsorbable (rollback needs a backup image) -> quarantine.
+        plan = FaultPlan({FaultPlane.CHECKPOINT_COPY:
+                          FaultSchedule.persistent(start_epoch=2)}, seed=1)
+        bad = default_tenant_spec("bad", seed=1, fault_plan=plan,
+                                  fidelity="accounting")
+        with FleetScheduler(workers=1,
+                            memory_budget_bytes=4 * MIB) as fleet:
+            fleet.admit(bad)
+            fleet.admit(default_tenant_spec("good", seed=2))
+            fleet.run_rounds(6)
+            assert fleet.quarantined() == ["bad"]
+            decision = fleet.admit(
+                default_tenant_spec("newcomer", seed=3, sla="premium"))
+            assert decision.admitted
+            assert decision.evictions == ["bad"]
+            assert "bad" not in fleet.tenant_digests()
+
+    def test_explicit_evict_returns_final_digest(self):
+        with FleetScheduler(workers=2) as fleet:
+            for spec in make_specs(4, attack_every=0):
+                fleet.admit(spec)
+            fleet.run_rounds(3)
+            digest = fleet.evict("t01")
+            assert digest["epochs_run"] == 3
+            assert "t01" not in fleet.tenant_digests()
+            with pytest.raises(FleetError):
+                fleet.evict("t01")
+
+    def test_run_stops_early_when_fleet_is_done(self):
+        specs = [default_tenant_spec("a", seed=0, attack_epoch=2),
+                 default_tenant_spec("b", seed=1, attack_epoch=2)]
+        with FleetScheduler(workers=2) as fleet:
+            for spec in specs:
+                fleet.admit(spec)
+            ran = fleet.run_rounds(10)
+        # Both suspend on the attack epoch; later rounds are no-ops.
+        assert ran < 10
+        assert fleet.rounds_run == ran
+        assert len(fleet.incidents()) == 2
+
+    def test_fleet_round_journal_counts(self):
+        with FleetScheduler(workers=2) as fleet:
+            for spec in make_specs(4, attack_every=0):
+                fleet.admit(spec)
+            fleet.run_rounds(2)
+            journal = fleet.fleet_journal()
+        rounds = [event for event in journal["events"]
+                  if event["kind"] == "fleet.round"
+                  and event["tenant"] == "fleet-0"]
+        assert len(rounds) == 2
+        assert rounds[0]["attrs"]["scheduled"] == 4
+        assert rounds[0]["attrs"]["ran"] == 4
+        assert rounds[0]["attrs"]["shards"] == 2
+
+    def test_fleet_journal_is_time_ordered_and_verified(self):
+        with FleetScheduler(workers=2) as fleet:
+            for spec in make_specs(5):
+                fleet.admit(spec)
+            fleet.run_rounds(5)
+            journal = fleet.fleet_journal()
+        times = [event["t_ms"] for event in journal["events"]]
+        assert times == sorted(times)
+        assert all(info["verify"]["ok"]
+                   for info in journal["tenants"].values())
+
+    def test_rollup_shape(self):
+        with FleetScheduler(workers=2, name="fleet-x") as fleet:
+            for spec in make_specs(4, attack_every=0):
+                fleet.admit(spec)
+            fleet.run_rounds(3)
+            rollup = fleet.rollup()
+        assert rollup["fleet"] == "fleet-x"
+        assert rollup["tenants"] == 4
+        assert rollup["epochs_total"] == 12
+        assert rollup["round_pause_ms"]["count"] == 12
+        assert rollup["round_pause_ms"]["p99"] > 0
+        assert rollup["virtual_time_ms"] > 0
+
+    def test_plan_round_models_speedup(self):
+        with FleetScheduler(workers=4) as fleet:
+            for spec in make_specs(8, attack_every=0):
+                fleet.admit(spec)
+            fleet.run_rounds(2)
+            plan = fleet.plan_round()
+        assert plan["serial_ms"] > plan["makespan_ms"] > 0
+        assert plan["speedup"] > 1.0
+        assert sorted(name for shard in plan["assignment"]
+                      for name in shard) \
+            == sorted(fleet.tenant_digests())
+
+    def test_shutdown_is_idempotent_and_closes_api(self):
+        fleet = FleetScheduler(workers=2)
+        fleet.admit(default_tenant_spec("a"))
+        fleet.shutdown()
+        fleet.shutdown()
+        with pytest.raises(FleetError):
+            fleet.run_rounds(1)
+        with pytest.raises(FleetError):
+            fleet.admit(default_tenant_spec("b"))
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(FleetError):
+            FleetScheduler(workers=0)
+        with pytest.raises(FleetError):
+            FleetScheduler(backend="threads")
+
+
+def small_linux(name, seed):
+    return LinuxGuest(name=name, memory_bytes=2 * MIB, seed=seed)
+
+
+def quarantine_plan(seed):
+    return FaultPlan({FaultPlane.CHECKPOINT_COPY:
+                      FaultSchedule.persistent(start_epoch=2)}, seed=seed)
+
+
+def accounting_config(seed):
+    return CrimesConfig(epoch_interval_ms=20.0, seed=seed,
+                        fidelity=CopyFidelity.ACCOUNTING)
+
+
+class TestRoundAccounting:
+    """Satellite: rounds_run consistency between run() and run_round()."""
+
+    def _all_quarantined_host(self):
+        host = CloudHost()
+        host.admit(small_linux("q", 3), accounting_config(3),
+                   programs=[KeyValueStoreProgram(seed=3)],
+                   fault_plan=quarantine_plan(3))
+        host.run(6)
+        assert host.quarantined_tenants() == ["q"]
+        return host
+
+    def test_noop_round_does_not_count(self):
+        host = self._all_quarantined_host()
+        before = host.rounds_run
+        for _ in range(3):
+            assert host.run_round() == {}
+        assert host.rounds_run == before
+
+    def test_noop_round_does_not_journal(self):
+        host = self._all_quarantined_host()
+        events = len(host.observer.flight.events(kind="fleet.round"))
+        host.run_round()
+        assert len(host.observer.flight.events(kind="fleet.round")) \
+            == events
+
+    def test_run_and_run_round_agree(self):
+        specs_host = CloudHost()
+        loop_host = CloudHost()
+        for host in (specs_host, loop_host):
+            host.admit(small_linux("q", 3), accounting_config(3),
+                       programs=[KeyValueStoreProgram(seed=3)],
+                       fault_plan=quarantine_plan(3))
+        specs_host.run(8)
+        for _ in range(8):
+            loop_host.run_round()
+        assert specs_host.rounds_run == loop_host.rounds_run
+
+    def test_round_journal_carries_fleet_counts(self):
+        host = CloudHost()
+        host.admit(small_linux("a", 1),
+                   CrimesConfig(epoch_interval_ms=20.0, seed=1))
+        host.admit(small_linux("b", 2),
+                   CrimesConfig(epoch_interval_ms=20.0, seed=2))
+        host.run_round()
+        event = host.observer.flight.last("fleet.round")
+        assert event.attrs["round"] == 1
+        assert event.attrs["scheduled"] == 2
+        assert event.attrs["ran"] == 2
+        assert event.attrs["quarantined"] == 0
+        assert event.attrs["tenants_total"] == 2
+
+    def test_host_clock_tracks_tenant_frontier(self):
+        host = CloudHost()
+        host.admit(small_linux("a", 1),
+                   CrimesConfig(epoch_interval_ms=20.0, seed=1))
+        host.run_round()
+        tenant_clock = host.tenant("a").clock.now
+        assert host.observer.clock.now == tenant_clock
+
+
+class SpanLeakingModule(ScanModule):
+    """A badly-behaved third-party scanner: holds a span open, crashes."""
+
+    name = "span-leaker"
+    guest_aided = False
+
+    def __init__(self, trigger_epoch=2):
+        self.trigger_epoch = trigger_epoch
+        self.observer = None
+        self._span = None
+
+    def scan(self, context):
+        if context.epoch >= self.trigger_epoch:
+            # exit-later pattern: the module keeps the span to close on
+            # a later callback, then dies before that callback runs.
+            self._span = self.observer.tracer.span("rude.scan")
+            self._span.__enter__()
+            raise IntrospectionError("third-party scanner crashed "
+                                     "mid-span")
+        return []
+
+
+class TestQuarantineClosesSpans:
+    """Satellite: quarantine aborts open observer spans."""
+
+    def _quarantined_host(self):
+        host = CloudHost()
+        module = SpanLeakingModule()
+        crimes = host.admit(
+            small_linux("rude", 5), accounting_config(5),
+            modules=[module], programs=[KeyValueStoreProgram(seed=5)])
+        module.observer = crimes.observer
+        host.run(5)
+        assert host.quarantined_tenants() == ["rude"]
+        return host, crimes
+
+    def test_no_open_spans_after_quarantine(self):
+        _, crimes = self._quarantined_host()
+        assert crimes.observer.tracer.open_spans() == []
+
+    def test_aborted_spans_are_recorded_with_reason(self):
+        _, crimes = self._quarantined_host()
+        aborted = [event for event in crimes.observer.tracer.events
+                   if event.attrs.get("aborted")]
+        assert aborted
+        assert all(event.attrs["abort_reason"] == "quarantine"
+                   for event in aborted)
+
+    def test_export_reports_no_unfinished_spans(self):
+        import json
+
+        host, crimes = self._quarantined_host()
+        assert "unfinished" not in json.dumps(crimes.observer.summary())
+        assert "unfinished" not in json.dumps(host.observability_rollup())
+
+    def test_quarantine_event_journaled(self):
+        _, crimes = self._quarantined_host()
+        event = crimes.observer.flight.last("tenant.quarantined")
+        assert event is not None
+        assert "crashed mid-span" in event.attrs["reason"]
+
+    def test_abort_open_returns_count_and_is_reentrant(self):
+        _, crimes = self._quarantined_host()
+        assert crimes.observer.tracer.abort_open() == 0
+
+
+class TestFleetCli:
+    def test_fleet_command_inline_with_equivalence(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out_path = tmp_path / "fleet.json"
+        assert main(["fleet", "--tenants", "4", "--workers", "2",
+                     "--rounds", "3", "--fleet-backend", "inline",
+                     "--equivalence", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "equivalence: serial and sharded runs agree" in out
+        assert out_path.exists()
+        import json
+
+        artifact = json.loads(out_path.read_text())
+        assert artifact["schema"] == "crimes-fleet/1"
+        assert len(artifact["digests"]) == 4
