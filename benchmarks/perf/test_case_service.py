@@ -1,0 +1,190 @@
+"""Case-service throughput: ingest, cross-case query, worker drain.
+
+Measures the control plane's three hot paths with real evidence:
+
+* **ingest** — distinct ``crimes-obs/2`` bundles (each from its own
+  seeded attack run) through ``CaseVault.ingest``, which re-derives the
+  flight hash chain and causal epoch chain per bundle — the number is
+  *verified* ingests/s, not file writes/s;
+* **HTTP ingest + query** — the same bundles POSTed through a live
+  listener, then cross-tenant ``/findings`` queries, measuring the full
+  socket -> validate -> store -> query round trip;
+* **worker drain** — one forensics job per case (Volatility plugin pass
+  over the attached memory dump), wall time from enqueue to drain.
+
+Results go to ``BENCH_case_service.json`` (schema ``crimes-obs/1``).
+Bundle count scales with ``CRIMES_SERVICE_BUNDLES`` (default 12); the
+asserted floors are deliberately loose — they gate "did the control
+plane get pathologically slow", not a specific machine's numbers.
+"""
+
+import json
+import os
+import time
+import urllib.request
+
+from repro.core.config import CrimesConfig
+from repro.core.crimes import Crimes
+from repro.detectors.canary import CanaryScanModule
+from repro.detectors.syscall_table import SyscallTableModule
+from repro.forensics.dumps import MemoryDump
+from repro.guest.linux import LinuxGuest
+from repro.service.http import CaseService
+from repro.service.vault import CaseVault
+from repro.service.workers import ForensicsWorkerQueue
+from repro.workloads.attacks import OverflowAttackProgram, RootkitProgram
+from repro.workloads.webserver import WebServerWorkload
+
+BUNDLES = int(os.environ.get("CRIMES_SERVICE_BUNDLES", 12))
+QUERY_ROUNDS = 50
+
+#: Loose sanity floors (see module docstring).
+MIN_INGEST_PER_S = 5.0
+MIN_QUERY_PER_S = 20.0
+MAX_DRAIN_S = 60.0
+
+
+def make_evidence(count):
+    """``count`` distinct (bundle, dump) pairs from seeded attack runs."""
+    pairs = []
+    for index in range(count):
+        seed = 1000 + index
+        vm = LinuxGuest(name="bench-%03d" % index,
+                        memory_bytes=2 * 1024 * 1024, seed=seed)
+        crimes = Crimes(vm, CrimesConfig(epoch_interval_ms=50.0,
+                                         seed=seed, auto_respond=False,
+                                         history_capacity=4))
+        if index % 2 == 0:
+            crimes.install_module(SyscallTableModule())
+            crimes.add_program(RootkitProgram(trigger_epoch=2))
+        else:
+            crimes.install_module(CanaryScanModule())
+            crimes.add_program(OverflowAttackProgram(trigger_epoch=3))
+        crimes.add_program(WebServerWorkload("light", seed=seed))
+        crimes.start()
+        crimes.run(max_epochs=6)
+        assert crimes.last_incident is not None
+        pairs.append((crimes.last_incident,
+                      MemoryDump.from_vm(vm, label="bench")))
+    return pairs
+
+
+def bench_vault_ingest(root, evidence):
+    vault = CaseVault(root)
+    start = time.perf_counter()
+    for bundle, dump in evidence:
+        vault.ingest(bundle, dump=dump)
+    wall_s = time.perf_counter() - start
+    return vault, {
+        "bundles": len(evidence),
+        "wall_s": wall_s,
+        "ingests_per_s": len(evidence) / wall_s if wall_s else 0.0,
+    }
+
+
+def bench_queries(vault):
+    filters = ({}, {"module": "syscall_table"}, {"module": "canary"},
+               {"since": 100.0})
+    start = time.perf_counter()
+    rows = 0
+    for index in range(QUERY_ROUNDS):
+        rows += len(vault.findings(**filters[index % len(filters)]))
+    wall_s = time.perf_counter() - start
+    return {
+        "queries": QUERY_ROUNDS,
+        "rows_returned": rows,
+        "wall_s": wall_s,
+        "queries_per_s": QUERY_ROUNDS / wall_s if wall_s else 0.0,
+    }
+
+
+def bench_http(root, evidence):
+    service = CaseService(CaseVault(root), workers=1, seed=0).start()
+    try:
+        start = time.perf_counter()
+        for bundle, _ in evidence:
+            request = urllib.request.Request(
+                service.url + "/cases",
+                data=json.dumps(bundle).encode(),
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request) as resp:
+                assert resp.status == 201
+        ingest_s = time.perf_counter() - start
+        start = time.perf_counter()
+        for path in ("/findings", "/findings?module=syscall_table",
+                     "/cases", "/slo", "/metrics") * 4:
+            with urllib.request.urlopen(service.url + path) as resp:
+                assert resp.status == 200
+                resp.read()
+        query_s = time.perf_counter() - start
+    finally:
+        service.stop()
+    return {
+        "ingest_wall_s": ingest_s,
+        "ingests_per_s": len(evidence) / ingest_s if ingest_s else 0.0,
+        "query_requests": 20,
+        "query_wall_s": query_s,
+        "queries_per_s": 20 / query_s if query_s else 0.0,
+    }
+
+
+def bench_worker_drain(vault):
+    queue = ForensicsWorkerQueue(vault, workers=2, seed=0).start()
+    try:
+        case_ids = vault.case_ids()
+        start = time.perf_counter()
+        for case_id in case_ids:
+            queue.enqueue(case_id)
+        result = queue.drain(timeout_ms=MAX_DRAIN_S * 1000.0)
+        wall_s = time.perf_counter() - start
+    finally:
+        queue.stop()
+    assert result["failed"] == 0
+    return {
+        "jobs": len(case_ids),
+        "wall_s": wall_s,
+        "jobs_per_s": len(case_ids) / wall_s if wall_s else 0.0,
+        "mean_job_s": wall_s / len(case_ids) if case_ids else 0.0,
+    }
+
+
+def test_case_service_throughput(record_bench, tmp_path):
+    evidence = make_evidence(BUNDLES)
+
+    vault, ingest = bench_vault_ingest(tmp_path / "direct", evidence)
+    queries = bench_queries(vault)
+    http = bench_http(tmp_path / "http", evidence)
+    drain = bench_worker_drain(vault)
+
+    payload = {
+        "description": "incident case service hot paths: verified "
+                       "bundle ingest, cross-case findings queries, "
+                       "HTTP round trips, forensics worker drain",
+        "bundles": BUNDLES,
+        "host_cpu_count": os.cpu_count(),
+        "thresholds": {
+            "min_vault_ingests_per_s": MIN_INGEST_PER_S,
+            "min_queries_per_s": MIN_QUERY_PER_S,
+            "max_drain_s": MAX_DRAIN_S,
+        },
+        "vault_ingest": ingest,
+        "vault_query": queries,
+        "http": http,
+        "worker_drain": drain,
+    }
+    path = record_bench("case_service", extra=payload)
+    assert os.path.exists(path)
+
+    print("bundles=%d host_cpu_count=%s" % (BUNDLES, os.cpu_count()))
+    print("vault ingest: %6.1f verified bundles/s" %
+          ingest["ingests_per_s"])
+    print("vault query:  %6.1f queries/s (%d rows)"
+          % (queries["queries_per_s"], queries["rows_returned"]))
+    print("http ingest:  %6.1f bundles/s; queries %6.1f req/s"
+          % (http["ingests_per_s"], http["queries_per_s"]))
+    print("worker drain: %d jobs in %.2f s (%.2f s/job)"
+          % (drain["jobs"], drain["wall_s"], drain["mean_job_s"]))
+
+    assert ingest["ingests_per_s"] >= MIN_INGEST_PER_S
+    assert queries["queries_per_s"] >= MIN_QUERY_PER_S
+    assert drain["wall_s"] <= MAX_DRAIN_S

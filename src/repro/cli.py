@@ -11,8 +11,10 @@ Experiments: ``table1``, ``table3``, ``fig3``, ``fig4``, ``fig5``,
 ``BENCH_*.json`` file), ``incident`` (canned canary-smash run that
 dumps and validates a ``crimes-obs/2`` incident bundle), ``chaos``
 (deterministic fault-injection run with a safety-invariant verdict and
-a replayable journal artifact), and ``fleet`` (sharded multi-tenant run
-across worker processes with an optional serial-equivalence check).
+a replayable journal artifact), ``fleet`` (sharded multi-tenant run
+across worker processes with an optional serial-equivalence check), and
+``serve`` (the incident case service: an HTTP control plane over a
+tamper-evident case vault, with ``--demo-fleet`` self-population).
 """
 
 import argparse
@@ -278,8 +280,34 @@ def _cmd_incident(args):
     The bundle is validated against the ``crimes-obs/2`` schema — the
     exit status is the validation result, which is what the CI smoke
     job checks.
+
+    ``--validate PATH`` skips the canned run entirely and validates an
+    on-disk bundle through :mod:`repro.service.ingest` — the *same*
+    validator the case vault runs at ingest, so this command's verdict
+    and the service's ingest decision can never disagree.
     """
     import json
+
+    if args.validate:
+        from repro.errors import IngestError
+        from repro.service.ingest import case_id_for, load_bundle_file
+
+        try:
+            bundle = load_bundle_file(args.validate)
+        except IngestError as err:
+            print("bundle REJECTED [%s]: %s" % (err.code, err),
+                  file=sys.stderr)
+            raise SystemExit(1)
+        return "\n".join([
+            "bundle valid (schema %s)" % bundle["schema"],
+            "  case id: %s" % case_id_for(bundle),
+            "  tenant: %s, reason: %s, epoch %d (t=%.1f ms)"
+            % (bundle["tenant"], bundle["reason"],
+               bundle["incident_epoch"], bundle["virtual_time_ms"]),
+            "  flight: %d event(s), head %s..."
+            % (len(bundle["flight"]["events"]),
+               bundle["flight"]["head_hash"][:16]),
+        ])
 
     from repro.core.adaptive import AdaptiveIntervalController
     from repro.core.config import CrimesConfig
@@ -560,6 +588,46 @@ def _cmd_fleet(args):
     return "\n".join(lines)
 
 
+def _cmd_serve(args):
+    """Run the incident case service (the evidence control plane).
+
+    Opens (or creates) the case vault at ``--vault-dir`` and serves the
+    HTTP control plane on ``--bind``:``--port``: bundle ingest with
+    hash-chain re-verification, cross-tenant findings queries, the
+    fleet SLO dashboard, async forensics jobs, the vault audit log, and
+    a live Prometheus ``/metrics`` endpoint. ``--demo-fleet`` first
+    drives a canned multi-tenant CloudHost run (``--tenants`` tenants,
+    ``--rounds`` rounds, seeded by ``--seed``) whose incidents are
+    ingested — with memory dumps attached — before the listener starts,
+    and keeps the host attached so ``/slo`` and ``/metrics`` show live
+    fleet state. Blocks until interrupted.
+    """
+    from repro.service import CaseService, CaseVault
+
+    vault = CaseVault(args.vault_dir)
+    host = None
+    if args.demo_fleet:
+        from repro.service.demo import run_demo_fleet
+
+        summary = run_demo_fleet(vault, tenants=args.tenants,
+                                 rounds=args.rounds, seed=args.seed)
+        host = summary["host"]
+        print("demo fleet: %d tenant(s), %d round(s); ingested %d "
+              "incident case(s): %s"
+              % (summary["tenants"], summary["rounds"],
+                 len(summary["cases"]), ", ".join(summary["cases"])),
+              flush=True)
+    service = CaseService(vault, host=host, workers=args.workers,
+                          seed=args.seed, bind=args.bind, port=args.port)
+    print("case service listening on %s (vault: %s)"
+          % (service.url, vault.root), flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    return "case service stopped"
+
+
 def _cmd_lint(args):
     """Run crimeslint, the repo's static invariant analyzer.
 
@@ -737,6 +805,7 @@ _COMMANDS = {
     "incident": _cmd_incident,
     "chaos": _cmd_chaos,
     "fleet": _cmd_fleet,
+    "serve": _cmd_serve,
     "lint": _cmd_lint,
 }
 
@@ -776,6 +845,19 @@ def build_parser():
     parser.add_argument("--summary", action="store_true",
                         help="incident: print a human digest instead of "
                              "the full bundle JSON")
+    parser.add_argument("--validate", metavar="BUNDLE",
+                        help="incident: validate an on-disk bundle file "
+                             "through the service ingest path and exit")
+    parser.add_argument("--port", type=int, default=8321,
+                        help="serve: TCP port (0 picks a free one)")
+    parser.add_argument("--bind", default="127.0.0.1",
+                        help="serve: listen address")
+    parser.add_argument("--vault-dir", metavar="DIR", default="case-vault",
+                        help="serve: case vault directory "
+                             "(created if missing)")
+    parser.add_argument("--demo-fleet", action="store_true",
+                        help="serve: populate the vault from a canned "
+                             "multi-tenant run before listening")
     parser.add_argument("--seed", type=int, default=0,
                         help="chaos: root seed (same seed = same run)")
     parser.add_argument("--planes", metavar="P1,P2,...",

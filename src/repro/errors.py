@@ -81,5 +81,50 @@ class NetbufReleaseError(CrimesError):
     """The output buffer could not flush to the downstream sink."""
 
 
+class ServiceError(CrimesError):
+    """The incident case service was used incorrectly."""
+
+
+class CaseNotFoundError(ServiceError):
+    """A case ID does not exist in the vault."""
+
+    def __init__(self, case_id):
+        self.case_id = case_id
+        super().__init__("no case named %r in the vault" % case_id)
+
+
+class IngestError(ServiceError):
+    """An evidence artifact was rejected at the service boundary.
+
+    Carries a stable machine-readable ``code`` so the HTTP layer can
+    answer with a structured error instead of prose: the rejected
+    artifact never touches the vault.
+    """
+
+    def __init__(self, code, message):
+        self.code = code
+        super().__init__(message)
+
+    def to_dict(self):
+        return {"code": self.code, "message": str(self)}
+
+
+class DuplicateCaseError(IngestError):
+    """The vault already holds a case with this content-derived ID."""
+
+    def __init__(self, case_id):
+        self.case_id = case_id
+        super().__init__(
+            "duplicate-case",
+            "case %r already exists in the vault (evidence is read-only; "
+            "re-ingesting the same bundle is rejected, not overwritten)"
+            % case_id,
+        )
+
+
+class VaultIntegrityError(ServiceError):
+    """Stored evidence failed re-verification (audit chain, dump hash)."""
+
+
 class AuditTimeoutError(CrimesError):
     """The end-of-epoch audit exceeded its time budget."""

@@ -72,10 +72,19 @@ def format_sample(name, labels, value):
     return "%s{%s} %s" % (name, rendered, value)
 
 
-def export_prometheus(registry):
-    """Render a registry as Prometheus text exposition format."""
+def render_prometheus(instruments):
+    """Pure text renderer: instruments in, exposition text out, no I/O.
+
+    ``instruments`` is any iterable of objects carrying the instrument
+    protocol (``name``/``kind``/``help``, plus ``value`` for scalars or
+    ``buckets``/``bucket_counts``/``sum``/``count`` for histograms) — a
+    live :class:`~repro.obs.registry.MetricsRegistry` iterates exactly
+    that, and :func:`snapshot_instruments` adapts plain snapshot dicts,
+    so the CLI export path and a live ``/metrics`` HTTP endpoint share
+    one renderer (and one escaping behavior).
+    """
     lines = []
-    for instrument in registry:
+    for instrument in instruments:
         name = _prom_name(instrument.name)
         if instrument.help:
             lines.append("# HELP %s %s" % (name, _escape_help(
@@ -99,6 +108,130 @@ def export_prometheus(registry):
                 continue
             lines.append("%s %g" % (name, value))
     return "\n".join(lines) + "\n"
+
+
+class _SnapshotInstrument:
+    """Adapts one ``MetricsRegistry.snapshot()`` entry to the renderer."""
+
+    __slots__ = ("name", "kind", "help", "value", "buckets",
+                 "bucket_counts", "sum", "count")
+
+    def __init__(self, name, kind, help="", value=None, buckets=(),
+                 bucket_counts=(), sum=0.0, count=0):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.value = value
+        self.buckets = buckets
+        self.bucket_counts = bucket_counts
+        self.sum = sum
+        self.count = count
+
+
+def snapshot_instruments(snapshot, help_texts=None, prefix=""):
+    """Instrument views over a plain registry snapshot (or shard merge).
+
+    Accepts the ``{"counters": .., "gauges": .., "histograms": ..}``
+    shape of :meth:`~repro.obs.registry.MetricsRegistry.snapshot` —
+    entries may be full snapshot dicts or bare numbers (the
+    ``fleet_merge`` counter rollup). ``help_texts`` maps metric name to
+    HELP line (snapshots do not carry help); ``prefix`` namespaces the
+    rendered names so merged fleet metrics can sit beside live ones.
+    Ordering matches a live registry: one global sort by name.
+    """
+    help_texts = help_texts or {}
+    views = []
+    for kind in ("counter", "gauge"):
+        for name, entry in snapshot.get(kind + "s", {}).items():
+            value = entry.get("value") if isinstance(entry, dict) else entry
+            views.append(_SnapshotInstrument(
+                prefix + name, kind, help=help_texts.get(name, ""),
+                value=value))
+    for name, entry in snapshot.get("histograms", {}).items():
+        buckets = entry.get("buckets", {})
+        views.append(_SnapshotInstrument(
+            prefix + name, "histogram", help=help_texts.get(name, ""),
+            buckets=tuple(buckets.get("le", ())),
+            bucket_counts=list(buckets.get("counts", ())),
+            sum=entry.get("sum", 0.0), count=entry.get("count", 0)))
+    views.sort(key=lambda view: view.name)
+    return views
+
+
+def export_prometheus(registry):
+    """Render a registry as Prometheus text exposition format."""
+    return render_prometheus(registry)
+
+
+_SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)$'
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\])*)"')
+
+
+def _unescape_label_value(value):
+    return (value.replace("\\n", "\n")
+            .replace('\\"', '"')
+            .replace("\\\\", "\\"))
+
+
+def parse_prometheus_text(text):
+    """Parse exposition text back into plain data (the round-trip check).
+
+    Returns ``{"samples": [{name, labels, value}], "types": {name:
+    kind}, "help": {name: text}}``; raises ObservabilityError on a
+    malformed line. This is deliberately strict about the subset this
+    repo renders — it is the acceptance gate that ``/metrics`` output
+    stays machine-consumable, not a general Prometheus client.
+    """
+    samples = []
+    types = {}
+    helps = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4:
+                raise ObservabilityError(
+                    "malformed TYPE line %d: %r" % (lineno, line))
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                raise ObservabilityError(
+                    "malformed HELP line %d: %r" % (lineno, line))
+            helps[parts[2]] = parts[3] if len(parts) == 4 else ""
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ObservabilityError(
+                "malformed sample line %d: %r" % (lineno, line))
+        raw = match.group("value")
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ObservabilityError(
+                "non-numeric sample value on line %d: %r"
+                % (lineno, raw)) from None
+        labels = {}
+        if match.group("labels"):
+            consumed = 0
+            for label in _LABEL_RE.finditer(match.group("labels")):
+                labels[label.group(1)] = _unescape_label_value(
+                    label.group(2))
+                consumed += 1
+            declared = match.group("labels").count("=")
+            if consumed != declared:
+                raise ObservabilityError(
+                    "malformed label set on line %d: %r" % (lineno, line))
+        samples.append({"name": match.group("name"), "labels": labels,
+                        "value": value})
+    return {"samples": samples, "types": types, "help": helps}
 
 
 def bench_payload(name, registry=None, extra=None):

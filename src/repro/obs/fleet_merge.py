@@ -15,10 +15,17 @@ back into one host-level story:
 * :func:`merge_flight_snapshots` — the same merge over full
   ``FlightRecorder.snapshot()`` payloads, keeping per-tenant chain
   verification results alongside the merged stream.
+* :func:`verify_merged_chains` — the inverse of the merge: split a
+  merged stream back into per-tenant chains and re-derive each against
+  its declared head hash, so a consumer on the other side of a trust
+  boundary (the incident case service) can reject a tampered or
+  mis-headed fleet export.
 * :func:`merge_registry_snapshots` — fleet-level metric aggregation
   (counters sum; gauges and histogram stats keep per-tenant values
   under their tenant's key) for shard rollups.
 """
+
+from repro.obs.flight import verify_event_chain
 
 
 def _event_sort_key(event):
@@ -66,6 +73,50 @@ def merge_flight_snapshots(snapshots):
             "verify": snapshot.get("verify"),
         }
     return {"events": ordered, "tenants": tenants}
+
+
+def verify_merged_chains(merged):
+    """Re-derive every per-tenant hash chain inside a merged export.
+
+    ``merged`` is a :func:`merge_flight_snapshots` payload: one
+    virtual-time-ordered ``events`` stream plus per-tenant chain heads.
+    The merge is only a *view* — so a consumer (the incident case
+    service ingesting a fleet export) must be able to split the stream
+    back apart and check each tenant's chain against its declared head.
+    Returns ``{"ok", "tenants", "events", "error", "tenant"}``; any
+    mismatch (a tampered event, a head that does not belong to its
+    stream, events from an undeclared tenant) fails the verdict.
+    """
+    declared = merged.get("tenants", {})
+    by_tenant = {}
+    for event in merged.get("events", ()):
+        by_tenant.setdefault(event.get("tenant"), []).append(event)
+    unknown = sorted(set(by_tenant) - set(declared))
+    if unknown:
+        return {"ok": False, "tenants": len(declared), "events": 0,
+                "tenant": unknown[0],
+                "error": "events from undeclared tenant %r" % unknown[0]}
+    checked = 0
+    for name in sorted(declared):
+        stream = sorted(by_tenant.get(name, []),
+                        key=lambda event: event["seq"])
+        info = declared[name]
+        if len(stream) != info.get("events", len(stream)):
+            return {"ok": False, "tenants": len(declared),
+                    "events": checked, "tenant": name,
+                    "error": "tenant %r declares %d event(s) but the "
+                             "merged stream carries %d"
+                             % (name, info.get("events"), len(stream))}
+        verdict = verify_event_chain(stream,
+                                     head_hash=info.get("head_hash"))
+        if not verdict["ok"]:
+            return {"ok": False, "tenants": len(declared),
+                    "events": checked + verdict["checked"], "tenant": name,
+                    "error": "tenant %r chain: %s"
+                             % (name, verdict["error"])}
+        checked += verdict["checked"]
+    return {"ok": True, "tenants": len(declared), "events": checked,
+            "tenant": None, "error": None}
 
 
 def merge_registry_snapshots(snapshots_by_tenant):

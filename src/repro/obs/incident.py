@@ -137,44 +137,60 @@ def build_incident_bundle(crimes, reason, detection=None,
     }
 
 
+def _reject(code, message):
+    """Raise a validation error carrying a stable machine-readable code.
+
+    The code rides on the exception as an attribute so service-boundary
+    consumers (the case vault, the HTTP ingest endpoint) can map the
+    rejection to a structured error without parsing prose.
+    """
+    err = ObservabilityError(message)
+    err.code = code
+    raise err
+
+
 def validate_incident_bundle(bundle):
     """Check a bundle's contract; raises ObservabilityError on violation.
 
     Validates the schema tag, the required keys, the re-derived hash
     chain over the serialized flight events, and the causal linkage of
-    the epoch chain. Returns the (trusted-after-this) bundle.
+    the epoch chain. Returns the (trusted-after-this) bundle. Every
+    rejection carries a stable ``code`` attribute (``missing-keys``,
+    ``schema-mismatch``, ``hash-chain-broken``, ``epoch-chain-empty``,
+    ``epoch-chain-truncated``, ``epoch-chain-out-of-ring``).
     """
+    if not isinstance(bundle, dict):
+        _reject("not-a-bundle",
+                "incident bundle must be a JSON object, got %s"
+                % type(bundle).__name__)
     missing = [key for key in REQUIRED_KEYS if key not in bundle]
     if missing:
-        raise ObservabilityError(
-            "incident bundle is missing keys: %s" % ", ".join(missing)
-        )
+        _reject("missing-keys",
+                "incident bundle is missing keys: %s" % ", ".join(missing))
     if bundle["schema"] != INCIDENT_SCHEMA:
-        raise ObservabilityError(
-            "incident bundle schema %r != %r"
-            % (bundle["schema"], INCIDENT_SCHEMA)
-        )
+        _reject("schema-mismatch",
+                "incident bundle schema %r != %r"
+                % (bundle["schema"], INCIDENT_SCHEMA))
     flight = bundle["flight"]
     verdict = verify_event_chain(flight["events"],
                                  head_hash=flight["head_hash"])
     if not verdict["ok"]:
-        raise ObservabilityError(
-            "incident bundle hash chain broken: %s" % verdict["error"]
-        )
+        _reject("hash-chain-broken",
+                "incident bundle hash chain broken: %s" % verdict["error"])
     retained = {event["seq"] for event in flight["events"]}
     chain = bundle["epoch_chain"]
     if not chain:
-        raise ObservabilityError("incident bundle has an empty epoch chain")
+        _reject("epoch-chain-empty",
+                "incident bundle has an empty epoch chain")
     epochs = [link["epoch"] for link in chain]
     if epochs != sorted(epochs) or epochs[-1] != bundle["incident_epoch"]:
-        raise ObservabilityError(
-            "epoch chain is not causally ordered up to the incident epoch"
-        )
+        _reject("epoch-chain-truncated",
+                "epoch chain is not causally ordered up to the incident "
+                "epoch")
     for link in chain:
         for event in link["events"]:
             if event["seq"] not in retained:
-                raise ObservabilityError(
-                    "epoch chain references seq=%d outside the flight ring"
-                    % event["seq"]
-                )
+                _reject("epoch-chain-out-of-ring",
+                        "epoch chain references seq=%d outside the flight "
+                        "ring" % event["seq"])
     return bundle

@@ -224,6 +224,53 @@ class SLOWatchdog:
         }
 
 
+def summarize_trail(trail):
+    """Fold one watchdog trail into a burn summary (plain data in/out).
+
+    ``trail`` is the ``SLOWatchdog.snapshot()`` shape — ``{"policy",
+    "alerts", "evaluations"}`` — whether it came from a live watchdog or
+    rode into the case vault inside an incident bundle's ``slo`` key.
+    The summary is what a fleet dashboard row needs: total burn (alerts
+    per evaluation), per-budget breach counts, and each budget's worst
+    observed value against its limit.
+    """
+    evaluations = trail.get("evaluations", [])
+    budgets = {}
+    for name, declared in trail.get("policy", {}).items():
+        budgets[name] = {
+            "limit": declared.get("limit"),
+            "unit": declared.get("unit", "ms"),
+            "breaches": 0,
+            "worst_value": None,
+            "worst_ratio": None,
+        }
+    breached_total = 0
+    for evaluation in evaluations:
+        for result in evaluation.get("results", ()):
+            entry = budgets.setdefault(result["budget"], {
+                "limit": result.get("limit"), "unit": result.get("unit",
+                                                                 "ms"),
+                "breaches": 0, "worst_value": None, "worst_ratio": None,
+            })
+            value = result.get("value")
+            if value is None:
+                continue
+            if entry["worst_value"] is None or value > entry["worst_value"]:
+                entry["worst_value"] = value
+                if entry["limit"]:
+                    entry["worst_ratio"] = value / entry["limit"]
+            if result.get("breached"):
+                entry["breaches"] += 1
+                breached_total += 1
+    count = len(evaluations)
+    return {
+        "evaluations": count,
+        "alerts": trail.get("alerts", breached_total),
+        "burn_rate": (breached_total / count) if count else 0.0,
+        "budgets": budgets,
+    }
+
+
 def attach_slo_watchdog(crimes, policy=None, controller=None):
     """Configure a framework's SLO watchdog; returns it.
 

@@ -1,0 +1,141 @@
+"""The fleet SLO dashboard: burn summaries across vault and live fleet.
+
+One dashboard payload answers the operator question the paper's §3.1
+budget discussion raises but never operationalizes: *which tenants are
+burning their latency budgets, and how badly?* Rows come from two
+evidence streams and fold into one per-tenant view:
+
+* **Vault cases** — every stored incident bundle carries the tenant's
+  SLO watchdog trail at incident time; those trails are history.
+* **Live fleet** — an attached :class:`~repro.core.cloud.CloudHost`
+  contributes each running tenant's current watchdog snapshot, plus the
+  host's fleet-merge registry rollup (summed ``slo.alerts`` /
+  ``slo.evaluations`` counters across the fleet).
+
+Everything here is plain-data in, plain-data out, on virtual time —
+the dashboard is itself evidence-grade (two calls over the same inputs
+are byte-identical).
+"""
+
+from repro.obs.fleet_merge import merge_registry_snapshots
+from repro.obs.slo import summarize_trail
+
+#: Schema tag for the dashboard payload.
+BOARD_SCHEMA = "crimes-slo-board/1"
+
+
+def _empty_row():
+    return {
+        "cases": 0,
+        "live": False,
+        "evaluations": 0,
+        "alerts": 0,
+        "burn_rate": 0.0,
+        "budgets": {},
+        "worst_budget": None,
+    }
+
+
+def _fold_summary(row, summary):
+    """Fold one trail summary into a tenant's dashboard row."""
+    row["evaluations"] += summary["evaluations"]
+    row["alerts"] += summary["alerts"]
+    for name, budget in summary["budgets"].items():
+        entry = row["budgets"].setdefault(name, {
+            "limit": budget["limit"], "unit": budget["unit"],
+            "breaches": 0, "worst_value": None, "worst_ratio": None,
+        })
+        entry["breaches"] += budget["breaches"]
+        value = budget["worst_value"]
+        if value is not None and (entry["worst_value"] is None
+                                  or value > entry["worst_value"]):
+            entry["worst_value"] = value
+            entry["worst_ratio"] = budget["worst_ratio"]
+
+
+def _finish_row(row):
+    row["burn_rate"] = (row["alerts"] / row["evaluations"]
+                        if row["evaluations"] else 0.0)
+    ratioed = [(entry["worst_ratio"], name)
+               for name, entry in row["budgets"].items()
+               if entry["worst_ratio"] is not None]
+    if ratioed:
+        row["worst_budget"] = max(ratioed)[1]
+    return row
+
+
+def build_slo_dashboard(vault=None, host=None, fleet_rollup=None):
+    """Assemble the fleet SLO dashboard payload.
+
+    Any combination of sources may be absent: a vault-only board covers
+    stored incidents, a host-only board covers the running fleet, and a
+    pre-computed ``fleet_rollup`` (an ``observability_rollup()`` payload
+    collected elsewhere, e.g. shipped from a remote scheduler) stands in
+    when the host itself is not reachable from the service process.
+    """
+    tenants = {}
+
+    if vault is not None:
+        for case in vault.cases():
+            row = tenants.setdefault(case["tenant"], _empty_row())
+            row["cases"] += 1
+            _fold_summary(row, summarize_trail(
+                vault.bundle(case["case_id"])["slo"]))
+
+    host_fleet = None
+    if host is not None:
+        for name, record in sorted(host.tenants.items()):
+            watchdog = getattr(record.crimes, "slo_watchdog", None)
+            if watchdog is None:
+                continue
+            row = tenants.setdefault(name, _empty_row())
+            row["live"] = True
+            _fold_summary(row, summarize_trail(watchdog.snapshot()))
+        host_fleet = host.observability_rollup()["fleet"]
+        if fleet_rollup is None:
+            fleet_rollup = merge_registry_snapshots({
+                name: record.crimes.observer.registry.snapshot()
+                for name, record in host.tenants.items()
+            })
+
+    for row in tenants.values():
+        _finish_row(row)
+
+    board = {
+        "schema": BOARD_SCHEMA,
+        "tenants": tenants,
+        "fleet": {
+            "tenants": len(tenants),
+            "cases": sum(row["cases"] for row in tenants.values()),
+            "alerts": sum(row["alerts"] for row in tenants.values()),
+            "evaluations": sum(row["evaluations"]
+                               for row in tenants.values()),
+            "hot_tenants": [
+                name for _, name in sorted(
+                    ((row["burn_rate"], name)
+                     for name, row in tenants.items()
+                     if row["burn_rate"] > 0),
+                    reverse=True,
+                )[:3]
+            ],
+        },
+    }
+    total_evals = board["fleet"]["evaluations"]
+    board["fleet"]["burn_rate"] = (
+        board["fleet"]["alerts"] / total_evals if total_evals else 0.0)
+    if fleet_rollup is not None:
+        counters = fleet_rollup.get("counters", {})
+        board["fleet"]["rollup"] = {
+            "slo_alerts": counters.get("slo.alerts", 0),
+            "slo_evaluations": counters.get("slo.evaluations", 0),
+            "interval_nudges": counters.get("slo.interval_nudges", 0),
+        }
+    if host_fleet is not None:
+        board["fleet"]["host"] = {
+            "tenants": host_fleet["tenants"],
+            "incidents": host_fleet["incidents"],
+            "quarantined": host_fleet["quarantined"],
+            "degraded": host_fleet["degraded"],
+            "mean_pause_ms": host_fleet["mean_pause_ms"],
+        }
+    return board

@@ -1,0 +1,239 @@
+"""Asynchronous forensics workers for the case vault.
+
+§5.3's measurement is the whole reason this queue exists: a Volatility
+pass costs seconds (≈2.5 s init + ≈500 ms per plugin), which is far too
+slow to run inline on an ingest path that must keep up with a fleet.
+The service therefore ingests first (cheap: hash-chain re-derivation)
+and enriches later — jobs run ``repro.forensics`` plugins against the
+case's stored memory dump on worker threads and attach their reports to
+the case record.
+
+Determinism survives the thread pool: each job seeds its *own*
+:class:`~repro.forensics.volatility.VolatilityFramework` from
+``derive_seed(queue_seed, job_id)``, and the vault stores reports sorted
+by job ID — so the enriched case set is a pure function of (evidence,
+seed) no matter how the OS interleaves the workers. The queue itself
+never reads the wall clock; plugin costs are the framework's virtual
+milliseconds.
+"""
+
+import json
+import threading
+
+from repro.errors import (
+    CaseNotFoundError,
+    ForensicsError,
+    ServiceError,
+    VaultIntegrityError,
+)
+from repro.forensics.volatility import VolatilityFramework
+from repro.sim.rng import derive_seed
+
+#: Plugins a job runs when the caller does not pick its own set.
+DEFAULT_PLUGINS = (
+    "linux_pslist",
+    "linux_psxview",
+    "linux_lsmod",
+    "linux_check_syscall",
+)
+
+_sanitize = json.JSONEncoder(sort_keys=True, default=str).encode
+
+
+def _json_safe(value):
+    """Round-trip through JSON so reports always fit in case.json."""
+    return json.loads(_sanitize(value))
+
+
+def _triage_report(bundle):
+    """The dump-less fallback: triage the bundle itself."""
+    flight = bundle["flight"]
+    kinds = {}
+    for event in flight["events"]:
+        kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+    return {
+        "reason": bundle["reason"],
+        "incident_epoch": bundle["incident_epoch"],
+        "flight_events": len(flight["events"]),
+        "event_kinds": dict(sorted(kinds.items())),
+        "detection_findings": len(
+            (bundle.get("detection") or {}).get("findings", ())),
+        "epoch_chain": len(bundle["epoch_chain"]),
+    }
+
+
+class ForensicsWorkerQueue:
+    """A threaded, seed-deterministic job queue over a :class:`CaseVault`."""
+
+    def __init__(self, vault, workers=2, seed=0, plugins=DEFAULT_PLUGINS):
+        if workers < 1:
+            raise ServiceError("worker queue needs at least one worker")
+        self.vault = vault
+        self.seed = seed
+        self.plugins = tuple(plugins)
+        self.workers = workers
+        self._cond = threading.Condition()
+        self._jobs = []
+        self._next_job = 0
+        self._active = 0
+        self._stopping = False
+        self.completed = 0
+        self.failed = 0
+        self.last_error = None
+        self._threads = [
+            threading.Thread(target=self._worker_loop,
+                             name="forensics-worker-%d" % index,
+                             daemon=True)
+            for index in range(workers)
+        ]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self):
+        for thread in self._threads:
+            if not thread.is_alive():
+                thread.start()
+        return self
+
+    def stop(self):
+        """Drain nothing; wake every worker and join them."""
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            if thread.is_alive():
+                thread.join()
+
+    # -- enqueue / drain ---------------------------------------------------
+
+    def enqueue(self, case_id, plugins=None):
+        """Queue one enrichment job; returns its job ID.
+
+        The job ID is assigned at enqueue time — it names the job's RNG
+        stream and its slot in the case's sorted report list, which is
+        what keeps the output independent of worker interleaving.
+        """
+        self.vault.case(case_id)  # fail fast: CaseNotFoundError
+        with self._cond:
+            if self._stopping:
+                raise ServiceError("worker queue is stopped")
+            job_id = "job-%04d" % self._next_job
+            self._next_job += 1
+            self._jobs.append({
+                "job_id": job_id,
+                "case_id": case_id,
+                "plugins": tuple(plugins) if plugins else self.plugins,
+            })
+            self._cond.notify()
+        return job_id
+
+    def drain(self, timeout_ms=60000.0):
+        """Block until every queued job has completed (or raise).
+
+        The deadline is enforced by bounded condition waits, not by
+        reading a clock — ``timeout_ms`` is an upper bound, not a
+        measurement.
+        """
+        tick_s = 0.05
+        remaining = max(1, int(timeout_ms / (tick_s * 1000.0)))
+        with self._cond:
+            while self._jobs or self._active:
+                if remaining <= 0:
+                    raise ServiceError(
+                        "worker queue failed to drain: %d queued, %d "
+                        "active" % (len(self._jobs), self._active)
+                    )
+                self._cond.wait(tick_s)
+                remaining -= 1
+        return {"completed": self.completed, "failed": self.failed}
+
+    # -- the workers -------------------------------------------------------
+
+    def _worker_loop(self):
+        while True:
+            with self._cond:
+                while not self._jobs and not self._stopping:
+                    self._cond.wait(0.05)
+                if self._stopping and not self._jobs:
+                    return
+                job = self._jobs.pop(0)
+                self._active += 1
+            try:
+                self._run_job(job)
+            except ServiceError as err:
+                # The job already counted itself as failed; the worker
+                # must survive to take the next one.
+                self.last_error = str(err)
+            finally:
+                with self._cond:
+                    self._active -= 1
+                    self._cond.notify_all()
+
+    def _run_job(self, job):
+        report = {
+            "job_id": job["job_id"],
+            "seed": derive_seed(self.seed, job["job_id"]),
+            "status": "ok",
+        }
+        try:
+            dump = self.vault.load_dump(job["case_id"])
+            if dump is None:
+                report["kind"] = "bundle-triage"
+                report["triage"] = _triage_report(
+                    self.vault.bundle(job["case_id"]))
+                report["virtual_cost_ms"] = 0.0
+            else:
+                report["kind"] = "volatility"
+                report.update(self._analyze(report["seed"], dump,
+                                            job["plugins"]))
+        except (CaseNotFoundError, VaultIntegrityError,
+                ForensicsError) as err:
+            # A failed job is still a report: the verdict "this case's
+            # evidence would not analyze" is itself case material.
+            report["status"] = "error"
+            report["error"] = {"type": type(err).__name__,
+                               "message": str(err)}
+        try:
+            self.vault.attach_report(job["case_id"], _json_safe(report))
+        except (CaseNotFoundError, ServiceError) as err:
+            with self._cond:
+                self.failed += 1
+            raise ServiceError(
+                "job %s could not attach its report: %s"
+                % (job["job_id"], err)
+            ) from err
+        with self._cond:
+            if report["status"] == "ok":
+                self.completed += 1
+            else:
+                self.failed += 1
+
+    def _analyze(self, seed, dump, plugins):
+        """One seeded Volatility pass; plugin outcomes + virtual cost."""
+        framework = VolatilityFramework(seed=seed)
+        results = {}
+        for name in plugins:
+            rows = framework.run(name, dump)
+            results[name] = {
+                "rows": len(rows),
+                "sample": _json_safe(rows[:3]),
+            }
+        return {
+            "os_name": dump.os_name,
+            "dump_label": dump.label,
+            "dump_taken_at": dump.taken_at,
+            "plugins": results,
+            "virtual_cost_ms": framework.take_cost_ms(),
+        }
+
+    # -- accounting --------------------------------------------------------
+
+    def stats(self):
+        with self._cond:
+            return {
+                "workers": self.workers,
+                "enqueued": self._next_job,
+                "pending": len(self._jobs) + self._active,
+                "completed": self.completed,
+                "failed": self.failed,
+            }

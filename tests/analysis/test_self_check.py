@@ -33,6 +33,7 @@ def test_baseline_is_actually_load_bearing():
             "src/repro/obs/tracer.py",
             "src/repro/obs/flight.py",
             "src/repro/checkpoint/checkpointer.py",
+            "src/repro/service/http.py",
         }
 
 
@@ -52,6 +53,35 @@ def test_fleet_modules_are_baseline_free():
         "src/repro/obs/fleet_merge.py",
     ])
     assert report.findings == [], "\n" + report.render_text()
+
+
+def test_service_modules_are_baseline_free():
+    """The case-service tree carries suppressions ONLY at the HTTP edge.
+
+    Same new-subsystem discipline as the fleet scheduler: the vault,
+    ingest validator, worker queue, SLO board, and demo driver must
+    satisfy every rule with no baseline entries and no pragmas — the
+    storage and analysis layers of the control plane are evidence-grade
+    deterministic code. The one exception is ``service/http.py``, the
+    explicitly-real listener, whose wall-clock latency histogram is a
+    reasoned CRL001 baseline entry (and must stay CRL001-only).
+    """
+    report = run_lint(root=REPO_ROOT, baseline=False, paths=[
+        "src/repro/service/__init__.py",
+        "src/repro/service/ingest.py",
+        "src/repro/service/vault.py",
+        "src/repro/service/workers.py",
+        "src/repro/service/sloboard.py",
+        "src/repro/service/demo.py",
+    ])
+    assert report.findings == [], "\n" + report.render_text()
+
+    edge = run_lint(root=REPO_ROOT, baseline=False,
+                    paths=["src/repro/service/http.py"])
+    assert {finding.rule for finding in edge.findings} == {"CRL001"}
+    with_baseline = run_lint(root=REPO_ROOT,
+                             paths=["src/repro/service/http.py"])
+    assert with_baseline.findings == []
 
 
 def test_cli_lint_is_green_on_the_tree(capsys, monkeypatch):

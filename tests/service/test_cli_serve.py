@@ -1,0 +1,60 @@
+"""CLI surface tests: ``incident --validate`` and the serve plumbing."""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.service.ingest import case_id_for
+
+
+def write_bundle(tmp_path, bundle, name="bundle.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(bundle, sort_keys=True) + "\n")
+    return str(path)
+
+
+class TestIncidentValidate:
+    def test_valid_bundle_passes(self, tmp_path, rootkit_bundle, capsys):
+        path = write_bundle(tmp_path, rootkit_bundle)
+        assert main(["incident", "--validate", path]) == 0
+        out = capsys.readouterr().out
+        assert "bundle valid (schema crimes-obs/2)" in out
+        assert case_id_for(rootkit_bundle) in out
+
+    def test_tampered_bundle_fails_with_code(self, tmp_path,
+                                             rootkit_bundle, capsys):
+        tampered = copy.deepcopy(rootkit_bundle)
+        tampered["flight"]["head_hash"] = "0" * 64
+        path = write_bundle(tmp_path, tampered)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["incident", "--validate", path])
+        assert excinfo.value.code == 1
+        err = capsys.readouterr().err
+        assert "REJECTED [hash-chain-broken]" in err
+
+    def test_non_json_file_fails(self, tmp_path, capsys):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(SystemExit):
+            main(["incident", "--validate", str(path)])
+        assert "REJECTED [not-json]" in capsys.readouterr().err
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8321
+        assert args.bind == "127.0.0.1"
+        assert args.vault_dir == "case-vault"
+        assert not args.demo_fleet
+
+    def test_serve_accepts_fleet_knobs(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--vault-dir", "/tmp/v",
+             "--demo-fleet", "--tenants", "3", "--rounds", "6",
+             "--seed", "9", "--workers", "2"])
+        assert args.port == 0 and args.demo_fleet
+        assert (args.tenants, args.rounds, args.seed,
+                args.workers) == (3, 6, 9, 2)

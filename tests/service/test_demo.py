@@ -1,0 +1,30 @@
+"""Demo-fleet tests: the --demo-fleet path populates a usable vault."""
+
+from repro.service.demo import run_demo_fleet
+from repro.service.sloboard import build_slo_dashboard
+from repro.service.vault import CaseVault
+
+
+class TestDemoFleet:
+    def test_demo_populates_vault_across_tenants(self, tmp_path):
+        vault = CaseVault(tmp_path / "vault")
+        summary = run_demo_fleet(vault, tenants=3, rounds=6, seed=5)
+        # Roles: tenant-00 rootkit, tenant-01 overflow, tenant-02 clean.
+        assert summary["incidents"] == ["tenant-00", "tenant-01"]
+        assert summary["cases"] == [case["case_id"]
+                                    for case in vault.cases()]
+        assert vault.stats()["dumps"] == 2
+        kinds = {row["kind"] for row in vault.findings()}
+        assert "syscall-hijack" in kinds
+        assert "buffer-overflow" in kinds
+        board = build_slo_dashboard(vault=vault, host=summary["host"])
+        assert board["fleet"]["tenants"] == 3  # clean tenant is live-only
+        assert board["tenants"]["tenant-02"]["cases"] == 0
+        assert board["tenants"]["tenant-02"]["live"]
+
+    def test_demo_is_deterministic(self, tmp_path):
+        first = run_demo_fleet(CaseVault(tmp_path / "a"), tenants=3,
+                               rounds=6, seed=5)
+        second = run_demo_fleet(CaseVault(tmp_path / "b"), tenants=3,
+                                rounds=6, seed=5)
+        assert first["cases"] == second["cases"]

@@ -1,0 +1,82 @@
+"""Renderer-unification tests: one Prometheus renderer, two input paths."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.exporters import (
+    export_prometheus,
+    parse_prometheus_text,
+    render_prometheus,
+    snapshot_instruments,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.sim.clock import VirtualClock
+
+
+def make_registry():
+    clock = VirtualClock()
+    registry = MetricsRegistry(clock=clock)
+    registry.counter("epoch.commits", help="epochs committed").inc(5)
+    registry.gauge("netbuf.depth", help='queue depth "now"').set(3)
+    hist = registry.histogram("epoch.pause.total_ms",
+                              help="pause\nlatency")
+    for value in (0.5, 2.0, 40.0):
+        hist.observe(value)
+    return registry
+
+
+class TestRendererUnification:
+    def test_live_and_snapshot_paths_render_identically(self):
+        registry = make_registry()
+        live = export_prometheus(registry)
+        help_texts = {instrument.name: instrument.help
+                      for instrument in registry}
+        snapshot = render_prometheus(
+            snapshot_instruments(registry.snapshot(),
+                                 help_texts=help_texts))
+        assert snapshot == live
+
+    def test_escaping_survives_the_round_trip(self):
+        registry = make_registry()
+        text = export_prometheus(registry)
+        parsed = parse_prometheus_text(text)
+        assert parsed["help"]["netbuf_depth"] == 'queue depth "now"'
+        assert parsed["help"]["epoch_pause_total_ms"] == "pause\\nlatency"
+        names = {sample["name"] for sample in parsed["samples"]}
+        assert {"epoch_commits", "netbuf_depth",
+                "epoch_pause_total_ms_sum"} <= names
+
+    def test_bare_counter_snapshot_renders(self):
+        # The fleet-merge rollup carries counters as bare ints, not
+        # full snapshot dicts; the adapter must accept both.
+        merged = {"counters": {"slo.alerts": 7}, "tenants": {}}
+        text = render_prometheus(
+            snapshot_instruments(merged, prefix="fleet."))
+        parsed = parse_prometheus_text(text)
+        assert parsed["samples"] == [
+            {"name": "fleet_slo_alerts", "labels": {}, "value": 7.0}]
+        assert parsed["types"]["fleet_slo_alerts"] == "counter"
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = make_registry()
+        parsed = parse_prometheus_text(export_prometheus(registry))
+        buckets = [sample["value"] for sample in parsed["samples"]
+                   if sample["name"] == "epoch_pause_total_ms_bucket"]
+        assert buckets == sorted(buckets)
+        assert buckets[-1] == 3.0
+
+
+class TestParserStrictness:
+    def test_malformed_sample_rejected(self):
+        with pytest.raises(ObservabilityError):
+            parse_prometheus_text("this is not a metric line\n")
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(ObservabilityError):
+            parse_prometheus_text("good_name NaN-ish\n")
+
+    def test_label_values_unescaped(self):
+        parsed = parse_prometheus_text(
+            'm{path="C:\\\\tmp",msg="say \\"hi\\""} 1\n')
+        assert parsed["samples"][0]["labels"] == {
+            "path": "C:\\tmp", "msg": 'say "hi"'}

@@ -1,0 +1,213 @@
+"""Case vault tests: adversarial ingest, audit chain, queries, dumps."""
+
+import copy
+import json
+import os
+import stat
+
+import pytest
+
+from repro.errors import (
+    CaseNotFoundError,
+    DuplicateCaseError,
+    IngestError,
+    VaultIntegrityError,
+)
+from repro.obs.fleet_merge import merge_flight_snapshots
+from repro.service.ingest import case_id_for, verify_fleet_export
+from repro.service.vault import AUDIT_GENESIS, CASE_SCHEMA, CaseVault
+
+
+def assert_vault_unchanged(vault, cases=0):
+    """The adversarial invariant: rejected evidence leaves no trace in
+    ``cases/`` (the rejection itself is audited)."""
+    assert len(vault.cases()) == cases
+    assert not [name for name in os.listdir(vault.cases_dir)
+                if name.endswith(".staging")]
+    assert vault.verify_audit()["ok"]
+
+
+class TestIngest:
+    def test_valid_bundle_becomes_a_case(self, vault, rootkit_bundle):
+        case = vault.ingest(rootkit_bundle)
+        assert case["schema"] == CASE_SCHEMA
+        assert case["case_id"] == case_id_for(rootkit_bundle)
+        assert case["tenant"] == "tenant-rk"
+        assert case["reason"] == "audit-failed"
+        assert case["state"] == "open"
+        assert vault.case(case["case_id"]) == case
+        assert vault.bundle(case["case_id"]) == rootkit_bundle
+
+    def test_stored_evidence_is_read_only(self, vault, rootkit_bundle):
+        case = vault.ingest(rootkit_bundle)
+        path = os.path.join(vault.cases_dir, case["case_id"],
+                            "bundle.json")
+        mode = stat.S_IMODE(os.stat(path).st_mode)
+        assert not mode & (stat.S_IWUSR | stat.S_IWGRP | stat.S_IWOTH)
+
+    def test_ingest_is_audited(self, vault, rootkit_bundle):
+        case = vault.ingest(rootkit_bundle)
+        entries = vault.audit_entries()
+        assert [entry["kind"] for entry in entries] == ["vault.ingest"]
+        assert entries[0]["case_id"] == case["case_id"]
+        assert entries[0]["prev_hash"] == AUDIT_GENESIS
+        assert entries[0]["t_ms"] == rootkit_bundle["virtual_time_ms"]
+
+    def test_dump_attachment_recorded(self, vault, rootkit_bundle,
+                                      rootkit_dump):
+        case = vault.ingest(rootkit_bundle, dump=rootkit_dump)
+        assert case["dump"]["image_bytes"] == rootkit_dump.size
+        restored = vault.load_dump(case["case_id"])
+        assert restored.image == rootkit_dump.image
+        assert restored.guest_state == rootkit_dump.guest_state
+        assert restored.symbols == rootkit_dump.symbols
+
+
+class TestAdversarialIngest:
+    def test_tampered_flight_event_rejected(self, vault, rootkit_bundle):
+        tampered = copy.deepcopy(rootkit_bundle)
+        tampered["flight"]["events"][3]["attrs"] = {"forged": True}
+        with pytest.raises(IngestError) as excinfo:
+            vault.ingest(tampered)
+        assert excinfo.value.code == "hash-chain-broken"
+        assert_vault_unchanged(vault)
+        reject = vault.audit_entries()[-1]
+        assert reject["kind"] == "vault.reject"
+        assert reject["code"] == "hash-chain-broken"
+
+    def test_truncated_epoch_chain_rejected(self, vault, rootkit_bundle):
+        truncated = copy.deepcopy(rootkit_bundle)
+        del truncated["epoch_chain"][-1]
+        with pytest.raises(IngestError) as excinfo:
+            vault.ingest(truncated)
+        assert excinfo.value.code == "epoch-chain-truncated"
+        assert_vault_unchanged(vault)
+
+    def test_empty_epoch_chain_rejected(self, vault, rootkit_bundle):
+        gutted = copy.deepcopy(rootkit_bundle)
+        gutted["epoch_chain"] = []
+        with pytest.raises(IngestError) as excinfo:
+            vault.ingest(gutted)
+        assert excinfo.value.code == "epoch-chain-empty"
+        assert_vault_unchanged(vault)
+
+    def test_duplicate_case_rejected(self, vault, rootkit_bundle):
+        vault.ingest(rootkit_bundle)
+        with pytest.raises(DuplicateCaseError) as excinfo:
+            vault.ingest(copy.deepcopy(rootkit_bundle))
+        assert excinfo.value.code == "duplicate-case"
+        assert_vault_unchanged(vault, cases=1)
+        assert vault.stats()["rejects"] == 1
+
+    def test_wrong_schema_rejected(self, vault, rootkit_bundle):
+        wrong = copy.deepcopy(rootkit_bundle)
+        wrong["schema"] = "crimes-obs/1"
+        with pytest.raises(IngestError) as excinfo:
+            vault.ingest(wrong)
+        assert excinfo.value.code == "schema-mismatch"
+        assert_vault_unchanged(vault)
+
+    def test_fleet_export_head_mismatch_rejected(self, rootkit_crimes,
+                                                 overflow_crimes):
+        snapshots = [rootkit_crimes.observer.flight.snapshot(),
+                     overflow_crimes.observer.flight.snapshot()]
+        merged = merge_flight_snapshots(snapshots)
+        assert verify_fleet_export(merged)["ok"]
+        # Swap one tenant's declared head for the other's: each chain
+        # is individually intact, but the heads no longer belong.
+        forged = copy.deepcopy(merged)
+        names = sorted(forged["tenants"])
+        forged["tenants"][names[0]]["head_hash"] = \
+            merged["tenants"][names[1]]["head_hash"]
+        with pytest.raises(IngestError) as excinfo:
+            verify_fleet_export(forged)
+        assert excinfo.value.code == "fleet-chain-mismatch"
+        assert names[0] in str(excinfo.value)
+
+
+class TestAuditChain:
+    def test_chain_survives_reopen(self, tmp_path, rootkit_bundle,
+                                   overflow_bundle):
+        vault = CaseVault(tmp_path / "v")
+        vault.ingest(rootkit_bundle)
+        head = vault.stats()["audit_head"]
+        reopened = CaseVault(tmp_path / "v")
+        assert reopened.stats()["audit_head"] == head
+        reopened.ingest(overflow_bundle)
+        assert reopened.verify_audit() == {"ok": True, "checked": 2,
+                                           "error": None}
+
+    def test_tampered_audit_line_detected(self, vault, rootkit_bundle):
+        vault.ingest(rootkit_bundle)
+        entries = vault.audit_entries()
+        entries[0]["case_id"] = "case-0000000000000000"
+        with open(vault.audit_path, "w") as handle:
+            for entry in entries:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        verdict = vault.verify_audit()
+        assert not verdict["ok"]
+        assert "hash mismatch" in verdict["error"]
+
+    def test_dropped_audit_line_detected(self, vault, rootkit_bundle,
+                                         overflow_bundle):
+        vault.ingest(rootkit_bundle)
+        vault.ingest(overflow_bundle)
+        entries = vault.audit_entries()
+        with open(vault.audit_path, "w") as handle:
+            handle.write(json.dumps(entries[-1], sort_keys=True) + "\n")
+        verdict = vault.verify_audit()
+        assert not verdict["ok"]
+        assert "broken" in verdict["error"]
+
+    def test_tampered_dump_detected(self, vault, rootkit_bundle,
+                                    rootkit_dump):
+        case = vault.ingest(rootkit_bundle, dump=rootkit_dump)
+        path = os.path.join(vault.cases_dir, case["case_id"], "dump.pkl")
+        os.chmod(path, 0o644)
+        with open(path, "r+b") as handle:
+            handle.seek(100)
+            handle.write(b"\xff")
+        with pytest.raises(VaultIntegrityError):
+            vault.load_dump(case["case_id"])
+
+
+class TestQueries:
+    def test_cross_tenant_findings_causally_ordered(self, vault,
+                                                    rootkit_bundle,
+                                                    overflow_bundle):
+        vault.ingest(rootkit_bundle)
+        vault.ingest(overflow_bundle)
+        rows = vault.findings()
+        assert {row["tenant"] for row in rows} == {"tenant-rk",
+                                                   "tenant-ov"}
+        order = [(row["t_ms"], row["tenant"],
+                  1 if row["seq"] is None else 0, row["seq"] or 0)
+                 for row in rows]
+        assert order == sorted(order)
+
+    def test_module_filter_normalizes_underscores(self, vault,
+                                                  rootkit_bundle,
+                                                  overflow_bundle):
+        vault.ingest(rootkit_bundle)
+        vault.ingest(overflow_bundle)
+        rows = vault.findings(module="syscall_table")
+        assert rows == vault.findings(module="syscall-table")
+        assert rows
+        assert all(row["module"] == "syscall-table" for row in rows)
+        assert all(row["kind"] == "syscall-hijack" for row in rows)
+        assert all(row["tenant"] == "tenant-rk" for row in rows)
+
+    def test_since_and_tenant_filters(self, vault, rootkit_bundle,
+                                      overflow_bundle):
+        vault.ingest(rootkit_bundle)
+        vault.ingest(overflow_bundle)
+        rows = vault.findings(tenant="tenant-ov")
+        assert rows and all(row["tenant"] == "tenant-ov" for row in rows)
+        cutoff = rows[0]["t_ms"]
+        later = vault.findings(since=cutoff + 0.001)
+        assert all(row["t_ms"] > cutoff for row in later)
+        assert len(later) < len(vault.findings())
+
+    def test_missing_case_raises(self, vault):
+        with pytest.raises(CaseNotFoundError):
+            vault.case("case-feedfacefeedface")
