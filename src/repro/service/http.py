@@ -177,6 +177,11 @@ class CaseService:
             self._enqueued.inc()
             return 202, {"job_id": job_id, "case_id": body["case_id"]}
         if path == "/fleet":
+            if not isinstance(body, dict):
+                raise _RequestError(
+                    400, "bad-request",
+                    "POST /fleet needs a merged flight export object")
+            _check_rollup(body.get("registry_rollup"))
             verdict = verify_fleet_export(body)
             self._fleet_verified.inc()
             self.last_fleet_export = body
@@ -213,6 +218,54 @@ class CaseService:
         return text
 
 
+def _is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_rollup(rollup):
+    """Reject a ``registry_rollup`` that would not render as metrics.
+
+    :func:`~repro.service.ingest.verify_fleet_export` re-derives the
+    export's event chains but never looks at this side payload — a
+    malformed rollup stored alongside a verified export would otherwise
+    poison every later ``GET /metrics`` until the next export.
+    """
+    def bad(detail):
+        return _RequestError(400, "bad-request",
+                             "registry_rollup %s" % detail)
+
+    if rollup is None:
+        return
+    if not isinstance(rollup, dict):
+        raise bad("must be an object")
+    for kind in ("counters", "gauges"):
+        entries = rollup.get(kind, {})
+        if not isinstance(entries, dict):
+            raise bad("%s must be an object" % kind)
+        for name, entry in entries.items():
+            value = entry.get("value") if isinstance(entry, dict) else entry
+            if value is not None and not _is_number(value):
+                raise bad("%s[%r] carries a non-numeric value" % (kind, name))
+    histograms = rollup.get("histograms", {})
+    if not isinstance(histograms, dict):
+        raise bad("histograms must be an object")
+    for name, entry in histograms.items():
+        if not isinstance(entry, dict):
+            raise bad("histograms[%r] must be an object" % name)
+        buckets = entry.get("buckets", {})
+        if not isinstance(buckets, dict):
+            raise bad("histograms[%r].buckets must be an object" % name)
+        bounds = buckets.get("le", ())
+        counts = buckets.get("counts", ())
+        if not isinstance(bounds, (list, tuple)) \
+                or not isinstance(counts, (list, tuple)):
+            raise bad("histograms[%r] bucket arrays must be lists" % name)
+        samples = (list(bounds) + list(counts)
+                   + [entry.get("sum", 0.0), entry.get("count", 0)])
+        if not all(_is_number(sample) for sample in samples):
+            raise bad("histograms[%r] carries non-numeric samples" % name)
+
+
 def _make_handler(service):
     """Bind a handler class to one :class:`CaseService` instance."""
 
@@ -231,6 +284,8 @@ def _make_handler(service):
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            if self.close_connection:
+                self.send_header("Connection", "close")
             self.end_headers()
             self.wfile.write(body)
 
@@ -249,8 +304,23 @@ def _make_handler(service):
                             {"error": {"code": code, "message": message}})
 
         def _read_body(self):
-            length = int(self.headers.get("Content-Length") or 0)
+            raw_length = self.headers.get("Content-Length")
+            try:
+                length = int(raw_length or 0)
+            except ValueError:
+                self.close_connection = True
+                raise _RequestError(
+                    400, "bad-request",
+                    "Content-Length is not an integer: %r" % raw_length
+                ) from None
+            if length < 0:
+                self.close_connection = True
+                raise _RequestError(400, "bad-request",
+                                    "Content-Length must be >= 0")
             if length > MAX_BODY_BYTES:
+                # The body stays unread either way; close instead of
+                # leaving the keep-alive connection desynced.
+                self.close_connection = True
                 raise _RequestError(413, "bad-request",
                                     "body exceeds %d bytes" % MAX_BODY_BYTES)
             raw = self.rfile.read(length) if length else b""

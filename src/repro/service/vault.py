@@ -35,6 +35,7 @@ import hashlib
 import json
 import os
 import pickle
+import re
 import threading
 
 from repro.errors import (
@@ -52,6 +53,10 @@ CASE_SCHEMA = "crimes-case/1"
 
 #: The audit chain's genesis (an empty vault has this head).
 AUDIT_GENESIS = hashlib.sha256(b"crimes-case-vault-genesis").hexdigest()
+
+#: The only shape a case ID can have: ``case-`` + 16 hex chars of the
+#: flight chain head (:func:`~repro.service.ingest.case_id_for`).
+_CASE_ID_RE = re.compile(r"^case-[0-9a-f]{16}$")
 
 _canonical = json.JSONEncoder(sort_keys=True, separators=(",", ":")).encode
 
@@ -202,6 +207,11 @@ class CaseVault:
     # -- ingest ------------------------------------------------------------
 
     def _case_dir(self, case_id):
+        # Case IDs arrive off the wire (URL segments, job bodies); one
+        # that does not match the content-derived format must never
+        # reach os.path.join, or ``../`` walks out of the vault.
+        if not isinstance(case_id, str) or not _CASE_ID_RE.match(case_id):
+            raise CaseNotFoundError(case_id)
         return os.path.join(self.cases_dir, case_id)
 
     def ingest(self, bundle, dump=None, source="api"):
@@ -236,7 +246,9 @@ class CaseVault:
 
             dump_meta = None
             staging = case_dir + ".staging"
+            self._clear_staging(staging)  # stale leftover from a crash
             os.makedirs(staging)
+            committed = False
             try:
                 bundle_path = os.path.join(staging, "bundle.json")
                 with open(bundle_path, "w") as handle:
@@ -264,14 +276,15 @@ class CaseVault:
                 }
                 self._write_case_json(staging, case)
                 os.rename(staging, case_dir)
-            except OSError:
-                # Leave no half-written case behind; the staging dir is
-                # the only thing that can exist at this point.
-                for name in os.listdir(staging):
-                    os.chmod(os.path.join(staging, name), 0o644)
-                    os.remove(os.path.join(staging, name))
-                os.rmdir(staging)
-                raise
+                committed = True
+            finally:
+                # Leave no half-written case behind, whatever went
+                # wrong — OSError, a non-MemoryDump attachment
+                # (ServiceError), an unserializable field (TypeError).
+                # A surviving staging dir would block every future
+                # ingest of this case ID.
+                if not committed:
+                    self._clear_staging(staging)
             self._audit_append(
                 "vault.ingest", source=source, case_id=case_id,
                 tenant=bundle["tenant"], reason=bundle["reason"],
@@ -280,6 +293,16 @@ class CaseVault:
                 dump_sha256=dump_meta["sha256"] if dump_meta else None,
             )
             return case
+
+    def _clear_staging(self, staging):
+        """Remove a staging directory, tolerating read-only contents."""
+        if not os.path.isdir(staging):
+            return
+        for name in os.listdir(staging):
+            path = os.path.join(staging, name)
+            os.chmod(path, 0o644)
+            os.remove(path)
+        os.rmdir(staging)
 
     def _write_dump(self, case_dir, dump):
         """Persist a dump attachment; returns its metadata record."""
@@ -310,10 +333,15 @@ class CaseVault:
         }
 
     def _write_case_json(self, case_dir, case):
+        # Atomic replace: workers read case records without the vault
+        # lock, so a concurrent reader must see the old record or the
+        # new one — never a torn in-place write.
         path = os.path.join(case_dir, "case.json")
-        with open(path, "w") as handle:
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
             json.dump(case, handle, indent=2, sort_keys=True)
             handle.write("\n")
+        os.replace(tmp, path)
 
     # -- reading -----------------------------------------------------------
 
@@ -321,7 +349,7 @@ class CaseVault:
         """Stored case IDs, in ingest order."""
         cases = [self.case(case_id) for case_id in
                  sorted(os.listdir(self.cases_dir))
-                 if not case_id.endswith(".staging")]
+                 if _CASE_ID_RE.match(case_id)]
         cases.sort(key=lambda case: case["ingested_seq"])
         return [case["case_id"] for case in cases]
 

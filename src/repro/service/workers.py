@@ -132,7 +132,10 @@ class ForensicsWorkerQueue:
 
         The deadline is enforced by bounded condition waits, not by
         reading a clock — ``timeout_ms`` is an upper bound, not a
-        measurement.
+        measurement. Only waits that actually time out spend the
+        budget: workers notify after every job, and a wait cut short
+        by a completion (or a spurious wakeup) consumed almost none of
+        its tick.
         """
         tick_s = 0.05
         remaining = max(1, int(timeout_ms / (tick_s * 1000.0)))
@@ -143,8 +146,8 @@ class ForensicsWorkerQueue:
                         "worker queue failed to drain: %d queued, %d "
                         "active" % (len(self._jobs), self._active)
                     )
-                self._cond.wait(tick_s)
-                remaining -= 1
+                if not self._cond.wait(tick_s):
+                    remaining -= 1
         return {"completed": self.completed, "failed": self.failed}
 
     # -- the workers -------------------------------------------------------

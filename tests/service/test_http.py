@@ -1,6 +1,7 @@
 """HTTP control-plane tests against a real listener on an ephemeral port."""
 
 import copy
+import http.client
 import json
 import urllib.error
 import urllib.request
@@ -8,8 +9,11 @@ import urllib.request
 import pytest
 
 from repro.obs.exporters import parse_prometheus_text
-from repro.obs.fleet_merge import merge_flight_snapshots
-from repro.service.http import CaseService
+from repro.obs.fleet_merge import (
+    merge_flight_snapshots,
+    merge_registry_snapshots,
+)
+from repro.service.http import MAX_BODY_BYTES, CaseService
 from repro.service.ingest import case_id_for
 from repro.service.vault import CaseVault
 
@@ -80,6 +84,21 @@ class TestIngestRoutes:
         assert status == 404
         assert json.loads(body)["error"]["code"] == "not-found"
         assert get(service, "/cases/case-00000000/")[0] == 404
+
+    def test_traversal_case_ids_are_404(self, service, tmp_path):
+        # A case.json planted outside the vault must stay unreachable
+        # through `../` URL segments (and POST /jobs bodies).
+        outside = tmp_path / "loot"
+        outside.mkdir()
+        (outside / "case.json").write_text(json.dumps({"planted": True}))
+        (outside / "bundle.json").write_text(json.dumps({"planted": True}))
+        for path in ("/cases/../../loot", "/cases/../../loot/bundle",
+                     "/cases/../../../../etc/passwd"):
+            status, body = get(service, path)
+            assert status == 404, path
+            assert json.loads(body)["error"]["code"] == "not-found"
+        status, _ = post(service, "/jobs", {"case_id": "../../loot"})
+        assert status == 404
 
 
 class TestQueryRoutes:
@@ -193,6 +212,74 @@ class TestFleetRoute:
         status, body = post(service, "/fleet", merged)
         assert status == 400
         assert json.loads(body)["error"]["code"] == "fleet-chain-mismatch"
+
+    def test_malformed_rollup_rejected_before_storage(self, service,
+                                                      rootkit_crimes):
+        # verify_fleet_export only checks the event chains; a bad
+        # rollup stored alongside a valid export used to poison every
+        # later GET /metrics.
+        assert post(service, "/fleet", [1, 2, 3])[0] == 400
+        merged = merge_flight_snapshots(
+            [rootkit_crimes.observer.flight.snapshot()])
+        merged["registry_rollup"] = ["not", "a", "rollup"]
+        status, body = post(service, "/fleet", merged)
+        assert status == 400
+        assert json.loads(body)["error"]["code"] == "bad-request"
+        status, text = get(service, "/metrics")
+        assert status == 200
+        parsed = parse_prometheus_text(text)
+        assert not any(sample["name"].startswith("fleet_")
+                       for sample in parsed["samples"])
+
+    def test_valid_rollup_renders_on_metrics(self, service,
+                                             rootkit_crimes,
+                                             overflow_crimes):
+        merged = merge_flight_snapshots([
+            rootkit_crimes.observer.flight.snapshot(),
+            overflow_crimes.observer.flight.snapshot(),
+        ])
+        merged["registry_rollup"] = merge_registry_snapshots({
+            "tenant-rk": rootkit_crimes.observer.registry.snapshot(),
+            "tenant-ov": overflow_crimes.observer.registry.snapshot(),
+        })
+        assert merged["registry_rollup"]["counters"]
+        assert post(service, "/fleet", merged)[0] == 200
+        status, text = get(service, "/metrics")
+        assert status == 200
+        parsed = parse_prometheus_text(text)
+        assert any(sample["name"].startswith("fleet_")
+                   for sample in parsed["samples"])
+
+
+class TestRequestFraming:
+    def test_non_numeric_content_length_is_structured_400(self, service):
+        host, port = service.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.putrequest("POST", "/cases")
+            conn.putheader("Content-Length", "banana")
+            conn.endheaders()
+            resp = conn.getresponse()
+            assert resp.status == 400
+            error = json.loads(resp.read())["error"]
+            assert error["code"] == "bad-request"
+        finally:
+            conn.close()
+
+    def test_oversized_body_is_413_and_closes(self, service):
+        host, port = service.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.putrequest("POST", "/cases")
+            conn.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+            conn.endheaders()
+            resp = conn.getresponse()
+            assert resp.status == 413
+            # The unread body desyncs keep-alive; the server must not
+            # pretend the connection is reusable.
+            assert resp.getheader("Connection") == "close"
+        finally:
+            conn.close()
 
 
 class TestHealth:

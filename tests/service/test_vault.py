@@ -11,6 +11,7 @@ from repro.errors import (
     CaseNotFoundError,
     DuplicateCaseError,
     IngestError,
+    ServiceError,
     VaultIntegrityError,
 )
 from repro.obs.fleet_merge import merge_flight_snapshots
@@ -106,6 +107,37 @@ class TestAdversarialIngest:
             vault.ingest(wrong)
         assert excinfo.value.code == "schema-mismatch"
         assert_vault_unchanged(vault)
+
+    def test_traversal_case_id_never_touches_the_filesystem(
+            self, tmp_path, vault):
+        # Plant a readable case.json *outside* the vault root; a
+        # traversal ID that would resolve to it must 404 instead.
+        outside = tmp_path / "loot"
+        outside.mkdir()
+        (outside / "case.json").write_text(json.dumps({"planted": True}))
+        (outside / "bundle.json").write_text(json.dumps({"planted": True}))
+        for case_id in ("../../loot", "..\\..\\loot", "case-../../loot",
+                        "case-FEEDFACEFEEDFACE", "case-feedface", "",
+                        None, "cases/../../../loot"):
+            with pytest.raises(CaseNotFoundError):
+                vault.case(case_id)
+            with pytest.raises(CaseNotFoundError):
+                vault.bundle(case_id)
+            with pytest.raises(CaseNotFoundError):
+                vault.load_dump(case_id)
+        assert_vault_unchanged(vault)
+
+    def test_bad_dump_attachment_leaves_no_staging(self, vault,
+                                                   rootkit_bundle):
+        with pytest.raises(ServiceError):
+            vault.ingest(copy.deepcopy(rootkit_bundle),
+                         dump=object())  # not a MemoryDump
+        assert_vault_unchanged(vault)
+        # The rejection must not poison the case ID: a later ingest of
+        # the same (valid) evidence succeeds.
+        case = vault.ingest(rootkit_bundle)
+        assert case["case_id"] == case_id_for(rootkit_bundle)
+        assert_vault_unchanged(vault, cases=1)
 
     def test_fleet_export_head_mismatch_rejected(self, rootkit_crimes,
                                                  overflow_crimes):

@@ -60,6 +60,23 @@ class TestJobs:
         assert report["triage"]["reason"] == "audit-failed"
         assert report["triage"]["detection_findings"] >= 1
 
+    def test_drain_budget_not_spent_by_completions(self, tmp_path,
+                                                   rootkit_bundle):
+        # Workers notify after every job; only waits that actually time
+        # out may count against drain's tick budget. With more jobs
+        # than ticks, a drain that charged a tick per wakeup would
+        # raise "failed to drain" long before any real deadline.
+        vault = CaseVault(tmp_path / "v")
+        case = vault.ingest(rootkit_bundle)
+        queue = ForensicsWorkerQueue(vault, workers=2).start()
+        try:
+            for _ in range(80):
+                queue.enqueue(case["case_id"])
+            result = queue.drain(timeout_ms=3000)  # 60 ticks < 80 jobs
+        finally:
+            queue.stop()
+        assert result == {"completed": 80, "failed": 0}
+
     def test_unknown_case_fails_fast(self, tmp_path):
         vault = CaseVault(tmp_path / "v")
         queue = ForensicsWorkerQueue(vault, workers=1)
