@@ -1,0 +1,202 @@
+"""Wall-clock and dedup benchmarks for the content-addressed page store.
+
+Two claims back the store PR and both are measured here, against the
+flat (PR 2 delta-history) substrate as the baseline:
+
+* **Dedup**: a fleet of same-image tenants sharing one ``PageStore``
+  must hold far fewer resident bytes than the sum of its logical
+  checkpoint bytes. The acceptance floor is >= 3x on the default
+  64-tenant fleet (in practice identical images dedup much harder —
+  the floor is deliberately conservative so CI noise cannot flake it).
+* **No regression**: commit and rollback through the store must stay
+  within 20% of the flat substrate's wall time at the default 64 MiB
+  guest (the store swaps refcounted keys where the flat path swaps
+  byte buffers — same shape, so parity is the expectation, and the
+  1.2x ceiling catches an accidental O(frames) reintroduction).
+
+Results land in ``BENCH_checkpoint_store.json`` (schema
+``crimes-obs/1``). Thresholds are asserted only at full scale; set
+``CRIMES_PERF_FRAMES`` / ``CRIMES_PERF_TENANTS`` to scale down for a
+quick CI smoke run.
+"""
+
+import os
+import random
+import time
+
+from repro.checkpoint.checkpointer import Checkpointer
+from repro.checkpoint.store import PageStore
+from repro.core.cloud import CloudHost
+from repro.core.config import CrimesConfig
+from repro.guest.linux import LinuxGuest
+from repro.guest.memory import PAGE_SIZE
+from repro.hypervisor.xen import Hypervisor
+from repro.workloads.kvstore import KeyValueStoreProgram
+
+DEFAULT_FRAMES = 16384  # 64 MiB of simulated RAM at 4 KiB pages
+FRAMES = int(os.environ.get("CRIMES_PERF_FRAMES", DEFAULT_FRAMES))
+DEFAULT_TENANTS = 64
+TENANTS = int(os.environ.get("CRIMES_PERF_TENANTS", DEFAULT_TENANTS))
+FULL_SCALE = FRAMES >= DEFAULT_FRAMES and TENANTS >= DEFAULT_TENANTS
+RAM_BYTES = FRAMES * PAGE_SIZE
+EPOCH_DIRTY = max(4, FRAMES // 50)  # ~2% dirtied per epoch
+HISTORY_CAPACITY = 8
+EPOCHS = 4
+REPEATS = 3
+MIB = 1024 * 1024
+
+THRESHOLDS = {
+    "fleet_dedup_ratio": 3.0,     # floor: resident vs logical bytes
+    "commit_with_history": 1.2,   # ceiling: store_ms / flat_ms
+    "rollback": 1.2,              # ceiling: store_ms / flat_ms
+}
+
+
+def _make_checkpointer(store=None, seed=11):
+    vm = LinuxGuest(name="perf-store", memory_bytes=RAM_BYTES, seed=seed)
+    domain = Hypervisor(clock=vm.clock).create_domain(vm)
+    checkpointer = Checkpointer(domain, history_capacity=HISTORY_CAPACITY,
+                                store=store)
+    checkpointer.start()
+    return checkpointer
+
+
+def _epoch_samples(count=EPOCHS, size=EPOCH_DIRTY, seed=5):
+    rng = random.Random(seed)
+    return [rng.sample(range(FRAMES), size) for _ in range(count)]
+
+
+def _dirty(vm, pfns):
+    for pfn in pfns:
+        vm.memory.touch_frame(pfn)
+
+
+def _ratio_case(flat_ms, store_ms, detail):
+    return {
+        "flat_ms": flat_ms,
+        "store_ms": store_ms,
+        "ratio": store_ms / flat_ms if flat_ms else float("inf"),
+        "detail": detail,
+    }
+
+
+def _bench_commit_with_history(samples):
+    """commit() alone, both backends, capacity-%d history recording."""
+    results = {}
+    for key in ("store", "flat"):
+        best = float("inf")
+        for _ in range(REPEATS):
+            store = PageStore() if key == "store" else None
+            checkpointer = _make_checkpointer(store=store)
+            for pfns in samples:
+                _dirty(checkpointer.domain.vm, pfns)
+                checkpointer.run_checkpoint(interval_ms=25.0)
+                start = time.perf_counter()
+                checkpointer.commit()
+                best = min(best, time.perf_counter() - start)
+        results[key] = best * 1000.0
+    return _ratio_case(results["flat"], results["store"],
+                       "commit() with capacity-%d history, %d dirty frames"
+                       % (HISTORY_CAPACITY, EPOCH_DIRTY))
+
+
+def _bench_rollback(samples):
+    """rollback() after an aborted epoch plus live dirt, both backends."""
+    results = {}
+    split = EPOCH_DIRTY // 2
+    for key in ("store", "flat"):
+        best = float("inf")
+        store = PageStore() if key == "store" else None
+        checkpointer = _make_checkpointer(store=store)
+        vm = checkpointer.domain.vm
+        _dirty(vm, samples[0])
+        checkpointer.run_checkpoint(interval_ms=25.0)
+        checkpointer.commit()
+        reference = bytes(vm.memory.view())
+        for _ in range(REPEATS):
+            _dirty(vm, samples[1][:split])
+            checkpointer.run_checkpoint(interval_ms=25.0)
+            checkpointer.abort()
+            _dirty(vm, samples[1][split:])
+            start = time.perf_counter()
+            checkpointer.rollback()
+            best = min(best, time.perf_counter() - start)
+            assert bytes(vm.memory.view()) == reference
+        results[key] = best * 1000.0
+    return _ratio_case(results["flat"], results["store"],
+                       "restore after one aborted epoch + %d live dirty "
+                       "frames" % (EPOCH_DIRTY - split))
+
+
+def _bench_fleet_dedup():
+    """A same-image fleet on one shared store: resident vs logical."""
+    store = PageStore()
+    host = CloudHost(name="dedup-fleet", store=store)
+    for index in range(TENANTS):
+        # Same seed everywhere: the fleet boots one golden image, the
+        # dedup case the store exists for. (Names must differ — they
+        # key the host's tenant table — and name-derived image bytes
+        # are a few pages per guest, which the conservative 3x floor
+        # already absorbs.)
+        vm = LinuxGuest(name="tenant-%03d" % index, memory_bytes=2 * MIB,
+                        seed=1234)
+        config = CrimesConfig(epoch_interval_ms=20.0, seed=1234)
+        host.admit(vm, config, programs=[KeyValueStoreProgram(seed=1234)])
+    start = time.perf_counter()
+    host.run(2)
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    stats = store.stats()
+    logical_bytes = stats["logical_pages"] * PAGE_SIZE
+    resident = max(stats["resident_bytes"], 1)
+    return {
+        "tenants": TENANTS,
+        "guest_mib": 2,
+        "run_ms": elapsed_ms,
+        "logical_mib": logical_bytes / MIB,
+        "resident_mib": stats["resident_bytes"] / MIB,
+        "unique_pages": stats["unique_pages"],
+        "dedup_ratio": logical_bytes / resident,
+        "detail": "%d same-image 2 MiB tenants, 2 rounds, shared store"
+                  % TENANTS,
+    }
+
+
+def test_checkpoint_store(record_bench):
+    samples = _epoch_samples()
+    cases = {
+        "commit_with_history": _bench_commit_with_history(samples),
+        "rollback": _bench_rollback(samples),
+        "fleet_dedup": _bench_fleet_dedup(),
+    }
+
+    path = record_bench("checkpoint_store", extra={
+        "description": "content-addressed page store: cross-tenant dedup "
+                       "and store-vs-flat commit/rollback wall time",
+        "frames": FRAMES,
+        "ram_mib": RAM_BYTES // MIB,
+        "tenants": TENANTS,
+        "full_scale": FULL_SCALE,
+        "thresholds": THRESHOLDS,
+        "cases": cases,
+    })
+    assert os.path.exists(path)
+
+    for name in ("commit_with_history", "rollback"):
+        case = cases[name]
+        print("%-22s flat %8.3f ms  store %8.3f ms  ratio %5.2fx"
+              % (name, case["flat_ms"], case["store_ms"], case["ratio"]))
+    fleet = cases["fleet_dedup"]
+    print("fleet_dedup            %6.2f MiB resident for %8.2f MiB "
+          "logical  (%5.1fx, %d tenants)"
+          % (fleet["resident_mib"], fleet["logical_mib"],
+             fleet["dedup_ratio"], fleet["tenants"]))
+
+    assert fleet["dedup_ratio"] >= THRESHOLDS["fleet_dedup_ratio"] or \
+        not FULL_SCALE, (
+        "fleet dedup %.2fx < required %.1fx"
+        % (fleet["dedup_ratio"], THRESHOLDS["fleet_dedup_ratio"]))
+    if FULL_SCALE:
+        for name in ("commit_with_history", "rollback"):
+            assert cases[name]["ratio"] <= THRESHOLDS[name], (
+                "%s: store path %.2fx of flat, ceiling %.1fx"
+                % (name, cases[name]["ratio"], THRESHOLDS[name]))

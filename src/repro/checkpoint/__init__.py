@@ -13,7 +13,12 @@ from repro.checkpoint.checkpointer import (
     CheckpointReport,
     CopyFidelity,
 )
-from repro.checkpoint.snapshot import Checkpoint, CheckpointHistory
+from repro.checkpoint.snapshot import (
+    Checkpoint,
+    CheckpointHistory,
+    StoreBackedHistory,
+)
+from repro.checkpoint.store import PageStore
 
 __all__ = [
     "CheckpointCostModel",
@@ -23,4 +28,6 @@ __all__ = [
     "CopyFidelity",
     "Checkpoint",
     "CheckpointHistory",
+    "StoreBackedHistory",
+    "PageStore",
 ]

@@ -23,14 +23,14 @@ try:  # optional accelerator: the container may not ship numpy
 except ImportError:  # pragma: no cover
     _np = None
 
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, StoreIOError
 from repro.faults.planes import FaultPlane
 from repro.checkpoint.costmodel import (
     CheckpointCostModel,
     NOMINAL_FRAME_COUNT,
     OptimizationLevel,
 )
-from repro.checkpoint.snapshot import CheckpointHistory
+from repro.checkpoint.snapshot import CheckpointHistory, StoreBackedHistory
 from repro.guest.memory import PAGE_SIZE
 from repro.guest.vm import GuestSnapshot
 from repro.sim.clone import freeze_state, thaw_state
@@ -96,7 +96,8 @@ class Checkpointer:
     def __init__(self, domain, level=OptimizationLevel.FULL, cost_model=None,
                  fidelity=CopyFidelity.FULL, remote=False,
                  nominal_frames=NOMINAL_FRAME_COUNT, history_capacity=0,
-                 registry=None, flight=None, injector=None):
+                 registry=None, flight=None, injector=None, store=None,
+                 owner=None):
         self.domain = domain
         self._flight = flight
         self._injector = injector
@@ -106,7 +107,17 @@ class Checkpointer:
         self.remote = remote
         self.nominal_frames = max(nominal_frames, domain.vm.memory.frame_count)
         self.mapping = domain.new_mapping_table()
-        self.history = CheckpointHistory(history_capacity)
+        #: Optional content-addressed page store (usually shared by every
+        #: tenant on a CloudHost). When set, the backup and the delta
+        #: ring hold refcounted page keys instead of flat byte copies —
+        #: same semantics, deduped bytes.
+        self.store = store
+        self.owner = owner if owner is not None else domain.vm.name
+        if store is not None and history_capacity:
+            self.history = StoreBackedHistory(history_capacity, store=store,
+                                              owner=self.owner)
+        else:
+            self.history = CheckpointHistory(history_capacity)
         self._registry = registry
         if registry is not None:
             from repro.obs.registry import DEFAULT_COUNT_BUCKETS
@@ -143,6 +154,9 @@ class Checkpointer:
         self.last_sync_backoff_ms = 0.0
 
         self._backup_image = None
+        #: Store mode: pfn -> page key for the whole backup (one held
+        #: reference per frame); the flat ``_backup_image`` stays None.
+        self._backup_keys = None
         # The backup's guest state, kept *frozen* (a pickle blob): it is
         # only thawed on the rare paths that need a live object —
         # rollback, forensic snapshots, the delta history.
@@ -176,12 +190,32 @@ class Checkpointer:
             self.mapping.map_all()
             self.init_cost_ms += self.costs.premap_init_ms(self.nominal_frames)
         if self.fidelity is CopyFidelity.FULL:
-            self._backup_image = bytearray(vm.memory.view())
+            view = vm.memory.view()
+            if self.store is not None:
+                # Content-addressed backup: one key per frame, no flat
+                # copy at all — §2's 2x-memory cost becomes the store's
+                # deduped (and budgeted) resident set. No injector here:
+                # fault planes arm per epoch, and no epoch exists yet.
+                try:
+                    self._backup_keys = [
+                        key for _pfn, key in self.store.ingest_frames(
+                            view, range(vm.memory.frame_count), self.owner)
+                    ]
+                finally:
+                    view.release()
+                if self.history.capacity:
+                    # The ring's base holds its own reference per frame.
+                    for key in self._backup_keys:
+                        self.store.retain(key, self.owner)
+                    self.history.set_base_keys(list(self._backup_keys))
+            else:
+                self._backup_image = bytearray(view)
+                if self.history.capacity:
+                    # Seed the delta chain; every later commit records
+                    # O(dirty).
+                    self.history.set_base(self._backup_image)
             self._backup_state = freeze_state(vm.state_dict())
             self._backup_taken_at = vm.clock.now
-            if self.history.capacity:
-                # Seed the delta chain; every later commit records O(dirty).
-                self.history.set_base(self._backup_image)
             # Initial full synchronization is a whole-VM copy.
             self.init_cost_ms += self.costs.copy_ms(
                 vm.memory.frame_count, self.level, remote=self.remote
@@ -266,6 +300,7 @@ class Checkpointer:
             self.mapping.map_pages(dirty_pfns)
         staged_pfns = None
         staged_view = None
+        staged_keys = None
         if self.fidelity is CopyFidelity.FULL:
             # Fused harvest+stage: the harvest already walked the bitmap
             # once and produced the sorted dirty-frame list, so staging
@@ -280,12 +315,16 @@ class Checkpointer:
                 staged_pfns = list(dirty_pfns)
             staged_view = self.domain.vm.memory.view()
             total_dirty = len(staged_pfns) + synthetic_dirty
+            if self.store is not None:
+                staged_keys = self._stage_into_store(
+                    staged_pfns, staged_view, held, phase_ms)
         if not self.level.use_premap:
             self.mapping.unmap_pages(dirty_pfns)
 
         self._pending = {
             "pfns": staged_pfns,
             "view": staged_view,
+            "keys": staged_keys,
             "state": freeze_state(self.domain.vm.state_dict())
             if self.fidelity is CopyFidelity.FULL
             else None,
@@ -306,6 +345,36 @@ class Checkpointer:
         return CheckpointReport(
             self.epoch, len(dirty_pfns), synthetic_dirty, phase_ms, stats
         )
+
+    def _stage_into_store(self, pfns, view, held, phase_ms):
+        """Hash the staged frames into the shared store (one ref each).
+
+        Backoff charged by a faulted spill op lands on the ``copy``
+        phase. A :class:`StoreIOError` (the disk tier failed dedup
+        verification) aborts the stage exactly like an exhausted
+        CHECKPOINT_COPY retry: the harvested frames are remembered for
+        rollback's diff, every reference this stage (and a held
+        predecessor) took is released, and the error escalates to the
+        epoch loop's synchronous-rollback path.
+        """
+        store = self.store
+        try:
+            keys = store.ingest_frames(view, pfns, self.owner,
+                                       injector=self._injector)
+        except StoreIOError:
+            self._dirty_since_backup.update(pfns)
+            if held is not None and held.get("keys"):
+                store.release_many(
+                    [key for _pfn, key in held["keys"]], self.owner)
+            raise
+        finally:
+            phase_ms["copy"] += store.take_backoff_ms()
+        if held is not None and held.get("keys"):
+            # The merged restage re-hashed the pfn union at current
+            # contents; the held epoch's references are superseded.
+            store.release_many(
+                [key for _pfn, key in held["keys"]], self.owner)
+        return keys
 
     def commit(self):
         """Advance the backup to the just-audited state (audit passed).
@@ -354,26 +423,58 @@ class Checkpointer:
         if self.fidelity is CopyFidelity.FULL:
             pfns = pending["pfns"]
             view = pending["view"]
-            self._propagate_pages(pfns, view)
             self._backup_state = pending["state"]
             self._backup_taken_at = pending["taken_at"]
+            if self.store is not None:
+                self._commit_store(pending)
+            else:
+                self._propagate_pages(pfns, view)
+                if self.history.capacity:
+                    # O(dirty) delta record — the full image is
+                    # reconstructed lazily if forensics ever reads it.
+                    self.history.record_delta(
+                        epoch=self.epoch,
+                        taken_at=pending["taken_at"],
+                        deltas=((pfn,
+                                 view[pfn * PAGE_SIZE:(pfn + 1) * PAGE_SIZE])
+                                for pfn in pfns),
+                        guest_state=thaw_state(self._backup_state),
+                        dirty_pages=pending["dirty"],
+                        label="epoch-%d" % self.epoch,
+                    )
             # The staged frames now match the backup again; anything
             # re-dirtied after staging is still in the live bitmap.
             if self._dirty_since_backup:
                 self._dirty_since_backup.difference_update(pfns)
-            if self.history.capacity:
-                # O(dirty) delta record — the full image is reconstructed
-                # lazily if forensics ever reads it.
-                self.history.record_delta(
-                    epoch=self.epoch,
-                    taken_at=pending["taken_at"],
-                    deltas=((pfn, view[pfn * PAGE_SIZE:(pfn + 1) * PAGE_SIZE])
-                            for pfn in pfns),
-                    guest_state=thaw_state(self._backup_state),
-                    dirty_pages=pending["dirty"],
-                    label="epoch-%d" % self.epoch,
-                )
         return sync
+
+    def _commit_store(self, pending):
+        """Advance the content-addressed backup map to the staged epoch.
+
+        The backup retains each staged page and drops the page it
+        supersedes; the delta ring then absorbs the staging references
+        themselves — a fault-free commit moves keys, never page bytes.
+        """
+        store = self.store
+        keys = pending["keys"]
+        backup_keys = self._backup_keys
+        for pfn, key in keys:
+            store.retain(key, self.owner)
+            superseded = backup_keys[pfn]
+            backup_keys[pfn] = key
+            store.release(superseded, self.owner)
+        if self.history.capacity:
+            self.history.record_delta_keys(
+                epoch=self.epoch,
+                taken_at=pending["taken_at"],
+                delta_keys=keys,
+                guest_state=thaw_state(self._backup_state),
+                dirty_pages=pending["dirty"],
+                label="epoch-%d" % self.epoch,
+            )
+        else:
+            store.release_many([key for _pfn, key in keys], self.owner)
+        pending["keys"] = None
 
     def _propagate_pages(self, pfns, view):
         """Scatter the staged frames into the backup image.
@@ -411,6 +512,7 @@ class Checkpointer:
                 # Those frames were harvested out of the bitmap but never
                 # reached the backup: remember them for rollback's diff.
                 self._dirty_since_backup.update(staged)
+        self.release_staged_refs()
         self._pending = None
         self._pending_held = False
 
@@ -420,8 +522,12 @@ class Checkpointer:
         """The backup as a :class:`GuestSnapshot` (for dumps/forensics)."""
         if self.fidelity is not CopyFidelity.FULL:
             raise CheckpointError("no backup image in ACCOUNTING fidelity")
+        if self.store is not None:
+            image = self.store.materialize(self._backup_keys)
+        else:
+            image = bytes(self._backup_image)
         return GuestSnapshot(
-            memory_image=bytes(self._backup_image),
+            memory_image=image,
             state=thaw_state(self._backup_state),
             taken_at=self._backup_taken_at,
         )
@@ -465,33 +571,55 @@ class Checkpointer:
         # restore would copy; also what the cost model prices).
         differing = 0
         ram_view = memory.view()
-        backup_view = memoryview(self._backup_image)
         try:
-            if _np is not None and len(candidates) >= _VECTOR_MIN_FRAMES:
-                # Vectorized diff: compare all candidate rows at once,
-                # then restore only the frames that actually changed.
-                # (The numpy views live inside the helper so the buffer
-                # exports are gone before the views are released below.)
-                for pfn in _diff_frames(candidates, ram_view, backup_view):
-                    differing += 1
-                    start = pfn * PAGE_SIZE
-                    memory.write_frame(
-                        pfn, backup_view[start : start + PAGE_SIZE],
-                        notify=False,
-                    )
-            else:
+            if self.store is not None:
+                # Store-backed: the backup is a per-frame key map; read
+                # each candidate's clean page out of the store. No LRU
+                # promotion and no fault probes — rollback *is* the
+                # escalation path, so the seam it recovers from must not
+                # be able to block it.
+                store = self.store
+                backup_keys = self._backup_keys
                 for pfn in candidates:
                     start = pfn * PAGE_SIZE
-                    end = start + PAGE_SIZE
-                    backup_page = backup_view[start:end]
-                    if ram_view[start:end] != backup_page:
+                    backup_page = store.get(backup_keys[pfn], promote=False)
+                    if ram_view[start:start + PAGE_SIZE] != backup_page:
                         differing += 1
                         memory.write_frame(pfn, backup_page, notify=False)
+            else:
+                backup_view = memoryview(self._backup_image)
+                try:
+                    if _np is not None and len(candidates) >= \
+                            _VECTOR_MIN_FRAMES:
+                        # Vectorized diff: compare all candidate rows at
+                        # once, then restore only the frames that actually
+                        # changed. (The numpy views live inside the helper
+                        # so the buffer exports are gone before the views
+                        # are released below.)
+                        for pfn in _diff_frames(candidates, ram_view,
+                                                backup_view):
+                            differing += 1
+                            start = pfn * PAGE_SIZE
+                            memory.write_frame(
+                                pfn, backup_view[start : start + PAGE_SIZE],
+                                notify=False,
+                            )
+                    else:
+                        for pfn in candidates:
+                            start = pfn * PAGE_SIZE
+                            end = start + PAGE_SIZE
+                            backup_page = backup_view[start:end]
+                            if ram_view[start:end] != backup_page:
+                                differing += 1
+                                memory.write_frame(pfn, backup_page,
+                                                   notify=False)
+                finally:
+                    backup_view.release()
         finally:
             ram_view.release()
-            backup_view.release()
         vm.load_state_dict(thaw_state(self._backup_state))
         self.domain.dirty_bitmap.clear()
+        self.release_staged_refs()
         self._pending = None
         self._pending_held = False
         self._dirty_since_backup = set()
@@ -505,6 +633,61 @@ class Checkpointer:
     @property
     def backup_taken_at(self):
         return self._backup_taken_at
+
+    # -- store reference lifecycle ------------------------------------------
+
+    def release_staged_refs(self):
+        """Drop the store references held by a staged, uncommitted epoch.
+
+        Idempotent — abort, rollback, quarantine and eviction can race
+        to clean up the same staged epoch; the references drop once.
+        """
+        if self.store is None or self._pending is None:
+            return
+        keys = self._pending.get("keys")
+        if keys:
+            self.store.release_many(
+                [key for _pfn, key in keys], self.owner)
+            self._pending["keys"] = None
+
+    def release_store_refs(self):
+        """Return every store reference this tenant holds (eviction path).
+
+        Order matters for another tenant's safety not at all — the
+        store refcounts — but releasing staged refs first keeps the
+        debug counters monotone: backup, ring base and deltas follow.
+        """
+        if self.store is None:
+            return
+        self.release_staged_refs()
+        if isinstance(self.history, StoreBackedHistory):
+            self.history.release_all()
+        if self._backup_keys is not None:
+            self.store.release_many(self._backup_keys, self.owner)
+            self._backup_keys = None
+
+    # -- accounting ----------------------------------------------------------
+
+    def retained_bytes(self):
+        """Bytes the checkpoint tier actually retains for this tenant.
+
+        The single accounting definition ``memory_overhead_bytes()`` is
+        built on: ACCOUNTING fidelity retains nothing (there is no
+        backup image to count); a flat FULL tenant retains its backup
+        image plus whatever its private delta ring holds; a store-backed
+        tenant's pages live in the host's shared store and are counted
+        (deduped) there — reporting 0 here avoids double counting.
+        """
+        if self.fidelity is not CopyFidelity.FULL:
+            return 0
+        if self.store is not None:
+            return 0
+        if self._backup_image is None:
+            return 0
+        retained = len(self._backup_image)
+        if self.history.capacity:
+            retained += self.history.retained_bytes()
+        return retained
 
     def history_stats(self):
         """Plain-data checkpoint-history state (for incident bundles)."""

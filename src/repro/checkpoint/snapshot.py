@@ -17,7 +17,7 @@ O(dirty) as well, so a full ring advances without ever copying RAM.
 
 from collections import deque
 
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, StoreError
 from repro.guest.memory import PAGE_SIZE
 
 
@@ -204,5 +204,175 @@ class CheckpointHistory:
             len(entry[1]) for entry in self._entries if entry[1] is not None
         )
 
+    def retained_bytes(self):
+        """Private bytes the ring holds: base image + deltas + full records.
+
+        Part of the single checkpoint-tier accounting definition: this
+        is what the ring *itself* keeps resident, so a host can sum it
+        with the backup images. (The store-backed subclass reports 0 —
+        its pages live in the shared store and are attributed there.)
+        """
+        total = len(self._base_image) if self._base_image is not None else 0
+        total += self.delta_pages_retained() * PAGE_SIZE
+        for checkpoint, deltas in self._entries:
+            if deltas is None and checkpoint.materialized:
+                total += checkpoint.size_bytes
+        return total
+
     def __len__(self):
         return len(self._entries)
+
+
+class StoreBackedHistory(CheckpointHistory):
+    """A delta ring whose pages live in a content-addressed store.
+
+    Same shape as the parent — bounded ring, O(dirty) records, lazy
+    materialization, fold-on-evict — but the base image and every delta
+    hold *refcounted keys* into a shared
+    :class:`~repro.checkpoint.store.PageStore` instead of private byte
+    copies, so identical pages dedup across epochs and across every
+    tenant on the host. Reference discipline: :meth:`set_base_keys` and
+    :meth:`record_delta_keys` absorb one reference per key from the
+    caller; folding an evicted delta transfers its reference into the
+    base (releasing the superseded base page); :meth:`release_all`
+    returns everything on tenant eviction.
+    """
+
+    def __init__(self, capacity, store, owner):
+        super().__init__(capacity)
+        self._store = store
+        self._owner = owner
+        self._base_keys = None
+
+    # -- recording ---------------------------------------------------------
+
+    def set_base(self, image):
+        raise StoreError(
+            "a store-backed history takes page keys, not images; use "
+            "set_base_keys()"
+        )
+
+    def set_base_keys(self, keys):
+        """Seed the chain with per-frame store keys (refs absorbed)."""
+        self._base_keys = list(keys)
+
+    def record_delta(self, epoch, taken_at, deltas, guest_state,
+                     dirty_pages=0, label=""):
+        raise StoreError(
+            "a store-backed history takes page keys, not page bytes; use "
+            "record_delta_keys()"
+        )
+
+    def record_delta_keys(self, epoch, taken_at, delta_keys, guest_state,
+                          dirty_pages=0, label=""):
+        """Record one committed epoch as ``[(pfn, key), ...]``.
+
+        The caller's staging references are absorbed — on any return
+        path (including capacity 0, where they are released outright)
+        the caller no longer holds them.
+        """
+        delta_keys = list(delta_keys)
+        if self.capacity == 0:
+            self._store.release_many(
+                [key for _pfn, key in delta_keys], self._owner)
+            return None
+        if self._base_keys is None and not self._entries:
+            raise CheckpointError(
+                "delta history has no base; call set_base_keys() first"
+            )
+        checkpoint = Checkpoint(
+            epoch=epoch,
+            taken_at=taken_at,
+            memory_image=None,
+            guest_state=guest_state,
+            dirty_pages=dirty_pages,
+            label=label,
+            resolver=self._materialize,
+        )
+        self._append([checkpoint, delta_keys])
+        return checkpoint
+
+    def _evict(self):
+        """Fold the oldest entry's keys into the base (refs transfer)."""
+        checkpoint, deltas = self._entries.popleft()
+        store = self._store
+        if deltas is None:
+            # A full record becomes the new base: ingest its image (the
+            # pages are almost certainly dedup hits) and return every
+            # old base reference.
+            image = checkpoint.memory_image
+            new_keys = [
+                key for _pfn, key in store.ingest_frames(
+                    memoryview(image), range(len(image) // PAGE_SIZE),
+                    self._owner)
+            ]
+            if self._base_keys is not None:
+                store.release_many(self._base_keys, self._owner)
+            self._base_keys = new_keys
+        elif self._base_keys is not None:
+            base = self._base_keys
+            for pfn, key in deltas:
+                superseded = base[pfn]
+                base[pfn] = key
+                store.release(superseded, self._owner)
+        if not checkpoint.materialized:
+            checkpoint._resolver = _evicted_resolver
+
+    # -- reconstruction ----------------------------------------------------
+
+    def _materialize(self, checkpoint):
+        """Rebuild one entry's image: nearest snapshot + store reads."""
+        entries = list(self._entries)
+        target = None
+        for index, (candidate, _deltas) in enumerate(entries):
+            if candidate is checkpoint:
+                target = index
+                break
+        if target is None:
+            raise CheckpointError(
+                "checkpoint %r is no longer in the history" % (checkpoint,)
+            )
+        start = -1
+        image = None
+        for index in range(target, -1, -1):
+            candidate, _deltas = entries[index]
+            if candidate.materialized:
+                image = bytearray(candidate.memory_image)
+                start = index
+                break
+        store = self._store
+        if image is None:
+            if self._base_keys is None:
+                raise CheckpointError(
+                    "history has no base image to reconstruct from"
+                )
+            image = bytearray(store.materialize(self._base_keys))
+        for index in range(start + 1, target + 1):
+            _candidate, deltas = entries[index]
+            if deltas is None:
+                continue
+            for pfn, key in deltas:
+                offset = pfn * PAGE_SIZE
+                image[offset:offset + PAGE_SIZE] = store.get(
+                    key, promote=False)
+        return bytes(image)
+
+    # -- accounting / teardown ---------------------------------------------
+
+    def retained_bytes(self):
+        """0 by definition: the pages live in the shared store."""
+        return 0
+
+    def release_all(self):
+        """Return every reference the ring holds (tenant eviction)."""
+        store = self._store
+        while self._entries:
+            checkpoint, deltas = self._entries.popleft()
+            if deltas is not None:
+                store.release_many(
+                    [key for _pfn, key in deltas], self._owner)
+            if not checkpoint.materialized:
+                checkpoint._resolver = _evicted_resolver
+        if self._base_keys is not None:
+            store.release_many(self._base_keys, self._owner)
+            self._base_keys = None

@@ -499,10 +499,18 @@ def _cmd_fleet(args):
     on a serial ``CloudHost`` and verifies the sharded digests — virtual
     clocks, epoch counts, incident/quarantine state and flight-journal
     hash-chain heads — match exactly (non-zero exit on mismatch).
-    ``--out`` writes the rollup + digests as a JSON artifact.
+    ``--store`` backs every shard's checkpoints with a content-addressed
+    page store (dedup across tenants and epochs; ``--store-budget-mb``
+    caps the resident set, spilling cold pages to a temp dir), and the
+    equivalence host gets its own store so the check also pins
+    flat-vs-deduped agreement. ``--out`` writes the rollup + digests as
+    a JSON artifact.
     """
+    import contextlib
     import json
+    import tempfile
 
+    from repro.checkpoint.store import PageStore
     from repro.core.cloud import CloudHost
     from repro.core.fleet import FleetScheduler, default_tenant_spec
 
@@ -519,8 +527,17 @@ def _cmd_fleet(args):
 
     budget = (args.budget_mb * 1024 * 1024
               if args.budget_mb is not None else None)
-    with FleetScheduler(workers=args.workers, backend=args.fleet_backend,
-                        memory_budget_bytes=budget) as fleet:
+    store_budget = (int(args.store_budget_mb * 1024 * 1024)
+                    if args.store_budget_mb is not None else None)
+    with contextlib.ExitStack() as stack:
+        spill_dir = None
+        if args.store and store_budget is not None:
+            spill_dir = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="crimes-store-"))
+        fleet = stack.enter_context(FleetScheduler(
+            workers=args.workers, backend=args.fleet_backend,
+            memory_budget_bytes=budget, store=args.store,
+            store_budget_bytes=store_budget, store_spill_dir=spill_dir))
         admitted = 0
         for spec in specs():
             if fleet.admit(spec).admitted:
@@ -543,13 +560,23 @@ def _cmd_fleet(args):
     if pause["count"]:
         lines.append("round pause: %d samples, mean %.2f ms, p99 %.2f ms"
                      % (pause["count"], pause["mean"], pause["p99"]))
+    if rollup.get("store"):
+        st = rollup["store"]
+        lines.append(
+            "page store: %.2f MiB resident for %.2f MiB logical "
+            "(dedup %.1fx, %d unique pages, %d spill writes, "
+            "%d degraded)"
+            % (st["resident_bytes"] / 1048576.0,
+               st["logical_bytes"] / 1048576.0, st["dedup_ratio"],
+               st["unique_pages"], st["spill_writes"],
+               st["spill_degraded"]))
     lines.append("next-round dispatch model: serial %.1f ms -> makespan "
                  "%.1f ms on %d worker(s) (speedup %.2fx)"
                  % (plan["serial_ms"], plan["makespan_ms"], args.workers,
                     plan["speedup"]))
 
     if args.equivalence:
-        host = CloudHost()
+        host = CloudHost(store=PageStore() if args.store else None)
         for spec in specs():
             parts = spec.build()
             host.admit(parts["vm"], parts["config"],
@@ -891,6 +918,14 @@ def build_parser():
     parser.add_argument("--equivalence", action="store_true",
                         help="fleet: verify sharded digests against a "
                              "serial CloudHost run of the same specs")
+    parser.add_argument("--store", action="store_true",
+                        help="fleet: back every shard's checkpoints "
+                             "with a content-addressed page store "
+                             "(cross-tenant dedup)")
+    parser.add_argument("--store-budget-mb", type=float, default=None,
+                        help="fleet: per-shard resident budget for the "
+                             "page store (MiB; spills to a temp dir "
+                             "when exceeded; default unbounded)")
     parser.add_argument("--format", dest="lint_format",
                         choices=["text", "json"], default="text",
                         help="lint: output format")

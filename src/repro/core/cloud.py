@@ -67,10 +67,15 @@ class CloudHost:
     load so a provider can size scanning capacity.
     """
 
-    def __init__(self, name="host-0", observer=None):
+    def __init__(self, name="host-0", observer=None, store=None):
         self.name = name
         self.tenants = {}
         self.rounds_run = 0
+        #: Optional shared content-addressed checkpoint store: every
+        #: admitted tenant's checkpointer dedups its pages into it, so
+        #: the host's checkpoint memory is the *deduped* resident set,
+        #: not one flat backup per tenant.
+        self.store = store
         # The host's own timeline and journal. Tenants keep their
         # independent clocks and hash chains; the host clock tracks the
         # *frontier* (the farthest any tenant has simulated) so
@@ -78,6 +83,8 @@ class CloudHost:
         # carry a meaningful virtual timestamp for the fleet merge.
         self.observer = (observer if observer is not None
                          else Observer(VirtualClock(), name=name))
+        if store is not None:
+            store.attach_registry(self.observer.registry)
 
     # -- admission ----------------------------------------------------------
 
@@ -87,7 +94,7 @@ class CloudHost:
         if vm.name in self.tenants:
             raise CrimesError("tenant %r already admitted" % vm.name)
         crimes = Crimes(vm, config if config is not None else CrimesConfig(),
-                        fault_plan=fault_plan)
+                        fault_plan=fault_plan, store=self.store)
         for module in modules:
             crimes.install_module(module)
         for module in async_modules:
@@ -107,6 +114,11 @@ class CloudHost:
         record = self.tenants.pop(name, None)
         if record is None:
             raise CrimesError("no tenant named %r" % name)
+        # Return every store reference the tenant holds — backup map,
+        # delta ring, any staged epoch — so shared pages another tenant
+        # still references survive while this tenant's exclusive pages
+        # are freed. The leak/premature-free suites pin both directions.
+        record.crimes.checkpointer.release_store_refs()
         self.observer.journal(
             "fleet.evict", tenant=name,
             quarantined=record.quarantined, suspended=record.suspended,
@@ -153,6 +165,10 @@ class CloudHost:
         # before journaling the fence, so the quarantine event carries
         # no stale causal span and the export tells a finished story.
         record.crimes.observer.tracer.abort_open(reason="quarantine")
+        # The staged (uncommitted) epoch died with the loop: drop its
+        # store references now. The backup and history refs stay — a
+        # quarantined tenant's evidence is retained until eviction.
+        record.crimes.checkpointer.release_staged_refs()
         record.crimes.observer.journal(
             "tenant.quarantined", reason=str(err),
         )
@@ -254,10 +270,26 @@ class CloudHost:
         }
 
     def memory_overhead_bytes(self):
-        """Extra RAM the service costs: one backup image per tenant."""
-        return sum(
-            record.crimes.vm.memory.size for record in self.tenants.values()
+        """Extra RAM the checkpoint tier actually retains on this host.
+
+        One accounting definition everywhere (the invariant the store
+        equivalence/regression suites pin): bytes the checkpoint tier
+        holds resident *right now*. For flat tenants that is each FULL
+        backup image plus its private delta ring — an ACCOUNTING tenant
+        keeps no backup and costs 0, and pages the dedup tier skipped
+        are never re-counted. With a shared store it is the store's
+        deduped resident set (hot raw + cold compressed), attributed
+        per tenant by :meth:`PageStore.per_tenant`. Snapshot *offers*
+        to the async scanner are transient copies in both modes and
+        never move this number.
+        """
+        flat = sum(
+            record.crimes.checkpointer.retained_bytes()
+            for record in self.tenants.values()
         )
+        if self.store is not None:
+            return flat + self.store.resident_bytes
+        return flat
 
     def tenant_digests(self):
         """name -> compact, comparable end-state for every tenant.
@@ -331,7 +363,7 @@ class CloudHost:
         pauses = [record.crimes.mean_pause_ms()
                   for record in self.tenants.values()
                   if record.crimes.records]
-        return {
+        rollup = {
             "host": self.name,
             "rounds_run": self.rounds_run,
             "host_journal": self.observer.flight.summary(),
@@ -356,6 +388,13 @@ class CloudHost:
             },
             "tenants": tenants,
         }
+        if self.store is not None:
+            self.store.export_metrics()
+            rollup["store"] = {
+                "stats": self.store.stats(),
+                "per_tenant": self.store.per_tenant(),
+            }
+        return rollup
 
     def fleet_summary(self):
         """One status row per tenant (provider dashboard material)."""

@@ -77,7 +77,7 @@ class Crimes:
     """One protected VM under the CRIMES framework."""
 
     def __init__(self, vm, config=None, hypervisor=None, cost_model=None,
-                 observer=None, fault_plan=None):
+                 observer=None, fault_plan=None, store=None):
         self.config = config if config is not None else CrimesConfig()
         self.hypervisor = (
             hypervisor if hypervisor is not None else Hypervisor(clock=vm.clock)
@@ -154,6 +154,8 @@ class Crimes:
             registry=registry,
             flight=self.observer.flight,
             injector=self.injector,
+            store=store,
+            owner=vm.name,
         )
         self.vmi = VMIInstance(self.domain, seed=self.config.seed)
         self.vmi.attach_flight(self.observer.flight)

@@ -33,6 +33,8 @@ serial-vs-sharded equivalence suite pins this with flight-journal hash
 chains.
 """
 
+import os
+
 from repro.core.cloud import SLA_PRIORITY
 from repro.core.fleet_worker import ShardHost, ShardWorkerHandle
 from repro.errors import CrimesError
@@ -145,12 +147,21 @@ class AdmissionController:
         self.rejected_total = 0
         self.evicted_total = 0
 
-    def decide(self, spec, tenant_states):
+    def decide(self, spec, tenant_states, used_bytes=None):
         """Admission verdict for ``spec`` against the current fleet.
 
         ``tenant_states`` is ``{name: digest}`` (the
         ``CloudHost.tenant_digests()`` shape: ``memory_bytes``,
         ``priority``, ``quarantined``, ``suspended``).
+
+        ``used_bytes`` overrides the charged footprint: by default the
+        controller sums every tenant's *declared* ``memory_bytes``, but
+        a scheduler running deduped page stores passes the measured
+        (declared + deduped-checkpoint) figure instead, so admission
+        sees the bytes the host actually holds. Eviction modeling still
+        credits each victim its declared bytes — conservative, since a
+        victim's store pages may be shared with surviving tenants and
+        freeing it can reclaim less than it declared.
         """
         if spec.name in tenant_states:
             return AdmissionDecision(
@@ -172,8 +183,8 @@ class AdmissionController:
                 reason="tenant needs %d bytes against a %d-byte budget"
                        % (needed, self.memory_budget_bytes),
             )
-        used = sum(state["memory_bytes"]
-                   for state in tenant_states.values())
+        used = used_bytes if used_bytes is not None else sum(
+            state["memory_bytes"] for state in tenant_states.values())
         free = self.memory_budget_bytes - used
         if free >= needed:
             return AdmissionDecision(True, spec.name)
@@ -264,14 +275,18 @@ class FleetScheduler:
 
     def __init__(self, workers=1, backend="inline",
                  memory_budget_bytes=None, name="fleet-0",
-                 batch_rounds=None):
+                 batch_rounds=None, store=False,
+                 store_budget_bytes=None, store_spill_dir=None):
         if workers < 1:
             raise FleetError("workers must be >= 1")
         if backend not in ("inline", "process"):
             raise FleetError("backend must be 'inline' or 'process'")
+        if store_spill_dir is not None and not store:
+            raise FleetError("store_spill_dir requires store=True")
         self.name = name
         self.workers = workers
         self.backend = backend
+        self.store = store
         self.admission = AdmissionController(memory_budget_bytes)
         self.observer = Observer(VirtualClock(), name=name)
         #: Rounds per IPC batch (process backend). Defaults to the whole
@@ -286,14 +301,25 @@ class FleetScheduler:
         self._shards = []
         self._shard_of = {}
         self._digests = {}
+        #: Last store stats reported by each shard (None until a shard
+        #: with a store reports). Process shards never share a store —
+        #: each owns its own, with a private spill subdirectory.
+        self._store_stats = [None] * workers
         self._closed = False
         for index in range(workers):
             shard_name = "%s/shard-%d" % (name, index)
+            store_config = None
+            if store:
+                store_config = {"budget_bytes": store_budget_bytes}
+                if store_spill_dir is not None:
+                    store_config["spill_dir"] = os.path.join(
+                        store_spill_dir, "shard-%d" % index)
             if backend == "inline":
-                self._shards.append(ShardHost(shard_name))
-            else:
                 self._shards.append(
-                    ShardWorkerHandle.launch(index, shard_name))
+                    ShardHost(shard_name, store_config=store_config))
+            else:
+                self._shards.append(ShardWorkerHandle.launch(
+                    index, shard_name, store_config=store_config))
 
     # -- admission ---------------------------------------------------------
 
@@ -306,7 +332,8 @@ class FleetScheduler:
         *decision*, not an exception.
         """
         self._check_open()
-        decision = self.admission.decide(spec, self._digests)
+        decision = self.admission.decide(
+            spec, self._digests, used_bytes=self._used_bytes())
         self.admission.record(decision)
         if decision.admitted:
             for victim in decision.evictions:
@@ -328,6 +355,26 @@ class FleetScheduler:
             # a caller bug, kept loud exactly like CloudHost.admit.
             raise FleetError(decision.reason)
         return decision
+
+    def _used_bytes(self):
+        """Charged fleet footprint, or None for the declared-sum default.
+
+        Store mode switches admission to *deduped* accounting: each
+        tenant's declared guest RAM plus the checkpoint bytes the
+        shards' page stores actually hold resident (identical pages
+        across tenants and epochs counted once), instead of implicitly
+        assuming a private flat backup per tenant. Shards that have not
+        reported yet contribute zero store bytes — conservative in the
+        admit-more direction only until the first batch folds.
+        """
+        if not self.store:
+            return None
+        declared = sum(digest["memory_bytes"]
+                       for digest in self._digests.values())
+        resident = sum(stats["resident_bytes"]
+                       for stats in self._store_stats
+                       if stats is not None)
+        return declared + resident
 
     def _placeholder_digest(self, spec):
         # Until the first round reports back, admission control needs
@@ -430,8 +477,10 @@ class FleetScheduler:
                 scheduled=scheduled, ran=ran, quarantined=quarantined,
                 shards=len(reports),
             )
-        for report in reports:
+        for index, report in enumerate(reports):
             self._digests.update(report["digests"])
+            if report.get("store") is not None:
+                self._store_stats[index] = report["store"]
         return ran_rounds
 
     def _advance_clock(self, reports):
@@ -480,6 +529,33 @@ class FleetScheduler:
         return sum(digest["memory_bytes"]
                    for digest in self._digests.values())
 
+    def store_rollup(self):
+        """Aggregate page-store stats across shards (None without stores).
+
+        Shards dedup independently — a page shared by tenants placed on
+        different shards is held once *per shard* — so the fleet-wide
+        ratio is logical over resident of the summed shard figures, a
+        lower bound on what a single shared store would achieve.
+        """
+        if not self.store:
+            return None
+        reported = [stats for stats in self._store_stats
+                    if stats is not None]
+        resident = sum(s["resident_bytes"] for s in reported)
+        logical = sum(s["logical_bytes"] for s in reported)
+        return {
+            "shards_reporting": len(reported),
+            "resident_bytes": resident,
+            "logical_bytes": logical,
+            "unique_pages": sum(s["unique_pages"] for s in reported),
+            "dedup_hits": sum(s["dedup_hits"] for s in reported),
+            "spill_writes": sum(s["spill_writes"] for s in reported),
+            "spill_reads": sum(s["spill_reads"] for s in reported),
+            "spill_degraded": sum(s["spill_degraded"]
+                                  for s in reported),
+            "dedup_ratio": (logical / resident) if resident else 0.0,
+        }
+
     def incidents(self):
         return sorted(name for name, digest in self._digests.items()
                       if digest["suspended"])
@@ -516,6 +592,7 @@ class FleetScheduler:
             "quarantined": len(self.quarantined()),
             "epochs_total": sum(d["epochs_run"] for d in digests.values()),
             "memory_overhead_bytes": self.memory_overhead_bytes(),
+            "store": self.store_rollup(),
             "admission": self.admission.summary(),
             "round_pause_ms": {
                 "count": pauses.count,

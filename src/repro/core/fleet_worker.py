@@ -26,6 +26,7 @@ tenant's seeded trajectory is independent of which process runs it.
 
 import multiprocessing
 
+from repro.checkpoint.store import PageStore
 from repro.core.cloud import CloudHost
 from repro.errors import CrimesError
 
@@ -40,10 +41,21 @@ def _mp_context():
 
 
 class ShardHost:
-    """One shard: a CloudHost plus batched-round reporting."""
+    """One shard: a CloudHost plus batched-round reporting.
 
-    def __init__(self, name):
-        self.host = CloudHost(name=name)
+    ``store_config`` (a plain pickleable dict of
+    :class:`~repro.checkpoint.store.PageStore` constructor kwargs, or
+    None) builds the shard's content-addressed page store *inside* the
+    owning process — each shard owns its store outright, so no spill
+    file or refcount is ever shared across process boundaries. The
+    scheduler hands every shard a distinct ``spill_dir`` for the same
+    reason.
+    """
+
+    def __init__(self, name, store_config=None):
+        store = PageStore(**store_config) if store_config is not None \
+            else None
+        self.host = CloudHost(name=name, store=store)
         self._pending_rounds = None
 
     # -- shard interface ---------------------------------------------------
@@ -92,6 +104,8 @@ class ShardHost:
             "rounds": rows,
             "digests": self.host.tenant_digests(),
             "active": len(self.host.active_tenants()),
+            "store": (self.host.store.stats()
+                      if self.host.store is not None else None),
         }
 
     def start_rounds(self, rounds):
@@ -128,7 +142,7 @@ class ShardHost:
         """In-process shard: nothing to stop."""
 
 
-def shard_worker_main(conn, shard_name):
+def shard_worker_main(conn, shard_name, store_config=None):
     """Worker process entry point: serve shard commands until stopped.
 
     The protocol is strict request/reply: every received ``(op,
@@ -139,7 +153,7 @@ def shard_worker_main(conn, shard_name):
     broken pipe and fails loudly rather than continuing on a shard in
     an unknown state.
     """
-    shard = ShardHost(shard_name)
+    shard = ShardHost(shard_name, store_config=store_config)
     handlers = {
         "admit": shard.admit,
         "run_rounds": shard.run_rounds,
@@ -178,11 +192,12 @@ class ShardWorkerHandle:
         self._closed = False
 
     @classmethod
-    def launch(cls, index, name):
+    def launch(cls, index, name, store_config=None):
         ctx = _mp_context()
         parent_conn, child_conn = ctx.Pipe()
         process = ctx.Process(
-            target=shard_worker_main, args=(child_conn, name),
+            target=shard_worker_main,
+            args=(child_conn, name, store_config),
             name="crimes-%s" % name.replace("/", "-"), daemon=True,
         )
         process.start()

@@ -61,6 +61,27 @@ class CheckpointError(CrimesError):
     """Checkpoint creation, transfer, or restoration failed."""
 
 
+class StoreError(CrimesError):
+    """The content-addressed page store was used incorrectly.
+
+    Raised for reference-counting violations — releasing a key that is
+    not held, retaining a freed page — and integrity-check failures.
+    These are caller bugs (or evidence of corruption), never conditions
+    the epoch loop should absorb, so the class deliberately does *not*
+    derive from :class:`CheckpointError`.
+    """
+
+
+class StoreIOError(CheckpointError):
+    """A spill read/write against the page store's disk tier failed.
+
+    Subclasses :class:`CheckpointError` on purpose: a spill-read failure
+    surfacing during checkpoint staging must escalate through the epoch
+    loop's existing synchronous-rollback path, exactly like an exhausted
+    ``CHECKPOINT_COPY`` retry.
+    """
+
+
 class ReplayDivergenceError(CrimesError):
     """Replayed execution diverged from the recorded epoch."""
 

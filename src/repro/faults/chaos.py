@@ -19,12 +19,16 @@ from repro.faults.safety import check_safety_invariant
 
 def build_chaos_crimes(fault_plan=None, seed=0, interval_ms=20.0,
                        max_hold_epochs=3, audit_timeout_ms=None,
-                       attack_epoch=None, memory_bytes=4 * 1024 * 1024):
+                       attack_epoch=None, memory_bytes=4 * 1024 * 1024,
+                       store=None):
     """A small protected guest, ready to run under ``fault_plan``.
 
     ``attack_epoch`` additionally arms a heap-overflow attack program
     (and the canary module that catches it), for exercising the
-    attack-under-fault corner of the matrix.
+    attack-under-fault corner of the matrix. ``store`` (a
+    :class:`~repro.checkpoint.store.PageStore`) backs the checkpointer
+    with the content-addressed page tier — required for the
+    ``STORE_IO`` fault plane to have a seam to fire through.
     """
     from repro.core.config import CrimesConfig
     from repro.core.crimes import Crimes
@@ -40,7 +44,7 @@ def build_chaos_crimes(fault_plan=None, seed=0, interval_ms=20.0,
         max_hold_epochs=max_hold_epochs,
         audit_timeout_ms=audit_timeout_ms,
     )
-    crimes = Crimes(vm, config, fault_plan=fault_plan)
+    crimes = Crimes(vm, config, fault_plan=fault_plan, store=store)
     crimes.install_module(SyscallTableModule())
     # Two programs: the web profile dirties pages; the kv-store serves
     # query traffic over the NIC, so every epoch has buffered outputs
@@ -59,7 +63,7 @@ def build_chaos_crimes(fault_plan=None, seed=0, interval_ms=20.0,
 
 def run_chaos(fault_plan=None, seed=0, epochs=12, interval_ms=20.0,
               max_hold_epochs=3, audit_timeout_ms=None, attack_epoch=None,
-              memory_bytes=4 * 1024 * 1024):
+              memory_bytes=4 * 1024 * 1024, store=None):
     """Run a chaos scenario end to end; returns the evidence bundle.
 
     The returned dict::
@@ -67,12 +71,13 @@ def run_chaos(fault_plan=None, seed=0, epochs=12, interval_ms=20.0,
         {"crimes": Crimes, "events": [payload dicts...],
          "head_hash": str, "memory_sha256": str,
          "safety": check_safety_invariant(...),
-         "metrics": crimes.metrics()}
+         "metrics": crimes.metrics(),
+         "store": store.stats() or None}
     """
     crimes = build_chaos_crimes(
         fault_plan=fault_plan, seed=seed, interval_ms=interval_ms,
         max_hold_epochs=max_hold_epochs, audit_timeout_ms=audit_timeout_ms,
-        attack_epoch=attack_epoch, memory_bytes=memory_bytes,
+        attack_epoch=attack_epoch, memory_bytes=memory_bytes, store=store,
     )
     crimes.run(max_epochs=epochs)
     flight = crimes.observer.flight
@@ -89,4 +94,5 @@ def run_chaos(fault_plan=None, seed=0, epochs=12, interval_ms=20.0,
         "memory_sha256": memory_sha256,
         "safety": check_safety_invariant(events),
         "metrics": crimes.metrics(),
+        "store": store.stats() if store is not None else None,
     }

@@ -55,6 +55,14 @@ class FaultPlane(enum.Enum):
     #: deterministic, journaled, and visible in the metrics.
     CLOCK_SKEW = "clock_skew"
 
+    #: The checkpoint store's spill tier (disk) stalls or fails. A spill
+    #: *write* that exhausts its retries degrades to in-memory retention
+    #: (the page stays resident past the budget — never lost); a spill
+    #: *read* that exhausts its retries surfaces as a
+    #: :class:`~repro.errors.StoreIOError` and escalates to the epoch
+    #: loop's synchronous rollback, exactly like a failed copy.
+    STORE_IO = "store_io"
+
 
 #: Every plane, in declaration order (the chaos matrix iterates this).
 ALL_PLANES = tuple(FaultPlane)

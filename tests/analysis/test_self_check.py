@@ -84,6 +84,24 @@ def test_service_modules_are_baseline_free():
     assert with_baseline.findings == []
 
 
+def test_store_modules_are_baseline_free():
+    """The page-store tier carries zero suppressions.
+
+    Same new-subsystem discipline as the fleet scheduler and the case
+    service: the content-addressed store and the store-backed history
+    it plugs into must satisfy every rule — wall-clock hygiene
+    (CRL001/2), journal vocabulary (CRL004), fault-seam coverage of the
+    spill paths (CRL005), and exception discipline around the disk tier
+    (CRL006) — with no baseline entries and no pragmas. The store holds
+    every tenant's evidence bytes; it does not get grandfathered.
+    """
+    report = run_lint(root=REPO_ROOT, baseline=False, paths=[
+        "src/repro/checkpoint/store.py",
+        "src/repro/checkpoint/snapshot.py",
+    ])
+    assert report.findings == [], "\n" + report.render_text()
+
+
 def test_cli_lint_is_green_on_the_tree(capsys, monkeypatch):
     monkeypatch.chdir(REPO_ROOT)
     assert cli_main(["lint"]) == 0

@@ -20,7 +20,13 @@ import os
 
 import pytest
 
-from repro.faults import ALL_PLANES, FaultPlan, FaultSchedule, ScheduleKind
+from repro.faults import (
+    ALL_PLANES,
+    FaultPlan,
+    FaultPlane,
+    FaultSchedule,
+    ScheduleKind,
+)
 from repro.faults.chaos import run_chaos
 
 pytestmark = pytest.mark.chaos
@@ -61,10 +67,21 @@ class TestFaultMatrix:
     def _plan(self, plane, kind, seed):
         return FaultPlan.single(plane, _SHAPES[kind](), seed=seed)
 
-    def test_safety_invariant_holds(self, plane, kind):
+    def _store(self, plane, tmp_path, tag):
+        # STORE_IO only has a seam to fire through when the checkpointer
+        # runs on a page store whose budget forces spill traffic; every
+        # other plane keeps the flat backup so its cell is unchanged.
+        if plane is not FaultPlane.STORE_IO:
+            return None
+        from repro.checkpoint.store import PageStore
+        return PageStore(budget_bytes=0,
+                         spill_dir=str(tmp_path / ("spill-%s" % tag)))
+
+    def test_safety_invariant_holds(self, plane, kind, tmp_path):
         seed = _cell_seed(plane, kind, base=100)
         result = run_chaos(fault_plan=self._plan(plane, kind, seed),
-                           seed=seed, epochs=EPOCHS)
+                           seed=seed, epochs=EPOCHS,
+                           store=self._store(plane, tmp_path, "a"))
         assert result["safety"]["ok"], result["safety"]["violations"]
         metrics = result["metrics"]
         # The run must have actually finished its epochs — a fault that
@@ -77,12 +94,15 @@ class TestFaultMatrix:
         assert faults["recovered_total"] + faults["escalated_total"] \
             <= faults["injected_total"]
 
-    def test_same_seed_reproduces_bit_identical_evidence(self, plane, kind):
+    def test_same_seed_reproduces_bit_identical_evidence(self, plane, kind,
+                                                         tmp_path):
         seed = _cell_seed(plane, kind, base=500)
         first = run_chaos(fault_plan=self._plan(plane, kind, seed),
-                          seed=seed, epochs=EPOCHS)
+                          seed=seed, epochs=EPOCHS,
+                          store=self._store(plane, tmp_path, "a"))
         second = run_chaos(fault_plan=self._plan(plane, kind, seed),
-                           seed=seed, epochs=EPOCHS)
+                           seed=seed, epochs=EPOCHS,
+                           store=self._store(plane, tmp_path, "b"))
         assert first["head_hash"] == second["head_hash"]
         assert first["events"] == second["events"]
         assert first["memory_sha256"] == second["memory_sha256"]
