@@ -81,17 +81,22 @@ def parse_toml(text):
 class BaselineEntry:
     """One allowlisted violation class, with its justification."""
 
-    __slots__ = ("rule", "path", "symbol", "contains", "line", "reason",
-                 "hits")
+    __slots__ = ("rule", "path", "symbol", "contains", "line", "witness",
+                 "reason", "hits")
 
     def __init__(self, rule, path, reason, symbol=None, contains=None,
-                 line=None):
+                 line=None, witness=None):
         self.rule = rule
         self.path = path
         self.reason = reason
         self.symbol = symbol
         self.contains = contains
         self.line = line
+        #: Substring that must appear in the finding's rendered witness
+        #: chain — a suppression can be pinned to one specific
+        #: source->sink path, so a *new* path to the same sink still
+        #: fails the build.
+        self.witness = witness
         self.hits = 0
 
     def matches(self, finding):
@@ -105,6 +110,9 @@ class BaselineEntry:
             return False
         if self.line is not None and finding.line != self.line:
             return False
+        if self.witness is not None and \
+                self.witness not in finding.witness_text():
+            return False
         return True
 
     def to_dict(self):
@@ -115,6 +123,8 @@ class BaselineEntry:
             out["contains"] = self.contains
         if self.line is not None:
             out["line"] = self.line
+        if self.witness is not None:
+            out["witness"] = self.witness
         return out
 
 
@@ -152,6 +162,7 @@ class Baseline:
                 symbol=raw.get("symbol"),
                 contains=raw.get("contains"),
                 line=raw.get("line"),
+                witness=raw.get("witness"),
             ))
         lint = data.get("lint", {})
         return cls(entries=entries, lint_paths=lint.get("paths"),

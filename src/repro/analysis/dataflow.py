@@ -1,0 +1,753 @@
+"""Forward dataflow on top of the cross-module resolver.
+
+Three analyses, shared by the CRL007–CRL011 rule family:
+
+* :class:`TaintEngine` — a forward taint fixpoint over the whole-program
+  call graph. Rules seed taint at source *expressions* (HTTP request
+  attributes, pipe ``recv`` calls); the engine propagates through
+  assignments, returns, and call-argument bindings, stopping at
+  recognized sanitizers (``validate*``/``verify*`` callables and
+  regex-guard validators that raise on malformed input). Every taint
+  fact carries its provenance as a list of
+  :class:`~repro.analysis.findings.WitnessHop`, so a rule that observes
+  taint at a sink can emit the full interprocedural source->sink chain.
+* :class:`GuardedByModel` — per-class lock inference: which attributes
+  are protected (accessed under the owning ``with self._lock:`` at
+  least once), which methods are *guaranteed held* (only reachable
+  through lock-holding call sites), and which are construction-only.
+* :class:`LockOrderGraph` — the global lock-acquisition order, built
+  from lexical ``with`` nesting plus interprocedural acquires reached
+  from lock-holding call sites; a cycle is a static deadlock (CRL008).
+"""
+
+import ast
+import re
+
+from repro.analysis.findings import WitnessHop
+
+#: Callables whose *name* marks them as input validators: their return
+#: value is clean and taint does not flow into them.
+SANITIZER_NAME_RE = re.compile(r"^_?(validate|verify)")
+
+#: Builtins whose result cannot carry attacker-controlled content.
+_CLEAN_BUILTINS = frozenset({
+    "len", "int", "float", "bool", "hash", "id", "ord", "isinstance",
+    "hasattr", "callable", "type", "min", "max", "sum", "abs", "round",
+})
+
+#: Maximum hops kept on one witness chain (readability cap).
+MAX_WITNESS_HOPS = 12
+
+
+def is_sanitizer_name(name):
+    return name is not None and SANITIZER_NAME_RE.match(name) is not None
+
+
+def guard_cleansed_params(info):
+    """Params of ``info`` cleansed by a regex guard that raises.
+
+    Recognizes the ``_case_dir`` idiom::
+
+        if _CASE_ID_RE.match(case_id) is None:
+            raise CaseRejected(...)
+
+    i.e. an ``if`` whose test calls ``.match/.fullmatch/.search`` on a
+    parameter and whose taken branch raises — after that guard the
+    parameter can only hold values the pattern admits, so taint stops
+    at the function boundary.
+    """
+    cleansed = set()
+    for stmt in ast.walk(info.node):
+        if not isinstance(stmt, ast.If):
+            continue
+        raises = any(isinstance(s, ast.Raise) for s in stmt.body)
+        raises = raises or any(isinstance(s, ast.Raise) for s in stmt.orelse)
+        if not raises:
+            continue
+        for sub in ast.walk(stmt.test):
+            if (isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in ("match", "fullmatch", "search")):
+                for arg in sub.args:
+                    if isinstance(arg, ast.Name) and arg.id in info.params:
+                        cleansed.add(arg.id)
+    return cleansed
+
+
+def has_integrity_guard(func_node, before_line):
+    """True if ``func_node`` re-derives a sha256 digest and raises on
+    mismatch before ``before_line`` (the ``pickle.loads`` site).
+
+    This is the vault ``load_dump`` pattern: bytes are hashed, compared
+    against the recorded manifest digest, and rejected on mismatch
+    *before* deserialization — the load is integrity-gated.
+    """
+    hashed = False
+    guarded = False
+    for sub in ast.walk(func_node):
+        line = getattr(sub, "lineno", None)
+        if line is None or line >= before_line:
+            continue
+        if isinstance(sub, ast.Call):
+            chain = _chain_of(sub.func)
+            if chain is not None and "sha256" in chain:
+                hashed = True
+        if isinstance(sub, ast.If) and any(
+                isinstance(s, ast.Raise) for s in sub.body):
+            if any(isinstance(t, ast.Compare) for t in ast.walk(sub.test)):
+                guarded = True
+    return hashed and guarded
+
+
+def _chain_of(node):
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Taint:
+    """A taint fact: where the value came from, hop by hop."""
+
+    __slots__ = ("hops",)
+
+    def __init__(self, hops):
+        self.hops = tuple(hops)
+
+    def extend(self, path, line, note):
+        if len(self.hops) >= MAX_WITNESS_HOPS:
+            return self
+        return Taint(self.hops + (WitnessHop(path, line, note),))
+
+    def witness(self):
+        return list(self.hops)
+
+    def __repr__(self):
+        return "Taint(%d hops)" % len(self.hops)
+
+
+class TaintEngine:
+    """Whole-program forward taint propagation with witness provenance.
+
+    ``expr_source(module, func, node)`` is consulted for every
+    ``Attribute`` and ``Call`` expression; returning a note string marks
+    that expression as a taint source. Slots (params, locals, ``self``
+    attributes, returns) are first-set-wins, which both terminates the
+    fixpoint and keeps each witness anchored at its *first* discovered
+    source chain.
+    """
+
+    def __init__(self, project, expr_source):
+        self.project = project
+        self.expr_source = expr_source
+        #: (node, name) -> Taint for params/locals promoted to summaries
+        self.params = {}
+        #: node -> Taint of the return value
+        self.returns = {}
+        #: (rel_path, class_name, attr) -> Taint
+        self.attrs = {}
+        #: id(call ast node) -> (site, [Taint|None per pos arg],
+        #:                       {kw: Taint|None})
+        self.call_args = {}
+        self._site_index = {}
+        self._cleansed = {}
+        for module in project:
+            for site in module.calls:
+                self._site_index[id(site.node)] = site
+        self._run()
+
+    # -- public accessors --------------------------------------------------
+
+    def arg_taint(self, site):
+        """(positional Taints, keyword Taints) observed at ``site``."""
+        entry = self.call_args.get(id(site.node))
+        if entry is None:
+            return ([], {})
+        return (entry[1], entry[2])
+
+    def any_arg_taint(self, site):
+        """The first tainted argument at ``site``, or None."""
+        pos, kw = self.arg_taint(site)
+        for taint in pos:
+            if taint is not None:
+                return taint
+        for taint in kw.values():
+            if taint is not None:
+                return taint
+        return None
+
+    # -- fixpoint ----------------------------------------------------------
+
+    def _run(self):
+        worklist = list(self.project.functions)
+        queued = set(worklist)
+        while worklist:
+            node = worklist.pop()
+            queued.discard(node)
+            for woken in self._eval_function(node):
+                if woken not in queued and woken in self.project.functions:
+                    queued.add(woken)
+                    worklist.append(woken)
+
+    def _cleansed_params(self, node):
+        if node not in self._cleansed:
+            info = self.project.functions[node]
+            self._cleansed[node] = guard_cleansed_params(info)
+        return self._cleansed[node]
+
+    def _eval_function(self, node):
+        rel_path, qualname = node
+        module = self.project.by_rel_path[rel_path]
+        info = self.project.functions[node]
+        wake = set()
+        env = {}
+        for name in info.params:
+            taint = self.params.get((node, name))
+            if taint is not None and name not in self._cleansed_params(node):
+                env[name] = taint
+        # Statement-order passes until the local env stops growing —
+        # loops and use-before-reassign chains converge in a few rounds.
+        for _ in range(10):
+            before = len(env)
+            self._eval_body(info.node.body, env, module, info, node, wake)
+            if len(env) == before:
+                break
+        return wake
+
+    # -- statements --------------------------------------------------------
+
+    def _eval_body(self, stmts, env, module, info, node, wake):
+        for stmt in stmts:
+            self._eval_stmt(stmt, env, module, info, node, wake)
+
+    def _eval_stmt(self, stmt, env, module, info, node, wake):
+        if isinstance(stmt, ast.Assign):
+            taint = self._taint_of(stmt.value, env, module, info, node, wake)
+            for target in stmt.targets:
+                self._assign(target, stmt.value, taint, env, module, info,
+                             node, wake)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            taint = self._taint_of(stmt.value, env, module, info, node, wake)
+            self._assign(stmt.target, stmt.value, taint, env, module, info,
+                         node, wake)
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self._taint_of(stmt.value, env, module, info, node, wake)
+            self._assign(stmt.target, stmt.value, taint, env, module, info,
+                         node, wake)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                taint = self._taint_of(stmt.value, env, module, info, node,
+                                       wake)
+                if taint is not None and node not in self.returns:
+                    self.returns[node] = taint.extend(
+                        module.rel_path, stmt.lineno,
+                        "returned from %s" % info.qualname)
+                    wake.update(self.project.callers_of(node))
+        elif isinstance(stmt, ast.Expr):
+            self._taint_of(stmt.value, env, module, info, node, wake)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._taint_of(stmt.test, env, module, info, node, wake)
+            self._eval_body(stmt.body, env, module, info, node, wake)
+            self._eval_body(stmt.orelse, env, module, info, node, wake)
+        elif isinstance(stmt, ast.For):
+            taint = self._taint_of(stmt.iter, env, module, info, node, wake)
+            self._assign(stmt.target, None, taint, env, module, info, node,
+                         wake)
+            self._eval_body(stmt.body, env, module, info, node, wake)
+            self._eval_body(stmt.orelse, env, module, info, node, wake)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self._taint_of(item.context_expr, env, module, info,
+                                       node, wake)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, item.context_expr,
+                                 taint, env, module, info, node, wake)
+            self._eval_body(stmt.body, env, module, info, node, wake)
+        elif isinstance(stmt, ast.Try):
+            self._eval_body(stmt.body, env, module, info, node, wake)
+            for handler in stmt.handlers:
+                self._eval_body(handler.body, env, module, info, node, wake)
+            self._eval_body(stmt.orelse, env, module, info, node, wake)
+            self._eval_body(stmt.finalbody, env, module, info, node, wake)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._taint_of(child, env, module, info, node, wake)
+        # Nested defs keep their own env; the project graph links them.
+
+    def _assign(self, target, value, taint, env, module, info, node, wake):
+        if isinstance(target, (ast.Tuple, ast.List)):
+            elements = getattr(value, "elts", None) \
+                if isinstance(value, (ast.Tuple, ast.List)) else None
+            for index, element in enumerate(target.elts):
+                sub = taint
+                if elements is not None and index < len(elements):
+                    sub = self._taint_of(elements[index], env, module, info,
+                                         node, wake)
+                self._assign(element, None, sub, env, module, info, node,
+                             wake)
+            return
+        if taint is None:
+            return
+        if isinstance(target, ast.Name):
+            if target.id not in env:
+                env[target.id] = taint
+        elif (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self" and info.class_name):
+            key = (module.rel_path, info.class_name, target.attr)
+            if key not in self.attrs:
+                self.attrs[key] = taint.extend(
+                    module.rel_path, target.lineno,
+                    "stored into self.%s" % target.attr)
+                for qualname, other in module.functions.items():
+                    if other.class_name == info.class_name:
+                        wake.add((module.rel_path, qualname))
+
+    # -- expressions -------------------------------------------------------
+
+    def _taint_of(self, expr, env, module, info, node, wake):
+        if expr is None or isinstance(expr, ast.Constant):
+            return None
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            note = self.expr_source(module, info, expr)
+            if note is not None:
+                return Taint([WitnessHop(module.rel_path, expr.lineno, note)])
+            if (isinstance(expr.value, ast.Name) and expr.value.id == "self"
+                    and info.class_name):
+                key = (module.rel_path, info.class_name, expr.attr)
+                if key in self.attrs:
+                    return self.attrs[key]
+            return self._taint_of(expr.value, env, module, info, node, wake)
+        if isinstance(expr, ast.Call):
+            return self._taint_of_call(expr, env, module, info, node, wake)
+        if isinstance(expr, (ast.Subscript, ast.Starred, ast.Await,
+                             ast.UnaryOp, ast.FormattedValue)):
+            inner = expr.value if hasattr(expr, "value") else expr.operand
+            return self._taint_of(inner, env, module, info, node, wake)
+        if isinstance(expr, ast.BinOp):
+            return (self._taint_of(expr.left, env, module, info, node, wake)
+                    or self._taint_of(expr.right, env, module, info, node,
+                                      wake))
+        if isinstance(expr, ast.BoolOp):
+            for value in expr.values:
+                taint = self._taint_of(value, env, module, info, node, wake)
+                if taint is not None:
+                    return taint
+            return None
+        if isinstance(expr, ast.Compare):
+            self._taint_of(expr.left, env, module, info, node, wake)
+            for comp in expr.comparators:
+                self._taint_of(comp, env, module, info, node, wake)
+            return None
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for element in expr.elts:
+                taint = self._taint_of(element, env, module, info, node,
+                                       wake)
+                if taint is not None:
+                    return taint
+            return None
+        if isinstance(expr, ast.Dict):
+            for value in list(expr.keys) + list(expr.values):
+                taint = self._taint_of(value, env, module, info, node, wake)
+                if taint is not None:
+                    return taint
+            return None
+        if isinstance(expr, ast.JoinedStr):
+            for value in expr.values:
+                taint = self._taint_of(value, env, module, info, node, wake)
+                if taint is not None:
+                    return taint
+            return None
+        if isinstance(expr, ast.IfExp):
+            self._taint_of(expr.test, env, module, info, node, wake)
+            return (self._taint_of(expr.body, env, module, info, node, wake)
+                    or self._taint_of(expr.orelse, env, module, info, node,
+                                      wake))
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            for gen in expr.generators:
+                taint = self._taint_of(gen.iter, env, module, info, node,
+                                       wake)
+                if taint is not None:
+                    return taint
+            return None
+        return None
+
+    def _taint_of_call(self, expr, env, module, info, node, wake):
+        site = self._site_index.get(id(expr))
+        note = self.expr_source(module, info, expr)
+        if note is not None:
+            # Still evaluate args so sinks nested in sources are seen.
+            self._record_call(expr, site, env, module, info, node, wake)
+            return Taint([WitnessHop(module.rel_path, expr.lineno, note)])
+        pos, kw = self._record_call(expr, site, env, module, info, node,
+                                    wake)
+        chain = _chain_of(expr.func)
+        bare = chain.rpartition(".")[2] if chain else None
+        if is_sanitizer_name(bare) or bare in _CLEAN_BUILTINS:
+            return None
+        resolved = module.resolve(chain) if chain else None
+        if resolved is not None and resolved.startswith("hashlib."):
+            return None
+        targets = site.targets if site is not None else ()
+        known = [t for t in targets if t in self.project.functions]
+        if known:
+            self._propagate_into(known, expr, pos, kw, module, wake)
+            for target in known:
+                taint = self.returns.get(target)
+                if taint is not None:
+                    return taint
+            return None
+        # Unknown callee: conservatively pass taint through receiver
+        # and arguments (str/bytes methods, stdlib helpers).
+        receiver = self._taint_of(expr.func, env, module, info, node, wake) \
+            if isinstance(expr.func, ast.Attribute) else None
+        if receiver is not None:
+            return receiver
+        for taint in pos:
+            if taint is not None:
+                return taint
+        for taint in kw.values():
+            if taint is not None:
+                return taint
+        return None
+
+    def _record_call(self, expr, site, env, module, info, node, wake):
+        pos = [self._taint_of(arg, env, module, info, node, wake)
+               for arg in expr.args]
+        kw = {}
+        for keyword in expr.keywords:
+            taint = self._taint_of(keyword.value, env, module, info, node,
+                                   wake)
+            if keyword.arg is not None:
+                kw[keyword.arg] = taint
+        if site is not None:
+            self.call_args[id(expr)] = (site, pos, kw)
+        return pos, kw
+
+    def _propagate_into(self, targets, expr, pos, kw, module, wake):
+        for target in targets:
+            callee = self.project.functions[target]
+            if is_sanitizer_name(callee.name):
+                continue
+            cleansed = self._cleansed_params(target)
+            ordered = callee.ordered_params()
+            if ordered and ordered[0] == "self":
+                ordered = ordered[1:]
+            bindings = list(zip(ordered, pos))
+            bindings.extend((name, taint) for name, taint in kw.items()
+                            if name in callee.params)
+            for name, taint in bindings:
+                if taint is None or name in cleansed:
+                    continue
+                key = (target, name)
+                if key not in self.params:
+                    self.params[key] = taint.extend(
+                        module.rel_path, expr.lineno,
+                        "passed as `%s` to %s" % (name, callee.qualname))
+                    wake.add(target)
+
+
+class GuardedByModel:
+    """Lock inference for one lock-owning class.
+
+    * ``lock_attrs`` — the owning lock attribute(s).
+    * ``protected`` — attrs with at least one access under the lock
+      outside ``__init__`` (the class's declared guarded state).
+    * ``guaranteed`` — methods every caller of which holds the lock
+      (directly or transitively), so their bodies run lock-held.
+    * ``init_only`` — methods unreachable from any entry point except
+      construction; single-threaded by construction, hence exempt.
+    """
+
+    def __init__(self, project, module, class_info):
+        self.module = module
+        self.cls = class_info
+        self.lock_attrs = set(class_info.lock_attrs)
+        methods = {
+            qualname.rpartition(".")[2]: info
+            for qualname, info in module.functions.items()
+            if info.class_name == class_info.name
+        }
+        self.methods = methods
+
+        # Intra-class call edges, with the lock state at each site.
+        edges = []
+        for func in methods.values():
+            for site in func.calls:
+                if (site.chain is not None and site.chain.startswith("self.")
+                        and site.chain.count(".") == 1):
+                    callee = site.chain[len("self."):]
+                    if callee in methods:
+                        edges.append((func.name, callee, site))
+        self._edges = edges
+
+        callers = {}
+        for src, dst, _site in edges:
+            callers.setdefault(dst, set()).add(src)
+
+        # Entries: externally callable methods. Anything with a
+        # whole-program caller outside this class, a thread target, or
+        # no intra-class caller at all. ``__init__`` is construction,
+        # not an entry.
+        entries = set()
+        for name, func in methods.items():
+            if name == "__init__":
+                continue
+            external = False
+            node = (module.rel_path, func.qualname)
+            for caller in project.callers_of(node):
+                caller_info = project.functions.get(caller)
+                if (caller_info is None
+                        or caller_info.class_name != class_info.name
+                        or caller[0] != module.rel_path):
+                    external = True
+                    break
+            intra = callers.get(name, set()) - {name}
+            if external or not intra or name in class_info.thread_targets:
+                entries.add(name)
+        self.entries = entries
+
+        # Reachability from entries; methods outside it (helpers only
+        # reachable through __init__) never race.
+        reachable = set(entries)
+        stack = list(entries)
+        while stack:
+            current = stack.pop()
+            for src, dst, _site in edges:
+                if src == current and dst not in reachable:
+                    reachable.add(dst)
+                    stack.append(dst)
+        self.init_only = {name for name in methods
+                          if name not in reachable and name != "__init__"}
+
+        # Guaranteed-held fixpoint: optimistic, then strike out any
+        # method reachable through a lock-free call site.
+        guaranteed = {name for name in methods
+                      if name not in entries and name != "__init__"
+                      and name not in self.init_only}
+        changed = True
+        while changed:
+            changed = False
+            for src, dst, site in edges:
+                if dst not in guaranteed:
+                    continue
+                held = site.held_locks & self.lock_attrs
+                if not held and src not in guaranteed \
+                        and src != "__init__":
+                    guaranteed.discard(dst)
+                    changed = True
+        self.guaranteed = guaranteed
+
+        # Protected attrs: shared *mutable* state the lock guards. Two
+        # conditions, both read off the code itself: the attr is
+        # written outside __init__ (an attr only construction assigns
+        # is immutable config and cannot race), and at least one access
+        # provably runs with the lock held — lexically inside the
+        # `with`, or in a guaranteed-held method.
+        mutable = set()
+        for access in module.attr_accesses:
+            method = access.scope.rpartition(".")[2]
+            if (access.class_name == class_info.name
+                    and access.kind == "store"
+                    and method != "__init__"
+                    and method not in self.init_only):
+                mutable.add(access.attr)
+        protected = {}
+        for access in module.attr_accesses:
+            if access.class_name != class_info.name:
+                continue
+            if access.attr in self.lock_attrs or access.attr not in mutable:
+                continue
+            method = access.scope.rpartition(".")[2]
+            if method == "__init__":
+                continue
+            if (access.held_locks & self.lock_attrs
+                    or method in guaranteed):
+                protected.setdefault(access.attr, access)
+        self.protected = protected
+
+    def access_guarded(self, access):
+        """True if ``access`` provably runs with the owning lock held."""
+        if access.held_locks & self.lock_attrs:
+            return True
+        method = access.scope.rpartition(".")[2]
+        if method == "__init__":
+            return True
+        return method in self.guaranteed or method in self.init_only
+
+    def unguarded_accesses(self):
+        """Accesses to protected attrs that may run without the lock."""
+        for access in self.module.attr_accesses:
+            if access.class_name != self.cls.name:
+                continue
+            if access.attr not in self.protected:
+                continue
+            if access.attr in self.cls.methods:
+                continue
+            if not self.access_guarded(access):
+                yield access
+
+
+def lock_owning_classes(project):
+    """Yield (module, ClassInfo) for every class that owns a lock."""
+    for module in project:
+        for class_info in module.classes.values():
+            if class_info.lock_attrs:
+                yield module, class_info
+
+
+class LockOrderGraph:
+    """Global lock-acquisition order; a cycle is a potential deadlock.
+
+    Nodes are ``(rel_path, class_name, lock_attr)``. An edge A->B means
+    some chain acquires B while holding A — either a lexically nested
+    ``with``, or a call made under A whose interprocedural closure
+    acquires B.
+    """
+
+    def __init__(self, project):
+        self.project = project
+        #: edge (a, b) -> witness hops demonstrating the chain
+        self.edges = {}
+        self._acquired = {}
+        self._acquiring = set()
+        self._build()
+
+    def _direct_acquires(self, node):
+        rel_path, _qualname = node
+        module = self.project.by_rel_path[rel_path]
+        info = self.project.functions[node]
+        out = {}
+        for access in module.attr_accesses:
+            if access.scope != info.qualname:
+                continue
+            if access.class_name is None:
+                continue
+            cls = module.classes.get(access.class_name)
+            if cls is None or access.attr not in cls.lock_attrs:
+                continue
+            if access.attr not in access.held_locks:
+                continue
+            key = (rel_path, access.class_name, access.attr)
+            out.setdefault(key, (access, [WitnessHop(
+                rel_path, access.lineno,
+                "acquires %s.%s in %s" % (access.class_name, access.attr,
+                                          info.qualname))]))
+        return out
+
+    def _acquired_closure(self, node):
+        """(lock key) -> witness hops for every lock ``node`` may take."""
+        if node in self._acquired:
+            return self._acquired[node]
+        if node in self._acquiring:
+            return {}
+        self._acquiring.add(node)
+        out = {key: hops for key, (_access, hops)
+               in self._direct_acquires(node).items()}
+        info = self.project.functions.get(node)
+        if info is not None:
+            for site in info.calls:
+                for target in site.targets:
+                    if target not in self.project.functions:
+                        continue
+                    for key, hops in self._acquired_closure(target).items():
+                        if key not in out:
+                            callee = self.project.functions[target]
+                            out[key] = [WitnessHop(
+                                node[0], site.node.lineno,
+                                "calls %s" % callee.qualname)] + hops
+        self._acquiring.discard(node)
+        self._acquired[node] = out
+        return out
+
+    def _build(self):
+        for module in self.project:
+            # Lexical nesting: acquiring Y with X already held.
+            for access in module.attr_accesses:
+                cls = module.classes.get(access.class_name or "")
+                if cls is None or access.attr not in cls.lock_attrs:
+                    continue
+                if access.attr not in access.held_locks:
+                    continue
+                inner = (module.rel_path, access.class_name, access.attr)
+                for outer_attr in access.held_locks - {access.attr}:
+                    if outer_attr not in cls.lock_attrs:
+                        continue
+                    outer = (module.rel_path, access.class_name, outer_attr)
+                    self.edges.setdefault((outer, inner), [WitnessHop(
+                        module.rel_path, access.lineno,
+                        "acquires %s.%s while holding %s.%s" % (
+                            access.class_name, access.attr,
+                            access.class_name, outer_attr))])
+            # Interprocedural: a call made under a lock whose closure
+            # acquires another lock.
+            for qualname, info in module.functions.items():
+                node = (module.rel_path, qualname)
+                for site in info.calls:
+                    if not site.held_locks or site.class_name is None:
+                        continue
+                    cls = module.classes.get(site.class_name)
+                    if cls is None:
+                        continue
+                    held_keys = [
+                        (module.rel_path, site.class_name, attr)
+                        for attr in site.held_locks
+                        if attr in cls.lock_attrs
+                    ]
+                    if not held_keys:
+                        continue
+                    for target in site.targets:
+                        closure = self._acquired_closure(target)
+                        for key, hops in closure.items():
+                            for held in held_keys:
+                                if held == key:
+                                    continue
+                                edge = (held, key)
+                                if edge not in self.edges:
+                                    callee = self.project.functions[target]
+                                    self.edges[edge] = [WitnessHop(
+                                        module.rel_path, site.node.lineno,
+                                        "calls %s while holding %s.%s" % (
+                                            callee.qualname, held[1],
+                                            held[2]))] + hops
+
+    def cycles(self):
+        """Distinct lock-order cycles as lists of edges."""
+        graph = {}
+        for (src, dst) in self.edges:
+            graph.setdefault(src, set()).add(dst)
+        seen_cycles = set()
+        out = []
+        for start in sorted(graph):
+            path = []
+            on_path = set()
+
+            def dfs(current):
+                if current in on_path:
+                    index = next(i for i, (s, _d) in enumerate(path)
+                                 if s == current)
+                    cycle = path[index:]
+                    key = frozenset(edge for edge in cycle)
+                    if key not in seen_cycles:
+                        seen_cycles.add(key)
+                        out.append(list(cycle))
+                    return
+                if len(path) > 32:
+                    return
+                on_path.add(current)
+                for nxt in sorted(graph.get(current, ())):
+                    path.append((current, nxt))
+                    dfs(nxt)
+                    path.pop()
+                on_path.discard(current)
+
+            dfs(start)
+        return out

@@ -6,14 +6,22 @@ become CRL000 findings rather than crashes), runs every registered rule
 over the resulting :class:`Project`, then applies inline pragmas and the
 ``.crimeslint.toml`` baseline. The resulting :class:`LintReport` renders
 as text for humans or as a versioned JSON document for the CI artifact.
+
+The parse+index phase — the per-file work — fans out across a process
+pool when ``jobs`` asks for it; the rule phase stays serial (rules see
+the whole :class:`Project`) and is individually wall-timed so the CI
+artifact shows where lint time goes as the rule pack grows. Finding
+order is deterministic either way: modules keep discovery order and
+findings sort by location.
 """
 
 import json
 import os
+import time
 
 from repro.analysis import registry
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
-from repro.analysis.findings import Finding
+from repro.analysis.findings import Finding, WitnessHop
 from repro.analysis.pragmas import suppresses
 from repro.analysis.resolver import Project, SourceModule
 from repro.errors import ConfigError
@@ -25,17 +33,30 @@ REPORT_SCHEMA = "crimes-lint/1"
 PARSE_RULE = "CRL000"
 
 
+def _parse_one(job):
+    """Worker body: parse+index one file. Module-level for pickling."""
+    path, rel = job
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        return ("ok", SourceModule(path, rel, text))
+    except SyntaxError as err:
+        return ("err", (rel, err.lineno or 1, str(err.msg or err)))
+
+
 class LintReport:
     """The outcome of one lint run."""
 
     def __init__(self, findings, suppressed_pragma, suppressed_baseline,
-                 files, rules, unused_baseline):
+                 files, rules, unused_baseline, rule_timings=None):
         self.findings = findings
         self.suppressed_pragma = suppressed_pragma
         self.suppressed_baseline = suppressed_baseline
         self.files = files
         self.rules = rules
         self.unused_baseline = unused_baseline
+        #: rule id -> wall milliseconds spent in its check_project.
+        self.rule_timings = dict(rule_timings or {})
 
     @property
     def clean(self):
@@ -75,6 +96,8 @@ class LintReport:
             },
             "unused_baseline": [entry.to_dict()
                                 for entry in self.unused_baseline],
+            "rule_timings_ms": {rule: round(ms, 3) for rule, ms
+                                in sorted(self.rule_timings.items())},
         }
 
     def render_json(self):
@@ -84,7 +107,8 @@ class LintReport:
 class LintEngine:
     """Configured analyzer: run :meth:`run` to produce a report."""
 
-    def __init__(self, paths=None, root=None, baseline="auto", select=None):
+    def __init__(self, paths=None, root=None, baseline="auto", select=None,
+                 jobs=None):
         self.root = os.path.abspath(root or os.getcwd())
         self.baseline = self._load_baseline(baseline)
         if paths is None and self.baseline.lint_paths:
@@ -93,6 +117,9 @@ class LintEngine:
             paths = ["src/repro"]
         self.paths = list(paths)
         self.rules = registry.instantiate(select=select)
+        if jobs == "auto":
+            jobs = os.cpu_count() or 1
+        self.jobs = int(jobs) if jobs else 1
 
     def _load_baseline(self, baseline):
         if baseline is False or baseline is None:
@@ -139,27 +166,63 @@ class LintEngine:
 
     # -- the run -----------------------------------------------------------
 
-    def run(self):
-        parse_findings = []
-        modules = []
-        for path in self._discover():
-            rel = self._rel(path)
-            with open(path, "r", encoding="utf-8") as handle:
-                text = handle.read()
+    def _parse_all(self):
+        """Parse+index every discovered file, fanned out when jobs > 1.
+
+        Results keep discovery order regardless of worker scheduling, so
+        a parallel run is byte-identical to a serial one. Any pool
+        failure (a platform without fork, a non-picklable tree) falls
+        back to the serial path rather than failing the lint.
+        """
+        work = [(path, self._rel(path)) for path in self._discover()]
+        results = None
+        if self.jobs > 1 and len(work) > 1:
             try:
-                modules.append(SourceModule(path, rel, text))
-            except SyntaxError as err:
+                from concurrent.futures import ProcessPoolExecutor
+                with ProcessPoolExecutor(
+                        max_workers=min(self.jobs, len(work))) as pool:
+                    results = list(pool.map(_parse_one, work))
+            except (ImportError, OSError, RuntimeError, TypeError,
+                    AttributeError):
+                # No usable pool on this platform (or the indexed tree
+                # failed to pickle): lint must still complete serially.
+                results = None
+        if results is None:
+            results = [_parse_one(job) for job in work]
+
+        modules = []
+        parse_findings = []
+        for status, payload in results:
+            if status == "ok":
+                modules.append(payload)
+            else:
+                rel, lineno, msg = payload
                 parse_findings.append(Finding(
                     rule=PARSE_RULE,
                     path=rel,
-                    line=err.lineno or 1,
-                    message="file does not parse: %s" % (err.msg or err),
+                    line=lineno,
+                    message="file does not parse: %s" % msg,
                 ))
+        return modules, parse_findings
+
+    def run(self):
+        modules, parse_findings = self._parse_all()
         project = Project(modules)
 
         raw = list(parse_findings)
+        rule_timings = {}
         for rule in self.rules:
+            started = time.perf_counter()
             raw.extend(rule.check_project(project))
+            rule_timings[rule.id] = (time.perf_counter() - started) * 1000.0
+
+        # Acceptance contract: every finding carries a witness path. A
+        # rule that emitted none gets the trivial single-hop chain.
+        for finding in raw:
+            if not finding.witness:
+                finding.witness = [WitnessHop(
+                    finding.path, finding.line,
+                    "flagged site (%s)" % (finding.symbol or finding.rule))]
 
         findings = []
         suppressed_pragma = 0
@@ -182,10 +245,12 @@ class LintEngine:
             files=[module.rel_path for module in project],
             rules=[rule.id for rule in self.rules],
             unused_baseline=self.baseline.unused_entries(),
+            rule_timings=rule_timings,
         )
 
 
-def run_lint(paths=None, root=None, baseline="auto", select=None):
+def run_lint(paths=None, root=None, baseline="auto", select=None,
+             jobs=None):
     """One-call convenience wrapper used by the CLI and tests."""
     return LintEngine(paths=paths, root=root, baseline=baseline,
-                      select=select).run()
+                      select=select, jobs=jobs).run()

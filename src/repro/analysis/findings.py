@@ -12,14 +12,34 @@ class Severity:
     WARNING = "warning"
 
 
+class WitnessHop:
+    """One step of an interprocedural witness path (source -> sink)."""
+
+    __slots__ = ("path", "line", "note")
+
+    def __init__(self, path, line, note):
+        self.path = path
+        self.line = line
+        self.note = note
+
+    def render(self):
+        return "%s:%d: %s" % (self.path, self.line, self.note)
+
+    def to_dict(self):
+        return {"path": self.path, "line": self.line, "note": self.note}
+
+    def __repr__(self):
+        return "WitnessHop(%s:%d %s)" % (self.path, self.line, self.note)
+
+
 class Finding:
     """One rule violation at one source location."""
 
     __slots__ = ("rule", "path", "line", "col", "message", "severity",
-                 "symbol")
+                 "symbol", "witness")
 
     def __init__(self, rule, path, line, message, col=0,
-                 severity=Severity.ERROR, symbol=None):
+                 severity=Severity.ERROR, symbol=None, witness=None):
         self.rule = rule
         self.path = path
         self.line = line
@@ -27,6 +47,7 @@ class Finding:
         self.message = message
         self.severity = severity
         self.symbol = symbol
+        self.witness = list(witness) if witness else []
 
     def sort_key(self):
         return (self.path, self.line, self.col, self.rule)
@@ -35,9 +56,19 @@ class Finding:
         return "%s:%d" % (self.path, self.line)
 
     def render(self):
-        return "%s:%d: %s %s: %s" % (
+        head = "%s:%d: %s %s: %s" % (
             self.path, self.line, self.rule, self.severity, self.message,
         )
+        if not self.witness:
+            return head
+        lines = [head]
+        for index, hop in enumerate(self.witness):
+            lines.append("    [%d] %s" % (index + 1, hop.render()))
+        return "\n".join(lines)
+
+    def witness_text(self):
+        """The witness chain as one ``a -> b -> c`` string (for matching)."""
+        return " -> ".join(hop.render() for hop in self.witness)
 
     def to_dict(self):
         out = {
@@ -50,6 +81,8 @@ class Finding:
         }
         if self.symbol is not None:
             out["symbol"] = self.symbol
+        if self.witness:
+            out["witness"] = [hop.to_dict() for hop in self.witness]
         return out
 
     def __repr__(self):

@@ -29,6 +29,8 @@ class Rule:
     id = None
     name = None
     description = None
+    #: Long-form rationale shown by ``crimeslint --explain RULE``.
+    explain = None
 
     def check_module(self, module, project):
         """Yield findings for one :class:`SourceModule`."""
@@ -62,3 +64,15 @@ def catalog():
     """(id, name, description) for every registered rule, sorted."""
     return [(cls.id, cls.name, cls.description)
             for _, cls in sorted(RULES.items())]
+
+
+def explain(rule_id):
+    """Long-form rationale for one rule; raises on unknown IDs."""
+    cls = RULES.get(rule_id.upper())
+    if cls is None:
+        raise ConfigError(
+            "unknown rule id: %s (known: %s)" % (
+                rule_id, ", ".join(sorted(RULES)))
+        )
+    text = cls.explain or cls.description or ""
+    return "%s %s\n\n%s" % (cls.id, cls.name, text)

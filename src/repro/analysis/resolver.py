@@ -7,12 +7,24 @@ re-walks the AST:
   module's ``import``/``from ... import`` table, so ``from time import
   sleep; sleep(1)`` and ``import time as t; t.sleep(1)`` both resolve to
   ``time.sleep``.
-* **Scope index** — every call, assignment, and ``except`` handler is
-  tagged with its enclosing function (``Class.method`` qualnames).
+* **Scope index** — every call, assignment, attribute access and
+  ``except`` handler is tagged with its enclosing function
+  (``Class.method`` qualnames, including classes defined inside
+  factory functions).
+* **Concurrency facts** — lock attributes (``self._lock =
+  threading.Lock()``), the set of ``with self._lock:`` scopes each
+  call/attribute access sits inside, and ``threading.Thread(target=
+  self.method)`` thread roots; this is the substrate the lock-
+  discipline rules (CRL007/CRL008) reason over.
 * **Intra-module call graph** — ``self.x()`` edges between methods of
   the same class and bare calls to module functions, with a transitive
-  ``closure_of``; this is the CFG-lite substrate the dataflow rules
-  (audited-release taint, fault-seam gating) reason over.
+  ``closure_of``.
+* **Cross-module call graph** — the :class:`Project` links call sites
+  through the import table, constructor bindings, and unique-method
+  devirtualization into a whole-program graph with its own
+  ``closure_of``/``callers_of``; the dataflow rules (taint, lock
+  order) walk these interprocedural edges and report them as witness
+  paths.
 * **Constructor bindings** — ``name = Ctor(...)`` and ``self.attr =
   Ctor(...)`` assignments, resolved through imports, so a rule can ask
   "what was this receiver constructed as?".
@@ -23,6 +35,25 @@ import ast
 from repro.analysis.pragmas import scan_pragmas
 
 MODULE_SCOPE = "<module>"
+
+#: Constructors whose instances guard shared state (CRL007/CRL008).
+LOCK_CTORS = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+})
+
+#: Container/stdlib method names the unique-method devirtualizer must
+#: never link: they collide with dict/list/set/str/file idioms, and a
+#: spurious edge would poison every interprocedural closure.
+_DEVIRT_BLACKLIST = frozenset({
+    "get", "put", "pop", "append", "add", "remove", "discard", "clear",
+    "update", "keys", "values", "items", "copy", "close", "open",
+    "read", "write", "send", "recv", "join", "split", "start", "stop",
+    "run", "stats", "setdefault", "extend", "insert", "index", "count",
+    "sort", "match", "search", "fullmatch", "format", "encode",
+    "decode", "strip", "replace", "release", "acquire", "wait",
+    "notify", "notify_all", "flush", "seek", "name", "snapshot",
+})
 
 
 def dotted_chain(node):
@@ -37,14 +68,32 @@ def dotted_chain(node):
     return None
 
 
+def module_name_for(rel_path):
+    """Dotted module name for a repo-relative path.
+
+    ``src/repro/service/vault.py`` -> ``repro.service.vault``;
+    ``pkg/__init__.py`` -> ``pkg``; fixture trees map the same way
+    relative to the lint root.
+    """
+    path = rel_path
+    if path.endswith(".py"):
+        path = path[:-3]
+    parts = [part for part in path.split("/") if part]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    return ".".join(parts)
+
+
 class CallSite:
     """One call expression, located and import-resolved."""
 
     __slots__ = ("node", "chain", "resolved", "scope", "class_name",
-                 "in_with_item", "is_returned")
+                 "in_with_item", "is_returned", "held_locks", "targets")
 
     def __init__(self, node, chain, resolved, scope, class_name,
-                 in_with_item, is_returned):
+                 in_with_item, is_returned, held_locks=frozenset()):
         self.node = node
         self.chain = chain
         self.resolved = resolved
@@ -52,6 +101,11 @@ class CallSite:
         self.class_name = class_name
         self.in_with_item = in_with_item
         self.is_returned = is_returned
+        #: lock attribute names (``self.X``) lexically held at the call.
+        self.held_locks = held_locks
+        #: interprocedural targets, filled by Project._link_project:
+        #: list of (rel_path, qualname) this call may invoke.
+        self.targets = ()
 
     @property
     def method(self):
@@ -70,6 +124,28 @@ class CallSite:
     def __repr__(self):
         return "CallSite(%s @ line %d in %s)" % (
             self.chain, self.node.lineno, self.scope,
+        )
+
+
+class AttrAccess:
+    """One ``self.X`` attribute read or write, with its lock context."""
+
+    __slots__ = ("attr", "kind", "lineno", "col", "scope", "class_name",
+                 "held_locks")
+
+    def __init__(self, attr, kind, lineno, col, scope, class_name,
+                 held_locks):
+        self.attr = attr
+        self.kind = kind  # "load" | "store"
+        self.lineno = lineno
+        self.col = col
+        self.scope = scope
+        self.class_name = class_name
+        self.held_locks = held_locks
+
+    def __repr__(self):
+        return "AttrAccess(self.%s %s @ line %d in %s)" % (
+            self.attr, self.kind, self.lineno, self.scope,
         )
 
 
@@ -111,39 +187,68 @@ class FunctionInfo:
         self.calls = []
         self.callees = set()
 
+    def ordered_params(self):
+        """Positional parameter names in declaration order."""
+        args = self.node.args
+        return [arg.arg for arg in args.posonlyargs + args.args]
+
 
 class ClassInfo:
-    """One class: its method names and base-class chains."""
+    """One class: its method names, base chains, and lock attributes."""
 
-    __slots__ = ("node", "name", "methods", "bases", "self_ctor_attrs")
+    __slots__ = ("node", "name", "methods", "bases", "resolved_bases",
+                 "self_ctor_attrs", "lock_attrs", "thread_targets")
 
-    def __init__(self, node, bases):
+    def __init__(self, node, bases, resolved_bases=()):
         self.node = node
         self.name = node.name
         self.methods = set()
         self.bases = bases
+        self.resolved_bases = list(resolved_bases)
         self.self_ctor_attrs = {}
+        #: attr name -> lineno of the ``self.x = threading.Lock()`` site.
+        self.lock_attrs = {}
+        #: method names used as ``threading.Thread(target=self.m)``.
+        self.thread_targets = set()
+
+    def derives_from(self, name):
+        """True if any base chain mentions ``name`` (last segment match)."""
+        for base in list(self.bases) + list(self.resolved_bases):
+            if base == name or base.rpartition(".")[2] == name:
+                return True
+        return False
 
 
 class _Collector(ast.NodeVisitor):
     def __init__(self, module):
         self.mod = module
-        self._func_stack = []
-        self._class_stack = []
+        # Unified scope stack of ("func", FunctionInfo)/("class", ClassInfo):
+        # a class defined inside a factory function still owns its methods.
+        self._scopes = []
         self._with_calls = set()
         self._returned_calls = set()
+        self._lock_stack = []
 
     # -- scope bookkeeping -------------------------------------------------
 
     def _scope(self):
-        return self._func_stack[-1] if self._func_stack else None
+        for kind, info in reversed(self._scopes):
+            if kind == "func":
+                return info
+        return None
 
     def _scope_name(self):
         func = self._scope()
         return func.qualname if func is not None else MODULE_SCOPE
 
-    def _class_name(self):
-        return self._class_stack[-1].name if self._class_stack else None
+    def _enclosing_class(self):
+        for kind, info in reversed(self._scopes):
+            if kind == "class":
+                return info
+        return None
+
+    def _held_locks(self):
+        return frozenset(self._lock_stack)
 
     # -- imports -----------------------------------------------------------
 
@@ -165,21 +270,22 @@ class _Collector(ast.NodeVisitor):
     # -- definitions -------------------------------------------------------
 
     def _visit_function(self, node):
-        class_info = self._class_stack[-1] if self._class_stack else None
-        if class_info is not None and not self._func_stack:
-            qualname = "%s.%s" % (class_info.name, node.name)
-            class_info.methods.add(node.name)
-        elif self._func_stack:
-            qualname = "%s.%s" % (self._func_stack[-1].qualname, node.name)
+        kind, owner = self._scopes[-1] if self._scopes else (None, None)
+        if kind == "class":
+            qualname = "%s.%s" % (owner.name, node.name)
+            owner.methods.add(node.name)
+            class_name = owner.name
+        elif kind == "func":
+            qualname = "%s.%s" % (owner.qualname, node.name)
+            class_name = None
         else:
             qualname = node.name
-        info = FunctionInfo(node, node.name, qualname,
-                            class_info.name if class_info is not None
-                            and not self._func_stack else None)
+            class_name = None
+        info = FunctionInfo(node, node.name, qualname, class_name)
         self.mod.functions[qualname] = info
-        self._func_stack.append(info)
+        self._scopes.append(("func", info))
         self.generic_visit(node)
-        self._func_stack.pop()
+        self._scopes.pop()
 
     def visit_FunctionDef(self, node):
         self._visit_function(node)
@@ -189,19 +295,30 @@ class _Collector(ast.NodeVisitor):
 
     def visit_ClassDef(self, node):
         bases = [dotted_chain(base) for base in node.bases]
-        info = ClassInfo(node, [b for b in bases if b is not None])
+        bases = [b for b in bases if b is not None]
+        resolved = [self.mod.resolve(b) for b in bases]
+        info = ClassInfo(node, bases, [r for r in resolved if r is not None])
         self.mod.classes[node.name] = info
-        self._class_stack.append(info)
+        self._scopes.append(("class", info))
         self.generic_visit(node)
-        self._class_stack.pop()
+        self._scopes.pop()
 
     # -- expressions the rules care about ---------------------------------
 
     def visit_With(self, node):
+        pushed = 0
         for item in node.items:
             if isinstance(item.context_expr, ast.Call):
                 self._with_calls.add(id(item.context_expr))
+            else:
+                chain = dotted_chain(item.context_expr)
+                if (chain is not None and chain.startswith("self.")
+                        and chain.count(".") == 1):
+                    self._lock_stack.append(chain[len("self."):])
+                    pushed += 1
         self.generic_visit(node)
+        for _ in range(pushed):
+            self._lock_stack.pop()
 
     def visit_AsyncWith(self, node):
         self.visit_With(node)
@@ -213,20 +330,51 @@ class _Collector(ast.NodeVisitor):
 
     def visit_Call(self, node):
         chain = dotted_chain(node.func)
+        func = self._scope()
         site = CallSite(
             node=node,
             chain=chain,
             resolved=self.mod.resolve(chain),
             scope=self._scope_name(),
-            class_name=(self._scope().class_name
-                        if self._scope() is not None else None),
+            class_name=func.class_name if func is not None else None,
             in_with_item=id(node) in self._with_calls,
             is_returned=id(node) in self._returned_calls,
+            held_locks=self._held_locks(),
         )
         self.mod.calls.append(site)
-        func = self._scope()
         if func is not None:
             func.calls.append(site)
+        self._maybe_thread_target(site)
+        self.generic_visit(node)
+
+    def _maybe_thread_target(self, site):
+        """Record ``threading.Thread(target=self.m)`` thread roots."""
+        if site.resolved != "threading.Thread" and site.method != "Thread":
+            return
+        for keyword in site.node.keywords:
+            if keyword.arg != "target":
+                continue
+            chain = dotted_chain(keyword.value)
+            if (chain is not None and chain.startswith("self.")
+                    and chain.count(".") == 1 and site.class_name):
+                info = self.mod.classes.get(site.class_name)
+                if info is not None:
+                    info.thread_targets.add(chain[len("self."):])
+
+    def visit_Attribute(self, node):
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            func = self._scope()
+            kind = "store" if isinstance(node.ctx, (ast.Store, ast.Del)) \
+                else "load"
+            self.mod.attr_accesses.append(AttrAccess(
+                attr=node.attr,
+                kind=kind,
+                lineno=node.lineno,
+                col=node.col_offset,
+                scope=self._scope_name(),
+                class_name=func.class_name if func is not None else None,
+                held_locks=self._held_locks(),
+            ))
         self.generic_visit(node)
 
     def visit_Assign(self, node):
@@ -234,13 +382,14 @@ class _Collector(ast.NodeVisitor):
             target = dotted_chain(node.targets[0])
             value_chain = dotted_chain(node.value.func)
             if target is not None and value_chain is not None:
+                func = self._scope()
                 self.mod.assignments.append(Assignment(
                     target=target,
                     value_chain=value_chain,
                     resolved=self.mod.resolve(value_chain),
                     scope=self._scope_name(),
-                    class_name=(self._scope().class_name
-                                if self._scope() is not None else None),
+                    class_name=(func.class_name
+                                if func is not None else None),
                     lineno=node.lineno,
                 ))
         self.generic_visit(node)
@@ -257,6 +406,7 @@ class SourceModule:
         self.path = path
         self.rel_path = rel_path
         self.text = text
+        self.module_name = module_name_for(rel_path)
         self.tree = ast.parse(text, filename=rel_path)
         self.import_aliases = {}
         self.from_imports = {}
@@ -264,6 +414,7 @@ class SourceModule:
         self.classes = {}
         self.calls = []
         self.assignments = []
+        self.attr_accesses = []
         self.except_handlers = []
         self.pragmas = scan_pragmas(text)
         _Collector(self).visit(self.tree)
@@ -336,9 +487,12 @@ class SourceModule:
                 info = self.classes.get(assign.class_name)
                 if info is not None:
                     attr = assign.target[len("self."):]
-                    info.self_ctor_attrs[attr] = (
-                        assign.resolved or assign.value_chain
-                    )
+                    ctor = assign.resolved or assign.value_chain
+                    info.self_ctor_attrs[attr] = ctor
+                    if ctor in LOCK_CTORS or (
+                            ctor.rpartition(".")[2] in
+                            ("Lock", "RLock", "Condition")):
+                        info.lock_attrs.setdefault(attr, assign.lineno)
 
     def ctor_of(self, receiver_parts, scope, class_name):
         """Best-effort constructor name for a call receiver.
@@ -379,14 +533,178 @@ class SourceModule:
 
 
 class Project:
-    """The analyzed file set: parsed modules plus cross-module lookups."""
+    """The analyzed file set: parsed modules plus cross-module lookups.
+
+    Construction links every call site to its interprocedural targets
+    (``CallSite.targets``) and builds the whole-program call graph the
+    dataflow rules close over. Nodes are ``(rel_path, qualname)``
+    pairs.
+    """
 
     def __init__(self, modules):
         self.modules = list(modules)
         self.by_rel_path = {module.rel_path: module for module in self.modules}
+        self.by_module_name = {module.module_name: module
+                               for module in self.modules}
+        #: (rel_path, qualname) -> FunctionInfo
+        self.functions = {}
+        #: whole-program edges: node -> set of nodes
+        self.callees = {}
+        self._callers = {}
+        self._method_index = None
+        self._cache = {}
+        for module in self.modules:
+            for qualname, info in module.functions.items():
+                self.functions[(module.rel_path, qualname)] = info
+        self._link_project()
 
     def __iter__(self):
         return iter(self.modules)
 
     def __len__(self):
         return len(self.modules)
+
+    # -- cross-module resolution -------------------------------------------
+
+    def _build_method_index(self):
+        """method name -> [(rel_path, class_name)] across the project."""
+        index = {}
+        for module in self.modules:
+            for class_name, info in module.classes.items():
+                for method in info.methods:
+                    index.setdefault(method, []).append(
+                        (module.rel_path, class_name))
+        self._method_index = index
+
+    def resolve_callable(self, dotted):
+        """Map a resolved dotted name to a project function, or None.
+
+        Accepts ``pkg.mod.func``, ``pkg.mod.Class`` (-> ``__init__``)
+        and ``pkg.mod.Class.method``.
+        """
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            module = self.by_module_name.get(".".join(parts[:split]))
+            if module is None:
+                continue
+            rest = parts[split:]
+            if len(rest) == 1:
+                name = rest[0]
+                if name in module.functions:
+                    return (module.rel_path, name)
+                if name in module.classes:
+                    init = "%s.__init__" % name
+                    if init in module.functions:
+                        return (module.rel_path, init)
+                    return (module.rel_path, name)
+                return None
+            if len(rest) == 2:
+                qualname = "%s.%s" % (rest[0], rest[1])
+                if qualname in module.functions:
+                    return (module.rel_path, qualname)
+            return None
+        return None
+
+    def resolve_class(self, dotted):
+        """Map a resolved dotted name to ``(module, ClassInfo)``, or None."""
+        if dotted is None:
+            return None
+        mod_name, _, class_name = dotted.rpartition(".")
+        module = self.by_module_name.get(mod_name)
+        if module is not None and class_name in module.classes:
+            return (module, module.classes[class_name])
+        # Unqualified class name (fixture-local ctors).
+        for module in self.modules:
+            if dotted in module.classes:
+                return (module, module.classes[dotted])
+        return None
+
+    def _targets_for(self, module, func, site):
+        """Interprocedural targets of one call site."""
+        out = []
+        chain = site.chain
+        # (1) intra-module edges, reusing the per-module linker.
+        if chain is not None:
+            if chain.startswith("self.") and func.class_name is not None:
+                method = chain[len("self."):]
+                qualname = "%s.%s" % (func.class_name, method)
+                if "." not in method and qualname in module.functions:
+                    out.append((module.rel_path, qualname))
+            elif "." not in chain:
+                if chain in module.functions:
+                    out.append((module.rel_path, chain))
+                elif chain in module.classes:
+                    init = "%s.__init__" % chain
+                    if init in module.functions:
+                        out.append((module.rel_path, init))
+        # (2) import-resolved cross-module edges.
+        if not out and site.resolved is not None:
+            target = self.resolve_callable(site.resolved)
+            if target is not None and target in self.functions:
+                out.append(target)
+        # (3) constructor-bound receivers: self.queue = Queue() ->
+        #     self.queue.enqueue() links to Queue.enqueue.
+        if not out and site.receiver_parts and site.method:
+            ctor = module.ctor_of(site.receiver_parts, site.scope,
+                                  site.class_name)
+            if ctor is not None:
+                resolved = self.resolve_class(ctor)
+                if resolved is not None:
+                    target_mod, target_cls = resolved
+                    qualname = "%s.%s" % (target_cls.name, site.method)
+                    if qualname in target_mod.functions:
+                        out.append((target_mod.rel_path, qualname))
+        # (4) unique-method devirtualization: a method name defined by
+        #     exactly one project class (and not a container idiom)
+        #     links calls through untyped receivers, e.g.
+        #     ``self.vault.case(...)`` where only CaseVault defines
+        #     ``case``.
+        if (not out and site.method and site.receiver_parts
+                and site.method not in _DEVIRT_BLACKLIST):
+            if self._method_index is None:
+                self._build_method_index()
+            owners = self._method_index.get(site.method, ())
+            if len(owners) == 1:
+                rel, class_name = owners[0]
+                qualname = "%s.%s" % (class_name, site.method)
+                if (rel, qualname) in self.functions:
+                    out.append((rel, qualname))
+        return out
+
+    def _link_project(self):
+        for module in self.modules:
+            for qualname, func in module.functions.items():
+                node = (module.rel_path, qualname)
+                edges = self.callees.setdefault(node, set())
+                for site in func.calls:
+                    targets = self._targets_for(module, func, site)
+                    if targets:
+                        site.targets = tuple(targets)
+                        edges.update(targets)
+                for target in edges:
+                    self._callers.setdefault(target, set()).add(node)
+
+    # -- whole-program closures --------------------------------------------
+
+    def project_closure_of(self, node):
+        """Project-graph nodes reachable from ``node`` (itself included)."""
+        seen = {node}
+        stack = [node]
+        while stack:
+            for callee in self.callees.get(stack.pop(), ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    stack.append(callee)
+        return seen
+
+    def project_reachable_from(self, roots):
+        out = set()
+        for root in roots:
+            out |= self.project_closure_of(root)
+        return out
+
+    def callers_of(self, node):
+        """Direct whole-program callers of ``node``."""
+        return set(self._callers.get(node, ()))

@@ -5,3 +5,7 @@ from repro.analysis.rules import release      # noqa: F401  CRL003
 from repro.analysis.rules import journal      # noqa: F401  CRL004
 from repro.analysis.rules import seams        # noqa: F401  CRL005
 from repro.analysis.rules import exceptions   # noqa: F401  CRL006
+from repro.analysis.rules import locks        # noqa: F401  CRL007, CRL008
+from repro.analysis.rules import taint        # noqa: F401  CRL009
+from repro.analysis.rules import ipc          # noqa: F401  CRL010
+from repro.analysis.rules import pairing      # noqa: F401  CRL011

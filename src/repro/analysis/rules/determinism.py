@@ -52,6 +52,19 @@ class DeterminismRule(Rule):
         "No wall-clock reads, host entropy, or unseeded randomness in the "
         "simulation tree; all nondeterminism must derive from the run seed."
     )
+    explain = (
+        "Replay is the product: a seeded run must be bit-identical every "
+        "time, or checkpoint goldens, incident bundles, and the fleet "
+        "serial-equivalence check all stop meaning anything. CRL001 bans "
+        "the whole nondeterminism family at the source level — wall-clock "
+        "reads (time.time/perf_counter/datetime.now), host entropy "
+        "(uuid4, os.urandom, secrets.*), the shared module-level random.* "
+        "RNG, and unseeded random.Random(). Derive values from the run "
+        "seed via sim.rng and read time from sim.clock. The few justified "
+        "sites (the observability layer metering its own host-side "
+        "overhead, the real HTTP listener's latency histogram) are "
+        "baseline entries with written reasons."
+    )
 
     def check_module(self, module, project):
         for site in module.calls:
@@ -116,6 +129,14 @@ class VirtualTimeRule(Rule):
     description = (
         "No real-clock waits; delays are charged to sim.clock so simulated "
         "time advances deterministically."
+    )
+    explain = (
+        "A time.sleep/asyncio.sleep in the simulation path stalls the "
+        "host without advancing simulated time, so replays drift apart "
+        "from live runs and tests get slow and flaky at once. Simulated "
+        "delays are charged to sim.clock (clock.charge_ms/advance), "
+        "which advances virtual time deterministically and costs zero "
+        "wall-clock in tests."
     )
 
     def check_module(self, module, project):

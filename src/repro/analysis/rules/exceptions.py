@@ -63,6 +63,16 @@ class ExceptionHygieneRule(Rule):
         "ForensicsError; broad catches must re-raise, forensic catches "
         "must not be silent drops."
     )
+    explain = (
+        "A bare or over-broad except on the rollback path can swallow "
+        "IntrospectionError/ForensicsError — the exact class of bug "
+        "fixed by hand in PR 4, where a silent handler turned a failed "
+        "VMI read into a committed epoch. CRL006 flags bare except:, "
+        "except Exception/BaseException that does not re-raise, and "
+        "catches of the forensic exception types whose body is only "
+        "pass/... (a silent drop). Handle narrowly, re-raise after "
+        "logging, or pragma the site with a written justification."
+    )
 
     def check_module(self, module, project):
         for node, scope in module.except_handlers:

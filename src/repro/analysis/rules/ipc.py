@@ -1,0 +1,172 @@
+"""CRL010 IPC/pickle boundary.
+
+The fleet scheduler forks shard workers and speaks to them over
+``multiprocessing.Pipe`` — which is pickle under the hood, in both
+directions. That boundary is only safe while the vocabulary crossing
+it stays closed: plain tuples/dicts of data, and the whitelisted spec
+and report types. CRL010 enforces both directions: (a) nothing
+unpicklable-by-policy is ``.send()``-ed — no lambdas, no generator
+expressions, no instances of non-whitelisted project classes — and
+(b) bytes that arrived via ``.recv()`` never reach ``pickle.loads``
+(loading attacker-shaped bytes executes attacker-chosen constructors).
+A ``pickle.loads`` that re-derives a sha256 digest and raises on
+mismatch first (the vault ``load_dump`` idiom) is integrity-gated and
+exempt.
+"""
+
+import ast
+
+from repro.analysis.dataflow import TaintEngine, has_integrity_guard
+from repro.analysis.findings import Finding, WitnessHop
+from repro.analysis.registry import Rule, register
+
+#: Project classes allowed to cross the fork+pipe boundary by value.
+IPC_WHITELIST = frozenset({
+    "TenantSpec", "ShardReport", "TenantReport", "RoundReport",
+    "FleetRound", "StoreStats",
+})
+
+#: Receiver names that denote a pipe/connection endpoint.
+_PIPE_NAMES = frozenset({
+    "conn", "pipe", "_conn", "parent_conn", "child_conn", "sock",
+    "channel",
+})
+
+
+def _is_pipe_receiver(site):
+    parts = site.receiver_parts
+    return bool(parts) and parts[-1] in _PIPE_NAMES
+
+
+def _recv_source(module, func, node):
+    """Taint source: bytes/objects read off a pipe endpoint."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in ("recv", "recv_bytes"):
+            receiver = node.func.value
+            last = receiver.attr if isinstance(receiver, ast.Attribute) \
+                else getattr(receiver, "id", None)
+            if last in _PIPE_NAMES:
+                return ("untrusted IPC input: %s() in %s"
+                        % (node.func.attr, func.qualname))
+    return None
+
+
+@register
+class IpcBoundaryRule(Rule):
+    id = "CRL010"
+    name = "ipc-boundary"
+    description = (
+        "Only whitelisted spec/report types cross the fleet fork+pipe "
+        "boundary, and pickle.loads never runs on bytes that arrived "
+        "via recv."
+    )
+    explain = (
+        "multiprocessing.Pipe serializes with pickle in both "
+        "directions, so the fork+pipe boundary between the fleet "
+        "scheduler and its shard workers is a deserialization boundary. "
+        "CRL010 checks both sides. Send side: arguments to .send() on a "
+        "pipe endpoint (conn/parent_conn/child_conn/pipe receivers) "
+        "must be built from constants, names, tuples/lists/dicts, and "
+        "whitelisted project types (TenantSpec and the report records); "
+        "a lambda, a generator expression, or a non-whitelisted project "
+        "class instance in the payload is flagged — it either fails at "
+        "runtime or silently widens the protocol. Receive side: values "
+        "produced by .recv()/.recv_bytes() are tainted, and if they "
+        "flow into pickle.loads the rule fires with the recv->loads "
+        "witness chain — deserializing peer-controlled bytes executes "
+        "peer-chosen constructors. Exception: a loads preceded in the "
+        "same function by a sha256 re-derivation compared against a "
+        "recorded digest with a raise on mismatch (CaseVault.load_dump) "
+        "is integrity-gated and exempt."
+    )
+
+    def _bad_payload_node(self, project, module, node):
+        """First disallowed constructor in a send payload, or None."""
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Lambda, ast.GeneratorExp)):
+                return sub, "a %s" % type(sub).__name__.lower()
+            if isinstance(sub, ast.Call):
+                chain = _chain(sub.func)
+                if chain is None or "." in chain:
+                    continue
+                resolved = project.resolve_class(
+                    module.resolve(chain) or chain)
+                if resolved is not None and chain not in IPC_WHITELIST:
+                    return sub, "a %s instance" % chain
+        return None
+
+    def check_project(self, project):
+        engine = TaintEngine(project, _recv_source)
+        for module in project:
+            functions_by_qual = module.functions
+            for site in module.calls:
+                # Send side: payload vocabulary.
+                if site.method == "send" and _is_pipe_receiver(site):
+                    for arg in site.node.args:
+                        bad = self._bad_payload_node(project, module, arg)
+                        if bad is None:
+                            continue
+                        bad_node, what = bad
+                        yield Finding(
+                            rule=self.id,
+                            path=module.rel_path,
+                            line=site.node.lineno,
+                            col=site.node.col_offset,
+                            symbol=site.chain,
+                            message=(
+                                "%s crosses the fork+pipe boundary via "
+                                "%s(); only plain data and whitelisted "
+                                "spec/report types (%s) may be sent"
+                                % (what, site.chain,
+                                   ", ".join(sorted(IPC_WHITELIST)))
+                            ),
+                            witness=[
+                                WitnessHop(module.rel_path,
+                                           bad_node.lineno,
+                                           "%s built here" % what),
+                                WitnessHop(module.rel_path,
+                                           site.node.lineno,
+                                           "sent across the pipe in %s"
+                                           % site.scope),
+                            ],
+                        )
+                # Receive side: recv-tainted bytes into pickle.loads.
+                resolved = site.resolved or site.chain
+                if resolved in ("pickle.loads", "pickle.load"):
+                    taint = engine.any_arg_taint(site)
+                    if taint is None:
+                        continue
+                    func = functions_by_qual.get(site.scope)
+                    if func is not None and has_integrity_guard(
+                            func.node, site.node.lineno):
+                        continue
+                    witness = taint.witness()
+                    witness.append(WitnessHop(
+                        module.rel_path, site.node.lineno,
+                        "deserialized by %s in %s"
+                        % (resolved, site.scope)))
+                    yield Finding(
+                        rule=self.id,
+                        path=module.rel_path,
+                        line=site.node.lineno,
+                        col=site.node.col_offset,
+                        symbol=resolved,
+                        message=(
+                            "pickle.loads runs on bytes received off the "
+                            "pipe without an integrity check; "
+                            "deserializing peer-controlled bytes executes "
+                            "peer-chosen constructors"
+                        ),
+                        witness=witness,
+                    )
+
+
+def _chain(node):
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

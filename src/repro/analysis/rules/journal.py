@@ -60,6 +60,17 @@ class JournalDisciplineRule(Rule):
         "registry, and spans must have a closing path (with-block or "
         "returned to the caller)."
     )
+    explain = (
+        "The flight journal is the forensic record that replay and "
+        "incident bundles are rebuilt from, so its event vocabulary is "
+        "closed: every journal/record kind must be a string literal from "
+        "the EVENT_KINDS registry declared next to the recorder in "
+        "obs/flight.py (or a parameter forwarded verbatim). A typo'd or "
+        "computed kind silently forks the vocabulary and breaks every "
+        "downstream filter. Tracer spans must also have a closing path — "
+        "opened in a with-block or returned to a caller who owns the "
+        "close — or the journal records unbalanced timing."
+    )
 
     def check_project(self, project):
         kinds = _declared_kinds(project)

@@ -1,0 +1,130 @@
+"""CRL007 lock discipline + CRL008 lock-order consistency.
+
+The service and store layers went threaded in PRs 7–9: HTTP handler
+threads mutate `CaseService`/`CaseVault` state, the forensics worker
+pool shares counters, and the fleet reads live `PageStore` stats. A
+class that owns a ``threading.Lock``/``RLock``/``Condition`` attribute
+has declared its concurrency contract — CRL007 holds it to it: every
+access to an attribute that is *somewhere* accessed under the lock must
+itself run lock-held (lexically, in a guaranteed-held callee, or during
+construction). CRL008 closes the other half: with multiple locks in
+play, all interprocedural chains must acquire them in one global
+order, or two threads can deadlock — a static cycle in the
+acquisition graph is reported before it ever hangs a fleet.
+"""
+
+from repro.analysis.dataflow import (GuardedByModel, LockOrderGraph,
+                                     lock_owning_classes)
+from repro.analysis.findings import Finding, WitnessHop
+from repro.analysis.registry import Rule, register
+
+
+@register
+class LockDisciplineRule(Rule):
+    id = "CRL007"
+    name = "lock-discipline"
+    description = (
+        "Attributes of a lock-owning class that are accessed under the "
+        "lock anywhere must be accessed under it everywhere; a single "
+        "unguarded read or write is a data race."
+    )
+    explain = (
+        "A class that initializes a threading.Lock/RLock/Condition "
+        "attribute (self._lock = threading.Lock()) declares that lock as "
+        "the guard for its shared state. Any attribute the class accesses "
+        "inside a `with self._lock:` block (outside __init__) is treated "
+        "as protected. CRL007 then flags every access to a protected "
+        "attribute that can run without the lock: not lexically inside a "
+        "`with` on the owning lock, not in a method whose callers all "
+        "hold the lock (guaranteed-held, inferred over the intra-class "
+        "call graph), not in __init__, and not in a construction-only "
+        "helper. The witness path shows the lock declaration, one "
+        "guarded access that establishes the contract, and the unguarded "
+        "access that breaks it. Fix by taking the lock (or snapshotting "
+        "state under it), not by suppressing — torn reads of evidence "
+        "counters are exactly what CRIMES cannot afford."
+    )
+
+    def check_project(self, project):
+        for module, class_info in lock_owning_classes(project):
+            model = GuardedByModel(project, module, class_info)
+            for access in model.unguarded_accesses():
+                exemplar = model.protected[access.attr]
+                lexical = sorted(exemplar.held_locks & model.lock_attrs)
+                guard = lexical[0] if lexical \
+                    else sorted(model.lock_attrs)[0]
+                decl_line = class_info.lock_attrs.get(
+                    guard, class_info.node.lineno)
+                yield Finding(
+                    rule=self.id,
+                    path=module.rel_path,
+                    line=access.lineno,
+                    col=access.col,
+                    symbol="%s.%s" % (class_info.name, access.attr),
+                    message=(
+                        "unguarded %s of self.%s: %s accesses it under "
+                        "self.%s, but %s can run without the lock"
+                        % (access.kind, access.attr,
+                           exemplar.scope, guard, access.scope)
+                    ),
+                    witness=[
+                        WitnessHop(module.rel_path, decl_line,
+                                   "self.%s declared as the owning lock "
+                                   "of %s" % (guard, class_info.name)),
+                        WitnessHop(module.rel_path, exemplar.lineno,
+                                   "self.%s %s under the lock in %s"
+                                   % (access.attr, exemplar.kind,
+                                      exemplar.scope)),
+                        WitnessHop(module.rel_path, access.lineno,
+                                   "unguarded %s in %s"
+                                   % (access.kind, access.scope)),
+                    ],
+                )
+
+
+@register
+class LockOrderRule(Rule):
+    id = "CRL008"
+    name = "lock-order"
+    description = (
+        "All interprocedural chains must acquire locks in one global "
+        "order; a cycle in the acquisition graph is a potential "
+        "deadlock."
+    )
+    explain = (
+        "CRL008 builds the global lock-acquisition graph: an edge A->B "
+        "means some code path acquires lock B while holding lock A — "
+        "either a lexically nested `with`, or a call made under A whose "
+        "whole-program closure (cross-module, through constructor-bound "
+        "receivers) reaches an acquisition of B. If the graph has a "
+        "cycle, two threads taking the locks from different ends can "
+        "each hold one and wait forever on the other. The witness path "
+        "walks the cycle edge by edge with the call chain that realizes "
+        "each hold-and-acquire. Fix by picking one order (document it "
+        "at the lock declarations) and restructuring the out-of-order "
+        "chain — usually by releasing before calling out, or by "
+        "snapshotting under one lock and then taking the next."
+    )
+
+    def check_project(self, project):
+        graph = LockOrderGraph(project)
+        for cycle in graph.cycles():
+            hops = []
+            for edge in cycle:
+                hops.extend(graph.edges[edge])
+            chain = " -> ".join(
+                "%s.%s" % (src[1], src[2]) for src, _dst in cycle)
+            first_src, _first_dst = cycle[0]
+            anchor = graph.edges[cycle[0]][0]
+            yield Finding(
+                rule=self.id,
+                path=anchor.path,
+                line=anchor.line,
+                symbol="%s.%s" % (first_src[1], first_src[2]),
+                message=(
+                    "lock-order cycle %s -> %s.%s: chains acquire these "
+                    "locks in conflicting orders (potential deadlock)"
+                    % (chain, first_src[1], first_src[2])
+                ),
+                witness=hops[:12],
+            )

@@ -1,0 +1,307 @@
+"""CRL011 acquire/release pairing.
+
+Two resources in this tree leak silently when an exception takes the
+unhappy path: refcounted ``PageStore`` pages (``put``/``ingest_frames``
+hand back keys whose refs the caller now owns) and vault staging
+directories (a surviving ``*.staging`` dir blocks every future ingest
+of that case ID — the PR 8 hardening). CRL011 is the path-sensitive
+static check: every store acquire must either *escape* (the keys are
+returned to the caller or stored on ``self``, transferring ownership)
+or be *covered* by a ``try`` whose handler/finally releases them; and
+every staging-dir creation must be covered by a ``try`` whose
+handler/finally cleans the directory up. Discarding an acquire's
+result outright (``store.put(...)`` as a bare statement) is flagged
+immediately — nobody can ever release those refs.
+"""
+
+import ast
+
+from repro.analysis.findings import Finding, WitnessHop
+from repro.analysis.registry import Rule, register
+
+#: Store methods that hand ref ownership to the caller.
+_ACQUIRES = frozenset({"put", "ingest_frames"})
+
+#: ``retain`` bumps an existing key's refcount; its return value (the
+#: same key) is legitimately discarded, but holds still need coverage
+#: when the result *is* bound.
+_REF_BUMPS = frozenset({"retain"})
+
+_RELEASES = frozenset({"release", "release_many"})
+
+#: Receiver spellings that denote a PageStore handle.
+_STORE_RECEIVERS = frozenset({"store", "_store"})
+
+
+def _is_store_receiver(module, site):
+    parts = site.receiver_parts
+    if not parts:
+        return False
+    if parts[-1] in _STORE_RECEIVERS:
+        return True
+    ctor = module.ctor_of(parts, site.scope, site.class_name)
+    return ctor is not None and ctor.rpartition(".")[2] == "PageStore"
+
+
+def _names_in(node):
+    return {sub.id for sub in ast.walk(node) if isinstance(sub, ast.Name)}
+
+
+def _is_staging_creation(module, site):
+    """``os.makedirs``/``mkdtemp`` of a staging path, or None."""
+    resolved = site.resolved or site.chain
+    if resolved in ("tempfile.mkdtemp",):
+        return True
+    if resolved not in ("os.makedirs", "os.mkdir"):
+        return False
+    for arg in site.node.args:
+        for name in _names_in(arg):
+            if "staging" in name or "scratch" in name:
+                return True
+        for sub in ast.walk(arg):
+            if (isinstance(sub, ast.Constant)
+                    and isinstance(sub.value, str)
+                    and "staging" in sub.value):
+                return True
+    return False
+
+
+class _FunctionShape:
+    """Per-function statement facts the pairing checks need."""
+
+    def __init__(self, func_node):
+        self.discarded = set()      # id(call node) of bare-Expr calls
+        self.bound_to = {}          # id(call node) -> local name
+        self.returned_names = set()
+        self.self_stored_names = set()
+        self.tries = []             # ast.Try nodes, any depth
+        for node in ast.walk(func_node):
+            if isinstance(node, ast.Expr) and isinstance(node.value,
+                                                         ast.Call):
+                self.discarded.add(id(node.value))
+            elif isinstance(node, ast.Assign) and isinstance(node.value,
+                                                             ast.Call):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.bound_to[id(node.value)] = target.id
+            elif isinstance(node, ast.Return) and node.value is not None:
+                self.returned_names.update(_names_in(node.value))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        self.self_stored_names.update(
+                            _names_in(node.value))
+            elif isinstance(node, ast.Try):
+                self.tries.append(node)
+
+    def escapes(self, name):
+        return name in self.returned_names or \
+            name in self.self_stored_names
+
+    def _exception_paths(self, try_node):
+        for handler in try_node.handlers:
+            yield handler.body
+        if try_node.finalbody:
+            yield try_node.finalbody
+
+    def covered(self, acquire_line, matches_cleanup):
+        """True if a try's handler/finally cleans up after the acquire.
+
+        The covering ``try`` must overlap the acquire: either the
+        acquire sits inside its body, or the ``try`` begins at/after
+        the acquire line (the ``x = acquire(); try: ... finally:
+        cleanup(x)`` shape).
+        """
+        for try_node in self.tries:
+            end = max((getattr(n, "lineno", try_node.lineno)
+                       for n in ast.walk(try_node)),
+                      default=try_node.lineno)
+            inside = try_node.lineno <= acquire_line <= end
+            after = try_node.lineno >= acquire_line
+            if not (inside or after):
+                continue
+            for body in self._exception_paths(try_node):
+                for stmt in body:
+                    for sub in ast.walk(stmt):
+                        if isinstance(sub, ast.Call) and \
+                                matches_cleanup(sub):
+                            return True
+        return False
+
+
+@register
+class AcquireReleaseRule(Rule):
+    id = "CRL011"
+    name = "acquire-release"
+    description = (
+        "Every PageStore ref acquire and every staging-dir creation "
+        "must reach its release/cleanup on all paths, including "
+        "exception edges."
+    )
+    explain = (
+        "PageStore.put and PageStore.ingest_frames hand back keys whose "
+        "references the caller now owns; a vault staging directory "
+        "blocks re-ingest of its case ID until removed. CRL011 checks, "
+        "per function, that ownership cannot be dropped on an exception "
+        "edge. A store acquire passes if its result escapes — returned "
+        "to the caller or stored on self, transferring ownership — or "
+        "if a try statement overlapping the acquire releases the bound "
+        "keys in an except handler or finally block (release/"
+        "release_many on a store receiver naming the result). A bare "
+        "`store.put(...)` statement that discards the keys is flagged "
+        "outright: those refs are unreleasable. retain() is exempt from "
+        "the discard check (it returns the key it was given) but bound "
+        "results still need coverage. Staging creations (os.makedirs of "
+        "a *staging* path, tempfile.mkdtemp) need a covering try whose "
+        "handler/finally removes the directory (shutil.rmtree, os.rmdir, "
+        "or a *clear*/*cleanup* helper taking the same name). The "
+        "witness shows the acquire and the first uncovered raise edge."
+    )
+
+    def check_project(self, project):
+        for module in project:
+            for qualname, func in module.functions.items():
+                shape = None
+                for site in func.calls:
+                    store_call = (site.method in (_ACQUIRES | _REF_BUMPS)
+                                  and _is_store_receiver(module, site))
+                    staging = _is_staging_creation(module, site)
+                    if not store_call and not staging:
+                        continue
+                    if shape is None:
+                        shape = _FunctionShape(func.node)
+                    if store_call:
+                        for finding in self._check_store(module, func,
+                                                         site, shape):
+                            yield finding
+                    else:
+                        for finding in self._check_staging(module, func,
+                                                           site, shape):
+                            yield finding
+
+    # -- store refs --------------------------------------------------------
+
+    def _check_store(self, module, func, site, shape):
+        line = site.node.lineno
+        if id(site.node) in shape.discarded:
+            if site.method in _ACQUIRES:
+                yield Finding(
+                    rule=self.id,
+                    path=module.rel_path,
+                    line=line,
+                    col=site.node.col_offset,
+                    symbol=site.chain,
+                    message=(
+                        "result of %s() is discarded: the acquired page "
+                        "refs can never be released" % site.method
+                    ),
+                    witness=[
+                        WitnessHop(module.rel_path, line,
+                                   "acquire %s() in %s, result unused"
+                                   % (site.method, func.qualname)),
+                    ],
+                )
+            return
+        name = shape.bound_to.get(id(site.node))
+        if name is None or site.is_returned:
+            return  # part of a larger expression / returned directly
+        if shape.escapes(name):
+            return
+
+        def releases(call):
+            chain = _call_chain(call)
+            if chain is None:
+                return False
+            method = chain.rpartition(".")[2]
+            if method not in _RELEASES:
+                return False
+            args = set()
+            for arg in call.args:
+                args |= _names_in(arg)
+            return name in args or not call.args
+
+        if shape.covered(line, releases):
+            return
+        yield Finding(
+            rule=self.id,
+            path=module.rel_path,
+            line=line,
+            col=site.node.col_offset,
+            symbol=site.chain,
+            message=(
+                "page refs acquired by %s() into `%s` are not released "
+                "on exception paths: no try handler/finally releases "
+                "them and they do not escape %s"
+                % (site.method, name, func.qualname)
+            ),
+            witness=[
+                WitnessHop(module.rel_path, line,
+                           "acquire %s() bound to `%s` in %s"
+                           % (site.method, name, func.qualname)),
+                WitnessHop(module.rel_path, func.lineno,
+                           "no release/release_many(`%s`) on any "
+                           "exception edge of %s" % (name,
+                                                     func.qualname)),
+            ],
+        )
+
+    # -- staging dirs ------------------------------------------------------
+
+    def _check_staging(self, module, func, site, shape):
+        line = site.node.lineno
+        dir_names = set()
+        for arg in site.node.args:
+            dir_names |= _names_in(arg)
+        bound = shape.bound_to.get(id(site.node))
+        if bound is not None:
+            dir_names.add(bound)
+
+        def cleans(call):
+            chain = _call_chain(call)
+            if chain is None:
+                return False
+            method = chain.rpartition(".")[2]
+            cleanup_name = (method in ("rmtree", "rmdir", "remove")
+                            or "clear" in method or "cleanup" in method)
+            if not cleanup_name:
+                return False
+            args = set()
+            for arg in call.args:
+                args |= _names_in(arg)
+            return bool(args & dir_names) or not call.args
+
+        if shape.covered(line, cleans):
+            return
+        yield Finding(
+            rule=self.id,
+            path=module.rel_path,
+            line=line,
+            col=site.node.col_offset,
+            symbol=site.chain,
+            message=(
+                "staging directory created here is not cleaned up on "
+                "exception paths: a surviving staging dir blocks every "
+                "future ingest of its case"
+            ),
+            witness=[
+                WitnessHop(module.rel_path, line,
+                           "staging dir created in %s" % func.qualname),
+                WitnessHop(module.rel_path, func.lineno,
+                           "no rmtree/clear-style cleanup on any "
+                           "exception edge of %s" % func.qualname),
+            ],
+        )
+
+
+def _call_chain(node):
+    parts = []
+    cursor = node.func
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if isinstance(cursor, ast.Name):
+        parts.append(cursor.id)
+        return ".".join(reversed(parts))
+    return None

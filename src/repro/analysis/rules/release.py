@@ -44,6 +44,17 @@ class AuditedReleaseRule(Rule):
         "output buffer's commit/release path; raw sink calls elsewhere "
         "bypass the epoch audit."
     )
+    explain = (
+        "CRIMES's safety invariant is that no guest output reaches the "
+        "outside world before its epoch is audited. The runtime enforces "
+        "it with the output buffer; CRL003 is the static twin. A call to "
+        "a raw sink (emit_packet/emit_disk_write on a downstream/"
+        "external_sink handle or an OutputSink instance) is only legal "
+        "inside an output-buffer class (one defining both commit and "
+        "discard), on a path reachable from the audited release entry "
+        "points (commit/release and the buffered emit_* intake). "
+        "Anywhere else it ships bytes that were never audited."
+    )
 
     def _raw_sink_receiver(self, module, site):
         """Why this call's receiver is a raw sink, or None if it is not."""

@@ -68,6 +68,18 @@ class FaultSeamRule(Rule):
         "primitives (harvest_dirty, memory.read, memory.view) must run "
         "under the plane's injector hook."
     )
+    explain = (
+        "The chaos matrix is only as honest as its seams. CRL005 checks "
+        "two directions: every FaultPlane enum member must actually be "
+        "probed somewhere in the tree (a plane nobody probes is a fault "
+        "mode the matrix silently stopped exercising), and every call to "
+        "a primitive a plane guards — dirty-bitmap harvest, VMI memory "
+        "reads, checkpoint memory views — must run under that plane's "
+        "injector hook, either by threading fault=/injector= through or "
+        "by sitting in a function whose call closure probes the plane. "
+        "A new VMI read that skips the hook is a blind spot fault "
+        "injection will never reach."
+    )
 
     def check_project(self, project):
         planes = _declared_planes(project)

@@ -1,0 +1,109 @@
+"""CRL009 untrusted-input taint.
+
+The static twin of the PR 8 vault path-traversal fix: bytes off the
+HTTP socket — request path, headers, body — are attacker-controlled
+until they pass a recognized validator, and must not reach a
+filesystem-path sink (``os.path.join``, ``open``, ``os.makedirs``,
+``os.rename``…) or ``pickle.loads`` while still tainted. Validators
+are recognized two ways: by name (``validate*``/``verify*`` callables
+return clean values) and structurally (a function that regex-matches a
+parameter and raises on mismatch cleanses that parameter — the
+``CaseVault._case_dir`` idiom). Taint is propagated whole-program,
+through call arguments, returns, and ``self`` attributes, and every
+finding carries the full source->sink witness chain.
+"""
+
+import ast
+
+from repro.analysis.dataflow import TaintEngine
+from repro.analysis.findings import Finding, WitnessHop
+from repro.analysis.registry import Rule, register
+
+#: ``self.<attr>`` reads inside a BaseHTTPRequestHandler subclass that
+#: carry raw request bytes.
+_HTTP_ATTRS = frozenset({"path", "headers", "rfile", "requestline"})
+
+#: Resolved callables whose arguments become filesystem paths.
+_PATH_SINKS = frozenset({
+    "os.path.join", "os.makedirs", "os.mkdir", "os.rename", "os.replace",
+    "os.remove", "os.rmdir", "os.listdir", "os.scandir", "os.chmod",
+    "os.open", "shutil.rmtree", "io.open",
+})
+
+#: Deserializers that execute attacker-chosen constructors.
+_PICKLE_SINKS = frozenset({"pickle.loads", "pickle.load"})
+
+
+def _http_source(module, func, node):
+    """Taint source: raw request state in an HTTP handler class."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in _HTTP_ATTRS
+            and func.class_name is not None):
+        cls = module.classes.get(func.class_name)
+        if cls is not None and cls.derives_from("BaseHTTPRequestHandler"):
+            return ("untrusted HTTP input: self.%s in %s"
+                    % (node.attr, func.qualname))
+    return None
+
+
+@register
+class UntrustedInputRule(Rule):
+    id = "CRL009"
+    name = "untrusted-input"
+    description = (
+        "HTTP request bytes must pass a recognized validator before "
+        "reaching a filesystem-path or pickle.loads sink."
+    )
+    explain = (
+        "CRL009 seeds taint at the HTTP boundary — self.path, "
+        "self.headers, self.rfile, self.requestline inside any "
+        "BaseHTTPRequestHandler subclass — and propagates it forward "
+        "across the whole program: through assignments, string "
+        "operations, call arguments (including devirtualized calls "
+        "through untyped receivers), returns, and self attributes. "
+        "Taint stops at validators: callables named validate*/verify* "
+        "return clean values, and a function that regex-matches a "
+        "parameter and raises on mismatch (the CaseVault._case_dir "
+        "case-ID check) cleanses that parameter. If taint survives to a "
+        "path sink (os.path.join, open, os.makedirs, os.rename, "
+        "shutil.rmtree, ...) or to pickle.loads, the rule fires with "
+        "the full interprocedural witness chain from socket to sink. "
+        "This is the static twin of the PR 8 traversal fix: a case ID "
+        "that never passes _CASE_ID_RE must never be joined into the "
+        "vault path, or `../` walks out of the evidence store."
+    )
+
+    def check_project(self, project):
+        engine = TaintEngine(project, _http_source)
+        for module in project:
+            for site in module.calls:
+                resolved = site.resolved or site.chain
+                if resolved == "open" or resolved in _PATH_SINKS:
+                    kind = "filesystem path"
+                elif resolved in _PICKLE_SINKS:
+                    kind = "pickle deserialization"
+                else:
+                    continue
+                taint = engine.any_arg_taint(site)
+                if taint is None:
+                    continue
+                witness = taint.witness()
+                witness.append(WitnessHop(
+                    module.rel_path, site.node.lineno,
+                    "reaches %s sink %s in %s"
+                    % (kind, resolved, site.scope)))
+                yield Finding(
+                    rule=self.id,
+                    path=module.rel_path,
+                    line=site.node.lineno,
+                    col=site.node.col_offset,
+                    symbol=resolved,
+                    message=(
+                        "untrusted HTTP input reaches %s sink %s without "
+                        "passing a validator (witness: %d-hop chain from "
+                        "the socket)" % (kind, resolved, len(witness))
+                    ),
+                    witness=witness,
+                )

@@ -38,6 +38,7 @@ clocks, same flight hash-chain heads.
 """
 
 import os
+import threading
 import zlib
 from collections import OrderedDict
 from hashlib import sha256
@@ -81,6 +82,12 @@ class PageStore:
                  page_size=PAGE_SIZE, registry=None):
         if budget_bytes is not None and budget_bytes < 0:
             raise StoreError("budget_bytes must be >= 0 (or None)")
+        # The store is host-wide shared state: checkpointers mutate it
+        # per-epoch while the case service's HTTP handler threads read
+        # live stats. Every public method runs under this reentrant
+        # lock (reentrant because ingest_frames -> put and
+        # materialize -> get nest).
+        self._lock = threading.RLock()
         self.page_size = page_size
         self.budget_bytes = budget_bytes
         self.compress = compress
@@ -130,25 +137,26 @@ class PageStore:
 
     def attach_registry(self, registry):
         """Export store counters through an ``repro.obs`` registry."""
-        if self._registry is not None:
-            return
-        self._registry = registry
-        self._dedup_counter = registry.counter(
-            "store.dedup_hits", help="page puts satisfied by an existing "
-                                     "content-addressed entry")
-        self._spill_write_counter = registry.counter(
-            "store.spill_writes", help="cold pages written to the disk tier")
-        self._spill_read_counter = registry.counter(
-            "store.spill_reads", help="spilled pages read back from disk")
-        self._degraded_counter = registry.counter(
-            "store.spill_degraded",
-            help="budget evictions degraded to in-memory retention")
-        self._resident_gauge = registry.gauge(
-            "store.resident_bytes", help="hot raw + cold compressed bytes")
-        self._unique_gauge = registry.gauge(
-            "store.unique_pages", help="distinct page contents stored")
-        self._dedup_ratio_gauge = registry.gauge(
-            "store.dedup_ratio", help="logical pages / unique pages")
+        with self._lock:
+            if self._registry is not None:
+                return
+            self._registry = registry
+            self._dedup_counter = registry.counter(
+                "store.dedup_hits", help="page puts satisfied by an existing "
+                                         "content-addressed entry")
+            self._spill_write_counter = registry.counter(
+                "store.spill_writes", help="cold pages written to the disk tier")
+            self._spill_read_counter = registry.counter(
+                "store.spill_reads", help="spilled pages read back from disk")
+            self._degraded_counter = registry.counter(
+                "store.spill_degraded",
+                help="budget evictions degraded to in-memory retention")
+            self._resident_gauge = registry.gauge(
+                "store.resident_bytes", help="hot raw + cold compressed bytes")
+            self._unique_gauge = registry.gauge(
+                "store.unique_pages", help="distinct page contents stored")
+            self._dedup_ratio_gauge = registry.gauge(
+                "store.dedup_ratio", help="logical pages / unique pages")
 
     # -- references ----------------------------------------------------------
 
@@ -160,68 +168,72 @@ class PageStore:
         verified against the disk tier first (see module docstring) —
         the one path a fault-armed put can raise :class:`StoreIOError`.
         """
-        data = bytes(page)
-        if len(data) != self.page_size:
-            raise StoreError(
-                "page must be exactly %d bytes, got %d"
-                % (self.page_size, len(data))
-            )
-        self.puts += 1
-        key = sha256(data).digest()
-        entry = self._entries.get(key)
-        if entry is None:
-            entry = _PageEntry(data)
-            self._entries[key] = entry
-            self._hot[key] = None
-            self.hot_bytes += self.page_size
-            self._enforce_budget(injector)
-        else:
-            self.dedup_hits += 1
-            if self._registry is not None:
-                self._dedup_counter.inc()
-            if entry.spilled and self.verify_spilled_dedup:
-                self._verify_spilled(key, entry, data, injector)
-            elif entry.raw is not None:
-                self._hot.move_to_end(key)
-            elif entry.cold is not None:
-                self._cold.move_to_end(key)
-        entry.refs += 1
-        self.logical_pages += 1
-        self._owners[owner] = self._owners.get(owner, 0) + 1
-        return key
+        with self._lock:
+            data = bytes(page)
+            if len(data) != self.page_size:
+                raise StoreError(
+                    "page must be exactly %d bytes, got %d"
+                    % (self.page_size, len(data))
+                )
+            self.puts += 1
+            key = sha256(data).digest()
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = _PageEntry(data)
+                self._entries[key] = entry
+                self._hot[key] = None
+                self.hot_bytes += self.page_size
+                self._enforce_budget(injector)
+            else:
+                self.dedup_hits += 1
+                if self._registry is not None:
+                    self._dedup_counter.inc()
+                if entry.spilled and self.verify_spilled_dedup:
+                    self._verify_spilled(key, entry, data, injector)
+                elif entry.raw is not None:
+                    self._hot.move_to_end(key)
+                elif entry.cold is not None:
+                    self._cold.move_to_end(key)
+            entry.refs += 1
+            self.logical_pages += 1
+            self._owners[owner] = self._owners.get(owner, 0) + 1
+            return key
 
     def retain(self, key, owner):
         """Add one reference to an already-stored page."""
-        entry = self._entries.get(key)
-        if entry is None or entry.refs <= 0:
-            self.release_errors += 1
-            raise StoreError("retain of a page key the store does not hold")
-        entry.refs += 1
-        self.logical_pages += 1
-        self._owners[owner] = self._owners.get(owner, 0) + 1
-        return key
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.refs <= 0:
+                self.release_errors += 1
+                raise StoreError("retain of a page key the store does not hold")
+            entry.refs += 1
+            self.logical_pages += 1
+            self._owners[owner] = self._owners.get(owner, 0) + 1
+            return key
 
     def release(self, key, owner):
         """Drop one reference; the page is freed when the count hits 0."""
-        entry = self._entries.get(key)
-        held = self._owners.get(owner, 0)
-        if entry is None or entry.refs <= 0 or held <= 0:
-            self.release_errors += 1
-            raise StoreError(
-                "release of a page reference %r does not hold" % (owner,)
-            )
-        entry.refs -= 1
-        self.logical_pages -= 1
-        if held == 1:
-            del self._owners[owner]
-        else:
-            self._owners[owner] = held - 1
-        if entry.refs == 0:
-            self._free(key, entry)
+        with self._lock:
+            entry = self._entries.get(key)
+            held = self._owners.get(owner, 0)
+            if entry is None or entry.refs <= 0 or held <= 0:
+                self.release_errors += 1
+                raise StoreError(
+                    "release of a page reference %r does not hold" % (owner,)
+                )
+            entry.refs -= 1
+            self.logical_pages -= 1
+            if held == 1:
+                del self._owners[owner]
+            else:
+                self._owners[owner] = held - 1
+            if entry.refs == 0:
+                self._free(key, entry)
 
     def release_many(self, keys, owner):
-        for key in keys:
-            self.release(key, owner)
+        with self._lock:
+            for key in keys:
+                self.release(key, owner)
 
     def get(self, key, injector=None, promote=True):
         """The page bytes for ``key``; faults only on the spill-read path.
@@ -230,34 +242,37 @@ class PageStore:
         hot tier — the rollback/materialize paths use it so forensic
         sweeps do not churn the working set.
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            raise StoreError("unknown page key (already freed?)")
-        self.gets += 1
-        if entry.raw is not None:
-            self._hot.move_to_end(key)
-            return entry.raw
-        if entry.cold is not None:
-            data = self._decode(entry.cold)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                raise StoreError("unknown page key (already freed?)")
+            self.gets += 1
+            if entry.raw is not None:
+                self._hot.move_to_end(key)
+                return entry.raw
+            if entry.cold is not None:
+                data = self._decode(entry.cold)
+                if promote:
+                    self._promote(key, entry, data)
+                    self._enforce_budget(injector)
+                else:
+                    self._cold.move_to_end(key)
+                return data
+            data = self._decode(self._spill_read(key, injector))
             if promote:
                 self._promote(key, entry, data)
                 self._enforce_budget(injector)
-            else:
-                self._cold.move_to_end(key)
             return data
-        data = self._decode(self._spill_read(key, injector))
-        if promote:
-            self._promote(key, entry, data)
-            self._enforce_budget(injector)
-        return data
 
     def contains(self, key):
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def refs(self, key):
         """Debug counter: live references to ``key`` (0 if freed)."""
-        entry = self._entries.get(key)
-        return entry.refs if entry is not None else 0
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry.refs if entry is not None else 0
 
     # -- bulk helpers (the checkpointer's staging path) ----------------------
 
@@ -269,30 +284,33 @@ class PageStore:
         verification) the references already taken are released before
         the error propagates — a failed stage leaves no refs behind.
         """
-        size = self.page_size
-        keys = []
-        try:
-            for pfn in pfns:
-                start = pfn * size
-                key = self.put(view[start:start + size], owner,
-                               injector=injector)
-                keys.append((pfn, key))
-        except StoreIOError:
-            for _pfn, key in keys:
-                self.release(key, owner)
-            raise
-        return keys
+        with self._lock:
+            size = self.page_size
+            keys = []
+            try:
+                for pfn in pfns:
+                    start = pfn * size
+                    key = self.put(view[start:start + size], owner,
+                                   injector=injector)
+                    keys.append((pfn, key))
+            except StoreIOError:
+                for _pfn, key in keys:
+                    self.release(key, owner)
+                raise
+            return keys
 
     def materialize(self, keys, injector=None):
         """Concatenate ``keys`` into one image (no LRU promotion)."""
-        return b"".join(
-            self.get(key, injector=injector, promote=False) for key in keys
-        )
+        with self._lock:
+            return b"".join(
+                self.get(key, injector=injector, promote=False) for key in keys
+            )
 
     def take_backoff_ms(self):
         """Drain the virtual-time backoff accrued by faulted spill ops."""
-        backoff, self._backoff_accrued_ms = self._backoff_accrued_ms, 0.0
-        return backoff
+        with self._lock:
+            backoff, self._backoff_accrued_ms = self._backoff_accrued_ms, 0.0
+            return backoff
 
     # -- tiering -------------------------------------------------------------
 
@@ -464,59 +482,64 @@ class PageStore:
 
     @property
     def resident_bytes(self):
-        return self.hot_bytes + self.cold_bytes
+        with self._lock:
+            return self.hot_bytes + self.cold_bytes
 
     @property
     def unique_pages(self):
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def dedup_ratio(self):
-        unique = len(self._entries)
-        return (self.logical_pages / unique) if unique else 0.0
+        with self._lock:
+            unique = len(self._entries)
+            return (self.logical_pages / unique) if unique else 0.0
 
     def stats(self):
         """Plain-data counters (BENCH files, rollups, debug assertions)."""
-        unique = len(self._entries)
-        return {
-            "page_size": self.page_size,
-            "budget_bytes": self.budget_bytes,
-            "unique_pages": unique,
-            "logical_pages": self.logical_pages,
-            "unique_bytes": unique * self.page_size,
-            "logical_bytes": self.logical_pages * self.page_size,
-            "dedup_ratio": self.dedup_ratio,
-            "hot_pages": len(self._hot),
-            "cold_pages": len(self._cold),
-            "spilled_pages": unique - len(self._hot) - len(self._cold),
-            "hot_bytes": self.hot_bytes,
-            "cold_bytes": self.cold_bytes,
-            "resident_bytes": self.resident_bytes,
-            "spilled_bytes": self.spilled_bytes,
-            "puts": self.puts,
-            "gets": self.gets,
-            "dedup_hits": self.dedup_hits,
-            "frees": self.frees,
-            "release_errors": self.release_errors,
-            "compressions": self.compressions,
-            "decompressions": self.decompressions,
-            "spill_writes": self.spill_writes,
-            "spill_reads": self.spill_reads,
-            "spill_write_failures": self.spill_write_failures,
-            "spill_read_failures": self.spill_read_failures,
-            "spill_degraded": self.spill_degraded,
-            "verify_reads": self.verify_reads,
-            "verify_mismatches": self.verify_mismatches,
-            "owners": len(self._owners),
-        }
+        with self._lock:
+            unique = len(self._entries)
+            return {
+                "page_size": self.page_size,
+                "budget_bytes": self.budget_bytes,
+                "unique_pages": unique,
+                "logical_pages": self.logical_pages,
+                "unique_bytes": unique * self.page_size,
+                "logical_bytes": self.logical_pages * self.page_size,
+                "dedup_ratio": self.dedup_ratio,
+                "hot_pages": len(self._hot),
+                "cold_pages": len(self._cold),
+                "spilled_pages": unique - len(self._hot) - len(self._cold),
+                "hot_bytes": self.hot_bytes,
+                "cold_bytes": self.cold_bytes,
+                "resident_bytes": self.resident_bytes,
+                "spilled_bytes": self.spilled_bytes,
+                "puts": self.puts,
+                "gets": self.gets,
+                "dedup_hits": self.dedup_hits,
+                "frees": self.frees,
+                "release_errors": self.release_errors,
+                "compressions": self.compressions,
+                "decompressions": self.decompressions,
+                "spill_writes": self.spill_writes,
+                "spill_reads": self.spill_reads,
+                "spill_write_failures": self.spill_write_failures,
+                "spill_read_failures": self.spill_read_failures,
+                "spill_degraded": self.spill_degraded,
+                "verify_reads": self.verify_reads,
+                "verify_mismatches": self.verify_mismatches,
+                "owners": len(self._owners),
+            }
 
     def export_metrics(self):
         """Refresh the registry gauges from the live counters."""
-        if self._registry is None:
-            return
-        self._resident_gauge.set(self.resident_bytes)
-        self._unique_gauge.set(len(self._entries))
-        self._dedup_ratio_gauge.set(self.dedup_ratio)
+        with self._lock:
+            if self._registry is None:
+                return
+            self._resident_gauge.set(self.resident_bytes)
+            self._unique_gauge.set(len(self._entries))
+            self._dedup_ratio_gauge.set(self.dedup_ratio)
 
     def per_tenant(self):
         """owner -> logical pages/bytes + resident bytes attributed.
@@ -525,18 +548,19 @@ class PageStore:
         logical references — the deduped bytes/tenant number
         ``CloudHost.memory_overhead_bytes()`` is built on.
         """
-        total = self.logical_pages
-        resident = self.resident_bytes
-        out = {}
-        for owner, pages in sorted(self._owners.items()):
-            out[owner] = {
-                "logical_pages": pages,
-                "logical_bytes": pages * self.page_size,
-                "attributed_bytes": (
-                    resident * pages / total if total else 0.0
-                ),
-            }
-        return out
+        with self._lock:
+            total = self.logical_pages
+            resident = self.resident_bytes
+            out = {}
+            for owner, pages in sorted(self._owners.items()):
+                out[owner] = {
+                    "logical_pages": pages,
+                    "logical_bytes": pages * self.page_size,
+                    "attributed_bytes": (
+                        resident * pages / total if total else 0.0
+                    ),
+                }
+            return out
 
     def verify_integrity(self):
         """Cross-check refcounts, tiers and byte counters; raises on drift.
@@ -546,50 +570,51 @@ class PageStore:
         whose owners are gone, premature frees as release errors long
         before this point.
         """
-        ref_total = 0
-        hot_bytes = 0
-        cold_bytes = 0
-        disk_bytes = 0
-        for key, entry in self._entries.items():
-            if entry.refs <= 0:
-                raise StoreError(
-                    "entry %s survives with %d refs" % (key.hex()[:12],
-                                                        entry.refs)
-                )
-            ref_total += entry.refs
-            tiers = ((entry.raw is not None) + (entry.cold is not None)
-                     + (1 if entry.spilled else 0))
-            if tiers != 1:
-                raise StoreError(
-                    "entry %s is in %d tiers" % (key.hex()[:12], tiers)
-                )
-            if entry.raw is not None:
-                hot_bytes += self.page_size
-                if key not in self._hot:
-                    raise StoreError("hot entry missing from hot LRU")
-            elif entry.cold is not None:
-                cold_bytes += len(entry.cold)
-                if key not in self._cold:
-                    raise StoreError("cold entry missing from cold LRU")
-            else:
-                disk_bytes += entry.disk_len
-                if not os.path.exists(self._spill_path(key)):
+        with self._lock:
+            ref_total = 0
+            hot_bytes = 0
+            cold_bytes = 0
+            disk_bytes = 0
+            for key, entry in self._entries.items():
+                if entry.refs <= 0:
                     raise StoreError(
-                        "spilled entry %s has no file on disk"
-                        % key.hex()[:12]
+                        "entry %s survives with %d refs" % (key.hex()[:12],
+                                                            entry.refs)
                     )
-        owner_total = sum(self._owners.values())
-        if ref_total != self.logical_pages or ref_total != owner_total:
-            raise StoreError(
-                "refcount drift: entries hold %d refs, logical_pages=%d, "
-                "owners hold %d" % (ref_total, self.logical_pages,
-                                    owner_total)
-            )
-        if (hot_bytes != self.hot_bytes or cold_bytes != self.cold_bytes
-                or disk_bytes != self.spilled_bytes):
-            raise StoreError(
-                "byte-counter drift: hot %d/%d cold %d/%d disk %d/%d"
-                % (hot_bytes, self.hot_bytes, cold_bytes, self.cold_bytes,
-                   disk_bytes, self.spilled_bytes)
-            )
-        return True
+                ref_total += entry.refs
+                tiers = ((entry.raw is not None) + (entry.cold is not None)
+                         + (1 if entry.spilled else 0))
+                if tiers != 1:
+                    raise StoreError(
+                        "entry %s is in %d tiers" % (key.hex()[:12], tiers)
+                    )
+                if entry.raw is not None:
+                    hot_bytes += self.page_size
+                    if key not in self._hot:
+                        raise StoreError("hot entry missing from hot LRU")
+                elif entry.cold is not None:
+                    cold_bytes += len(entry.cold)
+                    if key not in self._cold:
+                        raise StoreError("cold entry missing from cold LRU")
+                else:
+                    disk_bytes += entry.disk_len
+                    if not os.path.exists(self._spill_path(key)):
+                        raise StoreError(
+                            "spilled entry %s has no file on disk"
+                            % key.hex()[:12]
+                        )
+            owner_total = sum(self._owners.values())
+            if ref_total != self.logical_pages or ref_total != owner_total:
+                raise StoreError(
+                    "refcount drift: entries hold %d refs, logical_pages=%d, "
+                    "owners hold %d" % (ref_total, self.logical_pages,
+                                        owner_total)
+                )
+            if (hot_bytes != self.hot_bytes or cold_bytes != self.cold_bytes
+                    or disk_bytes != self.spilled_bytes):
+                raise StoreError(
+                    "byte-counter drift: hot %d/%d cold %d/%d disk %d/%d"
+                    % (hot_bytes, self.hot_bytes, cold_bytes, self.cold_bytes,
+                       disk_bytes, self.spilled_bytes)
+                )
+            return True

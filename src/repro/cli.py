@@ -672,6 +672,7 @@ def _cmd_lint(args):
     import json
 
     from repro.analysis import catalog, run_lint
+    from repro.analysis.registry import explain
     from repro.errors import ConfigError
 
     if args.list_rules:
@@ -680,11 +681,29 @@ def _cmd_lint(args):
             lines.append("  %s %-20s %s" % (rule_id, name, description))
         return "\n".join(lines)
 
+    if args.explain:
+        try:
+            return explain(args.explain)
+        except ConfigError as err:
+            print("crimeslint: %s" % err, file=sys.stderr)
+            raise SystemExit(2)
+
+    if args.jobs == "auto":
+        jobs = "auto"
+    else:
+        try:
+            jobs = int(args.jobs)
+        except ValueError:
+            print("crimeslint: --jobs wants an integer or 'auto', got %r"
+                  % args.jobs, file=sys.stderr)
+            raise SystemExit(2)
+
     try:
         report = run_lint(
             paths=args.paths or None,
             baseline=False if args.no_baseline else "auto",
             select=args.select.split(",") if args.select else None,
+            jobs=jobs,
         )
     except ConfigError as err:
         print("crimeslint: configuration error: %s" % err, file=sys.stderr)
@@ -939,6 +958,13 @@ def build_parser():
                         help="lint: ignore .crimeslint.toml suppressions")
     parser.add_argument("--list-rules", action="store_true",
                         help="lint: print the rule catalog and exit")
+    parser.add_argument("--explain", metavar="RULE",
+                        help="lint: print one rule's rationale — what it "
+                             "flags, why, and how to fix it — and exit")
+    parser.add_argument("--jobs", default="1",
+                        help="lint: parse files on N worker processes "
+                             "('auto' = one per CPU; findings stay in "
+                             "deterministic input order)")
     return parser
 
 

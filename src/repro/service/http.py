@@ -87,6 +87,10 @@ class CaseService:
         self._server = ThreadingHTTPServer((bind, port),
                                            _make_handler(self))
         self._server.daemon_threads = True
+        # Handler threads and the owning thread both touch the listener
+        # thread handle and the last verified fleet export; this lock
+        # is their guard (CRL007).
+        self._lock = threading.Lock()
         self._thread = None
         self.last_fleet_export = None
 
@@ -103,16 +107,23 @@ class CaseService:
 
     def start(self):
         self.queue.start()
-        self._thread = threading.Thread(target=self._server.serve_forever,
-                                        name="case-service", daemon=True)
-        self._thread.start()
+        thread = threading.Thread(target=self._server.serve_forever,
+                                  name="case-service", daemon=True)
+        with self._lock:
+            self._thread = thread
+        thread.start()
         return self
 
     def stop(self):
         self._server.shutdown()
         self._server.server_close()
-        if self._thread is not None:
-            self._thread.join()
+        # Snapshot the handle under the lock, join outside it: joining
+        # while holding the lock would stall any handler thread racing
+        # to read service state during shutdown.
+        with self._lock:
+            thread = self._thread
+        if thread is not None:
+            thread.join()
         self.queue.stop()
 
     def serve_forever(self):
@@ -184,7 +195,8 @@ class CaseService:
             _check_rollup(body.get("registry_rollup"))
             verdict = verify_fleet_export(body)
             self._fleet_verified.inc()
-            self.last_fleet_export = body
+            with self._lock:
+                self.last_fleet_export = body
             return 200, {"verified": verdict}
         raise _RequestError(404, "not-found", "no route for %s" % path)
 
@@ -205,13 +217,15 @@ class CaseService:
         ).set(self.queue.stats()["pending"])
         text = render_prometheus(self.registry)
         rollup = None
+        with self._lock:
+            last_export = self.last_fleet_export
         if self.host is not None:
             rollup = merge_registry_snapshots({
                 name: record.crimes.observer.registry.snapshot()
                 for name, record in self.host.tenants.items()
             })
-        elif self.last_fleet_export is not None:
-            rollup = self.last_fleet_export.get("registry_rollup")
+        elif last_export is not None:
+            rollup = last_export.get("registry_rollup")
         if rollup is not None:
             text += render_prometheus(
                 snapshot_instruments(rollup, prefix="fleet."))

@@ -184,9 +184,15 @@ class CaseVault:
 
     def verify_audit(self):
         """Re-derive the audit chain; ``{"ok", "checked", "error"}``."""
+        # Snapshot the log and the head in one locked step: verifying
+        # against a head an in-flight ingest is about to advance would
+        # report a torn chain that never existed on disk.
+        with self._lock:
+            entries = self.audit_entries()
+            head = self._audit_head
         prev = AUDIT_GENESIS
         checked = 0
-        for entry in self.audit_entries():
+        for entry in entries:
             payload = {key: value for key, value in entry.items()
                        if key not in ("prev_hash", "hash")}
             if entry["prev_hash"] != prev:
@@ -199,7 +205,7 @@ class CaseVault:
                                  % entry["seq"]}
             prev = entry["hash"]
             checked += 1
-        if prev != self._audit_head:
+        if prev != head:
             return {"ok": False, "checked": checked,
                     "error": "audit head does not match the log tail"}
         return {"ok": True, "checked": checked, "error": None}
@@ -464,12 +470,16 @@ class CaseVault:
     # -- accounting --------------------------------------------------------
 
     def stats(self):
-        cases = self.cases()
-        return {
-            "cases": len(cases),
-            "rejects": self.rejects,
-            "reports": sum(len(case["reports"]) for case in cases),
-            "dumps": sum(1 for case in cases if case["dump"]),
-            "audit_entries": self._audit_seq,
-            "audit_head": self._audit_head,
-        }
+        # One locked snapshot: the reject counter, audit sequence, and
+        # audit head move together under ingest; reading them unlocked
+        # can tear (a head that does not match the sequence).
+        with self._lock:
+            cases = self.cases()
+            return {
+                "cases": len(cases),
+                "rejects": self.rejects,
+                "reports": sum(len(case["reports"]) for case in cases),
+                "dumps": sum(1 for case in cases if case["dump"]),
+                "audit_entries": self._audit_seq,
+                "audit_head": self._audit_head,
+            }

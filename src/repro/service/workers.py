@@ -148,7 +148,10 @@ class ForensicsWorkerQueue:
                     )
                 if not self._cond.wait(tick_s):
                     remaining -= 1
-        return {"completed": self.completed, "failed": self.failed}
+            # Still inside the condition: the counters must be read in
+            # the same critical section that observed the queue empty,
+            # or a racing job can tear the completed/failed pair.
+            return {"completed": self.completed, "failed": self.failed}
 
     # -- the workers -------------------------------------------------------
 
@@ -166,7 +169,8 @@ class ForensicsWorkerQueue:
             except ServiceError as err:
                 # The job already counted itself as failed; the worker
                 # must survive to take the next one.
-                self.last_error = str(err)
+                with self._cond:
+                    self.last_error = str(err)
             finally:
                 with self._cond:
                     self._active -= 1

@@ -1,0 +1,17 @@
+"""Fixture: the same shared counter, every access under the lock."""
+
+import threading
+
+
+class GuardedCounters:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.completed = 0
+
+    def record(self):
+        with self._lock:
+            self.completed += 1
+
+    def snapshot(self):
+        with self._lock:
+            return {"completed": self.completed}

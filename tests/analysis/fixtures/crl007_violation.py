@@ -1,0 +1,16 @@
+"""Fixture: a shared counter read without the lock that guards it."""
+
+import threading
+
+
+class EnrichmentCounters:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.completed = 0
+
+    def record(self):
+        with self._lock:
+            self.completed += 1
+
+    def snapshot(self):
+        return {"completed": self.completed}  # EXPECT: CRL007

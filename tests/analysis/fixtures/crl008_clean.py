@@ -1,0 +1,24 @@
+"""Fixture: two locks, one global acquisition order everywhere."""
+
+import threading
+
+
+class OrderedLedger:
+    def __init__(self):
+        # Order: _audit_lock before _page_lock, always.
+        self._audit_lock = threading.Lock()
+        self._page_lock = threading.Lock()
+        self.entries = []
+        self.pages = []
+
+    def append_with_pages(self, entry, page):
+        with self._audit_lock:
+            with self._page_lock:
+                self.entries.append(entry)
+                self.pages.append(page)
+
+    def evict_with_audit(self, page, entry):
+        with self._audit_lock:
+            with self._page_lock:
+                self.pages.remove(page)
+                self.entries.append(entry)

@@ -1,0 +1,23 @@
+"""Fixture: two locks acquired in conflicting orders (deadlock)."""
+
+import threading
+
+
+class ShardLedger:
+    def __init__(self):
+        self._audit_lock = threading.Lock()
+        self._page_lock = threading.Lock()
+        self.entries = []
+        self.pages = []
+
+    def append_with_pages(self, entry, page):
+        with self._audit_lock:
+            with self._page_lock:  # EXPECT: CRL008
+                self.entries.append(entry)
+                self.pages.append(page)
+
+    def evict_with_audit(self, page, entry):
+        with self._page_lock:
+            with self._audit_lock:
+                self.pages.remove(page)
+                self.entries.append(entry)

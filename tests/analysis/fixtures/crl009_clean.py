@@ -1,0 +1,32 @@
+"""Fixture: the same route, with the case-ID regex guard in place.
+
+``guarded_case_dir`` regex-matches its parameter and raises on
+mismatch — the ``CaseVault._case_dir`` idiom — so the taint off
+``self.path`` stops at the function boundary and never reaches the
+``os.path.join`` sink.
+"""
+
+import os
+import re
+from http.server import BaseHTTPRequestHandler
+
+_CASE_ID_RE = re.compile(r"^case-[0-9a-f]{16}$")
+
+
+class GuardedVault:
+    def __init__(self, root):
+        self.root = root
+
+    def guarded_case_dir(self, case_id):
+        if not _CASE_ID_RE.match(case_id):
+            raise ValueError("bad case id: %r" % case_id)
+        return os.path.join(self.root, case_id)
+
+
+class Handler(BaseHTTPRequestHandler):
+    vault = None
+
+    def do_GET(self):
+        case_id = self.path.rsplit("/", 1)[-1]
+        target = self.vault.guarded_case_dir(case_id)
+        self.wfile.write(target.encode())

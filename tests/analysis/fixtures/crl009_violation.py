@@ -1,0 +1,26 @@
+"""Fixture: the PR 8 vault path traversal, reintroduced.
+
+The handler slices a case ID straight out of the request path and the
+vault joins it into the evidence root without the ``_CASE_ID_RE``
+guard — ``GET /case/../../etc/passwd`` walks out of the store.
+"""
+
+import os
+from http.server import BaseHTTPRequestHandler
+
+
+class LeakyVault:
+    def __init__(self, root):
+        self.root = root
+
+    def case_dir(self, case_id):
+        return os.path.join(self.root, case_id)  # EXPECT: CRL009
+
+
+class Handler(BaseHTTPRequestHandler):
+    vault = None
+
+    def do_GET(self):
+        case_id = self.path.rsplit("/", 1)[-1]
+        target = self.vault.case_dir(case_id)
+        self.wfile.write(target.encode())

@@ -1,0 +1,21 @@
+"""Fixture: whitelisted spec across the pipe, integrity-gated loads."""
+
+import hashlib
+import pickle
+
+
+class TenantSpec:
+    def __init__(self, name):
+        self.name = name
+
+
+def dispatch(conn, name):
+    conn.send(("spec", TenantSpec(name)))
+
+
+def collect(conn, expected_digest):
+    payload = conn.recv_bytes()
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != expected_digest:
+        raise ValueError("payload digest mismatch")
+    return pickle.loads(payload)

@@ -1,0 +1,18 @@
+"""Fixture: closed IPC vocabulary broken on both sides of the pipe."""
+
+import pickle
+
+
+class ShardJob:
+    def __init__(self, spec):
+        self.spec = spec
+
+
+def dispatch(conn, spec):
+    conn.send(("job", ShardJob(spec)))  # EXPECT: CRL010
+    conn.send(lambda: spec)  # EXPECT: CRL010
+
+
+def collect(conn):
+    payload = conn.recv_bytes()
+    return pickle.loads(payload)  # EXPECT: CRL010

@@ -1,0 +1,30 @@
+"""Fixture: every acquire escapes or is released on the unhappy path."""
+
+import os
+import shutil
+
+
+class CarefulWriter:
+    def __init__(self, store):
+        self._store = store
+
+    def spill(self, frames):
+        keys = self._store.put(frames)
+        return keys
+
+    def ingest(self, case_id, frames):
+        keys = self._store.ingest_frames(case_id, frames)
+        try:
+            self.publish(case_id, keys)
+        finally:
+            self._store.release_many(keys)
+
+    def publish(self, case_id, keys):
+        self.published = (case_id, tuple(keys))
+
+    def stage(self, staging_dir, payload):
+        os.makedirs(staging_dir)
+        try:
+            self.publish(staging_dir, payload)
+        finally:
+            shutil.rmtree(staging_dir)

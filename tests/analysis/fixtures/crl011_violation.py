@@ -1,0 +1,19 @@
+"""Fixture: page refs and a staging dir that leak on exception edges."""
+
+import os
+
+
+class LeakyWriter:
+    def __init__(self, store):
+        self._store = store
+
+    def spill(self, frames):
+        self._store.put(frames)  # EXPECT: CRL011
+
+    def ingest(self, case_id, frames):
+        keys = self._store.ingest_frames(case_id, frames)  # EXPECT: CRL011
+        return len(frames)
+
+    def stage(self, staging_dir):
+        os.makedirs(staging_dir)  # EXPECT: CRL011
+        return staging_dir

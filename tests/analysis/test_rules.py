@@ -25,6 +25,11 @@ VIOLATION_FIXTURES = {
     "crl004": "CRL004",
     "crl005": "CRL005",
     "crl006_violation.py": "CRL006",
+    "crl007_violation.py": "CRL007",
+    "crl008_violation.py": "CRL008",
+    "crl009_violation.py": "CRL009",
+    "crl010_violation.py": "CRL010",
+    "crl011_violation.py": "CRL011",
 }
 
 CLEAN_FIXTURES = [
@@ -34,6 +39,11 @@ CLEAN_FIXTURES = [
     "crl004_clean",
     "crl005_clean",
     "crl006_clean.py",
+    "crl007_clean.py",
+    "crl008_clean.py",
+    "crl009_clean.py",
+    "crl010_clean.py",
+    "crl011_clean.py",
 ]
 
 

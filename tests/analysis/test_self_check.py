@@ -34,6 +34,7 @@ def test_baseline_is_actually_load_bearing():
             "src/repro/obs/flight.py",
             "src/repro/checkpoint/checkpointer.py",
             "src/repro/service/http.py",
+            "src/repro/analysis/engine.py",
         }
 
 
@@ -102,6 +103,30 @@ def test_store_modules_are_baseline_free():
     assert report.findings == [], "\n" + report.render_text()
 
 
+def test_threaded_modules_clean_under_concurrency_rules():
+    """The whole-program pack holds on the threaded tiers, unbaselined.
+
+    CRL007–011 are the PR 10 rules: lock discipline, lock order, HTTP
+    taint, the IPC vocabulary, and acquire/release pairing. The modules
+    they were written about — the case service, the worker queue, the
+    vault, the page store, and the fleet fork+pipe pair — must pass
+    them with no baseline at all; these rules have zero grandfathered
+    sites by construction.
+    """
+    report = run_lint(root=REPO_ROOT, baseline=False,
+                      select=["CRL007", "CRL008", "CRL009",
+                              "CRL010", "CRL011"],
+                      paths=[
+                          "src/repro/service/http.py",
+                          "src/repro/service/vault.py",
+                          "src/repro/service/workers.py",
+                          "src/repro/checkpoint/store.py",
+                          "src/repro/core/fleet.py",
+                          "src/repro/core/fleet_worker.py",
+                      ])
+    assert report.findings == [], "\n" + report.render_text()
+
+
 def test_cli_lint_is_green_on_the_tree(capsys, monkeypatch):
     monkeypatch.chdir(REPO_ROOT)
     assert cli_main(["lint"]) == 0
@@ -117,6 +142,11 @@ ACCEPTANCE = [
     ("CRL004", "crl004", "violation.py:9"),
     ("CRL005", "crl005", "violation.py:16"),
     ("CRL006", "crl006_violation.py", "crl006_violation.py:10"),
+    ("CRL007", "crl007_violation.py", "crl007_violation.py:16"),
+    ("CRL008", "crl008_violation.py", "crl008_violation.py:15"),
+    ("CRL009", "crl009_violation.py", "crl009_violation.py:17"),
+    ("CRL010", "crl010_violation.py", "crl010_violation.py:12"),
+    ("CRL011", "crl011_violation.py", "crl011_violation.py:11"),
 ]
 
 

@@ -289,3 +289,50 @@ class TestHealth:
         payload = json.loads(body)
         assert payload["ok"] and not payload["live_fleet"]
         assert payload["vault"]["cases"] == 0
+
+
+class TestConcurrentFleetExport:
+    def test_fleet_posts_race_metrics_renders(self, service,
+                                              rootkit_crimes,
+                                              overflow_crimes):
+        """Regression: ``last_fleet_export`` was written by handler
+        threads and read by ``render_metrics`` with no lock; the
+        service now snapshots it under ``self._lock``. Hammer both
+        sides concurrently — every response must be well-formed."""
+        import threading
+
+        merged = merge_flight_snapshots([
+            rootkit_crimes.observer.flight.snapshot(),
+            overflow_crimes.observer.flight.snapshot(),
+        ])
+        merged["registry_rollup"] = merge_registry_snapshots({
+            "tenant-rk": rootkit_crimes.observer.registry.snapshot(),
+            "tenant-ov": overflow_crimes.observer.registry.snapshot(),
+        })
+        failures = []
+
+        def poster():
+            for _ in range(5):
+                status, _body = post(service, "/fleet", merged)
+                if status != 200:
+                    failures.append(("post", status))
+
+        def reader():
+            for _ in range(10):
+                status, text = get(service, "/metrics")
+                if status != 200:
+                    failures.append(("get", status))
+                parse_prometheus_text(text)
+
+        threads = [threading.Thread(target=poster) for _ in range(2)] + \
+            [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+        status, text = get(service, "/metrics")
+        assert status == 200
+        parsed = parse_prometheus_text(text)
+        assert any(sample["name"].startswith("fleet_")
+                   for sample in parsed["samples"])

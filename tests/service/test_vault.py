@@ -243,3 +243,49 @@ class TestQueries:
     def test_missing_case_raises(self, vault):
         with pytest.raises(CaseNotFoundError):
             vault.case("case-feedfacefeedface")
+
+
+class TestConcurrentAudit:
+    def test_verify_audit_is_stable_under_concurrent_appends(
+            self, tmp_path, rootkit_bundle):
+        """Regression: ``verify_audit`` used to read the entry list and
+        the head hash in two separate steps; an ingest racing between
+        them made a perfectly healthy chain verify as tampered. Every
+        duplicate ingest below appends a ``vault.reject`` audit entry
+        while the main thread verifies in a loop — each verification
+        must see some consistent (entries, head) snapshot and pass."""
+        import threading
+
+        vault = CaseVault(tmp_path / "vault")
+        vault.ingest(copy.deepcopy(rootkit_bundle))
+
+        stop = threading.Event()
+        errors = []
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    vault.ingest(copy.deepcopy(rootkit_bundle))
+                except DuplicateCaseError:
+                    pass
+                except Exception as err:  # pragma: no cover - fail loud
+                    errors.append(err)
+                    return
+
+        threads = [threading.Thread(target=hammer) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(50):
+                verdict = vault.verify_audit()
+                assert verdict["ok"], verdict
+                stats = vault.stats()
+                # The torn-counter shape: more audited rejects than the
+                # audit chain has entries (stats raced the append).
+                assert stats["audit_entries"] >= 1
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert errors == []
+        assert vault.verify_audit()["ok"]

@@ -104,3 +104,26 @@ class TestJobs:
         assert kinds == ["vault.ingest", "vault.report"]
         assert vault.verify_audit()["ok"]
         assert queue.stats()["completed"] == 1
+
+
+class TestDrainCoherence:
+    def test_drain_counters_never_tear(self, tmp_path, rootkit_bundle):
+        """Regression: ``drain`` used to read ``completed``/``failed``
+        after leaving the condition's critical section, so a job
+        finishing in that window tore the pair. The returned snapshot
+        must account for every enqueued job, exactly."""
+        vault = CaseVault(tmp_path / "vault")
+        case = vault.ingest(rootkit_bundle)  # no dump: fast triage jobs
+        queue = ForensicsWorkerQueue(vault, workers=4, seed=11).start()
+        try:
+            total = 24
+            for _ in range(total):
+                queue.enqueue(case["case_id"])
+            result = queue.drain()
+            assert result["completed"] + result["failed"] == total
+            assert result == {"completed": total, "failed": 0}
+        finally:
+            queue.stop()
+        stats = queue.stats()
+        assert stats["pending"] == 0
+        assert stats["completed"] == total

@@ -427,3 +427,45 @@ class TestAccountingDefinition:
         snapshot = host.observer.registry.snapshot()
         assert "store.dedup_hits" in snapshot["counters"]
         assert "store.resident_bytes" in snapshot["gauges"]
+
+
+class TestPageStoreThreadSafety:
+    def test_concurrent_owners_share_and_release_cleanly(self):
+        """Regression: the store grew an internal RLock in PR 10 — HTTP
+        stat threads and fleet checkpointers hit one instance at once.
+        Each thread plays a full acquire/read/release lifecycle against
+        a shared page set; the refcount and byte accounting must come
+        out exact, and ``verify_integrity`` must hold throughout."""
+        import threading
+
+        store = PageStore()
+        errors = []
+
+        def tenant(owner, fills):
+            try:
+                for _round in range(10):
+                    keys = [store.put(page(f), owner=owner) for f in fills]
+                    for key in keys:
+                        assert store.get(key) == store.get(key)
+                        store.retain(key, owner=owner)
+                        store.release(key, owner=owner)
+                    snap = store.stats()
+                    assert snap["unique_pages"] >= len(set(fills))
+                    store.release_many(keys, owner=owner)
+            except Exception as err:  # pragma: no cover - fail loud
+                errors.append((owner, err))
+
+        threads = [
+            threading.Thread(target=tenant,
+                             args=("t%d" % i, [1, 2, 3, 4 + i]))
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert store.verify_integrity()
+        assert store.logical_pages == 0
+        assert store.resident_bytes == 0
+        assert store.release_errors == 0
